@@ -1,0 +1,41 @@
+// Ablation: data-free certification (contribution 2).
+//
+// Runs WedgeChain twice — digests-only vs shipping the full block with
+// every block-certify — and reports what data-free certification saves in
+// edge->cloud WAN traffic and Phase II latency. Not a paper figure; it
+// isolates the design choice the paper motivates in §IV-B.
+
+#include <cstdio>
+
+#include "bench/harness/runner.h"
+#include "bench/harness/table.h"
+
+using namespace wedge;
+
+int main() {
+  Banner("Ablation: data-free certification vs full-block certification");
+  TablePrinter t({"batch", "mode", "P1 (ms)", "P2 (ms)", "WAN MB",
+                  "kops"});
+  t.PrintHeader();
+  for (size_t batch : {100, 1000, 2000}) {
+    for (bool full : {false, true}) {
+      ExperimentConfig cfg;
+      cfg.spec.ops_per_batch = batch;
+      cfg.spec.read_fraction = 0.0;
+      cfg.num_clients = 1;
+      cfg.warmup = 2 * kSecond;
+      cfg.measure = 10 * kSecond;
+      cfg.certify_full_blocks = full;
+
+      auto r = RunWedge(cfg);
+      t.PrintRow({std::to_string(batch), full ? "full-block" : "data-free",
+                  Fmt(r.write_ms), Fmt(r.phase2_ms),
+                  Fmt(static_cast<double>(r.net.wan_bytes) / 1e6, 2),
+                  Fmt(r.kops, 1)});
+    }
+  }
+  std::printf(
+      "Data-free certification leaves Phase I untouched but cuts WAN bytes\n"
+      "by ~the data volume and keeps Phase II flat as batches grow.\n");
+  return 0;
+}

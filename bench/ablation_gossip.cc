@@ -1,0 +1,102 @@
+// Ablation: gossip frequency vs the omission-attack window (§IV-E).
+//
+// The paper: "This still leaves the opportunity for omission attacks on
+// recent data. The time-window of this threat is a function of the
+// frequency of gossip messages." This bench quantifies that trade-off:
+// an omitting edge denies every read; a client can convict it only if
+// gossip has already told it the log is longer. We sweep the gossip
+// period and report the detection rate for reads issued a fixed delay
+// after the write, plus what the gossip costs in WAN messages.
+
+#include <cstdio>
+
+#include "bench/harness/table.h"
+#include "core/deployment.h"
+
+using namespace wedge;
+
+namespace {
+
+struct OmissionResult {
+  double detection_rate = 0;  // convicted / attempted reads
+  uint64_t gossip_msgs = 0;
+};
+
+/// One round: write a block, wait `read_delay`, read it from an omitting
+/// edge. Detection = the client's gossip knowledge let it convict the
+/// denial. Each round runs a fresh deployment (a convicted edge is
+/// revoked, so rounds cannot share one) with a different seed; the rate
+/// aggregates across rounds.
+OmissionResult Run(SimTime gossip_period, SimTime read_delay, int rounds) {
+  OmissionResult r;
+  int detected = 0;
+  for (int round = 0; round < rounds; ++round) {
+    DeploymentConfig cfg;
+    cfg.seed = 17 + static_cast<uint64_t>(round);
+    cfg.net.jitter_frac = 0.05;  // de-synchronize gossip vs request timing
+    cfg.edge.ops_per_block = 4;
+    cfg.cloud.gossip_period = gossip_period;
+    Deployment d(cfg);
+    d.Start();
+
+    // The edge logs and certifies honestly but denies every read.
+    d.edge().misbehavior().omit_reads = true;
+
+    BlockId bid = 0;
+    bool phase1 = false;
+    std::vector<Bytes> batch(4, Bytes(64, static_cast<uint8_t>(round)));
+    d.client().AddBatch(batch, [&](const Status& s, BlockId b, SimTime) {
+      if (s.ok()) {
+        bid = b;
+        phase1 = true;
+      }
+    });
+    d.sim().RunFor(100 * kMillisecond);  // Phase I + certification
+    if (!phase1) continue;
+    d.sim().RunFor(read_delay);
+
+    Status read_status = Status::OK();
+    d.client().ReadBlock(bid, [&](const Status& s, const Block&, bool,
+                                  SimTime) { read_status = s; });
+    d.sim().RunFor(500 * kMillisecond);
+    if (read_status.IsMaliciousBehavior()) ++detected;
+    r.gossip_msgs += d.cloud().stats().gossip_sent;
+  }
+  r.detection_rate = 100.0 * detected / rounds;
+  r.gossip_msgs /= static_cast<uint64_t>(rounds);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation: gossip period vs omission-attack detection (paper IV-E)");
+  const int rounds = 20;
+  TablePrinter t({"gossip period", "read delay", "detected %", "gossip msgs"});
+  t.PrintHeader();
+  struct Case {
+    SimTime period;
+    const char* label;
+  };
+  const Case periods[] = {{0, "off"},
+                          {5 * kSecond, "5 s"},
+                          {kSecond, "1 s"},
+                          {200 * kMillisecond, "200 ms"},
+                          {50 * kMillisecond, "50 ms"}};
+  for (const auto& c : periods) {
+    for (SimTime delay :
+         {50 * kMillisecond, 300 * kMillisecond, 2 * kSecond}) {
+      auto r = Run(c.period, delay, rounds);
+      t.PrintRow({c.label,
+                  delay >= kSecond ? Fmt(delay / 1.0e6, 1) + " s"
+                                   : Fmt(delay / 1000.0, 0) + " ms",
+                  Fmt(r.detection_rate, 0), std::to_string(r.gossip_msgs)});
+    }
+  }
+  std::printf(
+      "Without gossip the omission is never convicted (the client cannot\n"
+      "tell \"not written\" from \"withheld\"). Faster gossip shrinks the\n"
+      "vulnerable window to roughly one period, at a linear message cost —\n"
+      "exactly the trade-off the paper describes.\n");
+  return 0;
+}

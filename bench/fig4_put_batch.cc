@@ -1,0 +1,71 @@
+// Figure 4: performance of put operations vs batch (block) size.
+//
+// Paper targets (§VI-A): latency (a) — WedgeChain 15→20 ms (Phase I),
+// Cloud-only 78→83 ms, Edge-baseline 109→213 ms as batch grows 100→2000.
+// Throughput (b) — WedgeChain 6.6K→~100K ops/s (~15x), Cloud-only ~18.5x
+// growth, Edge-baseline scales worst.
+
+#include <cstdio>
+
+#include "bench/harness/runner.h"
+#include "bench/harness/table.h"
+
+using namespace wedge;
+
+int main() {
+  Banner("Figure 4: Put performance vs batch size (edge=C, cloud=V)");
+  const size_t batches[] = {100, 500, 1000, 1500, 2000};
+
+  TablePrinter latency({"batch", "WedgeChain", "Cloud-only", "Edge-basln"});
+  TablePrinter thruput({"batch", "WedgeChain", "Cloud-only", "Edge-basln"});
+
+  struct Row {
+    size_t batch;
+    double wc_ms, co_ms, eb_ms;
+    double wc_kops, co_kops, eb_kops;
+  };
+  std::vector<Row> rows;
+
+  for (size_t batch : batches) {
+    ExperimentConfig cfg;
+    cfg.spec.ops_per_batch = batch;
+    cfg.spec.read_fraction = 0.0;
+    cfg.spec.key_space = 100000;
+    cfg.num_clients = 1;
+    cfg.preload_keys = 0;
+    cfg.warmup = 2 * kSecond;
+    cfg.measure = 12 * kSecond;
+
+    auto wc = RunWedge(cfg);
+    auto co = RunCloudOnly(cfg);
+    auto eb = RunEdgeBaseline(cfg);
+    rows.push_back({batch, wc.write_ms, co.write_ms, eb.write_ms, wc.kops,
+                    co.kops, eb.kops});
+  }
+
+  std::printf("\n(a) Latency of committing a batch (ms)\n");
+  latency.PrintHeader();
+  for (const auto& r : rows) {
+    latency.PrintRow({std::to_string(r.batch), Fmt(r.wc_ms), Fmt(r.co_ms),
+                      Fmt(r.eb_ms)});
+  }
+
+  std::printf("\n(b) Throughput (K operations/s)\n");
+  thruput.PrintHeader();
+  for (const auto& r : rows) {
+    thruput.PrintRow({std::to_string(r.batch), Fmt(r.wc_kops), Fmt(r.co_kops),
+                      Fmt(r.eb_kops)});
+  }
+
+  const auto& lo = rows.front();
+  const auto& hi = rows.back();
+  std::printf(
+      "\nScaling 100->2000: WedgeChain %.1fx, Cloud-only %.1fx, "
+      "Edge-baseline %.1fx\n",
+      hi.wc_kops / lo.wc_kops, hi.co_kops / lo.co_kops,
+      hi.eb_kops / lo.eb_kops);
+  std::printf(
+      "Paper shape: WC latency 15->20 ms; CO 78->83 ms; EB 109->213 ms;\n"
+      "             WC ~15x, CO ~18.5x throughput growth; EB scales worst.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment runner: deploys one of the three systems (WedgeChain,
+// cloud-only, edge-baseline) on the simulated network, preloads data,
+// drives closed-loop clients per the workload spec, and returns metrics.
+//
+// Every §VI experiment is a loop over calls into this runner with
+// different parameters.
+
+#pragma once
+
+#include <string>
+
+#include "simnet/datacenter.h"
+#include "simnet/network.h"
+#include "workload/workload.h"
+
+namespace wedge {
+
+struct ExperimentConfig {
+  WorkloadSpec spec;
+  size_t num_clients = 1;
+  Dc client_dc = Dc::kCalifornia;
+  Dc edge_dc = Dc::kCalifornia;
+  Dc cloud_dc = Dc::kVirginia;
+  uint64_t seed = 1;
+  /// Keys loaded (sequentially) before measurement.
+  size_t preload_keys = 0;
+  SimTime warmup = 2 * kSecond;
+  SimTime measure = 20 * kSecond;
+  /// LSMerkle thresholds; the paper's §VI config.
+  std::vector<size_t> lsm_thresholds{10, 10, 100, 1000};
+  size_t page_pairs = 100;
+  /// Ablation: ship full blocks with certification instead of digests.
+  bool certify_full_blocks = false;
+  /// Ablation: clients block on Phase II instead of Phase I (disables the
+  /// "lazy" in lazy certification).
+  bool wait_phase2 = false;
+};
+
+struct ExperimentResult {
+  RunMetrics metrics;
+  NetworkStats net;
+  /// Convenience: mean commit latency in ms.
+  double write_ms = 0;
+  double phase2_ms = 0;
+  double read_ms = 0;
+  double kops = 0;  // throughput in K ops/s
+};
+
+ExperimentResult RunWedge(const ExperimentConfig& cfg);
+ExperimentResult RunCloudOnly(const ExperimentConfig& cfg);
+ExperimentResult RunEdgeBaseline(const ExperimentConfig& cfg);
+
+/// Runs the system named "wedge" | "cloud" | "edge-baseline".
+ExperimentResult RunSystem(const std::string& name,
+                           const ExperimentConfig& cfg);
+
+}  // namespace wedge

@@ -1,0 +1,50 @@
+// Minimal fixed-width table printer for the benchmark binaries, so every
+// bench prints rows/series in the paper's layout.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wedge {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void PrintHeader() const {
+    for (const auto& h : headers_) {
+      std::printf("%-*s", width_, h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size() * static_cast<size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) {
+      std::printf("%-*s", width_, c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace wedge

@@ -1,0 +1,59 @@
+// Microbenchmarks: the crypto substrate (google-benchmark).
+// These are the constants the simulator's cost model abstracts; running
+// them grounds the calibration in real hardware numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/digest.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x1f);
+  Bytes data(static_cast<size_t>(state.range(0)), 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SignVerify(benchmark::State& state) {
+  KeyStore ks;
+  Signer signer = ks.Register(Role::kClient, "bench");
+  Bytes msg(136, 0x77);  // a typical entry
+  for (auto _ : state) {
+    Signature sig = signer.Sign(msg);
+    benchmark::DoNotOptimize(ks.Verify(sig, msg));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_DigestCombine(benchmark::State& state) {
+  Digest256 a = Digest256::Of(Slice("left"));
+  Digest256 b = Digest256::Of(Slice("right"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Digest256::Combine(a, b));
+  }
+}
+BENCHMARK(BM_DigestCombine);
+
+}  // namespace
+}  // namespace wedge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Microbenchmarks: LSMerkle operations — block apply, lookup, merge, and
+// the full get-proof assemble+verify round trip (the edge read path of
+// Fig. 5d).
+
+#include <benchmark/benchmark.h>
+
+#include "core/read_service.h"
+#include "crypto/signature.h"
+#include "log/edge_log.h"
+#include "lsmerkle/lsmerkle_tree.h"
+#include "lsmerkle/merge.h"
+#include "lsmerkle/read_proof.h"
+
+namespace wedge {
+namespace {
+
+struct Fixture {
+  KeyStore ks;
+  Signer client = ks.Register(Role::kClient, "c");
+  Signer edge = ks.Register(Role::kEdge, "e");
+  Signer cloud = ks.Register(Role::kCloud, "l");
+  SeqNum seq = 0;
+  BlockId bid = 0;
+
+  Block MakeBlock(size_t ops, uint64_t key_space) {
+    Block b;
+    b.id = bid++;
+    Rng rng(bid * 7919);
+    for (size_t i = 0; i < ops; ++i) {
+      b.entries.push_back(Entry::Make(
+          client, seq++,
+          EncodePutPayload(rng.NextBelow(key_space), Bytes(100, 0x5a))));
+    }
+    return b;
+  }
+};
+
+void BM_ApplyBlock(benchmark::State& state) {
+  Fixture f;
+  LsmConfig cfg;
+  cfg.level_thresholds = {1u << 30, 10, 100};  // never merge
+  for (auto _ : state) {
+    state.PauseTiming();
+    LsmerkleTree tree(cfg);
+    Block b = f.MakeBlock(static_cast<size_t>(state.range(0)), 100000);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.ApplyBlock(std::move(b)));
+  }
+}
+BENCHMARK(BM_ApplyBlock)->Arg(100)->Arg(1000);
+
+void BM_MergeIntoPages(benchmark::State& state) {
+  Fixture f;
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<KvPair> newer;
+  for (size_t i = 0; i < n; ++i) {
+    newer.push_back(KvPair{i * 3, Bytes(100, 1), i});
+  }
+  auto lower = *MergeIntoPages(
+      [&] {
+        std::vector<KvPair> base;
+        for (size_t i = 0; i < n; ++i) base.push_back(KvPair{i * 2, Bytes(100, 2), 0});
+        return base;
+      }(),
+      {}, 100, 0);
+  for (auto _ : state) {
+    auto copy = newer;
+    benchmark::DoNotOptimize(MergeIntoPages(std::move(copy), lower, 100, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MergeIntoPages)->Arg(1000)->Arg(10000);
+
+void BM_GetAssembleVerify(benchmark::State& state) {
+  Fixture f;
+  LsmConfig cfg;
+  cfg.level_thresholds = {10, 10, 100};
+  LsmerkleTree tree(cfg);
+  EdgeLog log;
+  // Populate: blocks through L0 with periodic local merges.
+  for (int round = 0; round < 20; ++round) {
+    Block b = f.MakeBlock(100, 10000);
+    (void)log.Append(b);
+    (void)log.SetCertificate(BlockCertificate::Make(
+        f.cloud, f.edge.id(), b.id, b.Digest(), round));
+    (void)tree.ApplyBlock(std::move(b));
+    while (auto lvl = tree.NeedsMerge()) {
+      std::vector<KvPair> newer;
+      size_t consumed = 0;
+      if (*lvl == 0) {
+        consumed = tree.l0_count();
+        for (const auto& u : tree.l0_units())
+          for (const auto& p : u.pairs) newer.push_back(p);
+      } else {
+        for (const auto& pg : tree.level(*lvl).pages())
+          for (const auto& p : pg.pairs) newer.push_back(p);
+      }
+      auto merged = *MergeIntoPages(std::move(newer),
+                                    *lvl + 1 < tree.level_count()
+                                        ? tree.level(*lvl + 1).pages()
+                                        : std::vector<Page>{},
+                                    100, 0);
+      (void)tree.InstallMergeRaw(*lvl, consumed, merged);
+      tree.set_epoch(tree.epoch() + 1);
+    }
+  }
+  RootCertificate cert = RootCertificate::Make(
+      f.cloud, f.edge.id(), tree.epoch(),
+      ComputeGlobalRoot(tree.epoch(), tree.LevelRoots()), 0);
+  (void)tree.SetEpochAndCert(cert);
+
+  Rng rng(1);
+  for (auto _ : state) {
+    Key k = rng.NextBelow(10000);
+    GetResponseBody body = AssembleGetResponse(tree, log, k);
+    benchmark::DoNotOptimize(
+        VerifyGetResponse(f.ks, f.edge.id(), k, body));
+  }
+}
+BENCHMARK(BM_GetAssembleVerify);
+
+void BM_Lookup(benchmark::State& state) {
+  Fixture f;
+  LsmConfig cfg;
+  cfg.level_thresholds = {1u << 30, 10, 100};
+  LsmerkleTree tree(cfg);
+  for (int i = 0; i < 10; ++i) {
+    (void)tree.ApplyBlock(f.MakeBlock(100, 10000));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(rng.NextBelow(10000)));
+  }
+}
+BENCHMARK(BM_Lookup);
+
+}  // namespace
+}  // namespace wedge
+
+BENCHMARK_MAIN();

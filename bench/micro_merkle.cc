@@ -1,0 +1,54 @@
+// Microbenchmarks: Merkle tree build / prove / verify vs leaf count.
+
+#include <benchmark/benchmark.h>
+
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+namespace {
+
+std::vector<Digest256> Leaves(size_t n) {
+  std::vector<Digest256> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Digest256::Of(Slice("leaf" + std::to_string(i))));
+  }
+  return leaves;
+}
+
+void BM_MerkleBuild(benchmark::State& state) {
+  auto leaves = Leaves(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MerkleTree t(leaves);
+    benchmark::DoNotOptimize(t.Root());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MerkleProve(benchmark::State& state) {
+  auto leaves = Leaves(static_cast<size_t>(state.range(0)));
+  MerkleTree t(leaves);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Prove(i++ % leaves.size()));
+  }
+}
+BENCHMARK(BM_MerkleProve)->Arg(256)->Arg(4096);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  auto leaves = Leaves(static_cast<size_t>(state.range(0)));
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(7 % leaves.size());
+  const Digest256 leaf = leaves[7 % leaves.size()];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::Verify(t.Root(), leaf, proof));
+  }
+}
+BENCHMARK(BM_MerkleVerify)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace wedge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Microbenchmarks: the full client-visible read path (Fig. 5d's
+// verification-overhead decomposition) — get-proof assembly at the edge,
+// proof verification at the client, and the scan analogues.
+//
+// Fig. 5d reports 0.71 ms best-case read latency for the edge systems,
+// 0.19 ms of which is client-side verification. These benchmarks measure
+// the same two components on this hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "core/read_service.h"
+#include "crypto/signature.h"
+#include "log/edge_log.h"
+#include "lsmerkle/merge.h"
+#include "lsmerkle/scan_proof.h"
+
+namespace wedge {
+namespace {
+
+/// A populated edge state: `blocks` L0 blocks of `ops` puts each, with
+/// one cloud-signed merge so levels and the global root exist.
+struct ReadFixture {
+  KeyStore ks;
+  Signer client = ks.Register(Role::kClient, "c");
+  Signer edge = ks.Register(Role::kEdge, "e");
+  Signer cloud = ks.Register(Role::kCloud, "l");
+  EdgeLog log;
+  LsmerkleTree tree;
+  uint64_t key_space;
+
+  explicit ReadFixture(uint64_t keys = 100000, size_t merged_blocks = 10,
+                       size_t l0_blocks = 5, size_t ops = 100)
+      : tree(LsmConfig{{1u << 30, 1u << 30, 1u << 30}, 100}),
+        key_space(keys) {
+    SeqNum seq = 0;
+    Rng rng(42);
+    auto add_block = [&](BlockId bid) {
+      Block b;
+      b.id = bid;
+      for (size_t i = 0; i < ops; ++i) {
+        b.entries.push_back(Entry::Make(
+            client, seq++,
+            EncodePutPayload(rng.NextBelow(key_space), Bytes(100, 0x5a))));
+      }
+      (void)log.Append(b);
+      (void)log.SetCertificate(
+          BlockCertificate::Make(cloud, edge.id(), bid, b.Digest(), 1000));
+      (void)tree.ApplyBlock(b);
+    };
+    BlockId bid = 0;
+    for (size_t i = 0; i < merged_blocks; ++i) add_block(bid++);
+    // Merge everything so far into level 1.
+    std::vector<KvPair> newer;
+    for (const auto& unit : tree.l0_units()) {
+      newer.insert(newer.end(), unit.pairs.begin(), unit.pairs.end());
+    }
+    auto merged = MergeIntoPages(std::move(newer), {}, 100, 2000);
+    (void)tree.InstallMergeRaw(0, tree.l0_count(), *merged);
+    auto cert = RootCertificate::Make(
+        cloud, edge.id(), 1, ComputeGlobalRoot(1, tree.LevelRoots()), 2000);
+    (void)tree.SetEpochAndCert(cert);
+    // Fresh L0 on top.
+    for (size_t i = 0; i < l0_blocks; ++i) add_block(bid++);
+  }
+};
+
+void BM_AssembleGetResponse(benchmark::State& state) {
+  ReadFixture f;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AssembleGetResponse(f.tree, f.log, rng.NextBelow(f.key_space)));
+  }
+}
+BENCHMARK(BM_AssembleGetResponse);
+
+void BM_VerifyGetResponse(benchmark::State& state) {
+  ReadFixture f;
+  const Key key = 12345 % f.key_space;
+  auto body = AssembleGetResponse(f.tree, f.log, key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyGetResponse(f.ks, f.edge.id(), key, body));
+  }
+}
+BENCHMARK(BM_VerifyGetResponse);
+
+void BM_AssembleScanResponse(benchmark::State& state) {
+  ReadFixture f;
+  const Key span = static_cast<Key>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    const Key lo = rng.NextBelow(f.key_space - span);
+    benchmark::DoNotOptimize(
+        AssembleScanResponse(f.tree, f.log, lo, lo + span));
+  }
+}
+BENCHMARK(BM_AssembleScanResponse)->Arg(100)->Arg(10000);
+
+void BM_VerifyScanResponse(benchmark::State& state) {
+  ReadFixture f;
+  const Key span = static_cast<Key>(state.range(0));
+  const Key lo = 1000;
+  auto body = AssembleScanResponse(f.tree, f.log, lo, lo + span);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyScanResponse(f.ks, f.edge.id(), lo, lo + span, body));
+  }
+}
+BENCHMARK(BM_VerifyScanResponse)->Arg(100)->Arg(10000);
+
+/// The end-to-end local read: assemble + verify, what Fig. 5d calls the
+/// best-case read latency of the edge systems.
+void BM_GetRoundTrip(benchmark::State& state) {
+  ReadFixture f;
+  Rng rng(7);
+  for (auto _ : state) {
+    const Key key = rng.NextBelow(f.key_space);
+    auto body = AssembleGetResponse(f.tree, f.log, key);
+    benchmark::DoNotOptimize(VerifyGetResponse(f.ks, f.edge.id(), key, body));
+  }
+}
+BENCHMARK(BM_GetRoundTrip);
+
+}  // namespace
+}  // namespace wedge
+
+BENCHMARK_MAIN();

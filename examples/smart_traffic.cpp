@@ -1,0 +1,111 @@
+// Smart-traffic: the paper's motivating application (§II-A).
+//
+// A state government monitors city traffic. Sensors and cameras (clients)
+// stream readings to a third-party edge datacenter in the city; the
+// government's own datacenter (the trusted cloud) is far away. Real-time
+// control — rerouting around an accident — must happen at edge latency;
+// the cloud certifies lazily and would punish a lying edge operator.
+//
+//   $ ./build/examples/smart_traffic
+
+#include <cstdio>
+#include <string>
+
+#include "core/deployment.h"
+
+using namespace wedge;
+
+namespace {
+
+Bytes Reading(const std::string& sensor, int vehicles_per_min) {
+  std::string s = sensor + ":flow=" + std::to_string(vehicles_per_min);
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Smart traffic on WedgeChain\n===========================\n\n");
+
+  DeploymentConfig config;
+  config.num_clients = 4;  // 3 road sensors + 1 traffic-control client
+  config.edge.ops_per_block = 6;
+  config.cloud.gossip_period = 200 * kMillisecond;
+  config.edge_dc = Dc::kCalifornia;   // city edge datacenter
+  config.cloud_dc = Dc::kVirginia;    // remote government datacenter
+  Deployment d(config);
+  d.Start();
+
+  WedgeClient& sensor_a = d.client(0);  // highway 17 north
+  WedgeClient& sensor_b = d.client(1);  // highway 17 south
+  WedgeClient& sensor_c = d.client(2);  // downtown camera
+  WedgeClient& control = d.client(3);   // traffic-control service
+
+  // --- Normal traffic: sensors stream readings; Phase I commits keep the
+  // control loop at edge latency.
+  std::printf("Phase 1: normal traffic flows\n");
+  sensor_a.AddBatch({Reading("hwy17N", 95), Reading("hwy17N", 97)},
+                    [](const Status&, BlockId bid, SimTime t) {
+                      std::printf("  [%6.1f ms] hwy17N readings in block %llu"
+                                  " (Phase I, edge-local)\n",
+                                  t / 1000.0,
+                                  static_cast<unsigned long long>(bid));
+                    });
+  sensor_b.AddBatch({Reading("hwy17S", 88), Reading("hwy17S", 90)});
+  sensor_c.AddBatch({Reading("cam-3rd-st", 40), Reading("cam-3rd-st", 42)});
+  d.sim().RunFor(kSecond);
+
+  // --- Incident: sensor A reports a crash; control must react without
+  // waiting for the far-away cloud.
+  std::printf("\nPhase 2: accident on highway 17 north\n");
+  SimTime incident_at = d.sim().now();
+  sensor_a.AddBatch(
+      {Reading("hwy17N", 4), Bytes{'A', 'C', 'C', 'I', 'D', 'E', 'N', 'T'}},
+      [&](const Status&, BlockId bid, SimTime t) {
+        std::printf(
+            "  [%6.1f ms] incident Phase-I committed in block %llu after "
+            "%.1f ms — reroute NOW\n",
+            t / 1000.0, static_cast<unsigned long long>(bid),
+            (t - incident_at) / 1000.0);
+      },
+      [&](const Status&, BlockId, SimTime t) {
+        std::printf(
+            "  [%6.1f ms] incident Phase-II certified by the government "
+            "cloud (%.1f ms later) — audit trail sealed\n",
+            t / 1000.0, (t - incident_at) / 1000.0);
+      });
+  // Meanwhile sensors keep streaming; the edge never blocks on the cloud.
+  sensor_b.AddBatch({Reading("hwy17S", 85), Reading("hwy17S", 83)});
+  sensor_c.AddBatch({Reading("cam-3rd-st", 45), Reading("cam-3rd-st", 47)});
+  d.sim().RunFor(2 * kSecond);
+
+  // --- The control service audits the incident block, proof attached.
+  std::printf("\nPhase 3: control service audits the incident record\n");
+  control.ReadBlock(1, [](const Status& s, const Block& b, bool phase2,
+                          SimTime t) {
+    if (!s.ok()) {
+      std::printf("  [%6.1f ms] read failed: %s\n", t / 1000.0,
+                  s.ToString().c_str());
+      return;
+    }
+    std::printf("  [%6.1f ms] block %llu read, %zu entries, %s\n", t / 1000.0,
+                static_cast<unsigned long long>(b.id), b.entries.size(),
+                phase2 ? "cloud-certified proof attached"
+                       : "awaiting certification");
+  });
+  d.sim().RunFor(kSecond);
+
+  // --- Gossip keeps every participant aware of the log's true size, so a
+  // misbehaving edge operator cannot silently drop incident records.
+  std::printf(
+      "\ngossip: control service knows the log holds %llu blocks "
+      "(omission attacks detectable)\n",
+      static_cast<unsigned long long>(control.gossiped_log_size()));
+
+  std::printf(
+      "cloud certified %llu blocks using only digests — %llu WAN bytes "
+      "total\n",
+      static_cast<unsigned long long>(d.cloud().stats().certified_blocks),
+      static_cast<unsigned long long>(d.net().stats().wan_bytes));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Topology helpers for the two baselines, mirroring core/deployment.h.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/cloud_only.h"
+#include "baselines/edge_baseline.h"
+#include "core/deployment.h"
+
+namespace wedge {
+
+/// Cloud-only: N clients talking straight to one trusted server.
+class CloudOnlyDeployment {
+ public:
+  explicit CloudOnlyDeployment(const DeploymentConfig& config)
+      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77) {
+    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
+    Signer s = keystore_.Register(Role::kCloud, "cloud");
+    server_ = std::make_unique<CloudOnlyServer>(&sim_, net_.get(), &keystore_,
+                                                s, config.cloud_dc,
+                                                config.costs);
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      Signer cs = keystore_.Register(Role::kClient,
+                                     "client-" + std::to_string(i));
+      clients_.push_back(std::make_unique<CloudOnlyClient>(
+          &sim_, net_.get(), &keystore_, cs, server_->id(), config.client_dc,
+          config.costs));
+    }
+  }
+
+  void Start() {
+    server_->Start();
+    for (auto& c : clients_) c->Start();
+  }
+
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+  CloudOnlyServer& server() { return *server_; }
+  CloudOnlyClient& client(size_t i = 0) { return *clients_.at(i); }
+  size_t client_count() const { return clients_.size(); }
+
+ private:
+  DeploymentConfig config_;
+  Simulation sim_;
+  KeyStore keystore_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<CloudOnlyServer> server_;
+  std::vector<std::unique_ptr<CloudOnlyClient>> clients_;
+};
+
+/// Edge-baseline: N clients -> edge -> cloud, synchronous certification.
+class EdgeBaselineDeployment {
+ public:
+  explicit EdgeBaselineDeployment(const DeploymentConfig& config)
+      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77) {
+    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
+    Signer cloud_s = keystore_.Register(Role::kCloud, "cloud");
+    cloud_ = std::make_unique<EbCloud>(&sim_, net_.get(), &keystore_, cloud_s,
+                                       config.cloud_dc, config.edge.lsm,
+                                       config.costs);
+    Signer edge_s = keystore_.Register(Role::kEdge, "edge-0");
+    edge_ = std::make_unique<EbEdge>(&sim_, net_.get(), &keystore_, edge_s,
+                                     cloud_->id(), config.edge_dc, config.edge,
+                                     config.costs);
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      Signer cs = keystore_.Register(Role::kClient,
+                                     "client-" + std::to_string(i));
+      clients_.push_back(std::make_unique<EbClient>(
+          &sim_, net_.get(), &keystore_, cs, edge_->id(), config.client_dc,
+          config.costs));
+    }
+  }
+
+  void Start() {
+    cloud_->Start();
+    edge_->Start();
+    for (auto& c : clients_) c->Start();
+  }
+
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+  EbCloud& cloud() { return *cloud_; }
+  EbEdge& edge() { return *edge_; }
+  EbClient& client(size_t i = 0) { return *clients_.at(i); }
+  size_t client_count() const { return clients_.size(); }
+
+ private:
+  DeploymentConfig config_;
+  Simulation sim_;
+  KeyStore keystore_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<EbCloud> cloud_;
+  std::unique_ptr<EbEdge> edge_;
+  std::vector<std::unique_ptr<EbClient>> clients_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,151 @@
+#include "baselines/cloud_only.h"
+
+#include "common/logging.h"
+
+namespace wedge {
+
+CloudOnlyServer::CloudOnlyServer(Simulation* sim, SimNetwork* net,
+                                 const KeyStore* keystore, Signer signer,
+                                 Dc location, CostModel costs)
+    : sim_(sim),
+      net_(net),
+      keystore_(keystore),
+      signer_(std::move(signer)),
+      location_(location),
+      costs_(costs),
+      fg_(sim) {}
+
+void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
+  auto env = Envelope::Open(*keystore_, payload);
+  if (!env.ok()) return;
+  switch (env->type) {
+    case MsgType::kCloudWriteRequest: {
+      auto req = CloudWriteRequest::Decode(env->body);
+      if (!req.ok()) return;
+      const SimTime serial = costs_.CloudBatchSerial(req->entries.size());
+      const SimTime done = fg_.Reserve(serial) + costs_.cloud_batch_parallel;
+      sim_->ScheduleAt(done, [this, from, r = std::move(*req)] {
+        HandleWrite(from, r, sim_->now());
+      });
+      break;
+    }
+    case MsgType::kCloudReadRequest: {
+      auto req = CloudReadRequest::Decode(env->body);
+      if (!req.ok()) return;
+      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleRead(from, r, sim_->now());
+      });
+      break;
+    }
+    default:
+      break;
+  }
+  (void)now;
+}
+
+void CloudOnlyServer::HandleWrite(NodeId from, const CloudWriteRequest& req,
+                                  SimTime now) {
+  Block block;
+  block.id = next_bid_++;
+  block.created_at = now;
+  for (const Entry& e : req.entries) {
+    if (!e.Validate(*keystore_).ok()) continue;
+    if (req.is_kv) {
+      auto op = DecodePutPayload(e.payload);
+      if (op.ok()) kv_[op->key] = op->value;
+    }
+    block.entries.push_back(e);
+  }
+  (void)log_.Append(block);
+  blocks_committed_++;
+  CloudWriteResponse resp{req.req_id, block.id};
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kCloudWriteResponse,
+                            resp.Encode()));
+}
+
+void CloudOnlyServer::HandleRead(NodeId from, const CloudReadRequest& req,
+                                 SimTime now) {
+  reads_served_++;
+  CloudReadResponse resp;
+  resp.req_id = req.req_id;
+  auto it = kv_.find(req.key);
+  if (it != kv_.end()) {
+    resp.found = true;
+    resp.value = it->second;
+  }
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kCloudReadResponse,
+                            resp.Encode()));
+  (void)now;
+}
+
+CloudOnlyClient::CloudOnlyClient(Simulation* sim, SimNetwork* net,
+                                 const KeyStore* keystore, Signer signer,
+                                 NodeId server, Dc location, CostModel costs)
+    : sim_(sim),
+      net_(net),
+      keystore_(keystore),
+      signer_(std::move(signer)),
+      server_(server),
+      location_(location),
+      costs_(costs) {}
+
+void CloudOnlyClient::WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                                 WriteCb cb) {
+  CloudWriteRequest req;
+  req.req_id = next_req_++;
+  req.is_kv = true;
+  for (const auto& [k, v] : kvs) {
+    req.entries.push_back(
+        Entry::Make(signer_, next_entry_seq_++, EncodePutPayload(k, v)));
+  }
+  pending_writes_[req.req_id] = std::move(cb);
+  Bytes body = req.Encode();
+  net_->After(costs_.client_sign, [this, b = std::move(body)]() mutable {
+    net_->Send(id(), server_,
+               Envelope::Seal(signer_, MsgType::kCloudWriteRequest,
+                              std::move(b)));
+  });
+}
+
+void CloudOnlyClient::Read(Key key, ReadCb cb) {
+  CloudReadRequest req{next_req_++, key};
+  pending_reads_[req.req_id] = std::move(cb);
+  net_->Send(id(), server_,
+             Envelope::Seal(signer_, MsgType::kCloudReadRequest,
+                            req.Encode()));
+}
+
+void CloudOnlyClient::OnMessage(NodeId from, Slice payload, SimTime now) {
+  if (from != server_) return;
+  auto env = Envelope::Open(*keystore_, payload);
+  if (!env.ok()) return;
+  switch (env->type) {
+    case MsgType::kCloudWriteResponse: {
+      auto resp = CloudWriteResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_writes_.find(resp->req_id);
+      if (it == pending_writes_.end()) return;
+      WriteCb cb = std::move(it->second);
+      pending_writes_.erase(it);
+      if (cb) cb(Status::OK(), now);
+      break;
+    }
+    case MsgType::kCloudReadResponse: {
+      auto resp = CloudReadResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_reads_.find(resp->req_id);
+      if (it == pending_reads_.end()) return;
+      ReadCb cb = std::move(it->second);
+      pending_reads_.erase(it);
+      // Trusted result: no verification cost (Fig. 5d).
+      if (cb) cb(Status::OK(), resp->found, resp->value, now);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace wedge

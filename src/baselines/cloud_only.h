@@ -1,0 +1,91 @@
+// Cloud-only baseline (paper §VI): every request is served by the trusted
+// cloud node. Clients fully trust the results (no proofs, no
+// verification), but every operation pays the wide-area round trip.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "core/config.h"
+#include "crypto/signature.h"
+#include "log/block_builder.h"
+#include "log/edge_log.h"
+#include "lsmerkle/kv.h"
+#include "simnet/cost_model.h"
+#include "simnet/cpu.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+#include "wire/message.h"
+#include "wire/protocol.h"
+
+namespace wedge {
+
+/// The trusted server: appends batches to its log / key-value state and
+/// serves reads directly.
+class CloudOnlyServer : public Endpoint {
+ public:
+  CloudOnlyServer(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+                  Signer signer, Dc location, CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+  NodeId id() const { return signer_.id(); }
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+  uint64_t blocks_committed() const { return blocks_committed_; }
+  uint64_t reads_served() const { return reads_served_; }
+
+ private:
+  void HandleWrite(NodeId from, const CloudWriteRequest& req, SimTime now);
+  void HandleRead(NodeId from, const CloudReadRequest& req, SimTime now);
+
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  Dc location_;
+  CostModel costs_;
+  CpuLane fg_;
+
+  EdgeLog log_;
+  BlockId next_bid_ = 0;
+  std::unordered_map<Key, Bytes> kv_;
+  uint64_t blocks_committed_ = 0;
+  uint64_t reads_served_ = 0;
+};
+
+/// The cloud-only client: sends batches and interactive reads straight to
+/// the cloud; trusts responses without verification (Fig. 5d).
+class CloudOnlyClient : public Endpoint {
+ public:
+  using WriteCb = std::function<void(const Status&, SimTime)>;
+  using ReadCb =
+      std::function<void(const Status&, bool found, const Bytes&, SimTime)>;
+
+  CloudOnlyClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+                  Signer signer, NodeId server, Dc location, CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+  NodeId id() const { return signer_.id(); }
+
+  void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
+  void Read(Key key, ReadCb cb);
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+ private:
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  NodeId server_;
+  Dc location_;
+  CostModel costs_;
+
+  SeqNum next_req_ = 1;
+  SeqNum next_entry_seq_ = 1;
+  std::unordered_map<SeqNum, WriteCb> pending_writes_;
+  std::unordered_map<SeqNum, ReadCb> pending_reads_;
+};
+
+}  // namespace wedge

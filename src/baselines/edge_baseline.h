@@ -1,0 +1,167 @@
+// Edge-baseline (paper §II-C, §VI): the conventional way to use an
+// untrusted edge. Every write is certified at the cloud *synchronously*
+// before the edge answers the client:
+//
+//   client -> edge -> cloud (full block!) -> edge -> client
+//
+// The cloud maintains the authoritative mLSM for the edge, regenerates
+// merged pages + Merkle roots on every write, and ships them back — so
+// the cloud sits on the write path (latency) and the edge-cloud link
+// carries data both ways (bandwidth), exactly the costs WedgeChain's lazy
+// + data-free certification removes.
+//
+// Reads are served at the edge from the mirrored, fully certified state
+// with the same proofs as WedgeChain (the paper reports the mLSM-index
+// variant). While a write's round trip is in flight the partition is
+// write-locked and reads queue behind it: the mutable state has no
+// snapshot isolation — this is the "synchronous coordination overhead"
+// visible in the mixed-workload experiment (Fig. 5b).
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "core/read_service.h"
+#include "crypto/signature.h"
+#include "log/edge_log.h"
+#include "lsmerkle/lsmerkle_tree.h"
+#include "simnet/cost_model.h"
+#include "simnet/cpu.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+#include "wire/message.h"
+#include "wire/protocol.h"
+
+namespace wedge {
+
+/// The cloud side: authoritative mLSM per edge, synchronous certification.
+class EbCloud : public Endpoint {
+ public:
+  EbCloud(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+          Signer signer, Dc location, LsmConfig lsm_config, CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+  NodeId id() const { return signer_.id(); }
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+  uint64_t blocks_certified() const { return blocks_certified_; }
+  uint64_t merges_performed() const { return merges_performed_; }
+
+ private:
+  struct EdgeState {
+    LsmerkleTree tree;
+    Epoch epoch = 0;
+    explicit EdgeState(const LsmConfig& cfg) : tree(cfg) {}
+  };
+
+  void HandleCertify(NodeId edge, EbCertify msg, SimTime now);
+
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  Dc location_;
+  LsmConfig lsm_config_;
+  CostModel costs_;
+  CpuLane merge_lane_;
+
+  std::unordered_map<NodeId, EdgeState> edges_;
+  uint64_t blocks_certified_ = 0;
+  uint64_t merges_performed_ = 0;
+};
+
+/// The edge side: forwards every write to the cloud before replying;
+/// serves proof-carrying reads from the mirrored certified state.
+class EbEdge : public Endpoint {
+ public:
+  EbEdge(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+         Signer signer, NodeId cloud, Dc location, EdgeConfig config,
+         CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+  NodeId id() const { return signer_.id(); }
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+  const LsmerkleTree& lsm() const { return lsm_; }
+  uint64_t writes_committed() const { return writes_committed_; }
+  uint64_t gets_served() const { return gets_served_; }
+
+ private:
+  struct PendingWrite {
+    NodeId client;
+    SeqNum req_id;
+    Block block;  // applied locally once the cloud certifies it
+  };
+
+  void HandleWrite(NodeId from, AddRequest req, SimTime now);
+  void HandleGet(NodeId from, const GetRequest& req, SimTime now);
+  void HandleCertifyResponse(EbCertifyResponse resp, SimTime now);
+  void TrySendNextCertify();
+  void DrainDeferredReads();
+
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  NodeId cloud_;
+  Dc location_;
+  EdgeConfig config_;
+  CostModel costs_;
+  CpuLane fg_;
+
+  EdgeLog log_;
+  LsmerkleTree lsm_;
+  BlockId next_bid_ = 0;
+
+  /// Writes pipeline through edge processing but their certification
+  /// round trips serialize (blocks must install in order); the partition
+  /// is read-locked while a round trip is in flight — the mutable state
+  /// has no snapshot isolation, unlike WedgeChain's immutable mLSM.
+  bool certify_in_flight_ = false;
+  std::optional<PendingWrite> in_flight_;
+  std::deque<PendingWrite> certify_queue_;
+  std::deque<std::function<void()>> deferred_reads_;
+
+  uint64_t writes_committed_ = 0;
+  uint64_t gets_served_ = 0;
+};
+
+/// The edge-baseline client: batched writes, interactive verified gets.
+class EbClient : public Endpoint {
+ public:
+  using WriteCb = std::function<void(const Status&, SimTime)>;
+  using GetCb =
+      std::function<void(const Status&, const VerifiedGet&, SimTime)>;
+
+  EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+           Signer signer, NodeId edge, Dc location, CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+  NodeId id() const { return signer_.id(); }
+
+  void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
+  void Get(Key key, GetCb cb);
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+ private:
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  NodeId edge_;
+  Dc location_;
+  CostModel costs_;
+
+  SeqNum next_req_ = 1;
+  SeqNum next_entry_seq_ = 1;
+  std::unordered_map<SeqNum, WriteCb> pending_writes_;
+  std::unordered_map<SeqNum, std::pair<Key, GetCb>> pending_gets_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,189 @@
+// Canonical binary encoding used for all WedgeChain wire messages and
+// digests.
+//
+// All multi-byte integers are little-endian. Variable-size payloads are
+// length-prefixed with a u32. The encoding is canonical: a given logical
+// message has exactly one byte representation, which matters because
+// digests and signatures are computed over encoded bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace wedge {
+
+/// Appends primitive values to a growable byte buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Unsigned LEB128; used where small values dominate.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(Slice s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s);
+  }
+
+  void PutString(const std::string& s) { PutBytes(Slice(s)); }
+
+  /// Raw bytes with no length prefix (caller knows the length).
+  void PutRaw(Slice s) { buf_.insert(buf_.end(), s.data(), s.data() + s.size()); }
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes primitive values from a byte view. Every getter returns an
+/// error Status on underflow; decoding never reads out of bounds.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : in_(input) {}
+
+  /// Owning overload: keeps the buffer alive for the decoder's lifetime.
+  /// Without it, `Decoder dec(msg.Encode());` would view a destroyed
+  /// temporary.
+  explicit Decoder(Bytes&& owned)
+      : owned_(std::move(owned)), in_(owned_) {}
+
+  Result<uint8_t> GetU8() {
+    WEDGE_RETURN_NOT_OK(Need(1));
+    uint8_t v = in_[0];
+    in_.RemovePrefix(1);
+    return v;
+  }
+
+  Result<uint16_t> GetU16() {
+    WEDGE_RETURN_NOT_OK(Need(2));
+    uint16_t v = static_cast<uint16_t>(in_[0]) |
+                 static_cast<uint16_t>(in_[1]) << 8;
+    in_.RemovePrefix(2);
+    return v;
+  }
+
+  Result<uint32_t> GetU32() {
+    WEDGE_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in_[i]) << (8 * i);
+    in_.RemovePrefix(4);
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    WEDGE_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in_[i]) << (8 * i);
+    in_.RemovePrefix(8);
+    return v;
+  }
+
+  Result<int64_t> GetI64() {
+    auto r = GetU64();
+    if (!r.ok()) return r.status();
+    return static_cast<int64_t>(*r);
+  }
+
+  Result<bool> GetBool() {
+    auto r = GetU8();
+    if (!r.ok()) return r.status();
+    if (*r > 1) return Status::Corruption("bool byte out of range");
+    return *r == 1;
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      WEDGE_RETURN_NOT_OK(Need(1));
+      uint8_t b = in_[0];
+      in_.RemovePrefix(1);
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    return Status::Corruption("varint too long");
+  }
+
+  Result<Bytes> GetBytes() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    WEDGE_RETURN_NOT_OK(Need(*len));
+    Bytes out(in_.data(), in_.data() + *len);
+    in_.RemovePrefix(*len);
+    return out;
+  }
+
+  Result<std::string> GetString() {
+    auto b = GetBytes();
+    if (!b.ok()) return b.status();
+    return std::string(b->begin(), b->end());
+  }
+
+  /// Copies exactly `n` raw bytes (no length prefix).
+  Result<Bytes> GetRaw(size_t n) {
+    WEDGE_RETURN_NOT_OK(Need(n));
+    Bytes out(in_.data(), in_.data() + n);
+    in_.RemovePrefix(n);
+    return out;
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return in_.size(); }
+
+  /// OK iff the input was consumed exactly; call at end of message decode.
+  Status ExpectDone() const {
+    if (in_.size() != 0) {
+      return Status::Corruption("trailing bytes after message: " +
+                                std::to_string(in_.size()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (in_.size() < n) {
+      return Status::Corruption("decode underflow: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(in_.size()));
+    }
+    return Status::OK();
+  }
+
+  Bytes owned_;  // declared before in_ so in_ can view it
+  Slice in_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,19 @@
+// Hex encoding/decoding for digests and debug output.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace wedge {
+
+/// Lower-case hex encoding of `bytes` ("deadbeef").
+std::string HexEncode(Slice bytes);
+
+/// Parses a hex string (upper or lower case). Errors on odd length or
+/// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace wedge

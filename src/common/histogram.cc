@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wedge {
+
+namespace {
+// 64 major buckets (powers of two) x 16 minor buckets each: ~6% relative
+// error worst case, constant memory.
+constexpr int kMinorBits = 4;
+constexpr int kMinorCount = 1 << kMinorBits;
+constexpr size_t kBucketCount = 64 * kMinorCount;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < kMinorCount) return static_cast<size_t>(v);
+  int msb = 63 - __builtin_clzll(v);
+  // Sub-bucket index from the bits just below the MSB.
+  uint64_t minor = (v >> (msb - kMinorBits)) & (kMinorCount - 1);
+  size_t idx = static_cast<size_t>(msb - kMinorBits + 1) * kMinorCount +
+               static_cast<size_t>(minor);
+  return std::min(idx, kBucketCount - 1);
+}
+
+int64_t Histogram::BucketUpper(size_t bucket) {
+  if (bucket < kMinorCount) return static_cast<int64_t>(bucket);
+  size_t major = bucket / kMinorCount;
+  size_t minor = bucket % kMinorCount;
+  // Inverse of BucketFor: value ~ (kMinorCount + minor) << (major - 1).
+  return static_cast<int64_t>((static_cast<uint64_t>(kMinorCount) + minor)
+                              << (major - 1));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(BucketUpper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+std::string Histogram::Summary(double scale_to_ms) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fms p50=%.2fms p99=%.2fms max=%.2fms",
+                static_cast<unsigned long long>(count_), Mean() / scale_to_ms,
+                static_cast<double>(Percentile(50)) / scale_to_ms,
+                static_cast<double>(Percentile(99)) / scale_to_ms,
+                static_cast<double>(max()) / scale_to_ms);
+  return std::string(buf);
+}
+
+}  // namespace wedge

@@ -1,0 +1,54 @@
+// Latency histogram with log-scaled buckets; used by the benchmark harness
+// to report means and percentiles the way the paper's figures do.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wedge {
+
+/// Records non-negative observations (typically latencies in microseconds)
+/// and answers mean / percentile / min / max queries.
+///
+/// Values are binned into exponentially-growing buckets (~1% relative
+/// resolution), so memory stays constant regardless of sample count.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  /// Approximate value at percentile `p` in [0, 100].
+  int64_t Percentile(double p) const;
+  int64_t Median() const { return Percentile(50.0); }
+  int64_t P99() const { return Percentile(99.0); }
+
+  void Reset();
+
+  /// One-line human-readable summary, e.g.
+  /// "n=1000 mean=15.2ms p50=15.0ms p99=18.1ms".
+  std::string Summary(double scale_to_ms = 1000.0) const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketUpper(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace wedge

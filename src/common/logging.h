@@ -1,0 +1,54 @@
+// Minimal leveled logging. Off by default in benchmarks; tests and examples
+// can raise the level. Not thread-safe beyond line atomicity (stderr).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wedge {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace wedge
+
+#define WEDGE_LOG(level)                                          \
+  if (::wedge::LogLevel::level < ::wedge::GetLogLevel()) {        \
+  } else                                                          \
+    ::wedge::internal::LogLine(::wedge::LogLevel::level)
+
+#define WLOG_TRACE WEDGE_LOG(kTrace)
+#define WLOG_DEBUG WEDGE_LOG(kDebug)
+#define WLOG_INFO WEDGE_LOG(kInfo)
+#define WLOG_WARN WEDGE_LOG(kWarn)
+#define WLOG_ERROR WEDGE_LOG(kError)

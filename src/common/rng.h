@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in WedgeChain (workloads, network jitter,
+// scheduling tie-breaks) draws from these generators so a single seed
+// reproduces an entire experiment.
+
+#pragma once
+
+#include <cstdint>
+
+namespace wedge {
+
+/// SplitMix64: used to seed other generators and for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Fast, 256-bit state,
+/// statistically strong for simulation purposes (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace wedge

@@ -1,0 +1,68 @@
+// Slice: a non-owning view over a contiguous run of bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wedge {
+
+/// Byte buffer type used throughout WedgeChain.
+using Bytes = std::vector<uint8_t>;
+
+/// A non-owning (pointer, length) view over bytes; the RocksDB idiom.
+/// The viewed memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const Bytes& b)  // NOLINT(google-explicit-constructor)
+      : data_(b.data()), size_(b.size()) {}
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const char* s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s)), size_(std::strlen(s)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Copies the viewed bytes into an owning buffer.
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return Compare(other) != 0; }
+  bool operator<(const Slice& other) const { return Compare(other) < 0; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace wedge

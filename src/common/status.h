@@ -1,0 +1,154 @@
+// Status: the error-handling currency of WedgeChain.
+//
+// No exceptions cross public API boundaries (Google/Arrow style). Functions
+// that can fail return Status, or Result<T> (see result.h) when they also
+// produce a value.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wedge {
+
+/// Canonical error codes used across all WedgeChain modules.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  /// A cryptographic check failed: bad signature, digest mismatch, forged
+  /// proof. Distinct from kCorruption so callers can escalate to disputes.
+  kSecurityViolation = 5,
+  /// The peer was detected equivocating / lying; punishment applies.
+  kMaliciousBehavior = 6,
+  kFailedPrecondition = 7,
+  kOutOfRange = 8,
+  kUnavailable = 9,
+  kTimeout = 10,
+  kResourceExhausted = 11,
+  kNotImplemented = 12,
+  kInternal = 13,
+};
+
+/// Returns the canonical spelling of a code, e.g. "SecurityViolation".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status SecurityViolation(std::string msg) {
+    return Status(StatusCode::kSecurityViolation, std::move(msg));
+  }
+  static Status MaliciousBehavior(std::string msg) {
+    return Status(StatusCode::kMaliciousBehavior, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsSecurityViolation() const {
+    return code_ == StatusCode::kSecurityViolation;
+  }
+  bool IsMaliciousBehavior() const {
+    return code_ == StatusCode::kMaliciousBehavior;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace wedge
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define WEDGE_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::wedge::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates `expr` (a Result<T> expression); on error returns its status,
+/// otherwise assigns the value to `lhs`.
+#define WEDGE_ASSIGN_OR_RETURN(lhs, expr)        \
+  do {                                           \
+    auto _res = (expr);                          \
+    if (!_res.ok()) return _res.status();        \
+    lhs = std::move(_res).ValueOrDie();          \
+  } while (0)

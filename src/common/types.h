@@ -1,0 +1,35 @@
+// Shared scalar type aliases for the WedgeChain protocol.
+
+#pragma once
+
+#include <cstdint>
+
+namespace wedge {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+/// Identifies a node (client, edge, or cloud) in a deployment. Node ids are
+/// assigned by the trust authority when identities are registered; they are
+/// stable for the lifetime of a deployment.
+using NodeId = uint32_t;
+
+/// Block ids are unique monotonic numbers assigned by an edge node; unique
+/// per edge node, not across edge nodes (paper §III).
+using BlockId = uint64_t;
+
+/// Client-assigned monotonically increasing sequence number, used for
+/// replay protection and request/response matching.
+using SeqNum = uint64_t;
+
+/// Epoch number for LSMerkle snapshots: increments on every cloud-applied
+/// merge. A read proof is anchored to one epoch's global root.
+using Epoch = uint64_t;
+
+constexpr NodeId kInvalidNodeId = 0xffffffff;
+
+}  // namespace wedge

@@ -1,0 +1,509 @@
+#include "core/client.h"
+
+#include "common/logging.h"
+
+namespace wedge {
+
+WedgeClient::WedgeClient(Simulation* sim, SimNetwork* net,
+                         const KeyStore* keystore, Signer signer, NodeId edge,
+                         NodeId cloud, Dc location, ClientConfig config,
+                         CostModel costs)
+    : sim_(sim),
+      net_(net),
+      keystore_(keystore),
+      signer_(std::move(signer)),
+      edge_(edge),
+      cloud_(cloud),
+      location_(location),
+      config_(config),
+      costs_(costs) {}
+
+void WedgeClient::SendSealed(NodeId to, MsgType type, Bytes body) {
+  net_->Send(id(), to, Envelope::Seal(signer_, type, std::move(body)));
+}
+
+void WedgeClient::AddBatch(std::vector<Bytes> payloads, Phase1Cb on_phase1,
+                           Phase2Cb on_phase2) {
+  std::vector<Entry> entries;
+  entries.reserve(payloads.size());
+  for (auto& p : payloads) {
+    entries.push_back(Entry::Make(signer_, next_entry_seq_++, std::move(p)));
+  }
+  SendWrite(MsgType::kAddRequest, std::move(entries), std::move(on_phase1),
+            std::move(on_phase2));
+}
+
+void WedgeClient::PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                           Phase1Cb on_phase1, Phase2Cb on_phase2) {
+  std::vector<Entry> entries;
+  entries.reserve(kvs.size());
+  for (const auto& [k, v] : kvs) {
+    entries.push_back(Entry::Make(signer_, next_entry_seq_++,
+                                  EncodePutPayload(k, v)));
+  }
+  SendWrite(MsgType::kPutRequest, std::move(entries), std::move(on_phase1),
+            std::move(on_phase2));
+}
+
+void WedgeClient::SendWrite(MsgType type, std::vector<Entry> entries,
+                            Phase1Cb cb1, Phase2Cb cb2) {
+  AddRequest req;
+  req.req_id = next_req_id_++;
+  PendingWrite pending;
+  pending.sent_at = sim_->now();
+  pending.on_phase1 = std::move(cb1);
+  pending.on_phase2 = std::move(cb2);
+  for (const auto& e : entries) {
+    pending.remaining_entries.emplace_back(e.client, e.seq);
+  }
+  req.entries = std::move(entries);
+  pending_writes_.emplace(req.req_id, std::move(pending));
+  // Signing cost is charged as send latency.
+  Bytes body = req.Encode();
+  net_->After(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
+    SendSealed(edge_, type, std::move(b));
+  });
+}
+
+void WedgeClient::AddReserved(Bytes payload, Phase1Cb on_phase1,
+                              Phase2Cb on_phase2) {
+  ReserveRequest req;
+  req.req_id = next_req_id_++;
+  PendingReserve pending;
+  pending.payload = std::move(payload);
+  pending.on_phase1 = std::move(on_phase1);
+  pending.on_phase2 = std::move(on_phase2);
+  pending_reserves_.emplace(req.req_id, std::move(pending));
+  SendSealed(edge_, MsgType::kReserveRequest, req.Encode());
+}
+
+void WedgeClient::ReadBlock(BlockId bid, ReadCb cb) {
+  ReadRequest req;
+  req.req_id = next_req_id_++;
+  req.bid = bid;
+  PendingRead pending;
+  pending.sent_at = sim_->now();
+  pending.bid = bid;
+  pending.cb = std::move(cb);
+  pending_reads_.emplace(req.req_id, std::move(pending));
+  SendSealed(edge_, MsgType::kReadRequest, req.Encode());
+}
+
+void WedgeClient::Get(Key key, GetCb cb) {
+  GetRequest req;
+  req.req_id = next_req_id_++;
+  req.key = key;
+  PendingGet pending;
+  pending.sent_at = sim_->now();
+  pending.key = key;
+  pending.cb = std::move(cb);
+  pending_gets_.emplace(req.req_id, std::move(pending));
+  SendSealed(edge_, MsgType::kGetRequest, req.Encode());
+}
+
+void WedgeClient::Scan(Key lo, Key hi, ScanCb cb) {
+  ScanRequest req;
+  req.req_id = next_req_id_++;
+  req.lo = lo;
+  req.hi = hi;
+  PendingScan pending;
+  pending.sent_at = sim_->now();
+  pending.lo = lo;
+  pending.hi = hi;
+  pending.cb = std::move(cb);
+  pending_scans_.emplace(req.req_id, std::move(pending));
+  SendSealed(edge_, MsgType::kScanRequest, req.Encode());
+}
+
+void WedgeClient::OnMessage(NodeId from, Slice payload, SimTime now) {
+  auto env = Envelope::Open(*keystore_, payload);
+  if (!env.ok()) {
+    WLOG_DEBUG << "client " << id() << ": dropping message: " << env.status();
+    return;
+  }
+  switch (env->type) {
+    case MsgType::kAddResponse:
+      HandleAddResponse(from, *env, now);
+      break;
+    case MsgType::kBlockProof: {
+      auto proof = BlockProof::Decode(env->body);
+      if (proof.ok()) HandleBlockProof(*proof, now);
+      break;
+    }
+    case MsgType::kReadResponse:
+      HandleReadResponse(from, *env, now);
+      break;
+    case MsgType::kGetResponse:
+      HandleGetResponse(*env, now);
+      break;
+    case MsgType::kScanResponse:
+      HandleScanResponse(*env, now);
+      break;
+    case MsgType::kGossip: {
+      if (from != cloud_) break;
+      auto g = Gossip::Decode(env->body);
+      if (g.ok() && g->edge == edge_ && g->log_size > gossiped_log_size_) {
+        gossiped_log_size_ = g->log_size;
+      }
+      break;
+    }
+    case MsgType::kReserveResponse: {
+      if (from != edge_) break;
+      auto resp = ReserveResponse::Decode(env->body);
+      if (!resp.ok()) break;
+      auto it = pending_reserves_.find(resp->req_id);
+      if (it == pending_reserves_.end()) break;
+      PendingReserve pending = std::move(it->second);
+      pending_reserves_.erase(it);
+      // Sign the entry for exactly the reserved position and submit it.
+      // Best-effort semantics (§IV-E): a missed slot surfaces through the
+      // proof-timeout path and the caller re-reserves.
+      Entry e = Entry::MakeReserved(signer_, next_entry_seq_++,
+                                    pending.payload, resp->bid, resp->slot);
+      AddRequest req;
+      req.req_id = next_req_id_++;
+      PendingWrite write;
+      write.sent_at = now;
+      write.remaining_entries.emplace_back(e.client, e.seq);
+      write.on_phase1 = std::move(pending.on_phase1);
+      write.on_phase2 = std::move(pending.on_phase2);
+      req.entries.push_back(std::move(e));
+      pending_writes_.emplace(req.req_id, std::move(write));
+      Bytes body = req.Encode();
+      net_->After(costs_.client_sign,
+                  [this, b = std::move(body)]() mutable {
+                    SendSealed(edge_, MsgType::kAddRequest, std::move(b));
+                  });
+      break;
+    }
+    case MsgType::kDisputeVerdict: {
+      if (from != cloud_) break;
+      auto v = DisputeVerdict::Decode(env->body);
+      if (v.ok() && v->edge_guilty) stats_.disputes_upheld++;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void WedgeClient::HandleAddResponse(NodeId from, const Envelope& env,
+                                    SimTime now) {
+  if (from != edge_) return;
+  auto resp = AddResponse::Decode(env.body);
+  if (!resp.ok()) return;
+  auto it = pending_writes_.find(resp->req_id);
+  if (it == pending_writes_.end() || it->second.phase1_done) return;
+  PendingWrite& pending = it->second;
+
+  // Cross off the entries this block covers (Algorithm 1 line 4). The
+  // signed response is kept as dispute evidence for this block.
+  size_t before = pending.remaining_entries.size();
+  std::erase_if(pending.remaining_entries,
+                [&](const std::pair<NodeId, SeqNum>& id) {
+                  return resp->block.Contains(id.first, id.second);
+                });
+  if (pending.remaining_entries.size() == before) {
+    // A response that advances nothing is a lie (our entries are absent).
+    stats_.verification_failures++;
+    if (pending.on_phase1) {
+      pending.on_phase1(
+          Status::SecurityViolation("entry missing from echoed block"),
+          resp->bid, now);
+    }
+    pending_writes_.erase(it);
+    return;
+  }
+  if (pending.block_digests.empty()) pending.first_bid = resp->bid;
+  pending.block_digests[resp->bid] = resp->block.Digest();
+  pending.evidence[resp->bid] = env.raw;
+  write_by_bid_[resp->bid] = resp->req_id;
+
+  if (!pending.remaining_entries.empty()) return;  // more blocks to come
+
+  pending.phase1_done = true;
+  stats_.phase1_commits++;
+
+  const SimTime done = now + costs_.client_verify_add;
+  Phase1Cb cb = pending.on_phase1;
+  BlockId bid = pending.first_bid;
+  if (cb) {
+    sim_->ScheduleAt(done, [cb, bid, done] { cb(Status::OK(), bid, done); });
+  }
+  ArmProofTimeout(resp->req_id, bid);
+}
+
+void WedgeClient::ArmProofTimeout(SeqNum req_id, BlockId bid) {
+  if (config_.proof_timeout <= 0) return;
+  net_->After(config_.proof_timeout, [this, req_id, bid] {
+    auto it = pending_writes_.find(req_id);
+    if (it == pending_writes_.end()) return;  // Phase II already done
+    // Proofs still outstanding: escalate each unproven block to the cloud
+    // with our signed evidence.
+    for (const auto& [b, ev] : it->second.evidence) {
+      RaiseDispute(DisputeKind::kAddMismatch, b, ev);
+      write_by_bid_.erase(b);
+    }
+    if (it->second.on_phase2) {
+      it->second.on_phase2(
+          Status::Timeout("no block-proof before timeout; dispute raised"),
+          bid, sim_->now());
+    }
+    pending_writes_.erase(it);
+  });
+}
+
+void WedgeClient::HandleBlockProof(const BlockProof& proof, SimTime now) {
+  if (!proof.cert.Validate(*keystore_).ok() || proof.cert.edge != edge_) {
+    return;
+  }
+  // Writes waiting on this block.
+  auto wit = write_by_bid_.find(proof.cert.bid);
+  if (wit != write_by_bid_.end()) {
+    auto pit = pending_writes_.find(wit->second);
+    if (pit != pending_writes_.end()) {
+      PendingWrite& pending = pit->second;
+      auto dit = pending.block_digests.find(proof.cert.bid);
+      if (dit != pending.block_digests.end()) {
+        if (proof.cert.digest == dit->second) {
+          pending.block_digests.erase(dit);
+          pending.evidence.erase(proof.cert.bid);
+          if (pending.phase1_done && pending.block_digests.empty()) {
+            // Every involved block certified: Phase II commit.
+            stats_.phase2_commits++;
+            if (pending.on_phase2) {
+              pending.on_phase2(Status::OK(), proof.cert.bid, now);
+            }
+            pending_writes_.erase(pit);
+          }
+        } else {
+          // The cloud certified a different block for this bid: the edge
+          // lied to us at Phase I. Our signed evidence convicts it.
+          stats_.proof_mismatches++;
+          RaiseDispute(DisputeKind::kAddMismatch, proof.cert.bid,
+                       pending.evidence[proof.cert.bid]);
+          if (pending.on_phase2) {
+            pending.on_phase2(
+                Status::MaliciousBehavior("certified digest mismatch"),
+                proof.cert.bid, now);
+          }
+          pending_writes_.erase(pit);
+        }
+      }
+    }
+    write_by_bid_.erase(wit);
+  }
+  // Phase I reads waiting on this block.
+  auto rit = read_by_bid_.find(proof.cert.bid);
+  if (rit != read_by_bid_.end()) {
+    auto pit = pending_reads_.find(rit->second);
+    if (pit != pending_reads_.end()) {
+      PendingRead& pending = pit->second;
+      if (proof.cert.digest == pending.block_digest) {
+        stats_.reads_ok++;
+        if (pending.cb) {
+          pending.cb(Status::OK(), pending.block, /*phase2=*/true, now);
+        }
+      } else {
+        stats_.proof_mismatches++;
+        RaiseDispute(DisputeKind::kReadMismatch, proof.cert.bid,
+                     pending.evidence);
+        if (pending.cb) {
+          pending.cb(Status::MaliciousBehavior("read block not certified"),
+                     pending.block, false, now);
+        }
+      }
+      pending_reads_.erase(pit);
+    }
+    read_by_bid_.erase(rit);
+  }
+}
+
+void WedgeClient::HandleReadResponse(NodeId from, const Envelope& env,
+                                     SimTime now) {
+  if (from != edge_) return;
+  auto resp = ReadResponse::Decode(env.body);
+  if (!resp.ok()) return;
+  auto it = pending_reads_.find(resp->req_id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+
+  if (!resp->available) {
+    // Omission check (§IV-E): gossip told us the log is larger.
+    if (gossiped_log_size_ > pending.bid) {
+      RaiseDispute(DisputeKind::kOmission, pending.bid, env.raw);
+      if (pending.cb) {
+        pending.cb(Status::MaliciousBehavior(
+                       "edge denies a block the cloud certified"),
+                   Block{}, false, now);
+      }
+    } else if (pending.cb) {
+      pending.cb(Status::NotFound("block not available"), Block{}, false, now);
+    }
+    pending_reads_.erase(it);
+    return;
+  }
+
+  if (resp->block.id != pending.bid ||
+      !resp->block.ValidateReservations().ok()) {
+    stats_.verification_failures++;
+    if (pending.cb) {
+      pending.cb(Status::SecurityViolation(
+                     "response block id/reservation check failed"),
+                 Block{}, false, now);
+    }
+    pending_reads_.erase(it);
+    return;
+  }
+
+  const SimTime verified_at = now + costs_.client_verify_read;
+  if (resp->proof.has_value()) {
+    // Phase II read: check the cloud signature and the digest.
+    Status st = resp->proof->Validate(*keystore_);
+    if (st.ok() && resp->proof->edge == edge_ &&
+        resp->proof->bid == resp->block.id &&
+        resp->proof->digest == resp->block.Digest()) {
+      stats_.reads_ok++;
+      ReadCb cb = pending.cb;
+      Block block = resp->block;
+      sim_->ScheduleAt(verified_at, [cb, block, verified_at] {
+        if (cb) cb(Status::OK(), block, true, verified_at);
+      });
+    } else {
+      stats_.verification_failures++;
+      if (pending.cb) {
+        pending.cb(Status::SecurityViolation("invalid read proof"), Block{},
+                   false, now);
+      }
+    }
+    pending_reads_.erase(it);
+    return;
+  }
+
+  // Phase I read: deliver now, keep evidence, wait for the proof.
+  pending.phase1_done = true;
+  pending.block = resp->block;
+  pending.block_digest = resp->block.Digest();
+  pending.evidence = env.raw;
+  read_by_bid_[pending.bid] = resp->req_id;
+  ReadCb cb = pending.cb;
+  Block block = resp->block;
+  sim_->ScheduleAt(verified_at, [cb, block, verified_at] {
+    if (cb) cb(Status::OK(), block, false, verified_at);
+  });
+  // The same callback fires again at Phase II (or on mismatch).
+}
+
+Status WedgeClient::CheckSnapshotMonotonic(Epoch epoch) {
+  if (!config_.monotonic_snapshots) return Status::OK();
+  if (epoch < last_snapshot_epoch_) {
+    stats_.snapshot_regressions++;
+    return Status::SecurityViolation(
+        "snapshot regressed: epoch " + std::to_string(epoch) +
+        " after observing " + std::to_string(last_snapshot_epoch_));
+  }
+  last_snapshot_epoch_ = epoch;
+  return Status::OK();
+}
+
+void WedgeClient::HandleScanResponse(const Envelope& env, SimTime now) {
+  auto resp = ScanResponse::Decode(env.body);
+  if (!resp.ok()) return;
+  auto it = pending_scans_.find(resp->req_id);
+  if (it == pending_scans_.end()) return;
+  PendingScan pending = std::move(it->second);
+  pending_scans_.erase(it);
+
+  const SimTime verified_at = now + costs_.client_verify_read;
+  GetVerifyOptions opts;
+  opts.now = now;
+  opts.freshness_window = config_.freshness_window;
+  auto verified = VerifyScanResponse(*keystore_, edge_, pending.lo,
+                                     pending.hi, resp->body, opts);
+  ScanCb cb = pending.cb;
+  if (verified.ok()) {
+    const Epoch epoch = resp->body.root_cert.has_value()
+                            ? resp->body.root_cert->epoch
+                            : 0;
+    if (Status mono = CheckSnapshotMonotonic(epoch); !mono.ok()) {
+      sim_->ScheduleAt(verified_at, [cb, mono, verified_at] {
+        if (cb) cb(mono, VerifiedScan{}, verified_at);
+      });
+      return;
+    }
+    stats_.scans_ok++;
+    VerifiedScan v = std::move(*verified);
+    sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+      if (cb) cb(Status::OK(), v, verified_at);
+    });
+  } else {
+    if (verified.status().IsFailedPrecondition()) {
+      stats_.stale_rejected++;
+    } else {
+      stats_.verification_failures++;
+      // The signed response is self-convicting evidence: the cloud can
+      // re-run the completeness verifier on it (the dispute pattern of
+      // paper section IV-E, extended to scans).
+      RaiseDispute(DisputeKind::kScanTruncation, 0, env.raw);
+    }
+    Status st = verified.status();
+    sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+      if (cb) cb(st, VerifiedScan{}, verified_at);
+    });
+  }
+}
+
+void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
+  auto resp = GetResponse::Decode(env.body);
+  if (!resp.ok()) return;
+  auto it = pending_gets_.find(resp->req_id);
+  if (it == pending_gets_.end()) return;
+  PendingGet pending = std::move(it->second);
+  pending_gets_.erase(it);
+
+  const SimTime verified_at = now + costs_.client_verify_read;
+  GetVerifyOptions opts;
+  opts.now = now;
+  opts.freshness_window = config_.freshness_window;
+  auto verified =
+      VerifyGetResponse(*keystore_, edge_, pending.key, resp->body, opts);
+  GetCb cb = pending.cb;
+  if (verified.ok()) {
+    const Epoch epoch = resp->body.root_cert.has_value()
+                            ? resp->body.root_cert->epoch
+                            : 0;
+    if (Status mono = CheckSnapshotMonotonic(epoch); !mono.ok()) {
+      sim_->ScheduleAt(verified_at, [cb, mono, verified_at] {
+        if (cb) cb(mono, VerifiedGet{}, verified_at);
+      });
+      return;
+    }
+    stats_.gets_ok++;
+    VerifiedGet v = *verified;
+    sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+      if (cb) cb(Status::OK(), v, verified_at);
+    });
+  } else {
+    if (verified.status().IsFailedPrecondition()) {
+      stats_.stale_rejected++;
+    } else {
+      stats_.verification_failures++;
+    }
+    Status st = verified.status();
+    sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+      if (cb) cb(st, VerifiedGet{}, verified_at);
+    });
+  }
+}
+
+void WedgeClient::RaiseDispute(DisputeKind kind, BlockId bid, Bytes evidence) {
+  stats_.disputes_sent++;
+  Dispute d;
+  d.kind = kind;
+  d.edge = edge_;
+  d.bid = bid;
+  d.evidence = std::move(evidence);
+  SendSealed(cloud_, MsgType::kDispute, d.Encode());
+}
+
+}  // namespace wedge

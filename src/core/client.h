@@ -1,0 +1,189 @@
+// WedgeClient: the authenticated client of WedgeChain (paper §III, §IV-D).
+//
+// The client signs every entry it proposes, tracks Phase I / Phase II
+// commits per request, keeps the edge's signed responses as dispute
+// evidence, verifies block-proofs and get-proofs, and escalates to the
+// cloud when the edge lies or goes silent past the proof timeout.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "crypto/signature.h"
+#include "lsmerkle/kv.h"
+#include "lsmerkle/read_proof.h"
+#include "simnet/cost_model.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+#include "wire/message.h"
+#include "wire/protocol.h"
+
+namespace wedge {
+
+struct ClientStats {
+  uint64_t phase1_commits = 0;
+  uint64_t phase2_commits = 0;
+  uint64_t reads_ok = 0;
+  uint64_t gets_ok = 0;
+  uint64_t scans_ok = 0;
+  uint64_t proof_mismatches = 0;
+  uint64_t disputes_sent = 0;
+  uint64_t disputes_upheld = 0;
+  uint64_t verification_failures = 0;
+  uint64_t stale_rejected = 0;
+  /// Responses anchored to an older certified epoch than one already
+  /// observed (monotonic_snapshots session check, §V-D alternative).
+  uint64_t snapshot_regressions = 0;
+};
+
+class WedgeClient : public Endpoint {
+ public:
+  /// Called at Phase I commit: (status, block id, phase1 time).
+  using Phase1Cb = std::function<void(const Status&, BlockId, SimTime)>;
+  /// Called at Phase II commit (or on a detected lie / unresolved
+  /// timeout): (status, block id, phase2 time).
+  using Phase2Cb = std::function<void(const Status&, BlockId, SimTime)>;
+  using ReadCb =
+      std::function<void(const Status&, const Block&, bool phase2, SimTime)>;
+  using GetCb = std::function<void(const Status&, const VerifiedGet&, SimTime)>;
+  using ScanCb =
+      std::function<void(const Status&, const VerifiedScan&, SimTime)>;
+
+  WedgeClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+              Signer signer, NodeId edge, NodeId cloud, Dc location,
+              ClientConfig config, CostModel costs);
+
+  void Start() { net_->Attach(id(), location_, this); }
+
+  NodeId id() const { return signer_.id(); }
+
+  /// Appends a batch of raw log entries. Phase I on add-response, Phase II
+  /// on block-proof.
+  void AddBatch(std::vector<Bytes> payloads, Phase1Cb on_phase1 = nullptr,
+                Phase2Cb on_phase2 = nullptr);
+
+  /// Applies a batch of key-value puts through the LSMerkle path.
+  void PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                Phase1Cb on_phase1 = nullptr, Phase2Cb on_phase2 = nullptr);
+
+  /// Reserved add (§IV-E): first reserves a log position at the edge, then
+  /// signs the entry for exactly that position and submits it. An entry
+  /// replayed anywhere else is rejected by every verifier. Best-effort:
+  /// if the slot was taken meanwhile, the add retries with a fresh
+  /// reservation (up to 3 attempts).
+  void AddReserved(Bytes payload, Phase1Cb on_phase1 = nullptr,
+                   Phase2Cb on_phase2 = nullptr);
+
+  /// Reads log block `bid`.
+  void ReadBlock(BlockId bid, ReadCb cb);
+
+  /// Gets `key` with proof verification.
+  void Get(Key key, GetCb cb);
+
+  /// Scans [lo, hi] with completeness-proof verification: the verified
+  /// result is rebuilt from evidence, so a truncated or tampered scan
+  /// surfaces as a SecurityViolation, never as silently missing keys.
+  void Scan(Key lo, Key hi, ScanCb cb);
+
+  const ClientStats& stats() const { return stats_; }
+
+  /// The largest log size learned from cloud gossip (omission detection).
+  uint64_t gossiped_log_size() const { return gossiped_log_size_; }
+
+  void OnMessage(NodeId from, Slice payload, SimTime now) override;
+
+ private:
+  struct PendingWrite {
+    SimTime sent_at = 0;
+    /// Entries not yet seen in any responded block. A large request can
+    /// span several blocks; Phase I completes when this empties.
+    std::vector<std::pair<NodeId, SeqNum>> remaining_entries;
+    Phase1Cb on_phase1;
+    Phase2Cb on_phase2;
+    bool phase1_done = false;
+    BlockId first_bid = 0;
+    /// Per involved block: the digest the edge promised, plus the signed
+    /// response kept as dispute evidence. Phase II completes when every
+    /// involved block's proof matched.
+    std::map<BlockId, Digest256> block_digests;
+    std::map<BlockId, Bytes> evidence;
+  };
+  struct PendingRead {
+    SimTime sent_at = 0;
+    BlockId bid = 0;
+    ReadCb cb;
+    bool phase1_done = false;
+    Digest256 block_digest;
+    Block block;
+    Bytes evidence;
+  };
+  struct PendingGet {
+    SimTime sent_at = 0;
+    Key key = 0;
+    GetCb cb;
+  };
+  struct PendingScan {
+    SimTime sent_at = 0;
+    Key lo = 0;
+    Key hi = 0;
+    ScanCb cb;
+  };
+  struct PendingReserve {
+    Bytes payload;
+    Phase1Cb on_phase1;
+    Phase2Cb on_phase2;
+    int attempts_left = 3;
+  };
+
+  void SendWrite(MsgType type, std::vector<Entry> entries, Phase1Cb cb1,
+                 Phase2Cb cb2);
+  void HandleAddResponse(NodeId from, const Envelope& env, SimTime now);
+  void HandleBlockProof(const BlockProof& proof, SimTime now);
+  void HandleReadResponse(NodeId from, const Envelope& env, SimTime now);
+  void HandleGetResponse(const Envelope& env, SimTime now);
+  void HandleScanResponse(const Envelope& env, SimTime now);
+  void ArmProofTimeout(SeqNum req_id, BlockId bid);
+  void RaiseDispute(DisputeKind kind, BlockId bid, Bytes evidence);
+
+  void SendSealed(NodeId to, MsgType type, Bytes body);
+
+  Simulation* sim_;
+  SimNetwork* net_;
+  const KeyStore* keystore_;
+  Signer signer_;
+  NodeId edge_;
+  NodeId cloud_;
+  Dc location_;
+  ClientConfig config_;
+  CostModel costs_;
+
+  SeqNum next_req_id_ = 1;
+  SeqNum next_entry_seq_ = 1;
+
+  std::unordered_map<SeqNum, PendingWrite> pending_writes_;   // by req_id
+  std::unordered_map<BlockId, SeqNum> write_by_bid_;          // after Phase I
+  std::unordered_map<SeqNum, PendingRead> pending_reads_;     // by req_id
+  std::unordered_map<BlockId, SeqNum> read_by_bid_;           // Phase I reads
+  std::unordered_map<SeqNum, PendingGet> pending_gets_;
+  std::unordered_map<SeqNum, PendingScan> pending_scans_;
+  std::unordered_map<SeqNum, PendingReserve> pending_reserves_;
+
+  /// Highest certified LSMerkle epoch observed in any verified get/scan
+  /// (session state for the monotonic_snapshots check).
+  Epoch last_snapshot_epoch_ = 0;
+
+  /// Applies the session-consistency check to a verified response
+  /// anchored at `epoch`; OK (and advances the watermark) unless the
+  /// snapshot regressed.
+  Status CheckSnapshotMonotonic(Epoch epoch);
+
+  uint64_t gossiped_log_size_ = 0;
+  ClientStats stats_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,105 @@
+// Deployment: wires a complete WedgeChain topology on the simulator —
+// keystore, trust authority, network, one cloud, one edge (the paper
+// reports single-partition results, §VI), and N clients.
+//
+// Used by integration tests, benchmarks, and examples.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/cloud_node.h"
+#include "core/config.h"
+#include "core/edge_node.h"
+#include "core/trust_authority.h"
+#include "simnet/cost_model.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+
+namespace wedge {
+
+struct DeploymentConfig {
+  uint64_t seed = 1;
+  NetworkConfig net;
+  CostModel costs;
+  Dc client_dc = Dc::kCalifornia;
+  Dc edge_dc = Dc::kCalifornia;
+  Dc cloud_dc = Dc::kVirginia;
+  size_t num_clients = 1;
+  /// Edge nodes (= data partitions, §III). Clients are assigned
+  /// round-robin: client i talks to edge i % num_edges.
+  size_t num_edges = 1;
+  EdgeConfig edge;
+  CloudConfig cloud;
+  ClientConfig client;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentConfig& config)
+      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77),
+        authority_(&keystore_) {
+    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
+
+    Signer cloud_signer = keystore_.Register(Role::kCloud, "cloud");
+    cloud_ = std::make_unique<CloudNode>(&sim_, net_.get(), &keystore_,
+                                         &authority_, cloud_signer,
+                                         config.cloud_dc, config.cloud,
+                                         config.costs);
+
+    const size_t num_edges = config.num_edges == 0 ? 1 : config.num_edges;
+    for (size_t e = 0; e < num_edges; ++e) {
+      Signer edge_signer =
+          keystore_.Register(Role::kEdge, "edge-" + std::to_string(e));
+      edges_.push_back(std::make_unique<EdgeNode>(
+          &sim_, net_.get(), &keystore_, edge_signer, cloud_->id(),
+          config.edge_dc, config.edge, config.costs));
+    }
+
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      Signer s = keystore_.Register(Role::kClient,
+                                    "client-" + std::to_string(i));
+      // Each client belongs to one partition/edge (§III).
+      EdgeNode* home = edges_[i % edges_.size()].get();
+      clients_.push_back(std::make_unique<WedgeClient>(
+          &sim_, net_.get(), &keystore_, s, home->id(), cloud_->id(),
+          config.client_dc, config.client, config.costs));
+    }
+  }
+
+  /// Attaches every node to the network and starts timers/gossip.
+  void Start() {
+    cloud_->Start();
+    for (auto& e : edges_) e->Start();
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i]->Start();
+      cloud_->SubscribeGossip(clients_[i]->id(),
+                              edges_[i % edges_.size()]->id());
+    }
+  }
+
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+  KeyStore& keystore() { return keystore_; }
+  TrustAuthority& authority() { return authority_; }
+  CloudNode& cloud() { return *cloud_; }
+  EdgeNode& edge(size_t i = 0) { return *edges_.at(i); }
+  size_t edge_count() const { return edges_.size(); }
+  WedgeClient& client(size_t i = 0) { return *clients_.at(i); }
+  size_t client_count() const { return clients_.size(); }
+  const DeploymentConfig& config() const { return config_; }
+
+ private:
+  DeploymentConfig config_;
+  Simulation sim_;
+  KeyStore keystore_;
+  TrustAuthority authority_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<CloudNode> cloud_;
+  std::vector<std::unique_ptr<EdgeNode>> edges_;
+  std::vector<std::unique_ptr<WedgeClient>> clients_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,118 @@
+#include "core/read_service.h"
+
+#include <map>
+
+namespace wedge {
+
+GetResponseBody AssembleGetResponse(const LsmerkleTree& lsm,
+                                    const EdgeLog& log, Key key,
+                                    bool hide_l0) {
+  GetResponseBody body;
+  body.key = key;
+
+  LsmerkleTree::FindResult r;
+  if (hide_l0) {
+    for (size_t i = 1; i < lsm.level_count(); ++i) {
+      const LevelState& level = lsm.level(i);
+      if (level.empty()) continue;
+      auto idx = level.FindPageIndex(key);
+      if (!idx.ok()) continue;
+      auto hit = level.pages()[*idx].Find(key);
+      if (hit.has_value()) {
+        r.found = true;
+        r.pair = *hit;
+        r.level = static_cast<uint32_t>(i);
+        break;
+      }
+    }
+  } else {
+    r = lsm.Lookup(key);
+  }
+  body.found = r.found;
+  body.found_level = r.level;
+  if (r.found) {
+    body.value = r.pair.value;
+    body.version = r.pair.version;
+  }
+
+  if (!hide_l0) {
+    for (const auto& unit : lsm.l0_units()) {
+      body.l0_blocks.push_back(unit.block);
+      body.l0_certs.push_back(log.GetCertificate(unit.block.id));
+    }
+  }
+
+  const uint32_t deepest =
+      r.found ? r.level : static_cast<uint32_t>(lsm.level_count() - 1);
+  for (uint32_t lvl = 1; lvl <= deepest; ++lvl) {
+    const LevelState& level = lsm.level(lvl);
+    if (level.empty()) continue;
+    auto idx = level.FindPageIndex(key);
+    if (!idx.ok()) continue;
+    GetLevelPart part;
+    part.level = lvl;
+    part.page = level.pages()[*idx];
+    part.proof = *level.ProvePage(*idx);
+    body.parts.push_back(std::move(part));
+  }
+  body.level_roots = lsm.LevelRoots();
+  if (lsm.root_cert().has_value()) body.root_cert = lsm.root_cert();
+  return body;
+}
+
+ScanResponseBody AssembleScanResponse(const LsmerkleTree& lsm,
+                                      const EdgeLog& log, Key lo, Key hi,
+                                      bool drop_last_run_page) {
+  ScanResponseBody body;
+  body.lo = lo;
+  body.hi = hi;
+
+  // Evidence: every L0 block (any may hold range keys), plus per level
+  // the adjacent page run covering [lo, hi].
+  std::map<Key, KvPair> newest;
+  for (const auto& unit : lsm.l0_units()) {
+    body.l0_blocks.push_back(unit.block);
+    body.l0_certs.push_back(log.GetCertificate(unit.block.id));
+    for (const KvPair& kv : unit.pairs) {
+      if (kv.key < lo || kv.key > hi) continue;
+      auto it = newest.find(kv.key);
+      if (it == newest.end() || it->second.version < kv.version) {
+        newest[kv.key] = kv;
+      }
+    }
+  }
+  const auto l0_keys = newest;
+
+  for (uint32_t lvl = 1; lvl < lsm.level_count(); ++lvl) {
+    const LevelState& level = lsm.level(lvl);
+    if (level.empty()) continue;
+    auto start = level.FindPageIndex(lo);
+    if (!start.ok()) continue;
+    ScanLevelRun run;
+    run.level = lvl;
+    for (size_t idx = *start; idx < level.page_count(); ++idx) {
+      const Page& page = level.pages()[idx];
+      if (page.min_key > hi) break;
+      run.pages.push_back(page);
+      run.proofs.push_back(*level.ProvePage(idx));
+      for (const KvPair& kv : page.pairs) {
+        if (kv.key < lo || kv.key > hi) continue;
+        if (l0_keys.count(kv.key) != 0) continue;
+        newest.emplace(kv.key, kv);  // lower level = newer, first wins
+      }
+    }
+    if (drop_last_run_page && run.pages.size() > 1) {
+      run.pages.pop_back();
+      run.proofs.pop_back();
+    }
+    body.runs.push_back(std::move(run));
+  }
+
+  body.pairs.reserve(newest.size());
+  for (auto& [key, pair] : newest) body.pairs.push_back(pair);
+  body.level_roots = lsm.LevelRoots();
+  if (lsm.root_cert().has_value()) body.root_cert = lsm.root_cert();
+  return body;
+}
+
+}  // namespace wedge

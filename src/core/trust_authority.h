@@ -1,0 +1,52 @@
+// TrustAuthority: the punishment mechanism of the paper's security model
+// (§II-D): identities are known, punishments deter misbehavior, and a
+// punished node cannot re-enter.
+//
+// In this implementation a punishment revokes the identity in the
+// KeyStore, so every subsequent message from the punished node fails
+// signature verification — the strongest form of "cannot re-enter" the
+// simulation can express.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+
+struct PunishmentRecord {
+  NodeId node = kInvalidNodeId;
+  std::string reason;
+  SimTime at = 0;
+};
+
+class TrustAuthority {
+ public:
+  explicit TrustAuthority(KeyStore* keystore) : keystore_(keystore) {}
+
+  /// Punishes `node`: records the offence and revokes the identity.
+  /// Idempotent — repeated punishment of the same node records once.
+  void Punish(NodeId node, const std::string& reason, SimTime at) {
+    if (IsPunished(node)) return;
+    records_.push_back({node, reason, at});
+    (void)keystore_->Revoke(node);
+  }
+
+  bool IsPunished(NodeId node) const {
+    for (const auto& r : records_) {
+      if (r.node == node) return true;
+    }
+    return false;
+  }
+
+  const std::vector<PunishmentRecord>& records() const { return records_; }
+
+ private:
+  KeyStore* keystore_;
+  std::vector<PunishmentRecord> records_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,84 @@
+// Digest256: the value type for block digests, Merkle roots, and global
+// roots. Thin wrapper over Sha256Digest with comparison, hex, and codec
+// helpers.
+
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/codec.h"
+#include "common/hex.h"
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// A 256-bit digest with value semantics. Zero-initialized by default
+/// (the "null digest", used as the hash of an absent child).
+class Digest256 {
+ public:
+  Digest256() { bytes_.fill(0); }
+  explicit Digest256(const Sha256Digest& d) : bytes_(d) {}
+
+  /// Digest of a byte buffer.
+  static Digest256 Of(Slice data) { return Digest256(Sha256::Hash(data)); }
+
+  /// Digest of the concatenation of two digests: H(a || b). This is the
+  /// Merkle interior-node combiner.
+  static Digest256 Combine(const Digest256& a, const Digest256& b) {
+    return Digest256(Sha256::Hash2(a.AsSlice(), b.AsSlice()));
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  static constexpr size_t size() { return 32; }
+  Slice AsSlice() const { return Slice(bytes_.data(), bytes_.size()); }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  std::string ToHex() const { return HexEncode(AsSlice()); }
+  /// First 8 hex chars, for logs.
+  std::string ShortHex() const { return ToHex().substr(0, 8); }
+
+  void EncodeTo(Encoder* enc) const { enc->PutRaw(AsSlice()); }
+
+  static Result<Digest256> DecodeFrom(Decoder* dec) {
+    auto raw = dec->GetRaw(32);
+    if (!raw.ok()) return raw.status();
+    Digest256 d;
+    std::memcpy(d.bytes_.data(), raw->data(), 32);
+    return d;
+  }
+
+  bool operator==(const Digest256& other) const {
+    return bytes_ == other.bytes_;
+  }
+  bool operator!=(const Digest256& other) const {
+    return bytes_ != other.bytes_;
+  }
+  bool operator<(const Digest256& other) const {
+    return std::memcmp(bytes_.data(), other.bytes_.data(), 32) < 0;
+  }
+
+ private:
+  std::array<uint8_t, 32> bytes_;
+};
+
+}  // namespace wedge
+
+namespace std {
+template <>
+struct hash<wedge::Digest256> {
+  size_t operator()(const wedge::Digest256& d) const {
+    size_t h;
+    std::memcpy(&h, d.data(), sizeof(h));
+    return h;
+  }
+};
+}  // namespace std

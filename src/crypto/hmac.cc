@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace wedge {
+
+Sha256Digest HmacSha256(Slice key, Slice message) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize] = {0};
+
+  if (key.size() > kBlockSize) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(Slice(ipad, kBlockSize));
+  inner.Update(message);
+  Sha256Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(Slice(opad, kBlockSize));
+  outer.Update(Slice(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+}  // namespace wedge

@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104), built on the from-scratch SHA-256.
+
+#pragma once
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace wedge {
+
+/// Computes HMAC-SHA256(key, message).
+Sha256Digest HmacSha256(Slice key, Slice message);
+
+}  // namespace wedge

@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the one-way hash function behind WedgeChain's data-free
+// certification: agreement on digest(block) implies agreement on the block
+// (paper §IV-B). Incremental interface plus one-shot helpers.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace wedge {
+
+/// A 256-bit digest value.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+///   Sha256 h;
+///   h.Update(part1);
+///   h.Update(part2);
+///   Sha256Digest d = h.Finalize();
+///
+/// Finalize() may be called once; the object can then be Reset().
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Re-initializes to the empty-message state.
+  void Reset();
+
+  /// Absorbs `data` into the hash state.
+  void Update(Slice data);
+
+  /// Completes padding and returns the digest.
+  Sha256Digest Finalize();
+
+  /// One-shot convenience: digest of a single buffer.
+  static Sha256Digest Hash(Slice data);
+
+  /// Digest of the concatenation of two buffers (used for Merkle interior
+  /// nodes: H(left || right)).
+  static Sha256Digest Hash2(Slice a, Slice b);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,99 @@
+#include "crypto/signature.h"
+
+namespace wedge {
+
+std::string_view RoleToString(Role role) {
+  switch (role) {
+    case Role::kClient:
+      return "client";
+    case Role::kEdge:
+      return "edge";
+    case Role::kCloud:
+      return "cloud";
+  }
+  return "unknown";
+}
+
+Signer KeyStore::Register(Role role, const std::string& name) {
+  NodeId id = next_id_++;
+  IdentityRecord rec;
+  rec.role = role;
+  rec.name = name;
+  for (size_t i = 0; i < rec.secret.size(); i += 8) {
+    uint64_t r = rng_.NextU64();
+    for (size_t j = 0; j < 8 && i + j < rec.secret.size(); ++j) {
+      rec.secret[i + j] = static_cast<uint8_t>(r >> (8 * j));
+    }
+  }
+  Signer signer(id, rec.secret);
+  identities_.emplace(id, std::move(rec));
+  return signer;
+}
+
+bool KeyStore::HasRole(NodeId id, Role role) const {
+  auto it = identities_.find(id);
+  return it != identities_.end() && it->second.role == role &&
+         !it->second.revoked;
+}
+
+Result<Role> KeyStore::GetRole(NodeId id) const {
+  auto it = identities_.find(id);
+  if (it == identities_.end()) {
+    return Status::NotFound("unknown identity " + std::to_string(id));
+  }
+  return it->second.role;
+}
+
+Result<std::string> KeyStore::GetName(NodeId id) const {
+  auto it = identities_.find(id);
+  if (it == identities_.end()) {
+    return Status::NotFound("unknown identity " + std::to_string(id));
+  }
+  return it->second.name;
+}
+
+Status KeyStore::Verify(const Signature& sig, Slice message) const {
+  auto it = identities_.find(sig.signer);
+  if (it != identities_.end() && it->second.revoked) {
+    return Status::FailedPrecondition("signer " + std::to_string(sig.signer) +
+                                      " has been revoked");
+  }
+  return VerifyHistorical(sig, message);
+}
+
+Status KeyStore::VerifyHistorical(const Signature& sig, Slice message) const {
+  auto it = identities_.find(sig.signer);
+  if (it == identities_.end()) {
+    return Status::NotFound("signature from unknown identity " +
+                            std::to_string(sig.signer));
+  }
+  Sha256Digest expected = HmacSha256(
+      Slice(it->second.secret.data(), it->second.secret.size()), message);
+  // Constant-time comparison; the habit matters even in a simulation.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    diff |= expected[i] ^ sig.tag[i];
+  }
+  if (diff != 0) {
+    return Status::SecurityViolation("signature verification failed for " +
+                                     std::to_string(sig.signer));
+  }
+  return Status::OK();
+}
+
+Status KeyStore::Revoke(NodeId id) {
+  auto it = identities_.find(id);
+  if (it == identities_.end()) {
+    return Status::NotFound("cannot revoke unknown identity " +
+                            std::to_string(id));
+  }
+  it->second.revoked = true;
+  return Status::OK();
+}
+
+bool KeyStore::IsRevoked(NodeId id) const {
+  auto it = identities_.find(id);
+  return it != identities_.end() && it->second.revoked;
+}
+
+}  // namespace wedge

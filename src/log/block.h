@@ -1,0 +1,95 @@
+// Block: a batch of entries, the unit of logging and certification.
+//
+// Block ids are unique monotonic numbers assigned by the edge node (unique
+// per edge node, not globally — paper §III). The block digest covers both
+// the id and the content, so certifying the digest pins both.
+
+#pragma once
+
+#include <vector>
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "log/entry.h"
+
+namespace wedge {
+
+struct Block {
+  BlockId id = 0;
+  /// Edge-assigned creation timestamp (virtual time).
+  SimTime created_at = 0;
+  std::vector<Entry> entries;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(id);
+    enc->PutI64(created_at);
+    enc->PutU32(static_cast<uint32_t>(entries.size()));
+    for (const Entry& e : entries) e.EncodeTo(enc);
+  }
+
+  static Result<Block> DecodeFrom(Decoder* dec) {
+    Block b;
+    WEDGE_ASSIGN_OR_RETURN(b.id, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(b.created_at, dec->GetI64());
+    uint32_t n = 0;
+    WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
+    b.entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto e = Entry::DecodeFrom(dec);
+      if (!e.ok()) return e.status();
+      b.entries.push_back(std::move(*e));
+    }
+    return b;
+  }
+
+  Bytes Encode() const {
+    Encoder enc;
+    EncodeTo(&enc);
+    return enc.TakeBuffer();
+  }
+
+  /// The one-way digest certified by the cloud. Covers id + content
+  /// (paper §IV-B: "the digest of the block (that contains both the
+  /// content and the block id)").
+  Digest256 Digest() const { return Digest256::Of(Encode()); }
+
+  /// Approximate wire size, used by the cost model.
+  size_t ByteSize() const {
+    size_t sz = 8 + 8 + 4;
+    for (const Entry& e : entries) sz += 4 + 8 + 4 + e.payload.size() + 36;
+    return sz;
+  }
+
+  /// True if an entry with this (client, seq) is present.
+  bool Contains(NodeId client, SeqNum seq) const {
+    for (const Entry& e : entries) {
+      if (e.client == client && e.seq == seq) return true;
+    }
+    return false;
+  }
+
+  /// Every reserved entry must sit exactly at its reserved (bid, slot);
+  /// an entry surfacing anywhere else is a replay (§IV-E).
+  Status ValidateReservations() const {
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      if (e.has_reservation &&
+          (e.reserved_bid != id || e.reserved_slot != i)) {
+        return Status::SecurityViolation(
+            "entry reserved for block " + std::to_string(e.reserved_bid) +
+            " slot " + std::to_string(e.reserved_slot) +
+            " appears at block " + std::to_string(id) + " slot " +
+            std::to_string(i));
+      }
+    }
+    return Status::OK();
+  }
+
+  bool operator==(const Block& other) const {
+    return id == other.id && created_at == other.created_at &&
+           entries == other.entries;
+  }
+};
+
+}  // namespace wedge

@@ -1,0 +1,63 @@
+// BlockBuilder: batches incoming entries into blocks (paper §IV-D: "it
+// adds it to a buffer. Once the buffer is full, a new block is constructed
+// with the entries in the buffer and appended to the log").
+
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "log/block.h"
+
+namespace wedge {
+
+class BlockBuilder {
+ public:
+  /// `ops_per_block`: buffer-full threshold (the paper's batch size).
+  /// `first_bid`: id assigned to the next block built.
+  explicit BlockBuilder(size_t ops_per_block, BlockId first_bid = 0)
+      : ops_per_block_(ops_per_block == 0 ? 1 : ops_per_block),
+        next_bid_(first_bid) {}
+
+  /// Adds an entry to the buffer. If the buffer reaches the threshold,
+  /// returns the completed block (stamped with `now`).
+  std::optional<Block> Add(Entry entry, SimTime now) {
+    buffer_.push_back(std::move(entry));
+    if (buffer_.size() >= ops_per_block_) return Flush(now);
+    return std::nullopt;
+  }
+
+  /// Builds a block from whatever is buffered (used by timers so entries
+  /// never wait forever at low rates). Empty buffer yields nullopt.
+  std::optional<Block> Flush(SimTime now) {
+    if (buffer_.empty()) return std::nullopt;
+    Block b;
+    b.id = next_bid_++;
+    b.created_at = now;
+    b.entries = std::move(buffer_);
+    buffer_.clear();
+    return b;
+  }
+
+  size_t pending() const { return buffer_.size(); }
+  BlockId next_bid() const { return next_bid_; }
+  size_t ops_per_block() const { return ops_per_block_; }
+
+  /// True if (client, seq) is waiting in the buffer (replay detection for
+  /// entries that have not formed a block yet).
+  bool PendingContains(NodeId client, SeqNum seq) const {
+    for (const Entry& e : buffer_) {
+      if (e.client == client && e.seq == seq) return true;
+    }
+    return false;
+  }
+
+ private:
+  size_t ops_per_block_;
+  BlockId next_bid_;
+  std::vector<Entry> buffer_;
+};
+
+}  // namespace wedge

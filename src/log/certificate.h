@@ -1,0 +1,80 @@
+// BlockCertificate: the cloud-signed "block-proof" message body.
+//
+// A digest accepted and signed by the cloud is a *certified digest*; its
+// block is a *certified block* (paper §IV-B). The certificate is the
+// client's evidence for Phase II Commit and the proof attached to reads.
+
+#pragma once
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+
+struct BlockCertificate {
+  /// The edge node whose log this block belongs to (block ids are only
+  /// unique per edge, so the certificate must name the edge).
+  NodeId edge = kInvalidNodeId;
+  BlockId bid = 0;
+  Digest256 digest;
+  /// Cloud time at certification; used by gossip/freshness logic.
+  SimTime cloud_time = 0;
+  Signature cloud_sig;
+
+  Bytes SigningBytes() const {
+    Encoder enc;
+    enc.PutU32(edge);
+    enc.PutU64(bid);
+    digest.EncodeTo(&enc);
+    enc.PutI64(cloud_time);
+    return enc.TakeBuffer();
+  }
+
+  static BlockCertificate Make(const Signer& cloud_signer, NodeId edge,
+                               BlockId bid, const Digest256& digest,
+                               SimTime cloud_time) {
+    BlockCertificate c;
+    c.edge = edge;
+    c.bid = bid;
+    c.digest = digest;
+    c.cloud_time = cloud_time;
+    c.cloud_sig = cloud_signer.Sign(c.SigningBytes());
+    return c;
+  }
+
+  /// Verifies the cloud signature and that the signer is the cloud.
+  Status Validate(const KeyStore& keystore) const {
+    if (!keystore.HasRole(cloud_sig.signer, Role::kCloud)) {
+      return Status::SecurityViolation(
+          "block certificate not signed by a cloud identity");
+    }
+    return keystore.Verify(cloud_sig, SigningBytes());
+  }
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU32(edge);
+    enc->PutU64(bid);
+    digest.EncodeTo(enc);
+    enc->PutI64(cloud_time);
+    cloud_sig.EncodeTo(enc);
+  }
+
+  static Result<BlockCertificate> DecodeFrom(Decoder* dec) {
+    BlockCertificate c;
+    WEDGE_ASSIGN_OR_RETURN(c.edge, dec->GetU32());
+    WEDGE_ASSIGN_OR_RETURN(c.bid, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(c.digest, Digest256::DecodeFrom(dec));
+    WEDGE_ASSIGN_OR_RETURN(c.cloud_time, dec->GetI64());
+    WEDGE_ASSIGN_OR_RETURN(c.cloud_sig, Signature::DecodeFrom(dec));
+    return c;
+  }
+
+  bool operator==(const BlockCertificate& other) const {
+    return edge == other.edge && bid == other.bid && digest == other.digest &&
+           cloud_time == other.cloud_time && cloud_sig == other.cloud_sig;
+  }
+};
+
+}  // namespace wedge

@@ -1,0 +1,68 @@
+#include "log/edge_log.h"
+
+namespace wedge {
+
+Status EdgeLog::Append(Block block) {
+  if (block.id != size()) {
+    return Status::InvalidArgument(
+        "block id " + std::to_string(block.id) + " is not the next log slot " +
+        std::to_string(size()));
+  }
+  byte_size_ += block.ByteSize();
+  blocks_.push_back(std::move(block));
+  certs_.emplace_back(std::nullopt);
+  Evict();
+  return Status::OK();
+}
+
+void EdgeLog::Evict() {
+  if (retention_ == 0) return;
+  while (blocks_.size() > retention_) {
+    blocks_.pop_front();
+    certs_.pop_front();
+    base_++;
+  }
+}
+
+Result<Block> EdgeLog::GetBlock(BlockId bid) const {
+  if (bid >= size()) {
+    return Status::NotFound("block " + std::to_string(bid) +
+                            " not in log of size " + std::to_string(size()));
+  }
+  if (bid < base_) {
+    return Status::Unavailable("block " + std::to_string(bid) +
+                               " evicted to cold storage");
+  }
+  return blocks_[bid - base_];
+}
+
+Status EdgeLog::SetCertificate(BlockCertificate cert) {
+  if (cert.bid >= size()) {
+    return Status::NotFound("certificate for unknown block " +
+                            std::to_string(cert.bid));
+  }
+  if (cert.bid < base_) {
+    // Evicted before the certificate arrived; count it but drop the body
+    // check (the body is gone — honest edges never hit a mismatch here).
+    certified_count_++;
+    return Status::OK();
+  }
+  const size_t idx = cert.bid - base_;
+  if (cert.digest != blocks_[idx].Digest()) {
+    return Status::SecurityViolation(
+        "certificate digest does not match stored block " +
+        std::to_string(cert.bid));
+  }
+  if (!certs_[idx].has_value()) {
+    certified_count_++;
+    certs_[idx] = std::move(cert);
+  }
+  return Status::OK();
+}
+
+std::optional<BlockCertificate> EdgeLog::GetCertificate(BlockId bid) const {
+  if (!HasBlock(bid)) return std::nullopt;
+  return certs_[bid - base_];
+}
+
+}  // namespace wedge

@@ -1,0 +1,74 @@
+// EdgeLog: the append-only block log stored at an edge node, together with
+// per-block certification state (Phase I when appended, Phase II when the
+// cloud's BlockCertificate arrives).
+//
+// A retention bound caps how many block bodies stay in memory (emulating
+// spill-to-cold-storage); evicted blocks answer reads with Unavailable
+// while their certification metadata is retained.
+
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "log/block.h"
+#include "log/certificate.h"
+
+namespace wedge {
+
+class EdgeLog {
+ public:
+  /// Appends a block. The block's id must equal the current log size
+  /// (ids are dense and monotonic).
+  Status Append(Block block);
+
+  /// The block with id `bid`; NotFound beyond the log end, Unavailable if
+  /// evicted by retention.
+  Result<Block> GetBlock(BlockId bid) const;
+
+  bool HasBlock(BlockId bid) const {
+    return bid >= base_ && bid < base_ + blocks_.size();
+  }
+
+  /// Records the cloud's certificate for `bid`. The digest must match the
+  /// stored block (a mismatch means the cloud certified a different block
+  /// — possible only if this edge equivocated).
+  Status SetCertificate(BlockCertificate cert);
+
+  /// The certificate for `bid`, if Phase II has completed.
+  std::optional<BlockCertificate> GetCertificate(BlockId bid) const;
+
+  bool IsCertified(BlockId bid) const {
+    return HasBlock(bid) && certs_[bid - base_].has_value();
+  }
+
+  /// Number of blocks appended (== next block id).
+  size_t size() const { return static_cast<size_t>(base_) + blocks_.size(); }
+
+  /// Number of blocks with Phase II certificates.
+  size_t certified_count() const { return certified_count_; }
+
+  /// Total payload bytes appended, for stats.
+  uint64_t byte_size() const { return byte_size_; }
+
+  /// Caps in-memory block bodies at `max_blocks` (0 = unlimited). Old
+  /// blocks are evicted front-first.
+  void SetRetention(size_t max_blocks) { retention_ = max_blocks; }
+
+  BlockId base() const { return base_; }
+
+ private:
+  void Evict();
+
+  std::deque<Block> blocks_;
+  std::deque<std::optional<BlockCertificate>> certs_;
+  BlockId base_ = 0;  // id of blocks_.front()
+  size_t retention_ = 0;
+  size_t certified_count_ = 0;
+  uint64_t byte_size_ = 0;
+};
+
+}  // namespace wedge

@@ -1,0 +1,118 @@
+// Entry: one client-signed datum in the WedgeChain log.
+//
+// Clients are authenticated (paper §III): every entry carries the client's
+// signature over (client, seq, payload). The sequence number makes
+// requests idempotent — an edge replaying an entry is detectable because
+// (client, seq) already exists (§IV-E, replay attacks).
+
+#pragma once
+
+#include <string>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+
+struct Entry {
+  NodeId client = kInvalidNodeId;
+  SeqNum seq = 0;
+  Bytes payload;
+  /// Optional log-position reservation (§IV-E): when set, the entry is
+  /// signed for exactly (block `reserved_bid`, slot `reserved_slot`) and
+  /// is invalid anywhere else — the strongest replay protection.
+  bool has_reservation = false;
+  BlockId reserved_bid = 0;
+  uint32_t reserved_slot = 0;
+  Signature client_sig;
+
+  /// The bytes the client signs: everything except the signature itself.
+  Bytes SigningBytes() const {
+    Encoder enc;
+    enc.PutU32(client);
+    enc.PutU64(seq);
+    enc.PutBytes(payload);
+    enc.PutBool(has_reservation);
+    if (has_reservation) {
+      enc.PutU64(reserved_bid);
+      enc.PutU32(reserved_slot);
+    }
+    return enc.TakeBuffer();
+  }
+
+  /// Builds a signed entry.
+  static Entry Make(const Signer& signer, SeqNum seq, Bytes payload) {
+    Entry e;
+    e.client = signer.id();
+    e.seq = seq;
+    e.payload = std::move(payload);
+    e.client_sig = signer.Sign(e.SigningBytes());
+    return e;
+  }
+
+  /// Builds a signed entry bound to a reserved log position.
+  static Entry MakeReserved(const Signer& signer, SeqNum seq, Bytes payload,
+                            BlockId bid, uint32_t slot) {
+    Entry e;
+    e.client = signer.id();
+    e.seq = seq;
+    e.payload = std::move(payload);
+    e.has_reservation = true;
+    e.reserved_bid = bid;
+    e.reserved_slot = slot;
+    e.client_sig = signer.Sign(e.SigningBytes());
+    return e;
+  }
+
+  /// Checks the embedded signature against the keystore and that the
+  /// signer is a registered client.
+  Status Validate(const KeyStore& keystore) const {
+    if (client_sig.signer != client) {
+      return Status::SecurityViolation("entry signer does not match client");
+    }
+    if (!keystore.HasRole(client, Role::kClient)) {
+      return Status::SecurityViolation("entry from non-client identity " +
+                                       std::to_string(client));
+    }
+    return keystore.Verify(client_sig, SigningBytes());
+  }
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU32(client);
+    enc->PutU64(seq);
+    enc->PutBytes(payload);
+    enc->PutBool(has_reservation);
+    if (has_reservation) {
+      enc->PutU64(reserved_bid);
+      enc->PutU32(reserved_slot);
+    }
+    client_sig.EncodeTo(enc);
+  }
+
+  static Result<Entry> DecodeFrom(Decoder* dec) {
+    Entry e;
+    WEDGE_ASSIGN_OR_RETURN(e.client, dec->GetU32());
+    WEDGE_ASSIGN_OR_RETURN(e.seq, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(e.payload, dec->GetBytes());
+    WEDGE_ASSIGN_OR_RETURN(e.has_reservation, dec->GetBool());
+    if (e.has_reservation) {
+      WEDGE_ASSIGN_OR_RETURN(e.reserved_bid, dec->GetU64());
+      WEDGE_ASSIGN_OR_RETURN(e.reserved_slot, dec->GetU32());
+    }
+    WEDGE_ASSIGN_OR_RETURN(e.client_sig, Signature::DecodeFrom(dec));
+    return e;
+  }
+
+  bool operator==(const Entry& other) const {
+    return client == other.client && seq == other.seq &&
+           payload == other.payload &&
+           has_reservation == other.has_reservation &&
+           reserved_bid == other.reserved_bid &&
+           reserved_slot == other.reserved_slot &&
+           client_sig == other.client_sig;
+  }
+};
+
+}  // namespace wedge

@@ -1,0 +1,77 @@
+#include "lsmerkle/bloom.h"
+
+namespace wedge {
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer): cheap, well-distributed, and
+/// deterministic across platforms.
+uint64_t HashKey(Key key) {
+  uint64_t x = key + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BloomFilter BloomFilter::Build(const std::vector<Key>& keys,
+                               size_t bits_per_key) {
+  BloomFilter f;
+  if (keys.empty()) return f;
+  if (bits_per_key < 1) bits_per_key = 1;
+
+  // k = bits_per_key * ln(2), clamped to [1, 30].
+  uint32_t k = static_cast<uint32_t>(static_cast<double>(bits_per_key) * 0.69);
+  if (k < 1) k = 1;
+  if (k > 30) k = 30;
+  f.num_probes_ = k;
+
+  size_t bits = keys.size() * bits_per_key;
+  if (bits < 64) bits = 64;
+  f.bits_.assign((bits + 7) / 8, 0);
+  const uint64_t nbits = f.bits_.size() * 8;
+
+  for (Key key : keys) {
+    const uint64_t h = HashKey(key);
+    uint64_t pos = h & 0xffffffffu;         // h1
+    const uint64_t delta = (h >> 32) | 1u;  // h2, odd so it cycles
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint64_t bit = pos % nbits;
+      f.bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      pos += delta;
+    }
+  }
+  return f;
+}
+
+bool BloomFilter::MayContain(Key key) const {
+  if (bits_.empty()) return false;  // empty filter = empty set
+  const uint64_t nbits = bits_.size() * 8;
+  const uint64_t h = HashKey(key);
+  uint64_t pos = h & 0xffffffffu;
+  const uint64_t delta = (h >> 32) | 1u;
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = pos % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    pos += delta;
+  }
+  return true;
+}
+
+void BloomFilter::EncodeTo(Encoder* enc) const {
+  enc->PutU32(num_probes_);
+  enc->PutBytes(Slice(bits_));
+}
+
+Result<BloomFilter> BloomFilter::DecodeFrom(Decoder* dec) {
+  BloomFilter f;
+  WEDGE_ASSIGN_OR_RETURN(f.num_probes_, dec->GetU32());
+  if (f.num_probes_ < 1 || f.num_probes_ > 30) {
+    return Status::Corruption("bloom probe count out of range");
+  }
+  WEDGE_ASSIGN_OR_RETURN(f.bits_, dec->GetBytes());
+  return f;
+}
+
+}  // namespace wedge

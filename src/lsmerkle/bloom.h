@@ -1,0 +1,55 @@
+// BloomFilter: per-page negative-lookup filter for LSMerkle levels.
+//
+// A get that misses in L0 probes one page per level. Each probe is a
+// binary search plus (for remote clients) proof material; a bloom filter
+// in front of the page skips levels that certainly do not contain the
+// key. mLSM inherits this from its LSM ancestry (RocksDB-style
+// full-filter blocks); the filter is advisory only — correctness never
+// depends on it, because a positive still verifies through the Merkle
+// path and a (never-occurring) false negative would surface as a failed
+// proof, not a wrong answer.
+//
+// Double hashing (Kirsch-Mitzenmacher): k probe positions derived from
+// two 32-bit halves of one 64-bit hash of the key.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "lsmerkle/kv.h"
+
+namespace wedge {
+
+class BloomFilter {
+ public:
+  /// Builds a filter over `keys` sized at `bits_per_key` (10 gives a
+  /// ~1% false-positive rate; the RocksDB default).
+  static BloomFilter Build(const std::vector<Key>& keys,
+                           size_t bits_per_key = 10);
+
+  /// True if `key` might be present; false means certainly absent.
+  bool MayContain(Key key) const;
+
+  /// Number of probe functions (chosen as bits_per_key * ln 2).
+  uint32_t num_probes() const { return num_probes_; }
+
+  size_t bit_count() const { return bits_.size() * 8; }
+  size_t ByteSize() const { return bits_.size() + 8; }
+  bool empty() const { return bits_.empty(); }
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<BloomFilter> DecodeFrom(Decoder* dec);
+
+  bool operator==(const BloomFilter& o) const {
+    return num_probes_ == o.num_probes_ && bits_ == o.bits_;
+  }
+
+ private:
+  uint32_t num_probes_ = 1;
+  Bytes bits_;
+};
+
+}  // namespace wedge

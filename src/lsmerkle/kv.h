@@ -1,0 +1,79 @@
+// Key-value types for the LSMerkle index (paper §V).
+//
+// Keys are 64-bit unsigned integers; the paper's page-range scheme ("the
+// first page has a min of 0 and the last page has a max of infinity")
+// presumes an ordered numeric key space. kMaxKey plays the role of
+// infinity. Values are opaque bytes.
+//
+// Versions are assigned by the edge when a put is applied: version =
+// (block id << 20) | index-in-block, which is monotonically increasing in
+// apply order and can be recomputed by the cloud from the certified block
+// alone (no extra trust needed).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace wedge {
+
+using Key = uint64_t;
+constexpr Key kMinKey = 0;
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// Version assigned to the put at `index` within block `bid`.
+inline uint64_t MakeVersion(uint64_t bid, uint32_t index) {
+  return (bid << 20) | index;
+}
+
+struct KvPair {
+  Key key = 0;
+  Bytes value;
+  uint64_t version = 0;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(key);
+    enc->PutBytes(value);
+    enc->PutU64(version);
+  }
+  static Result<KvPair> DecodeFrom(Decoder* dec) {
+    KvPair p;
+    WEDGE_ASSIGN_OR_RETURN(p.key, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(p.value, dec->GetBytes());
+    WEDGE_ASSIGN_OR_RETURN(p.version, dec->GetU64());
+    return p;
+  }
+  size_t ByteSize() const { return 8 + 4 + value.size() + 8; }
+  bool operator==(const KvPair& o) const {
+    return key == o.key && value == o.value && version == o.version;
+  }
+};
+
+/// Put operations travel inside log entries; the entry payload is the
+/// encoded (key, value).
+inline Bytes EncodePutPayload(Key key, Slice value) {
+  Encoder enc;
+  enc.PutU64(key);
+  enc.PutBytes(value);
+  return enc.TakeBuffer();
+}
+
+struct PutOp {
+  Key key;
+  Bytes value;
+};
+
+inline Result<PutOp> DecodePutPayload(Slice payload) {
+  Decoder dec(payload);
+  PutOp op;
+  WEDGE_ASSIGN_OR_RETURN(op.key, dec.GetU64());
+  WEDGE_ASSIGN_OR_RETURN(op.value, dec.GetBytes());
+  WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+  return op;
+}
+
+}  // namespace wedge

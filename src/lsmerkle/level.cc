@@ -1,0 +1,51 @@
+#include "lsmerkle/level.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+Status LevelState::SetPages(std::vector<Page> pages) {
+  WEDGE_RETURN_NOT_OK(CheckLevelRangeInvariant(pages));
+  pages_ = std::move(pages);
+  std::vector<Digest256> leaves;
+  leaves.reserve(pages_.size());
+  for (const Page& p : pages_) leaves.push_back(p.Digest());
+  tree_ = MerkleTree(std::move(leaves));
+
+  filters_.clear();
+  filters_.reserve(pages_.size());
+  for (const Page& p : pages_) {
+    std::vector<Key> keys;
+    keys.reserve(p.pairs.size());
+    for (const KvPair& kv : p.pairs) keys.push_back(kv.key);
+    filters_.push_back(BloomFilter::Build(keys));
+  }
+  return Status::OK();
+}
+
+Result<size_t> LevelState::FindPageIndex(Key key) const {
+  if (pages_.empty()) return Status::NotFound("level is empty");
+  // Binary search on max_key: first page whose max >= key covers it,
+  // because ranges tile the key space.
+  auto it = std::lower_bound(
+      pages_.begin(), pages_.end(), key,
+      [](const Page& p, Key k) { return p.max_key < k; });
+  if (it == pages_.end() || !it->Covers(key)) {
+    return Status::Internal("range invariant violated: no page covers key");
+  }
+  return static_cast<size_t>(it - pages_.begin());
+}
+
+size_t LevelState::ByteSize() const {
+  size_t sz = 0;
+  for (const Page& p : pages_) sz += p.ByteSize();
+  return sz;
+}
+
+size_t LevelState::FilterByteSize() const {
+  size_t sz = 0;
+  for (const BloomFilter& f : filters_) sz += f.ByteSize();
+  return sz;
+}
+
+}  // namespace wedge

@@ -1,0 +1,60 @@
+// LevelState: one LSMerkle level (1..n): its pages plus the Merkle tree
+// over the page digests.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "lsmerkle/bloom.h"
+#include "lsmerkle/page.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+class LevelState {
+ public:
+  LevelState() : tree_({}) {}
+
+  /// Replaces the level's pages (after a merge) and rebuilds the Merkle
+  /// tree and per-page bloom filters. Fails if the range invariant does
+  /// not hold.
+  Status SetPages(std::vector<Page> pages);
+
+  const std::vector<Page>& pages() const { return pages_; }
+  size_t page_count() const { return pages_.size(); }
+  bool empty() const { return pages_.empty(); }
+
+  /// The level's Merkle root (zero digest when empty).
+  const Digest256& root() const { return tree_.Root(); }
+
+  /// Membership proof for the page at `index`.
+  Result<MerkleProof> ProvePage(size_t index) const {
+    return tree_.Prove(index);
+  }
+
+  /// Index of the unique page whose range covers `key`. NotFound when the
+  /// level is empty.
+  Result<size_t> FindPageIndex(Key key) const;
+
+  /// Advisory bloom probe: false means page `index` certainly lacks
+  /// `key`. Filters are local, rebuilt from page contents — never part
+  /// of the certified state, so a wrong filter could only cost latency,
+  /// not correctness.
+  bool MayContain(size_t index, Key key) const {
+    return index < filters_.size() && filters_[index].MayContain(key);
+  }
+
+  /// Total payload bytes across pages (cost model input).
+  size_t ByteSize() const;
+
+  /// Bytes spent on bloom filters (diagnostics / ablation).
+  size_t FilterByteSize() const;
+
+ private:
+  std::vector<Page> pages_;
+  std::vector<BloomFilter> filters_;
+  MerkleTree tree_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,98 @@
+#include "lsmerkle/merge.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+Result<std::vector<KvPair>> PairsFromBlock(const Block& block) {
+  std::vector<KvPair> pairs;
+  pairs.reserve(block.entries.size());
+  for (uint32_t i = 0; i < block.entries.size(); ++i) {
+    auto op = DecodePutPayload(block.entries[i].payload);
+    if (!op.ok()) return op.status();
+    KvPair p;
+    p.key = op->key;
+    p.value = std::move(op->value);
+    p.version = MakeVersion(block.id, i);
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+Result<std::vector<Page>> MergeIntoPages(std::vector<KvPair> newer,
+                                         const std::vector<Page>& lower,
+                                         size_t target_page_pairs,
+                                         SimTime created_at) {
+  if (target_page_pairs == 0) target_page_pairs = 1;
+  WEDGE_RETURN_NOT_OK(CheckLevelRangeInvariant(lower));
+
+  // Sort the newer pairs by (key, version); later we keep the highest
+  // version per key. Stable ordering keeps the merge deterministic.
+  std::sort(newer.begin(), newer.end(), [](const KvPair& a, const KvPair& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.version < b.version;
+  });
+
+  // Classic two-way sorted merge; `newer` shadows `lower` on key ties
+  // (lower levels are strictly older by construction, but the version
+  // check keeps this robust even if that assumption is violated).
+  std::vector<KvPair> merged;
+  size_t lower_total = 0;
+  for (const Page& p : lower) lower_total += p.pairs.size();
+  merged.reserve(newer.size() + lower_total);
+
+  size_t li_page = 0, li_pair = 0;
+  auto lower_peek = [&]() -> const KvPair* {
+    while (li_page < lower.size() && li_pair >= lower[li_page].pairs.size()) {
+      ++li_page;
+      li_pair = 0;
+    }
+    return li_page < lower.size() ? &lower[li_page].pairs[li_pair] : nullptr;
+  };
+
+  size_t ni = 0;
+  auto push_merged = [&](KvPair p) {
+    if (!merged.empty() && merged.back().key == p.key) {
+      if (p.version >= merged.back().version) merged.back() = std::move(p);
+      return;
+    }
+    merged.push_back(std::move(p));
+  };
+
+  while (true) {
+    const KvPair* low = lower_peek();
+    const bool have_new = ni < newer.size();
+    if (!have_new && low == nullptr) break;
+    if (!have_new || (low != nullptr && low->key < newer[ni].key)) {
+      push_merged(*low);
+      ++li_pair;
+    } else {
+      push_merged(std::move(newer[ni]));
+      ++ni;
+    }
+  }
+
+  if (merged.empty()) return std::vector<Page>{};
+
+  // Split into pages and assign tiling ranges: each page's max is the key
+  // just before the next page's first key; first min is 0, last max is
+  // infinity.
+  std::vector<Page> out;
+  for (size_t start = 0; start < merged.size(); start += target_page_pairs) {
+    size_t end = std::min(start + target_page_pairs, merged.size());
+    Page page;
+    page.created_at = created_at;
+    page.pairs.assign(std::make_move_iterator(merged.begin() + start),
+                      std::make_move_iterator(merged.begin() + end));
+    out.push_back(std::move(page));
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].min_key = i == 0 ? kMinKey : out[i - 1].max_key + 1;
+    out[i].max_key =
+        i + 1 < out.size() ? out[i + 1].pairs.front().key - 1 : kMaxKey;
+  }
+  WEDGE_RETURN_NOT_OK(CheckLevelRangeInvariant(out));
+  return out;
+}
+
+}  // namespace wedge

@@ -1,0 +1,33 @@
+// Merge logic shared by the edge (to predict results) and the cloud (the
+// authoritative merger, paper §V-B "Merging").
+//
+// A merge takes the newer data (L0 blocks or level-i pages) and the pages
+// of level i+1, and produces a fresh page tiling of level i+1: one version
+// per key (newest wins), pages split at a target size, ranges covering
+// [0, infinity] with no gaps.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "log/block.h"
+#include "lsmerkle/kv.h"
+#include "lsmerkle/page.h"
+
+namespace wedge {
+
+/// Extracts the versioned put operations from a log block, in apply order.
+/// Errors if any entry payload is not a well-formed put.
+Result<std::vector<KvPair>> PairsFromBlock(const Block& block);
+
+/// Merges `newer` pairs (any order, duplicates allowed — highest version
+/// wins) with the sorted pages of the lower level. Produces pages of at
+/// most `target_page_pairs` pairs whose ranges tile [0, infinity].
+/// Returns an empty vector only when there is no data at all.
+Result<std::vector<Page>> MergeIntoPages(std::vector<KvPair> newer,
+                                         const std::vector<Page>& lower,
+                                         size_t target_page_pairs,
+                                         SimTime created_at);
+
+}  // namespace wedge

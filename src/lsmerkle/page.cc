@@ -1,0 +1,73 @@
+#include "lsmerkle/page.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+std::optional<KvPair> Page::Find(Key key) const {
+  auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), key,
+      [](const KvPair& p, Key k) { return p.key < k; });
+  if (it == pairs.end() || it->key != key) return std::nullopt;
+  return *it;
+}
+
+Status Page::CheckWellFormed() const {
+  if (min_key > max_key) {
+    return Status::Corruption("page min_key > max_key");
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!Covers(pairs[i].key)) {
+      return Status::Corruption("pair key outside page range");
+    }
+    if (i > 0 && pairs[i - 1].key >= pairs[i].key) {
+      return Status::Corruption("page pairs not strictly sorted");
+    }
+  }
+  return Status::OK();
+}
+
+void Page::EncodeTo(Encoder* enc) const {
+  enc->PutU64(min_key);
+  enc->PutU64(max_key);
+  enc->PutI64(created_at);
+  enc->PutU32(static_cast<uint32_t>(pairs.size()));
+  for (const auto& p : pairs) p.EncodeTo(enc);
+}
+
+Result<Page> Page::DecodeFrom(Decoder* dec) {
+  Page pg;
+  WEDGE_ASSIGN_OR_RETURN(pg.min_key, dec->GetU64());
+  WEDGE_ASSIGN_OR_RETURN(pg.max_key, dec->GetU64());
+  WEDGE_ASSIGN_OR_RETURN(pg.created_at, dec->GetI64());
+  uint32_t n = 0;
+  WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
+  pg.pairs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto p = KvPair::DecodeFrom(dec);
+    if (!p.ok()) return p.status();
+    pg.pairs.push_back(std::move(*p));
+  }
+  return pg;
+}
+
+Status CheckLevelRangeInvariant(const std::vector<Page>& pages) {
+  if (pages.empty()) return Status::OK();
+  if (pages.front().min_key != kMinKey) {
+    return Status::Corruption("first page min is not 0");
+  }
+  if (pages.back().max_key != kMaxKey) {
+    return Status::Corruption("last page max is not infinity");
+  }
+  for (size_t i = 0; i < pages.size(); ++i) {
+    WEDGE_RETURN_NOT_OK(pages[i].CheckWellFormed());
+    if (i > 0 && pages[i - 1].max_key != pages[i].min_key - 1) {
+      return Status::Corruption(
+          "range gap/overlap between consecutive pages at index " +
+          std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wedge

@@ -1,0 +1,68 @@
+// Page: an immutable sorted run of key-value pairs in LSMerkle levels 1..n.
+//
+// Each page owns a key range [min_key, max_key]. Within a level, pages
+// tile the whole key space: the first page's min is 0, the last page's max
+// is infinity, and consecutive pages px, py satisfy px.max = py.min - 1
+// (paper §V-B). A client can therefore verify from (min, max) alone that
+// no *other* page of the level can contain a key — the heart of
+// non-membership proofs.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "lsmerkle/kv.h"
+
+namespace wedge {
+
+struct Page {
+  Key min_key = kMinKey;
+  Key max_key = kMaxKey;
+  /// Sorted by key, strictly increasing (levels >= 1 hold at most one
+  /// version per key; merges keep the newest).
+  std::vector<KvPair> pairs;
+  /// Cloud time of the merge that created this page.
+  SimTime created_at = 0;
+
+  /// Binary search within the page. nullopt if absent.
+  std::optional<KvPair> Find(Key key) const;
+
+  /// True iff `key` falls in this page's owned range.
+  bool Covers(Key key) const { return key >= min_key && key <= max_key; }
+
+  /// Checks internal invariants: pairs sorted strictly by key, all pair
+  /// keys within [min_key, max_key], min <= max.
+  Status CheckWellFormed() const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<Page> DecodeFrom(Decoder* dec);
+  Bytes Encode() const {
+    Encoder enc;
+    EncodeTo(&enc);
+    return enc.TakeBuffer();
+  }
+
+  /// The page digest: the Merkle leaf for this page.
+  Digest256 Digest() const { return Digest256::Of(Encode()); }
+
+  size_t ByteSize() const {
+    size_t sz = 8 + 8 + 8 + 4;
+    for (const auto& p : pairs) sz += p.ByteSize();
+    return sz;
+  }
+
+  bool operator==(const Page& o) const {
+    return min_key == o.min_key && max_key == o.max_key && pairs == o.pairs &&
+           created_at == o.created_at;
+  }
+};
+
+/// Checks the cross-page range invariant for a whole level: first min is
+/// 0, last max is infinity, px.max = py.min - 1 for consecutive pages.
+Status CheckLevelRangeInvariant(const std::vector<Page>& pages);
+
+}  // namespace wedge

@@ -1,0 +1,258 @@
+#include "lsmerkle/read_proof.h"
+
+#include <algorithm>
+
+namespace wedge {
+
+void GetLevelPart::EncodeTo(Encoder* enc) const {
+  enc->PutU32(level);
+  page.EncodeTo(enc);
+  proof.EncodeTo(enc);
+}
+
+Result<GetLevelPart> GetLevelPart::DecodeFrom(Decoder* dec) {
+  GetLevelPart part;
+  WEDGE_ASSIGN_OR_RETURN(part.level, dec->GetU32());
+  WEDGE_ASSIGN_OR_RETURN(part.page, Page::DecodeFrom(dec));
+  WEDGE_ASSIGN_OR_RETURN(part.proof, MerkleProof::DecodeFrom(dec));
+  return part;
+}
+
+void GetResponseBody::EncodeTo(Encoder* enc) const {
+  enc->PutU64(key);
+  enc->PutBool(found);
+  enc->PutU32(found_level);
+  enc->PutBytes(value);
+  enc->PutU64(version);
+  enc->PutU32(static_cast<uint32_t>(l0_blocks.size()));
+  for (size_t i = 0; i < l0_blocks.size(); ++i) {
+    l0_blocks[i].EncodeTo(enc);
+    const bool has_cert = i < l0_certs.size() && l0_certs[i].has_value();
+    enc->PutBool(has_cert);
+    if (has_cert) l0_certs[i]->EncodeTo(enc);
+  }
+  enc->PutU32(static_cast<uint32_t>(parts.size()));
+  for (const auto& p : parts) p.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(level_roots.size()));
+  for (const auto& r : level_roots) r.EncodeTo(enc);
+  enc->PutBool(root_cert.has_value());
+  if (root_cert.has_value()) root_cert->EncodeTo(enc);
+}
+
+Result<GetResponseBody> GetResponseBody::DecodeFrom(Decoder* dec) {
+  GetResponseBody b;
+  WEDGE_ASSIGN_OR_RETURN(b.key, dec->GetU64());
+  WEDGE_ASSIGN_OR_RETURN(b.found, dec->GetBool());
+  WEDGE_ASSIGN_OR_RETURN(b.found_level, dec->GetU32());
+  WEDGE_ASSIGN_OR_RETURN(b.value, dec->GetBytes());
+  WEDGE_ASSIGN_OR_RETURN(b.version, dec->GetU64());
+  uint32_t nblocks = 0;
+  WEDGE_ASSIGN_OR_RETURN(nblocks, dec->GetU32());
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    auto blk = Block::DecodeFrom(dec);
+    if (!blk.ok()) return blk.status();
+    b.l0_blocks.push_back(std::move(*blk));
+    bool has_cert = false;
+    WEDGE_ASSIGN_OR_RETURN(has_cert, dec->GetBool());
+    if (has_cert) {
+      auto cert = BlockCertificate::DecodeFrom(dec);
+      if (!cert.ok()) return cert.status();
+      b.l0_certs.push_back(std::move(*cert));
+    } else {
+      b.l0_certs.emplace_back(std::nullopt);
+    }
+  }
+  uint32_t nparts = 0;
+  WEDGE_ASSIGN_OR_RETURN(nparts, dec->GetU32());
+  for (uint32_t i = 0; i < nparts; ++i) {
+    auto part = GetLevelPart::DecodeFrom(dec);
+    if (!part.ok()) return part.status();
+    b.parts.push_back(std::move(*part));
+  }
+  uint32_t nroots = 0;
+  WEDGE_ASSIGN_OR_RETURN(nroots, dec->GetU32());
+  for (uint32_t i = 0; i < nroots; ++i) {
+    auto root = Digest256::DecodeFrom(dec);
+    if (!root.ok()) return root.status();
+    b.level_roots.push_back(*root);
+  }
+  bool has_root_cert = false;
+  WEDGE_ASSIGN_OR_RETURN(has_root_cert, dec->GetBool());
+  if (has_root_cert) {
+    auto cert = RootCertificate::DecodeFrom(dec);
+    if (!cert.ok()) return cert.status();
+    b.root_cert = std::move(*cert);
+  }
+  return b;
+}
+
+size_t GetResponseBody::ByteSize() const {
+  size_t sz = 8 + 1 + 4 + 4 + value.size() + 8;
+  for (const auto& blk : l0_blocks) sz += blk.ByteSize() + 1;
+  for (const auto& c : l0_certs) {
+    if (c.has_value()) sz += 96;
+  }
+  for (const auto& p : parts) sz += 4 + p.page.ByteSize() + p.proof.ByteSize();
+  sz += 4 + level_roots.size() * 32 + 1 + (root_cert.has_value() ? 96 : 0);
+  return sz;
+}
+
+namespace {
+
+Status Violation(const std::string& what) {
+  return Status::SecurityViolation("get response: " + what);
+}
+
+}  // namespace
+
+Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
+                                      Key key, const GetResponseBody& resp,
+                                      const GetVerifyOptions& opts) {
+  if (resp.key != key) return Violation("answers a different key");
+
+  // --- Root certificate binds the level roots. ---
+  const bool any_level_nonempty = std::any_of(
+      resp.level_roots.begin(), resp.level_roots.end(),
+      [](const Digest256& d) { return !d.IsZero(); });
+  if (resp.root_cert.has_value()) {
+    WEDGE_RETURN_NOT_OK(resp.root_cert->Validate(keystore));
+    if (resp.root_cert->edge != edge) {
+      return Violation("root certificate is for a different edge");
+    }
+    if (ComputeGlobalRoot(resp.root_cert->epoch, resp.level_roots) !=
+        resp.root_cert->global_root) {
+      return Violation("level roots do not hash to certified global root");
+    }
+  } else if (any_level_nonempty || !resp.parts.empty()) {
+    // Level pages only exist after a merge, and merges always produce a
+    // signed root. Claiming level data without a cert is a lie.
+    return Violation("level data presented without a root certificate");
+  }
+
+  // --- Freshness window (§V-D). ---
+  if (opts.freshness_window >= 0) {
+    if (!resp.root_cert.has_value()) {
+      return Status::FailedPrecondition(
+          "freshness required but no root certificate yet");
+    }
+    if (opts.now - resp.root_cert->cloud_time > opts.freshness_window) {
+      return Status::FailedPrecondition(
+          "snapshot older than the freshness window");
+    }
+  }
+
+  // --- L0 blocks: contiguous ids, valid certificates where present. ---
+  if (resp.l0_certs.size() != resp.l0_blocks.size()) {
+    return Violation("l0 certificate vector size mismatch");
+  }
+  bool all_l0_certified = true;
+  for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
+    const Block& blk = resp.l0_blocks[i];
+    if (i > 0 && blk.id != resp.l0_blocks[i - 1].id + 1) {
+      return Violation("L0 block ids are not contiguous");
+    }
+    WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
+    const auto& cert = resp.l0_certs[i];
+    if (cert.has_value()) {
+      WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+      if (cert->edge != edge) return Violation("block cert for wrong edge");
+      if (cert->bid != blk.id) return Violation("block cert for wrong bid");
+      if (cert->digest != blk.Digest()) {
+        return Violation("block digest does not match certificate");
+      }
+    } else {
+      all_l0_certified = false;
+    }
+  }
+
+  // --- Newest version in L0, from the blocks themselves. ---
+  bool l0_found = false;
+  KvPair l0_hit;
+  for (auto bit = resp.l0_blocks.rbegin(); bit != resp.l0_blocks.rend();
+       ++bit) {
+    for (uint32_t idx = static_cast<uint32_t>(bit->entries.size()); idx-- > 0;) {
+      auto op = DecodePutPayload(bit->entries[idx].payload);
+      if (!op.ok()) return Violation("malformed put payload in L0 block");
+      if (op->key == key) {
+        l0_found = true;
+        l0_hit.key = key;
+        l0_hit.value = std::move(op->value);
+        l0_hit.version = MakeVersion(bit->id, idx);
+        break;
+      }
+    }
+    if (l0_found) break;
+  }
+
+  // --- Level parts: verify each against its level root; determine the
+  // newest level hit. ---
+  const size_t nlevels = resp.level_roots.size();
+  std::vector<bool> level_covered(nlevels + 1, false);
+  bool part_found = false;
+  KvPair part_hit;
+  uint32_t part_hit_level = 0;
+  for (const auto& part : resp.parts) {
+    if (part.level == 0 || part.level > nlevels) {
+      return Violation("part level out of range");
+    }
+    if (level_covered[part.level]) return Violation("duplicate level part");
+    level_covered[part.level] = true;
+    const Digest256& root = resp.level_roots[part.level - 1];
+    if (root.IsZero()) return Violation("part for an empty level");
+    WEDGE_RETURN_NOT_OK(part.page.CheckWellFormed());
+    if (!part.page.Covers(key)) {
+      return Violation("part page range does not cover the key");
+    }
+    WEDGE_RETURN_NOT_OK(
+        MerkleTree::Verify(root, part.page.Digest(), part.proof));
+    auto hit = part.page.Find(key);
+    if (hit.has_value() && (!part_found || part.level < part_hit_level)) {
+      part_found = true;
+      part_hit = *hit;
+      part_hit_level = part.level;
+    }
+  }
+
+  // --- Completeness: every non-empty level newer than the hit must have
+  // presented its covering page (it could have held a newer version). ---
+  uint32_t newest_needed;  // levels 1..newest_needed must be covered
+  if (l0_found) {
+    newest_needed = 0;  // L0 shadows all levels
+  } else if (part_found) {
+    newest_needed = part_hit_level;
+  } else {
+    newest_needed = static_cast<uint32_t>(nlevels);
+  }
+  for (uint32_t lvl = 1; lvl <= newest_needed; ++lvl) {
+    if (!resp.level_roots[lvl - 1].IsZero() && !level_covered[lvl]) {
+      return Violation("missing page for non-empty level " +
+                       std::to_string(lvl));
+    }
+  }
+
+  // --- The response's claim must match the evidence. ---
+  VerifiedGet out;
+  out.phase2 = all_l0_certified;
+  if (l0_found) {
+    out.found = true;
+    out.value = l0_hit.value;
+    out.version = l0_hit.version;
+    if (!resp.found || resp.found_level != 0 || resp.value != out.value) {
+      return Violation("claim contradicts L0 evidence");
+    }
+  } else if (part_found) {
+    out.found = true;
+    out.value = part_hit.value;
+    out.version = part_hit.version;
+    if (!resp.found || resp.found_level != part_hit_level ||
+        resp.value != out.value) {
+      return Violation("claim contradicts level evidence");
+    }
+  } else {
+    out.found = false;
+    if (resp.found) return Violation("claims a value but evidence shows none");
+  }
+  return out;
+}
+
+}  // namespace wedge

@@ -1,0 +1,104 @@
+// Get-response proofs and their client-side verification (paper §V-B
+// "Reading").
+//
+// A get response carries everything a client needs to check — against
+// cloud-signed roots only — that the returned value is the newest version
+// in the snapshot:
+//   - all L0 blocks (any of them may hold a newer version), with their
+//     block certificates where available (Phase I reads may lack some);
+//   - for each level between 1 and the level of the hit (all levels on a
+//     miss), the unique page whose range covers the key plus its Merkle
+//     membership proof against the level root;
+//   - the list of level roots and the cloud-signed root certificate that
+//     binds them via the global root.
+//
+// The range invariant (page.min <= key <= page.max, ranges tile the key
+// space) is what turns "this page does not contain the key" into "this
+// *level* does not contain the key".
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "crypto/signature.h"
+#include "log/block.h"
+#include "log/certificate.h"
+#include "lsmerkle/page.h"
+#include "lsmerkle/root_certificate.h"
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+/// One level's contribution to a get proof.
+struct GetLevelPart {
+  uint32_t level = 0;  // 1-based level index
+  Page page;
+  MerkleProof proof;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<GetLevelPart> DecodeFrom(Decoder* dec);
+  bool operator==(const GetLevelPart& o) const {
+    return level == o.level && page == o.page && proof == o.proof;
+  }
+};
+
+/// The body of a get response.
+struct GetResponseBody {
+  Key key = 0;
+  bool found = false;
+  /// 0 = found in L0; else the level of the hit. Meaningless when !found.
+  uint32_t found_level = 0;
+  Bytes value;        // claimed value (empty when !found)
+  uint64_t version = 0;
+
+  /// All L0 blocks, oldest first, with optional certificates (parallel
+  /// vector; an empty optional means the block is only Phase I committed).
+  std::vector<Block> l0_blocks;
+  std::vector<std::optional<BlockCertificate>> l0_certs;
+
+  /// Intersecting page per level (1..found_level, or all non-empty levels
+  /// on a miss).
+  std::vector<GetLevelPart> parts;
+
+  /// Merkle roots of all levels 1..n (zero digest = empty level).
+  std::vector<Digest256> level_roots;
+
+  /// Cloud-signed global root; absent only while no merge has happened.
+  std::optional<RootCertificate> root_cert;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<GetResponseBody> DecodeFrom(Decoder* dec);
+  size_t ByteSize() const;
+};
+
+struct GetVerifyOptions {
+  /// Client's current time, for the freshness check.
+  SimTime now = 0;
+  /// Maximum acceptable age of the root certificate (§V-D). Negative
+  /// disables the check.
+  SimTime freshness_window = -1;
+};
+
+/// Outcome of verifying a get response.
+struct VerifiedGet {
+  bool found = false;
+  Bytes value;
+  uint64_t version = 0;
+  /// True when every component was cloud-certified (Phase II read);
+  /// false when some L0 block awaits certification (Phase I read).
+  bool phase2 = false;
+};
+
+/// Verifies a get response against the keystore. Returns the verified
+/// value, or:
+///  - SecurityViolation: a proof/signature/range check failed, or the
+///    response's claim contradicts its own evidence (edge lied);
+///  - FailedPrecondition: the snapshot is older than the freshness window.
+Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
+                                      Key key, const GetResponseBody& resp,
+                                      const GetVerifyOptions& opts = {});
+
+}  // namespace wedge

@@ -1,0 +1,92 @@
+// RootCertificate: the cloud-signed (epoch, global root) of an LSMerkle
+// snapshot.
+//
+// The global root is the hash of all level Merkle roots (paper §V-B).
+// The cloud signs it together with a timestamp after every merge; the
+// timestamp drives the freshness-window check of §V-D.
+
+#pragma once
+
+#include <vector>
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+
+/// Deterministic global root over the per-level Merkle roots. The epoch is
+/// folded in so two snapshots with identical roots at different epochs
+/// cannot be confused.
+inline Digest256 ComputeGlobalRoot(Epoch epoch,
+                                   const std::vector<Digest256>& level_roots) {
+  Encoder enc;
+  enc.PutU64(epoch);
+  enc.PutU32(static_cast<uint32_t>(level_roots.size()));
+  for (const auto& r : level_roots) r.EncodeTo(&enc);
+  return Digest256::Of(enc.buffer());
+}
+
+struct RootCertificate {
+  NodeId edge = kInvalidNodeId;
+  Epoch epoch = 0;
+  Digest256 global_root;
+  SimTime cloud_time = 0;
+  Signature cloud_sig;
+
+  Bytes SigningBytes() const {
+    Encoder enc;
+    enc.PutU32(edge);
+    enc.PutU64(epoch);
+    global_root.EncodeTo(&enc);
+    enc.PutI64(cloud_time);
+    return enc.TakeBuffer();
+  }
+
+  static RootCertificate Make(const Signer& cloud_signer, NodeId edge,
+                              Epoch epoch, const Digest256& global_root,
+                              SimTime cloud_time) {
+    RootCertificate c;
+    c.edge = edge;
+    c.epoch = epoch;
+    c.global_root = global_root;
+    c.cloud_time = cloud_time;
+    c.cloud_sig = cloud_signer.Sign(c.SigningBytes());
+    return c;
+  }
+
+  Status Validate(const KeyStore& keystore) const {
+    if (!keystore.HasRole(cloud_sig.signer, Role::kCloud)) {
+      return Status::SecurityViolation(
+          "root certificate not signed by a cloud identity");
+    }
+    return keystore.Verify(cloud_sig, SigningBytes());
+  }
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU32(edge);
+    enc->PutU64(epoch);
+    global_root.EncodeTo(enc);
+    enc->PutI64(cloud_time);
+    cloud_sig.EncodeTo(enc);
+  }
+
+  static Result<RootCertificate> DecodeFrom(Decoder* dec) {
+    RootCertificate c;
+    WEDGE_ASSIGN_OR_RETURN(c.edge, dec->GetU32());
+    WEDGE_ASSIGN_OR_RETURN(c.epoch, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(c.global_root, Digest256::DecodeFrom(dec));
+    WEDGE_ASSIGN_OR_RETURN(c.cloud_time, dec->GetI64());
+    WEDGE_ASSIGN_OR_RETURN(c.cloud_sig, Signature::DecodeFrom(dec));
+    return c;
+  }
+
+  bool operator==(const RootCertificate& o) const {
+    return edge == o.edge && epoch == o.epoch &&
+           global_root == o.global_root && cloud_time == o.cloud_time &&
+           cloud_sig == o.cloud_sig;
+  }
+};
+
+}  // namespace wedge

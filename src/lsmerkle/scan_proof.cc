@@ -1,0 +1,293 @@
+#include "lsmerkle/scan_proof.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wedge {
+
+void ScanLevelRun::EncodeTo(Encoder* enc) const {
+  enc->PutU32(level);
+  enc->PutU32(static_cast<uint32_t>(pages.size()));
+  for (const Page& p : pages) p.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(proofs.size()));
+  for (const MerkleProof& p : proofs) p.EncodeTo(enc);
+}
+
+Result<ScanLevelRun> ScanLevelRun::DecodeFrom(Decoder* dec) {
+  ScanLevelRun run;
+  WEDGE_ASSIGN_OR_RETURN(run.level, dec->GetU32());
+  uint32_t npages = 0;
+  WEDGE_ASSIGN_OR_RETURN(npages, dec->GetU32());
+  run.pages.reserve(npages);
+  for (uint32_t i = 0; i < npages; ++i) {
+    auto p = Page::DecodeFrom(dec);
+    if (!p.ok()) return p.status();
+    run.pages.push_back(std::move(*p));
+  }
+  uint32_t nproofs = 0;
+  WEDGE_ASSIGN_OR_RETURN(nproofs, dec->GetU32());
+  run.proofs.reserve(nproofs);
+  for (uint32_t i = 0; i < nproofs; ++i) {
+    auto p = MerkleProof::DecodeFrom(dec);
+    if (!p.ok()) return p.status();
+    run.proofs.push_back(std::move(*p));
+  }
+  return run;
+}
+
+void ScanResponseBody::EncodeTo(Encoder* enc) const {
+  enc->PutU64(lo);
+  enc->PutU64(hi);
+  enc->PutU32(static_cast<uint32_t>(pairs.size()));
+  for (const KvPair& p : pairs) p.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(l0_blocks.size()));
+  for (size_t i = 0; i < l0_blocks.size(); ++i) {
+    l0_blocks[i].EncodeTo(enc);
+    const bool has_cert = i < l0_certs.size() && l0_certs[i].has_value();
+    enc->PutBool(has_cert);
+    if (has_cert) l0_certs[i]->EncodeTo(enc);
+  }
+  enc->PutU32(static_cast<uint32_t>(runs.size()));
+  for (const auto& r : runs) r.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(level_roots.size()));
+  for (const auto& r : level_roots) r.EncodeTo(enc);
+  enc->PutBool(root_cert.has_value());
+  if (root_cert.has_value()) root_cert->EncodeTo(enc);
+}
+
+Result<ScanResponseBody> ScanResponseBody::DecodeFrom(Decoder* dec) {
+  ScanResponseBody b;
+  WEDGE_ASSIGN_OR_RETURN(b.lo, dec->GetU64());
+  WEDGE_ASSIGN_OR_RETURN(b.hi, dec->GetU64());
+  uint32_t npairs = 0;
+  WEDGE_ASSIGN_OR_RETURN(npairs, dec->GetU32());
+  b.pairs.reserve(npairs);
+  for (uint32_t i = 0; i < npairs; ++i) {
+    auto p = KvPair::DecodeFrom(dec);
+    if (!p.ok()) return p.status();
+    b.pairs.push_back(std::move(*p));
+  }
+  uint32_t nblocks = 0;
+  WEDGE_ASSIGN_OR_RETURN(nblocks, dec->GetU32());
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    auto blk = Block::DecodeFrom(dec);
+    if (!blk.ok()) return blk.status();
+    b.l0_blocks.push_back(std::move(*blk));
+    bool has_cert = false;
+    WEDGE_ASSIGN_OR_RETURN(has_cert, dec->GetBool());
+    if (has_cert) {
+      auto cert = BlockCertificate::DecodeFrom(dec);
+      if (!cert.ok()) return cert.status();
+      b.l0_certs.push_back(std::move(*cert));
+    } else {
+      b.l0_certs.emplace_back(std::nullopt);
+    }
+  }
+  uint32_t nruns = 0;
+  WEDGE_ASSIGN_OR_RETURN(nruns, dec->GetU32());
+  for (uint32_t i = 0; i < nruns; ++i) {
+    auto run = ScanLevelRun::DecodeFrom(dec);
+    if (!run.ok()) return run.status();
+    b.runs.push_back(std::move(*run));
+  }
+  uint32_t nroots = 0;
+  WEDGE_ASSIGN_OR_RETURN(nroots, dec->GetU32());
+  for (uint32_t i = 0; i < nroots; ++i) {
+    auto root = Digest256::DecodeFrom(dec);
+    if (!root.ok()) return root.status();
+    b.level_roots.push_back(*root);
+  }
+  bool has_root_cert = false;
+  WEDGE_ASSIGN_OR_RETURN(has_root_cert, dec->GetBool());
+  if (has_root_cert) {
+    auto cert = RootCertificate::DecodeFrom(dec);
+    if (!cert.ok()) return cert.status();
+    b.root_cert = std::move(*cert);
+  }
+  return b;
+}
+
+size_t ScanResponseBody::ByteSize() const {
+  size_t sz = 8 + 8 + 4;
+  for (const auto& p : pairs) sz += p.ByteSize();
+  for (const auto& blk : l0_blocks) sz += blk.ByteSize() + 1;
+  for (const auto& c : l0_certs) {
+    if (c.has_value()) sz += 96;
+  }
+  for (const auto& run : runs) {
+    sz += 8;
+    for (const auto& p : run.pages) sz += p.ByteSize();
+    for (const auto& p : run.proofs) sz += p.ByteSize();
+  }
+  sz += 4 + level_roots.size() * 32 + 1 + (root_cert.has_value() ? 96 : 0);
+  return sz;
+}
+
+namespace {
+
+Status Violation(const std::string& what) {
+  return Status::SecurityViolation("scan response: " + what);
+}
+
+}  // namespace
+
+Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
+                                        Key lo, Key hi,
+                                        const ScanResponseBody& resp,
+                                        const GetVerifyOptions& opts) {
+  if (lo > hi) return Status::InvalidArgument("scan range is empty");
+  if (resp.lo != lo || resp.hi != hi) {
+    return Violation("answers a different range");
+  }
+
+  // --- Root certificate binds the level roots (as in gets). ---
+  const bool any_level_nonempty = std::any_of(
+      resp.level_roots.begin(), resp.level_roots.end(),
+      [](const Digest256& d) { return !d.IsZero(); });
+  if (resp.root_cert.has_value()) {
+    WEDGE_RETURN_NOT_OK(resp.root_cert->Validate(keystore));
+    if (resp.root_cert->edge != edge) {
+      return Violation("root certificate is for a different edge");
+    }
+    if (ComputeGlobalRoot(resp.root_cert->epoch, resp.level_roots) !=
+        resp.root_cert->global_root) {
+      return Violation("level roots do not hash to certified global root");
+    }
+  } else if (any_level_nonempty || !resp.runs.empty()) {
+    return Violation("level data presented without a root certificate");
+  }
+
+  // --- Freshness window (§V-D). ---
+  if (opts.freshness_window >= 0) {
+    if (!resp.root_cert.has_value()) {
+      return Status::FailedPrecondition(
+          "freshness required but no root certificate yet");
+    }
+    if (opts.now - resp.root_cert->cloud_time > opts.freshness_window) {
+      return Status::FailedPrecondition(
+          "snapshot older than the freshness window");
+    }
+  }
+
+  // --- L0 blocks: contiguous, certified where claimed. ---
+  if (resp.l0_certs.size() != resp.l0_blocks.size()) {
+    return Violation("l0 certificate vector size mismatch");
+  }
+  bool all_l0_certified = true;
+  for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
+    const Block& blk = resp.l0_blocks[i];
+    if (i > 0 && blk.id != resp.l0_blocks[i - 1].id + 1) {
+      return Violation("L0 block ids are not contiguous");
+    }
+    WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
+    const auto& cert = resp.l0_certs[i];
+    if (cert.has_value()) {
+      WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+      if (cert->edge != edge) return Violation("block cert for wrong edge");
+      if (cert->bid != blk.id) return Violation("block cert for wrong bid");
+      if (cert->digest != blk.Digest()) {
+        return Violation("block digest does not match certificate");
+      }
+    } else {
+      all_l0_certified = false;
+    }
+  }
+
+  // --- Rebuild the result from evidence: newest version per key. ---
+  std::map<Key, KvPair> newest;  // key -> newest pair seen so far
+
+  // L0 first (newest data); within L0, higher version wins.
+  for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
+    const Block& blk = resp.l0_blocks[i];
+    for (uint32_t idx = 0; idx < blk.entries.size(); ++idx) {
+      auto op = DecodePutPayload(blk.entries[idx].payload);
+      if (!op.ok()) return Violation("malformed put payload in L0 block");
+      if (op->key < lo || op->key > hi) continue;
+      KvPair pair;
+      pair.key = op->key;
+      pair.value = std::move(op->value);
+      pair.version = MakeVersion(blk.id, idx);
+      auto it = newest.find(pair.key);
+      if (it == newest.end() || it->second.version < pair.version) {
+        newest[pair.key] = std::move(pair);
+      }
+    }
+  }
+  // Key set settled by L0 entries; levels only add keys L0 lacks.
+  const auto l0_keys = newest;
+
+  // --- Level runs: verified, adjacent, and covering [lo, hi].
+  // Processed in ascending level order (lower level = newer data), so a
+  // key present at several levels resolves to its newest version no
+  // matter how the response ordered the runs. ---
+  const size_t nlevels = resp.level_roots.size();
+  std::vector<bool> level_presented(nlevels + 1, false);
+  std::vector<const ScanLevelRun*> by_level(nlevels + 1, nullptr);
+  for (const auto& run : resp.runs) {
+    if (run.level == 0 || run.level > nlevels) {
+      return Violation("run level out of range");
+    }
+    if (level_presented[run.level]) return Violation("duplicate level run");
+    level_presented[run.level] = true;
+    by_level[run.level] = &run;
+  }
+  for (uint32_t lvl = 1; lvl <= nlevels; ++lvl) {
+    if (by_level[lvl] == nullptr) continue;
+    const ScanLevelRun& run = *by_level[lvl];
+    const Digest256& root = resp.level_roots[run.level - 1];
+    if (root.IsZero()) return Violation("run for an empty level");
+    if (run.pages.empty()) return Violation("empty run for non-empty level");
+    if (run.proofs.size() != run.pages.size()) {
+      return Violation("run proof count mismatch");
+    }
+    // Ends must cover the scanned range...
+    if (!run.pages.front().Covers(lo) || !run.pages.back().Covers(hi)) {
+      return Violation("run does not cover the scanned range");
+    }
+    for (size_t i = 0; i < run.pages.size(); ++i) {
+      const Page& page = run.pages[i];
+      WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
+      // ...and interior pages must be adjacent: a withheld middle page
+      // would leave a hole here.
+      if (i > 0 && run.pages[i - 1].max_key != page.min_key - 1) {
+        return Violation("run pages are not adjacent");
+      }
+      WEDGE_RETURN_NOT_OK(
+          MerkleTree::Verify(root, page.Digest(), run.proofs[i]));
+      for (const KvPair& kv : page.pairs) {
+        if (kv.key < lo || kv.key > hi) continue;
+        // Lower levels are newer: only fill keys not seen yet. L0 keys
+        // always shadow level keys.
+        if (l0_keys.count(kv.key) != 0) continue;
+        newest.emplace(kv.key, kv);  // first (newest) level wins
+      }
+    }
+  }
+
+  // --- Completeness: every non-empty level must have presented a run
+  // (any level could contribute keys anywhere in the range). ---
+  for (uint32_t lvl = 1; lvl <= nlevels; ++lvl) {
+    if (!resp.level_roots[lvl - 1].IsZero() && !level_presented[lvl]) {
+      return Violation("missing run for non-empty level " +
+                       std::to_string(lvl));
+    }
+  }
+
+  // --- Claim must equal evidence. ---
+  VerifiedScan out;
+  out.phase2 = all_l0_certified;
+  out.pairs.reserve(newest.size());
+  for (auto& [key, pair] : newest) out.pairs.push_back(std::move(pair));
+  if (out.pairs.size() != resp.pairs.size()) {
+    return Violation("claimed pair count contradicts evidence");
+  }
+  for (size_t i = 0; i < out.pairs.size(); ++i) {
+    if (!(out.pairs[i] == resp.pairs[i])) {
+      return Violation("claimed pair contradicts evidence at index " +
+                       std::to_string(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace wedge

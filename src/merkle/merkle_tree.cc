@@ -1,0 +1,75 @@
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+
+namespace {
+/// One reduction step: pairs are combined, an unpaired tail node is
+/// promoted unchanged.
+std::vector<Digest256> NextLevel(const std::vector<Digest256>& level) {
+  std::vector<Digest256> next;
+  next.reserve((level.size() + 1) / 2);
+  for (size_t i = 0; i + 1 < level.size(); i += 2) {
+    next.push_back(Digest256::Combine(level[i], level[i + 1]));
+  }
+  if (level.size() % 2 == 1) next.push_back(level.back());
+  return next;
+}
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Digest256> leaves) {
+  if (leaves.empty()) {
+    root_ = Digest256();
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    levels_.push_back(NextLevel(levels_.back()));
+  }
+  root_ = levels_.back()[0];
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t leaf_index) const {
+  if (levels_.empty() || leaf_index >= levels_[0].size()) {
+    return Status::OutOfRange("leaf index " + std::to_string(leaf_index) +
+                              " out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = static_cast<uint32_t>(leaf_index);
+  proof.leaf_count = static_cast<uint32_t>(levels_[0].size());
+  size_t idx = leaf_index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    if (idx % 2 == 0) {
+      if (idx + 1 < level.size()) {
+        proof.steps.push_back({level[idx + 1], /*sibling_is_left=*/false});
+      }
+      // else: promoted node, no sibling at this level.
+    } else {
+      proof.steps.push_back({level[idx - 1], /*sibling_is_left=*/true});
+    }
+    idx /= 2;
+  }
+  return proof;
+}
+
+Status MerkleTree::Verify(const Digest256& root, const Digest256& leaf,
+                          const MerkleProof& proof) {
+  Digest256 acc = leaf;
+  for (const MerkleStep& step : proof.steps) {
+    acc = step.sibling_is_left ? Digest256::Combine(step.sibling, acc)
+                               : Digest256::Combine(acc, step.sibling);
+  }
+  if (acc != root) {
+    return Status::SecurityViolation(
+        "merkle proof does not reconstruct the root");
+  }
+  return Status::OK();
+}
+
+Digest256 MerkleTree::ComputeRoot(std::vector<Digest256> leaves) {
+  if (leaves.empty()) return Digest256();
+  while (leaves.size() > 1) leaves = NextLevel(leaves);
+  return leaves[0];
+}
+
+}  // namespace wedge

@@ -1,0 +1,102 @@
+// Binary Merkle tree over page/block digests (paper §II-B2).
+//
+// Leaves are 256-bit digests; each interior node is H(left || right). When
+// a level has an odd node count, the unpaired node is promoted unchanged
+// to the next level (no duplication — duplication would let two different
+// leaf sets share a root). The root of an empty tree is the zero digest.
+//
+// Membership proofs list the sibling hash at each level (with its side),
+// so a verifier can recompute the root from one leaf in O(log n).
+
+#pragma once
+
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/digest.h"
+
+namespace wedge {
+
+/// One step of a Merkle membership proof: the sibling digest and which
+/// side it sits on.
+struct MerkleStep {
+  Digest256 sibling;
+  bool sibling_is_left = false;
+
+  void EncodeTo(Encoder* enc) const {
+    sibling.EncodeTo(enc);
+    enc->PutBool(sibling_is_left);
+  }
+  static Result<MerkleStep> DecodeFrom(Decoder* dec) {
+    MerkleStep s;
+    WEDGE_ASSIGN_OR_RETURN(s.sibling, Digest256::DecodeFrom(dec));
+    WEDGE_ASSIGN_OR_RETURN(s.sibling_is_left, dec->GetBool());
+    return s;
+  }
+  bool operator==(const MerkleStep& o) const {
+    return sibling == o.sibling && sibling_is_left == o.sibling_is_left;
+  }
+};
+
+/// A membership proof for one leaf.
+struct MerkleProof {
+  uint32_t leaf_index = 0;
+  uint32_t leaf_count = 0;
+  std::vector<MerkleStep> steps;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU32(leaf_index);
+    enc->PutU32(leaf_count);
+    enc->PutU32(static_cast<uint32_t>(steps.size()));
+    for (const auto& s : steps) s.EncodeTo(enc);
+  }
+  static Result<MerkleProof> DecodeFrom(Decoder* dec) {
+    MerkleProof p;
+    WEDGE_ASSIGN_OR_RETURN(p.leaf_index, dec->GetU32());
+    WEDGE_ASSIGN_OR_RETURN(p.leaf_count, dec->GetU32());
+    uint32_t n = 0;
+    WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
+    p.steps.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto s = MerkleStep::DecodeFrom(dec);
+      if (!s.ok()) return s.status();
+      p.steps.push_back(*s);
+    }
+    return p;
+  }
+  bool operator==(const MerkleProof& o) const {
+    return leaf_index == o.leaf_index && leaf_count == o.leaf_count &&
+           steps == o.steps;
+  }
+
+  /// Approximate wire size (for the network cost model).
+  size_t ByteSize() const { return 12 + steps.size() * 33; }
+};
+
+class MerkleTree {
+ public:
+  /// Builds the full tree; O(n) space, O(n) hashing.
+  explicit MerkleTree(std::vector<Digest256> leaves);
+
+  const Digest256& Root() const { return root_; }
+  size_t leaf_count() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  /// Membership proof for leaf `leaf_index`. OutOfRange if invalid.
+  Result<MerkleProof> Prove(size_t leaf_index) const;
+
+  /// Recomputes the root from `leaf` + `proof` and compares with `root`.
+  /// SecurityViolation on mismatch.
+  static Status Verify(const Digest256& root, const Digest256& leaf,
+                       const MerkleProof& proof);
+
+  /// Root without materializing the tree.
+  static Digest256 ComputeRoot(std::vector<Digest256> leaves);
+
+ private:
+  std::vector<std::vector<Digest256>> levels_;  // levels_[0] = leaves
+  Digest256 root_;
+};
+
+}  // namespace wedge

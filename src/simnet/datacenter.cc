@@ -1,0 +1,64 @@
+#include "simnet/datacenter.h"
+
+namespace wedge {
+
+std::string_view DcName(Dc dc) {
+  switch (dc) {
+    case Dc::kCalifornia:
+      return "California";
+    case Dc::kOregon:
+      return "Oregon";
+    case Dc::kVirginia:
+      return "Virginia";
+    case Dc::kIreland:
+      return "Ireland";
+    case Dc::kMumbai:
+      return "Mumbai";
+  }
+  return "?";
+}
+
+std::string_view DcShortName(Dc dc) {
+  switch (dc) {
+    case Dc::kCalifornia:
+      return "C";
+    case Dc::kOregon:
+      return "O";
+    case Dc::kVirginia:
+      return "V";
+    case Dc::kIreland:
+      return "I";
+    case Dc::kMumbai:
+      return "M";
+  }
+  return "?";
+}
+
+LatencyMatrix::LatencyMatrix() {
+  for (auto& row : rtt_) row.fill(0);
+}
+
+void LatencyMatrix::SetRtt(Dc a, Dc b, SimTime rtt) {
+  rtt_[static_cast<int>(a)][static_cast<int>(b)] = rtt;
+  rtt_[static_cast<int>(b)][static_cast<int>(a)] = rtt;
+}
+
+LatencyMatrix LatencyMatrix::Paper() {
+  LatencyMatrix m;
+  using enum Dc;
+  // Table I (measured from California).
+  m.SetRtt(kCalifornia, kOregon, 19 * kMillisecond);
+  m.SetRtt(kCalifornia, kVirginia, 61 * kMillisecond);
+  m.SetRtt(kCalifornia, kIreland, 141 * kMillisecond);
+  m.SetRtt(kCalifornia, kMumbai, 238 * kMillisecond);
+  // Typical AWS inter-region RTTs for the remaining pairs.
+  m.SetRtt(kOregon, kVirginia, 70 * kMillisecond);
+  m.SetRtt(kOregon, kIreland, 130 * kMillisecond);
+  m.SetRtt(kOregon, kMumbai, 220 * kMillisecond);
+  m.SetRtt(kVirginia, kIreland, 75 * kMillisecond);
+  m.SetRtt(kVirginia, kMumbai, 185 * kMillisecond);
+  m.SetRtt(kIreland, kMumbai, 122 * kMillisecond);
+  return m;
+}
+
+}  // namespace wedge

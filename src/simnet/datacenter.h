@@ -1,0 +1,61 @@
+// Datacenters and the inter-datacenter latency matrix.
+//
+// The paper's evaluation (§VI) runs on five AWS regions: California (C),
+// Oregon (O), Virginia (V), Ireland (I), and Mumbai (M). Table I gives the
+// measured RTTs from California; the remaining pairs are filled in with
+// typical AWS inter-region RTTs (the paper only exercises pairs involving
+// C, or pairs with the cloud fixed in Mumbai for Fig. 7(b)).
+
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace wedge {
+
+/// The five datacenters of the paper's evaluation.
+enum class Dc : uint8_t {
+  kCalifornia = 0,  // C — hosts clients (and usually edge nodes)
+  kOregon = 1,      // O
+  kVirginia = 2,    // V — default cloud location
+  kIreland = 3,     // I
+  kMumbai = 4,      // M
+};
+
+constexpr int kDcCount = 5;
+
+std::string_view DcName(Dc dc);
+std::string_view DcShortName(Dc dc);  // "C", "O", "V", "I", "M"
+
+/// Symmetric RTT matrix between datacenters, in simulated time units.
+class LatencyMatrix {
+ public:
+  /// All-zero matrix (single-site deployments / unit tests).
+  LatencyMatrix();
+
+  /// The paper's Table I row for California plus typical AWS values for
+  /// the remaining pairs:
+  ///
+  ///        C     O     V     I     M
+  ///   C    0    19    61   141   238     (Table I)
+  ///   O         0    70   130   220
+  ///   V               0    75   185
+  ///   I                     0   122
+  ///   M                           0
+  static LatencyMatrix Paper();
+
+  SimTime Rtt(Dc a, Dc b) const {
+    return rtt_[static_cast<int>(a)][static_cast<int>(b)];
+  }
+  SimTime OneWay(Dc a, Dc b) const { return Rtt(a, b) / 2; }
+
+  /// Sets the RTT for a pair (both directions).
+  void SetRtt(Dc a, Dc b, SimTime rtt);
+
+ private:
+  std::array<std::array<SimTime, kDcCount>, kDcCount> rtt_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,33 @@
+#include "simnet/simulation.h"
+
+namespace wedge {
+
+void Simulation::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved
+  // out before pop. const_cast is safe: the element is removed immediately.
+  Event& top = const_cast<Event&>(queue_.top());
+  SimTime t = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulation::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  if (now_ < until && until != std::numeric_limits<SimTime>::max()) {
+    now_ = until;
+  }
+}
+
+}  // namespace wedge

@@ -1,0 +1,191 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace wedge {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "blocks-";
+constexpr char kSegmentSuffix[] = ".log";
+
+std::string SegmentName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%08" PRIu64 "%s", kSegmentPrefix, seq,
+                kSegmentSuffix);
+  return buf;
+}
+
+/// Parses "blocks-<seq>.log"; returns 0 for non-segment names.
+uint64_t ParseSegmentName(const std::string& name) {
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix_len = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return 0;
+  if (name.compare(0, prefix_len, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSegmentSuffix) !=
+      0) {
+    return 0;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+BlockStore::BlockStore(Env* env, std::string dir, BlockStoreOptions options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(
+    Env* env, std::string dir, BlockStoreOptions options) {
+  WEDGE_RETURN_NOT_OK(env->CreateDirs(dir));
+  std::unique_ptr<BlockStore> store(
+      new BlockStore(env, std::move(dir), options));
+
+  // Continue numbering after the highest existing segment.
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env->ListDir(store->dir_));
+  uint64_t max_seq = 0;
+  for (const std::string& name : names) {
+    max_seq = std::max(max_seq, ParseSegmentName(name));
+  }
+  store->next_segment_seq_ = max_seq + 1;
+  WEDGE_RETURN_NOT_OK(store->OpenNewSegment());
+  return store;
+}
+
+Status BlockStore::OpenNewSegment() {
+  const std::string path = dir_ + "/" + SegmentName(next_segment_seq_);
+  ++next_segment_seq_;
+  WEDGE_ASSIGN_OR_RETURN(segment_file_, env_->NewWritableFile(path));
+  writer_ = std::make_unique<RecordLogWriter>(segment_file_.get());
+  return Status::OK();
+}
+
+Status BlockStore::AppendRecord(Slice payload, bool sync) {
+  if (options_.segment_size > 0 &&
+      writer_->physical_size() >= options_.segment_size) {
+    WEDGE_RETURN_NOT_OK(segment_file_->Sync());
+    WEDGE_RETURN_NOT_OK(segment_file_->Close());
+    WEDGE_RETURN_NOT_OK(OpenNewSegment());
+  }
+  WEDGE_RETURN_NOT_OK(writer_->AddRecord(payload));
+  return sync ? writer_->Sync() : writer_->Flush();
+}
+
+Status BlockStore::AppendBlock(const Block& block, bool is_kv) {
+  Encoder enc;
+  enc.PutU8(kBlockRecord);
+  enc.PutBool(is_kv);
+  block.EncodeTo(&enc);
+  return AppendRecord(enc.buffer(), options_.sync_every_block);
+}
+
+Status BlockStore::AppendCertificate(const BlockCertificate& cert) {
+  Encoder enc;
+  enc.PutU8(kCertRecord);
+  cert.EncodeTo(&enc);
+  return AppendRecord(enc.buffer(), /*sync=*/false);
+}
+
+Status BlockStore::Sync() { return writer_->Sync(); }
+
+Result<size_t> BlockStore::SegmentCount() const {
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env_->ListDir(dir_));
+  size_t count = 0;
+  for (const std::string& name : names) {
+    if (ParseSegmentName(name) != 0) ++count;
+  }
+  return count;
+}
+
+Result<BlockStore::Recovered> BlockStore::Recover(Env* env,
+                                                  const std::string& dir) {
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env->ListDir(dir));
+
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    const uint64_t seq = ParseSegmentName(name);
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  Recovered out;
+  // Certificates may precede their block in no valid writer ordering, but
+  // tolerate any interleaving across segment boundaries by buffering
+  // certificates that arrive before their block.
+  std::vector<BlockCertificate> pending_certs;
+
+  for (const uint64_t seq : seqs) {
+    const std::string path = dir + "/" + SegmentName(seq);
+    std::unique_ptr<RandomAccessFile> file;
+    WEDGE_ASSIGN_OR_RETURN(file, env->NewRandomAccessFile(path));
+    RecordLogReader reader(file.get());
+
+    Bytes record;
+    while (true) {
+      auto more = reader.ReadRecord(&record);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+
+      Decoder dec{Slice(record)};
+      uint8_t tag = 0;
+      WEDGE_ASSIGN_OR_RETURN(tag, dec.GetU8());
+      switch (tag) {
+        case kBlockRecord: {
+          bool is_kv = false;
+          WEDGE_ASSIGN_OR_RETURN(is_kv, dec.GetBool());
+          auto block = Block::DecodeFrom(&dec);
+          if (!block.ok()) return block.status();
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          const BlockId bid = block->id;
+          if (bid != out.log.size()) {
+            // Prefix semantics: a lost block makes later blocks
+            // unreachable (same as a WAL ending at the gap).
+            ++out.blocks_beyond_gap;
+            break;
+          }
+          WEDGE_RETURN_NOT_OK(out.log.Append(std::move(*block)));
+          if (out.kv_flags.size() <= bid) out.kv_flags.resize(bid + 1, false);
+          out.kv_flags[bid] = is_kv;
+          break;
+        }
+        case kCertRecord: {
+          auto cert = BlockCertificate::DecodeFrom(&dec);
+          if (!cert.ok()) return cert.status();
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          if (out.log.HasBlock(cert->bid)) {
+            WEDGE_RETURN_NOT_OK(out.log.SetCertificate(std::move(*cert)));
+          } else {
+            pending_certs.push_back(std::move(*cert));
+          }
+          break;
+        }
+        default:
+          return Status::Corruption("unknown block-store record tag " +
+                                    std::to_string(tag));
+      }
+    }
+    out.corruption_events += reader.corruption_events();
+    out.dropped_bytes += reader.dropped_bytes();
+  }
+
+  for (BlockCertificate& cert : pending_certs) {
+    if (out.log.HasBlock(cert.bid)) {
+      WEDGE_RETURN_NOT_OK(out.log.SetCertificate(std::move(cert)));
+    }
+    // A certificate for a block we never recovered is harmless: the
+    // block itself was lost to a torn tail, and the cloud re-sends
+    // certificates on dispute.
+  }
+  return out;
+}
+
+}  // namespace wedge

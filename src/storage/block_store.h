@@ -1,0 +1,100 @@
+// BlockStore: durable storage for an edge node's block log.
+//
+// Blocks and their cloud certificates are appended as typed records to
+// rotating record-log segments (`blocks-<seq>.log`). Recovery replays
+// all segments in order, rebuilding the EdgeLog (blocks + Phase II
+// certificates) and the per-block kv flags the LSMerkle rebuild needs.
+//
+// Durability contract: PersistBlock syncs before returning when
+// `sync_every_block` is set (the default), so a block that was Phase I
+// committed to a client survives an edge crash — the edge can honour
+// read requests for it after restart instead of being punished for an
+// omission it did not intend.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "log/block.h"
+#include "log/certificate.h"
+#include "log/edge_log.h"
+#include "storage/env.h"
+#include "storage/record_log.h"
+
+namespace wedge {
+
+struct BlockStoreOptions {
+  /// Rotate to a new segment file once the current one exceeds this many
+  /// bytes (0 = never rotate).
+  uint64_t segment_size = 4 * 1024 * 1024;
+  /// Sync after every appended block (certificates are flushed but only
+  /// synced opportunistically — they can be re-fetched from the cloud).
+  bool sync_every_block = true;
+};
+
+class BlockStore {
+ public:
+  /// Opens (creating if needed) the store in `dir`. Any existing
+  /// segments are retained; new records append to a fresh segment.
+  static Result<std::unique_ptr<BlockStore>> Open(Env* env, std::string dir,
+                                                  BlockStoreOptions options);
+
+  /// Appends a block record. `is_kv` distinguishes key-value blocks
+  /// (which feed LSMerkle L0 on recovery) from raw log blocks.
+  Status AppendBlock(const Block& block, bool is_kv);
+
+  /// Appends the cloud's certificate for a previously appended block.
+  Status AppendCertificate(const BlockCertificate& cert);
+
+  Status Sync();
+
+  /// Everything recovery learned from the segments.
+  struct Recovered {
+    EdgeLog log;
+    /// is_kv flag per block id (index == block id).
+    std::vector<bool> kv_flags;
+    /// Records dropped by WAL resync (torn tails, corruption).
+    uint64_t corruption_events = 0;
+    uint64_t dropped_bytes = 0;
+    /// Blocks discarded because an earlier block was lost (the log is
+    /// replayed with prefix semantics: it ends at the first gap).
+    uint64_t blocks_beyond_gap = 0;
+  };
+
+  /// Replays all segments in `dir` with prefix semantics: blocks apply
+  /// in order until the first gap (a lost record leaves later blocks
+  /// unreachable, as in any WAL); certificates attach to their blocks.
+  /// Unknown record tags fail recovery (forward-incompatible file).
+  static Result<Recovered> Recover(Env* env, const std::string& dir);
+
+  /// Number of segment files currently on disk.
+  Result<size_t> SegmentCount() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  BlockStore(Env* env, std::string dir, BlockStoreOptions options);
+
+  Status OpenNewSegment();
+  Status AppendRecord(Slice payload, bool sync);
+
+  // Record tags (first byte of every record payload).
+  enum RecordTag : uint8_t {
+    kBlockRecord = 1,
+    kCertRecord = 2,
+  };
+
+  Env* env_;
+  std::string dir_;
+  BlockStoreOptions options_;
+  uint64_t next_segment_seq_ = 1;
+  std::unique_ptr<WritableFile> segment_file_;
+  std::unique_ptr<RecordLogWriter> writer_;
+};
+
+}  // namespace wedge

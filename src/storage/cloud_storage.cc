@@ -1,0 +1,213 @@
+#include "storage/cloud_storage.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "crypto/digest.h"
+
+namespace wedge {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "cloud-";
+constexpr char kSegmentSuffix[] = ".log";
+
+std::string SegmentName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%08" PRIu64 "%s", kSegmentPrefix, seq,
+                kSegmentSuffix);
+  return buf;
+}
+
+uint64_t ParseSegmentName(const std::string& name) {
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix_len = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return 0;
+  if (name.compare(0, prefix_len, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSegmentSuffix) !=
+      0) {
+    return 0;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+CloudStorage::CloudStorage(Env* env, std::string dir,
+                           CloudStorageOptions options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<CloudStorage>> CloudStorage::Open(
+    Env* env, std::string dir, CloudStorageOptions options) {
+  WEDGE_RETURN_NOT_OK(env->CreateDirs(dir));
+  std::unique_ptr<CloudStorage> store(
+      new CloudStorage(env, std::move(dir), options));
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env->ListDir(store->dir_));
+  uint64_t max_seq = 0;
+  for (const std::string& name : names) {
+    max_seq = std::max(max_seq, ParseSegmentName(name));
+  }
+  store->next_segment_seq_ = max_seq + 1;
+  WEDGE_RETURN_NOT_OK(store->OpenNewSegment());
+  return store;
+}
+
+Status CloudStorage::OpenNewSegment() {
+  const std::string path = dir_ + "/" + SegmentName(next_segment_seq_);
+  ++next_segment_seq_;
+  WEDGE_ASSIGN_OR_RETURN(segment_file_, env_->NewWritableFile(path));
+  writer_ = std::make_unique<RecordLogWriter>(segment_file_.get());
+  return Status::OK();
+}
+
+Status CloudStorage::AppendRecord(Slice payload, bool sync) {
+  if (options_.segment_size > 0 &&
+      writer_->physical_size() >= options_.segment_size) {
+    WEDGE_RETURN_NOT_OK(segment_file_->Sync());
+    WEDGE_RETURN_NOT_OK(segment_file_->Close());
+    WEDGE_RETURN_NOT_OK(OpenNewSegment());
+  }
+  WEDGE_RETURN_NOT_OK(writer_->AddRecord(payload));
+  return sync ? writer_->Sync() : writer_->Flush();
+}
+
+Status CloudStorage::PersistDigest(NodeId edge, BlockId bid,
+                                   const Digest256& digest) {
+  Encoder enc;
+  enc.PutU8(kDigest);
+  enc.PutU32(edge);
+  enc.PutU64(bid);
+  digest.EncodeTo(&enc);
+  return AppendRecord(enc.buffer(), options_.sync_every_digest);
+}
+
+Status CloudStorage::PersistMergeState(
+    NodeId edge, Epoch epoch, const std::vector<Digest256>& level_roots) {
+  Encoder enc;
+  enc.PutU8(kMergeState);
+  enc.PutU32(edge);
+  enc.PutU64(epoch);
+  enc.PutU32(static_cast<uint32_t>(level_roots.size()));
+  for (const auto& r : level_roots) r.EncodeTo(&enc);
+  // A merge is only signed once durable: a cloud that signed a root and
+  // then forgot it would reject the honest edge's next merge.
+  return AppendRecord(enc.buffer(), /*sync=*/true);
+}
+
+Status CloudStorage::PersistFlagged(NodeId edge) {
+  Encoder enc;
+  enc.PutU8(kFlagged);
+  enc.PutU32(edge);
+  // Punishments must stick across restarts (§II-D assumption 2).
+  return AppendRecord(enc.buffer(), /*sync=*/true);
+}
+
+Status CloudStorage::PersistBackupBlock(NodeId edge, const Block& block,
+                                        bool is_kv) {
+  Encoder enc;
+  enc.PutU8(kBackupBlock);
+  enc.PutU32(edge);
+  enc.PutBool(is_kv);
+  block.EncodeTo(&enc);
+  return AppendRecord(enc.buffer(), /*sync=*/false);
+}
+
+Status CloudStorage::Sync() { return writer_->Sync(); }
+
+Result<CloudStorage::RecoveredState> CloudStorage::Recover(
+    Env* env, const std::string& dir) {
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env->ListDir(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    const uint64_t seq = ParseSegmentName(name);
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  RecoveredState out;
+  for (const uint64_t seq : seqs) {
+    std::unique_ptr<RandomAccessFile> file;
+    WEDGE_ASSIGN_OR_RETURN(
+        file, env->NewRandomAccessFile(dir + "/" + SegmentName(seq)));
+    RecordLogReader reader(file.get());
+
+    Bytes record;
+    while (true) {
+      auto more = reader.ReadRecord(&record);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+
+      Decoder dec{Slice(record)};
+      uint8_t tag = 0;
+      WEDGE_ASSIGN_OR_RETURN(tag, dec.GetU8());
+      switch (tag) {
+        case kDigest: {
+          NodeId edge = 0;
+          BlockId bid = 0;
+          WEDGE_ASSIGN_OR_RETURN(edge, dec.GetU32());
+          WEDGE_ASSIGN_OR_RETURN(bid, dec.GetU64());
+          Digest256 digest;
+          WEDGE_ASSIGN_OR_RETURN(digest, Digest256::DecodeFrom(&dec));
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          out.edges[edge].certified[bid] = digest;
+          break;
+        }
+        case kMergeState: {
+          NodeId edge = 0;
+          Epoch epoch = 0;
+          uint32_t n = 0;
+          WEDGE_ASSIGN_OR_RETURN(edge, dec.GetU32());
+          WEDGE_ASSIGN_OR_RETURN(epoch, dec.GetU64());
+          WEDGE_ASSIGN_OR_RETURN(n, dec.GetU32());
+          std::vector<Digest256> roots;
+          roots.reserve(n);
+          for (uint32_t i = 0; i < n; ++i) {
+            Digest256 r;
+            WEDGE_ASSIGN_OR_RETURN(r, Digest256::DecodeFrom(&dec));
+            roots.push_back(r);
+          }
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          auto& state = out.edges[edge];
+          state.epoch = epoch;
+          state.level_roots = std::move(roots);
+          break;
+        }
+        case kFlagged: {
+          NodeId edge = 0;
+          WEDGE_ASSIGN_OR_RETURN(edge, dec.GetU32());
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          out.flagged.insert(edge);
+          break;
+        }
+        case kBackupBlock: {
+          NodeId edge = 0;
+          bool is_kv = false;
+          WEDGE_ASSIGN_OR_RETURN(edge, dec.GetU32());
+          WEDGE_ASSIGN_OR_RETURN(is_kv, dec.GetBool());
+          auto block = Block::DecodeFrom(&dec);
+          if (!block.ok()) return block.status();
+          WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+          const BlockId bid = block->id;
+          out.edges[edge].backup[bid] = {std::move(*block), is_kv};
+          break;
+        }
+        default:
+          return Status::Corruption("unknown cloud-storage record tag " +
+                                    std::to_string(tag));
+      }
+    }
+    out.corruption_events += reader.corruption_events();
+    out.dropped_bytes += reader.dropped_bytes();
+  }
+  return out;
+}
+
+}  // namespace wedge

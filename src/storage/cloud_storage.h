@@ -1,0 +1,99 @@
+// CloudStorage: durable storage for the trusted cloud node's per-edge
+// registry.
+//
+// The cloud's whole job is remembering what it certified: one digest per
+// (edge, bid) — the agreement guarantee — plus the per-edge LSMerkle
+// level-root mirror and epoch it signs merges against, the set of edges
+// it has flagged as malicious, and (optionally) full backup blocks. If
+// any of that is lost in a cloud restart, equivocation detection silently
+// resets and honest restored edges fail merge verification. This module
+// makes the registry survive restarts using the same checksummed record
+// log as the edge's BlockStore.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "log/block.h"
+#include "storage/env.h"
+#include "storage/record_log.h"
+
+namespace wedge {
+
+struct CloudStorageOptions {
+  /// Rotate to a new segment file beyond this size (0 = never).
+  uint64_t segment_size = 8 * 1024 * 1024;
+  /// Sync after every certified digest (the agreement-critical record).
+  bool sync_every_digest = true;
+};
+
+class CloudStorage {
+ public:
+  static Result<std::unique_ptr<CloudStorage>> Open(
+      Env* env, std::string dir, CloudStorageOptions options);
+
+  /// Records a newly certified digest for (edge, bid).
+  Status PersistDigest(NodeId edge, BlockId bid, const Digest256& digest);
+
+  /// Records the level-root mirror + epoch after a merge for `edge`.
+  Status PersistMergeState(NodeId edge, Epoch epoch,
+                           const std::vector<Digest256>& level_roots);
+
+  /// Records that `edge` was flagged as malicious.
+  Status PersistFlagged(NodeId edge);
+
+  /// Records a full backup block for `edge` (cloud backup, §II-A).
+  Status PersistBackupBlock(NodeId edge, const Block& block, bool is_kv);
+
+  Status Sync();
+
+  struct EdgeState {
+    std::map<BlockId, Digest256> certified;
+    std::vector<Digest256> level_roots;
+    Epoch epoch = 0;
+    /// Backup block bodies by bid, with their kv flags.
+    std::map<BlockId, std::pair<Block, bool>> backup;
+  };
+
+  struct RecoveredState {
+    std::unordered_map<NodeId, EdgeState> edges;
+    std::set<NodeId> flagged;
+    uint64_t corruption_events = 0;
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Replays all segments; later records win (the registry is
+  /// last-writer-wins per key, so replay order is the append order).
+  static Result<RecoveredState> Recover(Env* env, const std::string& dir);
+
+ private:
+  CloudStorage(Env* env, std::string dir, CloudStorageOptions options);
+
+  Status OpenNewSegment();
+  Status AppendRecord(Slice payload, bool sync);
+
+  enum RecordTag : uint8_t {
+    kDigest = 1,       // edge, bid, digest
+    kMergeState = 2,   // edge, epoch, roots
+    kFlagged = 3,      // edge
+    kBackupBlock = 4,  // edge, is_kv, block
+  };
+
+  Env* env_;
+  std::string dir_;
+  CloudStorageOptions options_;
+  uint64_t next_segment_seq_ = 1;
+  std::unique_ptr<WritableFile> segment_file_;
+  std::unique_ptr<RecordLogWriter> writer_;
+};
+
+}  // namespace wedge

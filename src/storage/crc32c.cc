@@ -1,0 +1,69 @@
+#include "storage/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace wedge {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+};
+
+constexpr Crc32cTables MakeTables() {
+  Crc32cTables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xff];
+    }
+  }
+  return tb;
+}
+
+constexpr Crc32cTables kTables = MakeTables();
+
+inline uint32_t Step(uint32_t c, uint8_t b) {
+  return kTables.t[0][(c ^ b) & 0xff] ^ (c >> 8);
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, Slice data) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  uint32_t c = crc ^ 0xffffffffu;
+
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint32_t w1;
+      uint32_t w2;
+      std::memcpy(&w1, p, 4);
+      std::memcpy(&w2, p + 4, 4);
+      c ^= w1;
+      c = kTables.t[7][c & 0xff] ^ kTables.t[6][(c >> 8) & 0xff] ^
+          kTables.t[5][(c >> 16) & 0xff] ^ kTables.t[4][c >> 24] ^
+          kTables.t[3][w2 & 0xff] ^ kTables.t[2][(w2 >> 8) & 0xff] ^
+          kTables.t[1][(w2 >> 16) & 0xff] ^ kTables.t[0][w2 >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n > 0) {
+    c = Step(c, *p);
+    ++p;
+    --n;
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace wedge

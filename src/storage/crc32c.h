@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Every persistent record in WedgeChain's storage layer carries a CRC32C
+// so that recovery can distinguish a torn tail (expected after a crash)
+// from silent media corruption. The implementation is a portable
+// software sliced-by-8 table walk; tables are generated at compile time.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace wedge {
+
+/// CRC of `data` continuing from `crc` (the CRC of some preceding bytes).
+uint32_t Crc32cExtend(uint32_t crc, Slice data);
+
+/// CRC of `data` from a fresh state.
+inline uint32_t Crc32c(Slice data) { return Crc32cExtend(0, data); }
+
+/// Masks a CRC before embedding it in a file (LevelDB idiom). Storing raw
+/// CRCs inside data that is itself CRC-protected makes the outer CRC
+/// degenerate; the rotate-and-add mask breaks that structure.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of MaskCrc32c.
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace wedge

@@ -1,0 +1,78 @@
+#include "storage/edge_storage.h"
+
+namespace wedge {
+
+Result<std::unique_ptr<EdgeStorage>> EdgeStorage::Open(
+    Env* env, std::string dir, size_t lsm_levels,
+    EdgeStorageOptions options) {
+  if (lsm_levels < 2) {
+    return Status::InvalidArgument("LSMerkle needs at least 2 levels");
+  }
+  std::unique_ptr<EdgeStorage> storage(new EdgeStorage(dir));
+  WEDGE_ASSIGN_OR_RETURN(
+      storage->blocks_,
+      BlockStore::Open(env, dir + "/wal", options.block_store));
+  WEDGE_ASSIGN_OR_RETURN(
+      storage->manifest_,
+      Manifest::Open(env, dir + "/manifest", lsm_levels - 1,
+                     options.manifest));
+  return storage;
+}
+
+Result<EdgeStorage::RecoveredState> EdgeStorage::Recover(
+    Env* env, const std::string& dir, const LsmConfig& lsm_config) {
+  RecoveredState out;
+  out.tree = LsmerkleTree(lsm_config);
+
+  BlockStore::Recovered blocks;
+  WEDGE_ASSIGN_OR_RETURN(blocks, BlockStore::Recover(env, dir + "/wal"));
+  ManifestState manifest;
+  WEDGE_ASSIGN_OR_RETURN(
+      manifest, Manifest::Recover(env, dir + "/manifest",
+                                  lsm_config.level_thresholds.size() - 1));
+
+  // Levels 1..n straight from the manifest, verified against the root
+  // certificate when one was committed.
+  WEDGE_RETURN_NOT_OK(out.tree.RestoreLevels(
+      std::move(manifest.levels), manifest.epoch, manifest.root_cert));
+
+  // L0 = kv blocks past the consumed prefix, re-applied in log order.
+  uint64_t kv_seen = 0;
+  for (BlockId bid = 0; bid < blocks.log.size(); ++bid) {
+    const bool is_kv = bid < blocks.kv_flags.size() && blocks.kv_flags[bid];
+    if (!is_kv) continue;
+    ++kv_seen;
+    if (kv_seen <= manifest.kv_blocks_consumed) continue;
+    auto block = blocks.log.GetBlock(bid);
+    if (!block.ok()) return block.status();
+    WEDGE_RETURN_NOT_OK(out.tree.ApplyBlock(std::move(*block)));
+  }
+  if (kv_seen < manifest.kv_blocks_consumed) {
+    // The log lost consumed blocks (crash under relaxed sync). Their
+    // contents live on in the manifest's levels; only the raw log bodies
+    // are missing, and the cloud's backup can refill them.
+    out.log_behind_manifest = manifest.kv_blocks_consumed - kv_seen;
+  }
+  out.kv_blocks_in_log = kv_seen;
+
+  // Replay protection continues where the crashed node left off.
+  for (BlockId bid = 0; bid < blocks.log.size(); ++bid) {
+    auto block = blocks.log.GetBlock(bid);
+    if (!block.ok()) return block.status();
+    for (const Entry& e : block->entries) {
+      auto it = out.last_seq.find(e.client);
+      if (it == out.last_seq.end() || it->second < e.seq) {
+        out.last_seq[e.client] = e.seq;
+      }
+    }
+  }
+
+  out.log = std::move(blocks.log);
+  out.kv_blocks_consumed = manifest.kv_blocks_consumed;
+  out.corruption_events = blocks.corruption_events;
+  out.dropped_bytes = blocks.dropped_bytes;
+  out.blocks_beyond_gap = blocks.blocks_beyond_gap;
+  return out;
+}
+
+}  // namespace wedge

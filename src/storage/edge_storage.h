@@ -1,0 +1,117 @@
+// EdgeStorage: the durable face of an edge node.
+//
+// Combines a BlockStore (the block log + certificates) and a Manifest
+// (LSMerkle level state) under one directory:
+//
+//     <dir>/wal/blocks-<seq>.log     block + certificate records
+//     <dir>/manifest/MANIFEST-<seq>  level snapshots + merge commits
+//     <dir>/manifest/CURRENT         active manifest pointer
+//
+// An EdgeNode with storage attached persists every formed block before
+// answering the client (so a Phase I promise survives a crash), logs
+// certificates as they arrive, and logs each installed merge. Recover()
+// rebuilds the exact EdgeLog and LsmerkleTree the node had at its last
+// durable point; RestoreState() hands them back to a fresh EdgeNode.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "log/edge_log.h"
+#include "lsmerkle/lsmerkle_tree.h"
+#include "storage/block_store.h"
+#include "storage/manifest.h"
+
+namespace wedge {
+
+struct EdgeStorageOptions {
+  BlockStoreOptions block_store;
+  ManifestOptions manifest;
+};
+
+class EdgeStorage {
+ public:
+  /// Opens (creating if needed) the storage under `dir` for a tree with
+  /// `lsm_levels` levels (including L0).
+  static Result<std::unique_ptr<EdgeStorage>> Open(Env* env, std::string dir,
+                                                   size_t lsm_levels,
+                                                   EdgeStorageOptions options);
+
+  // ---- write path (EdgeNode hooks) ----
+
+  /// Durably appends a formed block. Called before the add-response is
+  /// sent, so a Phase I commitment is never lost to a crash.
+  Status PersistBlock(const Block& block, bool is_kv) {
+    return blocks_->AppendBlock(block, is_kv);
+  }
+
+  /// Records the cloud's block certificate (Phase II evidence).
+  Status PersistCertificate(const BlockCertificate& cert) {
+    return blocks_->AppendCertificate(cert);
+  }
+
+  /// Records an installed merge: the new pages of the changed levels,
+  /// the root certificate, and how many kv blocks have now been consumed
+  /// from L0 in total since the store was created.
+  Status PersistMerge(
+      const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
+      const RootCertificate& cert, uint64_t kv_blocks_consumed) {
+    return manifest_->LogMerge(changed_levels, cert, kv_blocks_consumed);
+  }
+
+  uint64_t kv_blocks_consumed() const {
+    return manifest_->state().kv_blocks_consumed;
+  }
+
+  // ---- recovery ----
+
+  struct RecoveredState {
+    EdgeLog log;
+    LsmerkleTree tree;
+    /// Highest sequence number seen per client, for replay protection.
+    std::unordered_map<NodeId, SeqNum> last_seq;
+    /// Cumulative kv blocks consumed (continue the counter from here).
+    uint64_t kv_blocks_consumed = 0;
+    /// Number of kv blocks present in the recovered log (the edge keeps
+    /// counting from here to place backup-restored blocks correctly).
+    uint64_t kv_blocks_in_log = 0;
+    /// How many consumed kv blocks the log no longer holds (a lost tail
+    /// under relaxed sync). Their data is safe in the manifest's levels;
+    /// the log bodies are only recoverable from the cloud's backup.
+    uint64_t log_behind_manifest = 0;
+    /// WAL damage observed (0 on a clean shutdown).
+    uint64_t corruption_events = 0;
+    uint64_t dropped_bytes = 0;
+    uint64_t blocks_beyond_gap = 0;
+
+    RecoveredState() : tree(LsmConfig{}) {}
+  };
+
+  /// Rebuilds the edge's durable state: replays the block WAL, restores
+  /// the LSMerkle levels from the manifest, and re-applies un-merged kv
+  /// blocks to L0. A log that ends before the manifest's merge frontier
+  /// (possible when blocks are not synced per-append) is tolerated and
+  /// reported via log_behind_manifest — the level data is already
+  /// durable in the manifest.
+  static Result<RecoveredState> Recover(Env* env, const std::string& dir,
+                                        const LsmConfig& lsm_config);
+
+  const std::string& dir() const { return dir_; }
+  BlockStore* block_store() { return blocks_.get(); }
+  Manifest* manifest() { return manifest_.get(); }
+
+ private:
+  EdgeStorage(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  std::unique_ptr<BlockStore> blocks_;
+  std::unique_ptr<Manifest> manifest_;
+};
+
+}  // namespace wedge

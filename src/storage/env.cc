@@ -1,0 +1,360 @@
+#include "storage/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#error "PosixEnv requires a POSIX platform"
+#else
+#include <unistd.h>
+#endif
+
+namespace wedge {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Env convenience methods
+// ---------------------------------------------------------------------------
+
+Result<Bytes> Env::ReadFileToBytes(const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  WEDGE_ASSIGN_OR_RETURN(file, NewRandomAccessFile(path));
+  uint64_t size = 0;
+  WEDGE_ASSIGN_OR_RETURN(size, file->Size());
+  return file->Read(0, static_cast<size_t>(size));
+}
+
+Status Env::WriteFileAtomic(const std::string& path, Slice data) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  WEDGE_ASSIGN_OR_RETURN(file, NewWritableFile(tmp));
+  WEDGE_RETURN_NOT_OK(file->Append(data));
+  WEDGE_RETURN_NOT_OK(file->Sync());
+  WEDGE_RETURN_NOT_OK(file->Close());
+  return RenameFile(tmp, path);
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(Slice data) override {
+    if (file_ == nullptr) return Status::Internal("file closed: " + path_);
+    if (data.size() == 0) return Status::OK();
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::Internal("short write: " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ != nullptr && std::fflush(file_) != 0) {
+      return Status::Internal("fflush failed: " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    WEDGE_RETURN_NOT_OK(Flush());
+    if (file_ != nullptr && ::fsync(::fileno(file_)) != 0) {
+      return Status::Internal("fsync failed: " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::Internal("fclose failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit PosixRandomAccessFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Result<Bytes> Read(uint64_t offset, size_t n) const override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::Internal("fseek failed: " + path_);
+    }
+    Bytes out(n);
+    const size_t got = std::fread(out.data(), 1, n, file_);
+    if (got < n && std::ferror(file_) != 0) {
+      return Status::Internal("fread failed: " + path_);
+    }
+    out.resize(got);
+    return out;
+  }
+
+  Result<uint64_t> Size() const override {
+    std::error_code ec;
+    const auto size = fs::file_size(path_, ec);
+    if (ec) return Status::Internal("file_size failed: " + path_);
+    return static_cast<uint64_t>(size);
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnvImpl : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::Internal("cannot create " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) return Status::Internal("cannot open " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("cannot open " + path);
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(f, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::is_regular_file(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) names.push_back(entry.path().filename());
+    }
+    if (ec) return Status::NotFound("cannot list " + dir);
+    return names;
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::Internal("cannot create dirs " + dir);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::NotFound("cannot delete " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) return Status::Internal("cannot rename " + from + " -> " + to);
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec) return Status::NotFound("cannot stat " + path);
+    return static_cast<uint64_t>(size);
+  }
+};
+
+}  // namespace
+
+Env* PosixEnv() {
+  static PosixEnvImpl* env = new PosixEnvImpl();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string DirOf(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? std::string() : path.substr(0, pos);
+}
+
+std::string NameOf(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<MemEnv::FileState> state)
+      : state_(std::move(state)) {}
+
+  Status Append(Slice data) override {
+    state_->data.insert(state_->data.end(), data.data(),
+                        data.data() + data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    state_->synced_size = state_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> state_;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<MemEnv::FileState> state)
+      : state_(std::move(state)) {}
+
+  Result<Bytes> Read(uint64_t offset, size_t n) const override {
+    const Bytes& d = state_->data;
+    if (offset >= d.size()) return Bytes();
+    const size_t got = std::min<size_t>(n, d.size() - offset);
+    return Bytes(d.begin() + offset, d.begin() + offset + got);
+  }
+
+  Result<uint64_t> Size() const override { return state_->data.size(); }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> state_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  auto state = std::make_shared<FileState>();
+  files_[path] = state;
+  return std::unique_ptr<WritableFile>(new MemWritableFile(std::move(state)));
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewAppendableFile(
+    const std::string& path) {
+  auto it = files_.find(path);
+  std::shared_ptr<FileState> state;
+  if (it == files_.end()) {
+    state = std::make_shared<FileState>();
+    files_[path] = state;
+  } else {
+    state = it->second;
+  }
+  return std::unique_ptr<WritableFile>(new MemWritableFile(std::move(state)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      new MemRandomAccessFile(it->second));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (DirOf(path) == dir) names.push_back(NameOf(path));
+  }
+  return names;
+}
+
+Status MemEnv::CreateDirs(const std::string& dir) {
+  dirs_[dir] = true;
+  return Status::OK();
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<uint64_t> MemEnv::FileSize(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->data.size();
+}
+
+void MemEnv::DropUnsynced() {
+  for (auto& [path, state] : files_) {
+    state->data.resize(state->synced_size);
+  }
+}
+
+Status MemEnv::CorruptByte(const std::string& path, uint64_t offset) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second->data.size()) {
+    return Status::OutOfRange("corrupt offset beyond file size");
+  }
+  it->second->data[offset] ^= 0xff;
+  return Status::OK();
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (size > it->second->data.size()) {
+    return Status::OutOfRange("truncate beyond file size");
+  }
+  it->second->data.resize(size);
+  it->second->synced_size = std::min<uint64_t>(it->second->synced_size, size);
+  return Status::OK();
+}
+
+uint64_t MemEnv::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) total += state->data.size();
+  return total;
+}
+
+}  // namespace wedge

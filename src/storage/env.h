@@ -1,0 +1,145 @@
+// Env: the storage layer's view of a filesystem (the RocksDB/LevelDB
+// idiom). Everything under src/storage talks to an Env, never to the OS
+// directly, so the same code runs against:
+//
+//  * PosixEnv()  — the real filesystem (examples, benches, deployments);
+//  * MemEnv     — a deterministic in-memory filesystem for tests, with
+//    crash simulation (drop un-synced bytes) and corruption injection.
+//
+// Paths are plain '/'-separated strings; an Env is not required to
+// understand anything more elaborate.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace wedge {
+
+/// A file being written sequentially (append-only).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(Slice data) = 0;
+
+  /// Pushes buffered bytes toward the OS. After Flush, a *process* crash
+  /// loses nothing; a machine crash still can.
+  virtual Status Flush() = 0;
+
+  /// Durability point: after Sync returns OK the bytes survive a machine
+  /// crash (fsync semantics; MemEnv models this for crash simulation).
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// A file read at arbitrary offsets.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`. A short (or empty) result at end
+  /// of file is not an error.
+  virtual Result<Bytes> Read(uint64_t offset, size_t n) const = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (truncating) a file for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens an existing file (or creates it) positioned at its end.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of regular files directly inside `dir`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Creates `dir` and any missing parents.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Whole-file convenience reads/writes.
+  Result<Bytes> ReadFileToBytes(const std::string& path);
+
+  /// Durably writes `data` under `path` via write-to-temp + fsync + rename,
+  /// so readers never observe a half-written file.
+  Status WriteFileAtomic(const std::string& path, Slice data);
+};
+
+/// The process-wide real-filesystem Env (never deleted).
+Env* PosixEnv();
+
+/// Deterministic in-memory filesystem. Thread-compatible (external
+/// synchronization if shared); tests typically own one per fixture.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+  // ---- fault injection (tests only) ----
+
+  /// Simulates a machine crash: every file loses bytes appended after its
+  /// last Sync. Open handles become invalid (tests reopen afterwards).
+  void DropUnsynced();
+
+  /// Flips one byte at `offset` in `path` (media corruption).
+  Status CorruptByte(const std::string& path, uint64_t offset);
+
+  /// Truncates `path` to `size` bytes (torn write / lost tail).
+  Status TruncateFile(const std::string& path, uint64_t size);
+
+  /// Total bytes across all files (diagnostics).
+  uint64_t TotalBytes() const;
+
+ private:
+  struct FileState {
+    Bytes data;
+    uint64_t synced_size = 0;
+  };
+
+  friend class MemWritableFile;
+  friend class MemRandomAccessFile;
+
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::map<std::string, bool> dirs_;
+};
+
+}  // namespace wedge

@@ -1,0 +1,282 @@
+#include "storage/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace wedge {
+
+namespace {
+
+constexpr char kCurrentFile[] = "CURRENT";
+
+std::string ManifestName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "MANIFEST-%06" PRIu64, seq);
+  return buf;
+}
+
+/// Parses "MANIFEST-<seq>"; returns 0 for other names.
+uint64_t ParseManifestName(const std::string& name) {
+  constexpr char kPrefix[] = "MANIFEST-";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  if (name.size() <= prefix_len) return 0;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return 0;
+  uint64_t seq = 0;
+  for (size_t i = prefix_len; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+Status EncodePagesTo(const std::vector<Page>& pages, Encoder* enc) {
+  enc->PutU32(static_cast<uint32_t>(pages.size()));
+  for (const Page& p : pages) p.EncodeTo(enc);
+  return Status::OK();
+}
+
+Result<std::vector<Page>> DecodePagesFrom(Decoder* dec) {
+  uint32_t count = 0;
+  WEDGE_ASSIGN_OR_RETURN(count, dec->GetU32());
+  std::vector<Page> pages;
+  pages.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto page = Page::DecodeFrom(dec);
+    if (!page.ok()) return page.status();
+    pages.push_back(std::move(*page));
+  }
+  return pages;
+}
+
+}  // namespace
+
+Manifest::Manifest(Env* env, std::string dir, size_t level_count,
+                   ManifestOptions options)
+    : env_(env),
+      dir_(std::move(dir)),
+      level_count_(level_count),
+      options_(options) {
+  state_.levels.resize(level_count);
+}
+
+Result<std::unique_ptr<Manifest>> Manifest::Open(Env* env, std::string dir,
+                                                 size_t level_count,
+                                                 ManifestOptions options) {
+  WEDGE_RETURN_NOT_OK(env->CreateDirs(dir));
+  std::unique_ptr<Manifest> m(
+      new Manifest(env, std::move(dir), level_count, options));
+
+  // Resume from the recovered state, and number new files after every
+  // existing manifest (stale ones included).
+  WEDGE_ASSIGN_OR_RETURN(m->state_, Recover(env, m->dir_, level_count));
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env->ListDir(m->dir_));
+  for (const std::string& name : names) {
+    const uint64_t seq = ParseManifestName(name);
+    if (seq >= m->next_file_seq_) m->next_file_seq_ = seq + 1;
+  }
+  WEDGE_RETURN_NOT_OK(m->WriteSnapshotToNewManifest());
+  return m;
+}
+
+Status Manifest::WriteSnapshotToNewManifest() {
+  const std::string name = ManifestName(next_file_seq_);
+  ++next_file_seq_;
+  const std::string path = dir_ + "/" + name;
+
+  WEDGE_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path));
+  writer_ = std::make_unique<RecordLogWriter>(file_.get());
+
+  Encoder enc;
+  enc.PutU8(kSnapshot);
+  EncodeSnapshot(state_, &enc);
+  WEDGE_RETURN_NOT_OK(writer_->AddRecord(enc.buffer()));
+  WEDGE_RETURN_NOT_OK(writer_->Sync());
+
+  // Only after the snapshot is durable does CURRENT flip; a crash
+  // in between leaves the previous manifest active.
+  WEDGE_RETURN_NOT_OK(
+      env_->WriteFileAtomic(dir_ + "/" + kCurrentFile, Slice(name)));
+
+  // Every other manifest is now garbage: the previously active one and
+  // any orphans from crashes between snapshot and CURRENT flip.
+  std::vector<std::string> names;
+  WEDGE_ASSIGN_OR_RETURN(names, env_->ListDir(dir_));
+  for (const std::string& stale : names) {
+    if (stale != name && ParseManifestName(stale) != 0) {
+      (void)env_->DeleteFile(dir_ + "/" + stale);
+    }
+  }
+  active_name_ = name;
+  records_in_active_ = 1;
+  return Status::OK();
+}
+
+Status Manifest::AppendRecord(Slice payload) {
+  WEDGE_RETURN_NOT_OK(writer_->AddRecord(payload));
+  ++records_in_active_;
+  return Status::OK();
+}
+
+Status Manifest::LogMerge(
+    const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
+    const RootCertificate& cert, uint64_t kv_blocks_consumed) {
+  if (kv_blocks_consumed < state_.kv_blocks_consumed) {
+    return Status::InvalidArgument("kv_blocks_consumed moved backwards");
+  }
+  for (const auto& [level, pages] : changed_levels) {
+    if (level < 1 || level > level_count_) {
+      return Status::InvalidArgument("manifest level " +
+                                     std::to_string(level) + " out of range");
+    }
+    Encoder enc;
+    enc.PutU8(kLevelPages);
+    enc.PutU32(static_cast<uint32_t>(level));
+    WEDGE_RETURN_NOT_OK(EncodePagesTo(pages, &enc));
+    WEDGE_RETURN_NOT_OK(AppendRecord(enc.buffer()));
+  }
+
+  Encoder enc;
+  enc.PutU8(kMergeCommit);
+  enc.PutU64(kv_blocks_consumed);
+  cert.EncodeTo(&enc);
+  WEDGE_RETURN_NOT_OK(AppendRecord(enc.buffer()));
+  WEDGE_RETURN_NOT_OK(writer_->Sync());
+
+  // Only mutate in-memory state once everything is durable, so state()
+  // never runs ahead of what recovery would see.
+  for (const auto& [level, pages] : changed_levels) {
+    state_.levels[level - 1] = pages;
+  }
+  state_.epoch = cert.epoch;
+  state_.root_cert = cert;
+  state_.kv_blocks_consumed = kv_blocks_consumed;
+
+  if (options_.rotate_after_records > 0 &&
+      records_in_active_ >= options_.rotate_after_records) {
+    WEDGE_RETURN_NOT_OK(WriteSnapshotToNewManifest());
+  }
+  return Status::OK();
+}
+
+void Manifest::EncodeSnapshot(const ManifestState& state, Encoder* enc) {
+  enc->PutU64(state.kv_blocks_consumed);
+  enc->PutU64(state.epoch);
+  enc->PutBool(state.root_cert.has_value());
+  if (state.root_cert.has_value()) state.root_cert->EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(state.levels.size()));
+  for (const auto& pages : state.levels) {
+    (void)EncodePagesTo(pages, enc);
+  }
+}
+
+Status Manifest::ApplyRecord(Slice record, size_t level_count,
+                             ManifestState* state) {
+  Decoder dec(record);
+  uint8_t tag = 0;
+  WEDGE_ASSIGN_OR_RETURN(tag, dec.GetU8());
+  switch (tag) {
+    case kLevelPages: {
+      uint32_t level = 0;
+      WEDGE_ASSIGN_OR_RETURN(level, dec.GetU32());
+      if (level < 1 || level > level_count) {
+        return Status::Corruption("manifest level out of range");
+      }
+      auto pages = DecodePagesFrom(&dec);
+      if (!pages.ok()) return pages.status();
+      WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+      state->levels[level - 1] = std::move(*pages);
+      return Status::OK();
+    }
+    case kMergeCommit: {
+      uint64_t consumed = 0;
+      WEDGE_ASSIGN_OR_RETURN(consumed, dec.GetU64());
+      auto cert = RootCertificate::DecodeFrom(&dec);
+      if (!cert.ok()) return cert.status();
+      WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+      state->kv_blocks_consumed = consumed;
+      state->epoch = cert->epoch;
+      state->root_cert = std::move(*cert);
+      return Status::OK();
+    }
+    case kSnapshot: {
+      ManifestState snap;
+      WEDGE_ASSIGN_OR_RETURN(snap.kv_blocks_consumed, dec.GetU64());
+      WEDGE_ASSIGN_OR_RETURN(snap.epoch, dec.GetU64());
+      bool has_cert = false;
+      WEDGE_ASSIGN_OR_RETURN(has_cert, dec.GetBool());
+      if (has_cert) {
+        auto cert = RootCertificate::DecodeFrom(&dec);
+        if (!cert.ok()) return cert.status();
+        snap.root_cert = std::move(*cert);
+      }
+      uint32_t levels = 0;
+      WEDGE_ASSIGN_OR_RETURN(levels, dec.GetU32());
+      if (levels != level_count) {
+        return Status::Corruption(
+            "manifest level count mismatch: file has " +
+            std::to_string(levels) + ", config wants " +
+            std::to_string(level_count));
+      }
+      snap.levels.resize(levels);
+      for (uint32_t i = 0; i < levels; ++i) {
+        auto pages = DecodePagesFrom(&dec);
+        if (!pages.ok()) return pages.status();
+        snap.levels[i] = std::move(*pages);
+      }
+      WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+      *state = std::move(snap);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown manifest record tag " +
+                                std::to_string(tag));
+  }
+}
+
+Result<ManifestState> Manifest::Recover(Env* env, const std::string& dir,
+                                        size_t level_count) {
+  ManifestState state;
+  state.levels.resize(level_count);
+
+  const std::string current_path = dir + "/" + kCurrentFile;
+  if (!env->FileExists(current_path)) return state;  // fresh store
+
+  Bytes current;
+  WEDGE_ASSIGN_OR_RETURN(current, env->ReadFileToBytes(current_path));
+  const std::string active(current.begin(), current.end());
+  if (ParseManifestName(active) == 0) {
+    return Status::Corruption("CURRENT does not name a manifest: " + active);
+  }
+
+  std::unique_ptr<RandomAccessFile> file;
+  WEDGE_ASSIGN_OR_RETURN(file, env->NewRandomAccessFile(dir + "/" + active));
+  RecordLogReader reader(file.get());
+
+  // Records after a merge's kLevelPages but before its kMergeCommit must
+  // not leak into the recovered state if the commit was torn: stage level
+  // changes and fold them in only at commit.
+  ManifestState staged = state;
+  bool committed_anything = false;
+
+  Bytes record;
+  while (true) {
+    auto more = reader.ReadRecord(&record);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+
+    Decoder peek{Slice(record)};
+    auto tag = peek.GetU8();
+    if (!tag.ok()) return tag.status();
+
+    WEDGE_RETURN_NOT_OK(ApplyRecord(Slice(record), level_count, &staged));
+    if (*tag == kMergeCommit || *tag == kSnapshot) {
+      state = staged;
+      committed_anything = true;
+    }
+  }
+  (void)committed_anything;
+  return state;
+}
+
+}  // namespace wedge

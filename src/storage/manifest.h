@@ -1,0 +1,106 @@
+// Manifest: durable record of the LSMerkle tree's level state (the
+// RocksDB MANIFEST idiom, shaped to LSMerkle's whole-level merges).
+//
+// A merge replaces entire levels, so the manifest logs one kLevelPages
+// record per changed level plus a kMergeCommit record carrying the new
+// epoch, root certificate, and cumulative count of kv blocks consumed
+// out of L0. Recovery replays the active manifest; L0 itself is not in
+// the manifest — it is rebuilt from the BlockStore (kv blocks beyond the
+// consumed count).
+//
+// Rotation: after `rotate_after_records` appended records, the full tree
+// state is snapshotted into a fresh manifest file and the CURRENT
+// pointer file is atomically switched, bounding both file size and
+// replay time.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lsmerkle/page.h"
+#include "lsmerkle/root_certificate.h"
+#include "storage/env.h"
+#include "storage/record_log.h"
+
+namespace wedge {
+
+struct ManifestOptions {
+  /// Snapshot + switch files after this many appended records
+  /// (0 = never rotate).
+  size_t rotate_after_records = 64;
+};
+
+/// The logical LSMerkle state a manifest round-trips.
+struct ManifestState {
+  /// levels[i] holds level i+1's pages (L0 lives in the BlockStore).
+  std::vector<std::vector<Page>> levels;
+  Epoch epoch = 0;
+  std::optional<RootCertificate> root_cert;
+  /// Cumulative kv blocks consumed from L0 by merges since the store was
+  /// created. Recovery re-applies kv blocks after this prefix to L0.
+  uint64_t kv_blocks_consumed = 0;
+};
+
+class Manifest {
+ public:
+  /// Opens the manifest in `dir`, creating an empty one if absent.
+  /// `level_count` is the number of non-L0 levels (LsmConfig levels - 1).
+  static Result<std::unique_ptr<Manifest>> Open(Env* env, std::string dir,
+                                                size_t level_count,
+                                                ManifestOptions options);
+
+  /// Logs a merge: the changed levels' new pages, the new epoch/root
+  /// certificate, and the updated cumulative consumed count. Syncs
+  /// before returning. `changed_levels` pairs are (level index >= 1,
+  /// pages).
+  Status LogMerge(
+      const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
+      const RootCertificate& cert, uint64_t kv_blocks_consumed);
+
+  /// The state as of the last LogMerge (also what recovery would return).
+  const ManifestState& state() const { return state_; }
+
+  /// Replays the active manifest in `dir`; an absent manifest yields the
+  /// empty state.
+  static Result<ManifestState> Recover(Env* env, const std::string& dir,
+                                       size_t level_count);
+
+  /// Name of the active manifest file (diagnostics/tests).
+  const std::string& active_file() const { return active_name_; }
+
+ private:
+  Manifest(Env* env, std::string dir, size_t level_count,
+           ManifestOptions options);
+
+  Status WriteSnapshotToNewManifest();
+  Status AppendRecord(Slice payload);
+
+  enum RecordTag : uint8_t {
+    kLevelPages = 1,   // u32 level, u32 count, pages
+    kMergeCommit = 2,  // u64 consumed, bool has_cert, cert
+    kSnapshot = 3,     // full ManifestState
+  };
+
+  static void EncodeSnapshot(const ManifestState& state, Encoder* enc);
+  static Status ApplyRecord(Slice record, size_t level_count,
+                            ManifestState* state);
+
+  Env* env_;
+  std::string dir_;
+  size_t level_count_;
+  ManifestOptions options_;
+  ManifestState state_;
+  std::string active_name_;
+  uint64_t next_file_seq_ = 1;
+  size_t records_in_active_ = 0;
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<RecordLogWriter> writer_;
+};
+
+}  // namespace wedge

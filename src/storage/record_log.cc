@@ -1,0 +1,219 @@
+#include "storage/record_log.h"
+
+#include <cstring>
+
+#include "storage/crc32c.h"
+
+namespace wedge {
+
+using F = RecordLogFormat;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+RecordLogWriter::RecordLogWriter(WritableFile* dest, uint64_t initial_size)
+    : dest_(dest),
+      block_offset_(initial_size % F::kBlockSize),
+      physical_size_(initial_size) {}
+
+Status RecordLogWriter::AddRecord(Slice payload) {
+  const uint8_t* p = payload.data();
+  size_t left = payload.size();
+  bool begin = true;
+
+  // Emit fragments until the payload is exhausted. A zero-length record
+  // still emits one kFull fragment.
+  do {
+    const size_t room = F::kBlockSize - block_offset_;
+    if (room < F::kHeaderSize) {
+      // Pad the block trailer with zeros and start a new block.
+      static const uint8_t kZeros[F::kHeaderSize] = {0};
+      WEDGE_RETURN_NOT_OK(dest_->Append(Slice(kZeros, room)));
+      physical_size_ += room;
+      block_offset_ = 0;
+      continue;
+    }
+
+    const size_t avail = room - F::kHeaderSize;
+    const size_t frag_len = left < avail ? left : avail;
+    const bool end = (frag_len == left);
+
+    F::RecordType type;
+    if (begin && end) {
+      type = F::kFull;
+    } else if (begin) {
+      type = F::kFirst;
+    } else if (end) {
+      type = F::kLast;
+    } else {
+      type = F::kMiddle;
+    }
+
+    WEDGE_RETURN_NOT_OK(EmitFragment(type, p, frag_len));
+    p += frag_len;
+    left -= frag_len;
+    begin = false;
+  } while (left > 0);
+
+  return Status::OK();
+}
+
+Status RecordLogWriter::EmitFragment(F::RecordType type, const uint8_t* data,
+                                     size_t n) {
+  uint8_t header[F::kHeaderSize];
+  // CRC over type byte then payload, stored masked.
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32cExtend(0, Slice(&type_byte, 1));
+  crc = MaskCrc32c(Crc32cExtend(crc, Slice(data, n)));
+  header[0] = static_cast<uint8_t>(crc);
+  header[1] = static_cast<uint8_t>(crc >> 8);
+  header[2] = static_cast<uint8_t>(crc >> 16);
+  header[3] = static_cast<uint8_t>(crc >> 24);
+  header[4] = static_cast<uint8_t>(n);
+  header[5] = static_cast<uint8_t>(n >> 8);
+  header[6] = static_cast<uint8_t>(type);
+
+  WEDGE_RETURN_NOT_OK(dest_->Append(Slice(header, F::kHeaderSize)));
+  WEDGE_RETURN_NOT_OK(dest_->Append(Slice(data, n)));
+  block_offset_ += F::kHeaderSize + n;
+  physical_size_ += F::kHeaderSize + n;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+RecordLogReader::RecordLogReader(const RandomAccessFile* file,
+                                 bool resync_on_corruption)
+    : file_(file), resync_(resync_on_corruption) {}
+
+RecordLogReader::FragmentOutcome RecordLogReader::NextFragment(
+    Fragment* frag) {
+  while (true) {
+    // Refill when fewer than a header's worth of bytes remain in the
+    // current block (the trailer is writer padding).
+    if (buffer_.size() - buffer_pos_ < F::kHeaderSize) {
+      if (eof_) {
+        // Partial header at file end: torn tail.
+        dropped_bytes_ += buffer_.size() - buffer_pos_;
+        return FragmentOutcome::kEof;
+      }
+      auto chunk = file_->Read(file_offset_, F::kBlockSize);
+      if (!chunk.ok()) return FragmentOutcome::kEof;
+      buffer_ = std::move(*chunk);
+      buffer_pos_ = 0;
+      file_offset_ += buffer_.size();
+      if (buffer_.size() < F::kBlockSize) eof_ = true;
+      if (buffer_.empty()) return FragmentOutcome::kEof;
+      continue;
+    }
+
+    const uint8_t* h = buffer_.data() + buffer_pos_;
+    const uint32_t stored_crc = static_cast<uint32_t>(h[0]) |
+                                static_cast<uint32_t>(h[1]) << 8 |
+                                static_cast<uint32_t>(h[2]) << 16 |
+                                static_cast<uint32_t>(h[3]) << 24;
+    const size_t length = static_cast<size_t>(h[4]) |
+                          static_cast<size_t>(h[5]) << 8;
+    const uint8_t type = h[6];
+
+    if (type == F::kZero && length == 0 && stored_crc == 0) {
+      // Block padding; skip to the next block.
+      buffer_pos_ = buffer_.size();
+      continue;
+    }
+
+    if (type > F::kMaxRecordType ||
+        buffer_pos_ + F::kHeaderSize + length > buffer_.size()) {
+      if (eof_ && buffer_pos_ + F::kHeaderSize + length > buffer_.size() &&
+          type <= F::kMaxRecordType) {
+        // Fragment extends past a short final block: torn tail, clean EOF.
+        dropped_bytes_ += buffer_.size() - buffer_pos_;
+        return FragmentOutcome::kEof;
+      }
+      return FragmentOutcome::kBad;
+    }
+
+    const uint8_t* payload = h + F::kHeaderSize;
+    uint32_t crc = Crc32cExtend(0, Slice(&h[6], 1));
+    crc = Crc32cExtend(crc, Slice(payload, length));
+    if (MaskCrc32c(crc) != stored_crc) return FragmentOutcome::kBad;
+
+    frag->type = static_cast<F::RecordType>(type);
+    frag->payload = Slice(payload, length);
+    buffer_pos_ += F::kHeaderSize + length;
+    return FragmentOutcome::kOk;
+  }
+}
+
+Result<bool> RecordLogReader::ReadRecord(Bytes* record) {
+  record->clear();
+  Bytes assembled;
+  bool in_record = false;
+
+  while (true) {
+    Fragment frag;
+    const FragmentOutcome outcome = NextFragment(&frag);
+
+    if (outcome == FragmentOutcome::kEof) {
+      if (in_record) dropped_bytes_ += assembled.size();
+      return false;
+    }
+
+    if (outcome == FragmentOutcome::kBad) {
+      ++corruption_events_;
+      if (!resync_) {
+        return Status::Corruption("bad record fragment at block ending " +
+                                  std::to_string(file_offset_));
+      }
+      // Resync: discard the rest of this block and any partial record.
+      dropped_bytes_ += assembled.size() + (buffer_.size() - buffer_pos_);
+      buffer_pos_ = buffer_.size();
+      assembled.clear();
+      in_record = false;
+      continue;
+    }
+
+    switch (frag.type) {
+      case F::kFull:
+        if (in_record) {
+          // A kFirst without its kLast, then a kFull: drop the partial.
+          dropped_bytes_ += assembled.size();
+        }
+        record->assign(frag.payload.data(),
+                       frag.payload.data() + frag.payload.size());
+        return true;
+      case F::kFirst:
+        if (in_record) dropped_bytes_ += assembled.size();
+        assembled.assign(frag.payload.data(),
+                         frag.payload.data() + frag.payload.size());
+        in_record = true;
+        break;
+      case F::kMiddle:
+      case F::kLast:
+        if (!in_record) {
+          // Continuation without a start (we resynced into the middle of
+          // a fragmented record): drop it.
+          ++corruption_events_;
+          dropped_bytes_ += frag.payload.size();
+          if (!resync_) {
+            return Status::Corruption("orphan record continuation");
+          }
+          break;
+        }
+        assembled.insert(assembled.end(), frag.payload.data(),
+                         frag.payload.data() + frag.payload.size());
+        if (frag.type == F::kLast) {
+          *record = std::move(assembled);
+          return true;
+        }
+        break;
+      case F::kZero:
+        break;  // unreachable; padding is consumed in NextFragment
+    }
+  }
+}
+
+}  // namespace wedge

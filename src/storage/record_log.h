@@ -1,0 +1,117 @@
+// Record log: the append-only, checksummed record format underlying the
+// edge block store and the LSMerkle manifest (the LevelDB/RocksDB WAL
+// format).
+//
+// The file is a sequence of 32 KiB blocks. A record never straddles a
+// block boundary raw; instead it is split into fragments, each with its
+// own 7-byte header:
+//
+//     +---------+--------+------+----------------+
+//     | crc32c  | length | type |    payload     |
+//     | 4 bytes | 2 B    | 1 B  | `length` bytes |
+//     +---------+--------+------+----------------+
+//
+// type: kFull, or kFirst/kMiddle.../kLast for fragmented records. The CRC
+// covers type+payload and is stored masked (see crc32c.h). A block's
+// trailing <7 bytes are zero-padded.
+//
+// Recovery semantics: a corrupt fragment causes the reader to resync at
+// the next block boundary (dropping the affected record(s) and counting
+// them); an incomplete fragment at end of file is a torn tail — treated
+// as a clean EOF, because a crash mid-append is expected, not corruption.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace wedge {
+
+/// Physical layout constants, shared by writer and reader.
+struct RecordLogFormat {
+  static constexpr size_t kBlockSize = 32768;
+  static constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+  enum RecordType : uint8_t {
+    kZero = 0,  // padding / preallocated area
+    kFull = 1,
+    kFirst = 2,
+    kMiddle = 3,
+    kLast = 4,
+    kMaxRecordType = kLast,
+  };
+};
+
+/// Appends records to a WritableFile. Not thread-safe.
+class RecordLogWriter {
+ public:
+  /// `dest` must outlive the writer. `initial_size` is the current file
+  /// size when appending to an existing log (so block padding stays
+  /// aligned); 0 for a fresh file.
+  explicit RecordLogWriter(WritableFile* dest, uint64_t initial_size = 0);
+
+  /// Appends one record (possibly fragmenting it across blocks).
+  Status AddRecord(Slice payload);
+
+  Status Flush() { return dest_->Flush(); }
+  Status Sync() { return dest_->Sync(); }
+
+  /// Bytes emitted so far, including headers and padding.
+  uint64_t physical_size() const { return physical_size_; }
+
+ private:
+  Status EmitFragment(RecordLogFormat::RecordType type, const uint8_t* data,
+                      size_t n);
+
+  WritableFile* dest_;
+  size_t block_offset_;      // position within the current 32 KiB block
+  uint64_t physical_size_;
+};
+
+/// Streams records back from a RandomAccessFile. Not thread-safe.
+class RecordLogReader {
+ public:
+  /// `file` must outlive the reader. When `resync_on_corruption` is true
+  /// (the default, used by recovery) a bad fragment skips to the next
+  /// block and reading continues; when false the first corruption fails
+  /// the read (used by tests asserting clean files).
+  explicit RecordLogReader(const RandomAccessFile* file,
+                           bool resync_on_corruption = true);
+
+  /// Reads the next record into `*record`. Returns false at (clean or
+  /// torn-tail) end of file. Returns a Corruption status only in strict
+  /// mode.
+  Result<bool> ReadRecord(Bytes* record);
+
+  /// Number of resync events (corrupt fragments skipped).
+  size_t corruption_events() const { return corruption_events_; }
+
+  /// Payload bytes dropped due to corruption or a torn tail.
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  struct Fragment {
+    RecordLogFormat::RecordType type;
+    Slice payload;  // into buffer_
+  };
+  enum class FragmentOutcome { kOk, kEof, kBad };
+
+  /// Parses the next physical fragment, refilling buffer_ as needed.
+  FragmentOutcome NextFragment(Fragment* frag);
+
+  const RandomAccessFile* file_;
+  bool resync_;
+  uint64_t file_offset_ = 0;  // offset of the first unread byte in file_
+  Bytes buffer_;              // current block's bytes
+  size_t buffer_pos_ = 0;
+  bool eof_ = false;
+  size_t corruption_events_ = 0;
+  uint64_t dropped_bytes_ = 0;
+};
+
+}  // namespace wedge

@@ -1,0 +1,138 @@
+#include "wire/message.h"
+
+namespace wedge {
+
+std::string_view MsgTypeToString(MsgType type) {
+  switch (type) {
+    case MsgType::kAddRequest:
+      return "AddRequest";
+    case MsgType::kAddResponse:
+      return "AddResponse";
+    case MsgType::kReadRequest:
+      return "ReadRequest";
+    case MsgType::kReadResponse:
+      return "ReadResponse";
+    case MsgType::kBlockCertify:
+      return "BlockCertify";
+    case MsgType::kBlockProof:
+      return "BlockProof";
+    case MsgType::kCertifyReject:
+      return "CertifyReject";
+    case MsgType::kPutRequest:
+      return "PutRequest";
+    case MsgType::kGetRequest:
+      return "GetRequest";
+    case MsgType::kGetResponse:
+      return "GetResponse";
+    case MsgType::kMergeRequest:
+      return "MergeRequest";
+    case MsgType::kMergeResponse:
+      return "MergeResponse";
+    case MsgType::kGossip:
+      return "Gossip";
+    case MsgType::kDispute:
+      return "Dispute";
+    case MsgType::kDisputeVerdict:
+      return "DisputeVerdict";
+    case MsgType::kReserveRequest:
+      return "ReserveRequest";
+    case MsgType::kReserveResponse:
+      return "ReserveResponse";
+    case MsgType::kCloudWriteRequest:
+      return "CloudWriteRequest";
+    case MsgType::kCloudWriteResponse:
+      return "CloudWriteResponse";
+    case MsgType::kCloudReadRequest:
+      return "CloudReadRequest";
+    case MsgType::kCloudReadResponse:
+      return "CloudReadResponse";
+    case MsgType::kEbWriteRequest:
+      return "EbWriteRequest";
+    case MsgType::kEbWriteResponse:
+      return "EbWriteResponse";
+    case MsgType::kEbCertify:
+      return "EbCertify";
+    case MsgType::kEbCertifyResponse:
+      return "EbCertifyResponse";
+    case MsgType::kBackupFetch:
+      return "BackupFetch";
+    case MsgType::kBackupBlocks:
+      return "BackupBlocks";
+    case MsgType::kScanRequest:
+      return "ScanRequest";
+    case MsgType::kScanResponse:
+      return "ScanResponse";
+  }
+  return "Unknown";
+}
+
+Bytes Envelope::Seal(const Signer& signer, MsgType type, Bytes body) {
+  Encoder signed_part;
+  signed_part.PutU8(static_cast<uint8_t>(type));
+  signed_part.PutBytes(body);
+  Signature sig = signer.Sign(signed_part.buffer());
+
+  Encoder out;
+  out.PutRaw(signed_part.buffer());
+  sig.EncodeTo(&out);
+  return out.TakeBuffer();
+}
+
+namespace {
+Result<Envelope> Parse(Slice wire) {
+  Decoder dec(wire);
+  Envelope env;
+  uint8_t type_byte = 0;
+  WEDGE_ASSIGN_OR_RETURN(type_byte, dec.GetU8());
+  if (type_byte < 1 ||
+      type_byte > static_cast<uint8_t>(MsgType::kScanResponse)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(type_byte));
+  }
+  env.type = static_cast<MsgType>(type_byte);
+  WEDGE_ASSIGN_OR_RETURN(env.body, dec.GetBytes());
+  Signature sig;
+  WEDGE_ASSIGN_OR_RETURN(sig, Signature::DecodeFrom(&dec));
+  WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+  env.sender = sig.signer;
+  env.raw = wire.ToBytes();
+  return env;
+}
+
+Bytes SignedPart(const Envelope& env) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(env.type));
+  enc.PutBytes(env.body);
+  return enc.TakeBuffer();
+}
+
+Result<Signature> ExtractSignature(Slice wire) {
+  // The signature is the trailing 36 bytes (u32 signer + 32-byte tag).
+  if (wire.size() < 36) return Status::Corruption("envelope too short");
+  Decoder dec(Slice(wire.data() + wire.size() - 36, 36));
+  return Signature::DecodeFrom(&dec);
+}
+}  // namespace
+
+Result<Envelope> Envelope::Open(const KeyStore& keystore, Slice wire) {
+  auto env = Parse(wire);
+  if (!env.ok()) return env.status();
+  auto sig = ExtractSignature(wire);
+  if (!sig.ok()) return sig.status();
+  WEDGE_RETURN_NOT_OK(keystore.Verify(*sig, SignedPart(*env)));
+  return env;
+}
+
+Result<Envelope> Envelope::OpenUnverified(Slice wire) { return Parse(wire); }
+
+Result<Envelope> Envelope::OpenHistorical(const KeyStore& keystore,
+                                          Slice wire) {
+  auto env = Parse(wire);
+  if (!env.ok()) return env.status();
+  auto sig = ExtractSignature(wire);
+  if (!sig.ok()) return sig.status();
+  WEDGE_RETURN_NOT_OK(keystore.VerifyHistorical(*sig, SignedPart(*env)));
+  return env;
+}
+
+}  // namespace wedge

@@ -1,0 +1,89 @@
+// Message types and the signed envelope.
+//
+// Every WedgeChain message travels inside an Envelope: a type tag, an
+// opaque body, and the sender's signature over (type || body) — the paper
+// requires all message exchanges to be signed (§IV-A). The raw envelope
+// bytes double as dispute evidence: a client that kept an edge's signed
+// response can later prove exactly what the edge said.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+
+enum class MsgType : uint8_t {
+  // -------- WedgeChain logging (§IV) --------
+  kAddRequest = 1,
+  kAddResponse = 2,
+  kReadRequest = 3,
+  kReadResponse = 4,
+  kBlockCertify = 5,   // edge -> cloud (digest only: data-free)
+  kBlockProof = 6,     // cloud -> edge -> clients
+  kCertifyReject = 7,  // cloud -> edge: equivocation detected
+
+  // -------- LSMerkle key-value (§V) --------
+  kPutRequest = 8,   // same body as kAddRequest; payloads encode puts
+  kGetRequest = 9,
+  kGetResponse = 10,
+  kMergeRequest = 11,   // edge -> cloud (ships pages: the amortized cost)
+  kMergeResponse = 12,  // cloud -> edge
+
+  // -------- maintenance & security (§IV-E, §V-D) --------
+  kGossip = 13,           // cloud -> clients: signed (edge, log size, time)
+  kDispute = 14,          // client -> cloud, with evidence
+  kDisputeVerdict = 15,   // cloud -> client
+  kReserveRequest = 16,   // client -> edge: reserve a log position
+  kReserveResponse = 17,  // edge -> client
+
+  // -------- baselines (§II-C, §VI) --------
+  kCloudWriteRequest = 18,   // cloud-only: client -> cloud
+  kCloudWriteResponse = 19,
+  kCloudReadRequest = 20,
+  kCloudReadResponse = 21,
+  kEbWriteRequest = 22,   // edge-baseline: client -> edge
+  kEbWriteResponse = 23,
+  kEbCertify = 24,          // edge-baseline: edge -> cloud (full data)
+  kEbCertifyResponse = 25,  // cloud -> edge (certs + merged pages)
+
+  // -------- cloud backup & read repair (§II-A backup note) --------
+  kBackupFetch = 26,   // edge -> cloud: blocks lost/evicted at the edge
+  kBackupBlocks = 27,  // cloud -> edge: backed-up blocks + certificates
+
+  // -------- verifiable range scans (extension) --------
+  kScanRequest = 28,   // client -> edge
+  kScanResponse = 29,  // edge -> client, proof-carrying
+};
+
+std::string_view MsgTypeToString(MsgType type);
+
+/// A parsed envelope. `raw` holds the exact bytes received, suitable for
+/// storage as dispute evidence.
+struct Envelope {
+  MsgType type = MsgType::kAddRequest;
+  NodeId sender = kInvalidNodeId;
+  Bytes body;
+  Bytes raw;
+
+  /// Serializes and signs a message: [type u8][body bytes][signature].
+  static Bytes Seal(const Signer& signer, MsgType type, Bytes body);
+
+  /// Parses and verifies an envelope. SecurityViolation on a bad
+  /// signature; Corruption on malformed bytes.
+  static Result<Envelope> Open(const KeyStore& keystore, Slice wire);
+
+  /// Parses without verifying the signature.
+  static Result<Envelope> OpenUnverified(Slice wire);
+
+  /// Like Open but accepts signatures from revoked identities; used when
+  /// adjudicating dispute evidence signed before a revocation.
+  static Result<Envelope> OpenHistorical(const KeyStore& keystore,
+                                         Slice wire);
+};
+
+}  // namespace wedge

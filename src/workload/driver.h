@@ -1,0 +1,116 @@
+// ClosedLoopDriver: one simulated client running the paper's workload
+// model — interactive reads, buffered writes flushed as batches, closed
+// loop (the next operation issues when the previous completes).
+//
+// System-agnostic: the harness supplies adapters binding it to a
+// WedgeChain, cloud-only, or edge-baseline client.
+
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "simnet/simulation.h"
+#include "workload/key_generator.h"
+#include "workload/workload.h"
+
+namespace wedge {
+
+class ClosedLoopDriver {
+ public:
+  /// Completion callback carrying the completion time.
+  using DoneCb = std::function<void(SimTime)>;
+
+  struct Adapters {
+    /// Issues a write batch. `commit` fires at the commit the client
+    /// unblocks on (Phase I for WedgeChain, the synchronous commit for
+    /// baselines); `final` (may be ignored by the binding) fires at Phase
+    /// II for WedgeChain.
+    std::function<void(const std::vector<std::pair<Key, Bytes>>&,
+                       DoneCb commit, DoneCb final)>
+        write_batch;
+    /// Issues one interactive read.
+    std::function<void(Key, DoneCb)> read;
+  };
+
+  ClosedLoopDriver(Simulation* sim, Adapters adapters, WorkloadSpec spec,
+                   uint64_t seed, RunMetrics* out)
+      : sim_(sim),
+        adapters_(std::move(adapters)),
+        spec_(spec),
+        rng_(seed),
+        keys_(spec.key_space, seed ^ 0xabcd),
+        zipf_(spec.key_space, spec.zipf_theta > 0 ? spec.zipf_theta : 0.99,
+              seed ^ 0x1234),
+        out_(out) {}
+
+  /// Starts the loop; operations completing in [measure_start, end) are
+  /// recorded. The driver stops issuing at `end`.
+  void Start(SimTime measure_start, SimTime end) {
+    measure_start_ = measure_start;
+    end_ = end;
+    NextOp();
+  }
+
+  uint64_t batches_issued() const { return batches_issued_; }
+
+ private:
+  Key NextKey() {
+    return spec_.zipf_theta > 0 ? zipf_.Next() : keys_.Next();
+  }
+
+  void NextOp() {
+    if (sim_->now() >= end_) return;
+    if (spec_.read_fraction > 0 && rng_.NextBool(spec_.read_fraction)) {
+      const SimTime started = sim_->now();
+      adapters_.read(NextKey(), [this, started](SimTime t) {
+        if (t >= measure_start_ && t < end_) {
+          out_->read_latency.Record(t - started);
+          out_->read_ops++;
+        }
+        NextOp();
+      });
+      return;
+    }
+    // Buffered write: accumulate instantly; flush when the batch is full.
+    buffer_.emplace_back(NextKey(),
+                         Bytes(spec_.value_size, static_cast<uint8_t>(
+                                                     batches_issued_ & 0xff)));
+    if (buffer_.size() < spec_.ops_per_batch) {
+      NextOp();
+      return;
+    }
+    const SimTime started = sim_->now();
+    const size_t ops = buffer_.size();
+    batches_issued_++;
+    adapters_.write_batch(
+        buffer_,
+        [this, started, ops](SimTime t) {
+          if (t >= measure_start_ && t < end_) {
+            out_->write_latency.Record(t - started);
+            out_->write_ops += ops;
+          }
+          NextOp();
+        },
+        [this, started](SimTime t) {
+          if (t >= measure_start_ && t < end_) {
+            out_->phase2_latency.Record(t - started);
+          }
+        });
+    buffer_.clear();
+  }
+
+  Simulation* sim_;
+  Adapters adapters_;
+  WorkloadSpec spec_;
+  Rng rng_;
+  UniformKeyGen keys_;
+  ZipfianKeyGen zipf_;
+  RunMetrics* out_;
+  std::vector<std::pair<Key, Bytes>> buffer_;
+  SimTime measure_start_ = 0;
+  SimTime end_ = 0;
+  uint64_t batches_issued_ = 0;
+};
+
+}  // namespace wedge

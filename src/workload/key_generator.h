@@ -1,0 +1,88 @@
+// Key generators for the benchmark workloads.
+
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "lsmerkle/kv.h"
+
+namespace wedge {
+
+/// Uniformly random keys in [0, key_space).
+class UniformKeyGen {
+ public:
+  UniformKeyGen(uint64_t key_space, uint64_t seed)
+      : key_space_(key_space == 0 ? 1 : key_space), rng_(seed) {}
+
+  Key Next() { return rng_.NextBelow(key_space_); }
+
+ private:
+  uint64_t key_space_;
+  Rng rng_;
+};
+
+/// Zipfian-distributed keys (YCSB-style, exponent ~0.99): hot keys are
+/// frequent, which exercises LSMerkle version shadowing.
+class ZipfianKeyGen {
+ public:
+  ZipfianKeyGen(uint64_t key_space, double theta, uint64_t seed)
+      : n_(key_space == 0 ? 1 : key_space), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  Key Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<Key>(static_cast<double>(n_) *
+                            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; sampled approximation keeps construction O(1)-ish
+    // for the huge key spaces of the dataset-size experiment.
+    double sum = 0;
+    if (n <= 1000000) {
+      for (uint64_t i = 1; i <= n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      }
+      return sum;
+    }
+    for (uint64_t i = 1; i <= 1000000; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    // Integral tail approximation.
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(1e6, 1.0 - theta)) /
+           (1.0 - theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Sequential keys 0,1,2,... wrapping at key_space (preload phases).
+class SequentialKeyGen {
+ public:
+  explicit SequentialKeyGen(uint64_t key_space)
+      : key_space_(key_space == 0 ? 1 : key_space) {}
+  Key Next() { return next_++ % key_space_; }
+
+ private:
+  uint64_t key_space_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace wedge

@@ -1,0 +1,49 @@
+// Workload specification and run metrics shared by all drivers.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace wedge {
+
+struct WorkloadSpec {
+  /// Fraction of operations that are interactive reads; writes are
+  /// buffered into batches (paper §VI-B: "writes are buffered, but reads
+  /// are interactive").
+  double read_fraction = 0.0;
+  /// Operations per write batch (the paper's batch/block size).
+  size_t ops_per_batch = 100;
+  /// Bytes per value (paper: 100 B).
+  size_t value_size = 100;
+  /// Key space size (paper: 100,000 per partition; §VI-E varies it).
+  uint64_t key_space = 100000;
+  /// Zipfian skew for key selection; 0 = uniform.
+  double zipf_theta = 0.0;
+};
+
+struct RunMetrics {
+  /// Commit latency per write batch: Phase I for WedgeChain, the
+  /// synchronous commit for the baselines. Microseconds.
+  Histogram write_latency;
+  /// Phase II latency per write batch (WedgeChain only).
+  Histogram phase2_latency;
+  /// Interactive read/get latency. Microseconds.
+  Histogram read_latency;
+
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+  SimTime measured_duration = 0;
+
+  uint64_t total_ops() const { return write_ops + read_ops; }
+  /// Operations per second over the measured window.
+  double Throughput() const {
+    if (measured_duration <= 0) return 0;
+    return static_cast<double>(total_ops()) /
+           (static_cast<double>(measured_duration) / kSecond);
+  }
+};
+
+}  // namespace wedge

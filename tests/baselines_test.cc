@@ -1,0 +1,291 @@
+// Integration tests for the two baselines: cloud-only and edge-baseline.
+// These validate correctness (values come back right, proofs verify) and
+// the *structural* latency properties the paper's evaluation relies on:
+// cloud-only pays the WAN on every operation; edge-baseline pays it on
+// writes but serves reads locally.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/baseline_deployment.h"
+#include "common/rng.h"
+
+namespace wedge {
+namespace {
+
+DeploymentConfig BaseConfig() {
+  DeploymentConfig cfg;
+  cfg.seed = 7;
+  cfg.net.jitter_frac = 0.0;
+  cfg.edge.ops_per_block = 4;
+  cfg.edge.lsm.level_thresholds = {3, 2, 8};
+  cfg.edge.lsm.target_page_pairs = 8;
+  return cfg;
+}
+
+std::vector<std::pair<Key, Bytes>> Puts(std::vector<Key> keys, uint8_t tag) {
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k : keys) kvs.emplace_back(k, Bytes(100, tag));
+  return kvs;
+}
+
+// ------------------------------------------------------------- cloud-only
+
+TEST(CloudOnlyTest, WriteThenReadRoundTrip) {
+  CloudOnlyDeployment d(BaseConfig());
+  d.Start();
+
+  SimTime write_done = -1;
+  d.client().WriteBatch(Puts({1, 2, 3, 4}, 0xaa),
+                        [&](const Status& s, SimTime t) {
+                          ASSERT_TRUE(s.ok());
+                          write_done = t;
+                        });
+  d.sim().RunFor(kSecond);
+  ASSERT_GE(write_done, 0);
+  // Write latency spans the C<->V round trip (61 ms) plus processing.
+  EXPECT_GT(write_done, 61 * kMillisecond);
+  EXPECT_LT(write_done, 120 * kMillisecond);
+
+  bool found = false;
+  SimTime read_done = -1;
+  d.client().Read(2, [&](const Status& s, bool f, const Bytes& v, SimTime t) {
+    ASSERT_TRUE(s.ok());
+    found = f;
+    EXPECT_EQ(v, Bytes(100, 0xaa));
+    read_done = t;
+  });
+  d.sim().RunFor(kSecond);
+  EXPECT_TRUE(found);
+  // Interactive read also pays the WAN round trip.
+  EXPECT_GT(read_done - write_done, 61 * kMillisecond);
+}
+
+TEST(CloudOnlyTest, MissingKeyNotFound) {
+  CloudOnlyDeployment d(BaseConfig());
+  d.Start();
+  bool found = true;
+  d.client().Read(42, [&](const Status& s, bool f, const Bytes&, SimTime) {
+    ASSERT_TRUE(s.ok());
+    found = f;
+  });
+  d.sim().RunFor(kSecond);
+  EXPECT_FALSE(found);
+}
+
+TEST(CloudOnlyTest, OverwriteKeepsNewest) {
+  CloudOnlyDeployment d(BaseConfig());
+  d.Start();
+  d.client().WriteBatch(Puts({9}, 1), nullptr);
+  d.sim().RunFor(kSecond);
+  d.client().WriteBatch(Puts({9}, 2), nullptr);
+  d.sim().RunFor(kSecond);
+  Bytes got;
+  d.client().Read(9, [&](const Status&, bool, const Bytes& v, SimTime) {
+    got = v;
+  });
+  d.sim().RunFor(kSecond);
+  EXPECT_EQ(got, Bytes(100, 2));
+  EXPECT_EQ(d.server().blocks_committed(), 2u);
+}
+
+// ---------------------------------------------------------- edge-baseline
+
+TEST(EdgeBaselineTest, WritePaysCloudRoundTrip) {
+  EdgeBaselineDeployment d(BaseConfig());
+  d.Start();
+
+  SimTime write_done = -1;
+  d.client().WriteBatch(Puts({1, 2, 3, 4}, 0xbb),
+                        [&](const Status& s, SimTime t) {
+                          ASSERT_TRUE(s.ok());
+                          write_done = t;
+                        });
+  d.sim().RunFor(2 * kSecond);
+  ASSERT_GE(write_done, 0);
+  // Synchronous certification: client->edge (local) + edge->cloud->edge
+  // (61 ms RTT) + merge + install. Strictly worse than WedgeChain's
+  // Phase I (~15 ms).
+  EXPECT_GT(write_done, 61 * kMillisecond);
+  EXPECT_EQ(d.cloud().blocks_certified(), 1u);
+  EXPECT_EQ(d.edge().writes_committed(), 1u);
+}
+
+TEST(EdgeBaselineTest, GetServedLocallyWithVerifyingProof) {
+  EdgeBaselineDeployment d(BaseConfig());
+  d.Start();
+  SimTime write_done = -1;
+  d.client().WriteBatch(Puts({5, 6, 7, 8}, 0xcc),
+                        [&](const Status&, SimTime t) { write_done = t; });
+  d.sim().RunFor(2 * kSecond);
+  ASSERT_GE(write_done, 0);
+
+  bool got = false;
+  SimTime get_done = -1;
+  SimTime get_start = d.sim().now();
+  d.client().Get(6, [&](const Status& s, const VerifiedGet& v, SimTime t) {
+    ASSERT_TRUE(s.ok()) << s;
+    ASSERT_TRUE(v.found);
+    EXPECT_EQ(v.value, Bytes(100, 0xcc));
+    EXPECT_TRUE(v.phase2);  // everything certified in edge-baseline
+    got = true;
+    get_done = t;
+  });
+  d.sim().RunFor(kSecond);
+  ASSERT_TRUE(got);
+  // Reads are edge-local: well under the WAN RTT.
+  EXPECT_LT(get_done - get_start, 10 * kMillisecond);
+}
+
+TEST(EdgeBaselineTest, MergesMirroredAtEdge) {
+  EdgeBaselineDeployment d(BaseConfig());
+  d.Start();
+  // 3-block L0 threshold: enough writes force cloud-side merges whose
+  // results the edge installs.
+  for (int i = 0; i < 8; ++i) {
+    bool done = false;
+    d.client().WriteBatch(
+        Puts({static_cast<Key>(i * 4), static_cast<Key>(i * 4 + 1),
+              static_cast<Key>(i * 4 + 2), static_cast<Key>(i * 4 + 3)},
+             static_cast<uint8_t>(i)),
+        [&](const Status& s, SimTime) { done = s.ok(); });
+    d.sim().RunFor(2 * kSecond);
+    ASSERT_TRUE(done) << "write " << i;
+  }
+  EXPECT_GT(d.cloud().merges_performed(), 0u);
+  EXPECT_GT(d.edge().lsm().epoch(), 0u);
+
+  // All keys remain readable with verifying proofs after merges.
+  for (Key k = 0; k < 32; k += 5) {
+    bool got = false;
+    d.client().Get(k, [&, k](const Status& s, const VerifiedGet& v, SimTime) {
+      ASSERT_TRUE(s.ok()) << "key " << k << ": " << s;
+      EXPECT_TRUE(v.found) << "key " << k;
+      got = true;
+    });
+    d.sim().RunFor(kSecond);
+    ASSERT_TRUE(got) << "key " << k;
+  }
+}
+
+TEST(EdgeBaselineTest, ReadsQueueBehindInFlightWrite) {
+  EdgeBaselineDeployment d(BaseConfig());
+  d.Start();
+  // Warm up state.
+  d.client().WriteBatch(Puts({1, 2, 3, 4}, 1), nullptr);
+  d.sim().RunFor(2 * kSecond);
+
+  // Issue a write, then a get while the write's certification round trip
+  // is in flight: the get must wait for the install (no snapshot
+  // isolation on the mutable edge-baseline state).
+  SimTime write_done = -1, get_done = -1;
+  d.client().WriteBatch(Puts({1, 2, 3, 4}, 2),
+                        [&](const Status&, SimTime t) { write_done = t; });
+  // Past edge processing (~15 ms), well inside the ~61 ms cloud RTT.
+  d.sim().RunFor(25 * kMillisecond);
+  d.client().Get(1, [&](const Status& s, const VerifiedGet&, SimTime t) {
+    ASSERT_TRUE(s.ok()) << s;
+    get_done = t;
+  });
+  d.sim().RunFor(5 * kSecond);
+  ASSERT_GE(write_done, 0);
+  ASSERT_GE(get_done, 0);
+  // The get completed only after the write round trip released the lock.
+  EXPECT_GT(get_done, write_done);
+}
+
+TEST(EdgeBaselineTest, MultipleClientsSerializeThroughCloud) {
+  auto cfg = BaseConfig();
+  cfg.num_clients = 3;
+  EdgeBaselineDeployment d(cfg);
+  d.Start();
+  int done = 0;
+  for (size_t c = 0; c < 3; ++c) {
+    d.client(c).WriteBatch(Puts({static_cast<Key>(c)}, 1),
+                           [&](const Status& s, SimTime) {
+                             if (s.ok()) done++;
+                           });
+  }
+  d.sim().RunFor(10 * kSecond);
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(d.cloud().blocks_certified(), 3u);
+}
+
+// ------------------------------------------- model agreement (both)
+
+class BaselineModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineModelTest, CloudOnlyAgreesWithModel) {
+  auto cfg = BaseConfig();
+  cfg.seed = GetParam();
+  CloudOnlyDeployment d(cfg);
+  d.Start();
+
+  Rng rng(GetParam() * 13 + 1);
+  std::map<Key, Bytes> model;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (int i = 0; i < 4; ++i) {
+      Key k = rng.NextBelow(30);
+      Bytes v(16, static_cast<uint8_t>(rng.NextU64()));
+      kvs.emplace_back(k, v);
+      model[k] = v;
+    }
+    d.client().WriteBatch(kvs, nullptr);
+    d.sim().RunFor(500 * kMillisecond);
+  }
+  for (Key k = 0; k < 30; ++k) {
+    bool done = false;
+    d.client().Read(k, [&, k](const Status& s, bool found, const Bytes& v,
+                              SimTime) {
+      ASSERT_TRUE(s.ok());
+      auto it = model.find(k);
+      ASSERT_EQ(found, it != model.end()) << "key " << k;
+      if (found) EXPECT_EQ(v, it->second) << "key " << k;
+      done = true;
+    });
+    d.sim().RunFor(300 * kMillisecond);
+    ASSERT_TRUE(done);
+  }
+}
+
+TEST_P(BaselineModelTest, EdgeBaselineAgreesWithModel) {
+  auto cfg = BaseConfig();
+  cfg.seed = GetParam();
+  EdgeBaselineDeployment d(cfg);
+  d.Start();
+
+  Rng rng(GetParam() * 13 + 1);
+  std::map<Key, Bytes> model;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (int i = 0; i < 4; ++i) {
+      Key k = rng.NextBelow(30);
+      Bytes v(16, static_cast<uint8_t>(rng.NextU64()));
+      kvs.emplace_back(k, v);
+      model[k] = v;
+    }
+    d.client().WriteBatch(kvs, nullptr);
+    d.sim().RunFor(800 * kMillisecond);  // writes certify synchronously
+  }
+  for (Key k = 0; k < 30; ++k) {
+    bool done = false;
+    d.client().Get(k, [&, k](const Status& s, const VerifiedGet& got,
+                             SimTime) {
+      ASSERT_TRUE(s.ok()) << "key " << k << ": " << s;
+      auto it = model.find(k);
+      ASSERT_EQ(got.found, it != model.end()) << "key " << k;
+      if (got.found) EXPECT_EQ(got.value, it->second) << "key " << k;
+      done = true;
+    });
+    d.sim().RunFor(300 * kMillisecond);
+    ASSERT_TRUE(done);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineModelTest,
+                         ::testing::Values(31, 41, 59));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,283 @@
+// Unit tests for the crypto substrate: SHA-256 against FIPS/NIST vectors,
+// HMAC-SHA256 against RFC 4231 vectors, Digest256 semantics, and the
+// signature scheme + KeyStore.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.h"
+#include "crypto/digest.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace wedge {
+namespace {
+
+std::string DigestHex(const Sha256Digest& d) {
+  return HexEncode(Slice(d.data(), d.size()));
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(Slice(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(Slice("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  // NIST FIPS 180-4 example message 2 (448 bits, forces padding into a
+  // second block).
+  EXPECT_EQ(
+      DigestHex(Sha256::Hash(
+          Slice("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, FourBlockMessage) {
+  // NIST 896-bit message.
+  EXPECT_EQ(
+      DigestHex(Sha256::Hash(Slice(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string million(1000000, 'a');
+  EXPECT_EQ(DigestHex(Sha256::Hash(Slice(million))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789abcdef";
+  Sha256Digest oneshot = Sha256::Hash(Slice(msg));
+  // Feed in every possible split position.
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(Slice(msg.substr(0, split)));
+    h.Update(Slice(msg.substr(split)));
+    EXPECT_EQ(h.Finalize(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ManySmallUpdatesMatchOneShot) {
+  std::string msg(517, 'x');
+  Sha256 h;
+  for (char c : msg) h.Update(Slice(reinterpret_cast<const uint8_t*>(&c), 1));
+  EXPECT_EQ(h.Finalize(), Sha256::Hash(Slice(msg)));
+}
+
+TEST(Sha256Test, ResetReusesObject) {
+  Sha256 h;
+  h.Update(Slice("garbage"));
+  (void)h.Finalize();
+  h.Reset();
+  h.Update(Slice("abc"));
+  EXPECT_EQ(DigestHex(h.Finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Hash2IsConcatenation) {
+  EXPECT_EQ(Sha256::Hash2(Slice("foo"), Slice("bar")),
+            Sha256::Hash(Slice("foobar")));
+}
+
+TEST(Sha256Test, ExactBlockBoundaryLengths) {
+  // Lengths around the 64-byte block boundary exercise padding paths.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    std::string msg(len, 'q');
+    Sha256 h;
+    h.Update(Slice(msg));
+    Sha256Digest a = h.Finalize();
+    EXPECT_EQ(a, Sha256::Hash(Slice(msg))) << "len " << len;
+  }
+}
+
+// ---------------------------------------------------------------- HMAC
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(DigestHex(HmacSha256(key, Slice("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(DigestHex(HmacSha256(Slice("Jefe"),
+                                 Slice("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(DigestHex(HmacSha256(
+                key, Slice("Test Using Larger Than Block-Size Key - "
+                           "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentTags) {
+  EXPECT_NE(HmacSha256(Slice("k1"), Slice("m")),
+            HmacSha256(Slice("k2"), Slice("m")));
+}
+
+// ---------------------------------------------------------------- Digest256
+
+TEST(Digest256Test, DefaultIsZero) {
+  Digest256 d;
+  EXPECT_TRUE(d.IsZero());
+}
+
+TEST(Digest256Test, OfIsNotZero) {
+  EXPECT_FALSE(Digest256::Of(Slice("x")).IsZero());
+}
+
+TEST(Digest256Test, EqualityAndOrdering) {
+  Digest256 a = Digest256::Of(Slice("a"));
+  Digest256 b = Digest256::Of(Slice("b"));
+  EXPECT_EQ(a, Digest256::Of(Slice("a")));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(Digest256Test, CombineOrderMatters) {
+  Digest256 a = Digest256::Of(Slice("a"));
+  Digest256 b = Digest256::Of(Slice("b"));
+  EXPECT_NE(Digest256::Combine(a, b), Digest256::Combine(b, a));
+}
+
+TEST(Digest256Test, CodecRoundTrip) {
+  Digest256 d = Digest256::Of(Slice("payload"));
+  Encoder enc;
+  d.EncodeTo(&enc);
+  EXPECT_EQ(enc.size(), 32u);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(*Digest256::DecodeFrom(&dec), d);
+}
+
+TEST(Digest256Test, HexRoundTrip) {
+  Digest256 d = Digest256::Of(Slice("hexme"));
+  EXPECT_EQ(d.ToHex().size(), 64u);
+  EXPECT_EQ(d.ShortHex(), d.ToHex().substr(0, 8));
+}
+
+// ------------------------------------------------------------ Signatures
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  KeyStore keystore_;
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  Signature sig = alice.Sign(Slice("add entry 7"));
+  EXPECT_TRUE(keystore_.Verify(sig, Slice("add entry 7")).ok());
+}
+
+TEST_F(SignatureTest, TamperedMessageFails) {
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  Signature sig = alice.Sign(Slice("amount=10"));
+  EXPECT_TRUE(
+      keystore_.Verify(sig, Slice("amount=99")).IsSecurityViolation());
+}
+
+TEST_F(SignatureTest, WrongSignerIdFails) {
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  keystore_.Register(Role::kClient, "bob");
+  Signature sig = alice.Sign(Slice("msg"));
+  sig.signer = sig.signer + 1;  // claim to be bob
+  EXPECT_TRUE(keystore_.Verify(sig, Slice("msg")).IsSecurityViolation());
+}
+
+TEST_F(SignatureTest, UnknownSignerIsNotFound) {
+  Signature sig;
+  sig.signer = 12345;
+  EXPECT_TRUE(keystore_.Verify(sig, Slice("msg")).IsNotFound());
+}
+
+TEST_F(SignatureTest, RevokedSignerRejected) {
+  Signer eve = keystore_.Register(Role::kEdge, "eve-edge");
+  Signature sig = eve.Sign(Slice("msg"));
+  ASSERT_TRUE(keystore_.Verify(sig, Slice("msg")).ok());
+  ASSERT_TRUE(keystore_.Revoke(eve.id()).ok());
+  EXPECT_TRUE(keystore_.Verify(sig, Slice("msg")).IsFailedPrecondition());
+  EXPECT_TRUE(keystore_.IsRevoked(eve.id()));
+}
+
+TEST_F(SignatureTest, RevokeUnknownIsNotFound) {
+  EXPECT_TRUE(keystore_.Revoke(999).IsNotFound());
+}
+
+TEST_F(SignatureTest, RolesTracked) {
+  Signer c = keystore_.Register(Role::kClient, "c");
+  Signer e = keystore_.Register(Role::kEdge, "e");
+  Signer l = keystore_.Register(Role::kCloud, "l");
+  EXPECT_TRUE(keystore_.HasRole(c.id(), Role::kClient));
+  EXPECT_FALSE(keystore_.HasRole(c.id(), Role::kEdge));
+  EXPECT_TRUE(keystore_.HasRole(e.id(), Role::kEdge));
+  EXPECT_TRUE(keystore_.HasRole(l.id(), Role::kCloud));
+  EXPECT_EQ(*keystore_.GetRole(e.id()), Role::kEdge);
+  EXPECT_EQ(*keystore_.GetName(l.id()), "l");
+}
+
+TEST_F(SignatureTest, RevokedIdentityLosesRole) {
+  Signer e = keystore_.Register(Role::kEdge, "e");
+  ASSERT_TRUE(keystore_.Revoke(e.id()).ok());
+  EXPECT_FALSE(keystore_.HasRole(e.id(), Role::kEdge));
+}
+
+TEST_F(SignatureTest, SignatureCodecRoundTrip) {
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  Signature sig = alice.Sign(Slice("serialize me"));
+  Encoder enc;
+  sig.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Signature back = *Signature::DecodeFrom(&dec);
+  EXPECT_EQ(back, sig);
+  EXPECT_TRUE(keystore_.Verify(back, Slice("serialize me")).ok());
+}
+
+TEST_F(SignatureTest, DistinctIdentitiesCannotCrossVerify) {
+  // Bob cannot produce a signature that verifies as Alice: his tag is
+  // computed under a different secret.
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  Signer bob = keystore_.Register(Role::kClient, "bob");
+  Signature forged = bob.Sign(Slice("I am alice"));
+  forged.signer = alice.id();
+  EXPECT_TRUE(
+      keystore_.Verify(forged, Slice("I am alice")).IsSecurityViolation());
+}
+
+TEST_F(SignatureTest, DeterministicKeysAcrossRuns) {
+  KeyStore ks1(123), ks2(123);
+  Signer a1 = ks1.Register(Role::kClient, "a");
+  Signer a2 = ks2.Register(Role::kClient, "a");
+  Signature s1 = a1.Sign(Slice("m"));
+  Signature s2 = a2.Sign(Slice("m"));
+  EXPECT_EQ(s1.tag, s2.tag);
+}
+
+TEST(RoleTest, Names) {
+  EXPECT_EQ(RoleToString(Role::kClient), "client");
+  EXPECT_EQ(RoleToString(Role::kEdge), "edge");
+  EXPECT_EQ(RoleToString(Role::kCloud), "cloud");
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,347 @@
+// Unit tests for the logging substrate: Entry, Block, BlockBuilder,
+// EdgeLog, BlockCertificate.
+
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "log/block.h"
+#include "log/block_builder.h"
+#include "log/certificate.h"
+#include "log/edge_log.h"
+#include "log/entry.h"
+
+namespace wedge {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest()
+      : client_(keystore_.Register(Role::kClient, "client")),
+        edge_(keystore_.Register(Role::kEdge, "edge")),
+        cloud_(keystore_.Register(Role::kCloud, "cloud")) {}
+
+  Entry MakeEntry(SeqNum seq, std::string payload = "data") {
+    return Entry::Make(client_, seq, Bytes(payload.begin(), payload.end()));
+  }
+
+  Block MakeBlock(BlockId id, int entries = 3) {
+    Block b;
+    b.id = id;
+    b.created_at = 1000;
+    for (int i = 0; i < entries; ++i) {
+      b.entries.push_back(MakeEntry(next_seq_++));
+    }
+    return b;
+  }
+
+  KeyStore keystore_;
+  Signer client_;
+  Signer edge_;
+  Signer cloud_;
+  SeqNum next_seq_ = 0;
+};
+
+// ------------------------------------------------------------------ Entry
+
+TEST_F(LogTest, EntrySignatureValidates) {
+  Entry e = MakeEntry(7, "hello");
+  EXPECT_TRUE(e.Validate(keystore_).ok());
+}
+
+TEST_F(LogTest, TamperedEntryPayloadRejected) {
+  Entry e = MakeEntry(7, "hello");
+  e.payload.push_back('!');
+  EXPECT_TRUE(e.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, TamperedEntrySeqRejected) {
+  Entry e = MakeEntry(7);
+  e.seq = 8;
+  EXPECT_TRUE(e.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, EntryFromNonClientRejected) {
+  // An edge identity signing an entry must be rejected: only registered
+  // clients may propose entries (validity guarantee).
+  Entry e = Entry::Make(edge_, 1, Bytes{1, 2});
+  EXPECT_TRUE(e.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, EntryClaimingOtherSignerRejected) {
+  Entry e = MakeEntry(1);
+  e.client = edge_.id();  // claim someone else authored it
+  EXPECT_TRUE(e.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, EntryCodecRoundTrip) {
+  Entry e = MakeEntry(42, "round-trip");
+  Encoder enc;
+  e.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Entry back = *Entry::DecodeFrom(&dec);
+  EXPECT_EQ(back, e);
+  EXPECT_TRUE(dec.ExpectDone().ok());
+  EXPECT_TRUE(back.Validate(keystore_).ok());
+}
+
+// ------------------------------------------------------------------ Block
+
+TEST_F(LogTest, BlockCodecRoundTrip) {
+  Block b = MakeBlock(5);
+  Decoder dec(b.Encode());
+  Block back = *Block::DecodeFrom(&dec);
+  EXPECT_EQ(back, b);
+}
+
+TEST_F(LogTest, BlockDigestIsStable) {
+  Block b = MakeBlock(5);
+  EXPECT_EQ(b.Digest(), b.Digest());
+}
+
+TEST_F(LogTest, BlockDigestCoversId) {
+  // Same content, different id => different digest. This is what makes
+  // certifying the digest pin the block id (agreement per id).
+  Block b1 = MakeBlock(5, 2);
+  Block b2 = b1;
+  b2.id = 6;
+  EXPECT_NE(b1.Digest(), b2.Digest());
+}
+
+TEST_F(LogTest, BlockDigestCoversContent) {
+  Block b1 = MakeBlock(5, 2);
+  Block b2 = b1;
+  b2.entries[0].payload.push_back('x');
+  EXPECT_NE(b1.Digest(), b2.Digest());
+}
+
+TEST_F(LogTest, BlockContains) {
+  Block b = MakeBlock(0, 3);
+  EXPECT_TRUE(b.Contains(client_.id(), b.entries[1].seq));
+  EXPECT_FALSE(b.Contains(client_.id(), 999));
+  EXPECT_FALSE(b.Contains(edge_.id(), b.entries[1].seq));
+}
+
+TEST_F(LogTest, ByteSizeTracksPayload) {
+  Block small = MakeBlock(0, 1);
+  Block big = MakeBlock(1, 50);
+  EXPECT_GT(big.ByteSize(), small.ByteSize());
+  // ByteSize approximates the encoded size.
+  EXPECT_NEAR(static_cast<double>(big.ByteSize()),
+              static_cast<double>(big.Encode().size()), 64.0);
+}
+
+// ----------------------------------------------------------- BlockBuilder
+
+TEST_F(LogTest, BuilderFlushesAtThreshold) {
+  BlockBuilder builder(3, 0);
+  EXPECT_FALSE(builder.Add(MakeEntry(0), 10).has_value());
+  EXPECT_FALSE(builder.Add(MakeEntry(1), 11).has_value());
+  auto block = builder.Add(MakeEntry(2), 12);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->id, 0u);
+  EXPECT_EQ(block->created_at, 12);
+  EXPECT_EQ(block->entries.size(), 3u);
+  EXPECT_EQ(builder.pending(), 0u);
+  EXPECT_EQ(builder.next_bid(), 1u);
+}
+
+TEST_F(LogTest, BuilderAssignsMonotonicIds) {
+  BlockBuilder builder(1, 5);
+  EXPECT_EQ(builder.Add(MakeEntry(0), 0)->id, 5u);
+  EXPECT_EQ(builder.Add(MakeEntry(1), 0)->id, 6u);
+  EXPECT_EQ(builder.Add(MakeEntry(2), 0)->id, 7u);
+}
+
+TEST_F(LogTest, BuilderPartialFlush) {
+  BlockBuilder builder(10, 0);
+  builder.Add(MakeEntry(0), 1);
+  builder.Add(MakeEntry(1), 2);
+  auto block = builder.Flush(99);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->entries.size(), 2u);
+  EXPECT_EQ(block->created_at, 99);
+  EXPECT_FALSE(builder.Flush(100).has_value());  // empty buffer
+}
+
+TEST_F(LogTest, BuilderZeroThresholdBehavesAsOne) {
+  BlockBuilder builder(0, 0);
+  EXPECT_TRUE(builder.Add(MakeEntry(0), 0).has_value());
+}
+
+TEST_F(LogTest, BuilderPendingContains) {
+  BlockBuilder builder(10, 0);
+  builder.Add(MakeEntry(3), 0);
+  EXPECT_TRUE(builder.PendingContains(client_.id(), 3));
+  EXPECT_FALSE(builder.PendingContains(client_.id(), 4));
+}
+
+// ---------------------------------------------------------------- EdgeLog
+
+TEST_F(LogTest, AppendAndGet) {
+  EdgeLog log;
+  ASSERT_TRUE(log.Append(MakeBlock(0)).ok());
+  ASSERT_TRUE(log.Append(MakeBlock(1)).ok());
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.GetBlock(1)->id, 1u);
+  EXPECT_TRUE(log.GetBlock(2).status().IsNotFound());
+  EXPECT_TRUE(log.HasBlock(0));
+  EXPECT_FALSE(log.HasBlock(2));
+}
+
+TEST_F(LogTest, AppendRejectsGaps) {
+  EdgeLog log;
+  EXPECT_TRUE(log.Append(MakeBlock(3)).IsInvalidArgument());
+  ASSERT_TRUE(log.Append(MakeBlock(0)).ok());
+  EXPECT_TRUE(log.Append(MakeBlock(0)).IsInvalidArgument());  // duplicate
+}
+
+TEST_F(LogTest, CertificateLifecycle) {
+  EdgeLog log;
+  Block b = MakeBlock(0);
+  Digest256 digest = b.Digest();
+  ASSERT_TRUE(log.Append(b).ok());
+  EXPECT_FALSE(log.IsCertified(0));
+  EXPECT_EQ(log.certified_count(), 0u);
+
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 0, digest, 500);
+  ASSERT_TRUE(log.SetCertificate(cert).ok());
+  EXPECT_TRUE(log.IsCertified(0));
+  EXPECT_EQ(log.certified_count(), 1u);
+  EXPECT_EQ(log.GetCertificate(0)->digest, digest);
+
+  // Idempotent.
+  ASSERT_TRUE(log.SetCertificate(cert).ok());
+  EXPECT_EQ(log.certified_count(), 1u);
+}
+
+TEST_F(LogTest, CertificateDigestMismatchRejected) {
+  EdgeLog log;
+  ASSERT_TRUE(log.Append(MakeBlock(0)).ok());
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 0,
+                                     Digest256::Of(Slice("other")), 500);
+  EXPECT_TRUE(log.SetCertificate(cert).IsSecurityViolation());
+  EXPECT_FALSE(log.IsCertified(0));
+}
+
+TEST_F(LogTest, CertificateForUnknownBlockRejected) {
+  EdgeLog log;
+  auto cert =
+      BlockCertificate::Make(cloud_, edge_.id(), 7, Digest256(), 500);
+  EXPECT_TRUE(log.SetCertificate(cert).IsNotFound());
+}
+
+TEST_F(LogTest, GetCertificateOutOfRangeIsEmpty) {
+  EdgeLog log;
+  EXPECT_FALSE(log.GetCertificate(99).has_value());
+}
+
+TEST_F(LogTest, RetentionEvictsOldBlocks) {
+  EdgeLog log;
+  log.SetRetention(2);
+  for (BlockId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append(MakeBlock(i, 1)).ok());
+  }
+  EXPECT_EQ(log.size(), 5u);  // logical size keeps counting
+  EXPECT_EQ(log.base(), 3u);
+  EXPECT_FALSE(log.HasBlock(2));
+  EXPECT_TRUE(log.HasBlock(3));
+  EXPECT_TRUE(log.GetBlock(1).status().IsUnavailable());
+  EXPECT_TRUE(log.GetBlock(4).ok());
+  EXPECT_TRUE(log.GetBlock(9).status().IsNotFound());
+  // Appends continue with dense ids after eviction.
+  ASSERT_TRUE(log.Append(MakeBlock(5, 1)).ok());
+  EXPECT_EQ(log.size(), 6u);
+}
+
+TEST_F(LogTest, CertificateForEvictedBlockCounted) {
+  EdgeLog log;
+  log.SetRetention(1);
+  Block b0 = MakeBlock(0, 1);
+  Digest256 d0 = b0.Digest();
+  ASSERT_TRUE(log.Append(b0).ok());
+  ASSERT_TRUE(log.Append(MakeBlock(1, 1)).ok());  // evicts block 0
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 0, d0, 5);
+  EXPECT_TRUE(log.SetCertificate(cert).ok());
+  EXPECT_EQ(log.certified_count(), 1u);
+  EXPECT_FALSE(log.IsCertified(0));  // body gone, metadata only
+}
+
+TEST_F(LogTest, UnlimitedRetentionByDefault) {
+  EdgeLog log;
+  for (BlockId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(log.Append(MakeBlock(i, 1)).ok());
+  }
+  EXPECT_TRUE(log.HasBlock(0));
+  EXPECT_EQ(log.base(), 0u);
+}
+
+// ------------------------------------------------------- BlockCertificate
+
+TEST_F(LogTest, CertificateValidates) {
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 3,
+                                     Digest256::Of(Slice("b")), 777);
+  EXPECT_TRUE(cert.Validate(keystore_).ok());
+}
+
+TEST_F(LogTest, CertificateSignedByNonCloudRejected) {
+  // An edge forging a "cloud" certificate must fail validation.
+  auto cert = BlockCertificate::Make(edge_, edge_.id(), 3,
+                                     Digest256::Of(Slice("b")), 777);
+  EXPECT_TRUE(cert.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, CertificateTamperRejected) {
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 3,
+                                     Digest256::Of(Slice("b")), 777);
+  cert.bid = 4;
+  EXPECT_TRUE(cert.Validate(keystore_).IsSecurityViolation());
+}
+
+TEST_F(LogTest, CertificateCodecRoundTrip) {
+  auto cert = BlockCertificate::Make(cloud_, edge_.id(), 3,
+                                     Digest256::Of(Slice("b")), 777);
+  Encoder enc;
+  cert.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto back = *BlockCertificate::DecodeFrom(&dec);
+  EXPECT_EQ(back, cert);
+  EXPECT_TRUE(back.Validate(keystore_).ok());
+}
+
+// Property sweep: build N blocks through the builder, append all, verify
+// digests stay consistent through encode/decode.
+class LogPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogPropertyTest, BuilderLogDigestConsistency) {
+  const int ops_per_block = GetParam();
+  KeyStore ks;
+  Signer client = ks.Register(Role::kClient, "c");
+  BlockBuilder builder(static_cast<size_t>(ops_per_block), 0);
+  EdgeLog log;
+
+  SeqNum seq = 0;
+  int blocks_built = 0;
+  while (blocks_built < 5) {
+    Bytes payload(17, static_cast<uint8_t>(seq & 0xff));
+    auto blk = builder.Add(Entry::Make(client, seq++, payload), 1000);
+    if (blk.has_value()) {
+      Digest256 before = blk->Digest();
+      Decoder dec(blk->Encode());
+      Block decoded = *Block::DecodeFrom(&dec);
+      EXPECT_EQ(decoded.Digest(), before);
+      ASSERT_TRUE(log.Append(*blk).ok());
+      blocks_built++;
+    }
+  }
+  EXPECT_EQ(log.size(), 5u);
+  for (BlockId bid = 0; bid < 5; ++bid) {
+    EXPECT_EQ(log.GetBlock(bid)->entries.size(),
+              static_cast<size_t>(ops_per_block));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, LogPropertyTest,
+                         ::testing::Values(1, 2, 3, 10, 100));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,150 @@
+// Unit + property tests for the Merkle tree: root stability, membership
+// proofs for every leaf across many sizes, tamper detection, codec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "merkle/merkle_tree.h"
+
+namespace wedge {
+namespace {
+
+std::vector<Digest256> MakeLeaves(size_t n, const std::string& tag = "leaf") {
+  std::vector<Digest256> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Digest256::Of(Slice(tag + std::to_string(i))));
+  }
+  return leaves;
+}
+
+TEST(MerkleTreeTest, EmptyTreeHasZeroRoot) {
+  MerkleTree t({});
+  EXPECT_TRUE(t.Root().IsZero());
+  EXPECT_EQ(t.leaf_count(), 0u);
+  EXPECT_TRUE(t.Prove(0).status().IsOutOfRange());
+}
+
+TEST(MerkleTreeTest, SingleLeafRootIsLeaf) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.Root(), leaves[0]);
+  auto proof = *t.Prove(0);
+  EXPECT_TRUE(proof.steps.empty());
+  EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[0], proof).ok());
+}
+
+TEST(MerkleTreeTest, TwoLeavesRootIsCombine) {
+  auto leaves = MakeLeaves(2);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.Root(), Digest256::Combine(leaves[0], leaves[1]));
+}
+
+TEST(MerkleTreeTest, RootIsOrderSensitive) {
+  auto leaves = MakeLeaves(4);
+  MerkleTree t1(leaves);
+  std::swap(leaves[0], leaves[1]);
+  MerkleTree t2(leaves);
+  EXPECT_NE(t1.Root(), t2.Root());
+}
+
+TEST(MerkleTreeTest, ComputeRootMatchesTree) {
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    auto leaves = MakeLeaves(n);
+    EXPECT_EQ(MerkleTree::ComputeRoot(leaves), MerkleTree(leaves).Root())
+        << "n=" << n;
+  }
+}
+
+TEST(MerkleTreeTest, DifferentLeafSetsDifferentRoots) {
+  EXPECT_NE(MerkleTree(MakeLeaves(4, "a")).Root(),
+            MerkleTree(MakeLeaves(4, "b")).Root());
+  // A strict prefix must not share the root (no-duplication construction).
+  EXPECT_NE(MerkleTree(MakeLeaves(3)).Root(), MerkleTree(MakeLeaves(4)).Root());
+}
+
+TEST(MerkleTreeTest, WrongLeafFailsVerify) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(3);
+  EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[4], proof)
+                  .IsSecurityViolation());
+}
+
+TEST(MerkleTreeTest, TamperedProofFailsVerify) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(3);
+  proof.steps[1].sibling = Digest256::Of(Slice("evil"));
+  EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[3], proof)
+                  .IsSecurityViolation());
+}
+
+TEST(MerkleTreeTest, FlippedSideFailsVerify) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(3);
+  proof.steps[0].sibling_is_left = !proof.steps[0].sibling_is_left;
+  EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[3], proof)
+                  .IsSecurityViolation());
+}
+
+TEST(MerkleTreeTest, WrongRootFailsVerify) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(3);
+  EXPECT_TRUE(MerkleTree::Verify(Digest256::Of(Slice("other")), leaves[3],
+                                 proof)
+                  .IsSecurityViolation());
+}
+
+TEST(MerkleTreeTest, ProofCodecRoundTrip) {
+  auto leaves = MakeLeaves(13);
+  MerkleTree t(leaves);
+  auto proof = *t.Prove(9);
+  Encoder enc;
+  proof.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto back = *MerkleProof::DecodeFrom(&dec);
+  EXPECT_EQ(back, proof);
+  EXPECT_TRUE(dec.ExpectDone().ok());
+  EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[9], back).ok());
+}
+
+TEST(MerkleTreeTest, ProofSizeIsLogarithmic) {
+  auto leaves = MakeLeaves(1024);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.Prove(0)->steps.size(), 10u);  // log2(1024)
+}
+
+// Property: every leaf of every tree size in [1, 40] proves and verifies,
+// and no proof verifies a different leaf.
+class MerkleProofSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofSweep, AllLeavesProveAndVerify) {
+  const size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree t(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    auto proof = t.Prove(i);
+    ASSERT_TRUE(proof.ok()) << "leaf " << i << " of " << n;
+    EXPECT_TRUE(MerkleTree::Verify(t.Root(), leaves[i], *proof).ok())
+        << "leaf " << i << " of " << n;
+    // Proof for leaf i must not verify leaf j's digest (i != j).
+    size_t j = (i + 1) % n;
+    if (j != i) {
+      EXPECT_FALSE(MerkleTree::Verify(t.Root(), leaves[j], *proof).ok())
+          << "leaf " << j << " accepted with proof for " << i;
+    }
+  }
+  EXPECT_TRUE(t.Prove(n).status().IsOutOfRange());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15,
+                                           16, 17, 31, 32, 33, 40));
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,313 @@
+// Unit tests for the discrete-event simulator: clock, event ordering,
+// CPU lanes, datacenter latency matrix, and message delivery semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/cpu.h"
+#include "simnet/datacenter.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+
+namespace wedge {
+namespace {
+
+// ------------------------------------------------------------- Simulation
+
+TEST(SimulationTest, ClockAdvancesToEventTime) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.ScheduleAfter(500, [&] { observed = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(observed, 500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(300, [&] { order.push_back(3); });
+  sim.ScheduleAfter(100, [&] { order.push_back(1); });
+  sim.ScheduleAfter(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, EqualTimesFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(42, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    if (++fired < 5) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAfter(10, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAfter(100, [&] { fired++; });
+  sim.ScheduleAfter(200, [&] { fired++; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150);  // clock advanced to boundary
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, PastScheduleClampsToNow) {
+  Simulation sim;
+  sim.ScheduleAfter(100, [] {});
+  sim.Run();
+  SimTime observed = -1;
+  sim.ScheduleAt(5, [&] { observed = sim.now(); });  // in the past
+  sim.Run();
+  EXPECT_EQ(observed, 100);  // ran at now, clock did not go backwards
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+// ---------------------------------------------------------------- CpuLane
+
+TEST(CpuLaneTest, SerializesWork) {
+  Simulation sim;
+  CpuLane lane(&sim);
+  std::vector<SimTime> completions;
+  // Three jobs submitted at t=0, 10 units each: finish at 10, 20, 30.
+  for (int i = 0; i < 3; ++i) {
+    lane.Execute(10, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(CpuLaneTest, IdleLaneStartsImmediately) {
+  Simulation sim;
+  CpuLane lane(&sim);
+  lane.Execute(5, [] {});
+  sim.Run();
+  // Lane idle since t=5; a job submitted at t=100 finishes at 105.
+  sim.ScheduleAfter(95, [&] {
+    lane.Execute(5, [&] { EXPECT_EQ(sim.now(), 105); });
+  });
+  sim.Run();
+  EXPECT_EQ(sim.now(), 105);
+}
+
+TEST(CpuLaneTest, BusyFlag) {
+  Simulation sim;
+  CpuLane lane(&sim);
+  EXPECT_FALSE(lane.busy());
+  lane.Execute(10, [] {});
+  EXPECT_TRUE(lane.busy());
+  sim.Run();
+  EXPECT_FALSE(lane.busy());
+}
+
+// ------------------------------------------------------------- Datacenter
+
+TEST(DatacenterTest, PaperMatrixMatchesTableOne) {
+  LatencyMatrix m = LatencyMatrix::Paper();
+  EXPECT_EQ(m.Rtt(Dc::kCalifornia, Dc::kCalifornia), 0);
+  EXPECT_EQ(m.Rtt(Dc::kCalifornia, Dc::kOregon), 19 * kMillisecond);
+  EXPECT_EQ(m.Rtt(Dc::kCalifornia, Dc::kVirginia), 61 * kMillisecond);
+  EXPECT_EQ(m.Rtt(Dc::kCalifornia, Dc::kIreland), 141 * kMillisecond);
+  EXPECT_EQ(m.Rtt(Dc::kCalifornia, Dc::kMumbai), 238 * kMillisecond);
+}
+
+TEST(DatacenterTest, MatrixIsSymmetric) {
+  LatencyMatrix m = LatencyMatrix::Paper();
+  for (int a = 0; a < kDcCount; ++a) {
+    for (int b = 0; b < kDcCount; ++b) {
+      EXPECT_EQ(m.Rtt(static_cast<Dc>(a), static_cast<Dc>(b)),
+                m.Rtt(static_cast<Dc>(b), static_cast<Dc>(a)));
+    }
+  }
+}
+
+TEST(DatacenterTest, OneWayIsHalfRtt) {
+  LatencyMatrix m = LatencyMatrix::Paper();
+  EXPECT_EQ(m.OneWay(Dc::kCalifornia, Dc::kVirginia),
+            30500 /* 30.5 ms in us */);
+}
+
+TEST(DatacenterTest, Names) {
+  EXPECT_EQ(DcName(Dc::kMumbai), "Mumbai");
+  EXPECT_EQ(DcShortName(Dc::kVirginia), "V");
+}
+
+// ------------------------------------------------------------- SimNetwork
+
+class RecordingEndpoint : public Endpoint {
+ public:
+  struct Received {
+    NodeId from;
+    Bytes payload;
+    SimTime at;
+  };
+  void OnMessage(NodeId from, Slice payload, SimTime now) override {
+    received.push_back({from, payload.ToBytes(), now});
+  }
+  std::vector<Received> received;
+};
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  SimNetworkTest() : sim_(7), net_(&sim_, MakeConfig()) {}
+
+  static NetworkConfig MakeConfig() {
+    NetworkConfig cfg;
+    cfg.jitter_frac = 0.0;  // exact arithmetic in tests
+    cfg.per_message_overhead_bytes = 0;
+    return cfg;
+  }
+
+  Simulation sim_;
+  SimNetwork net_;
+  RecordingEndpoint a_, b_;
+};
+
+TEST_F(SimNetworkTest, WanDeliveryUsesRttMatrix) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  net_.Send(1, 2, Bytes{0xaa});
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].from, 1u);
+  EXPECT_EQ(b_.received[0].payload, Bytes{0xaa});
+  // 1 byte at 40 B/us is 0 us tx; one-way C->V = 30.5 ms.
+  EXPECT_EQ(b_.received[0].at, 30500);
+}
+
+TEST_F(SimNetworkTest, LanDeliveryUsesLocalLatency) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kCalifornia, &b_);
+  net_.Send(1, 2, Bytes{1});
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].at, 85);
+}
+
+TEST_F(SimNetworkTest, LargeMessagePaysTransmissionTime) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  Bytes big(200000, 0);  // 200 KB at 50 B/us = 4000 us
+  net_.Send(1, 2, big);
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].at, 4000 + 30500);
+}
+
+TEST_F(SimNetworkTest, EgressSerializesBackToBackSends) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  Bytes big(50000, 0);  // 1000 us tx each
+  net_.Send(1, 2, big);
+  net_.Send(1, 2, big);
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].at, 1000 + 30500);
+  EXPECT_EQ(b_.received[1].at, 2000 + 30500);  // queued behind the first
+}
+
+TEST_F(SimNetworkTest, UnattachedDestinationDropped) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Send(1, 99, Bytes{1});
+  sim_.Run();
+  EXPECT_EQ(net_.stats().dropped, 1u);
+}
+
+TEST_F(SimNetworkTest, DownLinkDropsBothDirections) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  net_.SetLinkDown(1, 2, true);
+  net_.Send(1, 2, Bytes{1});
+  net_.Send(2, 1, Bytes{2});
+  sim_.Run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().dropped, 2u);
+
+  net_.SetLinkDown(1, 2, false);
+  net_.Send(1, 2, Bytes{3});
+  sim_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, IsolatedNodeDropsAllTraffic) {
+  RecordingEndpoint c;
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  net_.Attach(3, Dc::kOregon, &c);
+  net_.SetNodeIsolated(2, true);
+  net_.Send(1, 2, Bytes{1});
+  net_.Send(2, 3, Bytes{2});
+  net_.Send(1, 3, Bytes{3});
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);  // only the 1->3 message
+}
+
+TEST_F(SimNetworkTest, StatsDistinguishWanFromLan) {
+  RecordingEndpoint c;
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kCalifornia, &b_);
+  net_.Attach(3, Dc::kMumbai, &c);
+  net_.Send(1, 2, Bytes(100, 0));  // LAN
+  net_.Send(1, 3, Bytes(200, 0));  // WAN
+  sim_.Run();
+  EXPECT_EQ(net_.stats().messages, 2u);
+  EXPECT_EQ(net_.stats().bytes, 300u);
+  EXPECT_EQ(net_.stats().wan_messages, 1u);
+  EXPECT_EQ(net_.stats().wan_bytes, 200u);
+}
+
+TEST_F(SimNetworkTest, DetachedNodeDropsInFlight) {
+  net_.Attach(1, Dc::kCalifornia, &a_);
+  net_.Attach(2, Dc::kVirginia, &b_);
+  net_.Send(1, 2, Bytes{1});
+  net_.Detach(2);
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().dropped, 1u);
+}
+
+TEST(SimNetworkJitterTest, JitterIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    NetworkConfig cfg;
+    cfg.jitter_frac = 0.05;
+    SimNetwork net(&sim, cfg);
+    RecordingEndpoint a, b;
+    net.Attach(1, Dc::kCalifornia, &a);
+    net.Attach(2, Dc::kVirginia, &b);
+    net.Send(1, 2, Bytes{1});
+    sim.Run();
+    return b.received.at(0).at;
+  };
+  EXPECT_EQ(run(42), run(42));
+  // Jitter stays within the configured bound.
+  SimTime t = run(43);
+  EXPECT_GE(t, 30500 * 95 / 100);
+  EXPECT_LE(t, 30500 * 105 / 100 + 4 /*tx+rounding*/);
+}
+
+}  // namespace
+}  // namespace wedge

@@ -1,0 +1,1006 @@
+// Tests for the storage substrate: CRC32C, Env, the record log format,
+// BlockStore, Manifest, and end-to-end EdgeStorage recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "crypto/signature.h"
+#include "log/block.h"
+#include "lsmerkle/kv.h"
+#include "lsmerkle/merge.h"
+#include "storage/block_store.h"
+#include "storage/crc32c.h"
+#include "storage/edge_storage.h"
+#include "storage/env.h"
+#include "storage/manifest.h"
+#include "storage/record_log.h"
+
+namespace wedge {
+namespace {
+
+// ---------------------------------------------------------------- crc32c
+
+TEST(Crc32cTest, StandardCheckVector) {
+  // The canonical CRC32C check value: crc of ASCII "123456789".
+  EXPECT_EQ(Crc32c(Slice("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ThirtyTwoZeroBytes) {
+  // Vector from the LevelDB/RocksDB test suites.
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(Slice(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ThirtyTwoFfBytes) {
+  Bytes ffs(32, 0xff);
+  EXPECT_EQ(Crc32c(Slice(ffs)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c(Slice()), 0u); }
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t a = Crc32cExtend(
+        Crc32c(Slice(data.substr(0, split))), Slice(data.substr(split)));
+    EXPECT_EQ(a, Crc32c(Slice(data))) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DifferentInputsDifferentCrcs) {
+  EXPECT_NE(Crc32c(Slice("a")), Crc32c(Slice("b")));
+  EXPECT_NE(Crc32c(Slice("abc")), Crc32c(Slice("acb")));
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xffffffffu, 0x12345678u}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+TEST(Crc32cTest, LongBufferSlicedPathMatchesBytewise) {
+  // Exercise the sliced-by-8 fast path against the bytewise definition.
+  Bytes data(100003);
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto& b : data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<uint8_t>(x);
+  }
+  uint32_t bytewise = 0;
+  for (uint8_t b : data) bytewise = Crc32cExtend(bytewise, Slice(&b, 1));
+  EXPECT_EQ(Crc32c(Slice(data)), bytewise);
+}
+
+// ------------------------------------------------------------------- env
+
+/// Runs the generic Env contract against both implementations.
+class EnvContractTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      env_ = &mem_env_;
+      root_ = "testroot";
+    } else {
+      env_ = PosixEnv();
+      root_ = (std::filesystem::temp_directory_path() /
+               ("wedge_env_test_" + std::to_string(::getpid())))
+                  .string();
+    }
+    ASSERT_TRUE(env_->CreateDirs(root_).ok());
+  }
+
+  void TearDown() override {
+    if (!GetParam()) {
+      std::error_code ec;
+      std::filesystem::remove_all(root_, ec);
+    }
+  }
+
+  std::string Path(const std::string& name) { return root_ + "/" + name; }
+
+  MemEnv mem_env_;
+  Env* env_ = nullptr;
+  std::string root_;
+};
+
+TEST_P(EnvContractTest, WriteThenReadBack) {
+  auto file = env_->NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(Slice("hello ")).ok());
+  ASSERT_TRUE((*file)->Append(Slice("world")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto data = env_->ReadFileToBytes(Path("f"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "hello world");
+}
+
+TEST_P(EnvContractTest, AppendableContinuesExistingFile) {
+  {
+    auto file = env_->NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("abc")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env_->NewAppendableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("def")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto data = env_->ReadFileToBytes(Path("f"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "abcdef");
+}
+
+TEST_P(EnvContractTest, NewWritableTruncates) {
+  {
+    auto file = env_->NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("long old content")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env_->NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("new")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto size = env_->FileSize(Path("f"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 3u);
+}
+
+TEST_P(EnvContractTest, RandomAccessReadsAtOffsets) {
+  {
+    auto file = env_->NewWritableFile(Path("f"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice("0123456789")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto ra = env_->NewRandomAccessFile(Path("f"));
+  ASSERT_TRUE(ra.ok());
+  auto mid = (*ra)->Read(3, 4);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(std::string(mid->begin(), mid->end()), "3456");
+  // Short read at EOF is not an error.
+  auto tail = (*ra)->Read(8, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(std::string(tail->begin(), tail->end()), "89");
+  auto beyond = (*ra)->Read(50, 10);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond->empty());
+}
+
+TEST_P(EnvContractTest, RenameReplacesTarget) {
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("a"), Slice("AAA")).ok());
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("b"), Slice("BBB")).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+  auto data = env_->ReadFileToBytes(Path("b"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "AAA");
+}
+
+TEST_P(EnvContractTest, WriteFileAtomicLeavesNoTemp) {
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("f"), Slice("payload")).ok());
+  auto names = env_->ListDir(root_);
+  ASSERT_TRUE(names.ok());
+  for (const auto& name : *names) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+}
+
+TEST_P(EnvContractTest, ListDirSeesOnlyDirectChildren) {
+  ASSERT_TRUE(env_->CreateDirs(Path("sub")).ok());
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("top"), Slice("x")).ok());
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("sub/inner"), Slice("y")).ok());
+  auto names = env_->ListDir(root_);
+  ASSERT_TRUE(names.ok());
+  bool saw_top = false;
+  for (const auto& name : *names) {
+    if (name == "top") saw_top = true;
+    EXPECT_NE(name, "inner");
+  }
+  EXPECT_TRUE(saw_top);
+}
+
+TEST_P(EnvContractTest, MissingFileErrors) {
+  EXPECT_FALSE(env_->FileExists(Path("nope")));
+  EXPECT_FALSE(env_->NewRandomAccessFile(Path("nope")).ok());
+  EXPECT_FALSE(env_->FileSize(Path("nope")).ok());
+  EXPECT_FALSE(env_->DeleteFile(Path("nope")).ok());
+}
+
+TEST_P(EnvContractTest, DeleteRemovesFile) {
+  ASSERT_TRUE(env_->WriteFileAtomic(Path("f"), Slice("x")).ok());
+  ASSERT_TRUE(env_->DeleteFile(Path("f")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvContractTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "MemEnv" : "PosixEnv";
+                         });
+
+TEST(MemEnvTest, DropUnsyncedLosesTail) {
+  MemEnv env;
+  auto file = env.NewWritableFile("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(Slice("durable")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(Slice(" volatile")).ok());
+  env.DropUnsynced();
+  auto data = env.ReadFileToBytes("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "durable");
+}
+
+TEST(MemEnvTest, CorruptByteFlipsInPlace) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFileAtomic("f", Slice("abc")).ok());
+  ASSERT_TRUE(env.CorruptByte("f", 1).ok());
+  auto data = env.ReadFileToBytes("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[0], 'a');
+  EXPECT_NE((*data)[1], 'b');
+  EXPECT_EQ((*data)[2], 'c');
+  EXPECT_TRUE(env.CorruptByte("f", 99).IsOutOfRange());
+}
+
+// ------------------------------------------------------------ record log
+
+class RecordLogTest : public ::testing::Test {
+ protected:
+  /// Writes `payloads` as one log file named `name`.
+  void WriteLog(const std::string& name,
+                const std::vector<Bytes>& payloads) {
+    auto file = env_.NewWritableFile(name);
+    ASSERT_TRUE(file.ok());
+    RecordLogWriter writer(file->get());
+    for (const Bytes& p : payloads) {
+      ASSERT_TRUE(writer.AddRecord(Slice(p)).ok());
+    }
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+
+  /// Reads every record of `name` back (resync mode).
+  std::vector<Bytes> ReadLog(const std::string& name,
+                             RecordLogReader** out_reader = nullptr) {
+    auto file = env_.NewRandomAccessFile(name);
+    EXPECT_TRUE(file.ok());
+    reader_file_ = std::move(*file);
+    reader_ = std::make_unique<RecordLogReader>(reader_file_.get());
+    if (out_reader != nullptr) *out_reader = reader_.get();
+    std::vector<Bytes> records;
+    Bytes record;
+    while (true) {
+      auto more = reader_->ReadRecord(&record);
+      EXPECT_TRUE(more.ok());
+      if (!more.ok() || !*more) break;
+      records.push_back(record);
+    }
+    return records;
+  }
+
+  static Bytes Pattern(size_t n, uint8_t seed) {
+    Bytes b(n);
+    for (size_t i = 0; i < n; ++i) b[i] = static_cast<uint8_t>(seed + i * 7);
+    return b;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<RandomAccessFile> reader_file_;
+  std::unique_ptr<RecordLogReader> reader_;
+};
+
+TEST_F(RecordLogTest, RoundTripSmallRecords) {
+  std::vector<Bytes> in = {Pattern(1, 1), Pattern(100, 2), Pattern(0, 0),
+                           Pattern(7, 3)};
+  WriteLog("log", in);
+  EXPECT_EQ(ReadLog("log"), in);
+}
+
+TEST_F(RecordLogTest, EmptyFileHasNoRecords) {
+  WriteLog("log", {});
+  EXPECT_TRUE(ReadLog("log").empty());
+}
+
+TEST_F(RecordLogTest, RecordLargerThanBlockFragments) {
+  // 3.5 blocks worth of payload: kFirst + 3x kMiddle/kLast.
+  std::vector<Bytes> in = {
+      Pattern(RecordLogFormat::kBlockSize * 7 / 2, 9)};
+  WriteLog("log", in);
+  EXPECT_EQ(ReadLog("log"), in);
+}
+
+TEST_F(RecordLogTest, ManyRecordsAcrossBlockBoundaries) {
+  std::vector<Bytes> in;
+  for (int i = 0; i < 300; ++i) {
+    in.push_back(Pattern(400 + i % 37, static_cast<uint8_t>(i)));
+  }
+  WriteLog("log", in);
+  EXPECT_EQ(ReadLog("log"), in);
+}
+
+TEST_F(RecordLogTest, PayloadExactlyFillingBlockTail) {
+  // First record leaves exactly header-size bytes in the block; the
+  // second record must go entirely into the next block.
+  const size_t first =
+      RecordLogFormat::kBlockSize - 2 * RecordLogFormat::kHeaderSize;
+  std::vector<Bytes> in = {Pattern(first, 1), Pattern(10, 2)};
+  WriteLog("log", in);
+  EXPECT_EQ(ReadLog("log"), in);
+}
+
+TEST_F(RecordLogTest, TrailerSmallerThanHeaderIsPadded) {
+  // Leave 3 bytes in the block: writer zero-pads and moves on.
+  const size_t first = RecordLogFormat::kBlockSize -
+                       RecordLogFormat::kHeaderSize - 3;
+  std::vector<Bytes> in = {Pattern(first, 1), Pattern(64, 2)};
+  WriteLog("log", in);
+  EXPECT_EQ(ReadLog("log"), in);
+}
+
+TEST_F(RecordLogTest, ReopenAndAppendPreservesAlignment) {
+  std::vector<Bytes> first = {Pattern(5000, 1), Pattern(5000, 2)};
+  WriteLog("log", first);
+  uint64_t size = *env_.FileSize("log");
+  {
+    auto file = env_.NewAppendableFile("log");
+    ASSERT_TRUE(file.ok());
+    RecordLogWriter writer(file->get(), size);
+    ASSERT_TRUE(writer.AddRecord(Slice(Pattern(5000, 3))).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  auto records = ReadLog("log");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2], Pattern(5000, 3));
+}
+
+TEST_F(RecordLogTest, CorruptPayloadSkipsToNextBlockAndContinues) {
+  // The first record exactly fills block 0; two more live in block 1.
+  std::vector<Bytes> in = {
+      Pattern(RecordLogFormat::kBlockSize - RecordLogFormat::kHeaderSize, 1),
+      Pattern(100, 2), Pattern(100, 3)};
+  WriteLog("log", in);
+  // Corrupt the first record's payload.
+  ASSERT_TRUE(env_.CorruptByte("log", RecordLogFormat::kHeaderSize + 10).ok());
+
+  RecordLogReader* reader = nullptr;
+  auto records = ReadLog("log", &reader);
+  // Block 0's record is lost; block 1's records survive.
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], in[1]);
+  EXPECT_EQ(records[1], in[2]);
+  EXPECT_GE(reader->corruption_events(), 1u);
+  EXPECT_GT(reader->dropped_bytes(), 0u);
+}
+
+TEST_F(RecordLogTest, ResyncDropsBlockNeighboursOfCorruptRecord) {
+  // Records 0 and 1 share block 0. Corrupting record 0 loses record 1
+  // too — resync is block-granular, the WAL-standard trade-off.
+  std::vector<Bytes> in = {Pattern(100, 1), Pattern(100, 2),
+                           Pattern(RecordLogFormat::kBlockSize, 3),
+                           Pattern(100, 4)};
+  WriteLog("log", in);
+  ASSERT_TRUE(env_.CorruptByte("log", RecordLogFormat::kHeaderSize + 10).ok());
+
+  RecordLogReader* reader = nullptr;
+  auto records = ReadLog("log", &reader);
+  // Record 2's kFirst fragment also sat in block 0, so it is dropped as
+  // an orphan continuation; only the final record survives.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], in[3]);
+  EXPECT_GE(reader->corruption_events(), 1u);
+}
+
+TEST_F(RecordLogTest, StrictModeReportsCorruption) {
+  WriteLog("log", {Pattern(100, 1)});
+  ASSERT_TRUE(env_.CorruptByte("log", RecordLogFormat::kHeaderSize + 5).ok());
+  auto file = env_.NewRandomAccessFile("log");
+  ASSERT_TRUE(file.ok());
+  RecordLogReader reader(file->get(), /*resync_on_corruption=*/false);
+  Bytes record;
+  auto more = reader.ReadRecord(&record);
+  ASSERT_FALSE(more.ok());
+  EXPECT_TRUE(more.status().IsCorruption());
+}
+
+TEST_F(RecordLogTest, TornTailIsCleanEof) {
+  std::vector<Bytes> in = {Pattern(100, 1), Pattern(200, 2)};
+  WriteLog("log", in);
+  // Cut into the middle of the second record's payload.
+  const uint64_t size = *env_.FileSize("log");
+  ASSERT_TRUE(env_.TruncateFile("log", size - 50).ok());
+
+  RecordLogReader* reader = nullptr;
+  auto records = ReadLog("log", &reader);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], in[0]);
+  EXPECT_GT(reader->dropped_bytes(), 0u);
+  // A torn tail is not corruption.
+  EXPECT_EQ(reader->corruption_events(), 0u);
+}
+
+TEST_F(RecordLogTest, TornFragmentedRecordDropsOnlyThatRecord) {
+  std::vector<Bytes> in = {Pattern(100, 1),
+                           Pattern(RecordLogFormat::kBlockSize * 2, 2)};
+  WriteLog("log", in);
+  const uint64_t size = *env_.FileSize("log");
+  ASSERT_TRUE(env_.TruncateFile("log", size - 200).ok());
+
+  auto records = ReadLog("log");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], in[0]);
+}
+
+TEST_F(RecordLogTest, CorruptHeaderTypeByteResyncs) {
+  // The corrupt record fills block 0; the survivor starts block 1.
+  std::vector<Bytes> in = {
+      Pattern(RecordLogFormat::kBlockSize - RecordLogFormat::kHeaderSize, 1),
+      Pattern(50, 2)};
+  WriteLog("log", in);
+  // Header layout: crc(4) len(2) type(1) — flip the type byte.
+  ASSERT_TRUE(env_.CorruptByte("log", 6).ok());
+  auto records = ReadLog("log");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], in[1]);
+}
+
+// ------------------------------------------------------------ BlockStore
+
+class BlockStoreTest : public ::testing::Test {
+ protected:
+  BlockStoreTest()
+      : client_(keystore_.Register(Role::kClient, "client")),
+        cloud_(keystore_.Register(Role::kCloud, "cloud")),
+        edge_(keystore_.Register(Role::kEdge, "edge")) {}
+
+  Block MakeBlock(BlockId id, int entries = 3) {
+    Block b;
+    b.id = id;
+    b.created_at = 1000 + static_cast<SimTime>(id);
+    for (int i = 0; i < entries; ++i) {
+      b.entries.push_back(
+          Entry::Make(client_, next_seq_++, Bytes{1, 2, 3}));
+    }
+    return b;
+  }
+
+  BlockCertificate CertFor(const Block& b) {
+    return BlockCertificate::Make(cloud_, edge_.id(), b.id, b.Digest(),
+                                  5000);
+  }
+
+  MemEnv env_;
+  KeyStore keystore_;
+  Signer client_;
+  Signer cloud_;
+  Signer edge_;
+  SeqNum next_seq_ = 0;
+};
+
+TEST_F(BlockStoreTest, RoundTripBlocksAndCertificates) {
+  auto store = BlockStore::Open(&env_, "bs", {});
+  ASSERT_TRUE(store.ok());
+  std::vector<Block> blocks;
+  for (BlockId id = 0; id < 5; ++id) {
+    blocks.push_back(MakeBlock(id));
+    ASSERT_TRUE((*store)->AppendBlock(blocks.back(), id % 2 == 0).ok());
+  }
+  for (const Block& b : blocks) {
+    ASSERT_TRUE((*store)->AppendCertificate(CertFor(b)).ok());
+  }
+  ASSERT_TRUE((*store)->Sync().ok());
+
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 5u);
+  EXPECT_EQ(rec->log.certified_count(), 5u);
+  EXPECT_EQ(rec->corruption_events, 0u);
+  EXPECT_EQ(rec->blocks_beyond_gap, 0u);
+  for (BlockId id = 0; id < 5; ++id) {
+    auto b = rec->log.GetBlock(id);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*b, blocks[id]);
+    EXPECT_EQ(rec->kv_flags[id], id % 2 == 0);
+    EXPECT_TRUE(rec->log.IsCertified(id));
+  }
+}
+
+TEST_F(BlockStoreTest, RecoverEmptyDirectory) {
+  ASSERT_TRUE(env_.CreateDirs("bs").ok());
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 0u);
+}
+
+TEST_F(BlockStoreTest, SegmentsRotateAndRecoverAcrossFiles) {
+  BlockStoreOptions options;
+  options.segment_size = 2048;  // force frequent rotation
+  auto store = BlockStore::Open(&env_, "bs", options);
+  ASSERT_TRUE(store.ok());
+  for (BlockId id = 0; id < 20; ++id) {
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(id, 5), true).ok());
+  }
+  auto segments = (*store)->SegmentCount();
+  ASSERT_TRUE(segments.ok());
+  EXPECT_GE(*segments, 3u);
+
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 20u);
+}
+
+TEST_F(BlockStoreTest, ReopenContinuesSegmentNumbering) {
+  {
+    auto store = BlockStore::Open(&env_, "bs", {});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(0), true).ok());
+  }
+  {
+    auto store = BlockStore::Open(&env_, "bs", {});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(1), true).ok());
+  }
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 2u);
+}
+
+TEST_F(BlockStoreTest, CrashLosesOnlyUnsyncedTail) {
+  BlockStoreOptions options;
+  options.sync_every_block = true;
+  auto store = BlockStore::Open(&env_, "bs", options);
+  ASSERT_TRUE(store.ok());
+  for (BlockId id = 0; id < 3; ++id) {
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(id), true).ok());
+  }
+  // Certificates are flushed, not synced: lost on machine crash.
+  ASSERT_TRUE((*store)->AppendCertificate(CertFor(MakeBlock(0))).ok());
+  env_.DropUnsynced();
+
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 3u);  // every synced block survived
+}
+
+TEST_F(BlockStoreTest, GapInBlockIdsStopsReplayAtPrefix) {
+  // Segment 1: blocks 0..2. Then simulate block 3's record being lost by
+  // writing block 4 into a new segment.
+  {
+    auto store = BlockStore::Open(&env_, "bs", {});
+    ASSERT_TRUE(store.ok());
+    for (BlockId id = 0; id < 3; ++id) {
+      ASSERT_TRUE((*store)->AppendBlock(MakeBlock(id), true).ok());
+    }
+  }
+  {
+    auto store = BlockStore::Open(&env_, "bs", {});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(4), true).ok());
+  }
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 3u);
+  EXPECT_EQ(rec->blocks_beyond_gap, 1u);
+}
+
+TEST_F(BlockStoreTest, CorruptSegmentRecoversSurvivingRecords) {
+  auto store = BlockStore::Open(&env_, "bs", {});
+  ASSERT_TRUE(store.ok());
+  for (BlockId id = 0; id < 3; ++id) {
+    ASSERT_TRUE((*store)->AppendBlock(MakeBlock(id, 50), true).ok());
+  }
+  // Find the single segment and corrupt a byte late in the file (inside
+  // the last block's record).
+  auto names = env_.ListDir("bs");
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  const std::string path = "bs/" + names->front();
+  const uint64_t size = *env_.FileSize(path);
+  ASSERT_TRUE(env_.CorruptByte(path, size - 10).ok());
+
+  auto rec = BlockStore::Recover(&env_, "bs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 2u);
+  EXPECT_GE(rec->corruption_events, 1u);
+}
+
+// -------------------------------------------------------------- Manifest
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  ManifestTest() : cloud_(keystore_.Register(Role::kCloud, "cloud")) {}
+
+  /// A valid level tiling with `n` pages and a few keys each.
+  std::vector<Page> MakePages(size_t n, uint8_t salt) {
+    std::vector<Page> pages;
+    const Key stride = kMaxKey / (n == 0 ? 1 : n);
+    for (size_t i = 0; i < n; ++i) {
+      Page p;
+      p.min_key = i == 0 ? kMinKey : pages.back().max_key + 1;
+      p.max_key = (i == n - 1) ? kMaxKey : stride * (i + 1);
+      p.created_at = 100 + salt;
+      for (Key k = 0; k < 3; ++k) {
+        KvPair pair;
+        pair.key = p.min_key + k;
+        pair.value = Bytes{salt, static_cast<uint8_t>(k)};
+        pair.version = salt * 100 + k;
+        p.pairs.push_back(std::move(pair));
+      }
+      pages.push_back(std::move(p));
+    }
+    return pages;
+  }
+
+  RootCertificate MakeCert(Epoch epoch, const Digest256& root) {
+    return RootCertificate::Make(cloud_, 42, epoch, root, 1000 + epoch);
+  }
+
+  MemEnv env_;
+  KeyStore keystore_;
+  Signer cloud_;
+};
+
+TEST_F(ManifestTest, FreshManifestHasEmptyState) {
+  auto m = Manifest::Open(&env_, "mf", 3, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->state().levels.size(), 3u);
+  EXPECT_EQ((*m)->state().epoch, 0u);
+  EXPECT_EQ((*m)->state().kv_blocks_consumed, 0u);
+  EXPECT_FALSE((*m)->state().root_cert.has_value());
+  EXPECT_TRUE(env_.FileExists("mf/CURRENT"));
+}
+
+TEST_F(ManifestTest, LogMergeRoundTripsThroughRecovery) {
+  auto m = Manifest::Open(&env_, "mf", 3, {});
+  ASSERT_TRUE(m.ok());
+  auto pages = MakePages(4, 7);
+  auto cert = MakeCert(1, Digest256::Of(Slice("root1")));
+  ASSERT_TRUE((*m)->LogMerge({{1, pages}}, cert, 10).ok());
+
+  auto state = Manifest::Recover(&env_, "mf", 3);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->levels[0], pages);
+  EXPECT_TRUE(state->levels[1].empty());
+  EXPECT_EQ(state->epoch, 1u);
+  EXPECT_EQ(state->kv_blocks_consumed, 10u);
+  ASSERT_TRUE(state->root_cert.has_value());
+  EXPECT_EQ(*state->root_cert, cert);
+}
+
+TEST_F(ManifestTest, SequenceOfMergesKeepsLatestState) {
+  auto m = Manifest::Open(&env_, "mf", 2, {});
+  ASSERT_TRUE(m.ok());
+  for (Epoch e = 1; e <= 5; ++e) {
+    auto pages = MakePages(e, static_cast<uint8_t>(e));
+    auto cert = MakeCert(e, Digest256::Of(Slice("root" + std::to_string(e))));
+    ASSERT_TRUE((*m)->LogMerge({{1, pages}}, cert, e * 2).ok());
+  }
+  auto state = Manifest::Recover(&env_, "mf", 2);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->epoch, 5u);
+  EXPECT_EQ(state->kv_blocks_consumed, 10u);
+  EXPECT_EQ(state->levels[0].size(), 5u);
+}
+
+TEST_F(ManifestTest, MultiLevelMergeRecordsEveryChangedLevel) {
+  auto m = Manifest::Open(&env_, "mf", 3, {});
+  ASSERT_TRUE(m.ok());
+  auto l1 = MakePages(0, 1);  // emptied
+  auto l2 = MakePages(6, 2);
+  auto cert = MakeCert(3, Digest256::Of(Slice("root")));
+  ASSERT_TRUE((*m)->LogMerge({{1, l1}, {2, l2}}, cert, 4).ok());
+
+  auto state = Manifest::Recover(&env_, "mf", 3);
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->levels[0].empty());
+  EXPECT_EQ(state->levels[1].size(), 6u);
+}
+
+TEST_F(ManifestTest, RotationSnapshotsAndDeletesOldFile) {
+  ManifestOptions options;
+  options.rotate_after_records = 4;
+  auto m = Manifest::Open(&env_, "mf", 2, options);
+  ASSERT_TRUE(m.ok());
+  const std::string first_active = (*m)->active_file();
+  for (Epoch e = 1; e <= 6; ++e) {
+    auto cert = MakeCert(e, Digest256::Of(Slice("r" + std::to_string(e))));
+    ASSERT_TRUE(
+        (*m)->LogMerge({{1, MakePages(2, static_cast<uint8_t>(e))}}, cert,
+                       e).ok());
+  }
+  EXPECT_NE((*m)->active_file(), first_active);
+  EXPECT_FALSE(env_.FileExists("mf/" + first_active));
+
+  auto state = Manifest::Recover(&env_, "mf", 2);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->epoch, 6u);
+  EXPECT_EQ(state->kv_blocks_consumed, 6u);
+}
+
+TEST_F(ManifestTest, ReopenCleansUpStaleManifests) {
+  // Each Open writes a fresh snapshot manifest; stale ones (including
+  // crash orphans) must be swept so the directory stays bounded.
+  for (int i = 0; i < 5; ++i) {
+    auto m = Manifest::Open(&env_, "mf", 2, {});
+    ASSERT_TRUE(m.ok());
+  }
+  auto names = env_.ListDir("mf");
+  ASSERT_TRUE(names.ok());
+  size_t manifests = 0;
+  for (const auto& name : *names) {
+    if (name.rfind("MANIFEST-", 0) == 0) ++manifests;
+  }
+  EXPECT_EQ(manifests, 1u);
+}
+
+TEST_F(ManifestTest, ReopenResumesFromRecoveredState) {
+  {
+    auto m = Manifest::Open(&env_, "mf", 2, {});
+    ASSERT_TRUE(m.ok());
+    auto cert = MakeCert(2, Digest256::Of(Slice("root")));
+    ASSERT_TRUE((*m)->LogMerge({{1, MakePages(3, 5)}}, cert, 7).ok());
+  }
+  auto m = Manifest::Open(&env_, "mf", 2, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->state().epoch, 2u);
+  EXPECT_EQ((*m)->state().kv_blocks_consumed, 7u);
+  EXPECT_EQ((*m)->state().levels[0].size(), 3u);
+}
+
+TEST_F(ManifestTest, UncommittedLevelRecordIsIgnoredOnRecovery) {
+  auto m = Manifest::Open(&env_, "mf", 2, {});
+  ASSERT_TRUE(m.ok());
+  auto committed_pages = MakePages(2, 1);
+  auto cert = MakeCert(1, Digest256::Of(Slice("root")));
+  ASSERT_TRUE((*m)->LogMerge({{1, committed_pages}}, cert, 3).ok());
+  const std::string active = "mf/" + (*m)->active_file();
+  m->reset();  // close
+
+  // Simulate a crash between a merge's level records and its commit:
+  // append a bare kLevelPages record (tag 1) with different pages.
+  {
+    const uint64_t size = *env_.FileSize(active);
+    auto file = env_.NewAppendableFile(active);
+    ASSERT_TRUE(file.ok());
+    RecordLogWriter writer(file->get(), size);
+    Encoder enc;
+    enc.PutU8(1);  // kLevelPages
+    enc.PutU32(1);
+    auto uncommitted = MakePages(5, 9);
+    enc.PutU32(static_cast<uint32_t>(uncommitted.size()));
+    for (const Page& p : uncommitted) p.EncodeTo(&enc);
+    ASSERT_TRUE(writer.AddRecord(enc.buffer()).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+
+  auto state = Manifest::Recover(&env_, "mf", 2);
+  ASSERT_TRUE(state.ok());
+  // The torn merge's level change must not surface.
+  EXPECT_EQ(state->levels[0], committed_pages);
+  EXPECT_EQ(state->epoch, 1u);
+}
+
+TEST_F(ManifestTest, ConfigLevelCountMismatchFailsRecovery) {
+  auto m = Manifest::Open(&env_, "mf", 3, {});
+  ASSERT_TRUE(m.ok());
+  m->reset();
+  auto state = Manifest::Recover(&env_, "mf", 5);
+  EXPECT_FALSE(state.ok());
+  EXPECT_TRUE(state.status().IsCorruption());
+}
+
+TEST_F(ManifestTest, ConsumedCounterCannotMoveBackwards) {
+  auto m = Manifest::Open(&env_, "mf", 2, {});
+  ASSERT_TRUE(m.ok());
+  auto cert = MakeCert(1, Digest256::Of(Slice("root")));
+  ASSERT_TRUE((*m)->LogMerge({{1, MakePages(1, 1)}}, cert, 5).ok());
+  auto cert2 = MakeCert(2, Digest256::Of(Slice("root2")));
+  EXPECT_TRUE(
+      (*m)->LogMerge({{1, MakePages(1, 2)}}, cert2, 4).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- EdgeStorage
+
+class EdgeStorageTest : public ::testing::Test {
+ protected:
+  EdgeStorageTest()
+      : client_(keystore_.Register(Role::kClient, "client")),
+        cloud_(keystore_.Register(Role::kCloud, "cloud")),
+        edge_(keystore_.Register(Role::kEdge, "edge")) {
+    config_.level_thresholds = {2, 2, 4};
+    config_.target_page_pairs = 4;
+  }
+
+  /// A kv block of `n` puts on keys [base, base+n).
+  Block MakeKvBlock(BlockId id, Key base, int n = 4) {
+    Block b;
+    b.id = id;
+    b.created_at = 1000 + static_cast<SimTime>(id);
+    for (int i = 0; i < n; ++i) {
+      b.entries.push_back(Entry::Make(
+          client_, next_seq_++,
+          EncodePutPayload(base + static_cast<Key>(i),
+                           Slice("v" + std::to_string(id)))));
+    }
+    return b;
+  }
+
+  /// Drives `tree` and `storage` through one L0->L1 merge consuming
+  /// `consume` blocks, as the edge would after a cloud merge response.
+  void DoMerge(LsmerkleTree* tree, EdgeStorage* storage, size_t consume,
+               uint64_t* consumed_total) {
+    std::vector<KvPair> newer;
+    for (size_t i = 0; i < consume; ++i) {
+      const auto& unit = tree->l0_units()[i];
+      newer.insert(newer.end(), unit.pairs.begin(), unit.pairs.end());
+    }
+    auto merged = MergeIntoPages(std::move(newer), tree->level(1).pages(),
+                                 config_.target_page_pairs, 2000);
+    ASSERT_TRUE(merged.ok());
+    ASSERT_TRUE(tree->InstallMergeRaw(0, consume, *merged).ok());
+    const Epoch epoch = tree->epoch() + 1;
+    auto cert = RootCertificate::Make(
+        cloud_, edge_.id(), epoch,
+        ComputeGlobalRoot(epoch, tree->LevelRoots()), 2000);
+    ASSERT_TRUE(tree->SetEpochAndCert(cert).ok());
+    *consumed_total += consume;
+    ASSERT_TRUE(
+        storage->PersistMerge({{1, tree->level(1).pages()}}, cert,
+                              *consumed_total).ok());
+  }
+
+  MemEnv env_;
+  KeyStore keystore_;
+  Signer client_;
+  Signer cloud_;
+  Signer edge_;
+  LsmConfig config_;
+  SeqNum next_seq_ = 0;
+};
+
+TEST_F(EdgeStorageTest, RecoverReproducesLogTreeAndReplayState) {
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  LsmerkleTree tree(config_);
+  uint64_t consumed = 0;
+
+  // Six kv blocks; merge after every two, leaving two in L0.
+  for (BlockId id = 0; id < 6; ++id) {
+    Block b = MakeKvBlock(id, id * 10);
+    ASSERT_TRUE((*storage)->PersistBlock(b, true).ok());
+    ASSERT_TRUE(tree.ApplyBlock(b).ok());
+    if (tree.l0_count() == 2 && id < 4) {
+      DoMerge(&tree, storage->get(), 2, &consumed);
+    }
+  }
+  ASSERT_EQ(tree.l0_count(), 2u);
+
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 6u);
+  EXPECT_EQ(rec->tree.l0_count(), 2u);
+  EXPECT_EQ(rec->tree.epoch(), tree.epoch());
+  EXPECT_EQ(rec->tree.GlobalRoot(), tree.GlobalRoot());
+  EXPECT_EQ(rec->kv_blocks_consumed, consumed);
+  EXPECT_EQ(rec->corruption_events, 0u);
+  // Replay protection: the highest client seq must be remembered.
+  EXPECT_EQ(rec->last_seq[client_.id()], next_seq_ - 1);
+
+  // The recovered tree answers lookups identically.
+  for (Key k : {0ull, 15ull, 23ull, 51ull}) {
+    auto a = tree.Lookup(k);
+    auto b = rec->tree.Lookup(k);
+    EXPECT_EQ(a.found, b.found) << "key " << k;
+    if (a.found && b.found) {
+      EXPECT_EQ(a.pair, b.pair) << "key " << k;
+    }
+  }
+}
+
+TEST_F(EdgeStorageTest, RecoverFreshDirectoryIsEmpty) {
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 0u);
+  EXPECT_EQ(rec->tree.l0_count(), 0u);
+  EXPECT_EQ(rec->tree.epoch(), 0u);
+}
+
+TEST_F(EdgeStorageTest, CrashAfterSyncedBlocksRecoversThem) {
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  for (BlockId id = 0; id < 3; ++id) {
+    ASSERT_TRUE((*storage)->PersistBlock(MakeKvBlock(id, id * 10), true).ok());
+  }
+  env_.DropUnsynced();  // machine crash
+
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_TRUE(rec.ok());
+  // sync_every_block makes all three durable; all of them are un-merged
+  // kv blocks, so they land back in L0.
+  EXPECT_EQ(rec->log.size(), 3u);
+  EXPECT_EQ(rec->tree.l0_count(), 3u);
+}
+
+TEST_F(EdgeStorageTest, LogBehindManifestIsToleratedAndReported) {
+  // A manifest whose merge frontier is past the recovered log models a
+  // crash-lost log tail under relaxed sync: the merged data is durable
+  // in the manifest levels, so recovery proceeds and reports the gap.
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  Block b = MakeKvBlock(0, 0);
+  ASSERT_TRUE((*storage)->PersistBlock(b, true).ok());
+  LsmerkleTree tree(config_);
+  ASSERT_TRUE(tree.ApplyBlock(b).ok());
+  uint64_t consumed = 0;
+  DoMerge(&tree, storage->get(), 1, &consumed);
+
+  auto cert = RootCertificate::Make(
+      cloud_, edge_.id(), tree.epoch() + 1,
+      ComputeGlobalRoot(tree.epoch() + 1, tree.LevelRoots()), 3000);
+  ASSERT_TRUE(
+      (*storage)->PersistMerge({{1, tree.level(1).pages()}}, cert, 5).ok());
+
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->log_behind_manifest, 4u);  // claims 5 consumed, log has 1
+  EXPECT_EQ(rec->kv_blocks_in_log, 1u);
+  EXPECT_EQ(rec->tree.l0_count(), 0u);
+}
+
+TEST_F(EdgeStorageTest, TamperedManifestPagesFailRootCheck) {
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  Block b = MakeKvBlock(0, 0);
+  ASSERT_TRUE((*storage)->PersistBlock(b, true).ok());
+  LsmerkleTree tree(config_);
+  ASSERT_TRUE(tree.ApplyBlock(b).ok());
+  uint64_t consumed = 0;
+  DoMerge(&tree, storage->get(), 1, &consumed);
+
+  // Persist a *different* page set with the genuine certificate: the
+  // recovered global root cannot match the certificate.
+  auto bogus = MergeIntoPages({{99, Bytes{9}, 1}}, {}, 4, 9000);
+  ASSERT_TRUE(bogus.ok());
+  ASSERT_TRUE((*storage)->PersistMerge({{1, *bogus}},
+                                       *tree.root_cert(), consumed).ok());
+
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsCorruption());
+}
+
+TEST_F(EdgeStorageTest, MixedKvAndRawBlocksOnlyKvReachL0) {
+  auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
+  ASSERT_TRUE(storage.ok());
+  // Raw logging block (opaque payloads) between kv blocks.
+  Block raw;
+  raw.id = 1;
+  raw.created_at = 1001;
+  raw.entries.push_back(Entry::Make(client_, next_seq_++, Bytes{0xde, 0xad}));
+
+  ASSERT_TRUE((*storage)->PersistBlock(MakeKvBlock(0, 0), true).ok());
+  ASSERT_TRUE((*storage)->PersistBlock(raw, false).ok());
+  ASSERT_TRUE((*storage)->PersistBlock(MakeKvBlock(2, 20), true).ok());
+
+  auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->log.size(), 3u);
+  EXPECT_EQ(rec->tree.l0_count(), 2u);  // the raw block is not in L0
+}
+
+}  // namespace
+}  // namespace wedge

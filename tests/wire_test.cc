@@ -1,0 +1,410 @@
+// Tests for the wire layer: envelope sealing/opening, signature checks,
+// and round-trips of every protocol message body.
+
+#include <gtest/gtest.h>
+
+#include "wire/message.h"
+#include "wire/protocol.h"
+
+namespace wedge {
+namespace {
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest()
+      : client_(keystore_.Register(Role::kClient, "client")),
+        edge_(keystore_.Register(Role::kEdge, "edge")),
+        cloud_(keystore_.Register(Role::kCloud, "cloud")) {}
+
+  Entry MakeEntry(SeqNum seq) {
+    return Entry::Make(client_, seq, Bytes{1, 2, 3});
+  }
+
+  Block MakeBlock(BlockId id, int n = 2) {
+    Block b;
+    b.id = id;
+    b.created_at = 5;
+    for (int i = 0; i < n; ++i) b.entries.push_back(MakeEntry(seq_++));
+    return b;
+  }
+
+  KeyStore keystore_;
+  Signer client_, edge_, cloud_;
+  SeqNum seq_ = 0;
+};
+
+// --------------------------------------------------------------- Envelope
+
+TEST_F(WireTest, SealOpenRoundTrip) {
+  AddRequest req;
+  req.req_id = 9;
+  req.entries.push_back(MakeEntry(0));
+  Bytes wire = Envelope::Seal(client_, MsgType::kAddRequest, req.Encode());
+
+  auto env = Envelope::Open(keystore_, wire);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env->type, MsgType::kAddRequest);
+  EXPECT_EQ(env->sender, client_.id());
+  EXPECT_EQ(env->raw, wire);
+
+  auto body = AddRequest::Decode(env->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->req_id, 9u);
+  ASSERT_EQ(body->entries.size(), 1u);
+}
+
+TEST_F(WireTest, TamperedEnvelopeRejected) {
+  Bytes wire = Envelope::Seal(client_, MsgType::kReadRequest,
+                              ReadRequest{1, 2}.Encode());
+  wire[wire.size() / 2] ^= 0xff;
+  auto env = Envelope::Open(keystore_, wire);
+  EXPECT_FALSE(env.ok());
+}
+
+TEST_F(WireTest, TypeSubstitutionRejected) {
+  // Flipping the type byte invalidates the signature (type is signed).
+  Bytes wire = Envelope::Seal(client_, MsgType::kReadRequest,
+                              ReadRequest{1, 2}.Encode());
+  wire[0] = static_cast<uint8_t>(MsgType::kGetRequest);
+  auto env = Envelope::Open(keystore_, wire);
+  ASSERT_FALSE(env.ok());
+  EXPECT_TRUE(env.status().IsSecurityViolation());
+}
+
+TEST_F(WireTest, TruncatedEnvelopeIsCorruption) {
+  Bytes wire = Envelope::Seal(client_, MsgType::kReadRequest,
+                              ReadRequest{1, 2}.Encode());
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(Envelope::Open(keystore_, wire).ok());
+}
+
+TEST_F(WireTest, OpenHistoricalAcceptsRevokedSigner) {
+  Bytes wire = Envelope::Seal(edge_, MsgType::kReadResponse,
+                              ReadResponse{}.Encode());
+  ASSERT_TRUE(keystore_.Revoke(edge_.id()).ok());
+  EXPECT_TRUE(Envelope::Open(keystore_, wire).status().IsFailedPrecondition());
+  auto env = Envelope::OpenHistorical(keystore_, wire);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->sender, edge_.id());
+}
+
+TEST_F(WireTest, UnknownTypeByteRejected) {
+  Bytes wire = Envelope::Seal(client_, MsgType::kReadRequest,
+                              ReadRequest{1, 2}.Encode());
+  wire[0] = 200;
+  EXPECT_TRUE(Envelope::Open(keystore_, wire).status().IsCorruption());
+}
+
+TEST_F(WireTest, MsgTypeNamesComplete) {
+  for (uint8_t t = 1; t <= static_cast<uint8_t>(MsgType::kEbCertifyResponse);
+       ++t) {
+    EXPECT_NE(MsgTypeToString(static_cast<MsgType>(t)), "Unknown")
+        << "type " << static_cast<int>(t);
+  }
+}
+
+// ------------------------------------------------------- Message bodies
+
+TEST_F(WireTest, AddRequestRoundTrip) {
+  AddRequest m;
+  m.req_id = 77;
+  m.entries = {MakeEntry(0), MakeEntry(1), MakeEntry(2)};
+  auto back = *AddRequest::Decode(m.Encode());
+  EXPECT_EQ(back.req_id, m.req_id);
+  EXPECT_EQ(back.entries, m.entries);
+}
+
+TEST_F(WireTest, AddResponseRoundTrip) {
+  AddResponse m;
+  m.req_id = 3;
+  m.bid = 12;
+  m.block = MakeBlock(12);
+  auto back = *AddResponse::Decode(m.Encode());
+  EXPECT_EQ(back.bid, 12u);
+  EXPECT_EQ(back.block, m.block);
+}
+
+TEST_F(WireTest, ReadResponseWithProofRoundTrip) {
+  ReadResponse m;
+  m.req_id = 4;
+  m.bid = 2;
+  m.available = true;
+  m.block = MakeBlock(2);
+  m.proof = BlockCertificate::Make(cloud_, edge_.id(), 2, m.block.Digest(), 9);
+  auto back = *ReadResponse::Decode(m.Encode());
+  EXPECT_TRUE(back.available);
+  EXPECT_EQ(back.block, m.block);
+  ASSERT_TRUE(back.proof.has_value());
+  EXPECT_EQ(*back.proof, *m.proof);
+}
+
+TEST_F(WireTest, NegativeReadResponseRoundTrip) {
+  ReadResponse m;
+  m.req_id = 4;
+  m.bid = 9;
+  m.available = false;
+  auto back = *ReadResponse::Decode(m.Encode());
+  EXPECT_FALSE(back.available);
+  EXPECT_FALSE(back.proof.has_value());
+  EXPECT_EQ(back.bid, 9u);
+}
+
+TEST_F(WireTest, BlockCertifyRoundTrip) {
+  BlockCertify m{42, Digest256::Of(Slice("d"))};
+  auto back = *BlockCertify::Decode(m.Encode());
+  EXPECT_EQ(back.bid, 42u);
+  EXPECT_EQ(back.digest, m.digest);
+  EXPECT_FALSE(back.is_kv);
+}
+
+TEST_F(WireTest, BlockCertifyKvFlagRoundTrips) {
+  BlockCertify m;
+  m.bid = 7;
+  m.digest = Digest256::Of(Slice("d"));
+  m.is_kv = true;
+  auto back = *BlockCertify::Decode(m.Encode());
+  EXPECT_TRUE(back.is_kv);
+}
+
+TEST_F(WireTest, BackupFetchRoundTrip) {
+  BackupFetch m;
+  m.from_bid = 12;
+  m.max_blocks = 3;
+  auto back = *BackupFetch::Decode(m.Encode());
+  EXPECT_EQ(back.from_bid, 12u);
+  EXPECT_EQ(back.max_blocks, 3u);
+}
+
+TEST_F(WireTest, BackupBlocksRoundTrip) {
+  Block b;
+  b.id = 4;
+  b.created_at = 99;
+  b.entries.push_back(Entry::Make(client_, 1, Bytes{1, 2, 3}));
+  BackupBlocks m;
+  m.from_bid = 4;
+  m.complete = false;
+  BackupItem item;
+  item.block = b;
+  item.is_kv = true;
+  item.cert = BlockCertificate::Make(cloud_, edge_.id(), 4, b.Digest(), 50);
+  m.items.push_back(item);
+
+  auto back = *BackupBlocks::Decode(m.Encode());
+  EXPECT_EQ(back.from_bid, 4u);
+  EXPECT_FALSE(back.complete);
+  ASSERT_EQ(back.items.size(), 1u);
+  EXPECT_EQ(back.items[0].block, b);
+  EXPECT_TRUE(back.items[0].is_kv);
+  EXPECT_EQ(back.items[0].cert, item.cert);
+}
+
+TEST_F(WireTest, ScanRequestRoundTrip) {
+  ScanRequest m;
+  m.req_id = 5;
+  m.lo = 100;
+  m.hi = 200;
+  auto back = *ScanRequest::Decode(m.Encode());
+  EXPECT_EQ(back.req_id, 5u);
+  EXPECT_EQ(back.lo, 100u);
+  EXPECT_EQ(back.hi, 200u);
+}
+
+TEST_F(WireTest, ScanResponseRoundTrip) {
+  ScanResponse m;
+  m.req_id = 6;
+  m.body.lo = 1;
+  m.body.hi = 50;
+  m.body.pairs.push_back({7, Bytes{9}, 42});
+  m.body.level_roots.push_back(Digest256::Of(Slice("r")));
+  m.body.root_cert = RootCertificate::Make(cloud_, edge_.id(), 2,
+                                           Digest256::Of(Slice("g")), 11);
+  ScanLevelRun run;
+  run.level = 1;
+  Page p;
+  p.min_key = kMinKey;
+  p.max_key = kMaxKey;
+  p.pairs.push_back({7, Bytes{9}, 42});
+  run.pages.push_back(p);
+  run.proofs.push_back(MerkleProof{0, 1, {}});
+  m.body.runs.push_back(run);
+
+  auto back = *ScanResponse::Decode(m.Encode());
+  EXPECT_EQ(back.req_id, 6u);
+  EXPECT_EQ(back.body.pairs, m.body.pairs);
+  ASSERT_EQ(back.body.runs.size(), 1u);
+  EXPECT_EQ(back.body.runs[0], run);
+  EXPECT_EQ(back.body.root_cert, m.body.root_cert);
+}
+
+TEST_F(WireTest, ScanTruncationDisputeKindRoundTrips) {
+  Dispute m;
+  m.kind = DisputeKind::kScanTruncation;
+  m.edge = edge_.id();
+  m.evidence = Bytes{1, 2, 3};
+  auto back = *Dispute::Decode(m.Encode());
+  EXPECT_EQ(back.kind, DisputeKind::kScanTruncation);
+  EXPECT_EQ(back.evidence, m.evidence);
+}
+
+TEST_F(WireTest, BlockProofRoundTrip) {
+  BlockProof m;
+  m.cert =
+      BlockCertificate::Make(cloud_, edge_.id(), 1, Digest256::Of(Slice("x")), 7);
+  auto back = *BlockProof::Decode(m.Encode());
+  EXPECT_EQ(back.cert, m.cert);
+}
+
+TEST_F(WireTest, CertifyRejectRoundTrip) {
+  CertifyReject m{5, Digest256::Of(Slice("a")), Digest256::Of(Slice("b"))};
+  auto back = *CertifyReject::Decode(m.Encode());
+  EXPECT_EQ(back.bid, 5u);
+  EXPECT_EQ(back.offered, m.offered);
+  EXPECT_EQ(back.certified, m.certified);
+}
+
+TEST_F(WireTest, GetRequestResponseRoundTrip) {
+  GetRequest gr{11, 0xdeadULL};
+  auto back = *GetRequest::Decode(gr.Encode());
+  EXPECT_EQ(back.key, 0xdeadULL);
+
+  GetResponse resp;
+  resp.req_id = 11;
+  resp.body.key = 0xdeadULL;
+  resp.body.found = true;
+  resp.body.value = Bytes{9, 9};
+  resp.body.level_roots = {Digest256(), Digest256::Of(Slice("r"))};
+  auto rback = *GetResponse::Decode(resp.Encode());
+  EXPECT_EQ(rback.body.key, 0xdeadULL);
+  EXPECT_EQ(rback.body.level_roots.size(), 2u);
+}
+
+TEST_F(WireTest, MergeRequestRoundTrip) {
+  MergeRequest m;
+  m.from_level = 0;
+  m.cur_epoch = 3;
+  m.l0_blocks = {MakeBlock(0), MakeBlock(1)};
+  Page p;
+  p.min_key = 0;
+  p.max_key = kMaxKey;
+  p.pairs = {KvPair{5, Bytes{1}, 100}};
+  m.to_pages = {p};
+  auto back = *MergeRequest::Decode(m.Encode());
+  EXPECT_EQ(back.l0_blocks.size(), 2u);
+  EXPECT_EQ(back.to_pages.size(), 1u);
+  EXPECT_EQ(back.to_pages[0], p);
+  EXPECT_GT(m.ByteSize(), 0u);
+}
+
+TEST_F(WireTest, MergeResponseRoundTrip) {
+  MergeResponse m;
+  m.from_level = 1;
+  m.consumed_l0 = 0;
+  Page p;
+  p.min_key = 0;
+  p.max_key = kMaxKey;
+  m.merged = {p};
+  m.root_cert = RootCertificate::Make(cloud_, edge_.id(), 4,
+                                      Digest256::Of(Slice("g")), 100);
+  auto back = *MergeResponse::Decode(m.Encode());
+  EXPECT_EQ(back.from_level, 1u);
+  EXPECT_EQ(back.merged.size(), 1u);
+  EXPECT_EQ(back.root_cert, m.root_cert);
+}
+
+TEST_F(WireTest, GossipRoundTrip) {
+  Gossip m{edge_.id(), 500, 123456};
+  auto back = *Gossip::Decode(m.Encode());
+  EXPECT_EQ(back.edge, edge_.id());
+  EXPECT_EQ(back.log_size, 500u);
+  EXPECT_EQ(back.cloud_time, 123456);
+}
+
+TEST_F(WireTest, DisputeRoundTrip) {
+  Dispute m;
+  m.kind = DisputeKind::kReadMismatch;
+  m.edge = edge_.id();
+  m.bid = 7;
+  m.evidence = Bytes{1, 2, 3, 4};
+  auto back = *Dispute::Decode(m.Encode());
+  EXPECT_EQ(back.kind, DisputeKind::kReadMismatch);
+  EXPECT_EQ(back.evidence, m.evidence);
+}
+
+TEST_F(WireTest, DisputeVerdictRoundTrip) {
+  DisputeVerdict m;
+  m.edge = edge_.id();
+  m.bid = 3;
+  m.edge_guilty = true;
+  m.has_certified_digest = true;
+  m.certified_digest = Digest256::Of(Slice("d"));
+  auto back = *DisputeVerdict::Decode(m.Encode());
+  EXPECT_TRUE(back.edge_guilty);
+  EXPECT_EQ(back.certified_digest, m.certified_digest);
+}
+
+TEST_F(WireTest, ReserveRoundTrip) {
+  auto back = *ReserveResponse::Decode(ReserveResponse{1, 9, 3}.Encode());
+  EXPECT_EQ(back.bid, 9u);
+  EXPECT_EQ(back.slot, 3u);
+}
+
+TEST_F(WireTest, CloudWriteRoundTrip) {
+  CloudWriteRequest m;
+  m.req_id = 1;
+  m.is_kv = true;
+  m.entries = {MakeEntry(0)};
+  auto back = *CloudWriteRequest::Decode(m.Encode());
+  EXPECT_TRUE(back.is_kv);
+  EXPECT_EQ(back.entries, m.entries);
+
+  auto rback = *CloudWriteResponse::Decode(CloudWriteResponse{1, 8}.Encode());
+  EXPECT_EQ(rback.bid, 8u);
+}
+
+TEST_F(WireTest, CloudReadRoundTrip) {
+  auto back = *CloudReadRequest::Decode(CloudReadRequest{2, 99}.Encode());
+  EXPECT_EQ(back.key, 99u);
+  CloudReadResponse r{2, true, Bytes{7}};
+  auto rback = *CloudReadResponse::Decode(r.Encode());
+  EXPECT_TRUE(rback.found);
+  EXPECT_EQ(rback.value, Bytes{7});
+}
+
+TEST_F(WireTest, EbCertifyRoundTrip) {
+  EbCertify m;
+  m.block = MakeBlock(3);
+  auto back = *EbCertify::Decode(m.Encode());
+  EXPECT_EQ(back.block, m.block);
+}
+
+TEST_F(WireTest, EbCertifyResponseRoundTrip) {
+  EbCertifyResponse m;
+  Block b = MakeBlock(3);
+  m.block_cert =
+      BlockCertificate::Make(cloud_, edge_.id(), 3, b.Digest(), 50);
+  EbCertifyResponse::AppliedMerge am;
+  am.from_level = 0;
+  am.consumed_l0 = 3;
+  Page p;
+  p.min_key = 0;
+  p.max_key = kMaxKey;
+  am.merged = {p};
+  m.merges.push_back(am);
+  m.root_cert = RootCertificate::Make(cloud_, edge_.id(), 1,
+                                      Digest256::Of(Slice("gr")), 50);
+  auto back = *EbCertifyResponse::Decode(m.Encode());
+  EXPECT_EQ(back.block_cert, m.block_cert);
+  ASSERT_EQ(back.merges.size(), 1u);
+  EXPECT_EQ(back.merges[0].consumed_l0, 3u);
+  EXPECT_EQ(back.merges[0].merged.size(), 1u);
+  EXPECT_EQ(back.root_cert, m.root_cert);
+}
+
+TEST_F(WireTest, DecodeRejectsTrailingGarbage) {
+  Bytes enc = ReadRequest{1, 2}.Encode();
+  enc.push_back(0);
+  EXPECT_TRUE(ReadRequest::Decode(enc).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace wedge

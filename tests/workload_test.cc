@@ -1,0 +1,187 @@
+// Tests for the workload substrate: key generators and the closed-loop
+// driver (batching, read mix, measurement windowing).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "simnet/simulation.h"
+#include "workload/driver.h"
+#include "workload/key_generator.h"
+
+namespace wedge {
+namespace {
+
+// --------------------------------------------------------- key generators
+
+TEST(KeyGenTest, UniformStaysInRange) {
+  UniformKeyGen gen(1000, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(KeyGenTest, UniformDeterministicPerSeed) {
+  UniformKeyGen a(1000, 7), b(1000, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(KeyGenTest, UniformCoversSpace) {
+  UniformKeyGen gen(10, 3);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next()]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, 700) << "key " << k;  // ~1000 each
+    EXPECT_LT(c, 1300) << "key " << k;
+  }
+}
+
+TEST(KeyGenTest, ZipfianSkewsTowardHotKeys) {
+  ZipfianKeyGen gen(10000, 0.99, 11);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    Key k = gen.Next();
+    ASSERT_LT(k, 10000u);
+    counts[k]++;
+  }
+  // Key 0 must be much hotter than the median key.
+  EXPECT_GT(counts[0], 5000);
+  // And a long tail exists.
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(KeyGenTest, SequentialWraps) {
+  SequentialKeyGen gen(3);
+  EXPECT_EQ(gen.Next(), 0u);
+  EXPECT_EQ(gen.Next(), 1u);
+  EXPECT_EQ(gen.Next(), 2u);
+  EXPECT_EQ(gen.Next(), 0u);
+}
+
+// ------------------------------------------------------------ the driver
+
+// A synchronous fake backend with fixed service times.
+struct FakeBackend {
+  Simulation* sim;
+  SimTime write_latency = 10 * kMillisecond;
+  SimTime read_latency = 1 * kMillisecond;
+  int writes = 0;
+  int reads = 0;
+  size_t last_batch_size = 0;
+
+  ClosedLoopDriver::Adapters MakeAdapters() {
+    ClosedLoopDriver::Adapters ad;
+    ad.write_batch = [this](const std::vector<std::pair<Key, Bytes>>& kvs,
+                            ClosedLoopDriver::DoneCb commit,
+                            ClosedLoopDriver::DoneCb) {
+      writes++;
+      last_batch_size = kvs.size();
+      sim->ScheduleAfter(write_latency, [this, commit] {
+        commit(sim->now());
+      });
+    };
+    ad.read = [this](Key, ClosedLoopDriver::DoneCb done) {
+      reads++;
+      sim->ScheduleAfter(read_latency, [this, done] { done(sim->now()); });
+    };
+    return ad;
+  }
+};
+
+TEST(DriverTest, PureWritesBatchCorrectly) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 0;
+  spec.ops_per_batch = 50;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, kSecond);
+  sim.RunUntil(kSecond);
+
+  // 1 s at 10 ms per batch: ~100 batches of exactly 50 ops.
+  EXPECT_NEAR(backend.writes, 100, 2);
+  EXPECT_EQ(backend.last_batch_size, 50u);
+  EXPECT_EQ(metrics.read_ops, 0u);
+  EXPECT_NEAR(static_cast<double>(metrics.write_ops),
+              static_cast<double>(backend.writes) * 50.0, 100.0);
+  // Latency histogram recorded the fixed 10 ms service time.
+  EXPECT_NEAR(metrics.write_latency.Mean(), 10000.0, 700.0);
+}
+
+TEST(DriverTest, MixedWorkloadRespectsReadFraction) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 0.5;
+  spec.ops_per_batch = 10;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, 2 * kSecond);
+  sim.RunUntil(2 * kSecond);
+
+  ASSERT_GT(backend.reads, 0);
+  ASSERT_GT(backend.writes, 0);
+  // Ops are drawn 50/50; batched writes mean ~10 reads between batches.
+  const double reads_per_batch =
+      static_cast<double>(backend.reads) / backend.writes;
+  EXPECT_NEAR(reads_per_batch, 10.0, 3.0);
+}
+
+TEST(DriverTest, PureReadsNeverWrite) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 1.0;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, kSecond);
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(backend.writes, 0);
+  EXPECT_NEAR(backend.reads, 1000, 10);  // 1 ms per read
+  EXPECT_EQ(metrics.write_ops, 0u);
+}
+
+TEST(DriverTest, WarmupExcludedFromMetrics) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 0;
+  spec.ops_per_batch = 10;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  // Measure only the second half.
+  driver.Start(500 * kMillisecond, kSecond);
+  sim.RunUntil(kSecond);
+  // ~100 batches issued overall but only ~50 recorded.
+  EXPECT_NEAR(backend.writes, 100, 2);
+  EXPECT_NEAR(static_cast<double>(metrics.write_ops), 500.0, 30.0);
+}
+
+TEST(DriverTest, StopsIssuingAtEnd) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 0;
+  spec.ops_per_batch = 10;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, 100 * kMillisecond);
+  sim.Run();  // drain everything
+  // 100 ms / 10 ms = 10 batches; nothing issued after the window.
+  EXPECT_NEAR(backend.writes, 10, 1);
+}
+
+TEST(DriverTest, ThroughputComputation) {
+  RunMetrics m;
+  m.write_ops = 5000;
+  m.read_ops = 5000;
+  m.measured_duration = 2 * kSecond;
+  EXPECT_DOUBLE_EQ(m.Throughput(), 5000.0);
+  RunMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.Throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace wedge
