@@ -36,9 +36,9 @@ int main() {
     cfg.warmup = 2 * kSecond;
     cfg.measure = 12 * kSecond;
 
-    auto wc = RunWedge(cfg);
-    auto co = RunCloudOnly(cfg);
-    auto eb = RunEdgeBaseline(cfg);
+    auto wc = RunSystem(BackendKind::kWedge, cfg);
+    auto co = RunSystem(BackendKind::kCloudOnly, cfg);
+    auto eb = RunSystem(BackendKind::kEdgeBaseline, cfg);
     rows.push_back({batch, wc.write_ms, co.write_ms, eb.write_ms, wc.kops,
                     co.kops, eb.kops});
   }

@@ -34,9 +34,9 @@ void RunPanel(const char* title, double read_fraction, size_t preload) {
     cfg.warmup = kSecond;
     cfg.measure = read_fraction > 0 ? 6 * kSecond : 10 * kSecond;
 
-    auto wc = RunWedge(cfg);
-    auto co = RunCloudOnly(cfg);
-    auto eb = RunEdgeBaseline(cfg);
+    auto wc = RunSystem(BackendKind::kWedge, cfg);
+    auto co = RunSystem(BackendKind::kCloudOnly, cfg);
+    auto eb = RunSystem(BackendKind::kEdgeBaseline, cfg);
     t.PrintRow({std::to_string(clients), Fmt(wc.kops, 2), Fmt(co.kops, 2),
                 Fmt(eb.kops, 2)});
     if (clients == 1) {
@@ -69,11 +69,11 @@ void RunBestCaseRead() {
   cfg.warmup = kSecond;
   cfg.measure = 5 * kSecond;
 
-  auto wc = RunWedge(cfg);
-  auto eb = RunEdgeBaseline(cfg);
+  auto wc = RunSystem(BackendKind::kWedge, cfg);
+  auto eb = RunSystem(BackendKind::kEdgeBaseline, cfg);
   ExperimentConfig co_cfg = cfg;
   co_cfg.client_dc = co_cfg.cloud_dc;  // measure at the cloud node
-  auto co = RunCloudOnly(co_cfg);
+  auto co = RunSystem(BackendKind::kCloudOnly, co_cfg);
 
   CostModel costs;
   TablePrinter t({"system", "read (ms)", "verify (ms)"});

@@ -2,38 +2,33 @@
 
 #include <memory>
 
-#include "baselines/baseline_deployment.h"
-#include "core/deployment.h"
 #include "workload/driver.h"
 
 namespace wedge {
 
 namespace {
 
-DeploymentConfig MakeDeploymentConfig(const ExperimentConfig& cfg) {
-  DeploymentConfig d;
-  d.seed = cfg.seed;
-  d.client_dc = cfg.client_dc;
-  d.edge_dc = cfg.edge_dc;
-  d.cloud_dc = cfg.cloud_dc;
-  d.num_clients = cfg.num_clients;
-  d.edge.ops_per_block = cfg.spec.ops_per_batch;
-  d.edge.lsm.level_thresholds = cfg.lsm_thresholds;
-  d.edge.lsm.target_page_pairs = cfg.page_pairs;
-  d.edge.ship_full_blocks = cfg.certify_full_blocks;
-  d.cloud.target_page_pairs = cfg.page_pairs;
-  d.client.proof_timeout = 30 * kSecond;  // generous; honest runs
-  return d;
+StoreOptions MakeStoreOptions(BackendKind kind, const ExperimentConfig& cfg) {
+  StoreOptions o;
+  o.WithBackend(kind)
+      .WithSeed(cfg.seed)
+      .WithClients(cfg.num_clients)
+      .WithLocations(cfg.client_dc, cfg.edge_dc, cfg.cloud_dc)
+      .WithOpsPerBlock(cfg.spec.ops_per_batch)
+      .WithLsm(cfg.lsm_thresholds, cfg.page_pairs)
+      .WithProofTimeout(30 * kSecond);  // generous; honest runs
+  o.deploy.edge.ship_full_blocks = cfg.certify_full_blocks;
+  return o;
 }
 
-/// Sequentially preloads `nkeys` keys via `write_batch`, then runs the
-/// simulation until the load completes.
-void Preload(Simulation* sim, size_t nkeys, size_t batch, size_t value_size,
-             const std::function<void(const std::vector<std::pair<Key, Bytes>>&,
-                                      std::function<void()>)>& write_batch) {
-  if (nkeys == 0) return;
-  auto seq = std::make_shared<SequentialKeyGen>(nkeys);
-  auto remaining = std::make_shared<size_t>(nkeys);
+/// Sequentially preloads `cfg.preload_keys` keys through client 0,
+/// chaining batches on their commit; runs the simulation until the load
+/// completes.
+void Preload(Store& store, const ExperimentConfig& cfg) {
+  if (cfg.preload_keys == 0) return;
+  StoreBackend* backend = &store.backend();
+  auto seq = std::make_shared<SequentialKeyGen>(cfg.preload_keys);
+  auto remaining = std::make_shared<size_t>(cfg.preload_keys);
   auto loaded = std::make_shared<bool>(false);
   std::shared_ptr<std::function<void()>> next =
       std::make_shared<std::function<void()>>();
@@ -42,19 +37,21 @@ void Preload(Simulation* sim, size_t nkeys, size_t batch, size_t value_size,
       *loaded = true;
       return;
     }
-    const size_t n = std::min(batch, *remaining);
+    const size_t n = std::min(cfg.spec.ops_per_batch, *remaining);
     *remaining -= n;
     std::vector<std::pair<Key, Bytes>> kvs;
     kvs.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      kvs.emplace_back(seq->Next(), Bytes(value_size, 0x11));
+      kvs.emplace_back(seq->Next(), Bytes(cfg.spec.value_size, 0x11));
     }
-    write_batch(kvs, [next]() { (*next)(); });
+    backend->PutBatch(0, kvs,
+                      [next](const Status&, BlockId, SimTime) { (*next)(); },
+                      nullptr);
   };
   (*next)();
   // Run the load to completion (bounded to avoid hangs on bugs).
   for (int guard = 0; guard < 1000000 && !*loaded; ++guard) {
-    if (!sim->Step()) break;
+    if (!store.sim().Step()) break;
   }
 }
 
@@ -73,148 +70,59 @@ ExperimentResult Collect(RunMetrics metrics, const NetworkStats& net,
 
 }  // namespace
 
-ExperimentResult RunWedge(const ExperimentConfig& cfg) {
-  Deployment d(MakeDeploymentConfig(cfg));
-  d.Start();
+ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
+  Store store = *Store::Open(MakeStoreOptions(kind, cfg));
 
-  Preload(&d.sim(), cfg.preload_keys, cfg.spec.ops_per_batch,
-          cfg.spec.value_size,
-          [&](const std::vector<std::pair<Key, Bytes>>& kvs,
-              std::function<void()> done) {
-            d.client(0).PutBatch(kvs, [done](const Status&, BlockId, SimTime) {
-              done();
-            });
-          });
-  d.sim().RunFor(2 * kSecond);  // drain outstanding certifications/merges
-  d.net().ResetStats();
+  Preload(store, cfg);
+  store.RunFor(2 * kSecond);  // drain outstanding certifications/merges
+  store.net().ResetStats();
 
   RunMetrics metrics;
-  const SimTime t0 = d.sim().now();
-  const SimTime measure_start = t0 + cfg.warmup;
+  const SimTime measure_start = store.now() + cfg.warmup;
   const SimTime end = measure_start + cfg.measure;
+  StoreBackend* backend = &store.backend();
 
   std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
   for (size_t i = 0; i < cfg.num_clients; ++i) {
-    WedgeClient* client = &d.client(i);
     ClosedLoopDriver::Adapters ad;
     const bool wait_phase2 = cfg.wait_phase2;
-    ad.write_batch = [client, wait_phase2](
+    ad.write_batch = [backend, i, wait_phase2](
                          const std::vector<std::pair<Key, Bytes>>& kvs,
                          ClosedLoopDriver::DoneCb commit,
                          ClosedLoopDriver::DoneCb final_cb) {
       // Lazy mode unblocks the closed loop at Phase I; the eager ablation
-      // unblocks at Phase II (certification on the critical path).
-      auto p1 = [commit, wait_phase2](const Status& s, BlockId, SimTime t) {
-        if (!wait_phase2 && s.ok() && commit) commit(t);
-      };
-      auto p2 = [commit, final_cb, wait_phase2](const Status& s, BlockId,
-                                                SimTime t) {
-        if (wait_phase2 && s.ok() && commit) commit(t);
-        if (s.ok() && final_cb) final_cb(t);
-      };
-      client->PutBatch(kvs, p1, p2);
-    };
-    ad.read = [client](Key k, ClosedLoopDriver::DoneCb done) {
-      client->Get(k, [done](const Status& s, const VerifiedGet&, SimTime t) {
-        if (done) done(t);
-        (void)s;
-      });
-    };
-    drivers.push_back(std::make_unique<ClosedLoopDriver>(
-        &d.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics));
-    drivers.back()->Start(measure_start, end);
-  }
-  d.sim().RunUntil(end);
-  return Collect(std::move(metrics), d.net().stats(), cfg.measure);
-}
-
-ExperimentResult RunCloudOnly(const ExperimentConfig& cfg) {
-  CloudOnlyDeployment d(MakeDeploymentConfig(cfg));
-  d.Start();
-
-  Preload(&d.sim(), cfg.preload_keys, cfg.spec.ops_per_batch,
-          cfg.spec.value_size,
-          [&](const std::vector<std::pair<Key, Bytes>>& kvs,
-              std::function<void()> done) {
-            d.client(0).WriteBatch(kvs,
-                                   [done](const Status&, SimTime) { done(); });
+      // unblocks at Phase II (certification on the critical path). The
+      // baselines fire both phases at their single synchronous commit.
+      backend->PutBatch(
+          i, kvs,
+          [commit, wait_phase2](const Status& s, BlockId, SimTime t) {
+            if (!wait_phase2 && s.ok() && commit) commit(t);
+          },
+          [commit, final_cb, wait_phase2](const Status& s, BlockId,
+                                          SimTime t) {
+            if (wait_phase2 && s.ok() && commit) commit(t);
+            if (s.ok() && final_cb) final_cb(t);
           });
-  d.net().ResetStats();
-
-  RunMetrics metrics;
-  const SimTime measure_start = d.sim().now() + cfg.warmup;
-  const SimTime end = measure_start + cfg.measure;
-
-  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
-  for (size_t i = 0; i < cfg.num_clients; ++i) {
-    CloudOnlyClient* client = &d.client(i);
-    ClosedLoopDriver::Adapters ad;
-    ad.write_batch = [client](const std::vector<std::pair<Key, Bytes>>& kvs,
-                              ClosedLoopDriver::DoneCb commit,
-                              ClosedLoopDriver::DoneCb) {
-      client->WriteBatch(kvs, [commit](const Status& s, SimTime t) {
-        if (s.ok() && commit) commit(t);
-      });
     };
-    ad.read = [client](Key k, ClosedLoopDriver::DoneCb done) {
-      client->Read(k, [done](const Status&, bool, const Bytes&, SimTime t) {
-        if (done) done(t);
-      });
+    ad.read = [backend, i](Key k, ClosedLoopDriver::DoneCb done) {
+      backend->Get(i, k,
+                   [done](const Status&, GetResult, SimTime t) {
+                     if (done) done(t);
+                   });
     };
     drivers.push_back(std::make_unique<ClosedLoopDriver>(
-        &d.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics));
+        &store.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics));
     drivers.back()->Start(measure_start, end);
   }
-  d.sim().RunUntil(end);
-  return Collect(std::move(metrics), d.net().stats(), cfg.measure);
-}
-
-ExperimentResult RunEdgeBaseline(const ExperimentConfig& cfg) {
-  EdgeBaselineDeployment d(MakeDeploymentConfig(cfg));
-  d.Start();
-
-  Preload(&d.sim(), cfg.preload_keys, cfg.spec.ops_per_batch,
-          cfg.spec.value_size,
-          [&](const std::vector<std::pair<Key, Bytes>>& kvs,
-              std::function<void()> done) {
-            d.client(0).WriteBatch(kvs,
-                                   [done](const Status&, SimTime) { done(); });
-          });
-  d.net().ResetStats();
-
-  RunMetrics metrics;
-  const SimTime measure_start = d.sim().now() + cfg.warmup;
-  const SimTime end = measure_start + cfg.measure;
-
-  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
-  for (size_t i = 0; i < cfg.num_clients; ++i) {
-    EbClient* client = &d.client(i);
-    ClosedLoopDriver::Adapters ad;
-    ad.write_batch = [client](const std::vector<std::pair<Key, Bytes>>& kvs,
-                              ClosedLoopDriver::DoneCb commit,
-                              ClosedLoopDriver::DoneCb) {
-      client->WriteBatch(kvs, [commit](const Status& s, SimTime t) {
-        if (s.ok() && commit) commit(t);
-      });
-    };
-    ad.read = [client](Key k, ClosedLoopDriver::DoneCb done) {
-      client->Get(k, [done](const Status&, const VerifiedGet&, SimTime t) {
-        if (done) done(t);
-      });
-    };
-    drivers.push_back(std::make_unique<ClosedLoopDriver>(
-        &d.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics));
-    drivers.back()->Start(measure_start, end);
-  }
-  d.sim().RunUntil(end);
-  return Collect(std::move(metrics), d.net().stats(), cfg.measure);
+  store.RunUntil(end);
+  return Collect(std::move(metrics), store.net().stats(), cfg.measure);
 }
 
 ExperimentResult RunSystem(const std::string& name,
                            const ExperimentConfig& cfg) {
-  if (name == "wedge") return RunWedge(cfg);
-  if (name == "cloud") return RunCloudOnly(cfg);
-  return RunEdgeBaseline(cfg);
+  if (name == "wedge") return RunSystem(BackendKind::kWedge, cfg);
+  if (name == "cloud") return RunSystem(BackendKind::kCloudOnly, cfg);
+  return RunSystem(BackendKind::kEdgeBaseline, cfg);
 }
 
 }  // namespace wedge

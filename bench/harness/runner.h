@@ -1,14 +1,16 @@
-// Experiment runner: deploys one of the three systems (WedgeChain,
-// cloud-only, edge-baseline) on the simulated network, preloads data,
-// drives closed-loop clients per the workload spec, and returns metrics.
+// Experiment runner: deploys one of the three systems through the
+// wedge::Store façade, preloads data, drives closed-loop clients per the
+// workload spec, and returns metrics.
 //
 // Every §VI experiment is a loop over calls into this runner with
-// different parameters.
+// different parameters. One code path serves all three backends — the
+// apples-to-apples harness the paper's comparison requires.
 
 #pragma once
 
 #include <string>
 
+#include "api/store.h"
 #include "simnet/datacenter.h"
 #include "simnet/network.h"
 #include "workload/workload.h"
@@ -46,12 +48,22 @@ struct ExperimentResult {
   double kops = 0;  // throughput in K ops/s
 };
 
-ExperimentResult RunWedge(const ExperimentConfig& cfg);
-ExperimentResult RunCloudOnly(const ExperimentConfig& cfg);
-ExperimentResult RunEdgeBaseline(const ExperimentConfig& cfg);
+/// Runs the workload against the given backend, all through one façade
+/// code path.
+ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg);
 
 /// Runs the system named "wedge" | "cloud" | "edge-baseline".
 ExperimentResult RunSystem(const std::string& name,
                            const ExperimentConfig& cfg);
+
+inline ExperimentResult RunWedge(const ExperimentConfig& cfg) {
+  return RunSystem(BackendKind::kWedge, cfg);
+}
+inline ExperimentResult RunCloudOnly(const ExperimentConfig& cfg) {
+  return RunSystem(BackendKind::kCloudOnly, cfg);
+}
+inline ExperimentResult RunEdgeBaseline(const ExperimentConfig& cfg) {
+  return RunSystem(BackendKind::kEdgeBaseline, cfg);
+}
 
 }  // namespace wedge

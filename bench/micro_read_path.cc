@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/store.h"
 #include "core/read_service.h"
 #include "crypto/signature.h"
 #include "log/edge_log.h"
@@ -121,6 +122,33 @@ void BM_GetRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GetRoundTrip);
+
+/// The same read issued through the wedge::Store façade: client -> edge
+/// -> client over the simulated network, proof assembly and verification
+/// included. Wall time per iteration is the real CPU cost of the full
+/// read path plus the simulator/façade overhead on top of the components
+/// measured above.
+void BM_StoreGetEndToEnd(benchmark::State& state) {
+  constexpr uint64_t kKeySpace = 10000;
+  StoreOptions o;
+  o.WithOpsPerBlock(100).WithLsm({10, 10, 100, 1000}, 100);
+  o.deploy.net.jitter_frac = 0;
+  Store store = *Store::Open(o);
+  Rng rng(7);
+  for (Key base = 0; base < kKeySpace; base += 100) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (Key k = base; k < base + 100; ++k) {
+      kvs.emplace_back(k, Bytes(100, 0x5a));
+    }
+    store.PutBatch(kvs).WaitPhase1();
+  }
+  store.RunFor(5 * kSecond);  // drain certifications and merges
+  for (auto _ : state) {
+    auto got = store.Get(rng.NextBelow(kKeySpace));
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_StoreGetEndToEnd);
 
 }  // namespace
 }  // namespace wedge

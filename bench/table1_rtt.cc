@@ -1,9 +1,12 @@
 // Table I: round-trip times between datacenters, measured on the
 // simulated network with ping actors (not just printed from the config —
-// the ping exercises the full transport path).
+// the ping exercises the full transport path). The substrate (simulator +
+// network) is owned by a wedge::Store, the same way every experiment
+// deployment gets it.
 
 #include <cstdio>
 
+#include "api/store.h"
 #include "bench/harness/table.h"
 #include "simnet/network.h"
 #include "simnet/simulation.h"
@@ -28,22 +31,25 @@ class PingActor : public Endpoint {
 };
 
 SimTime MeasureRtt(Dc a, Dc b) {
-  Simulation sim(1);
-  NetworkConfig cfg;
-  cfg.jitter_frac = 0;
-  cfg.per_message_overhead_bytes = 0;
-  cfg.local_one_way = 0;  // Table I reports inter-DC time only
-  SimNetwork net(&sim, cfg);
+  // The smallest store: its simulator and network carry the ping. The
+  // deployment's own nodes stay idle.
+  StoreOptions o;
+  o.WithBackend(BackendKind::kCloudOnly);
+  o.deploy.net.jitter_frac = 0;
+  o.deploy.net.per_message_overhead_bytes = 0;
+  o.deploy.net.local_one_way = 0;  // Table I reports inter-DC time only
+  Store store = *Store::Open(o);
+
   PingActor pa, pb;
-  pa.net = &net;
-  pa.self = 1;
-  pb.net = &net;
-  pb.self = 2;
-  net.Attach(1, a, &pa);
-  net.Attach(2, b, &pb);
-  SimTime start = sim.now();
-  net.Send(1, 2, Bytes{'p'});
-  sim.Run();
+  pa.net = &store.net();
+  pa.self = 9001;
+  pb.net = &store.net();
+  pb.self = 9002;
+  store.net().Attach(pa.self, a, &pa);
+  store.net().Attach(pb.self, b, &pb);
+  const SimTime start = store.now();
+  store.net().Send(pa.self, pb.self, Bytes{'p'});
+  store.sim().Run();
   return pa.reply_received_at - start;
 }
 

@@ -1,4 +1,5 @@
-// Durable edge: crash an edge node mid-workload and bring it back.
+// Durable edge: crash an edge node mid-workload and bring it back — on
+// wedge::Store, with durability wired in through the before_start hook.
 //
 // Shows the storage subsystem end to end:
 //  1. an edge with an attached EdgeStorage (checksummed block WAL +
@@ -16,6 +17,7 @@
 
 #include <cstdio>
 
+#include "api/store.h"
 #include "core/deployment.h"
 #include "storage/cloud_storage.h"
 #include "storage/edge_storage.h"
@@ -25,17 +27,13 @@ using namespace wedge;
 
 namespace {
 
-DeploymentConfig MakeConfig() {
-  DeploymentConfig config;
-  config.seed = 11;
-  config.edge.ops_per_block = 4;
-  config.edge.lsm.level_thresholds = {2, 2, 8};
-  config.edge.lsm.target_page_pairs = 8;
-  config.cloud.target_page_pairs = 8;
-  config.edge.ship_full_blocks = true;  // lets the cloud keep backups
-  config.cloud.backup_blocks = true;
-  config.edge.backup_fetch = true;
-  return config;
+StoreOptions MakeOptions() {
+  StoreOptions o;
+  o.WithSeed(11).WithOpsPerBlock(4).WithLsm({2, 2, 8}, 8);
+  o.deploy.edge.ship_full_blocks = true;  // lets the cloud keep backups
+  o.deploy.cloud.backup_blocks = true;
+  o.deploy.edge.backup_fetch = true;
+  return o;
 }
 
 }  // namespace
@@ -45,28 +43,34 @@ int main() {
   std::printf("===============================================\n\n");
 
   MemEnv env;  // swap for PosixEnv() to persist on the real filesystem
-  auto config = MakeConfig();
+  const StoreOptions base = MakeOptions();
+  const size_t num_levels = base.deploy.edge.lsm.level_thresholds.size();
 
   // ---- Phase 1: normal operation with durability attached.
   size_t blocks_before = 0;
   {
-    Deployment d(config);
     EdgeStorageOptions opts;
     opts.block_store.sync_every_block = false;  // cheap, but crash-lossy
-    auto estore = *EdgeStorage::Open(&env, "edge0",
-                                     config.edge.lsm.level_thresholds.size(),
-                                     opts);
+    auto estore = *EdgeStorage::Open(&env, "edge0", num_levels, opts);
     auto cstore = *CloudStorage::Open(&env, "cloud", {});
-    d.edge().AttachStorage(estore.get());
-    d.cloud().AttachStorage(cstore.get());
-    d.Start();
 
-    for (Key base = 0; base < 24; base += 4) {
+    StoreOptions o = base;
+    o.WithBeforeStart([&](StoreBackend& b) {
+      b.wedge()->edge().AttachStorage(estore.get());
+      b.wedge()->cloud().AttachStorage(cstore.get());
+    });
+    Store store = *Store::Open(o);
+
+    for (Key base_key = 0; base_key < 24; base_key += 4) {
       std::vector<std::pair<Key, Bytes>> kvs;
-      for (Key k = base; k < base + 4; ++k) kvs.emplace_back(k, Bytes(32, 7));
-      d.client().PutBatch(kvs);
+      for (Key k = base_key; k < base_key + 4; ++k) {
+        kvs.emplace_back(k, Bytes(32, 7));
+      }
+      store.PutBatch(kvs);
     }
-    d.sim().RunFor(10 * kSecond);
+    store.RunFor(10 * kSecond);
+
+    Deployment& d = store.wedge();
     blocks_before = d.edge().log().size();
     std::printf("before crash: %zu blocks, %llu merges, cloud backed up %llu "
                 "blocks\n",
@@ -83,35 +87,39 @@ int main() {
 
   // ---- Phase 3: restart, recover, repair from the cloud's backup.
   {
-    Deployment d(config);
-    auto recovered = *EdgeStorage::Recover(&env, "edge0", config.edge.lsm);
+    auto recovered = *EdgeStorage::Recover(&env, "edge0", base.deploy.edge.lsm);
     std::printf("recovered from disk: %zu blocks (%llu dropped record "
                 "bytes)\n",
                 recovered.log.size(),
                 static_cast<unsigned long long>(recovered.dropped_bytes));
-    auto estore = *EdgeStorage::Open(
-        &env, "edge0", config.edge.lsm.level_thresholds.size(), {});
+    auto estore = *EdgeStorage::Open(&env, "edge0", num_levels, {});
     auto cstore = *CloudStorage::Open(&env, "cloud", {});
     auto cloud_state = *CloudStorage::Recover(&env, "cloud");
-    d.edge().RestoreState(std::move(recovered));
-    d.edge().AttachStorage(estore.get());
-    d.cloud().RestoreState(std::move(cloud_state));
-    d.cloud().AttachStorage(cstore.get());
-    d.Start();
-    d.edge().RequestBackupSync();
-    d.sim().RunFor(2 * kSecond);
 
+    StoreOptions o = base;
+    o.WithBeforeStart([&](StoreBackend& b) {
+      Deployment& d = *b.wedge();
+      d.edge().RestoreState(std::move(recovered));
+      d.edge().AttachStorage(estore.get());
+      d.cloud().RestoreState(std::move(cloud_state));
+      d.cloud().AttachStorage(cstore.get());
+    });
+    Store store = *Store::Open(o);
+    store.wedge().edge().RequestBackupSync();
+    store.RunFor(2 * kSecond);
+
+    Deployment& d = store.wedge();
     std::printf("after backup sync: %zu blocks (%llu restored from cloud)\n",
                 d.edge().log().size(),
                 static_cast<unsigned long long>(
                     d.edge().stats().backup_blocks_restored));
 
     // Pre-crash data serves with proofs, post-crash writes continue.
-    d.client().Get(5, [](const Status& s, const VerifiedGet& got, SimTime t) {
-      std::printf("[%7.1f ms] get(5): %s, found=%d (pre-crash key)\n",
-                  t / 1000.0, s.ToString().c_str(), got.found);
-    });
-    d.sim().RunFor(2 * kSecond);
+    auto got = store.Get(5);
+    std::printf("[%7.1f ms] get(5): %s, found=%d (pre-crash key)\n",
+                store.now() / 1000.0, got.status().ToString().c_str(),
+                got.ok() && got->found);
+    store.RunFor(2 * kSecond);
     std::printf("edge flagged by cloud? %s\n\n",
                 d.cloud().IsFlagged(d.edge().id()) ? "YES" : "no");
   }
@@ -119,22 +127,24 @@ int main() {
   // ---- Coda: the edge that forgets. No recovery, same identity.
   {
     std::printf("--- coda: restarting the edge WITHOUT its log ---\n");
-    auto config2 = config;
-    config2.num_clients = 2;
-    Deployment d(config2);
     auto cstore = *CloudStorage::Open(&env, "cloud", {});
     auto cloud_state = *CloudStorage::Recover(&env, "cloud");
-    d.cloud().RestoreState(std::move(cloud_state));
-    d.cloud().AttachStorage(cstore.get());
-    d.Start();
+
+    StoreOptions o = MakeOptions();
+    o.WithClients(2).WithBeforeStart([&](StoreBackend& b) {
+      b.wedge()->cloud().RestoreState(std::move(cloud_state));
+      b.wedge()->cloud().AttachStorage(cstore.get());
+    });
+    Store store = *Store::Open(o);
 
     // Fresh traffic re-forms block 0 with different content: to the
     // cloud's registry this is equivocation on block 0.
     std::vector<std::pair<Key, Bytes>> kvs;
     for (Key k = 900; k < 904; ++k) kvs.emplace_back(k, Bytes(32, 9));
-    d.client(1).PutBatch(kvs);
-    d.sim().RunFor(3 * kSecond);
+    store.PutBatch(kvs, /*client=*/1);
+    store.RunFor(3 * kSecond);
 
+    Deployment& d = store.wedge();
     std::printf("cloud equivocations detected: %llu -> edge punished: %s\n",
                 static_cast<unsigned long long>(
                     d.cloud().stats().equivocations_detected),

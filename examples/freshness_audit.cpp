@@ -1,4 +1,4 @@
-// Freshness audit: the §V-D freshness window in action.
+// Freshness audit: the §V-D freshness window in action, on wedge::Store.
 //
 // LSMerkle guarantees integrity, not recency: an edge can serve gets
 // from an old-but-valid snapshot and every proof still verifies. This
@@ -16,20 +16,21 @@
 
 #include <cstdio>
 
+#include "api/store.h"
 #include "core/deployment.h"
 
 using namespace wedge;
 
 namespace {
 
-DeploymentConfig MakeConfig() {
-  DeploymentConfig config;
-  config.seed = 9;
-  config.edge.ops_per_block = 4;
-  config.edge.lsm.level_thresholds = {4, 2, 8};
-  config.edge.lsm.target_page_pairs = 8;
-  config.cloud.target_page_pairs = 8;
-  return config;
+StoreOptions BaseOptions() {
+  return StoreOptions().WithSeed(9).WithOpsPerBlock(4).WithLsm({4, 2, 8}, 8);
+}
+
+std::vector<std::pair<Key, Bytes>> Block4(Key base, uint8_t tag) {
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = base; k < base + 4; ++k) kvs.emplace_back(k, Bytes{tag});
+  return kvs;
 }
 
 }  // namespace
@@ -41,77 +42,66 @@ int main() {
   // ---------------------------------------------------------------------
   std::printf("--- scenario 1: stale snapshot, NO freshness window ---\n");
   {
-    Deployment d(MakeConfig());
-    d.Start();
+    Store store = *Store::Open(BaseOptions());
     // Seed + merge so the tree has a certified root.
-    d.client().PutBatch({{1, Bytes{1}}, {2, Bytes{1}}, {3, Bytes{1}},
-                         {4, Bytes{1}}});
-    d.client().PutBatch({{5, Bytes{1}}, {6, Bytes{1}}, {7, Bytes{1}},
-                         {8, Bytes{1}}});
-    d.sim().RunFor(3 * kSecond);
+    store.PutBatch(Block4(1, 1));
+    store.PutBatch(Block4(5, 1));
+    store.RunFor(3 * kSecond);
 
     // The attack: hide everything newer than the last merge.
-    d.edge().misbehavior().serve_stale_gets = true;
+    store.wedge().edge().misbehavior().serve_stale_gets = true;
     // This write lands in L0 (below the merge threshold): Phase I and
     // Phase II both succeed...
-    d.client().PutBatch({{100, Bytes{9}}, {101, Bytes{9}}, {102, Bytes{9}},
-                         {103, Bytes{9}}});
-    d.sim().RunFor(3 * kSecond);
+    Commit p2 = *store.PutBatch(Block4(100, 9)).WaitPhase2();
+    std::printf("[%7.1f ms] put(100..103) fully committed (block %llu)\n",
+                p2.at / 1000.0, static_cast<unsigned long long>(p2.block));
+    store.RunFor(3 * kSecond);
 
     // ...but a get for it is answered from the pre-L0 snapshot.
-    d.client().Get(100, [](const Status& s, const VerifiedGet& got,
-                           SimTime t) {
-      std::printf("[%7.1f ms] get(100) -> %s, found=%d\n", t / 1000.0,
-                  s.ToString().c_str(), got.found);
-      if (s.ok() && !got.found) {
-        std::printf("            the edge hid a committed write behind a\n"
-                    "            VALID proof — staleness is not an\n"
-                    "            integrity violation (paper section V-D)\n");
-      }
-    });
-    d.sim().RunFor(kSecond);
+    auto got = store.Get(100);
+    std::printf("[%7.1f ms] get(100) -> %s, found=%d\n", store.now() / 1000.0,
+                got.status().ToString().c_str(), got.ok() && got->found);
+    if (got.ok() && !got->found) {
+      std::printf("            the edge hid a committed write behind a\n"
+                  "            VALID proof — staleness is not an\n"
+                  "            integrity violation (paper section V-D)\n");
+    }
     std::printf("verification failures: %llu (none — the proofs are real)\n\n",
                 static_cast<unsigned long long>(
-                    d.client().stats().verification_failures));
+                    store.wedge().client().stats().verification_failures));
   }
 
   // ---------------------------------------------------------------------
   std::printf("--- scenario 2: freshness window 5 s, root goes stale ---\n");
   {
-    auto config = MakeConfig();
-    config.client.freshness_window = 5 * kSecond;
-    config.edge.noop_merge_period = kSecond;  // keep the root fresh
-    Deployment d(config);
-    d.Start();
-    d.client().PutBatch({{1, Bytes{1}}, {2, Bytes{1}}, {3, Bytes{1}},
-                         {4, Bytes{1}}});
-    d.client().PutBatch({{5, Bytes{1}}, {6, Bytes{1}}, {7, Bytes{1}},
-                         {8, Bytes{1}}});
-    d.sim().RunFor(4 * kSecond);
+    Store store = *Store::Open(BaseOptions()
+                                   .WithFreshnessWindow(5 * kSecond)
+                                   .WithNoopMergePeriod(kSecond));
+    store.PutBatch(Block4(1, 1));
+    store.PutBatch(Block4(5, 1));
+    store.RunFor(4 * kSecond);
 
     // Fresh root: the get passes the freshness check.
-    d.client().Get(1, [](const Status& s, const VerifiedGet& got, SimTime t) {
-      std::printf("[%7.1f ms] get(1) with fresh root -> %s, found=%d\n",
-                  t / 1000.0, s.ToString().c_str(), got.found);
-    });
-    d.sim().RunFor(kSecond);
+    auto fresh = store.Get(1);
+    std::printf("[%7.1f ms] get(1) with fresh root -> %s, found=%d\n",
+                store.now() / 1000.0, fresh.status().ToString().c_str(),
+                fresh.ok() && fresh->found);
+    store.RunFor(kSecond);
 
     // The cloud becomes unreachable: no merge — not even the edge's
     // no-op merges — can refresh the signed root's timestamp.
-    d.net().SetNodeIsolated(d.cloud().id(), true);
-    d.sim().RunFor(20 * kSecond);
+    store.net().SetNodeIsolated(store.wedge().cloud().id(), true);
+    store.RunFor(20 * kSecond);
 
-    d.client().Get(1, [](const Status& s, const VerifiedGet&, SimTime t) {
-      std::printf("[%7.1f ms] get(1) with  stale root -> %s\n", t / 1000.0,
-                  s.ToString().c_str());
-    });
-    d.sim().RunFor(kSecond);
+    auto stale = store.Get(1);
+    std::printf("[%7.1f ms] get(1) with  stale root -> %s\n",
+                store.now() / 1000.0, stale.status().ToString().c_str());
     std::printf("stale snapshots rejected: %llu; no-op merges while the\n"
                 "cloud was reachable: %llu\n",
                 static_cast<unsigned long long>(
-                    d.client().stats().stale_rejected),
+                    store.wedge().client().stats().stale_rejected),
                 static_cast<unsigned long long>(
-                    d.edge().stats().noop_merges));
+                    store.wedge().edge().stats().noop_merges));
   }
   return 0;
 }

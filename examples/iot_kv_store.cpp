@@ -1,4 +1,4 @@
-// IoT key-value store: the LSMerkle indexing layer (§V).
+// IoT key-value store: the LSMerkle indexing layer (§V), on wedge::Store.
 //
 // Devices put key-value states through the edge; merges compact the index
 // in cooperation with the cloud; gets return *proof-carrying* responses
@@ -8,7 +8,9 @@
 //   $ ./build/examples/iot_kv_store
 
 #include <cstdio>
+#include <string>
 
+#include "api/store.h"
 #include "core/deployment.h"
 
 using namespace wedge;
@@ -17,15 +19,12 @@ int main() {
   std::printf("IoT key-value store on LSMerkle\n");
   std::printf("===============================\n\n");
 
-  DeploymentConfig config;
-  config.edge.ops_per_block = 4;
-  config.edge.lsm.level_thresholds = {3, 2, 8};  // small tree for the demo
-  config.edge.lsm.target_page_pairs = 8;
-  config.cloud.target_page_pairs = 8;
-  config.edge.noop_merge_period = 2 * kSecond;  // keep the root fresh
-  config.client.freshness_window = 30 * kSecond;
-  Deployment d(config);
-  d.Start();
+  Store store = *Store::Open(
+      StoreOptions()
+          .WithOpsPerBlock(4)
+          .WithLsm({3, 2, 8}, 8)  // small tree for the demo
+          .WithNoopMergePeriod(2 * kSecond)  // keep the root fresh
+          .WithFreshnessWindow(30 * kSecond));
 
   // Device ids 1000..1003 report their state; key = device id.
   std::printf("writing device states (4 puts per block)...\n");
@@ -35,55 +34,54 @@ int main() {
       std::string v = "state-r" + std::to_string(round);
       kvs.emplace_back(dev, Bytes(v.begin(), v.end()));
     }
-    d.client().PutBatch(kvs, [round](const Status& s, BlockId bid, SimTime t) {
-      std::printf("  [%7.1f ms] round %d Phase-I committed in block %llu (%s)\n",
-                  t / 1000.0, round, static_cast<unsigned long long>(bid),
-                  s.ToString().c_str());
-    });
-    d.sim().RunFor(400 * kMillisecond);
+    Commit p1 = *store.PutBatch(kvs).WaitPhase1();
+    std::printf("  [%7.1f ms] round %d Phase-I committed in block %llu\n",
+                p1.at / 1000.0, round,
+                static_cast<unsigned long long>(p1.block));
+    store.RunFor(400 * kMillisecond);
   }
-  d.sim().RunFor(3 * kSecond);  // let merges settle
+  store.RunFor(3 * kSecond);  // let merges settle
 
-  std::printf("\nLSMerkle state: L0=%zu blocks", d.edge().lsm().l0_count());
-  for (size_t lvl = 1; lvl < d.edge().lsm().level_count(); ++lvl) {
-    std::printf(", L%zu=%zu pages", lvl, d.edge().lsm().level(lvl).page_count());
+  const EdgeNode& edge = store.wedge().edge();
+  std::printf("\nLSMerkle state: L0=%zu blocks", edge.lsm().l0_count());
+  for (size_t lvl = 1; lvl < edge.lsm().level_count(); ++lvl) {
+    std::printf(", L%zu=%zu pages", lvl, edge.lsm().level(lvl).page_count());
   }
   std::printf(", epoch=%llu, %llu merges\n",
-              static_cast<unsigned long long>(d.edge().lsm().epoch()),
-              static_cast<unsigned long long>(d.edge().stats().merges_completed));
+              static_cast<unsigned long long>(edge.lsm().epoch()),
+              static_cast<unsigned long long>(edge.stats().merges_completed));
 
   // Read back with proof verification: the newest version must win.
   std::printf("\nverified gets:\n");
   for (Key dev = 1000; dev < 1004; ++dev) {
-    d.client().Get(dev, [dev](const Status& s, const VerifiedGet& v, SimTime t) {
-      if (!s.ok()) {
-        std::printf("  get(%llu) FAILED: %s\n",
-                    static_cast<unsigned long long>(dev),
-                    s.ToString().c_str());
-        return;
-      }
-      std::printf("  [%7.1f ms] get(%llu) -> \"%.*s\" (version %llu, %s)\n",
-                  t / 1000.0, static_cast<unsigned long long>(dev),
-                  static_cast<int>(v.value.size()),
-                  reinterpret_cast<const char*>(v.value.data()),
-                  static_cast<unsigned long long>(v.version),
-                  v.phase2 ? "Phase II" : "Phase I");
-    });
-    d.sim().RunFor(100 * kMillisecond);
+    auto got = store.Get(dev);
+    if (!got.ok()) {
+      std::printf("  get(%llu) FAILED: %s\n",
+                  static_cast<unsigned long long>(dev),
+                  got.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  [%7.1f ms] get(%llu) -> \"%.*s\" (version %llu, %s)\n",
+                got->at / 1000.0, static_cast<unsigned long long>(dev),
+                static_cast<int>(got->value.size()),
+                reinterpret_cast<const char*>(got->value.data()),
+                static_cast<unsigned long long>(got->version),
+                got->phase2 ? "Phase II" : "Phase I");
+    store.RunFor(100 * kMillisecond);
   }
 
   // Proof of absence: a device that never reported.
-  d.client().Get(9999, [](const Status& s, const VerifiedGet& v, SimTime t) {
-    std::printf("  [%7.1f ms] get(9999) -> %s (proof of absence %s)\n",
-                t / 1000.0, v.found ? "FOUND?!" : "not found",
-                s.ok() ? "verified" : s.ToString().c_str());
-  });
-  d.sim().RunFor(kSecond);
+  auto missing = store.Get(9999);
+  std::printf("  [%7.1f ms] get(9999) -> %s (proof of absence %s)\n",
+              missing.ok() ? missing->at / 1000.0 : store.now() / 1000.0,
+              missing.ok() && missing->found ? "FOUND?!" : "not found",
+              missing.ok() ? "verified" : missing.status().ToString().c_str());
+  store.RunFor(kSecond);
 
   std::printf(
       "\nno-op merges kept the signed global root inside the %llu s "
       "freshness window (%llu no-ops issued)\n",
       static_cast<unsigned long long>(30),
-      static_cast<unsigned long long>(d.edge().stats().noop_merges));
+      static_cast<unsigned long long>(edge.stats().noop_merges));
   return 0;
 }

@@ -1,31 +1,34 @@
-// Malicious edge: every §IV-E attack, detected and punished.
+// Malicious edge: every §IV-E attack, detected and punished — through
+// the wedge::Store façade.
 //
 // "Lazy certification allows edge nodes to lie — however, it also
 // guarantees that a lie is going to be discovered." This example runs
-// four fresh deployments, each with the edge misbehaving differently, and
+// four fresh stores, each with the edge misbehaving differently, and
 // shows the detection path end-to-end: signed evidence -> dispute ->
-// cloud verdict -> revocation.
+// cloud verdict -> revocation. Each lie surfaces as an error Status from
+// the façade call that observed it — never as silently wrong data.
 //
 //   $ ./build/examples/malicious_edge
 
 #include <cstdio>
 
+#include "api/store.h"
 #include "core/deployment.h"
 
 using namespace wedge;
 
 namespace {
 
-DeploymentConfig AttackConfig() {
-  DeploymentConfig config;
-  config.edge.ops_per_block = 2;
-  config.num_clients = 2;
-  config.client.proof_timeout = kSecond;
-  config.cloud.gossip_period = 200 * kMillisecond;
-  return config;
+StoreOptions AttackOptions() {
+  return StoreOptions()
+      .WithOpsPerBlock(2)
+      .WithClients(2)
+      .WithProofTimeout(kSecond)
+      .WithGossipPeriod(200 * kMillisecond);
 }
 
-void Report(Deployment& d, const char* attack) {
+void Report(Store& store, const char* attack) {
+  Deployment& d = store.wedge();
   const bool punished = d.authority().IsPunished(d.edge().id());
   std::printf("  -> edge %s", punished ? "PUNISHED" : "not punished");
   if (punished) {
@@ -47,75 +50,71 @@ int main() {
   // ------------------------------------------------------- equivocation
   {
     std::printf("1. Equivocation: edge shows the victim a tampered block\n");
-    Deployment d(AttackConfig());
-    d.edge().misbehavior().equivocate_to_victim = true;
-    d.Start();
-    d.edge().misbehavior().victim = d.client(1).id();
+    Store store = *Store::Open(AttackOptions());
+    EdgeMisbehavior& mis = store.wedge().edge().misbehavior();
+    mis.equivocate_to_victim = true;
+    mis.victim = store.wedge().client(1).id();
 
-    d.client(0).AddBatch({Bytes{'r', 'e', 'a', 'l'}});
-    d.client(1).AddBatch(
-        {Bytes{'m', 'i', 'n', 'e'}}, nullptr,
-        [](const Status& s, BlockId, SimTime t) {
-          std::printf("  [%6.1f ms] victim's Phase II: %s\n", t / 1000.0,
-                      s.ToString().c_str());
-        });
-    d.sim().RunFor(10 * kSecond);
+    store.Append({Bytes{'r', 'e', 'a', 'l'}}, 0);
+    CommitHandle victim_write = store.Append({Bytes{'m', 'i', 'n', 'e'}}, 1);
+    auto verdict = victim_write.WaitPhase2();
+    std::printf("  [%6.1f ms] victim's Phase II: %s\n", store.now() / 1000.0,
+                verdict.status().ToString().c_str());
+    store.RunFor(10 * kSecond);
     std::printf("  victim's signed add-response contradicted the certified "
                 "digest; dispute upheld: %llu\n",
                 static_cast<unsigned long long>(
-                    d.client(1).stats().disputes_upheld));
-    Report(d, "inconsistent views are impossible past Phase II (Def. 2)");
+                    store.wedge().client(1).stats().disputes_upheld));
+    Report(store, "inconsistent views are impossible past Phase II (Def. 2)");
   }
 
   // ------------------------------------------- tampered certification
   {
     std::printf("2. Tampered certification: edge certifies a doctored digest\n");
-    Deployment d(AttackConfig());
-    d.edge().misbehavior().certify_tampered = true;
-    d.Start();
-    d.client(0).AddBatch({Bytes{'d', 'a', 't', 'a'}, Bytes{'m', 'o', 'r', 'e'}},
-                         nullptr, [](const Status& s, BlockId, SimTime t) {
-                           std::printf("  [%6.1f ms] client Phase II: %s\n",
-                                       t / 1000.0, s.ToString().c_str());
-                         });
-    d.sim().RunFor(10 * kSecond);
-    Report(d, "the client's Phase-I evidence convicts the edge");
+    Store store = *Store::Open(AttackOptions());
+    store.wedge().edge().misbehavior().certify_tampered = true;
+
+    auto verdict = store
+                       .Append({Bytes{'d', 'a', 't', 'a'},
+                                Bytes{'m', 'o', 'r', 'e'}})
+                       .WaitPhase2();
+    std::printf("  [%6.1f ms] client Phase II: %s\n", store.now() / 1000.0,
+                verdict.status().ToString().c_str());
+    store.RunFor(10 * kSecond);
+    Report(store, "the client's Phase-I evidence convicts the edge");
   }
 
   // ---------------------------------------------------------- omission
   {
     std::printf("3. Omission: edge denies a block the cloud certified\n");
-    Deployment d(AttackConfig());
-    d.Start();
-    d.client(0).AddBatch({Bytes{'l', 'o', 'g'}, Bytes{'i', 't'}});
-    d.sim().RunFor(2 * kSecond);  // certification + gossip propagate
-    d.edge().misbehavior().omit_reads = true;
-    d.client(0).ReadBlock(0, [](const Status& s, const Block&, bool,
-                                SimTime t) {
-      std::printf("  [%6.1f ms] read verdict: %s\n", t / 1000.0,
-                  s.ToString().c_str());
-    });
-    d.sim().RunFor(5 * kSecond);
-    Report(d, "signed gossip about the log size exposes withheld blocks");
+    Store store = *Store::Open(AttackOptions());
+    Commit committed =
+        *store.Append({Bytes{'l', 'o', 'g'}, Bytes{'i', 't'}}).WaitPhase2();
+    store.RunFor(2 * kSecond);  // certification + gossip propagate
+
+    store.wedge().edge().misbehavior().omit_reads = true;
+    auto read = store.ReadBlock(committed.block);
+    std::printf("  [%6.1f ms] read verdict: %s\n", store.now() / 1000.0,
+                read.status().ToString().c_str());
+    store.RunFor(5 * kSecond);
+    Report(store, "signed gossip about the log size exposes withheld blocks");
   }
 
   // -------------------------------------------------------- lying gets
   {
     std::printf("4. Lying get: edge forges the value in a key-value read\n");
-    Deployment d(AttackConfig());
-    d.edge().misbehavior().tamper_get_value = true;
-    d.Start();
-    d.client(0).PutBatch({{7, Bytes{'t', 'r', 'u', 'e'}},
-                          {8, Bytes{'a', 'l', 's', 'o'}}});
-    d.sim().RunFor(kSecond);
-    d.client(0).Get(7, [](const Status& s, const VerifiedGet&, SimTime t) {
-      std::printf("  [%6.1f ms] get verification: %s\n", t / 1000.0,
-                  s.ToString().c_str());
-    });
-    d.sim().RunFor(kSecond);
+    Store store = *Store::Open(AttackOptions());
+    store.wedge().edge().misbehavior().tamper_get_value = true;
+
+    store.PutBatch({{7, Bytes{'t', 'r', 'u', 'e'}},
+                    {8, Bytes{'a', 'l', 's', 'o'}}})
+        .WaitPhase2();
+    auto got = store.Get(7);
+    std::printf("  [%6.1f ms] get verification: %s\n", store.now() / 1000.0,
+                got.status().ToString().c_str());
     std::printf("  verification failures at client: %llu\n",
                 static_cast<unsigned long long>(
-                    d.client(0).stats().verification_failures));
+                    store.wedge().client().stats().verification_failures));
     std::printf("  [forged values cannot carry a valid Merkle path]\n\n");
   }
 

@@ -1,4 +1,5 @@
-// Range analytics: verifiable scans over an untrusted edge.
+// Range analytics: verifiable scans over an untrusted edge, on
+// wedge::Store.
 //
 // The smart-traffic deployment of the paper's §II-A, extended with the
 // scan API: sensors put readings keyed by (road-segment id), and an
@@ -12,6 +13,7 @@
 
 #include <cstdio>
 
+#include "api/store.h"
 #include "core/deployment.h"
 
 using namespace wedge;
@@ -23,17 +25,17 @@ std::pair<Key, Bytes> Reading(Key seg, uint8_t speed, uint8_t count) {
   return {seg, Bytes{speed, count}};
 }
 
-void PrintScan(const char* label, const Status& s, const VerifiedScan& scan) {
-  std::printf("%s: %s\n", label, s.ToString().c_str());
-  if (!s.ok()) return;
-  for (const auto& p : scan.pairs) {
+void PrintScan(const char* label, const Result<ScanResult>& scan) {
+  std::printf("%s: %s\n", label, scan.status().ToString().c_str());
+  if (!scan.ok()) return;
+  for (const auto& p : scan->pairs) {
     std::printf("  segment %3llu: speed %3u, %u vehicles%s\n",
                 static_cast<unsigned long long>(p.key), p.value[0],
                 p.value[1], p.value[0] < 25 ? "  << CONGESTED" : "");
   }
-  std::printf("  (%zu segments, %s)\n", scan.pairs.size(),
-              scan.phase2 ? "Phase II — fully certified"
-                          : "Phase I — certification pending");
+  std::printf("  (%zu segments, %s)\n", scan->pairs.size(),
+              scan->phase2 ? "Phase II — fully certified"
+                           : "Phase I — certification pending");
 }
 
 }  // namespace
@@ -42,57 +44,48 @@ int main() {
   std::printf("WedgeChain range analytics (verifiable scans)\n");
   std::printf("=============================================\n\n");
 
-  DeploymentConfig config;
-  config.seed = 3;
-  config.edge.ops_per_block = 4;
-  config.edge.lsm.level_thresholds = {2, 2, 8};
-  config.edge.lsm.target_page_pairs = 4;  // small pages: multi-page runs
-  config.cloud.target_page_pairs = 4;
-  Deployment d(config);
-  d.Start();
+  Store store = *Store::Open(
+      StoreOptions()
+          .WithSeed(3)
+          .WithOpsPerBlock(4)
+          .WithLsm({2, 2, 8}, 4));  // small pages: multi-page runs
 
   // Sensors report segments 0..31; segment 17 is congested. Later
   // updates overwrite segment 17 as traffic worsens.
   for (Key seg = 0; seg < 32; seg += 4) {
-    d.client().PutBatch({Reading(seg, 60, 10), Reading(seg + 1, 58, 12),
-                         Reading(seg + 2, 55, 14), Reading(seg + 3, 61, 9)});
+    store.PutBatch({Reading(seg, 60, 10), Reading(seg + 1, 58, 12),
+                    Reading(seg + 2, 55, 14), Reading(seg + 3, 61, 9)});
   }
-  d.client().PutBatch({Reading(17, 22, 40), Reading(18, 35, 25),
-                       Reading(19, 48, 15), Reading(20, 52, 12)});
-  d.sim().RunFor(10 * kSecond);
+  store.PutBatch({Reading(17, 22, 40), Reading(18, 35, 25),
+                  Reading(19, 48, 15), Reading(20, 52, 12)});
+  store.RunFor(10 * kSecond);
 
+  const EdgeNode& edge = store.wedge().edge();
   std::printf("edge state: %zu L0 blocks, %zu + %zu level pages, %llu "
               "merges\n\n",
-              d.edge().lsm().l0_count(),
-              d.edge().lsm().level(1).page_count(),
-              d.edge().lsm().level(2).page_count(),
+              edge.lsm().l0_count(), edge.lsm().level(1).page_count(),
+              edge.lsm().level(2).page_count(),
               static_cast<unsigned long long>(
-                  d.edge().stats().merges_completed));
+                  edge.stats().merges_completed));
 
   // The corridor query: segments 14..22, newest reading per segment.
-  d.client().Scan(14, 22, [](const Status& s, const VerifiedScan& scan,
-                             SimTime) {
-    PrintScan("scan segments [14, 22] (honest edge)", s, scan);
-  });
-  d.sim().RunFor(kSecond);
+  PrintScan("scan segments [14, 22] (honest edge)", store.Scan(14, 22));
 
   // The edge turns malicious and truncates scan responses — e.g. to hide
   // the congested segment from a competing routing service.
   std::printf("\n*** edge now truncates scan responses ***\n\n");
-  d.edge().misbehavior().truncate_scans = true;
-  d.client().Scan(0, 31, [](const Status& s, const VerifiedScan& scan,
-                            SimTime) {
-    PrintScan("scan segments [0, 31] (truncating edge)", s, scan);
-    if (s.IsSecurityViolation()) {
-      std::printf("  -> the dropped page broke run adjacency/coverage; the\n"
-                  "     client holds the edge's signed response as evidence\n");
-    }
-  });
-  d.sim().RunFor(kSecond);
+  store.wedge().edge().misbehavior().truncate_scans = true;
+  auto truncated = store.Scan(0, 31);
+  PrintScan("scan segments [0, 31] (truncating edge)", truncated);
+  if (truncated.status().IsSecurityViolation()) {
+    std::printf("  -> the dropped page broke run adjacency/coverage; the\n"
+                "     client holds the edge's signed response as evidence\n");
+  }
 
   std::printf("\nclient: %llu scans verified, %llu verification failures\n",
-              static_cast<unsigned long long>(d.client().stats().scans_ok),
               static_cast<unsigned long long>(
-                  d.client().stats().verification_failures));
+                  store.wedge().client().stats().scans_ok),
+              static_cast<unsigned long long>(
+                  store.wedge().client().stats().verification_failures));
   return 0;
 }

@@ -1,4 +1,5 @@
-// Smart-traffic: the paper's motivating application (§II-A).
+// Smart-traffic: the paper's motivating application (§II-A), on
+// wedge::Store.
 //
 // A state government monitors city traffic. Sensors and cameras (clients)
 // stream readings to a third-party edge datacenter in the city; the
@@ -11,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "api/store.h"
 #include "core/deployment.h"
 
 using namespace wedge;
@@ -27,85 +29,87 @@ Bytes Reading(const std::string& sensor, int vehicles_per_min) {
 int main() {
   std::printf("Smart traffic on WedgeChain\n===========================\n\n");
 
-  DeploymentConfig config;
-  config.num_clients = 4;  // 3 road sensors + 1 traffic-control client
-  config.edge.ops_per_block = 6;
-  config.cloud.gossip_period = 200 * kMillisecond;
-  config.edge_dc = Dc::kCalifornia;   // city edge datacenter
-  config.cloud_dc = Dc::kVirginia;    // remote government datacenter
-  Deployment d(config);
-  d.Start();
+  Store store = *Store::Open(
+      StoreOptions()
+          .WithClients(4)  // 3 road sensors + 1 traffic-control client
+          .WithOpsPerBlock(6)
+          .WithGossipPeriod(200 * kMillisecond)
+          .WithLocations(Dc::kCalifornia,   // sensors in the city
+                         Dc::kCalifornia,   // city edge datacenter
+                         Dc::kVirginia));   // remote government datacenter
 
-  WedgeClient& sensor_a = d.client(0);  // highway 17 north
-  WedgeClient& sensor_b = d.client(1);  // highway 17 south
-  WedgeClient& sensor_c = d.client(2);  // downtown camera
-  WedgeClient& control = d.client(3);   // traffic-control service
+  const size_t sensor_a = 0;  // highway 17 north
+  const size_t sensor_b = 1;  // highway 17 south
+  const size_t sensor_c = 2;  // downtown camera
+  const size_t control = 3;   // traffic-control service
 
   // --- Normal traffic: sensors stream readings; Phase I commits keep the
   // control loop at edge latency.
   std::printf("Phase 1: normal traffic flows\n");
-  sensor_a.AddBatch({Reading("hwy17N", 95), Reading("hwy17N", 97)},
-                    [](const Status&, BlockId bid, SimTime t) {
-                      std::printf("  [%6.1f ms] hwy17N readings in block %llu"
-                                  " (Phase I, edge-local)\n",
-                                  t / 1000.0,
-                                  static_cast<unsigned long long>(bid));
-                    });
-  sensor_b.AddBatch({Reading("hwy17S", 88), Reading("hwy17S", 90)});
-  sensor_c.AddBatch({Reading("cam-3rd-st", 40), Reading("cam-3rd-st", 42)});
-  d.sim().RunFor(kSecond);
+  CommitHandle a =
+      store.Append({Reading("hwy17N", 95), Reading("hwy17N", 97)}, sensor_a);
+  store.Append({Reading("hwy17S", 88), Reading("hwy17S", 90)}, sensor_b);
+  store.Append({Reading("cam-3rd-st", 40), Reading("cam-3rd-st", 42)},
+               sensor_c);
+  Commit normal = *a.WaitPhase1();
+  std::printf("  [%6.1f ms] hwy17N readings in block %llu (Phase I, "
+              "edge-local)\n",
+              normal.at / 1000.0,
+              static_cast<unsigned long long>(normal.block));
+  store.RunFor(kSecond);
 
   // --- Incident: sensor A reports a crash; control must react without
   // waiting for the far-away cloud.
   std::printf("\nPhase 2: accident on highway 17 north\n");
-  SimTime incident_at = d.sim().now();
-  sensor_a.AddBatch(
+  const SimTime incident_at = store.now();
+  CommitHandle incident = store.Append(
       {Reading("hwy17N", 4), Bytes{'A', 'C', 'C', 'I', 'D', 'E', 'N', 'T'}},
-      [&](const Status&, BlockId bid, SimTime t) {
-        std::printf(
-            "  [%6.1f ms] incident Phase-I committed in block %llu after "
-            "%.1f ms — reroute NOW\n",
-            t / 1000.0, static_cast<unsigned long long>(bid),
-            (t - incident_at) / 1000.0);
-      },
-      [&](const Status&, BlockId, SimTime t) {
-        std::printf(
-            "  [%6.1f ms] incident Phase-II certified by the government "
-            "cloud (%.1f ms later) — audit trail sealed\n",
-            t / 1000.0, (t - incident_at) / 1000.0);
-      });
+      sensor_a);
   // Meanwhile sensors keep streaming; the edge never blocks on the cloud.
-  sensor_b.AddBatch({Reading("hwy17S", 85), Reading("hwy17S", 83)});
-  sensor_c.AddBatch({Reading("cam-3rd-st", 45), Reading("cam-3rd-st", 47)});
-  d.sim().RunFor(2 * kSecond);
+  store.Append({Reading("hwy17S", 85), Reading("hwy17S", 83)}, sensor_b);
+  store.Append({Reading("cam-3rd-st", 45), Reading("cam-3rd-st", 47)},
+               sensor_c);
+
+  Commit p1 = *incident.WaitPhase1();
+  std::printf(
+      "  [%6.1f ms] incident Phase-I committed in block %llu after %.1f ms "
+      "— reroute NOW\n",
+      p1.at / 1000.0, static_cast<unsigned long long>(p1.block),
+      (p1.at - incident_at) / 1000.0);
+  Commit p2 = *incident.WaitPhase2();
+  std::printf(
+      "  [%6.1f ms] incident Phase-II certified by the government cloud "
+      "(%.1f ms later) — audit trail sealed\n",
+      p2.at / 1000.0, (p2.at - incident_at) / 1000.0);
+  store.RunFor(2 * kSecond);
 
   // --- The control service audits the incident block, proof attached.
   std::printf("\nPhase 3: control service audits the incident record\n");
-  control.ReadBlock(1, [](const Status& s, const Block& b, bool phase2,
-                          SimTime t) {
-    if (!s.ok()) {
-      std::printf("  [%6.1f ms] read failed: %s\n", t / 1000.0,
-                  s.ToString().c_str());
-      return;
-    }
-    std::printf("  [%6.1f ms] block %llu read, %zu entries, %s\n", t / 1000.0,
-                static_cast<unsigned long long>(b.id), b.entries.size(),
-                phase2 ? "cloud-certified proof attached"
-                       : "awaiting certification");
-  });
-  d.sim().RunFor(kSecond);
+  auto audit = store.ReadBlock(p1.block, control);
+  if (!audit.ok()) {
+    std::printf("  read failed: %s\n", audit.status().ToString().c_str());
+  } else {
+    std::printf("  [%6.1f ms] block %llu read, %zu entries, %s\n",
+                audit->at / 1000.0,
+                static_cast<unsigned long long>(audit->block.id),
+                audit->block.entries.size(),
+                audit->phase2 ? "cloud-certified proof attached"
+                              : "awaiting certification");
+  }
+  store.RunFor(kSecond);
 
   // --- Gossip keeps every participant aware of the log's true size, so a
   // misbehaving edge operator cannot silently drop incident records.
+  Deployment& d = store.wedge();
   std::printf(
       "\ngossip: control service knows the log holds %llu blocks "
       "(omission attacks detectable)\n",
-      static_cast<unsigned long long>(control.gossiped_log_size()));
+      static_cast<unsigned long long>(d.client(control).gossiped_log_size()));
 
   std::printf(
       "cloud certified %llu blocks using only digests — %llu WAN bytes "
       "total\n",
       static_cast<unsigned long long>(d.cloud().stats().certified_blocks),
-      static_cast<unsigned long long>(d.net().stats().wan_bytes));
+      static_cast<unsigned long long>(store.net().stats().wan_bytes));
   return 0;
 }

@@ -1,0 +1,113 @@
+// StoreBackend: the deployment-neutral seam under wedge::Store.
+//
+// Each of the paper's three systems adapts its client API onto this
+// asynchronous interface; the Store turns it into synchronous Result<T>
+// calls and CommitHandles by pumping the simulator. The bench harness
+// drives the asynchronous form directly (closed-loop clients must not
+// block each other).
+//
+// Commit contract: `on_phase1` fires at the commit the paper calls
+// Phase I (temporary, edge-local for WedgeChain); `on_phase2` at the
+// certified commit. The baselines certify synchronously, so both fire
+// together at their single commit point — which is exactly the paper's
+// framing: the baselines collapse the two phases into one synchronous
+// round trip.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/options.h"
+#include "log/block.h"
+#include "lsmerkle/kv.h"
+
+namespace wedge {
+
+class Deployment;
+class EdgeBaselineDeployment;
+class CloudOnlyDeployment;
+
+/// One committed write phase: the block that carries the write and the
+/// virtual time the phase completed.
+struct Commit {
+  BlockId block = 0;
+  SimTime at = 0;
+};
+
+/// Outcome of a point read through the façade.
+struct GetResult {
+  bool found = false;
+  Bytes value;
+  uint64_t version = 0;
+  /// True when every component of the proof was cloud-certified
+  /// (Phase II read); baselines always report true.
+  bool phase2 = false;
+  /// True when the result was proof-verified at the client; false for
+  /// the cloud-only backend, which trusts the server outright.
+  bool verified = false;
+  SimTime at = 0;
+};
+
+/// Outcome of a range scan: newest version per key in [lo, hi].
+struct ScanResult {
+  std::vector<KvPair> pairs;
+  bool phase2 = false;
+  bool verified = false;
+  SimTime at = 0;
+};
+
+/// Outcome of a log-block read.
+struct BlockRead {
+  Block block;
+  bool phase2 = false;
+  SimTime at = 0;
+};
+
+class StoreBackend {
+ public:
+  using CommitCb = std::function<void(const Status&, BlockId, SimTime)>;
+  using GetCb = std::function<void(const Status&, GetResult, SimTime)>;
+  using ScanCb = std::function<void(const Status&, ScanResult, SimTime)>;
+  using ReadBlockCb = std::function<void(const Status&, BlockRead, SimTime)>;
+
+  virtual ~StoreBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Attaches every node to the network and starts timers/gossip.
+  virtual void Start() = 0;
+
+  virtual Simulation& sim() = 0;
+  virtual SimNetwork& net() = 0;
+  virtual size_t client_count() const = 0;
+
+  /// Applies a batch of key-value puts as client `client`.
+  virtual void PutBatch(size_t client,
+                        const std::vector<std::pair<Key, Bytes>>& kvs,
+                        CommitCb on_phase1, CommitCb on_phase2) = 0;
+
+  /// Appends raw log entries (WedgeChain only; baselines report
+  /// NotImplemented through both callbacks).
+  virtual void Append(size_t client, std::vector<Bytes> payloads,
+                      CommitCb on_phase1, CommitCb on_phase2);
+
+  virtual void Get(size_t client, Key key, GetCb cb) = 0;
+
+  virtual void Scan(size_t client, Key lo, Key hi, ScanCb cb) = 0;
+
+  /// Reads log block `bid` (WedgeChain only).
+  virtual void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb);
+
+  /// The concrete deployment, for instrumentation (stats, misbehaviour
+  /// injection, trust-authority queries). Null unless `kind()` matches.
+  virtual Deployment* wedge() { return nullptr; }
+  virtual EdgeBaselineDeployment* edge_baseline() { return nullptr; }
+  virtual CloudOnlyDeployment* cloud_only() { return nullptr; }
+};
+
+/// Builds (but does not Start) the backend selected by `options.backend`.
+std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options);
+
+}  // namespace wedge

@@ -1,0 +1,250 @@
+// The three StoreBackend adapters: each maps its deployment's client API
+// onto the deployment-neutral asynchronous interface of backend.h.
+
+#include "api/backend.h"
+
+#include <string>
+
+#include "baselines/baseline_deployment.h"
+#include "core/deployment.h"
+
+namespace wedge {
+
+namespace {
+
+Status Unsupported(const char* op, BackendKind kind) {
+  return Status::NotImplemented(
+      std::string(op) + " is not supported by the " +
+      std::string(BackendKindToString(kind)) + " backend");
+}
+
+void FailBothPhases(const Status& status, SimTime now,
+                    StoreBackend::CommitCb& on_phase1,
+                    StoreBackend::CommitCb& on_phase2) {
+  if (on_phase1) on_phase1(status, 0, now);
+  if (on_phase2) on_phase2(status, 0, now);
+}
+
+GetResult FromVerified(const VerifiedGet& v, SimTime at) {
+  GetResult r;
+  r.found = v.found;
+  r.value = v.value;
+  r.version = v.version;
+  r.phase2 = v.phase2;
+  r.verified = true;
+  r.at = at;
+  return r;
+}
+
+ScanResult FromVerifiedScan(const VerifiedScan& v, SimTime at) {
+  ScanResult r;
+  r.pairs = v.pairs;
+  r.phase2 = v.phase2;
+  r.verified = true;
+  r.at = at;
+  return r;
+}
+
+/// Both baselines certify synchronously: their single commit point fires
+/// Phase I and Phase II together.
+StoreBackend::CommitCb CollapsePhases(StoreBackend::CommitCb on_phase1,
+                                      StoreBackend::CommitCb on_phase2) {
+  return [p1 = std::move(on_phase1),
+          p2 = std::move(on_phase2)](const Status& s, BlockId bid, SimTime t) {
+    if (p1) p1(s, bid, t);
+    if (p2) p2(s, bid, t);
+  };
+}
+
+// ------------------------------------------------------------- WedgeChain
+
+class WedgeBackend : public StoreBackend {
+ public:
+  explicit WedgeBackend(const StoreOptions& options) : d_(options.deploy) {}
+
+  BackendKind kind() const override { return BackendKind::kWedge; }
+  void Start() override { d_.Start(); }
+  Simulation& sim() override { return d_.sim(); }
+  SimNetwork& net() override { return d_.net(); }
+  size_t client_count() const override { return d_.client_count(); }
+  Deployment* wedge() override { return &d_; }
+
+  void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
+                CommitCb on_phase1, CommitCb on_phase2) override {
+    d_.client(client).PutBatch(kvs, std::move(on_phase1),
+                               std::move(on_phase2));
+  }
+
+  void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
+              CommitCb on_phase2) override {
+    d_.client(client).AddBatch(std::move(payloads), std::move(on_phase1),
+                               std::move(on_phase2));
+  }
+
+  void Get(size_t client, Key key, GetCb cb) override {
+    d_.client(client).Get(
+        key, [cb = std::move(cb)](const Status& s, const VerifiedGet& v,
+                                  SimTime t) { cb(s, FromVerified(v, t), t); });
+  }
+
+  void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
+    d_.client(client).Scan(
+        lo, hi,
+        [cb = std::move(cb)](const Status& s, const VerifiedScan& v,
+                             SimTime t) {
+          cb(s, FromVerifiedScan(v, t), t);
+        });
+  }
+
+  void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
+    d_.client(client).ReadBlock(
+        bid, [cb = std::move(cb)](const Status& s, const Block& b, bool phase2,
+                                  SimTime t) {
+          BlockRead r;
+          r.block = b;
+          r.phase2 = phase2;
+          r.at = t;
+          cb(s, std::move(r), t);
+        });
+  }
+
+ private:
+  Deployment d_;
+};
+
+// ---------------------------------------------------------- edge-baseline
+
+class EdgeBaselineBackend : public StoreBackend {
+ public:
+  explicit EdgeBaselineBackend(const StoreOptions& options)
+      : d_(options.deploy) {}
+
+  BackendKind kind() const override { return BackendKind::kEdgeBaseline; }
+  void Start() override { d_.Start(); }
+  Simulation& sim() override { return d_.sim(); }
+  SimNetwork& net() override { return d_.net(); }
+  size_t client_count() const override { return d_.client_count(); }
+  EdgeBaselineDeployment* edge_baseline() override { return &d_; }
+
+  void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
+                CommitCb on_phase1, CommitCb on_phase2) override {
+    d_.client(client).WriteBatch(
+        kvs, [cb = CollapsePhases(std::move(on_phase1), std::move(on_phase2))](
+                 const Status& s, SimTime t) { cb(s, 0, t); });
+  }
+
+  void Get(size_t client, Key key, GetCb cb) override {
+    d_.client(client).Get(
+        key, [cb = std::move(cb)](const Status& s, const VerifiedGet& v,
+                                  SimTime t) { cb(s, FromVerified(v, t), t); });
+  }
+
+  void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
+    d_.client(client).Scan(
+        lo, hi,
+        [cb = std::move(cb)](const Status& s, const VerifiedScan& v,
+                             SimTime t) {
+          cb(s, FromVerifiedScan(v, t), t);
+        });
+  }
+
+ private:
+  EdgeBaselineDeployment d_;
+};
+
+// ------------------------------------------------------------- cloud-only
+
+class CloudOnlyBackend : public StoreBackend {
+ public:
+  explicit CloudOnlyBackend(const StoreOptions& options)
+      : d_(options.deploy) {}
+
+  BackendKind kind() const override { return BackendKind::kCloudOnly; }
+  void Start() override { d_.Start(); }
+  Simulation& sim() override { return d_.sim(); }
+  SimNetwork& net() override { return d_.net(); }
+  size_t client_count() const override { return d_.client_count(); }
+  CloudOnlyDeployment* cloud_only() override { return &d_; }
+
+  void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
+                CommitCb on_phase1, CommitCb on_phase2) override {
+    d_.client(client).WriteBatch(
+        kvs, [cb = CollapsePhases(std::move(on_phase1), std::move(on_phase2))](
+                 const Status& s, SimTime t) { cb(s, 0, t); });
+  }
+
+  void Get(size_t client, Key key, GetCb cb) override {
+    d_.client(client).Read(
+        key, [cb = std::move(cb)](const Status& s, bool found,
+                                  const Bytes& value, SimTime t) {
+          GetResult r;
+          r.found = found;
+          r.value = value;
+          r.phase2 = true;     // the commit was final
+          r.verified = false;  // ...but taken on trust (no proofs)
+          r.at = t;
+          cb(s, std::move(r), t);
+        });
+  }
+
+  void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
+    d_.client(client).Scan(
+        lo, hi,
+        [cb = std::move(cb)](const Status& s, const std::vector<KvPair>& pairs,
+                             SimTime t) {
+          ScanResult r;
+          r.pairs = pairs;
+          r.phase2 = true;
+          r.verified = false;
+          r.at = t;
+          cb(s, std::move(r), t);
+        });
+  }
+
+ private:
+  CloudOnlyDeployment d_;
+};
+
+}  // namespace
+
+// ----------------------------------------------------- default overrides
+
+void StoreBackend::Append(size_t client, std::vector<Bytes> payloads,
+                          CommitCb on_phase1, CommitCb on_phase2) {
+  (void)client;
+  (void)payloads;
+  FailBothPhases(Unsupported("Append", kind()), sim().now(), on_phase1,
+                 on_phase2);
+}
+
+void StoreBackend::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
+  (void)client;
+  (void)bid;
+  if (cb) cb(Unsupported("ReadBlock", kind()), BlockRead{}, sim().now());
+}
+
+std::string_view BackendKindToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kWedge:
+      return "wedge";
+    case BackendKind::kEdgeBaseline:
+      return "edge-baseline";
+    case BackendKind::kCloudOnly:
+      return "cloud-only";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
+  switch (options.backend) {
+    case BackendKind::kWedge:
+      return std::make_unique<WedgeBackend>(options);
+    case BackendKind::kEdgeBaseline:
+      return std::make_unique<EdgeBaselineBackend>(options);
+    case BackendKind::kCloudOnly:
+      return std::make_unique<CloudOnlyBackend>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace wedge

@@ -1,0 +1,117 @@
+// StoreOptions: builder-style configuration for the wedge::Store façade.
+//
+// Subsumes DeploymentConfig: the full knob surface stays reachable via
+// `deploy`, while the chainable With* setters cover everything examples,
+// tests and benchmarks actually tune. `backend` selects which of the
+// paper's three systems answers the identical call sequence — the
+// trust/latency trade-off is switchable at one call site.
+
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace wedge {
+
+class StoreBackend;
+
+/// The three deployments compared throughout the paper (§VI).
+enum class BackendKind {
+  /// WedgeChain: Phase I commits at the edge, Phase II certified lazily
+  /// by the cloud (data-free).
+  kWedge,
+  /// Edge-baseline: every write certified at the cloud synchronously
+  /// before the edge answers (§II-C).
+  kEdgeBaseline,
+  /// Cloud-only: the trusted cloud serves everything; no proofs, full
+  /// wide-area latency on every operation.
+  kCloudOnly,
+};
+
+std::string_view BackendKindToString(BackendKind kind);
+
+/// All BackendKind values, in presentation order — handy for "run the
+/// same scenario on every system" loops.
+inline constexpr BackendKind kAllBackends[] = {
+    BackendKind::kWedge, BackendKind::kEdgeBaseline, BackendKind::kCloudOnly};
+
+struct StoreOptions {
+  BackendKind backend = BackendKind::kWedge;
+  /// The full deployment knob surface (topology, costs, edge/cloud/client
+  /// configs). The With* setters below write through to it.
+  DeploymentConfig deploy;
+  /// Virtual-time budget a synchronous wait (Get/Scan/ReadBlock,
+  /// CommitHandle::WaitPhaseN) may pump the simulator before giving up
+  /// with Timeout.
+  SimTime op_timeout = 120 * kSecond;
+  /// Wiring hook run after the deployment is constructed but before it
+  /// starts — the window in which durable storage must be attached and
+  /// recovered state restored (see storage/edge_storage.h).
+  std::function<void(StoreBackend&)> before_start;
+
+  StoreOptions& WithBackend(BackendKind b) {
+    backend = b;
+    return *this;
+  }
+  StoreOptions& WithSeed(uint64_t seed) {
+    deploy.seed = seed;
+    return *this;
+  }
+  StoreOptions& WithClients(size_t n) {
+    deploy.num_clients = n;
+    return *this;
+  }
+  StoreOptions& WithEdges(size_t n) {
+    deploy.num_edges = n;
+    return *this;
+  }
+  StoreOptions& WithLocations(Dc client, Dc edge, Dc cloud) {
+    deploy.client_dc = client;
+    deploy.edge_dc = edge;
+    deploy.cloud_dc = cloud;
+    return *this;
+  }
+  StoreOptions& WithOpsPerBlock(size_t n) {
+    deploy.edge.ops_per_block = n;
+    return *this;
+  }
+  /// LSMerkle structure: level thresholds plus the page split size (kept
+  /// consistent between edge and cloud, as merges require).
+  StoreOptions& WithLsm(std::vector<size_t> level_thresholds,
+                        size_t target_page_pairs) {
+    deploy.edge.lsm.level_thresholds = std::move(level_thresholds);
+    deploy.edge.lsm.target_page_pairs = target_page_pairs;
+    deploy.cloud.target_page_pairs = target_page_pairs;
+    return *this;
+  }
+  StoreOptions& WithGossipPeriod(SimTime period) {
+    deploy.cloud.gossip_period = period;
+    return *this;
+  }
+  StoreOptions& WithNoopMergePeriod(SimTime period) {
+    deploy.edge.noop_merge_period = period;
+    return *this;
+  }
+  StoreOptions& WithFreshnessWindow(SimTime window) {
+    deploy.client.freshness_window = window;
+    return *this;
+  }
+  StoreOptions& WithProofTimeout(SimTime timeout) {
+    deploy.client.proof_timeout = timeout;
+    return *this;
+  }
+  StoreOptions& WithOpTimeout(SimTime timeout) {
+    op_timeout = timeout;
+    return *this;
+  }
+  StoreOptions& WithBeforeStart(std::function<void(StoreBackend&)> hook) {
+    before_start = std::move(hook);
+    return *this;
+  }
+};
+
+}  // namespace wedge

@@ -1,0 +1,246 @@
+#include "api/store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/baseline_deployment.h"
+#include "core/deployment.h"
+
+namespace wedge {
+
+namespace api_internal {
+
+struct StoreCore {
+  StoreOptions options;
+  std::unique_ptr<StoreBackend> backend;
+
+  /// Runs simulation events until `done()` holds. The wait is bounded by
+  /// `options.op_timeout` of virtual time; a drained event queue before
+  /// completion means the operation can never finish (a lost response
+  /// with no timer left to recover it).
+  Status PumpUntil(const std::function<bool()>& done) {
+    Simulation& sim = backend->sim();
+    const SimTime deadline = sim.now() + options.op_timeout;
+    while (!done()) {
+      if (sim.now() > deadline) {
+        return Status::Timeout("operation incomplete after pumping " +
+                               std::to_string(options.op_timeout) +
+                               "us of virtual time");
+      }
+      if (!sim.Step()) {
+        return Status::Unavailable(
+            "simulation drained before the operation completed");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+struct CommitState {
+  bool phase1_done = false;
+  bool phase2_done = false;
+  Status phase1_status;
+  Status phase2_status;
+  Commit phase1;
+  Commit phase2;
+};
+
+}  // namespace api_internal
+
+using api_internal::CommitState;
+using api_internal::StoreCore;
+
+// ----------------------------------------------------------- CommitHandle
+
+bool CommitHandle::phase1_done() const { return state_->phase1_done; }
+bool CommitHandle::phase2_done() const { return state_->phase2_done; }
+
+Result<Commit> CommitHandle::WaitPhase1() {
+  auto* st = state_.get();
+  WEDGE_RETURN_NOT_OK(core_->PumpUntil([st] { return st->phase1_done; }));
+  if (!st->phase1_status.ok()) return st->phase1_status;
+  return st->phase1;
+}
+
+Result<Commit> CommitHandle::WaitPhase2() {
+  auto* st = state_.get();
+  WEDGE_RETURN_NOT_OK(core_->PumpUntil([st] { return st->phase2_done; }));
+  if (!st->phase2_status.ok()) return st->phase2_status;
+  return st->phase2;
+}
+
+// ------------------------------------------------------------------ Store
+
+Result<Store> Store::Open(StoreOptions options) {
+  if (options.deploy.num_clients == 0) {
+    return Status::InvalidArgument("StoreOptions: need at least one client");
+  }
+  auto core = std::make_shared<StoreCore>();
+  core->options = std::move(options);
+  core->backend = MakeBackend(core->options);
+  if (core->backend == nullptr) {
+    return Status::InvalidArgument("StoreOptions: unknown backend");
+  }
+  if (core->options.before_start) {
+    core->options.before_start(*core->backend);
+    // The hook's one legitimate call is done; don't keep its captured
+    // environment (often stack references) reachable via options().
+    core->options.before_start = nullptr;
+  }
+  core->backend->Start();
+  return Store(std::move(core));
+}
+
+namespace {
+
+/// Builds the shared state of a write handle and issues the write with
+/// its two phase-recording callbacks — or fails both phases up front
+/// when the client index is out of range.
+std::shared_ptr<CommitState> IssueWrite(
+    StoreCore& core, size_t client,
+    const std::function<void(StoreBackend::CommitCb, StoreBackend::CommitCb)>&
+        issue) {
+  auto state = std::make_shared<CommitState>();
+  auto on_phase1 = [state](const Status& s, BlockId bid, SimTime t) {
+    state->phase1_status = s;
+    state->phase1 = Commit{bid, t};
+    state->phase1_done = true;
+  };
+  auto on_phase2 = [state](const Status& s, BlockId bid, SimTime t) {
+    state->phase2_status = s;
+    state->phase2 = Commit{bid, t};
+    state->phase2_done = true;
+  };
+  if (client >= core.backend->client_count()) {
+    Status bad = Status::InvalidArgument("no client " + std::to_string(client));
+    const SimTime now = core.backend->sim().now();
+    on_phase1(bad, 0, now);
+    on_phase2(bad, 0, now);
+  } else {
+    issue(std::move(on_phase1), std::move(on_phase2));
+  }
+  return state;
+}
+
+}  // namespace
+
+CommitHandle Store::Put(Key key, Bytes value, size_t client) {
+  return PutBatch({{key, std::move(value)}}, client);
+}
+
+CommitHandle Store::PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                             size_t client) {
+  return CommitHandle(
+      core_, IssueWrite(*core_, client,
+                        [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
+                                                           p2) {
+                          core_->backend->PutBatch(client, kvs, std::move(p1),
+                                                   std::move(p2));
+                        }));
+}
+
+CommitHandle Store::Append(std::vector<Bytes> payloads, size_t client) {
+  return CommitHandle(
+      core_, IssueWrite(*core_, client,
+                        [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
+                                                           p2) {
+                          core_->backend->Append(client, std::move(payloads),
+                                                 std::move(p1), std::move(p2));
+                        }));
+}
+
+namespace {
+
+/// Issues an asynchronous read via `issue` and pumps until its callback
+/// delivers; shared by Get/Scan/ReadBlock.
+template <typename T, typename IssueFn>
+Result<T> SyncRead(StoreCore& core, size_t client, IssueFn issue) {
+  if (client >= core.backend->client_count()) {
+    return Status::InvalidArgument("no client " + std::to_string(client));
+  }
+  struct Waiter {
+    bool done = false;
+    Status status;
+    T result;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  issue(client, [waiter](const Status& s, T r, SimTime) {
+    waiter->status = s;
+    waiter->result = std::move(r);
+    waiter->done = true;
+  });
+  WEDGE_RETURN_NOT_OK(core.PumpUntil([w = waiter.get()] { return w->done; }));
+  if (!waiter->status.ok()) return waiter->status;
+  return std::move(waiter->result);
+}
+
+}  // namespace
+
+Result<GetResult> Store::Get(Key key, size_t client) {
+  return SyncRead<GetResult>(
+      *core_, client, [this, key](size_t c, StoreBackend::GetCb cb) {
+        core_->backend->Get(c, key, std::move(cb));
+      });
+}
+
+Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client) {
+  // Normalized across backends: the edge systems reject an inverted
+  // range in proof verification; cloud-only would silently return
+  // nothing.
+  if (lo > hi) return Status::InvalidArgument("scan range is empty");
+  return SyncRead<ScanResult>(
+      *core_, client, [this, lo, hi](size_t c, StoreBackend::ScanCb cb) {
+        core_->backend->Scan(c, lo, hi, std::move(cb));
+      });
+}
+
+Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client) {
+  return SyncRead<BlockRead>(
+      *core_, client, [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
+        core_->backend->ReadBlock(c, bid, std::move(cb));
+      });
+}
+
+void Store::RunFor(SimTime duration) { core_->backend->sim().RunFor(duration); }
+void Store::RunUntil(SimTime until) { core_->backend->sim().RunUntil(until); }
+SimTime Store::now() { return core_->backend->sim().now(); }
+
+BackendKind Store::kind() const { return core_->backend->kind(); }
+size_t Store::client_count() const { return core_->backend->client_count(); }
+Simulation& Store::sim() { return core_->backend->sim(); }
+SimNetwork& Store::net() { return core_->backend->net(); }
+const StoreOptions& Store::options() const { return core_->options; }
+StoreBackend& Store::backend() { return *core_->backend; }
+
+namespace {
+
+/// Unconditional (NDEBUG-proof): dereferencing a null deployment would
+/// be silent undefined behavior in release builds.
+template <typename T>
+T& CheckedDeployment(T* d, const char* accessor, BackendKind actual) {
+  if (d == nullptr) {
+    std::fprintf(stderr, "Store::%s() requires a matching backend, got %s\n",
+                 accessor, std::string(BackendKindToString(actual)).c_str());
+    std::abort();
+  }
+  return *d;
+}
+
+}  // namespace
+
+Deployment& Store::wedge() {
+  return CheckedDeployment(core_->backend->wedge(), "wedge", kind());
+}
+
+EdgeBaselineDeployment& Store::edge_baseline() {
+  return CheckedDeployment(core_->backend->edge_baseline(), "edge_baseline",
+                           kind());
+}
+
+CloudOnlyDeployment& Store::cloud_only() {
+  return CheckedDeployment(core_->backend->cloud_only(), "cloud_only",
+                           kind());
+}
+
+}  // namespace wedge

@@ -1,0 +1,130 @@
+// wedge::Store — the public face of WedgeChain.
+//
+// One API over the paper's three systems: open a Store against the
+// WedgeChain, edge-baseline, or cloud-only backend (StoreOptions::backend)
+// and run the identical call sequence on each. Reads return Result<T>
+// synchronously; writes return a CommitHandle whose WaitPhase1()/
+// WaitPhase2() pump the simulator to the corresponding commit point —
+// the paper's lazy-trust contract (§IV) as first-class API objects:
+//
+//   auto store = *Store::Open(StoreOptions().WithOpsPerBlock(4));
+//   CommitHandle h = store.Put(42, value);
+//   Commit p1 = *h.WaitPhase1();   // edge-latency, temporary proof
+//   Commit p2 = *h.WaitPhase2();   // cloud-certified, p2.at >= p1.at
+//   GetResult got = *store.Get(42);
+//
+// A detected lie surfaces as a Status (SecurityViolation /
+// MaliciousBehavior) from the wait or read that observed it, never as
+// silently wrong data.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/backend.h"
+#include "api/options.h"
+#include "common/result.h"
+
+namespace wedge {
+
+namespace api_internal {
+struct StoreCore;
+struct CommitState;
+}  // namespace api_internal
+
+/// Tracks one write through its two commit points. Handles share state
+/// with the issuing Store and stay valid after it is moved.
+class CommitHandle {
+ public:
+  /// Pumps the simulator until Phase I commits (temporary, edge-local
+  /// for WedgeChain). Returns the commit, or the failure that ended the
+  /// phase (Timeout if the op_timeout budget elapsed first).
+  Result<Commit> WaitPhase1();
+
+  /// Pumps the simulator until Phase II commits (cloud-certified). For
+  /// the baselines this is the same commit point as Phase I. A lying
+  /// edge surfaces here as SecurityViolation / MaliciousBehavior.
+  Result<Commit> WaitPhase2();
+
+  bool phase1_done() const;
+  bool phase2_done() const;
+
+ private:
+  friend class Store;
+  CommitHandle(std::shared_ptr<api_internal::StoreCore> core,
+               std::shared_ptr<api_internal::CommitState> state)
+      : core_(std::move(core)), state_(std::move(state)) {}
+
+  std::shared_ptr<api_internal::StoreCore> core_;
+  std::shared_ptr<api_internal::CommitState> state_;
+};
+
+class Store {
+ public:
+  /// Builds, wires and starts the selected deployment.
+  static Result<Store> Open(StoreOptions options);
+
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+
+  // ------------------------------------------------------------- writes
+
+  /// Puts one key-value pair as client `client`.
+  CommitHandle Put(Key key, Bytes value, size_t client = 0);
+
+  /// Applies a batch of key-value puts through the LSMerkle path.
+  CommitHandle PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                        size_t client = 0);
+
+  /// Appends raw log entries (WedgeChain backend only).
+  CommitHandle Append(std::vector<Bytes> payloads, size_t client = 0);
+
+  // -------------------------------------------------------------- reads
+
+  /// Gets `key`, pumping the simulator until the (verified) response
+  /// arrives. Proof failures surface as SecurityViolation.
+  Result<GetResult> Get(Key key, size_t client = 0);
+
+  /// Scans [lo, hi] with completeness verification on the edge backends;
+  /// a truncated scan fails as SecurityViolation, never as silently
+  /// missing keys.
+  Result<ScanResult> Scan(Key lo, Key hi, size_t client = 0);
+
+  /// Reads log block `bid` (WedgeChain backend only).
+  Result<BlockRead> ReadBlock(BlockId bid, size_t client = 0);
+
+  // ----------------------------------------------- simulation & access
+
+  /// Runs the simulation for `duration` of virtual time — background
+  /// work (certification, merges, gossip) happens during these windows.
+  void RunFor(SimTime duration);
+  void RunUntil(SimTime until);
+  SimTime now();
+
+  BackendKind kind() const;
+  size_t client_count() const;
+  Simulation& sim();
+  SimNetwork& net();
+  const StoreOptions& options() const;
+
+  /// The deployment-neutral async interface (bench harness; advanced
+  /// callers that must not block the closed loop).
+  StoreBackend& backend();
+
+  /// Concrete deployments for instrumentation — stats, misbehaviour
+  /// injection, trust-authority queries. Aborts (in every build type)
+  /// if `kind()` differs.
+  Deployment& wedge();
+  EdgeBaselineDeployment& edge_baseline();
+  CloudOnlyDeployment& cloud_only();
+
+ private:
+  explicit Store(std::shared_ptr<api_internal::StoreCore> core)
+      : core_(std::move(core)) {}
+
+  std::shared_ptr<api_internal::StoreCore> core_;
+};
+
+}  // namespace wedge

@@ -1,4 +1,6 @@
-// Topology helpers for the two baselines, mirroring core/deployment.h.
+// Topology helpers for the two baselines, sharing core/topology.h with
+// the WedgeChain deployment so all three systems wire identities, the
+// network and clients identically.
 
 #pragma once
 
@@ -8,6 +10,7 @@
 #include "baselines/cloud_only.h"
 #include "baselines/edge_baseline.h"
 #include "core/deployment.h"
+#include "core/topology.h"
 
 namespace wedge {
 
@@ -15,19 +18,15 @@ namespace wedge {
 class CloudOnlyDeployment {
  public:
   explicit CloudOnlyDeployment(const DeploymentConfig& config)
-      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77) {
-    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
-    Signer s = keystore_.Register(Role::kCloud, "cloud");
-    server_ = std::make_unique<CloudOnlyServer>(&sim_, net_.get(), &keystore_,
-                                                s, config.cloud_dc,
-                                                config.costs);
-    for (size_t i = 0; i < config.num_clients; ++i) {
-      Signer cs = keystore_.Register(Role::kClient,
-                                     "client-" + std::to_string(i));
+      : config_(config), topo_(config.seed, config.net) {
+    server_ = std::make_unique<CloudOnlyServer>(
+        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
+        config.cloud_dc, config.costs);
+    topo_.MakeClients(config.num_clients, [&](Signer s, size_t) {
       clients_.push_back(std::make_unique<CloudOnlyClient>(
-          &sim_, net_.get(), &keystore_, cs, server_->id(), config.client_dc,
-          config.costs));
-    }
+          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+          server_->id(), config.client_dc, config.costs));
+    });
   }
 
   void Start() {
@@ -35,17 +34,15 @@ class CloudOnlyDeployment {
     for (auto& c : clients_) c->Start();
   }
 
-  Simulation& sim() { return sim_; }
-  SimNetwork& net() { return *net_; }
+  Simulation& sim() { return topo_.sim(); }
+  SimNetwork& net() { return topo_.net(); }
   CloudOnlyServer& server() { return *server_; }
   CloudOnlyClient& client(size_t i = 0) { return *clients_.at(i); }
   size_t client_count() const { return clients_.size(); }
 
  private:
   DeploymentConfig config_;
-  Simulation sim_;
-  KeyStore keystore_;
-  std::unique_ptr<SimNetwork> net_;
+  Topology topo_;
   std::unique_ptr<CloudOnlyServer> server_;
   std::vector<std::unique_ptr<CloudOnlyClient>> clients_;
 };
@@ -54,23 +51,18 @@ class CloudOnlyDeployment {
 class EdgeBaselineDeployment {
  public:
   explicit EdgeBaselineDeployment(const DeploymentConfig& config)
-      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77) {
-    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
-    Signer cloud_s = keystore_.Register(Role::kCloud, "cloud");
-    cloud_ = std::make_unique<EbCloud>(&sim_, net_.get(), &keystore_, cloud_s,
-                                       config.cloud_dc, config.edge.lsm,
-                                       config.costs);
-    Signer edge_s = keystore_.Register(Role::kEdge, "edge-0");
-    edge_ = std::make_unique<EbEdge>(&sim_, net_.get(), &keystore_, edge_s,
-                                     cloud_->id(), config.edge_dc, config.edge,
-                                     config.costs);
-    for (size_t i = 0; i < config.num_clients; ++i) {
-      Signer cs = keystore_.Register(Role::kClient,
-                                     "client-" + std::to_string(i));
+      : config_(config), topo_(config.seed, config.net) {
+    cloud_ = std::make_unique<EbCloud>(
+        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
+        config.cloud_dc, config.edge.lsm, config.costs);
+    edge_ = std::make_unique<EbEdge>(
+        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(0),
+        cloud_->id(), config.edge_dc, config.edge, config.costs);
+    topo_.MakeClients(config.num_clients, [&](Signer s, size_t) {
       clients_.push_back(std::make_unique<EbClient>(
-          &sim_, net_.get(), &keystore_, cs, edge_->id(), config.client_dc,
-          config.costs));
-    }
+          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+          edge_->id(), config.client_dc, config.costs));
+    });
   }
 
   void Start() {
@@ -79,8 +71,8 @@ class EdgeBaselineDeployment {
     for (auto& c : clients_) c->Start();
   }
 
-  Simulation& sim() { return sim_; }
-  SimNetwork& net() { return *net_; }
+  Simulation& sim() { return topo_.sim(); }
+  SimNetwork& net() { return topo_.net(); }
   EbCloud& cloud() { return *cloud_; }
   EbEdge& edge() { return *edge_; }
   EbClient& client(size_t i = 0) { return *clients_.at(i); }
@@ -88,9 +80,7 @@ class EdgeBaselineDeployment {
 
  private:
   DeploymentConfig config_;
-  Simulation sim_;
-  KeyStore keystore_;
-  std::unique_ptr<SimNetwork> net_;
+  Topology topo_;
   std::unique_ptr<EbCloud> cloud_;
   std::unique_ptr<EbEdge> edge_;
   std::vector<std::unique_ptr<EbClient>> clients_;

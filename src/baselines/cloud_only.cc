@@ -1,5 +1,7 @@
 #include "baselines/cloud_only.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace wedge {
@@ -34,6 +36,14 @@ void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (!req.ok()) return;
       fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
         HandleRead(from, r, sim_->now());
+      });
+      break;
+    }
+    case MsgType::kScanRequest: {
+      auto req = ScanRequest::Decode(env->body);
+      if (!req.ok()) return;
+      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleScan(from, r, sim_->now());
       });
       break;
     }
@@ -80,6 +90,22 @@ void CloudOnlyServer::HandleRead(NodeId from, const CloudReadRequest& req,
   (void)now;
 }
 
+void CloudOnlyServer::HandleScan(NodeId from, const ScanRequest& req,
+                                 SimTime now) {
+  scans_served_++;
+  CloudScanResponse resp;
+  resp.req_id = req.req_id;
+  for (const auto& [key, value] : kv_) {
+    if (key >= req.lo && key <= req.hi) resp.pairs.push_back({key, value, 0});
+  }
+  std::sort(resp.pairs.begin(), resp.pairs.end(),
+            [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kCloudScanResponse,
+                            resp.Encode()));
+  (void)now;
+}
+
 CloudOnlyClient::CloudOnlyClient(Simulation* sim, SimNetwork* net,
                                  const KeyStore* keystore, Signer signer,
                                  NodeId server, Dc location, CostModel costs)
@@ -117,6 +143,13 @@ void CloudOnlyClient::Read(Key key, ReadCb cb) {
                             req.Encode()));
 }
 
+void CloudOnlyClient::Scan(Key lo, Key hi, ScanCb cb) {
+  ScanRequest req{next_req_++, lo, hi};
+  pending_scans_[req.req_id] = std::move(cb);
+  net_->Send(id(), server_,
+             Envelope::Seal(signer_, MsgType::kScanRequest, req.Encode()));
+}
+
 void CloudOnlyClient::OnMessage(NodeId from, Slice payload, SimTime now) {
   if (from != server_) return;
   auto env = Envelope::Open(*keystore_, payload);
@@ -141,6 +174,17 @@ void CloudOnlyClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       pending_reads_.erase(it);
       // Trusted result: no verification cost (Fig. 5d).
       if (cb) cb(Status::OK(), resp->found, resp->value, now);
+      break;
+    }
+    case MsgType::kCloudScanResponse: {
+      auto resp = CloudScanResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_scans_.find(resp->req_id);
+      if (it == pending_scans_.end()) return;
+      ScanCb cb = std::move(it->second);
+      pending_scans_.erase(it);
+      // Trusted result, like reads: no verification.
+      if (cb) cb(Status::OK(), resp->pairs, now);
       break;
     }
     default:

@@ -34,10 +34,12 @@ class CloudOnlyServer : public Endpoint {
 
   uint64_t blocks_committed() const { return blocks_committed_; }
   uint64_t reads_served() const { return reads_served_; }
+  uint64_t scans_served() const { return scans_served_; }
 
  private:
   void HandleWrite(NodeId from, const CloudWriteRequest& req, SimTime now);
   void HandleRead(NodeId from, const CloudReadRequest& req, SimTime now);
+  void HandleScan(NodeId from, const ScanRequest& req, SimTime now);
 
   Simulation* sim_;
   SimNetwork* net_;
@@ -52,6 +54,7 @@ class CloudOnlyServer : public Endpoint {
   std::unordered_map<Key, Bytes> kv_;
   uint64_t blocks_committed_ = 0;
   uint64_t reads_served_ = 0;
+  uint64_t scans_served_ = 0;
 };
 
 /// The cloud-only client: sends batches and interactive reads straight to
@@ -61,6 +64,8 @@ class CloudOnlyClient : public Endpoint {
   using WriteCb = std::function<void(const Status&, SimTime)>;
   using ReadCb =
       std::function<void(const Status&, bool found, const Bytes&, SimTime)>;
+  using ScanCb = std::function<void(const Status&, const std::vector<KvPair>&,
+                                    SimTime)>;
 
   CloudOnlyClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
                   Signer signer, NodeId server, Dc location, CostModel costs);
@@ -70,6 +75,9 @@ class CloudOnlyClient : public Endpoint {
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
   void Read(Key key, ReadCb cb);
+
+  /// Scans [lo, hi]; the result is trusted as-is (no proofs, like reads).
+  void Scan(Key lo, Key hi, ScanCb cb);
 
   void OnMessage(NodeId from, Slice payload, SimTime now) override;
 
@@ -86,6 +94,7 @@ class CloudOnlyClient : public Endpoint {
   SeqNum next_entry_seq_ = 1;
   std::unordered_map<SeqNum, WriteCb> pending_writes_;
   std::unordered_map<SeqNum, ReadCb> pending_reads_;
+  std::unordered_map<SeqNum, ScanCb> pending_scans_;
 };
 
 }  // namespace wedge

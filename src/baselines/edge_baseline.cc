@@ -148,6 +148,21 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       }
       break;
     }
+    case MsgType::kScanRequest: {
+      auto req = ScanRequest::Decode(env->body);
+      if (!req.ok()) return;
+      auto work = [this, from, r = *req] {
+        fg_.Execute(costs_.edge_read_serial, [this, from, r] {
+          HandleScan(from, r, sim_->now());
+        });
+      };
+      if (certify_in_flight_) {
+        deferred_reads_.push_back(std::move(work));
+      } else {
+        work();
+      }
+      break;
+    }
     case MsgType::kEbCertifyResponse: {
       if (from != cloud_) return;
       auto resp = EbCertifyResponse::Decode(env->body);
@@ -252,6 +267,16 @@ void EbEdge::HandleGet(NodeId from, const GetRequest& req, SimTime now) {
   (void)now;
 }
 
+void EbEdge::HandleScan(NodeId from, const ScanRequest& req, SimTime now) {
+  scans_served_++;
+  ScanResponse resp;
+  resp.req_id = req.req_id;
+  resp.body = AssembleScanResponse(lsm_, log_, req.lo, req.hi);
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kScanResponse, resp.Encode()));
+  (void)now;
+}
+
 // ----------------------------------------------------------------- client
 
 EbClient::EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
@@ -288,6 +313,13 @@ void EbClient::Get(Key key, GetCb cb) {
              Envelope::Seal(signer_, MsgType::kGetRequest, req.Encode()));
 }
 
+void EbClient::Scan(Key lo, Key hi, ScanCb cb) {
+  ScanRequest req{next_req_++, lo, hi};
+  pending_scans_[req.req_id] = {lo, hi, std::move(cb)};
+  net_->Send(id(), edge_,
+             Envelope::Seal(signer_, MsgType::kScanRequest, req.Encode()));
+}
+
 void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
   if (from != edge_) return;
   auto env = Envelope::Open(*keystore_, payload);
@@ -321,6 +353,30 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
         Status st = verified.status();
         sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
           if (cb) cb(st, VerifiedGet{}, verified_at);
+        });
+      }
+      break;
+    }
+    case MsgType::kScanResponse: {
+      auto resp = ScanResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_scans_.find(resp->req_id);
+      if (it == pending_scans_.end()) return;
+      PendingScan pending = std::move(it->second);
+      pending_scans_.erase(it);
+      const SimTime verified_at = now + costs_.client_verify_read;
+      auto verified = VerifyScanResponse(*keystore_, edge_, pending.lo,
+                                         pending.hi, resp->body);
+      ScanCb cb = std::move(pending.cb);
+      if (verified.ok()) {
+        VerifiedScan v = std::move(*verified);
+        sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+          if (cb) cb(Status::OK(), v, verified_at);
+        });
+      } else {
+        Status st = verified.status();
+        sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+          if (cb) cb(st, VerifiedScan{}, verified_at);
         });
       }
       break;

@@ -90,6 +90,7 @@ class EbEdge : public Endpoint {
   const LsmerkleTree& lsm() const { return lsm_; }
   uint64_t writes_committed() const { return writes_committed_; }
   uint64_t gets_served() const { return gets_served_; }
+  uint64_t scans_served() const { return scans_served_; }
 
  private:
   struct PendingWrite {
@@ -100,6 +101,7 @@ class EbEdge : public Endpoint {
 
   void HandleWrite(NodeId from, AddRequest req, SimTime now);
   void HandleGet(NodeId from, const GetRequest& req, SimTime now);
+  void HandleScan(NodeId from, const ScanRequest& req, SimTime now);
   void HandleCertifyResponse(EbCertifyResponse resp, SimTime now);
   void TrySendNextCertify();
   void DrainDeferredReads();
@@ -129,6 +131,7 @@ class EbEdge : public Endpoint {
 
   uint64_t writes_committed_ = 0;
   uint64_t gets_served_ = 0;
+  uint64_t scans_served_ = 0;
 };
 
 /// The edge-baseline client: batched writes, interactive verified gets.
@@ -137,6 +140,8 @@ class EbClient : public Endpoint {
   using WriteCb = std::function<void(const Status&, SimTime)>;
   using GetCb =
       std::function<void(const Status&, const VerifiedGet&, SimTime)>;
+  using ScanCb =
+      std::function<void(const Status&, const VerifiedScan&, SimTime)>;
 
   EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
            Signer signer, NodeId edge, Dc location, CostModel costs);
@@ -146,6 +151,10 @@ class EbClient : public Endpoint {
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
   void Get(Key key, GetCb cb);
+
+  /// Scans [lo, hi] with the same completeness-proof verification as the
+  /// WedgeChain client: the mirrored certified state carries proofs.
+  void Scan(Key lo, Key hi, ScanCb cb);
 
   void OnMessage(NodeId from, Slice payload, SimTime now) override;
 
@@ -162,6 +171,12 @@ class EbClient : public Endpoint {
   SeqNum next_entry_seq_ = 1;
   std::unordered_map<SeqNum, WriteCb> pending_writes_;
   std::unordered_map<SeqNum, std::pair<Key, GetCb>> pending_gets_;
+  struct PendingScan {
+    Key lo = 0;
+    Key hi = 0;
+    ScanCb cb;
+  };
+  std::unordered_map<SeqNum, PendingScan> pending_scans_;
 };
 
 }  // namespace wedge

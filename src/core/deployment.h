@@ -2,7 +2,9 @@
 // keystore, trust authority, network, one cloud, one edge (the paper
 // reports single-partition results, §VI), and N clients.
 //
-// Used by integration tests, benchmarks, and examples.
+// Used by integration tests, benchmarks, and examples — usually through
+// the wedge::Store façade (api/store.h), which owns a Deployment when
+// opened with BackendKind::kWedge.
 
 #pragma once
 
@@ -13,6 +15,7 @@
 #include "core/cloud_node.h"
 #include "core/config.h"
 #include "core/edge_node.h"
+#include "core/topology.h"
 #include "core/trust_authority.h"
 #include "simnet/cost_model.h"
 #include "simnet/network.h"
@@ -39,34 +42,27 @@ struct DeploymentConfig {
 class Deployment {
  public:
   explicit Deployment(const DeploymentConfig& config)
-      : config_(config), sim_(config.seed), keystore_(config.seed ^ 0x9e77),
-        authority_(&keystore_) {
-    net_ = std::make_unique<SimNetwork>(&sim_, config.net);
-
-    Signer cloud_signer = keystore_.Register(Role::kCloud, "cloud");
-    cloud_ = std::make_unique<CloudNode>(&sim_, net_.get(), &keystore_,
-                                         &authority_, cloud_signer,
-                                         config.cloud_dc, config.cloud,
-                                         config.costs);
+      : config_(config), topo_(config.seed, config.net),
+        authority_(&topo_.keystore()) {
+    cloud_ = std::make_unique<CloudNode>(
+        &topo_.sim(), &topo_.net(), &topo_.keystore(), &authority_,
+        topo_.RegisterCloud(), config.cloud_dc, config.cloud, config.costs);
 
     const size_t num_edges = config.num_edges == 0 ? 1 : config.num_edges;
     for (size_t e = 0; e < num_edges; ++e) {
-      Signer edge_signer =
-          keystore_.Register(Role::kEdge, "edge-" + std::to_string(e));
       edges_.push_back(std::make_unique<EdgeNode>(
-          &sim_, net_.get(), &keystore_, edge_signer, cloud_->id(),
-          config.edge_dc, config.edge, config.costs));
+          &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(e),
+          cloud_->id(), config.edge_dc, config.edge, config.costs));
     }
 
-    for (size_t i = 0; i < config.num_clients; ++i) {
-      Signer s = keystore_.Register(Role::kClient,
-                                    "client-" + std::to_string(i));
+    topo_.MakeClients(config.num_clients, [&](Signer s, size_t i) {
       // Each client belongs to one partition/edge (§III).
       EdgeNode* home = edges_[i % edges_.size()].get();
       clients_.push_back(std::make_unique<WedgeClient>(
-          &sim_, net_.get(), &keystore_, s, home->id(), cloud_->id(),
-          config.client_dc, config.client, config.costs));
-    }
+          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+          home->id(), cloud_->id(), config.client_dc, config.client,
+          config.costs));
+    });
   }
 
   /// Attaches every node to the network and starts timers/gossip.
@@ -80,9 +76,9 @@ class Deployment {
     }
   }
 
-  Simulation& sim() { return sim_; }
-  SimNetwork& net() { return *net_; }
-  KeyStore& keystore() { return keystore_; }
+  Simulation& sim() { return topo_.sim(); }
+  SimNetwork& net() { return topo_.net(); }
+  KeyStore& keystore() { return topo_.keystore(); }
   TrustAuthority& authority() { return authority_; }
   CloudNode& cloud() { return *cloud_; }
   EdgeNode& edge(size_t i = 0) { return *edges_.at(i); }
@@ -93,10 +89,8 @@ class Deployment {
 
  private:
   DeploymentConfig config_;
-  Simulation sim_;
-  KeyStore keystore_;
+  Topology topo_;
   TrustAuthority authority_;
-  std::unique_ptr<SimNetwork> net_;
   std::unique_ptr<CloudNode> cloud_;
   std::vector<std::unique_ptr<EdgeNode>> edges_;
   std::vector<std::unique_ptr<WedgeClient>> clients_;

@@ -1,0 +1,54 @@
+// Topology: the substrate every deployment shares — the simulator, the
+// identity keystore, and the simulated network, seeded identically so
+// WedgeChain and the two baselines are compared on the same virtual
+// world. The registration helpers keep node naming ("cloud", "edge-N",
+// "client-N") consistent across all three deployments.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/signature.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+
+namespace wedge {
+
+class Topology {
+ public:
+  Topology(uint64_t seed, const NetworkConfig& net_config)
+      : sim_(seed), keystore_(seed ^ 0x9e77) {
+    net_ = std::make_unique<SimNetwork>(&sim_, net_config);
+  }
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+  KeyStore& keystore() { return keystore_; }
+  const KeyStore& keystore() const { return keystore_; }
+
+  Signer RegisterCloud() { return keystore_.Register(Role::kCloud, "cloud"); }
+  Signer RegisterEdge(size_t i) {
+    return keystore_.Register(Role::kEdge, "edge-" + std::to_string(i));
+  }
+  Signer RegisterClient(size_t i) {
+    return keystore_.Register(Role::kClient, "client-" + std::to_string(i));
+  }
+
+  /// Registers `n` client identities and calls `make(signer, index)` for
+  /// each — the client-construction loop shared by all deployments.
+  template <typename MakeFn>
+  void MakeClients(size_t n, MakeFn make) {
+    for (size_t i = 0; i < n; ++i) make(RegisterClient(i), i);
+  }
+
+ private:
+  Simulation sim_;
+  KeyStore keystore_;
+  std::unique_ptr<SimNetwork> net_;
+};
+
+}  // namespace wedge

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/codec.h"
@@ -34,7 +35,9 @@ struct Block {
     WEDGE_ASSIGN_OR_RETURN(b.created_at, dec->GetI64());
     uint32_t n = 0;
     WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
-    b.entries.reserve(n);
+    // A corrupted count must not drive a huge allocation: each entry
+    // consumes at least one input byte, so `remaining()` bounds it.
+    b.entries.reserve(std::min<size_t>(n, dec->remaining()));
     for (uint32_t i = 0; i < n; ++i) {
       auto e = Entry::DecodeFrom(dec);
       if (!e.ok()) return e.status();

@@ -42,7 +42,7 @@ Result<Page> Page::DecodeFrom(Decoder* dec) {
   WEDGE_ASSIGN_OR_RETURN(pg.created_at, dec->GetI64());
   uint32_t n = 0;
   WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
-  pg.pairs.reserve(n);
+  pg.pairs.reserve(std::min<size_t>(n, dec->remaining()));
   for (uint32_t i = 0; i < n; ++i) {
     auto p = KvPair::DecodeFrom(dec);
     if (!p.ok()) return p.status();

@@ -18,7 +18,7 @@ Result<ScanLevelRun> ScanLevelRun::DecodeFrom(Decoder* dec) {
   WEDGE_ASSIGN_OR_RETURN(run.level, dec->GetU32());
   uint32_t npages = 0;
   WEDGE_ASSIGN_OR_RETURN(npages, dec->GetU32());
-  run.pages.reserve(npages);
+  run.pages.reserve(std::min<size_t>(npages, dec->remaining()));
   for (uint32_t i = 0; i < npages; ++i) {
     auto p = Page::DecodeFrom(dec);
     if (!p.ok()) return p.status();
@@ -26,7 +26,7 @@ Result<ScanLevelRun> ScanLevelRun::DecodeFrom(Decoder* dec) {
   }
   uint32_t nproofs = 0;
   WEDGE_ASSIGN_OR_RETURN(nproofs, dec->GetU32());
-  run.proofs.reserve(nproofs);
+  run.proofs.reserve(std::min<size_t>(nproofs, dec->remaining()));
   for (uint32_t i = 0; i < nproofs; ++i) {
     auto p = MerkleProof::DecodeFrom(dec);
     if (!p.ok()) return p.status();
@@ -61,7 +61,7 @@ Result<ScanResponseBody> ScanResponseBody::DecodeFrom(Decoder* dec) {
   WEDGE_ASSIGN_OR_RETURN(b.hi, dec->GetU64());
   uint32_t npairs = 0;
   WEDGE_ASSIGN_OR_RETURN(npairs, dec->GetU32());
-  b.pairs.reserve(npairs);
+  b.pairs.reserve(std::min<size_t>(npairs, dec->remaining()));
   for (uint32_t i = 0; i < npairs; ++i) {
     auto p = KvPair::DecodeFrom(dec);
     if (!p.ok()) return p.status();

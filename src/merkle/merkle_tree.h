@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/codec.h"
@@ -58,7 +59,7 @@ struct MerkleProof {
     WEDGE_ASSIGN_OR_RETURN(p.leaf_count, dec->GetU32());
     uint32_t n = 0;
     WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
-    p.steps.reserve(n);
+    p.steps.reserve(std::min<size_t>(n, dec->remaining()));
     for (uint32_t i = 0; i < n; ++i) {
       auto s = MerkleStep::DecodeFrom(dec);
       if (!s.ok()) return s.status();

@@ -168,7 +168,7 @@ Result<CloudStorage::RecoveredState> CloudStorage::Recover(
           WEDGE_ASSIGN_OR_RETURN(epoch, dec.GetU64());
           WEDGE_ASSIGN_OR_RETURN(n, dec.GetU32());
           std::vector<Digest256> roots;
-          roots.reserve(n);
+          roots.reserve(std::min<size_t>(n, dec.remaining()));
           for (uint32_t i = 0; i < n; ++i) {
             Digest256 r;
             WEDGE_ASSIGN_OR_RETURN(r, Digest256::DecodeFrom(&dec));

@@ -56,8 +56,9 @@ enum class MsgType : uint8_t {
   kBackupBlocks = 27,  // cloud -> edge: backed-up blocks + certificates
 
   // -------- verifiable range scans (extension) --------
-  kScanRequest = 28,   // client -> edge
+  kScanRequest = 28,   // client -> edge (also client -> cloud-only server)
   kScanResponse = 29,  // edge -> client, proof-carrying
+  kCloudScanResponse = 30,  // cloud-only: trusted scan result, no proofs
 };
 
 std::string_view MsgTypeToString(MsgType type);

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -578,6 +579,34 @@ struct CloudReadResponse {
   WEDGE_MSG_HELPERS(CloudReadResponse)
 };
 
+/// Cloud-only scan: the trusted server's answer to a kScanRequest —
+/// newest value per key in [lo, hi], ascending, no proofs (the client
+/// fully trusts the cloud).
+struct CloudScanResponse {
+  SeqNum req_id = 0;
+  std::vector<KvPair> pairs;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(req_id);
+    enc->PutU32(static_cast<uint32_t>(pairs.size()));
+    for (const auto& p : pairs) p.EncodeTo(enc);
+  }
+  static Result<CloudScanResponse> DecodeFrom(Decoder* dec) {
+    CloudScanResponse m;
+    WEDGE_ASSIGN_OR_RETURN(m.req_id, dec->GetU64());
+    uint32_t n = 0;
+    WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
+    m.pairs.reserve(std::min<size_t>(n, dec->remaining()));
+    for (uint32_t i = 0; i < n; ++i) {
+      auto p = KvPair::DecodeFrom(dec);
+      if (!p.ok()) return p.status();
+      m.pairs.push_back(std::move(*p));
+    }
+    return m;
+  }
+  WEDGE_MSG_HELPERS(CloudScanResponse)
+};
+
 /// Edge-baseline edge -> cloud: the full block (not just a digest — this
 /// is precisely what data-free certification avoids).
 struct EbCertify {
@@ -720,7 +749,7 @@ struct BackupBlocks {
     WEDGE_ASSIGN_OR_RETURN(m.complete, dec->GetBool());
     uint32_t n = 0;
     WEDGE_ASSIGN_OR_RETURN(n, dec->GetU32());
-    m.items.reserve(n);
+    m.items.reserve(std::min<size_t>(n, dec->remaining()));
     for (uint32_t i = 0; i < n; ++i) {
       auto it = BackupItem::DecodeFrom(dec);
       if (!it.ok()) return it.status();

@@ -1,0 +1,245 @@
+// Tests for the wedge::Store façade (api/store.h): the identical call
+// sequence on all three backends, CommitHandle phase ordering, the
+// backend capability surface, and a malicious edge surfacing as
+// SecurityViolation through the façade.
+
+#include <gtest/gtest.h>
+
+#include "api/store.h"
+#include "baselines/baseline_deployment.h"
+#include "core/deployment.h"
+
+namespace wedge {
+namespace {
+
+StoreOptions SmallOptions(BackendKind kind) {
+  StoreOptions o;
+  o.WithBackend(kind)
+      .WithSeed(7)
+      .WithOpsPerBlock(4)
+      .WithLsm({3, 2, 8}, 8)
+      .WithProofTimeout(2 * kSecond);
+  o.deploy.net.jitter_frac = 0.0;
+  return o;
+}
+
+Bytes Val(uint8_t tag) { return Bytes(16, tag); }
+
+class StoreApiTest : public ::testing::TestWithParam<BackendKind> {};
+
+// The acceptance sequence: the same puts, gets and scans against every
+// backend, switched by one option.
+TEST_P(StoreApiTest, PutGetScanRoundTrip) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 10; k < 14; ++k) kvs.emplace_back(k, Val(1));
+  CommitHandle write = store.PutBatch(kvs);
+
+  auto p1 = write.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  auto p2 = write.WaitPhase2();
+  ASSERT_TRUE(p2.ok()) << p2.status();
+  EXPECT_GE(p2->at, p1->at);
+
+  for (Key k = 10; k < 14; ++k) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->found) << "key " << k;
+    EXPECT_EQ(got->value, Val(1));
+  }
+
+  // Proof of absence (or a trusted miss, for cloud-only).
+  auto miss = store.Get(999);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->found);
+
+  // Scan covers exactly the written range, ascending.
+  auto scan = store.Scan(10, 13);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->pairs.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(scan->pairs[i].key, 10 + i);
+    EXPECT_EQ(scan->pairs[i].value, Val(1));
+  }
+
+  // Overwrites: the newest version must win in gets and scans alike.
+  std::vector<std::pair<Key, Bytes>> overwrite;
+  for (Key k = 10; k < 14; ++k) overwrite.emplace_back(k, Val(2));
+  auto w2 = store.PutBatch(overwrite).WaitPhase2();
+  ASSERT_TRUE(w2.ok()) << w2.status();
+
+  auto got = store.Get(12);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(2));
+  auto scan2 = store.Scan(10, 13);
+  ASSERT_TRUE(scan2.ok()) << scan2.status();
+  ASSERT_EQ(scan2->pairs.size(), 4u);
+  for (const auto& p : scan2->pairs) EXPECT_EQ(p.value, Val(2));
+}
+
+// Only the edge backends verify proofs; cloud-only trusts the server.
+TEST_P(StoreApiTest, VerificationFlagMatchesBackend) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(store.PutBatch({{1, Val(3)}, {2, Val(3)}, {3, Val(3)},
+                              {4, Val(3)}})
+                  .WaitPhase2()
+                  .ok());
+  auto got = store.Get(1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->verified, GetParam() != BackendKind::kCloudOnly);
+}
+
+TEST_P(StoreApiTest, InvalidClientIndexIsAnError) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  auto got = store.Get(1, /*client=*/5);
+  EXPECT_TRUE(got.status().IsInvalidArgument());
+
+  auto commit = store.Put(1, Val(1), /*client=*/5).WaitPhase1();
+  EXPECT_TRUE(commit.status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StoreApiTest, ::testing::ValuesIn(kAllBackends),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      std::string name(BackendKindToString(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------- phase semantics
+
+// WedgeChain: Phase I is an edge-latency commit, Phase II completes
+// strictly later, once the far-away cloud certified the digest.
+TEST(CommitHandleTest, WedgePhase1CommitsBeforePhase2) {
+  auto opened = Store::Open(SmallOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  CommitHandle h = store.Put(42, Val(1));
+  // One put of a 4-op block: the partial-flush timer forms the block.
+  auto p1 = h.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  EXPECT_TRUE(h.phase1_done());
+  EXPECT_FALSE(h.phase2_done()) << "certification cannot have finished at "
+                                   "Phase I commit time";
+
+  auto p2 = h.WaitPhase2();
+  ASSERT_TRUE(p2.ok()) << p2.status();
+  EXPECT_LT(p1->at, p2->at);
+  EXPECT_EQ(p1->block, p2->block);
+
+  // Waits are idempotent once complete.
+  EXPECT_TRUE(h.WaitPhase1().ok());
+  EXPECT_TRUE(h.WaitPhase2().ok());
+}
+
+// Baselines certify synchronously: their single commit is both phases.
+TEST(CommitHandleTest, BaselinesCollapsePhases) {
+  for (BackendKind kind :
+       {BackendKind::kEdgeBaseline, BackendKind::kCloudOnly}) {
+    auto opened = Store::Open(SmallOptions(kind));
+    ASSERT_TRUE(opened.ok());
+    Store store = std::move(*opened);
+
+    CommitHandle h = store.PutBatch({{1, Val(1)}, {2, Val(1)}});
+    auto p1 = h.WaitPhase1();
+    ASSERT_TRUE(p1.ok()) << p1.status();
+    EXPECT_TRUE(h.phase2_done());
+    auto p2 = h.WaitPhase2();
+    ASSERT_TRUE(p2.ok());
+    EXPECT_EQ(p1->at, p2->at);
+  }
+}
+
+// ------------------------------------------------- capability surface
+
+TEST(StoreCapabilityTest, AppendAndReadBlockOnWedge) {
+  auto opened = Store::Open(SmallOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  CommitHandle h = store.Append(
+      {Bytes{'a'}, Bytes{'b'}, Bytes{'c'}, Bytes{'d'}});
+  auto p1 = h.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  ASSERT_TRUE(h.WaitPhase2().ok());
+
+  auto read = store.ReadBlock(p1->block);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->block.id, p1->block);
+  EXPECT_EQ(read->block.entries.size(), 4u);
+  EXPECT_TRUE(read->phase2);
+}
+
+TEST(StoreCapabilityTest, AppendAndReadBlockUnsupportedOnBaselines) {
+  for (BackendKind kind :
+       {BackendKind::kEdgeBaseline, BackendKind::kCloudOnly}) {
+    auto opened = Store::Open(SmallOptions(kind));
+    ASSERT_TRUE(opened.ok());
+    Store store = std::move(*opened);
+
+    auto append = store.Append({Bytes{'x'}}).WaitPhase1();
+    EXPECT_TRUE(append.status().IsNotImplemented()) << append.status();
+    auto read = store.ReadBlock(0);
+    EXPECT_TRUE(read.status().IsNotImplemented()) << read.status();
+  }
+}
+
+// ------------------------------------------------- malicious edge
+
+// A lying edge must surface as SecurityViolation through the façade —
+// never as silently wrong data (§IV-E / §V-B).
+TEST(MaliciousEdgeTest, TamperedGetSurfacesAsSecurityViolation) {
+  auto opened = Store::Open(SmallOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+  store.wedge().edge().misbehavior().tamper_get_value = true;
+
+  ASSERT_TRUE(store.PutBatch({{7, Val(1)}, {8, Val(1)}, {9, Val(1)},
+                              {10, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  auto got = store.Get(7);
+  EXPECT_TRUE(got.status().IsSecurityViolation()) << got.status();
+  EXPECT_GE(store.wedge().client().stats().verification_failures, 1u);
+}
+
+TEST(MaliciousEdgeTest, TruncatedScanSurfacesAsSecurityViolation) {
+  StoreOptions o = SmallOptions(BackendKind::kWedge);
+  o.WithLsm({2, 2, 8}, 4);  // small pages: scans span multi-page runs
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  for (Key base = 0; base < 32; base += 4) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (Key k = base; k < base + 4; ++k) kvs.emplace_back(k, Val(5));
+    ASSERT_TRUE(store.PutBatch(kvs).WaitPhase1().ok());
+  }
+  store.RunFor(10 * kSecond);  // let merges build level runs
+
+  // Honest scan verifies.
+  auto honest = store.Scan(0, 31);
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->pairs.size(), 32u);
+
+  // A truncating edge breaks run adjacency/coverage: detected.
+  store.wedge().edge().misbehavior().truncate_scans = true;
+  auto truncated = store.Scan(0, 31);
+  EXPECT_TRUE(truncated.status().IsSecurityViolation())
+      << truncated.status();
+}
+
+}  // namespace
+}  // namespace wedge
