@@ -16,7 +16,8 @@ StoreOptions MakeStoreOptions(BackendKind kind, const ExperimentConfig& cfg) {
       .WithLocations(cfg.client_dc, cfg.edge_dc, cfg.cloud_dc)
       .WithOpsPerBlock(cfg.spec.ops_per_batch)
       .WithLsm(cfg.lsm_thresholds, cfg.page_pairs)
-      .WithProofTimeout(30 * kSecond);  // generous; honest runs
+      .WithProofTimeout(30 * kSecond)  // generous; honest runs
+      .WithVerifierCache(cfg.verify_cache);
   o.deploy.edge.ship_full_blocks = cfg.certify_full_blocks;
   return o;
 }

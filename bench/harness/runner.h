@@ -33,6 +33,9 @@ struct ExperimentConfig {
   size_t page_pairs = 100;
   /// Ablation: ship full blocks with certification instead of digests.
   bool certify_full_blocks = false;
+  /// Ablation: disable the client-side VerifierCache (reproduces the
+  /// paper's verify-every-response read cost in wall time).
+  bool verify_cache = true;
   /// Ablation: clients block on Phase II instead of Phase I (disables the
   /// "lazy" in lazy certification).
   bool wait_phase2 = false;

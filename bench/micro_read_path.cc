@@ -4,7 +4,11 @@
 //
 // Fig. 5d reports 0.71 ms best-case read latency for the edge systems,
 // 0.19 ms of which is client-side verification. These benchmarks measure
-// the same two components on this hardware.
+// the same two components on this hardware, plus the effect of the
+// client-side VerifierCache (cold = first request fills it, warm =
+// steady state). Run with
+//   --benchmark_out=BENCH_read_path.json --benchmark_out_format=json
+// to record the perf trajectory (CI does).
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +18,7 @@
 #include "log/edge_log.h"
 #include "lsmerkle/merge.h"
 #include "lsmerkle/scan_proof.h"
+#include "lsmerkle/verifier_cache.h"
 
 namespace wedge {
 namespace {
@@ -86,6 +91,41 @@ void BM_VerifyGetResponse(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyGetResponse);
 
+/// Steady state with the VerifierCache: everything in the response was
+/// verified before, so the request only pays content comparison. The
+/// acceptance bar is >= 2x over BM_VerifyGetResponse.
+void BM_VerifyGetResponseWarmCache(benchmark::State& state) {
+  ReadFixture f;
+  const Key key = 12345 % f.key_space;
+  auto body = AssembleGetResponse(f.tree, f.log, key);
+  VerifierCache cache;
+  GetVerifyOptions opts;
+  opts.cache = &cache;
+  benchmark::DoNotOptimize(
+      VerifyGetResponse(f.ks, f.edge.id(), key, body, opts));  // warm it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyGetResponse(f.ks, f.edge.id(), key, body, opts));
+  }
+}
+BENCHMARK(BM_VerifyGetResponseWarmCache);
+
+/// First-request cost with an empty cache: full verification plus the
+/// price of building cache entries (per-block key indexes).
+void BM_VerifyGetResponseColdCache(benchmark::State& state) {
+  ReadFixture f;
+  const Key key = 12345 % f.key_space;
+  auto body = AssembleGetResponse(f.tree, f.log, key);
+  for (auto _ : state) {
+    VerifierCache cache;
+    GetVerifyOptions opts;
+    opts.cache = &cache;
+    benchmark::DoNotOptimize(
+        VerifyGetResponse(f.ks, f.edge.id(), key, body, opts));
+  }
+}
+BENCHMARK(BM_VerifyGetResponseColdCache);
+
 void BM_AssembleScanResponse(benchmark::State& state) {
   ReadFixture f;
   const Key span = static_cast<Key>(state.range(0));
@@ -110,6 +150,23 @@ void BM_VerifyScanResponse(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyScanResponse)->Arg(100)->Arg(10000);
 
+void BM_VerifyScanResponseWarmCache(benchmark::State& state) {
+  ReadFixture f;
+  const Key span = static_cast<Key>(state.range(0));
+  const Key lo = 1000;
+  auto body = AssembleScanResponse(f.tree, f.log, lo, lo + span);
+  VerifierCache cache;
+  GetVerifyOptions opts;
+  opts.cache = &cache;
+  benchmark::DoNotOptimize(
+      VerifyScanResponse(f.ks, f.edge.id(), lo, lo + span, body, opts));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyScanResponse(f.ks, f.edge.id(), lo, lo + span, body, opts));
+  }
+}
+BENCHMARK(BM_VerifyScanResponseWarmCache)->Arg(100)->Arg(10000);
+
 /// The end-to-end local read: assemble + verify, what Fig. 5d calls the
 /// best-case read latency of the edge systems.
 void BM_GetRoundTrip(benchmark::State& state) {
@@ -127,11 +184,15 @@ BENCHMARK(BM_GetRoundTrip);
 /// -> client over the simulated network, proof assembly and verification
 /// included. Wall time per iteration is the real CPU cost of the full
 /// read path plus the simulator/façade overhead on top of the components
-/// measured above.
+/// measured above. Arg: 0 = VerifierCache off (the paper's
+/// verify-every-response cost; the fig5_multiclient 10k-key fixture),
+/// 1 = on (the new default).
 void BM_StoreGetEndToEnd(benchmark::State& state) {
   constexpr uint64_t kKeySpace = 10000;
   StoreOptions o;
-  o.WithOpsPerBlock(100).WithLsm({10, 10, 100, 1000}, 100);
+  o.WithOpsPerBlock(100)
+      .WithLsm({10, 10, 100, 1000}, 100)
+      .WithVerifierCache(state.range(0) != 0);
   o.deploy.net.jitter_frac = 0;
   Store store = *Store::Open(o);
   Rng rng(7);
@@ -148,7 +209,7 @@ void BM_StoreGetEndToEnd(benchmark::State& state) {
     benchmark::DoNotOptimize(got);
   }
 }
-BENCHMARK(BM_StoreGetEndToEnd);
+BENCHMARK(BM_StoreGetEndToEnd)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace wedge

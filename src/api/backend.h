@@ -88,17 +88,19 @@ class StoreBackend {
                         const std::vector<std::pair<Key, Bytes>>& kvs,
                         CommitCb on_phase1, CommitCb on_phase2) = 0;
 
-  /// Appends raw log entries (WedgeChain only; baselines report
-  /// NotImplemented through both callbacks).
+  /// Appends raw log entries. Supported by all three systems, so log
+  /// workloads run apples-to-apples: WedgeChain commits in two phases,
+  /// the baselines certify synchronously (both phases fire together).
   virtual void Append(size_t client, std::vector<Bytes> payloads,
-                      CommitCb on_phase1, CommitCb on_phase2);
+                      CommitCb on_phase1, CommitCb on_phase2) = 0;
 
   virtual void Get(size_t client, Key key, GetCb cb) = 0;
 
   virtual void Scan(size_t client, Key lo, Key hi, ScanCb cb) = 0;
 
-  /// Reads log block `bid` (WedgeChain only).
-  virtual void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb);
+  /// Reads log block `bid`: proof-verified on the edge systems, trusted
+  /// on cloud-only.
+  virtual void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) = 0;
 
   /// The concrete deployment, for instrumentation (stats, misbehaviour
   /// injection, trust-authority queries). Null unless `kind()` matches.

@@ -12,19 +12,6 @@ namespace wedge {
 
 namespace {
 
-Status Unsupported(const char* op, BackendKind kind) {
-  return Status::NotImplemented(
-      std::string(op) + " is not supported by the " +
-      std::string(BackendKindToString(kind)) + " backend");
-}
-
-void FailBothPhases(const Status& status, SimTime now,
-                    StoreBackend::CommitCb& on_phase1,
-                    StoreBackend::CommitCb& on_phase2) {
-  if (on_phase1) on_phase1(status, 0, now);
-  if (on_phase2) on_phase2(status, 0, now);
-}
-
 GetResult FromVerified(const VerifiedGet& v, SimTime at) {
   GetResult r;
   r.found = v.found;
@@ -46,7 +33,7 @@ ScanResult FromVerifiedScan(const VerifiedScan& v, SimTime at) {
 }
 
 /// Both baselines certify synchronously: their single commit point fires
-/// Phase I and Phase II together.
+/// Phase I and Phase II together, with the real block id in both acks.
 StoreBackend::CommitCb CollapsePhases(StoreBackend::CommitCb on_phase1,
                                       StoreBackend::CommitCb on_phase2) {
   return [p1 = std::move(on_phase1),
@@ -54,6 +41,14 @@ StoreBackend::CommitCb CollapsePhases(StoreBackend::CommitCb on_phase1,
     if (p1) p1(s, bid, t);
     if (p2) p2(s, bid, t);
   };
+}
+
+BlockRead FromBlock(const Block& b, SimTime at) {
+  BlockRead r;
+  r.block = b;
+  r.phase2 = true;  // both baselines deliver only certified/final blocks
+  r.at = at;
+  return r;
 }
 
 // ------------------------------------------------------------- WedgeChain
@@ -129,8 +124,14 @@ class EdgeBaselineBackend : public StoreBackend {
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override {
     d_.client(client).WriteBatch(
-        kvs, [cb = CollapsePhases(std::move(on_phase1), std::move(on_phase2))](
-                 const Status& s, SimTime t) { cb(s, 0, t); });
+        kvs, CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+  }
+
+  void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
+              CommitCb on_phase2) override {
+    d_.client(client).AppendBatch(
+        std::move(payloads),
+        CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
   }
 
   void Get(size_t client, Key key, GetCb cb) override {
@@ -145,6 +146,13 @@ class EdgeBaselineBackend : public StoreBackend {
         [cb = std::move(cb)](const Status& s, const VerifiedScan& v,
                              SimTime t) {
           cb(s, FromVerifiedScan(v, t), t);
+        });
+  }
+
+  void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
+    d_.client(client).ReadBlock(
+        bid, [cb = std::move(cb)](const Status& s, const Block& b, SimTime t) {
+          cb(s, FromBlock(b, t), t);
         });
   }
 
@@ -169,8 +177,21 @@ class CloudOnlyBackend : public StoreBackend {
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override {
     d_.client(client).WriteBatch(
-        kvs, [cb = CollapsePhases(std::move(on_phase1), std::move(on_phase2))](
-                 const Status& s, SimTime t) { cb(s, 0, t); });
+        kvs, CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+  }
+
+  void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
+              CommitCb on_phase2) override {
+    d_.client(client).AppendBatch(
+        std::move(payloads),
+        CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+  }
+
+  void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
+    d_.client(client).ReadBlock(
+        bid, [cb = std::move(cb)](const Status& s, const Block& b, SimTime t) {
+          cb(s, FromBlock(b, t), t);
+        });
   }
 
   void Get(size_t client, Key key, GetCb cb) override {
@@ -206,22 +227,6 @@ class CloudOnlyBackend : public StoreBackend {
 };
 
 }  // namespace
-
-// ----------------------------------------------------- default overrides
-
-void StoreBackend::Append(size_t client, std::vector<Bytes> payloads,
-                          CommitCb on_phase1, CommitCb on_phase2) {
-  (void)client;
-  (void)payloads;
-  FailBothPhases(Unsupported("Append", kind()), sim().now(), on_phase1,
-                 on_phase2);
-}
-
-void StoreBackend::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
-  (void)client;
-  (void)bid;
-  if (cb) cb(Unsupported("ReadBlock", kind()), BlockRead{}, sim().now());
-}
 
 std::string_view BackendKindToString(BackendKind kind) {
   switch (kind) {

@@ -104,6 +104,13 @@ struct StoreOptions {
     deploy.client.proof_timeout = timeout;
     return *this;
   }
+  /// Client-side memoization of verified proof material (root/block
+  /// certificates, level-part proofs) across reads. On by default; turn
+  /// off to reproduce the paper's verify-every-response read cost.
+  StoreOptions& WithVerifierCache(bool on) {
+    deploy.client.verify_cache = on;
+    return *this;
+  }
   StoreOptions& WithOpTimeout(SimTime timeout) {
     op_timeout = timeout;
     return *this;

@@ -78,7 +78,8 @@ class Store {
   CommitHandle PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
                         size_t client = 0);
 
-  /// Appends raw log entries (WedgeChain backend only).
+  /// Appends raw log entries. All three backends support log workloads:
+  /// the baselines certify synchronously, so both phases commit together.
   CommitHandle Append(std::vector<Bytes> payloads, size_t client = 0);
 
   // -------------------------------------------------------------- reads
@@ -92,7 +93,8 @@ class Store {
   /// missing keys.
   Result<ScanResult> Scan(Key lo, Key hi, size_t client = 0);
 
-  /// Reads log block `bid` (WedgeChain backend only).
+  /// Reads log block `bid`: proof-verified on the edge backends, trusted
+  /// on cloud-only.
   Result<BlockRead> ReadBlock(BlockId bid, size_t client = 0);
 
   // ----------------------------------------------- simulation & access

@@ -61,7 +61,7 @@ class EdgeBaselineDeployment {
     topo_.MakeClients(config.num_clients, [&](Signer s, size_t) {
       clients_.push_back(std::make_unique<EbClient>(
           &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
-          edge_->id(), config.client_dc, config.costs));
+          edge_->id(), config.client_dc, config.costs, config.client));
     });
   }
 

@@ -47,6 +47,14 @@ void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
       });
       break;
     }
+    case MsgType::kReadRequest: {
+      auto req = ReadRequest::Decode(env->body);
+      if (!req.ok()) return;
+      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleReadBlock(from, r, sim_->now());
+      });
+      break;
+    }
     default:
       break;
   }
@@ -60,10 +68,12 @@ void CloudOnlyServer::HandleWrite(NodeId from, const CloudWriteRequest& req,
   block.created_at = now;
   for (const Entry& e : req.entries) {
     if (!e.Validate(*keystore_).ok()) continue;
-    if (req.is_kv) {
-      auto op = DecodePutPayload(e.payload);
-      if (op.ok()) kv_[op->key] = op->value;
-    }
+    // Content-defined kv-ness, the same rule as the edge systems: an
+    // entry is a put iff its payload decodes as one, regardless of the
+    // request's (advisory) is_kv flag — so the identical call sequence
+    // yields identical results on every backend.
+    auto op = DecodePutPayload(e.payload);
+    if (op.ok()) kv_[op->key] = op->value;
     block.entries.push_back(e);
   }
   (void)log_.Append(block);
@@ -87,6 +97,23 @@ void CloudOnlyServer::HandleRead(NodeId from, const CloudReadRequest& req,
   net_->Send(id(), from,
              Envelope::Seal(signer_, MsgType::kCloudReadResponse,
                             resp.Encode()));
+  (void)now;
+}
+
+void CloudOnlyServer::HandleReadBlock(NodeId from, const ReadRequest& req,
+                                      SimTime now) {
+  block_reads_served_++;
+  ReadResponse resp;
+  resp.req_id = req.req_id;
+  resp.bid = req.bid;
+  auto block = log_.GetBlock(req.bid);
+  if (block.ok()) {
+    resp.available = true;
+    resp.block = std::move(*block);
+    // Trusted server: no certificate needed (and none exists).
+  }
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kReadResponse, resp.Encode()));
   (void)now;
 }
 
@@ -117,15 +144,12 @@ CloudOnlyClient::CloudOnlyClient(Simulation* sim, SimNetwork* net,
       location_(location),
       costs_(costs) {}
 
-void CloudOnlyClient::WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
-                                 WriteCb cb) {
+void CloudOnlyClient::SendWrite(bool is_kv, std::vector<Entry> entries,
+                                WriteCb cb) {
   CloudWriteRequest req;
   req.req_id = next_req_++;
-  req.is_kv = true;
-  for (const auto& [k, v] : kvs) {
-    req.entries.push_back(
-        Entry::Make(signer_, next_entry_seq_++, EncodePutPayload(k, v)));
-  }
+  req.is_kv = is_kv;
+  req.entries = std::move(entries);
   pending_writes_[req.req_id] = std::move(cb);
   Bytes body = req.Encode();
   net_->After(costs_.client_sign, [this, b = std::move(body)]() mutable {
@@ -133,6 +157,35 @@ void CloudOnlyClient::WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
                Envelope::Seal(signer_, MsgType::kCloudWriteRequest,
                               std::move(b)));
   });
+}
+
+void CloudOnlyClient::WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                                 WriteCb cb) {
+  std::vector<Entry> entries;
+  entries.reserve(kvs.size());
+  for (const auto& [k, v] : kvs) {
+    entries.push_back(
+        Entry::Make(signer_, next_entry_seq_++, EncodePutPayload(k, v)));
+  }
+  SendWrite(/*is_kv=*/true, std::move(entries), std::move(cb));
+}
+
+void CloudOnlyClient::AppendBatch(std::vector<Bytes> payloads, WriteCb cb) {
+  std::vector<Entry> entries;
+  entries.reserve(payloads.size());
+  for (auto& p : payloads) {
+    entries.push_back(Entry::Make(signer_, next_entry_seq_++, std::move(p)));
+  }
+  SendWrite(/*is_kv=*/false, std::move(entries), std::move(cb));
+}
+
+void CloudOnlyClient::ReadBlock(BlockId bid, ReadBlockCb cb) {
+  ReadRequest req;
+  req.req_id = next_req_++;
+  req.bid = bid;
+  pending_block_reads_[req.req_id] = std::move(cb);
+  net_->Send(id(), server_,
+             Envelope::Seal(signer_, MsgType::kReadRequest, req.Encode()));
 }
 
 void CloudOnlyClient::Read(Key key, ReadCb cb) {
@@ -162,7 +215,22 @@ void CloudOnlyClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (it == pending_writes_.end()) return;
       WriteCb cb = std::move(it->second);
       pending_writes_.erase(it);
-      if (cb) cb(Status::OK(), now);
+      if (cb) cb(Status::OK(), resp->bid, now);
+      break;
+    }
+    case MsgType::kReadResponse: {
+      auto resp = ReadResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_block_reads_.find(resp->req_id);
+      if (it == pending_block_reads_.end()) return;
+      ReadBlockCb cb = std::move(it->second);
+      pending_block_reads_.erase(it);
+      // Trusted result, like key reads: no verification.
+      if (!resp->available) {
+        if (cb) cb(Status::NotFound("block not available"), Block{}, now);
+      } else if (cb) {
+        cb(Status::OK(), resp->block, now);
+      }
       break;
     }
     case MsgType::kCloudReadResponse: {

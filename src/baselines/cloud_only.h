@@ -35,11 +35,13 @@ class CloudOnlyServer : public Endpoint {
   uint64_t blocks_committed() const { return blocks_committed_; }
   uint64_t reads_served() const { return reads_served_; }
   uint64_t scans_served() const { return scans_served_; }
+  uint64_t block_reads_served() const { return block_reads_served_; }
 
  private:
   void HandleWrite(NodeId from, const CloudWriteRequest& req, SimTime now);
   void HandleRead(NodeId from, const CloudReadRequest& req, SimTime now);
   void HandleScan(NodeId from, const ScanRequest& req, SimTime now);
+  void HandleReadBlock(NodeId from, const ReadRequest& req, SimTime now);
 
   Simulation* sim_;
   SimNetwork* net_;
@@ -55,17 +57,23 @@ class CloudOnlyServer : public Endpoint {
   uint64_t blocks_committed_ = 0;
   uint64_t reads_served_ = 0;
   uint64_t scans_served_ = 0;
+  uint64_t block_reads_served_ = 0;
 };
 
 /// The cloud-only client: sends batches and interactive reads straight to
 /// the cloud; trusts responses without verification (Fig. 5d).
 class CloudOnlyClient : public Endpoint {
  public:
-  using WriteCb = std::function<void(const Status&, SimTime)>;
+  /// Delivers the committed block id with the ack, so log workloads can
+  /// chain ReadBlock calls exactly as on the WedgeChain client.
+  using WriteCb = std::function<void(const Status&, BlockId, SimTime)>;
   using ReadCb =
       std::function<void(const Status&, bool found, const Bytes&, SimTime)>;
   using ScanCb = std::function<void(const Status&, const std::vector<KvPair>&,
                                     SimTime)>;
+  /// Block reads are trusted as-is (served by the trusted cloud).
+  using ReadBlockCb =
+      std::function<void(const Status&, const Block&, SimTime)>;
 
   CloudOnlyClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
                   Signer signer, NodeId server, Dc location, CostModel costs);
@@ -74,14 +82,23 @@ class CloudOnlyClient : public Endpoint {
   NodeId id() const { return signer_.id(); }
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
+
+  /// Appends raw log entries to the trusted server's log (no kv state).
+  void AppendBatch(std::vector<Bytes> payloads, WriteCb cb);
+
   void Read(Key key, ReadCb cb);
 
   /// Scans [lo, hi]; the result is trusted as-is (no proofs, like reads).
   void Scan(Key lo, Key hi, ScanCb cb);
 
+  /// Reads log block `bid` from the trusted server.
+  void ReadBlock(BlockId bid, ReadBlockCb cb);
+
   void OnMessage(NodeId from, Slice payload, SimTime now) override;
 
  private:
+  void SendWrite(bool is_kv, std::vector<Entry> entries, WriteCb cb);
+
   Simulation* sim_;
   SimNetwork* net_;
   const KeyStore* keystore_;
@@ -95,6 +112,7 @@ class CloudOnlyClient : public Endpoint {
   std::unordered_map<SeqNum, WriteCb> pending_writes_;
   std::unordered_map<SeqNum, ReadCb> pending_reads_;
   std::unordered_map<SeqNum, ScanCb> pending_scans_;
+  std::unordered_map<SeqNum, ReadBlockCb> pending_block_reads_;
 };
 
 }  // namespace wedge

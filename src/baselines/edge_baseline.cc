@@ -42,6 +42,9 @@ void EbCloud::HandleCertify(NodeId edge, EbCertify msg, SimTime now) {
                                            msg.block.Digest(), now);
   blocks_certified_++;
 
+  // Every block enters the authoritative mLSM (kv-ness is content-
+  // defined; raw appends become pair-less L0 units that keep the block
+  // id stream contiguous for read proofs).
   if (auto st = state.tree.ApplyBlock(msg.block); !st.ok()) {
     WLOG_WARN << "eb-cloud: apply failed: " << st;
     return;
@@ -132,35 +135,34 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       });
       break;
     }
+    case MsgType::kReadRequest: {
+      auto req = ReadRequest::Decode(env->body);
+      if (!req.ok()) return;
+      DeferOrRun([this, from, r = *req] {
+        fg_.Execute(costs_.edge_read_serial, [this, from, r] {
+          HandleReadBlock(from, r, sim_->now());
+        });
+      });
+      break;
+    }
     case MsgType::kGetRequest: {
       auto req = GetRequest::Decode(env->body);
       if (!req.ok()) return;
-      auto work = [this, from, r = *req] {
+      DeferOrRun([this, from, r = *req] {
         fg_.Execute(costs_.edge_read_serial, [this, from, r] {
           HandleGet(from, r, sim_->now());
         });
-      };
-      if (certify_in_flight_) {
-        // Reads wait out the in-flight state mutation.
-        deferred_reads_.push_back(std::move(work));
-      } else {
-        work();
-      }
+      });
       break;
     }
     case MsgType::kScanRequest: {
       auto req = ScanRequest::Decode(env->body);
       if (!req.ok()) return;
-      auto work = [this, from, r = *req] {
+      DeferOrRun([this, from, r = *req] {
         fg_.Execute(costs_.edge_read_serial, [this, from, r] {
           HandleScan(from, r, sim_->now());
         });
-      };
-      if (certify_in_flight_) {
-        deferred_reads_.push_back(std::move(work));
-      } else {
-        work();
-      }
+      });
       break;
     }
     case MsgType::kEbCertifyResponse: {
@@ -190,6 +192,14 @@ void EbEdge::HandleWrite(NodeId from, AddRequest req, SimTime now) {
   }
   certify_queue_.push_back(PendingWrite{from, req.req_id, std::move(block)});
   TrySendNextCertify();
+}
+
+void EbEdge::DeferOrRun(std::function<void()> work) {
+  if (certify_in_flight_) {
+    deferred_reads_.push_back(std::move(work));
+  } else {
+    work();
+  }
 }
 
 void EbEdge::TrySendNextCertify() {
@@ -277,33 +287,79 @@ void EbEdge::HandleScan(NodeId from, const ScanRequest& req, SimTime now) {
   (void)now;
 }
 
+void EbEdge::HandleReadBlock(NodeId from, const ReadRequest& req,
+                             SimTime now) {
+  block_reads_served_++;
+  ReadResponse resp;
+  resp.req_id = req.req_id;
+  resp.bid = req.bid;
+  auto block = log_.GetBlock(req.bid);
+  if (block.ok()) {
+    resp.available = true;
+    resp.block = std::move(*block);
+    // Synchronous certification: every logged block has its certificate.
+    resp.proof = log_.GetCertificate(req.bid);
+  }
+  net_->Send(id(), from,
+             Envelope::Seal(signer_, MsgType::kReadResponse, resp.Encode()));
+  (void)now;
+}
+
 // ----------------------------------------------------------------- client
 
 EbClient::EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
-                   Signer signer, NodeId edge, Dc location, CostModel costs)
+                   Signer signer, NodeId edge, Dc location, CostModel costs,
+                   ClientConfig config)
     : sim_(sim),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
       edge_(edge),
       location_(location),
-      costs_(costs) {}
+      costs_(costs),
+      config_(config) {}
+
+void EbClient::SendWrite(MsgType type, std::vector<Entry> entries,
+                         WriteCb cb) {
+  AddRequest req;
+  req.req_id = next_req_++;
+  req.entries = std::move(entries);
+  pending_writes_[req.req_id] = std::move(cb);
+  Bytes body = req.Encode();
+  net_->After(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
+    net_->Send(id(), edge_, Envelope::Seal(signer_, type, std::move(b)));
+  });
+}
 
 void EbClient::WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
                           WriteCb cb) {
-  AddRequest req;
-  req.req_id = next_req_++;
+  std::vector<Entry> entries;
+  entries.reserve(kvs.size());
   for (const auto& [k, v] : kvs) {
-    req.entries.push_back(
+    entries.push_back(
         Entry::Make(signer_, next_entry_seq_++, EncodePutPayload(k, v)));
   }
-  pending_writes_[req.req_id] = std::move(cb);
-  Bytes body = req.Encode();
-  net_->After(costs_.client_sign, [this, b = std::move(body)]() mutable {
-    net_->Send(id(), edge_,
-               Envelope::Seal(signer_, MsgType::kEbWriteRequest,
-                              std::move(b)));
-  });
+  SendWrite(MsgType::kEbWriteRequest, std::move(entries), std::move(cb));
+}
+
+void EbClient::AppendBatch(std::vector<Bytes> payloads, WriteCb cb) {
+  std::vector<Entry> entries;
+  entries.reserve(payloads.size());
+  for (auto& p : payloads) {
+    entries.push_back(Entry::Make(signer_, next_entry_seq_++, std::move(p)));
+  }
+  // Same wire message as puts: kv-ness is content-defined, so raw
+  // entries are certified and logged but contribute no kv pairs.
+  SendWrite(MsgType::kEbWriteRequest, std::move(entries), std::move(cb));
+}
+
+void EbClient::ReadBlock(BlockId bid, ReadBlockCb cb) {
+  ReadRequest req;
+  req.req_id = next_req_++;
+  req.bid = bid;
+  pending_block_reads_[req.req_id] = {bid, std::move(cb)};
+  net_->Send(id(), edge_,
+             Envelope::Seal(signer_, MsgType::kReadRequest, req.Encode()));
 }
 
 void EbClient::Get(Key key, GetCb cb) {
@@ -332,7 +388,40 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (it == pending_writes_.end()) return;
       WriteCb cb = std::move(it->second);
       pending_writes_.erase(it);
-      if (cb) cb(Status::OK(), now);
+      if (cb) cb(Status::OK(), resp->bid, now);
+      break;
+    }
+    case MsgType::kReadResponse: {
+      auto resp = ReadResponse::Decode(env->body);
+      if (!resp.ok()) return;
+      auto it = pending_block_reads_.find(resp->req_id);
+      if (it == pending_block_reads_.end()) return;
+      auto [bid, cb] = std::move(it->second);
+      pending_block_reads_.erase(it);
+      if (!resp->available) {
+        if (cb) cb(Status::NotFound("block not available"), Block{}, now);
+        break;
+      }
+      // Certified synchronously at commit: the proof must be present,
+      // valid, for this edge, and match the shipped block.
+      Status st = Status::OK();
+      if (resp->block.id != bid ||
+          !resp->block.ValidateReservations().ok()) {
+        st = Status::SecurityViolation("block id/reservation check failed");
+      } else if (!resp->proof.has_value()) {
+        st = Status::SecurityViolation("certified read without a proof");
+      } else if (!resp->proof->Validate(*keystore_).ok() ||
+                 resp->proof->edge != edge_ || resp->proof->bid != bid ||
+                 resp->proof->digest != resp->block.Digest()) {
+        st = Status::SecurityViolation("invalid read proof");
+      }
+      const SimTime verified_at = now + costs_.client_verify_read;
+      Block block = st.ok() ? std::move(resp->block) : Block{};
+      sim_->ScheduleAt(verified_at,
+                       [cb = std::move(cb), st, b = std::move(block),
+                        verified_at] {
+                         if (cb) cb(st, b, verified_at);
+                       });
       break;
     }
     case MsgType::kGetResponse: {
@@ -343,7 +432,11 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto [key, cb] = std::move(it->second);
       pending_gets_.erase(it);
       const SimTime verified_at = now + costs_.client_verify_read;
-      auto verified = VerifyGetResponse(*keystore_, edge_, key, resp->body);
+      GetVerifyOptions opts;
+      opts.now = now;
+      opts.cache = config_.verify_cache ? &verifier_cache_ : nullptr;
+      auto verified =
+          VerifyGetResponse(*keystore_, edge_, key, resp->body, opts);
       if (verified.ok()) {
         VerifiedGet v = *verified;
         sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
@@ -365,8 +458,11 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       PendingScan pending = std::move(it->second);
       pending_scans_.erase(it);
       const SimTime verified_at = now + costs_.client_verify_read;
+      GetVerifyOptions opts;
+      opts.now = now;
+      opts.cache = config_.verify_cache ? &verifier_cache_ : nullptr;
       auto verified = VerifyScanResponse(*keystore_, edge_, pending.lo,
-                                         pending.hi, resp->body);
+                                         pending.hi, resp->body, opts);
       ScanCb cb = std::move(pending.cb);
       if (verified.ok()) {
         VerifiedScan v = std::move(*verified);

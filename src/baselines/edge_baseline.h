@@ -28,6 +28,7 @@
 #include "crypto/signature.h"
 #include "log/edge_log.h"
 #include "lsmerkle/lsmerkle_tree.h"
+#include "lsmerkle/verifier_cache.h"
 #include "simnet/cost_model.h"
 #include "simnet/cpu.h"
 #include "simnet/network.h"
@@ -91,6 +92,7 @@ class EbEdge : public Endpoint {
   uint64_t writes_committed() const { return writes_committed_; }
   uint64_t gets_served() const { return gets_served_; }
   uint64_t scans_served() const { return scans_served_; }
+  uint64_t block_reads_served() const { return block_reads_served_; }
 
  private:
   struct PendingWrite {
@@ -102,6 +104,10 @@ class EbEdge : public Endpoint {
   void HandleWrite(NodeId from, AddRequest req, SimTime now);
   void HandleGet(NodeId from, const GetRequest& req, SimTime now);
   void HandleScan(NodeId from, const ScanRequest& req, SimTime now);
+  void HandleReadBlock(NodeId from, const ReadRequest& req, SimTime now);
+  /// Runs read work now, or parks it behind the in-flight certification
+  /// round trip (the mutable state has no snapshot isolation).
+  void DeferOrRun(std::function<void()> work);
   void HandleCertifyResponse(EbCertifyResponse resp, SimTime now);
   void TrySendNextCertify();
   void DrainDeferredReads();
@@ -132,33 +138,54 @@ class EbEdge : public Endpoint {
   uint64_t writes_committed_ = 0;
   uint64_t gets_served_ = 0;
   uint64_t scans_served_ = 0;
+  uint64_t block_reads_served_ = 0;
 };
 
 /// The edge-baseline client: batched writes, interactive verified gets.
 class EbClient : public Endpoint {
  public:
-  using WriteCb = std::function<void(const Status&, SimTime)>;
+  /// Delivers the committed block id with the ack, so log workloads can
+  /// chain ReadBlock calls exactly as on the WedgeChain client.
+  using WriteCb = std::function<void(const Status&, BlockId, SimTime)>;
   using GetCb =
       std::function<void(const Status&, const VerifiedGet&, SimTime)>;
   using ScanCb =
       std::function<void(const Status&, const VerifiedScan&, SimTime)>;
+  /// Block reads are certified synchronously here, so one callback fires
+  /// with the (verified) block; there is no Phase I/II split.
+  using ReadBlockCb =
+      std::function<void(const Status&, const Block&, SimTime)>;
 
   EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
-           Signer signer, NodeId edge, Dc location, CostModel costs);
+           Signer signer, NodeId edge, Dc location, CostModel costs,
+           ClientConfig config = {});
 
   void Start() { net_->Attach(id(), location_, this); }
   NodeId id() const { return signer_.id(); }
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
+
+  /// Appends raw log entries: certified at the cloud like every write,
+  /// logged at the edge, but never indexed into the mLSM.
+  void AppendBatch(std::vector<Bytes> payloads, WriteCb cb);
+
   void Get(Key key, GetCb cb);
 
   /// Scans [lo, hi] with the same completeness-proof verification as the
   /// WedgeChain client: the mirrored certified state carries proofs.
   void Scan(Key lo, Key hi, ScanCb cb);
 
+  /// Reads log block `bid`; the response's certificate is verified
+  /// against the cloud's key before delivery.
+  void ReadBlock(BlockId bid, ReadBlockCb cb);
+
+  const VerifierCache& verifier_cache() const { return verifier_cache_; }
+
   void OnMessage(NodeId from, Slice payload, SimTime now) override;
 
  private:
+  void SendWrite(MsgType type, std::vector<Entry> entries, WriteCb cb);
+
   Simulation* sim_;
   SimNetwork* net_;
   const KeyStore* keystore_;
@@ -166,6 +193,7 @@ class EbClient : public Endpoint {
   NodeId edge_;
   Dc location_;
   CostModel costs_;
+  ClientConfig config_;
 
   SeqNum next_req_ = 1;
   SeqNum next_entry_seq_ = 1;
@@ -177,6 +205,9 @@ class EbClient : public Endpoint {
     ScanCb cb;
   };
   std::unordered_map<SeqNum, PendingScan> pending_scans_;
+  std::unordered_map<SeqNum, std::pair<BlockId, ReadBlockCb>>
+      pending_block_reads_;
+  VerifierCache verifier_cache_;
 };
 
 }  // namespace wedge

@@ -418,6 +418,7 @@ void WedgeClient::HandleScanResponse(const Envelope& env, SimTime now) {
   GetVerifyOptions opts;
   opts.now = now;
   opts.freshness_window = config_.freshness_window;
+  opts.cache = config_.verify_cache ? &verifier_cache_ : nullptr;
   auto verified = VerifyScanResponse(*keystore_, edge_, pending.lo,
                                      pending.hi, resp->body, opts);
   ScanCb cb = pending.cb;
@@ -465,6 +466,7 @@ void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
   GetVerifyOptions opts;
   opts.now = now;
   opts.freshness_window = config_.freshness_window;
+  opts.cache = config_.verify_cache ? &verifier_cache_ : nullptr;
   auto verified =
       VerifyGetResponse(*keystore_, edge_, pending.key, resp->body, opts);
   GetCb cb = pending.cb;

@@ -17,6 +17,7 @@
 #include "crypto/signature.h"
 #include "lsmerkle/kv.h"
 #include "lsmerkle/read_proof.h"
+#include "lsmerkle/verifier_cache.h"
 #include "simnet/cost_model.h"
 #include "simnet/network.h"
 #include "simnet/simulation.h"
@@ -91,6 +92,10 @@ class WedgeClient : public Endpoint {
   void Scan(Key lo, Key hi, ScanCb cb);
 
   const ClientStats& stats() const { return stats_; }
+
+  /// The verified-material cache (ClientConfig::verify_cache). Exposed
+  /// for stats and tests.
+  const VerifierCache& verifier_cache() const { return verifier_cache_; }
 
   /// The largest log size learned from cloud gossip (omission detection).
   uint64_t gossiped_log_size() const { return gossiped_log_size_; }
@@ -184,6 +189,7 @@ class WedgeClient : public Endpoint {
 
   uint64_t gossiped_log_size_ = 0;
   ClientStats stats_;
+  VerifierCache verifier_cache_;
 };
 
 }  // namespace wedge

@@ -235,12 +235,9 @@ void CloudNode::HandleMergeRequest(NodeId edge, const MergeRequest& msg,
       // Merge requests are the one place data-free certification shows
       // the cloud full L0 bodies: capture them for backup.
       MaybeBackup(edge, &rec, blk, /*is_kv=*/true);
-      auto pairs = PairsFromBlock(blk);
-      if (!pairs.ok()) {
-        fail("malformed put payloads in L0 block");
-        return;
-      }
-      for (auto& p : *pairs) newer.push_back(std::move(p));
+      // Content-defined extraction (same rule as the edge and the client
+      // verifier): raw append entries contribute no pairs.
+      for (auto& p : ExtractKvPairs(blk)) newer.push_back(std::move(p));
     }
   } else {
     // Verify the source level pages against the recorded root.

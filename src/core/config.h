@@ -91,6 +91,12 @@ struct ClientConfig {
   /// only one Epoch of client state; catches rollbacks the freshness
   /// window misses when the old root is still inside the window.
   bool monotonic_snapshots = false;
+  /// Memoize verified proof material (root/block certificates, level-part
+  /// proofs) across reads in a per-client VerifierCache
+  /// (lsmerkle/verifier_cache.h). Sound — cache keys bind content, so a
+  /// lying edge can only miss — and a large CPU win on read-heavy
+  /// workloads. Off reproduces the paper's verify-every-response cost.
+  bool verify_cache = true;
 };
 
 }  // namespace wedge

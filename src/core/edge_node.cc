@@ -33,8 +33,8 @@ void EdgeNode::RestoreState(EdgeStorage::RecoveredState state) {
   log_ = std::move(state.log);
   lsm_ = std::move(state.tree);
   last_seq_ = std::move(state.last_seq);
-  kv_blocks_consumed_ = state.kv_blocks_consumed;
-  kv_blocks_seen_ = state.kv_blocks_in_log;
+  l0_blocks_consumed_ = state.l0_blocks_consumed;
+  l0_blocks_seen_ = state.blocks_in_log;
   builder_ = BlockBuilder(config_.ops_per_block,
                           static_cast<BlockId>(log_.size()));
 }
@@ -193,11 +193,12 @@ void EdgeNode::FinishBlock(Block block, bool is_kv, SimTime now) {
     }
   }
 
-  if (is_kv) {
-    kv_blocks_seen_++;
-    if (auto st = lsm_.ApplyBlock(block); !st.ok()) {
-      WLOG_WARN << "edge " << id() << ": apply block failed: " << st;
-    }
+  // Every block enters L0 (raw appends as pair-less units): the L0 id
+  // stream must stay contiguous for read proofs even on mixed
+  // put/append logs. The frontier counter therefore counts all blocks.
+  l0_blocks_seen_++;
+  if (auto st = lsm_.ApplyBlock(block); !st.ok()) {
+    WLOG_WARN << "edge " << id() << ": apply block failed: " << st;
   }
 
   // Deduplicate contributors (a client may have several entries in the
@@ -249,7 +250,7 @@ void EdgeNode::FinishBlock(Block block, bool is_kv, SimTime now) {
     });
   }
 
-  if (is_kv) MaybeStartMerge(now, /*noop=*/false);
+  MaybeStartMerge(now, /*noop=*/false);
 }
 
 void EdgeNode::HandleRead(NodeId from, const ReadRequest& req, SimTime now) {
@@ -409,16 +410,15 @@ void EdgeNode::HandleBackupBlocks(const BackupBlocks& resp, SimTime now) {
           stats_.storage_errors++;
         }
       }
-      // A restored kv block belongs in L0 only when its ordinal is past
+      // A restored block belongs in L0 only when its ordinal is past
       // the manifest's merge frontier; earlier ones were consumed by
-      // merges and already live (durably) in the levels.
-      if (item.is_kv) {
-        kv_blocks_seen_++;
-        if (kv_blocks_seen_ > kv_blocks_consumed_) {
-          if (auto st = lsm_.ApplyBlock(item.block); !st.ok()) {
-            WLOG_WARN << "edge " << id()
-                      << ": backup block failed L0 apply: " << st;
-          }
+      // merges and already live (durably) in the levels. Raw appends
+      // count too — they occupy L0 slots (pair-less).
+      l0_blocks_seen_++;
+      if (l0_blocks_seen_ > l0_blocks_consumed_) {
+        if (auto st = lsm_.ApplyBlock(item.block); !st.ok()) {
+          WLOG_WARN << "edge " << id()
+                    << ": backup block failed L0 apply: " << st;
         }
       }
       builder_ = BlockBuilder(config_.ops_per_block,
@@ -486,7 +486,7 @@ void EdgeNode::MaybeStartMerge(SimTime now, bool noop) {
   req.cur_epoch = lsm_.epoch();
   if (*level == 0) {
     for (const auto& unit : lsm_.l0_units()) {
-      req.l0_blocks.push_back(unit.block);
+      req.l0_blocks.push_back(*unit.block);
     }
   } else {
     req.from_pages = lsm_.level(*level).pages();
@@ -523,14 +523,14 @@ void EdgeNode::HandleMergeResponse(const MergeResponse& resp, SimTime now) {
   if (storage_ != nullptr) {
     // The manifest wants every level the install touched: the target
     // level always, and the emptied source level when it was not L0.
-    if (resp.from_level == 0) kv_blocks_consumed_ += resp.consumed_l0;
+    if (resp.from_level == 0) l0_blocks_consumed_ += resp.consumed_l0;
     std::vector<std::pair<size_t, std::vector<Page>>> changed;
     if (resp.from_level >= 1) changed.emplace_back(resp.from_level,
                                                    std::vector<Page>{});
     changed.emplace_back(resp.from_level + 1,
                          lsm_.level(resp.from_level + 1).pages());
     if (storage_->PersistMerge(changed, resp.root_cert,
-                               kv_blocks_consumed_).ok()) {
+                               l0_blocks_consumed_).ok()) {
       stats_.storage_writes++;
     } else {
       stats_.storage_errors++;

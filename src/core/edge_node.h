@@ -166,12 +166,14 @@ class EdgeNode : public Endpoint {
 
   /// Optional durability (null = in-memory only, the paper's setting).
   EdgeStorage* storage_ = nullptr;
-  /// Cumulative kv blocks consumed from L0 by merges (manifest counter).
-  uint64_t kv_blocks_consumed_ = 0;
-  /// Total kv blocks ever appended to the log; a kv block's ordinal
-  /// decides whether it belongs in L0 (ordinal > consumed) when restored
-  /// from backup.
-  uint64_t kv_blocks_seen_ = 0;
+  /// Cumulative blocks consumed from L0 by merges (manifest counter).
+  /// Counts every block — raw appends occupy L0 slots too, as pair-less
+  /// units, so the proof-visible block id stream stays contiguous.
+  uint64_t l0_blocks_consumed_ = 0;
+  /// Total blocks ever appended to the log; a block's ordinal decides
+  /// whether it belongs in L0 (ordinal > consumed) when restored from
+  /// backup.
+  uint64_t l0_blocks_seen_ = 0;
 
   EdgeStats stats_;
 };

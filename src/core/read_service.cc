@@ -36,9 +36,11 @@ GetResponseBody AssembleGetResponse(const LsmerkleTree& lsm,
   }
 
   if (!hide_l0) {
+    // Blocks are shared from the tree, not copied: the response only
+    // holds references until it is encoded onto the wire.
     for (const auto& unit : lsm.l0_units()) {
       body.l0_blocks.push_back(unit.block);
-      body.l0_certs.push_back(log.GetCertificate(unit.block.id));
+      body.l0_certs.push_back(log.GetCertificate(unit.block->id));
     }
   }
 
@@ -51,8 +53,8 @@ GetResponseBody AssembleGetResponse(const LsmerkleTree& lsm,
     if (!idx.ok()) continue;
     GetLevelPart part;
     part.level = lvl;
-    part.page = level.pages()[*idx];
-    part.proof = *level.ProvePage(*idx);
+    part.page = level.SharedPage(*idx);          // zero-copy
+    part.proof = *level.ProvePage(*idx);         // precomputed at SetPages
     body.parts.push_back(std::move(part));
   }
   body.level_roots = lsm.LevelRoots();
@@ -72,7 +74,7 @@ ScanResponseBody AssembleScanResponse(const LsmerkleTree& lsm,
   std::map<Key, KvPair> newest;
   for (const auto& unit : lsm.l0_units()) {
     body.l0_blocks.push_back(unit.block);
-    body.l0_certs.push_back(log.GetCertificate(unit.block.id));
+    body.l0_certs.push_back(log.GetCertificate(unit.block->id));
     for (const KvPair& kv : unit.pairs) {
       if (kv.key < lo || kv.key > hi) continue;
       auto it = newest.find(kv.key);
@@ -93,7 +95,7 @@ ScanResponseBody AssembleScanResponse(const LsmerkleTree& lsm,
     for (size_t idx = *start; idx < level.page_count(); ++idx) {
       const Page& page = level.pages()[idx];
       if (page.min_key > hi) break;
-      run.pages.push_back(page);
+      run.pages.push_back(level.SharedPage(idx));  // zero-copy
       run.proofs.push_back(*level.ProvePage(idx));
       for (const KvPair& kv : page.pairs) {
         if (kv.key < lo || kv.key > hi) continue;

@@ -10,11 +10,17 @@ LsmerkleTree::LsmerkleTree(LsmConfig config) : config_(std::move(config)) {
 }
 
 Status LsmerkleTree::ApplyBlock(Block block) {
-  auto pairs = PairsFromBlock(block);
-  if (!pairs.ok()) return pairs.status();
+  // Content-defined kv extraction: raw append entries contribute no
+  // pairs but the block still becomes an L0 unit, keeping the L0 block
+  // id stream contiguous — read proofs depend on that even for logs
+  // that interleave puts and appends.
   L0Unit unit;
-  unit.block = std::move(block);
-  unit.pairs = std::move(*pairs);
+  unit.pairs = ExtractKvPairs(block);
+  unit.block = std::make_shared<const Block>(std::move(block));
+  unit.newest.reserve(unit.pairs.size());
+  for (uint32_t i = 0; i < unit.pairs.size(); ++i) {
+    unit.newest[unit.pairs[i].key] = i;  // later entries overwrite: newest
+  }
   l0_.push_back(std::move(unit));
   return Status::OK();
 }
@@ -98,16 +104,15 @@ std::vector<Digest256> LsmerkleTree::LevelRoots() const {
 
 LsmerkleTree::FindResult LsmerkleTree::Lookup(Key key) const {
   FindResult r;
-  // L0: newest block first; within a block the last write wins (versions
-  // increase with apply order).
+  // L0: newest block first; within a block the per-block index already
+  // resolved last-write-wins, so each block costs one hash probe.
   for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
-    for (auto pit = it->pairs.rbegin(); pit != it->pairs.rend(); ++pit) {
-      if (pit->key == key) {
-        r.found = true;
-        r.pair = *pit;
-        r.level = 0;
-        return r;
-      }
+    auto hit = it->newest.find(key);
+    if (hit != it->newest.end()) {
+      r.found = true;
+      r.pair = it->pairs[hit->second];
+      r.level = 0;
+      return r;
     }
   }
   // Levels: lower level index = newer data.

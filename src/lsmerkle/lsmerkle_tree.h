@@ -9,7 +9,9 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -29,10 +31,14 @@ struct LsmConfig {
   size_t target_page_pairs = 100;
 };
 
-/// A block sitting in L0 along with its extracted put operations.
+/// A block sitting in L0 along with its extracted put operations. The
+/// block is shared (immutable once applied) so read responses reference
+/// it instead of copying it; `newest` indexes the newest pair per key,
+/// making point lookups a hash probe instead of a linear scan.
 struct L0Unit {
-  Block block;
-  std::vector<KvPair> pairs;  // apply order
+  std::shared_ptr<const Block> block;
+  std::vector<KvPair> pairs;               // apply order
+  std::unordered_map<Key, uint32_t> newest;  // key -> index into `pairs`
 };
 
 class LsmerkleTree {
@@ -46,8 +52,9 @@ class LsmerkleTree {
 
   // ---- L0 ----
 
-  /// Parses the block's put operations and appends it as the newest L0
-  /// page. Fails (without mutating state) on malformed payloads.
+  /// Appends the block as the newest L0 unit. Kv-ness is content-
+  /// defined: entries whose payloads decode as puts become pairs, raw
+  /// append entries are kept (for id contiguity) but contribute none.
   Status ApplyBlock(Block block);
 
   const std::vector<L0Unit>& l0_units() const { return l0_; }

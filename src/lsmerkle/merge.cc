@@ -5,14 +5,27 @@
 namespace wedge {
 
 Result<std::vector<KvPair>> PairsFromBlock(const Block& block) {
+  // Strict wrapper over the tolerant rule: reject blocks with any
+  // non-put entry, then extract through the one shared implementation.
+  for (const Entry& e : block.entries) {
+    if (auto op = DecodePutPayload(e.payload); !op.ok()) {
+      return op.status();
+    }
+  }
+  return ExtractKvPairs(block);
+}
+
+std::vector<KvPair> ExtractKvPairs(const Block& block) {
   std::vector<KvPair> pairs;
   pairs.reserve(block.entries.size());
   for (uint32_t i = 0; i < block.entries.size(); ++i) {
     auto op = DecodePutPayload(block.entries[i].payload);
-    if (!op.ok()) return op.status();
+    if (!op.ok()) continue;  // raw append entry: carries no kv state
     KvPair p;
     p.key = op->key;
     p.value = std::move(op->value);
+    // Versions use the *entry* index, so every deriver (edge, cloud,
+    // client verifier) agrees regardless of skipped entries.
     p.version = MakeVersion(block.id, i);
     pairs.push_back(std::move(p));
   }

@@ -21,6 +21,14 @@ namespace wedge {
 /// Errors if any entry payload is not a well-formed put.
 Result<std::vector<KvPair>> PairsFromBlock(const Block& block);
 
+/// Tolerant variant: entries whose payloads are not well-formed puts
+/// (raw log appends) are skipped instead of failing. This is the rule
+/// the whole system agrees on — kv-ness is *content-defined*, so the
+/// edge, the cloud merger and the client verifier all derive the same
+/// pair set from the same certified bytes, and mixed put/append logs
+/// keep L0 block ids contiguous (appends become pair-less L0 units).
+std::vector<KvPair> ExtractKvPairs(const Block& block);
+
 /// Merges `newer` pairs (any order, duplicates allowed — highest version
 /// wins) with the sorted pages of the lower level. Produces pages of at
 /// most `target_page_pairs` pairs whose ranges tile [0, infinity].

@@ -28,6 +28,29 @@ struct Page {
   /// Cloud time of the merge that created this page.
   SimTime created_at = 0;
 
+  Page() = default;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+  // Copies deliberately drop the memoized digest: a shared page is only
+  // reachable as const, so the sole route to mutation is copying — and the
+  // copy re-hashes. This is what makes the memoization invalidation-safe
+  // without encapsulating the fields.
+  Page(const Page& o)
+      : min_key(o.min_key),
+        max_key(o.max_key),
+        pairs(o.pairs),
+        created_at(o.created_at) {}
+  Page& operator=(const Page& o) {
+    if (this != &o) {
+      min_key = o.min_key;
+      max_key = o.max_key;
+      pairs = o.pairs;
+      created_at = o.created_at;
+      cached_digest_.reset();
+    }
+    return *this;
+  }
+
   /// Binary search within the page. nullopt if absent.
   std::optional<KvPair> Find(Key key) const;
 
@@ -46,8 +69,21 @@ struct Page {
     return enc.TakeBuffer();
   }
 
-  /// The page digest: the Merkle leaf for this page.
-  Digest256 Digest() const { return Digest256::Of(Encode()); }
+  /// The page digest: the Merkle leaf for this page. Returns the memoized
+  /// digest when SealDigest() has run; otherwise re-encodes and hashes.
+  Digest256 Digest() const {
+    if (cached_digest_.has_value()) return *cached_digest_;
+    return Digest256::Of(Encode());
+  }
+
+  /// Computes and memoizes the digest. Call only once the page is final
+  /// (LevelState::SetPages does); every later Digest() is a table lookup.
+  const Digest256& SealDigest() const {
+    if (!cached_digest_.has_value()) {
+      cached_digest_ = Digest256::Of(Encode());
+    }
+    return *cached_digest_;
+  }
 
   size_t ByteSize() const {
     size_t sz = 8 + 8 + 8 + 4;
@@ -59,6 +95,9 @@ struct Page {
     return min_key == o.min_key && max_key == o.max_key && pairs == o.pairs &&
            created_at == o.created_at;
   }
+
+ private:
+  mutable std::optional<Digest256> cached_digest_;
 };
 
 /// Checks the cross-page range invariant for a whole level: first min is

@@ -2,18 +2,22 @@
 
 #include <algorithm>
 
+#include "lsmerkle/verifier_cache.h"
+
 namespace wedge {
 
 void GetLevelPart::EncodeTo(Encoder* enc) const {
   enc->PutU32(level);
-  page.EncodeTo(enc);
+  page->EncodeTo(enc);
   proof.EncodeTo(enc);
 }
 
 Result<GetLevelPart> GetLevelPart::DecodeFrom(Decoder* dec) {
   GetLevelPart part;
   WEDGE_ASSIGN_OR_RETURN(part.level, dec->GetU32());
-  WEDGE_ASSIGN_OR_RETURN(part.page, Page::DecodeFrom(dec));
+  auto page = Page::DecodeFrom(dec);
+  if (!page.ok()) return page.status();
+  part.page = std::make_shared<const Page>(std::move(*page));
   WEDGE_ASSIGN_OR_RETURN(part.proof, MerkleProof::DecodeFrom(dec));
   return part;
 }
@@ -26,7 +30,7 @@ void GetResponseBody::EncodeTo(Encoder* enc) const {
   enc->PutU64(version);
   enc->PutU32(static_cast<uint32_t>(l0_blocks.size()));
   for (size_t i = 0; i < l0_blocks.size(); ++i) {
-    l0_blocks[i].EncodeTo(enc);
+    l0_blocks[i]->EncodeTo(enc);
     const bool has_cert = i < l0_certs.size() && l0_certs[i].has_value();
     enc->PutBool(has_cert);
     if (has_cert) l0_certs[i]->EncodeTo(enc);
@@ -51,7 +55,7 @@ Result<GetResponseBody> GetResponseBody::DecodeFrom(Decoder* dec) {
   for (uint32_t i = 0; i < nblocks; ++i) {
     auto blk = Block::DecodeFrom(dec);
     if (!blk.ok()) return blk.status();
-    b.l0_blocks.push_back(std::move(*blk));
+    b.l0_blocks.push_back(std::make_shared<const Block>(std::move(*blk)));
     bool has_cert = false;
     WEDGE_ASSIGN_OR_RETURN(has_cert, dec->GetBool());
     if (has_cert) {
@@ -88,11 +92,13 @@ Result<GetResponseBody> GetResponseBody::DecodeFrom(Decoder* dec) {
 
 size_t GetResponseBody::ByteSize() const {
   size_t sz = 8 + 1 + 4 + 4 + value.size() + 8;
-  for (const auto& blk : l0_blocks) sz += blk.ByteSize() + 1;
+  for (const auto& blk : l0_blocks) sz += blk->ByteSize() + 1;
   for (const auto& c : l0_certs) {
     if (c.has_value()) sz += 96;
   }
-  for (const auto& p : parts) sz += 4 + p.page.ByteSize() + p.proof.ByteSize();
+  for (const auto& p : parts) {
+    sz += 4 + p.page->ByteSize() + p.proof.ByteSize();
+  }
   sz += 4 + level_roots.size() * 32 + 1 + (root_cert.has_value() ? 96 : 0);
   return sz;
 }
@@ -115,21 +121,16 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
       resp.level_roots.begin(), resp.level_roots.end(),
       [](const Digest256& d) { return !d.IsZero(); });
   if (resp.root_cert.has_value()) {
-    WEDGE_RETURN_NOT_OK(resp.root_cert->Validate(keystore));
-    if (resp.root_cert->edge != edge) {
-      return Violation("root certificate is for a different edge");
-    }
-    if (ComputeGlobalRoot(resp.root_cert->epoch, resp.level_roots) !=
-        resp.root_cert->global_root) {
-      return Violation("level roots do not hash to certified global root");
-    }
+    WEDGE_RETURN_NOT_OK(VerifierCache::VerifyPresentedRoot(
+        keystore, edge, *resp.root_cert, resp.level_roots, opts.cache));
   } else if (any_level_nonempty || !resp.parts.empty()) {
     // Level pages only exist after a merge, and merges always produce a
     // signed root. Claiming level data without a cert is a lie.
     return Violation("level data presented without a root certificate");
   }
 
-  // --- Freshness window (§V-D). ---
+  // --- Freshness window (§V-D). Never cached: a replayed old-but-valid
+  // certificate must keep failing here. ---
   if (opts.freshness_window >= 0) {
     if (!resp.root_cert.has_value()) {
       return Status::FailedPrecondition(
@@ -146,42 +147,50 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
     return Violation("l0 certificate vector size mismatch");
   }
   bool all_l0_certified = true;
+  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries;
+  l0_entries.reserve(resp.l0_blocks.size());
   for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
-    const Block& blk = resp.l0_blocks[i];
-    if (i > 0 && blk.id != resp.l0_blocks[i - 1].id + 1) {
+    const Block& blk = *resp.l0_blocks[i];
+    if (i > 0 && blk.id != resp.l0_blocks[i - 1]->id + 1) {
       return Violation("L0 block ids are not contiguous");
     }
-    WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
-    const auto& cert = resp.l0_certs[i];
-    if (cert.has_value()) {
-      WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
-      if (cert->edge != edge) return Violation("block cert for wrong edge");
-      if (cert->bid != blk.id) return Violation("block cert for wrong bid");
-      if (cert->digest != blk.Digest()) {
-        return Violation("block digest does not match certificate");
-      }
-    } else {
-      all_l0_certified = false;
-    }
+    auto entry = VerifierCache::VerifyPresentedL0Block(
+        keystore, edge, resp.l0_blocks[i], resp.l0_certs[i], opts.cache);
+    if (!entry.ok()) return entry.status();
+    l0_entries.push_back(*entry);
+    if (!resp.l0_certs[i].has_value()) all_l0_certified = false;
   }
 
   // --- Newest version in L0, from the blocks themselves. ---
   bool l0_found = false;
   KvPair l0_hit;
-  for (auto bit = resp.l0_blocks.rbegin(); bit != resp.l0_blocks.rend();
-       ++bit) {
-    for (uint32_t idx = static_cast<uint32_t>(bit->entries.size()); idx-- > 0;) {
-      auto op = DecodePutPayload(bit->entries[idx].payload);
-      if (!op.ok()) return Violation("malformed put payload in L0 block");
+  for (size_t i = resp.l0_blocks.size(); i-- > 0 && !l0_found;) {
+    if (l0_entries[i] != nullptr) {
+      // Cached index: one probe instead of decoding every payload.
+      auto hit = l0_entries[i]->newest.find(key);
+      if (hit != l0_entries[i]->newest.end()) {
+        l0_found = true;
+        l0_hit = hit->second;
+      }
+      continue;
+    }
+    const Block& blk = *resp.l0_blocks[i];
+    for (uint32_t idx = static_cast<uint32_t>(blk.entries.size());
+         idx-- > 0;) {
+      // Lazy early-exit copy of the content-defined rule (canonical
+      // form: ExtractKvPairs): raw append entries are skipped. The
+      // certified digest pins the bytes, so the edge cannot reclassify
+      // a put as an append without breaking the digest.
+      auto op = DecodePutPayload(blk.entries[idx].payload);
+      if (!op.ok()) continue;
       if (op->key == key) {
         l0_found = true;
         l0_hit.key = key;
         l0_hit.value = std::move(op->value);
-        l0_hit.version = MakeVersion(bit->id, idx);
+        l0_hit.version = MakeVersion(blk.id, idx);
         break;
       }
     }
-    if (l0_found) break;
   }
 
   // --- Level parts: verify each against its level root; determine the
@@ -199,13 +208,19 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
     level_covered[part.level] = true;
     const Digest256& root = resp.level_roots[part.level - 1];
     if (root.IsZero()) return Violation("part for an empty level");
-    WEDGE_RETURN_NOT_OK(part.page.CheckWellFormed());
-    if (!part.page.Covers(key)) {
+    const Page& page = *part.page;
+    if (!page.Covers(key)) {
       return Violation("part page range does not cover the key");
     }
-    WEDGE_RETURN_NOT_OK(
-        MerkleTree::Verify(root, part.page.Digest(), part.proof));
-    auto hit = part.page.Find(key);
+    if (opts.cache == nullptr ||
+        !opts.cache->IsPartVerified(root, page, part.proof)) {
+      WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
+      WEDGE_RETURN_NOT_OK(MerkleTree::Verify(root, page.Digest(), part.proof));
+      if (opts.cache != nullptr) {
+        opts.cache->RecordPart(root, part.page, part.proof);
+      }
+    }
+    auto hit = page.Find(key);
     if (hit.has_value() && (!part_found || part.level < part_hit_level)) {
       part_found = true;
       part_hit = *hit;

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,16 +33,28 @@
 
 namespace wedge {
 
-/// One level's contribution to a get proof.
+class VerifierCache;
+
+/// The never-null placeholder for default-constructed parts/pages: one
+/// process-wide allocation instead of one per decoded part.
+inline const std::shared_ptr<const Page>& EmptySharedPage() {
+  static const std::shared_ptr<const Page> kEmpty =
+      std::make_shared<const Page>();
+  return kEmpty;
+}
+
+/// One level's contribution to a get proof. The page is shared, not
+/// owned: at the edge it aliases the level's immutable page vector
+/// (zero-copy assembly), at the client it owns the decoded page.
 struct GetLevelPart {
   uint32_t level = 0;  // 1-based level index
-  Page page;
+  std::shared_ptr<const Page> page = EmptySharedPage();
   MerkleProof proof;
 
   void EncodeTo(Encoder* enc) const;
   static Result<GetLevelPart> DecodeFrom(Decoder* dec);
   bool operator==(const GetLevelPart& o) const {
-    return level == o.level && page == o.page && proof == o.proof;
+    return level == o.level && *page == *o.page && proof == o.proof;
   }
 };
 
@@ -55,8 +68,10 @@ struct GetResponseBody {
   uint64_t version = 0;
 
   /// All L0 blocks, oldest first, with optional certificates (parallel
-  /// vector; an empty optional means the block is only Phase I committed).
-  std::vector<Block> l0_blocks;
+  /// vector; an empty optional means the block is only Phase I
+  /// committed). Shared, never null: the edge aliases its log blocks
+  /// instead of copying them into every response.
+  std::vector<std::shared_ptr<const Block>> l0_blocks;
   std::vector<std::optional<BlockCertificate>> l0_certs;
 
   /// Intersecting page per level (1..found_level, or all non-empty levels
@@ -80,6 +95,11 @@ struct GetVerifyOptions {
   /// Maximum acceptable age of the root certificate (§V-D). Negative
   /// disables the check.
   SimTime freshness_window = -1;
+  /// When non-null, verification consults and fills this cache: root
+  /// certificates, block certificates and level-part proofs already
+  /// verified (by content) are not re-verified. Freshness and snapshot
+  /// checks are unaffected. See lsmerkle/verifier_cache.h.
+  VerifierCache* cache = nullptr;
 };
 
 /// Outcome of verifying a get response.

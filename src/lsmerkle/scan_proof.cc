@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <map>
 
+#include "lsmerkle/merge.h"
+#include "lsmerkle/verifier_cache.h"
+
 namespace wedge {
 
 void ScanLevelRun::EncodeTo(Encoder* enc) const {
   enc->PutU32(level);
   enc->PutU32(static_cast<uint32_t>(pages.size()));
-  for (const Page& p : pages) p.EncodeTo(enc);
+  for (const auto& p : pages) p->EncodeTo(enc);
   enc->PutU32(static_cast<uint32_t>(proofs.size()));
   for (const MerkleProof& p : proofs) p.EncodeTo(enc);
 }
@@ -22,7 +25,7 @@ Result<ScanLevelRun> ScanLevelRun::DecodeFrom(Decoder* dec) {
   for (uint32_t i = 0; i < npages; ++i) {
     auto p = Page::DecodeFrom(dec);
     if (!p.ok()) return p.status();
-    run.pages.push_back(std::move(*p));
+    run.pages.push_back(std::make_shared<const Page>(std::move(*p)));
   }
   uint32_t nproofs = 0;
   WEDGE_ASSIGN_OR_RETURN(nproofs, dec->GetU32());
@@ -42,7 +45,7 @@ void ScanResponseBody::EncodeTo(Encoder* enc) const {
   for (const KvPair& p : pairs) p.EncodeTo(enc);
   enc->PutU32(static_cast<uint32_t>(l0_blocks.size()));
   for (size_t i = 0; i < l0_blocks.size(); ++i) {
-    l0_blocks[i].EncodeTo(enc);
+    l0_blocks[i]->EncodeTo(enc);
     const bool has_cert = i < l0_certs.size() && l0_certs[i].has_value();
     enc->PutBool(has_cert);
     if (has_cert) l0_certs[i]->EncodeTo(enc);
@@ -72,7 +75,7 @@ Result<ScanResponseBody> ScanResponseBody::DecodeFrom(Decoder* dec) {
   for (uint32_t i = 0; i < nblocks; ++i) {
     auto blk = Block::DecodeFrom(dec);
     if (!blk.ok()) return blk.status();
-    b.l0_blocks.push_back(std::move(*blk));
+    b.l0_blocks.push_back(std::make_shared<const Block>(std::move(*blk)));
     bool has_cert = false;
     WEDGE_ASSIGN_OR_RETURN(has_cert, dec->GetBool());
     if (has_cert) {
@@ -110,13 +113,13 @@ Result<ScanResponseBody> ScanResponseBody::DecodeFrom(Decoder* dec) {
 size_t ScanResponseBody::ByteSize() const {
   size_t sz = 8 + 8 + 4;
   for (const auto& p : pairs) sz += p.ByteSize();
-  for (const auto& blk : l0_blocks) sz += blk.ByteSize() + 1;
+  for (const auto& blk : l0_blocks) sz += blk->ByteSize() + 1;
   for (const auto& c : l0_certs) {
     if (c.has_value()) sz += 96;
   }
   for (const auto& run : runs) {
     sz += 8;
-    for (const auto& p : run.pages) sz += p.ByteSize();
+    for (const auto& p : run.pages) sz += p->ByteSize();
     for (const auto& p : run.proofs) sz += p.ByteSize();
   }
   sz += 4 + level_roots.size() * 32 + 1 + (root_cert.has_value() ? 96 : 0);
@@ -145,14 +148,8 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
       resp.level_roots.begin(), resp.level_roots.end(),
       [](const Digest256& d) { return !d.IsZero(); });
   if (resp.root_cert.has_value()) {
-    WEDGE_RETURN_NOT_OK(resp.root_cert->Validate(keystore));
-    if (resp.root_cert->edge != edge) {
-      return Violation("root certificate is for a different edge");
-    }
-    if (ComputeGlobalRoot(resp.root_cert->epoch, resp.level_roots) !=
-        resp.root_cert->global_root) {
-      return Violation("level roots do not hash to certified global root");
-    }
+    WEDGE_RETURN_NOT_OK(VerifierCache::VerifyPresentedRoot(
+        keystore, edge, *resp.root_cert, resp.level_roots, opts.cache));
   } else if (any_level_nonempty || !resp.runs.empty()) {
     return Violation("level data presented without a root certificate");
   }
@@ -174,23 +171,18 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
     return Violation("l0 certificate vector size mismatch");
   }
   bool all_l0_certified = true;
+  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries;
+  l0_entries.reserve(resp.l0_blocks.size());
   for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
-    const Block& blk = resp.l0_blocks[i];
-    if (i > 0 && blk.id != resp.l0_blocks[i - 1].id + 1) {
+    const Block& blk = *resp.l0_blocks[i];
+    if (i > 0 && blk.id != resp.l0_blocks[i - 1]->id + 1) {
       return Violation("L0 block ids are not contiguous");
     }
-    WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
-    const auto& cert = resp.l0_certs[i];
-    if (cert.has_value()) {
-      WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
-      if (cert->edge != edge) return Violation("block cert for wrong edge");
-      if (cert->bid != blk.id) return Violation("block cert for wrong bid");
-      if (cert->digest != blk.Digest()) {
-        return Violation("block digest does not match certificate");
-      }
-    } else {
-      all_l0_certified = false;
-    }
+    auto entry = VerifierCache::VerifyPresentedL0Block(
+        keystore, edge, resp.l0_blocks[i], resp.l0_certs[i], opts.cache);
+    if (!entry.ok()) return entry.status();
+    l0_entries.push_back(*entry);
+    if (!resp.l0_certs[i].has_value()) all_l0_certified = false;
   }
 
   // --- Rebuild the result from evidence: newest version per key. ---
@@ -198,15 +190,20 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
 
   // L0 first (newest data); within L0, higher version wins.
   for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
-    const Block& blk = resp.l0_blocks[i];
-    for (uint32_t idx = 0; idx < blk.entries.size(); ++idx) {
-      auto op = DecodePutPayload(blk.entries[idx].payload);
-      if (!op.ok()) return Violation("malformed put payload in L0 block");
-      if (op->key < lo || op->key > hi) continue;
-      KvPair pair;
-      pair.key = op->key;
-      pair.value = std::move(op->value);
-      pair.version = MakeVersion(blk.id, idx);
+    if (l0_entries[i] != nullptr) {
+      // Cached per-block index: already newest-per-key within the block.
+      for (const auto& [k, pair] : l0_entries[i]->newest) {
+        if (k < lo || k > hi) continue;
+        auto it = newest.find(k);
+        if (it == newest.end() || it->second.version < pair.version) {
+          newest[k] = pair;
+        }
+      }
+      continue;
+    }
+    // Cache off: derive pairs with the shared content-defined rule.
+    for (auto& pair : ExtractKvPairs(*resp.l0_blocks[i])) {
+      if (pair.key < lo || pair.key > hi) continue;
       auto it = newest.find(pair.key);
       if (it == newest.end() || it->second.version < pair.version) {
         newest[pair.key] = std::move(pair);
@@ -241,19 +238,25 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
       return Violation("run proof count mismatch");
     }
     // Ends must cover the scanned range...
-    if (!run.pages.front().Covers(lo) || !run.pages.back().Covers(hi)) {
+    if (!run.pages.front()->Covers(lo) || !run.pages.back()->Covers(hi)) {
       return Violation("run does not cover the scanned range");
     }
     for (size_t i = 0; i < run.pages.size(); ++i) {
-      const Page& page = run.pages[i];
-      WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
+      const Page& page = *run.pages[i];
       // ...and interior pages must be adjacent: a withheld middle page
       // would leave a hole here.
-      if (i > 0 && run.pages[i - 1].max_key != page.min_key - 1) {
+      if (i > 0 && run.pages[i - 1]->max_key != page.min_key - 1) {
         return Violation("run pages are not adjacent");
       }
-      WEDGE_RETURN_NOT_OK(
-          MerkleTree::Verify(root, page.Digest(), run.proofs[i]));
+      if (opts.cache == nullptr ||
+          !opts.cache->IsPartVerified(root, page, run.proofs[i])) {
+        WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
+        WEDGE_RETURN_NOT_OK(
+            MerkleTree::Verify(root, page.Digest(), run.proofs[i]));
+        if (opts.cache != nullptr) {
+          opts.cache->RecordPart(root, run.pages[i], run.proofs[i]);
+        }
+      }
       for (const KvPair& kv : page.pairs) {
         if (kv.key < lo || kv.key > hi) continue;
         // Lower levels are newer: only fill keys not seen yet. L0 keys

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,15 +30,24 @@ namespace wedge {
 
 /// One level's contribution to a scan proof: the contiguous run of pages
 /// intersecting the scanned range, each with a Merkle membership proof.
+/// Pages are shared (never null): the edge aliases its level pages
+/// instead of copying them into every response.
 struct ScanLevelRun {
   uint32_t level = 0;  // 1-based
-  std::vector<Page> pages;
+  std::vector<std::shared_ptr<const Page>> pages;
   std::vector<MerkleProof> proofs;  // parallel to pages
 
   void EncodeTo(Encoder* enc) const;
   static Result<ScanLevelRun> DecodeFrom(Decoder* dec);
   bool operator==(const ScanLevelRun& o) const {
-    return level == o.level && pages == o.pages && proofs == o.proofs;
+    if (level != o.level || pages.size() != o.pages.size() ||
+        proofs != o.proofs) {
+      return false;
+    }
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (!(*pages[i] == *o.pages[i])) return false;
+    }
+    return true;
   }
 };
 
@@ -48,8 +58,9 @@ struct ScanResponseBody {
   /// The claimed result: newest version per key, sorted ascending by key.
   std::vector<KvPair> pairs;
 
-  /// All L0 blocks, oldest first, with optional certificates.
-  std::vector<Block> l0_blocks;
+  /// All L0 blocks, oldest first, with optional certificates. Shared and
+  /// never null, like GetResponseBody::l0_blocks.
+  std::vector<std::shared_ptr<const Block>> l0_blocks;
   std::vector<std::optional<BlockCertificate>> l0_certs;
 
   /// One run per non-empty level 1..n.

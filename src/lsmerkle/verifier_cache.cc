@@ -1,0 +1,190 @@
+#include "lsmerkle/verifier_cache.h"
+
+#include "lsmerkle/merge.h"
+
+namespace wedge {
+
+namespace {
+
+/// (edge, bid) packed into one map key. NodeIds are 32-bit; block ids are
+/// per-edge and far below 2^32 in any realistic run.
+uint64_t BlockKey(NodeId edge, BlockId bid) {
+  return (static_cast<uint64_t>(edge) << 32) ^ (bid & 0xffffffffull);
+}
+
+}  // namespace
+
+bool VerifierCache::IsRootVerified(NodeId edge, const RootCertificate& cert,
+                                   const std::vector<Digest256>& level_roots) {
+  for (const RootEntry& e : roots_) {
+    if (e.edge == edge && e.cert == cert && e.level_roots == level_roots) {
+      stats_.root_hits++;
+      return true;
+    }
+  }
+  stats_.root_misses++;
+  return false;
+}
+
+void VerifierCache::RecordRoot(NodeId edge, const RootCertificate& cert,
+                               const std::vector<Digest256>& level_roots) {
+  roots_.push_back(RootEntry{edge, cert, level_roots});
+  while (roots_.size() > limits_.max_roots) roots_.pop_front();
+}
+
+std::shared_ptr<VerifierCache::BlockEntry> VerifierCache::FindBlock(
+    NodeId edge, BlockId bid) {
+  auto it = blocks_.find(BlockKey(edge, bid));
+  if (it == blocks_.end()) {
+    stats_.block_misses++;
+    return nullptr;
+  }
+  stats_.block_hits++;
+  return it->second;
+}
+
+std::shared_ptr<VerifierCache::BlockEntry> VerifierCache::RecordBlock(
+    NodeId edge, std::shared_ptr<const Block> block, const Digest256& digest,
+    std::optional<BlockCertificate> cert,
+    std::unordered_map<Key, KvPair> newest) {
+  const uint64_t key = BlockKey(edge, block->id);
+  auto& slot = blocks_[key];
+  if (slot == nullptr) {
+    slot = std::make_shared<BlockEntry>();
+    block_order_.push_back(key);
+  }
+  auto entry = slot;
+  entry->edge = edge;
+  entry->block = std::move(block);
+  entry->digest = digest;
+  entry->cert = std::move(cert);
+  entry->newest = std::move(newest);
+  while (blocks_.size() > limits_.max_blocks && !block_order_.empty()) {
+    blocks_.erase(block_order_.front());
+    block_order_.pop_front();
+  }
+  // Even if the cap just evicted it from the map, the caller's shared
+  // entry stays valid for the current request.
+  return entry;
+}
+
+bool VerifierCache::IsPartVerified(const Digest256& level_root,
+                                   const Page& page,
+                                   const MerkleProof& proof) {
+  auto rit = parts_.find(level_root);
+  if (rit != parts_.end()) {
+    auto pit = rit->second.find(page.min_key);
+    if (pit != rit->second.end() && *pit->second.page == page &&
+        pit->second.proof == proof) {
+      stats_.part_hits++;
+      return true;
+    }
+  }
+  stats_.part_misses++;
+  return false;
+}
+
+void VerifierCache::RecordPart(const Digest256& level_root,
+                               std::shared_ptr<const Page> page,
+                               const MerkleProof& proof) {
+  auto [rit, fresh_root] = parts_.try_emplace(level_root);
+  if (fresh_root) part_root_order_.push_back(level_root);
+  const Key min_key = page->min_key;
+  auto [pit, fresh_part] =
+      rit->second.insert_or_assign(min_key, PartEntry{std::move(page), proof});
+  (void)pit;
+  if (fresh_part) part_count_++;
+  while ((parts_.size() > limits_.max_part_roots ||
+          part_count_ > limits_.max_parts) &&
+         !part_root_order_.empty()) {
+    auto evicted = parts_.find(part_root_order_.front());
+    if (evicted != parts_.end()) {
+      part_count_ -= evicted->second.size();
+      parts_.erase(evicted);
+    }
+    part_root_order_.pop_front();
+  }
+}
+
+Status VerifierCache::VerifyPresentedRoot(
+    const KeyStore& keystore, NodeId edge, const RootCertificate& cert,
+    const std::vector<Digest256>& level_roots, VerifierCache* cache) {
+  if (cache != nullptr && cache->IsRootVerified(edge, cert, level_roots)) {
+    return Status::OK();
+  }
+  WEDGE_RETURN_NOT_OK(cert.Validate(keystore));
+  if (cert.edge != edge) {
+    return Status::SecurityViolation(
+        "root certificate is for a different edge");
+  }
+  if (ComputeGlobalRoot(cert.epoch, level_roots) != cert.global_root) {
+    return Status::SecurityViolation(
+        "level roots do not hash to certified global root");
+  }
+  if (cache != nullptr) cache->RecordRoot(edge, cert, level_roots);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<VerifierCache::BlockEntry>>
+VerifierCache::VerifyPresentedL0Block(
+    const KeyStore& keystore, NodeId edge,
+    const std::shared_ptr<const Block>& block,
+    const std::optional<BlockCertificate>& cert, VerifierCache* cache) {
+  auto violation = [](const std::string& what) {
+    return Status::SecurityViolation("l0 block: " + what);
+  };
+  const Block& blk = *block;
+
+  if (cache != nullptr) {
+    std::shared_ptr<BlockEntry> e = cache->FindBlock(edge, blk.id);
+    if (e != nullptr && *e->block == blk) {
+      // Content bound by equality with the verified copy. Only a
+      // certificate this entry has not seen yet needs work — and its
+      // digest check is against the cached digest, no re-hash.
+      if (cert.has_value() && !(e->cert.has_value() && *e->cert == *cert)) {
+        WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+        if (cert->edge != edge) return violation("cert for wrong edge");
+        if (cert->bid != blk.id) return violation("cert for wrong bid");
+        if (cert->digest != e->digest) {
+          return violation("digest does not match certificate");
+        }
+        e->cert = *cert;
+      }
+      return e;
+    }
+  }
+
+  WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
+  Digest256 digest;
+  if (cert.has_value() || cache != nullptr) digest = blk.Digest();
+  if (cert.has_value()) {
+    WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+    if (cert->edge != edge) return violation("cert for wrong edge");
+    if (cert->bid != blk.id) return violation("cert for wrong bid");
+    if (cert->digest != digest) {
+      return violation("digest does not match certificate");
+    }
+  }
+  if (cache == nullptr) return std::shared_ptr<BlockEntry>();
+
+  // Build the per-key index once (the shared content-defined rule);
+  // later requests probe instead of decoding every payload again.
+  std::unordered_map<Key, KvPair> newest;
+  auto pairs = ExtractKvPairs(blk);
+  newest.reserve(pairs.size());
+  for (auto& p : pairs) {
+    newest[p.key] = std::move(p);  // versions rise with entry idx: newest
+  }
+  return cache->RecordBlock(edge, block, digest, cert, std::move(newest));
+}
+
+void VerifierCache::Clear() {
+  roots_.clear();
+  blocks_.clear();
+  block_order_.clear();
+  parts_.clear();
+  part_root_order_.clear();
+  part_count_ = 0;
+}
+
+}  // namespace wedge

@@ -56,7 +56,9 @@ class BlockStore {
   /// Everything recovery learned from the segments.
   struct Recovered {
     EdgeLog log;
-    /// is_kv flag per block id (index == block id).
+    /// is_kv flag per block id (index == block id). Advisory/diagnostic
+    /// only: kv-ness is content-defined at apply time, and every block
+    /// occupies an L0 slot regardless.
     std::vector<bool> kv_flags;
     /// Records dropped by WAL resync (torn tails, corruption).
     uint64_t corruption_events = 0;

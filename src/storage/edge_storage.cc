@@ -36,24 +36,23 @@ Result<EdgeStorage::RecoveredState> EdgeStorage::Recover(
   WEDGE_RETURN_NOT_OK(out.tree.RestoreLevels(
       std::move(manifest.levels), manifest.epoch, manifest.root_cert));
 
-  // L0 = kv blocks past the consumed prefix, re-applied in log order.
-  uint64_t kv_seen = 0;
-  for (BlockId bid = 0; bid < blocks.log.size(); ++bid) {
-    const bool is_kv = bid < blocks.kv_flags.size() && blocks.kv_flags[bid];
-    if (!is_kv) continue;
-    ++kv_seen;
-    if (kv_seen <= manifest.kv_blocks_consumed) continue;
+  // L0 = blocks past the consumed prefix, re-applied in log order. Every
+  // block occupies an L0 slot (raw appends as pair-less units; kv-ness
+  // is content-defined at apply time), matching the live edge's L0 and
+  // keeping the proof-visible block id stream contiguous.
+  for (BlockId bid = manifest.l0_blocks_consumed; bid < blocks.log.size();
+       ++bid) {
     auto block = blocks.log.GetBlock(bid);
     if (!block.ok()) return block.status();
     WEDGE_RETURN_NOT_OK(out.tree.ApplyBlock(std::move(*block)));
   }
-  if (kv_seen < manifest.kv_blocks_consumed) {
+  if (blocks.log.size() < manifest.l0_blocks_consumed) {
     // The log lost consumed blocks (crash under relaxed sync). Their
     // contents live on in the manifest's levels; only the raw log bodies
     // are missing, and the cloud's backup can refill them.
-    out.log_behind_manifest = manifest.kv_blocks_consumed - kv_seen;
+    out.log_behind_manifest = manifest.l0_blocks_consumed - blocks.log.size();
   }
-  out.kv_blocks_in_log = kv_seen;
+  out.blocks_in_log = blocks.log.size();
 
   // Replay protection continues where the crashed node left off.
   for (BlockId bid = 0; bid < blocks.log.size(); ++bid) {
@@ -68,7 +67,7 @@ Result<EdgeStorage::RecoveredState> EdgeStorage::Recover(
   }
 
   out.log = std::move(blocks.log);
-  out.kv_blocks_consumed = manifest.kv_blocks_consumed;
+  out.l0_blocks_consumed = manifest.l0_blocks_consumed;
   out.corruption_events = blocks.corruption_events;
   out.dropped_bytes = blocks.dropped_bytes;
   out.blocks_beyond_gap = blocks.blocks_beyond_gap;

@@ -61,12 +61,12 @@ class EdgeStorage {
   /// from L0 in total since the store was created.
   Status PersistMerge(
       const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
-      const RootCertificate& cert, uint64_t kv_blocks_consumed) {
-    return manifest_->LogMerge(changed_levels, cert, kv_blocks_consumed);
+      const RootCertificate& cert, uint64_t l0_blocks_consumed) {
+    return manifest_->LogMerge(changed_levels, cert, l0_blocks_consumed);
   }
 
-  uint64_t kv_blocks_consumed() const {
-    return manifest_->state().kv_blocks_consumed;
+  uint64_t l0_blocks_consumed() const {
+    return manifest_->state().l0_blocks_consumed;
   }
 
   // ---- recovery ----
@@ -77,10 +77,10 @@ class EdgeStorage {
     /// Highest sequence number seen per client, for replay protection.
     std::unordered_map<NodeId, SeqNum> last_seq;
     /// Cumulative kv blocks consumed (continue the counter from here).
-    uint64_t kv_blocks_consumed = 0;
+    uint64_t l0_blocks_consumed = 0;
     /// Number of kv blocks present in the recovered log (the edge keeps
     /// counting from here to place backup-restored blocks correctly).
-    uint64_t kv_blocks_in_log = 0;
+    uint64_t blocks_in_log = 0;
     /// How many consumed kv blocks the log no longer holds (a lost tail
     /// under relaxed sync). Their data is safe in the manifest's levels;
     /// the log bodies are only recoverable from the cloud's backup.

@@ -120,9 +120,9 @@ Status Manifest::AppendRecord(Slice payload) {
 
 Status Manifest::LogMerge(
     const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
-    const RootCertificate& cert, uint64_t kv_blocks_consumed) {
-  if (kv_blocks_consumed < state_.kv_blocks_consumed) {
-    return Status::InvalidArgument("kv_blocks_consumed moved backwards");
+    const RootCertificate& cert, uint64_t l0_blocks_consumed) {
+  if (l0_blocks_consumed < state_.l0_blocks_consumed) {
+    return Status::InvalidArgument("l0_blocks_consumed moved backwards");
   }
   for (const auto& [level, pages] : changed_levels) {
     if (level < 1 || level > level_count_) {
@@ -138,7 +138,7 @@ Status Manifest::LogMerge(
 
   Encoder enc;
   enc.PutU8(kMergeCommit);
-  enc.PutU64(kv_blocks_consumed);
+  enc.PutU64(l0_blocks_consumed);
   cert.EncodeTo(&enc);
   WEDGE_RETURN_NOT_OK(AppendRecord(enc.buffer()));
   WEDGE_RETURN_NOT_OK(writer_->Sync());
@@ -150,7 +150,7 @@ Status Manifest::LogMerge(
   }
   state_.epoch = cert.epoch;
   state_.root_cert = cert;
-  state_.kv_blocks_consumed = kv_blocks_consumed;
+  state_.l0_blocks_consumed = l0_blocks_consumed;
 
   if (options_.rotate_after_records > 0 &&
       records_in_active_ >= options_.rotate_after_records) {
@@ -160,7 +160,7 @@ Status Manifest::LogMerge(
 }
 
 void Manifest::EncodeSnapshot(const ManifestState& state, Encoder* enc) {
-  enc->PutU64(state.kv_blocks_consumed);
+  enc->PutU64(state.l0_blocks_consumed);
   enc->PutU64(state.epoch);
   enc->PutBool(state.root_cert.has_value());
   if (state.root_cert.has_value()) state.root_cert->EncodeTo(enc);
@@ -194,14 +194,14 @@ Status Manifest::ApplyRecord(Slice record, size_t level_count,
       auto cert = RootCertificate::DecodeFrom(&dec);
       if (!cert.ok()) return cert.status();
       WEDGE_RETURN_NOT_OK(dec.ExpectDone());
-      state->kv_blocks_consumed = consumed;
+      state->l0_blocks_consumed = consumed;
       state->epoch = cert->epoch;
       state->root_cert = std::move(*cert);
       return Status::OK();
     }
     case kSnapshot: {
       ManifestState snap;
-      WEDGE_ASSIGN_OR_RETURN(snap.kv_blocks_consumed, dec.GetU64());
+      WEDGE_ASSIGN_OR_RETURN(snap.l0_blocks_consumed, dec.GetU64());
       WEDGE_ASSIGN_OR_RETURN(snap.epoch, dec.GetU64());
       bool has_cert = false;
       WEDGE_ASSIGN_OR_RETURN(has_cert, dec.GetBool());

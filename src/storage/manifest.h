@@ -44,7 +44,7 @@ struct ManifestState {
   std::optional<RootCertificate> root_cert;
   /// Cumulative kv blocks consumed from L0 by merges since the store was
   /// created. Recovery re-applies kv blocks after this prefix to L0.
-  uint64_t kv_blocks_consumed = 0;
+  uint64_t l0_blocks_consumed = 0;
 };
 
 class Manifest {
@@ -61,7 +61,7 @@ class Manifest {
   /// pages).
   Status LogMerge(
       const std::vector<std::pair<size_t, std::vector<Page>>>& changed_levels,
-      const RootCertificate& cert, uint64_t kv_blocks_consumed);
+      const RootCertificate& cert, uint64_t l0_blocks_consumed);
 
   /// The state as of the last LogMerge (also what recovery would return).
   const ManifestState& state() const { return state_; }

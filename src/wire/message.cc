@@ -87,7 +87,7 @@ Result<Envelope> Parse(Slice wire) {
   uint8_t type_byte = 0;
   WEDGE_ASSIGN_OR_RETURN(type_byte, dec.GetU8());
   if (type_byte < 1 ||
-      type_byte > static_cast<uint8_t>(MsgType::kCloudScanResponse)) {
+      type_byte > static_cast<uint8_t>(MsgType::kMaxMsgType)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(type_byte));
   }

@@ -59,6 +59,10 @@ enum class MsgType : uint8_t {
   kScanRequest = 28,   // client -> edge (also client -> cloud-only server)
   kScanResponse = 29,  // edge -> client, proof-carrying
   kCloudScanResponse = 30,  // cloud-only: trusted scan result, no proofs
+
+  // Keep in sync when adding values: Parse() rejects type bytes above
+  // this bound.
+  kMaxMsgType = kCloudScanResponse,
 };
 
 std::string_view MsgTypeToString(MsgType type);

@@ -497,6 +497,8 @@ struct ReserveResponse {
 
 /// Cloud-only / edge-baseline write: a batch of entries. For edge-baseline
 /// the edge forwards the formed block to the cloud inside kEbCertify.
+/// `is_kv` is advisory only: kv-ness is content-defined everywhere (an
+/// entry is a put iff its payload decodes as one).
 struct CloudWriteRequest {
   SeqNum req_id = 0;
   bool is_kv = false;
@@ -608,7 +610,10 @@ struct CloudScanResponse {
 };
 
 /// Edge-baseline edge -> cloud: the full block (not just a digest — this
-/// is precisely what data-free certification avoids).
+/// is precisely what data-free certification avoids). Kv-ness is
+/// content-defined (an entry is a put iff its payload decodes as one),
+/// so raw log appends travel the same message and simply contribute no
+/// pairs to the cloud's authoritative mLSM.
 struct EbCertify {
   Block block;
 

@@ -164,8 +164,11 @@ TEST(CommitHandleTest, BaselinesCollapsePhases) {
 
 // ------------------------------------------------- capability surface
 
-TEST(StoreCapabilityTest, AppendAndReadBlockOnWedge) {
-  auto opened = Store::Open(SmallOptions(BackendKind::kWedge));
+// Log workloads run apples-to-apples: Append and ReadBlock work on all
+// three backends (the baselines certify synchronously; cloud-only serves
+// the block on trust).
+TEST_P(StoreApiTest, AppendAndReadBlockRoundTrip) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
   ASSERT_TRUE(opened.ok());
   Store store = std::move(*opened);
 
@@ -180,20 +183,62 @@ TEST(StoreCapabilityTest, AppendAndReadBlockOnWedge) {
   EXPECT_EQ(read->block.id, p1->block);
   EXPECT_EQ(read->block.entries.size(), 4u);
   EXPECT_TRUE(read->phase2);
+
+  auto missing = store.ReadBlock(999);
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
 }
 
-TEST(StoreCapabilityTest, AppendAndReadBlockUnsupportedOnBaselines) {
-  for (BackendKind kind :
-       {BackendKind::kEdgeBaseline, BackendKind::kCloudOnly}) {
-    auto opened = Store::Open(SmallOptions(kind));
-    ASSERT_TRUE(opened.ok());
-    Store store = std::move(*opened);
+// Interleaving appends with puts must not break read verification:
+// append blocks occupy L0 slots (pair-less), so the certified block id
+// stream the verifier checks stays contiguous on every backend.
+TEST_P(StoreApiTest, MixedAppendAndPutWorkloadStillVerifies) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
 
-    auto append = store.Append({Bytes{'x'}}).WaitPhase1();
-    EXPECT_TRUE(append.status().IsNotImplemented()) << append.status();
-    auto read = store.ReadBlock(0);
-    EXPECT_TRUE(read.status().IsNotImplemented()) << read.status();
+  ASSERT_TRUE(store.PutBatch({{1, Val(1)}, {2, Val(1)}, {3, Val(1)},
+                              {4, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  ASSERT_TRUE(store.Append({Bytes{'r'}, Bytes{'a'}, Bytes{'w'}, Bytes{'!'}})
+                  .WaitPhase2()
+                  .ok());
+  ASSERT_TRUE(store.PutBatch({{5, Val(2)}, {6, Val(2)}, {7, Val(2)},
+                              {8, Val(2)}})
+                  .WaitPhase2()
+                  .ok());
+  store.RunFor(kSecond);
+
+  for (Key k : {Key(1), Key(5)}) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_TRUE(got->found);
   }
+  auto scan = store.Scan(1, 8);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->pairs.size(), 8u);
+}
+
+// Baseline write acks carry the real block id, so consecutive commits
+// report consecutive blocks on every backend (no more Commit::block == 0).
+TEST_P(StoreApiTest, CommitsCarryRealBlockIds) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  auto first = store.PutBatch({{1, Val(1)}, {2, Val(1)}, {3, Val(1)},
+                               {4, Val(1)}})
+                   .WaitPhase2();
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = store.PutBatch({{5, Val(1)}, {6, Val(1)}, {7, Val(1)},
+                                {8, Val(1)}})
+                    .WaitPhase2();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_GT(second->block, first->block);
+
+  auto read = store.ReadBlock(second->block);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->block.id, second->block);
 }
 
 // ------------------------------------------------- malicious edge
@@ -213,6 +258,68 @@ TEST(MaliciousEdgeTest, TamperedGetSurfacesAsSecurityViolation) {
   auto got = store.Get(7);
   EXPECT_TRUE(got.status().IsSecurityViolation()) << got.status();
   EXPECT_GE(store.wedge().client().stats().verification_failures, 1u);
+}
+
+// Cache soundness end-to-end: warm the verifier cache with honest reads,
+// then tamper. The cached material must not mask the lie — tampered
+// content misses the cache (keys bind content) and fails verification.
+TEST(MaliciousEdgeTest, TamperedGetAfterWarmCacheStillDetected) {
+  auto opened = Store::Open(SmallOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(store.PutBatch({{7, Val(1)}, {8, Val(1)}, {9, Val(1)},
+                              {10, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  // Warm the cache with honest reads of the very key we will tamper.
+  for (int i = 0; i < 3; ++i) {
+    auto honest = store.Get(7);
+    ASSERT_TRUE(honest.ok()) << honest.status();
+  }
+  const auto& cache_stats = store.wedge().client().verifier_cache().stats();
+  EXPECT_GT(cache_stats.block_hits, 0u) << "cache never warmed";
+
+  store.wedge().edge().misbehavior().tamper_get_value = true;
+  auto got = store.Get(7);
+  EXPECT_TRUE(got.status().IsSecurityViolation()) << got.status();
+}
+
+// A replayed stale-but-valid snapshot (old root certificate) must still
+// surface with caches enabled: staleness checks live outside the cache.
+TEST(MaliciousEdgeTest, StaleRootReplayAfterWarmCacheStillDetected) {
+  StoreOptions o = SmallOptions(BackendKind::kWedge);
+  o.deploy.client.monotonic_snapshots = true;
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok());
+  Store store = std::move(*opened);
+
+  // Reach a certified epoch, freeze that view, then advance past it.
+  for (Key base = 0; base < 16; base += 4) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (Key k = base; k < base + 4; ++k) kvs.emplace_back(k, Val(1));
+    ASSERT_TRUE(store.PutBatch(kvs).WaitPhase1().ok());
+  }
+  store.RunFor(5 * kSecond);
+  ASSERT_GE(store.wedge().edge().lsm().epoch(), 1u);
+  store.wedge().edge().CaptureRollbackSnapshot();
+  for (Key base = 16; base < 32; base += 4) {
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (Key k = base; k < base + 4; ++k) kvs.emplace_back(k, Val(2));
+    ASSERT_TRUE(store.PutBatch(kvs).WaitPhase1().ok());
+  }
+  store.RunFor(5 * kSecond);
+
+  // Honest read observes (and caches) the new epoch's material.
+  ASSERT_TRUE(store.Get(1).ok());
+
+  // Replaying the frozen view re-presents an old root certificate whose
+  // crypto is perfectly valid — possibly even cache-resident. The
+  // session watermark still rejects it.
+  store.wedge().edge().misbehavior().rollback_snapshot = true;
+  auto stale = store.Get(1);
+  EXPECT_TRUE(stale.status().IsSecurityViolation()) << stale.status();
+  EXPECT_GE(store.wedge().client().stats().snapshot_regressions, 1u);
 }
 
 TEST(MaliciousEdgeTest, TruncatedScanSurfacesAsSecurityViolation) {

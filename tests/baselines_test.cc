@@ -38,7 +38,7 @@ TEST(CloudOnlyTest, WriteThenReadRoundTrip) {
 
   SimTime write_done = -1;
   d.client().WriteBatch(Puts({1, 2, 3, 4}, 0xaa),
-                        [&](const Status& s, SimTime t) {
+                        [&](const Status& s, BlockId, SimTime t) {
                           ASSERT_TRUE(s.ok());
                           write_done = t;
                         });
@@ -98,7 +98,7 @@ TEST(EdgeBaselineTest, WritePaysCloudRoundTrip) {
 
   SimTime write_done = -1;
   d.client().WriteBatch(Puts({1, 2, 3, 4}, 0xbb),
-                        [&](const Status& s, SimTime t) {
+                        [&](const Status& s, BlockId, SimTime t) {
                           ASSERT_TRUE(s.ok());
                           write_done = t;
                         });
@@ -117,7 +117,7 @@ TEST(EdgeBaselineTest, GetServedLocallyWithVerifyingProof) {
   d.Start();
   SimTime write_done = -1;
   d.client().WriteBatch(Puts({5, 6, 7, 8}, 0xcc),
-                        [&](const Status&, SimTime t) { write_done = t; });
+                        [&](const Status&, BlockId, SimTime t) { write_done = t; });
   d.sim().RunFor(2 * kSecond);
   ASSERT_GE(write_done, 0);
 
@@ -149,7 +149,7 @@ TEST(EdgeBaselineTest, MergesMirroredAtEdge) {
         Puts({static_cast<Key>(i * 4), static_cast<Key>(i * 4 + 1),
               static_cast<Key>(i * 4 + 2), static_cast<Key>(i * 4 + 3)},
              static_cast<uint8_t>(i)),
-        [&](const Status& s, SimTime) { done = s.ok(); });
+        [&](const Status& s, BlockId, SimTime) { done = s.ok(); });
     d.sim().RunFor(2 * kSecond);
     ASSERT_TRUE(done) << "write " << i;
   }
@@ -181,7 +181,7 @@ TEST(EdgeBaselineTest, ReadsQueueBehindInFlightWrite) {
   // isolation on the mutable edge-baseline state).
   SimTime write_done = -1, get_done = -1;
   d.client().WriteBatch(Puts({1, 2, 3, 4}, 2),
-                        [&](const Status&, SimTime t) { write_done = t; });
+                        [&](const Status&, BlockId, SimTime t) { write_done = t; });
   // Past edge processing (~15 ms), well inside the ~61 ms cloud RTT.
   d.sim().RunFor(25 * kMillisecond);
   d.client().Get(1, [&](const Status& s, const VerifiedGet&, SimTime t) {
@@ -203,7 +203,7 @@ TEST(EdgeBaselineTest, MultipleClientsSerializeThroughCloud) {
   int done = 0;
   for (size_t c = 0; c < 3; ++c) {
     d.client(c).WriteBatch(Puts({static_cast<Key>(c)}, 1),
-                           [&](const Status& s, SimTime) {
+                           [&](const Status& s, BlockId, SimTime) {
                              if (s.ok()) done++;
                            });
   }

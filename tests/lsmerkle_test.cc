@@ -429,7 +429,7 @@ class ReadProofTest : public LsmerkleTreeTest {
       resp.l0_blocks.push_back(unit.block);
       // Tests control certification separately; default: certified.
       resp.l0_certs.push_back(BlockCertificate::Make(
-          cloud_, edge_.id(), unit.block.id, unit.block.Digest(), 10));
+          cloud_, edge_.id(), unit.block->id, unit.block->Digest(), 10));
     }
     uint32_t deepest =
         r.found ? r.level : static_cast<uint32_t>(tree_.level_count() - 1);
@@ -441,7 +441,7 @@ class ReadProofTest : public LsmerkleTreeTest {
       if (!idx.ok()) continue;
       GetLevelPart part;
       part.level = lvl;
-      part.page = level.pages()[*idx];
+      part.page = level.SharedPage(*idx);
       part.proof = *level.ProvePage(*idx);
       resp.parts.push_back(std::move(part));
     }
@@ -543,9 +543,14 @@ TEST_F(ReadProofTest, TamperedPageDetected) {
   SeedData();
   auto resp = AssembleResponse(30);
   for (auto& part : resp.parts) {
-    for (auto& pr : part.page.pairs) {
+    // Tamper via copy-and-replace: the response shares the tree's
+    // immutable pages, and a copy drops any memoized digest — exactly
+    // the invalidation-safety the cache relies on.
+    Page tampered = *part.page;
+    for (auto& pr : tampered.pairs) {
       if (pr.key == 30) pr.value = Val("EVIL");
     }
+    part.page = std::make_shared<const Page>(std::move(tampered));
   }
   resp.value = Val("EVIL");
   auto v = VerifyGetResponse(keystore_, edge_.id(), 30, resp);
@@ -569,12 +574,14 @@ TEST_F(ReadProofTest, WrongRangePageDetected) {
   if (l1.page_count() > 1) {
     size_t honest = *l1.FindPageIndex(30);
     size_t other = honest == 0 ? 1 : 0;
-    resp.parts[0].page = l1.pages()[other];
+    resp.parts[0].page = l1.SharedPage(other);
     resp.parts[0].proof = *l1.ProvePage(other);
     resp.found = false;
     resp.value.clear();
   } else {
-    resp.parts[0].page.max_key = 29;
+    Page shrunk = *resp.parts[0].page;
+    shrunk.max_key = 29;
+    resp.parts[0].page = std::make_shared<const Page>(std::move(shrunk));
   }
   auto v = VerifyGetResponse(keystore_, edge_.id(), 30, resp);
   EXPECT_TRUE(v.status().IsSecurityViolation());

@@ -328,9 +328,9 @@ TEST_P(CrashRecoveryPropertyTest, RandomCrashRecoversConsistentPrefix) {
     EXPECT_EQ(rec->tree.root_cert()->global_root, rec->tree.GlobalRoot());
   }
   // L0 only holds kv blocks past the consumed prefix.
-  EXPECT_LE(rec->tree.l0_count() + rec->kv_blocks_consumed,
-            rec->kv_blocks_in_log + rec->log_behind_manifest +
-                rec->kv_blocks_consumed);
+  EXPECT_LE(rec->tree.l0_count() + rec->l0_blocks_consumed,
+            rec->blocks_in_log + rec->log_behind_manifest +
+                rec->l0_blocks_consumed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryPropertyTest,

@@ -331,8 +331,12 @@ TEST_F(ScanFixture, TamperedPageContentFailsMerkleCheck) {
   MergeL0();
   auto body = AssembleScanResponse(tree_, log_, 0, 100);
   ASSERT_FALSE(body.runs.empty());
-  ASSERT_FALSE(body.runs[0].pages[0].pairs.empty());
-  body.runs[0].pages[0].pairs[0].value = Bytes{0xee};
+  ASSERT_FALSE(body.runs[0].pages[0]->pairs.empty());
+  // Tamper via copy-and-replace: responses share immutable pages, and a
+  // copy drops the memoized digest, so the forged content re-hashes.
+  Page tampered = *body.runs[0].pages[0];
+  tampered.pairs[0].value = Bytes{0xee};
+  body.runs[0].pages[0] = std::make_shared<const Page>(std::move(tampered));
   auto verified = VerifyScanResponse(keystore_, edge_.id(), 0, 100, body);
   ASSERT_FALSE(verified.ok());
   EXPECT_TRUE(verified.status().IsSecurityViolation());

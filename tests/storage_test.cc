@@ -657,7 +657,7 @@ TEST_F(ManifestTest, FreshManifestHasEmptyState) {
   ASSERT_TRUE(m.ok());
   EXPECT_EQ((*m)->state().levels.size(), 3u);
   EXPECT_EQ((*m)->state().epoch, 0u);
-  EXPECT_EQ((*m)->state().kv_blocks_consumed, 0u);
+  EXPECT_EQ((*m)->state().l0_blocks_consumed, 0u);
   EXPECT_FALSE((*m)->state().root_cert.has_value());
   EXPECT_TRUE(env_.FileExists("mf/CURRENT"));
 }
@@ -674,7 +674,7 @@ TEST_F(ManifestTest, LogMergeRoundTripsThroughRecovery) {
   EXPECT_EQ(state->levels[0], pages);
   EXPECT_TRUE(state->levels[1].empty());
   EXPECT_EQ(state->epoch, 1u);
-  EXPECT_EQ(state->kv_blocks_consumed, 10u);
+  EXPECT_EQ(state->l0_blocks_consumed, 10u);
   ASSERT_TRUE(state->root_cert.has_value());
   EXPECT_EQ(*state->root_cert, cert);
 }
@@ -690,7 +690,7 @@ TEST_F(ManifestTest, SequenceOfMergesKeepsLatestState) {
   auto state = Manifest::Recover(&env_, "mf", 2);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ(state->epoch, 5u);
-  EXPECT_EQ(state->kv_blocks_consumed, 10u);
+  EXPECT_EQ(state->l0_blocks_consumed, 10u);
   EXPECT_EQ(state->levels[0].size(), 5u);
 }
 
@@ -726,7 +726,7 @@ TEST_F(ManifestTest, RotationSnapshotsAndDeletesOldFile) {
   auto state = Manifest::Recover(&env_, "mf", 2);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ(state->epoch, 6u);
-  EXPECT_EQ(state->kv_blocks_consumed, 6u);
+  EXPECT_EQ(state->l0_blocks_consumed, 6u);
 }
 
 TEST_F(ManifestTest, ReopenCleansUpStaleManifests) {
@@ -755,7 +755,7 @@ TEST_F(ManifestTest, ReopenResumesFromRecoveredState) {
   auto m = Manifest::Open(&env_, "mf", 2, {});
   ASSERT_TRUE(m.ok());
   EXPECT_EQ((*m)->state().epoch, 2u);
-  EXPECT_EQ((*m)->state().kv_blocks_consumed, 7u);
+  EXPECT_EQ((*m)->state().l0_blocks_consumed, 7u);
   EXPECT_EQ((*m)->state().levels[0].size(), 3u);
 }
 
@@ -893,7 +893,7 @@ TEST_F(EdgeStorageTest, RecoverReproducesLogTreeAndReplayState) {
   EXPECT_EQ(rec->tree.l0_count(), 2u);
   EXPECT_EQ(rec->tree.epoch(), tree.epoch());
   EXPECT_EQ(rec->tree.GlobalRoot(), tree.GlobalRoot());
-  EXPECT_EQ(rec->kv_blocks_consumed, consumed);
+  EXPECT_EQ(rec->l0_blocks_consumed, consumed);
   EXPECT_EQ(rec->corruption_events, 0u);
   // Replay protection: the highest client seq must be remembered.
   EXPECT_EQ(rec->last_seq[client_.id()], next_seq_ - 1);
@@ -957,7 +957,7 @@ TEST_F(EdgeStorageTest, LogBehindManifestIsToleratedAndReported) {
   auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
   ASSERT_TRUE(rec.ok()) << rec.status();
   EXPECT_EQ(rec->log_behind_manifest, 4u);  // claims 5 consumed, log has 1
-  EXPECT_EQ(rec->kv_blocks_in_log, 1u);
+  EXPECT_EQ(rec->blocks_in_log, 1u);
   EXPECT_EQ(rec->tree.l0_count(), 0u);
 }
 
@@ -983,7 +983,7 @@ TEST_F(EdgeStorageTest, TamperedManifestPagesFailRootCheck) {
   EXPECT_TRUE(rec.status().IsCorruption());
 }
 
-TEST_F(EdgeStorageTest, MixedKvAndRawBlocksOnlyKvReachL0) {
+TEST_F(EdgeStorageTest, MixedKvAndRawBlocksAllOccupyL0Slots) {
   auto storage = EdgeStorage::Open(&env_, "edge1", 3, {});
   ASSERT_TRUE(storage.ok());
   // Raw logging block (opaque payloads) between kv blocks.
@@ -999,7 +999,12 @@ TEST_F(EdgeStorageTest, MixedKvAndRawBlocksOnlyKvReachL0) {
   auto rec = EdgeStorage::Recover(&env_, "edge1", config_);
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec->log.size(), 3u);
-  EXPECT_EQ(rec->tree.l0_count(), 2u);  // the raw block is not in L0
+  // Every block occupies an L0 slot (id contiguity for read proofs);
+  // kv-ness is content-defined, so the raw block carries no pairs.
+  ASSERT_EQ(rec->tree.l0_count(), 3u);
+  EXPECT_FALSE(rec->tree.l0_units()[0].pairs.empty());
+  EXPECT_TRUE(rec->tree.l0_units()[1].pairs.empty());
+  EXPECT_FALSE(rec->tree.l0_units()[2].pairs.empty());
 }
 
 }  // namespace

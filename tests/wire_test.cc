@@ -224,7 +224,7 @@ TEST_F(WireTest, ScanResponseRoundTrip) {
   p.min_key = kMinKey;
   p.max_key = kMaxKey;
   p.pairs.push_back({7, Bytes{9}, 42});
-  run.pages.push_back(p);
+  run.pages.push_back(std::make_shared<const Page>(std::move(p)));
   run.proofs.push_back(MerkleProof{0, 1, {}});
   m.body.runs.push_back(run);
 
