@@ -1,0 +1,163 @@
+// Figure 8 (extension, not in the paper): key-partitioned multi-edge
+// sharding through the wedge::Store façade.
+//
+// Sweeps 1 -> 8 edges (shards) under a read-heavy workload on every
+// backend, reporting aggregate throughput plus the per-edge breakdown
+// (ops, p50/p99, MB) — the paper's single-edge evaluation parallelized
+// the way §III's edge-cloud topology sketches. Read verification is
+// per-shard, so aggregate read throughput should scale with edge count
+// until the clients (not the edges) saturate. A hot-shard panel shows
+// the imbalance the per-edge columns exist to expose.
+//
+// Usage:
+//   fig8_sharding [--smoke] [--json PATH]
+//     --smoke  4-edge single-point run with a small workload (CI).
+//     --json   append one JSON line per (backend, edges) point to PATH.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness/runner.h"
+#include "bench/harness/table.h"
+
+using namespace wedge;
+
+namespace {
+
+struct Point {
+  std::string backend;
+  size_t edges = 0;
+  double kops = 0;
+  double read_ms = 0;
+  double write_ms = 0;
+  std::vector<EdgeLoadMetrics> per_edge;
+  std::string panel;
+};
+
+ExperimentConfig BaseConfig(bool smoke) {
+  ExperimentConfig cfg;
+  cfg.spec.read_fraction = 0.9;
+  cfg.spec.ops_per_batch = 40;
+  cfg.spec.key_space = 20000;
+  cfg.num_clients = 8;
+  cfg.preload_keys = smoke ? 1000 : 4000;
+  cfg.warmup = kSecond;
+  cfg.measure = smoke ? 2 * kSecond : 6 * kSecond;
+  cfg.lsm_thresholds = {10, 10, 100};
+  cfg.page_pairs = 50;
+  return cfg;
+}
+
+Point RunPoint(BackendKind kind, size_t edges, ExperimentConfig cfg) {
+  cfg.num_edges = edges;
+  cfg.num_shards = edges;  // one shard per edge
+  ExperimentResult r = RunSystem(kind, cfg);
+  Point p;
+  p.backend = std::string(BackendKindToString(kind));
+  p.edges = edges;
+  p.kops = r.kops;
+  p.read_ms = r.read_ms;
+  p.write_ms = r.write_ms;
+  p.per_edge = r.per_edge();
+  return p;
+}
+
+void AppendJson(const std::string& path, const Point& p) {
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig8_sharding: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"fig8_sharding\", \"panel\": \"%s\", "
+               "\"backend\": \"%s\", \"edges\": %zu, \"kops\": %.3f, "
+               "\"read_ms\": %.3f, \"write_ms\": %.3f, \"per_edge\": [",
+               p.panel.c_str(), p.backend.c_str(), p.edges, p.kops, p.read_ms,
+               p.write_ms);
+  for (size_t e = 0; e < p.per_edge.size(); ++e) {
+    const EdgeLoadMetrics& m = p.per_edge[e];
+    std::fprintf(
+        f,
+        "%s{\"edge\": %zu, \"read_ops\": %llu, \"write_ops\": %llu, "
+        "\"p50_us\": %lld, \"p99_us\": %lld, \"mb\": %.2f}",
+        e == 0 ? "" : ", ", e,
+        static_cast<unsigned long long>(m.read_ops),
+        static_cast<unsigned long long>(m.write_ops),
+        static_cast<long long>(m.read_latency.Median()),
+        static_cast<long long>(m.read_latency.P99()),
+        static_cast<double>(m.bytes_written + m.bytes_read) /
+            (1024.0 * 1024.0));
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+void PrintPoint(const TablePrinter& t, const Point& p) {
+  t.PrintRow({p.backend, std::to_string(p.edges), Fmt(p.kops, 2),
+              Fmt(p.read_ms, 2), Fmt(p.write_ms, 2), "", "", "", "", "", ""});
+  PrintPerEdge(t, p.per_edge, {"", "", "", "", ""});
+}
+
+std::vector<std::string> Headers() {
+  std::vector<std::string> h = {"system", "edges", "kops", "read_ms",
+                                "write_ms"};
+  for (auto& c : PerEdgeHeaders()) h.push_back(c);
+  return h;
+}
+
+void RunSweep(const std::string& json, bool smoke) {
+  Banner("Fig 8(a): read-heavy workload, 1 -> 8 edges (per-edge rows)");
+  TablePrinter t(Headers(), 11);
+  t.PrintHeader();
+  const std::vector<size_t> sweep =
+      smoke ? std::vector<size_t>{4} : std::vector<size_t>{1, 2, 4, 8};
+  double first_wedge = 0, last_wedge = 0;
+  for (size_t edges : sweep) {
+    for (BackendKind kind : kAllBackends) {
+      if (smoke && kind != BackendKind::kWedge) continue;
+      Point p = RunPoint(kind, edges, BaseConfig(smoke));
+      p.panel = "sweep";
+      PrintPoint(t, p);
+      AppendJson(json, p);
+      if (kind == BackendKind::kWedge) {
+        if (edges == sweep.front()) first_wedge = p.kops;
+        last_wedge = p.kops;
+      }
+    }
+  }
+  if (sweep.size() > 1 && first_wedge > 0) {
+    std::printf("WedgeChain aggregate throughput %zu -> %zu edges: %+.0f%%\n",
+                sweep.front(), sweep.back(),
+                (last_wedge / first_wedge - 1) * 100);
+  }
+}
+
+void RunHotShard(const std::string& json, bool smoke) {
+  Banner("Fig 8(b): hot-shard skew on 4 edges (70% of traffic on e0)");
+  TablePrinter t(Headers(), 11);
+  t.PrintHeader();
+  ExperimentConfig cfg = BaseConfig(smoke);
+  cfg.spec.hot_shard_fraction = 0.7;
+  cfg.spec.hot_shard = 0;
+  Point p = RunPoint(BackendKind::kWedge, 4, cfg);
+  p.panel = "hot_shard";
+  PrintPoint(t, p);
+  AppendJson(json, p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json = argv[++i];
+  }
+  RunSweep(json, smoke);
+  RunHotShard(json, smoke);
+  return 0;
+}

@@ -13,11 +13,17 @@ StoreOptions MakeStoreOptions(BackendKind kind, const ExperimentConfig& cfg) {
   o.WithBackend(kind)
       .WithSeed(cfg.seed)
       .WithClients(cfg.num_clients)
+      .WithEdges(cfg.num_edges)
       .WithLocations(cfg.client_dc, cfg.edge_dc, cfg.cloud_dc)
       .WithOpsPerBlock(cfg.spec.ops_per_batch)
       .WithLsm(cfg.lsm_thresholds, cfg.page_pairs)
       .WithProofTimeout(30 * kSecond)  // generous; honest runs
       .WithVerifierCache(cfg.verify_cache);
+  if (cfg.num_shards > 0) {
+    const uint64_t span = cfg.shard_range_span > 0 ? cfg.shard_range_span
+                                                   : cfg.spec.key_space;
+    o.WithShards(cfg.num_shards, cfg.shard_scheme, span);
+  }
   o.deploy.edge.ship_full_blocks = cfg.certify_full_blocks;
   return o;
 }
@@ -83,20 +89,49 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
   const SimTime end = measure_start + cfg.measure;
   StoreBackend* backend = &store.backend();
 
+  // Sharded runs get the per-edge breakdown: each op is attributed to
+  // the edge owning its key — the same Partitioner the router uses, so
+  // attribution and routing cannot disagree.
+  const Partitioner part = backend->partitioner();
+  const bool per_edge = backend->shard_count() > 1;
+  if (per_edge) metrics.per_edge.resize(backend->shard_count());
+  auto in_window = [measure_start, end](SimTime t) {
+    return t >= measure_start && t < end;
+  };
+
   std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
   for (size_t i = 0; i < cfg.num_clients; ++i) {
     ClosedLoopDriver::Adapters ad;
     const bool wait_phase2 = cfg.wait_phase2;
-    ad.write_batch = [backend, i, wait_phase2](
-                         const std::vector<std::pair<Key, Bytes>>& kvs,
-                         ClosedLoopDriver::DoneCb commit,
-                         ClosedLoopDriver::DoneCb final_cb) {
+    ad.write_batch = [backend, i, wait_phase2, per_edge, part, in_window,
+                      &metrics](const std::vector<std::pair<Key, Bytes>>& kvs,
+                                ClosedLoopDriver::DoneCb commit,
+                                ClosedLoopDriver::DoneCb final_cb) {
       // Lazy mode unblocks the closed loop at Phase I; the eager ablation
       // unblocks at Phase II (certification on the critical path). The
       // baselines fire both phases at their single synchronous commit.
+      // Per-edge load is attributed per key at commit time.
+      std::shared_ptr<std::vector<std::pair<uint64_t, uint64_t>>> routed;
+      if (per_edge) {
+        routed = std::make_shared<
+            std::vector<std::pair<uint64_t, uint64_t>>>(
+            metrics.per_edge.size());
+        for (const auto& kv : kvs) {
+          auto& [ops, bytes] = (*routed)[part.ShardOf(kv.first)];
+          ops++;
+          bytes += kv.second.size();
+        }
+      }
       backend->PutBatch(
           i, kvs,
-          [commit, wait_phase2](const Status& s, BlockId, SimTime t) {
+          [commit, wait_phase2, routed, in_window, &metrics](
+              const Status& s, BlockId, SimTime t) {
+            if (s.ok() && routed && in_window(t)) {
+              for (size_t e = 0; e < routed->size(); ++e) {
+                metrics.per_edge[e].write_ops += (*routed)[e].first;
+                metrics.per_edge[e].bytes_written += (*routed)[e].second;
+              }
+            }
             if (!wait_phase2 && s.ok() && commit) commit(t);
           },
           [commit, final_cb, wait_phase2](const Status& s, BlockId,
@@ -105,14 +140,25 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
             if (s.ok() && final_cb) final_cb(t);
           });
     };
-    ad.read = [backend, i](Key k, ClosedLoopDriver::DoneCb done) {
+    ad.read = [backend, i, per_edge, part, in_window, &metrics](
+                  Key k, ClosedLoopDriver::DoneCb done) {
+      const SimTime started = backend->sim().now();
       backend->Get(i, k,
-                   [done](const Status&, GetResult, SimTime t) {
+                   [done, k, started, per_edge, part, in_window, &metrics](
+                       const Status& s, GetResult r, SimTime t) {
+                     if (per_edge && s.ok() && in_window(t)) {
+                       EdgeLoadMetrics& e =
+                           metrics.per_edge[part.ShardOf(k)];
+                       e.read_ops++;
+                       e.bytes_read += r.value.size();
+                       e.read_latency.Record(t - started);
+                     }
                      if (done) done(t);
                    });
     };
     drivers.push_back(std::make_unique<ClosedLoopDriver>(
-        &store.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics));
+        &store.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics,
+        &part));
     drivers.back()->Start(measure_start, end);
   }
   store.RunUntil(end);

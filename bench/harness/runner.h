@@ -20,6 +20,14 @@ namespace wedge {
 struct ExperimentConfig {
   WorkloadSpec spec;
   size_t num_clients = 1;
+  /// Edge nodes; with num_shards == 0 these are legacy round-robin
+  /// partitions (one per client group), otherwise shard s lives on edge s.
+  size_t num_edges = 1;
+  /// Key shards routed by the api-layer ShardRouter; 0 = unsharded.
+  size_t num_shards = 0;
+  ShardScheme shard_scheme = ShardScheme::kHash;
+  /// kRange only; defaults to spec.key_space when 0.
+  uint64_t shard_range_span = 0;
   Dc client_dc = Dc::kCalifornia;
   Dc edge_dc = Dc::kCalifornia;
   Dc cloud_dc = Dc::kVirginia;
@@ -49,6 +57,12 @@ struct ExperimentResult {
   double phase2_ms = 0;
   double read_ms = 0;
   double kops = 0;  // throughput in K ops/s
+
+  /// Per-edge breakdown (metrics.per_edge, one entry per shard) when the
+  /// experiment ran sharded; empty otherwise.
+  const std::vector<EdgeLoadMetrics>& per_edge() const {
+    return metrics.per_edge;
+  }
 };
 
 /// Runs the workload against the given backend, all through one façade

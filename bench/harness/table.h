@@ -1,11 +1,15 @@
 // Minimal fixed-width table printer for the benchmark binaries, so every
-// bench prints rows/series in the paper's layout.
+// bench prints rows/series in the paper's layout — plus the per-edge
+// breakdown rows the sharded benches report instead of a single
+// aggregate row.
 
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "workload/workload.h"
 
 namespace wedge {
 
@@ -45,6 +49,40 @@ inline std::string Fmt(double v, int precision = 1) {
 
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Column headers matching PrintEdgeRow, to append after a bench's own
+/// leading columns.
+inline std::vector<std::string> PerEdgeHeaders() {
+  return {"edge", "read_ops", "write_ops", "p50_ms", "p99_ms", "MB"};
+}
+
+/// One row per edge: ops served, read-latency percentiles, and value
+/// payload moved. The sharded benches print these under each aggregate
+/// row, replacing the single-row summary of the unsharded harness.
+inline void PrintEdgeRow(const TablePrinter& table, size_t edge,
+                         const EdgeLoadMetrics& m,
+                         const std::vector<std::string>& prefix = {}) {
+  std::vector<std::string> cells = prefix;
+  cells.push_back("e" + std::to_string(edge));
+  cells.push_back(std::to_string(m.read_ops));
+  cells.push_back(std::to_string(m.write_ops));
+  cells.push_back(Fmt(static_cast<double>(m.read_latency.Median()) / 1000.0,
+                      2));
+  cells.push_back(Fmt(static_cast<double>(m.read_latency.P99()) / 1000.0, 2));
+  cells.push_back(Fmt(static_cast<double>(m.bytes_written + m.bytes_read) /
+                          (1024.0 * 1024.0),
+                      2));
+  table.PrintRow(cells);
+}
+
+/// Prints the whole per-edge block (no-op when the run was unsharded).
+inline void PrintPerEdge(const TablePrinter& table,
+                         const std::vector<EdgeLoadMetrics>& per_edge,
+                         const std::vector<std::string>& prefix = {}) {
+  for (size_t e = 0; e < per_edge.size(); ++e) {
+    PrintEdgeRow(table, e, per_edge[e], prefix);
+  }
 }
 
 }  // namespace wedge

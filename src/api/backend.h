@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/options.h"
+#include "core/partitioner.h"
 #include "log/block.h"
 #include "lsmerkle/kv.h"
 
@@ -82,6 +83,16 @@ class StoreBackend {
   virtual Simulation& sim() = 0;
   virtual SimNetwork& net() = 0;
   virtual size_t client_count() const = 0;
+
+  /// Key partitioning this backend routes with. The default (unsharded)
+  /// is a single shard owning every key; the ShardRouter decorator
+  /// returns the real partition function, which callers (bench harness,
+  /// workload generators) must share to attribute keys to edges.
+  virtual const Partitioner& partitioner() const {
+    static const Partitioner kSingle;
+    return kSingle;
+  }
+  virtual size_t shard_count() const { return partitioner().shards(); }
 
   /// Applies a batch of key-value puts as client `client`.
   virtual void PutBatch(size_t client,

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "api/shard_router.h"
 #include "baselines/baseline_deployment.h"
 #include "core/deployment.h"
 
@@ -240,7 +241,9 @@ std::string_view BackendKindToString(BackendKind kind) {
   return "unknown";
 }
 
-std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
+namespace {
+
+std::unique_ptr<StoreBackend> MakeUnroutedBackend(const StoreOptions& options) {
   switch (options.backend) {
     case BackendKind::kWedge:
       return std::make_unique<WedgeBackend>(options);
@@ -250,6 +253,25 @@ std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
       return std::make_unique<CloudOnlyBackend>(options);
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
+  const ShardingConfig& sharding = options.deploy.sharding;
+  if (sharding.num_shards < 2) {
+    // 0 (off) and 1 (a single shard) are both the unrouted fast path.
+    return MakeUnroutedBackend(options);
+  }
+  // The routed form: the deployment is built with one physical client
+  // per (logical client, shard), pinned shard-aware by its sharding
+  // config, and every backend kind gets the identical routing layer.
+  StoreOptions inner = options;
+  inner.deploy.num_clients = options.deploy.num_clients * sharding.num_shards;
+  std::unique_ptr<StoreBackend> base = MakeUnroutedBackend(inner);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<ShardRouter>(std::move(base), Partitioner(sharding),
+                                       options.deploy.num_clients);
 }
 
 }  // namespace wedge

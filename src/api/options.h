@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string_view>
 #include <utility>
@@ -67,6 +68,21 @@ struct StoreOptions {
   }
   StoreOptions& WithEdges(size_t n) {
     deploy.num_edges = n;
+    return *this;
+  }
+  /// Key-partitions the store across `n` shards (one per edge node),
+  /// routing every operation through the api-layer ShardRouter. Raises
+  /// num_edges to at least `n` (call WithEdges afterwards to run spare
+  /// edges; Store::Open rejects n > num_edges). For ShardScheme::kRange,
+  /// `range_span` must bound the key domain: keys in [0, range_span) are
+  /// cut into contiguous slices and keys beyond it belong to the last
+  /// shard. n <= 1 keeps the unsharded fast path.
+  StoreOptions& WithShards(size_t n, ShardScheme scheme = ShardScheme::kHash,
+                           uint64_t range_span = 0) {
+    deploy.sharding.num_shards = n;
+    deploy.sharding.scheme = scheme;
+    deploy.sharding.range_span = range_span;
+    deploy.num_edges = std::max(deploy.num_edges, n);
     return *this;
   }
   StoreOptions& WithLocations(Dc client, Dc edge, Dc cloud) {

@@ -1,0 +1,180 @@
+#include "api/shard_router.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wedge {
+
+namespace {
+
+/// Trust-severity status merge: the first error wins, except that a
+/// security-class status (a detected lie) always displaces a benign one —
+/// a slow or unavailable shard must never mask a tampering shard.
+void MergeStatus(Status* into, const Status& s) {
+  if (s.ok()) return;
+  const bool s_security = s.IsSecurityViolation() || s.IsMaliciousBehavior();
+  const bool into_security =
+      into->IsSecurityViolation() || into->IsMaliciousBehavior();
+  if (into->ok() || (s_security && !into_security)) *into = s;
+}
+
+/// Join state for one phase of a multi-shard write: the phase reports
+/// once every involved shard has reported it, at the latest sub-commit
+/// time, carrying the (globalized) block id of the lowest involved shard
+/// so the reported id is deterministic.
+struct PhaseJoin {
+  size_t waiting = 0;
+  Status status;
+  size_t bid_shard = SIZE_MAX;
+  BlockId bid = 0;
+  SimTime at = 0;
+};
+
+void RecordPhase(PhaseJoin* join, size_t shard, const Status& s, BlockId bid,
+                 SimTime t, const StoreBackend::CommitCb& done) {
+  MergeStatus(&join->status, s);
+  if (s.ok() && shard < join->bid_shard) {
+    join->bid_shard = shard;
+    join->bid = bid;
+  }
+  join->at = std::max(join->at, t);
+  if (--join->waiting == 0 && done) done(join->status, join->bid, join->at);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
+                         Partitioner partitioner, size_t logical_clients)
+    : inner_(std::move(inner)),
+      partitioner_(partitioner),
+      logical_clients_(logical_clients) {}
+
+StoreBackend::CommitCb ShardRouter::TranslateBids(CommitCb cb,
+                                                  size_t shard) const {
+  if (!cb) return nullptr;
+  const size_t shards = partitioner_.shards();
+  return [cb = std::move(cb), shard, shards](const Status& s, BlockId bid,
+                                             SimTime t) {
+    cb(s, GlobalBlockId(bid, shard, shards), t);
+  };
+}
+
+void ShardRouter::PutBatch(size_t client,
+                           const std::vector<std::pair<Key, Bytes>>& kvs,
+                           CommitCb on_phase1, CommitCb on_phase2) {
+  const size_t shards = partitioner_.shards();
+  // Split by owning shard, preserving the caller's per-shard put order
+  // (version order within a shard must match the unsharded sequence).
+  std::map<size_t, std::vector<std::pair<Key, Bytes>>> by_shard;
+  for (const auto& kv : kvs) {
+    by_shard[partitioner_.ShardOf(kv.first)].push_back(kv);
+  }
+  if (by_shard.empty()) {
+    // Empty batch: keep the unsharded contract (one call, to the logical
+    // client's home shard) rather than inventing a zero-call commit.
+    by_shard[client % shards] = {};
+  }
+
+  auto p1 = std::make_shared<PhaseJoin>();
+  auto p2 = std::make_shared<PhaseJoin>();
+  p1->waiting = p2->waiting = by_shard.size();
+  for (auto& [shard, sub] : by_shard) {
+    const size_t s = shard;
+    inner_->PutBatch(
+        PhysicalClient(client, s), sub,
+        [p1, s, shards, on_phase1](const Status& st, BlockId bid, SimTime t) {
+          RecordPhase(p1.get(), s, st, GlobalBlockId(bid, s, shards), t,
+                      on_phase1);
+        },
+        [p2, s, shards, on_phase2](const Status& st, BlockId bid, SimTime t) {
+          RecordPhase(p2.get(), s, st, GlobalBlockId(bid, s, shards), t,
+                      on_phase2);
+        });
+  }
+}
+
+void ShardRouter::Append(size_t client, std::vector<Bytes> payloads,
+                         CommitCb on_phase1, CommitCb on_phase2) {
+  // Raw appends carry no key; the batch stays whole (one append batch =
+  // one block's worth of entries) on the logical client's home shard.
+  const size_t home = client % partitioner_.shards();
+  inner_->Append(PhysicalClient(client, home), std::move(payloads),
+                 TranslateBids(std::move(on_phase1), home),
+                 TranslateBids(std::move(on_phase2), home));
+}
+
+void ShardRouter::Get(size_t client, Key key, GetCb cb) {
+  inner_->Get(PhysicalClient(client, partitioner_.ShardOf(key)), key,
+              std::move(cb));
+}
+
+void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
+  struct ScanJoin {
+    size_t waiting = 0;
+    Status status;
+    bool phase2 = true;
+    bool verified = true;
+    SimTime at = 0;
+    std::vector<KvPair> pairs;
+  };
+
+  const size_t shards = partitioner_.shards();
+  std::vector<size_t> targets;
+  for (size_t s = 0; s < shards; ++s) {
+    if (partitioner_.ScanTouches(s, lo, hi)) targets.push_back(s);
+  }
+
+  auto join = std::make_shared<ScanJoin>();
+  join->waiting = targets.size();
+  for (size_t s : targets) {
+    const auto [slo, shi] = partitioner_.ClampToShard(s, lo, hi);
+    inner_->Scan(
+        PhysicalClient(client, s), slo, shi,
+        [join, s, cb, part = partitioner_](const Status& st, ScanResult r,
+                                           SimTime t) {
+          MergeStatus(&join->status, st);
+          join->at = std::max(join->at, t);
+          if (st.ok()) {
+            join->phase2 = join->phase2 && r.phase2;
+            join->verified = join->verified && r.verified;
+            // Proof boundary: shard s contributes only keys it owns. On
+            // the edge backends this is a no-op (each edge's tree holds
+            // only its shard); on cloud-only, where every sub-scan hits
+            // the same trusted server, it deduplicates the fan-out.
+            for (auto& p : r.pairs) {
+              if (part.ShardOf(p.key) == s) join->pairs.push_back(std::move(p));
+            }
+          }
+          if (--join->waiting > 0) return;
+          if (!join->status.ok()) {
+            if (cb) cb(join->status, ScanResult{}, join->at);
+            return;
+          }
+          std::sort(join->pairs.begin(), join->pairs.end(),
+                    [](const KvPair& a, const KvPair& b) {
+                      return a.key < b.key;
+                    });
+          ScanResult out;
+          out.pairs = std::move(join->pairs);
+          out.phase2 = join->phase2;
+          out.verified = join->verified;
+          out.at = join->at;
+          if (cb) cb(join->status, std::move(out), join->at);
+        });
+  }
+}
+
+void ShardRouter::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
+  const size_t shards = partitioner_.shards();
+  const size_t s = ShardOfBlockId(bid, shards);
+  inner_->ReadBlock(
+      PhysicalClient(client, s), InnerBlockId(bid, shards),
+      [cb = std::move(cb), s, shards](const Status& st, BlockRead r,
+                                      SimTime t) {
+        // Hand the block back under the id the caller asked by.
+        r.block.id = GlobalBlockId(r.block.id, s, shards);
+        cb(st, std::move(r), t);
+      });
+}
+
+}  // namespace wedge

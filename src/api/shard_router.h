@@ -1,0 +1,96 @@
+// ShardRouter: the key-partitioned routing layer between the wedge::Store
+// façade and the per-edge clients.
+//
+// A sharded store (StoreOptions::WithShards) runs S independent
+// partitions — one LSMerkle tree + log per edge — and backs every logical
+// client with one physical client per shard, laid out as
+//
+//   physical(c, s) = c * S + s      (pinned to edge s)
+//
+// inside the wrapped deployment. The router owns the only map from keys
+// to shards (core/partitioner.h) and applies it uniformly over all three
+// backends — WedgeChain, edge-baseline and cloud-only accept the identical
+// sharded call sequence, because routing happens behind the StoreBackend
+// seam rather than in any deployment:
+//
+//  - Put/Get route each key to its owning shard; a batch spanning shards
+//    commits on every involved shard before either phase reports.
+//  - Append (no key) routes to the logical client's home shard c % S.
+//  - ReadBlock uses router-scoped block ids: global = inner * S + shard.
+//    Edges allocate ids independently (paper §III: unique per edge, not
+//    across edges), so commit acks are translated on the way out and
+//    decoded on the way back in.
+//  - Scan fans out to every shard the range can touch, each sub-scan
+//    proof-verified independently by that shard's client, and stitches
+//    the verified results by key. Proof-boundary invariant: a pair enters
+//    the stitched result only from the shard that owns its key, so a
+//    shard can neither inject keys it does not own nor mask another
+//    shard's violation — any failing sub-scan fails the whole scan, with
+//    SecurityViolation taking precedence over benign errors.
+
+#pragma once
+
+#include <memory>
+
+#include "api/backend.h"
+#include "core/partitioner.h"
+
+namespace wedge {
+
+class ShardRouter : public StoreBackend {
+ public:
+  /// Wraps `inner`, which must have been built with
+  /// logical_clients * partitioner.shards() physical clients pinned
+  /// shard-aware (DeploymentConfig::sharding). Use MakeBackend rather
+  /// than constructing directly.
+  ShardRouter(std::unique_ptr<StoreBackend> inner, Partitioner partitioner,
+              size_t logical_clients);
+
+  BackendKind kind() const override { return inner_->kind(); }
+  void Start() override { inner_->Start(); }
+  Simulation& sim() override { return inner_->sim(); }
+  SimNetwork& net() override { return inner_->net(); }
+  size_t client_count() const override { return logical_clients_; }
+  const Partitioner& partitioner() const override { return partitioner_; }
+
+  void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
+                CommitCb on_phase1, CommitCb on_phase2) override;
+  void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
+              CommitCb on_phase2) override;
+  void Get(size_t client, Key key, GetCb cb) override;
+  void Scan(size_t client, Key lo, Key hi, ScanCb cb) override;
+  void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override;
+
+  Deployment* wedge() override { return inner_->wedge(); }
+  EdgeBaselineDeployment* edge_baseline() override {
+    return inner_->edge_baseline();
+  }
+  CloudOnlyDeployment* cloud_only() override { return inner_->cloud_only(); }
+
+  /// The physical client backing (logical `client`, `shard`).
+  size_t PhysicalClient(size_t client, size_t shard) const {
+    return client * partitioner_.shards() + shard;
+  }
+
+  // Router-scoped block ids. Every block id that crosses the StoreBackend
+  // seam of a sharded store is in global form.
+  static BlockId GlobalBlockId(BlockId inner, size_t shard, size_t shards) {
+    return inner * shards + shard;
+  }
+  static size_t ShardOfBlockId(BlockId global, size_t shards) {
+    return static_cast<size_t>(global % shards);
+  }
+  static BlockId InnerBlockId(BlockId global, size_t shards) {
+    return global / shards;
+  }
+
+ private:
+  /// Wraps a commit callback so acked block ids come out in global form.
+  CommitCb TranslateBids(CommitCb cb, size_t shard) const;
+
+  std::unique_ptr<StoreBackend> inner_;
+  Partitioner partitioner_;
+  size_t logical_clients_;
+};
+
+}  // namespace wedge

@@ -72,10 +72,39 @@ Result<Commit> CommitHandle::WaitPhase2() {
 
 // ------------------------------------------------------------------ Store
 
-Result<Store> Store::Open(StoreOptions options) {
-  if (options.deploy.num_clients == 0) {
+namespace {
+
+/// Rejects configurations that would otherwise crash (or wedge) deep in
+/// deployment construction: every Open failure is an InvalidArgument
+/// here, never an abort downstream.
+Status ValidateOptions(const StoreOptions& options) {
+  const DeploymentConfig& d = options.deploy;
+  if (d.num_clients == 0) {
     return Status::InvalidArgument("StoreOptions: need at least one client");
   }
+  if (d.num_edges == 0) {
+    return Status::InvalidArgument("StoreOptions: need at least one edge");
+  }
+  const ShardingConfig& sh = d.sharding;
+  if (sh.num_shards > d.num_edges) {
+    return Status::InvalidArgument(
+        "StoreOptions: " + std::to_string(sh.num_shards) +
+        " shards need at least as many edges, got " +
+        std::to_string(d.num_edges));
+  }
+  if (sh.num_shards >= 2 && sh.scheme == ShardScheme::kRange &&
+      sh.range_span < sh.num_shards) {
+    return Status::InvalidArgument(
+        "StoreOptions: range sharding needs range_span >= num_shards "
+        "(every shard must own at least one key)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Store> Store::Open(StoreOptions options) {
+  WEDGE_RETURN_NOT_OK(ValidateOptions(options));
   auto core = std::make_shared<StoreCore>();
   core->options = std::move(options);
   core->backend = MakeBackend(core->options);
@@ -208,6 +237,10 @@ SimTime Store::now() { return core_->backend->sim().now(); }
 
 BackendKind Store::kind() const { return core_->backend->kind(); }
 size_t Store::client_count() const { return core_->backend->client_count(); }
+size_t Store::shard_count() const { return core_->backend->shard_count(); }
+const Partitioner& Store::partitioner() const {
+  return core_->backend->partitioner();
+}
 Simulation& Store::sim() { return core_->backend->sim(); }
 SimNetwork& Store::net() { return core_->backend->net(); }
 const StoreOptions& Store::options() const { return core_->options; }

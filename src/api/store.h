@@ -107,6 +107,11 @@ class Store {
 
   BackendKind kind() const;
   size_t client_count() const;
+  /// Shards this store routes over (1 when opened unsharded). A sharded
+  /// store partitions keys across edges per `partitioner()`; Scan fans
+  /// out and stitches per-shard verified results transparently.
+  size_t shard_count() const;
+  const Partitioner& partitioner() const;
   Simulation& sim();
   SimNetwork& net();
   const StoreOptions& options() const;

@@ -22,11 +22,16 @@ class CloudOnlyDeployment {
     server_ = std::make_unique<CloudOnlyServer>(
         &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
         config.cloud_dc, config.costs);
-    topo_.MakeClients(config.num_clients, [&](Signer s, size_t) {
-      clients_.push_back(std::make_unique<CloudOnlyClient>(
-          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
-          server_->id(), config.client_dc, config.costs));
-    });
+    // Cloud-only has no edges: all shards land on the one trusted server,
+    // but the physical-client grid is still laid out shard-aware so the
+    // routing layer drives every backend identically.
+    topo_.MakeShardedClients(
+        config.num_clients, config.sharding.num_shards,
+        [&](Signer s, size_t) {
+          clients_.push_back(std::make_unique<CloudOnlyClient>(
+              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              server_->id(), config.client_dc, config.costs));
+        });
   }
 
   void Start() {
@@ -47,7 +52,11 @@ class CloudOnlyDeployment {
   std::vector<std::unique_ptr<CloudOnlyClient>> clients_;
 };
 
-/// Edge-baseline: N clients -> edge -> cloud, synchronous certification.
+/// Edge-baseline: N clients -> edge(s) -> cloud, synchronous
+/// certification. The cloud keeps one authoritative mLSM per edge, so a
+/// sharded deployment runs num_edges independent partitions against the
+/// same cloud — each with its own write lock, which is what the sharded
+/// benches measure.
 class EdgeBaselineDeployment {
  public:
   explicit EdgeBaselineDeployment(const DeploymentConfig& config)
@@ -55,26 +64,33 @@ class EdgeBaselineDeployment {
     cloud_ = std::make_unique<EbCloud>(
         &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
         config.cloud_dc, config.edge.lsm, config.costs);
-    edge_ = std::make_unique<EbEdge>(
-        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(0),
-        cloud_->id(), config.edge_dc, config.edge, config.costs);
-    topo_.MakeClients(config.num_clients, [&](Signer s, size_t) {
-      clients_.push_back(std::make_unique<EbClient>(
-          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
-          edge_->id(), config.client_dc, config.costs, config.client));
-    });
+    const size_t num_edges = config.num_edges == 0 ? 1 : config.num_edges;
+    for (size_t e = 0; e < num_edges; ++e) {
+      edges_.push_back(std::make_unique<EbEdge>(
+          &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(e),
+          cloud_->id(), config.edge_dc, config.edge, config.costs));
+    }
+    topo_.MakeShardedClients(
+        config.num_clients, config.sharding.num_shards,
+        [&](Signer s, size_t i) {
+          EbEdge* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();
+          clients_.push_back(std::make_unique<EbClient>(
+              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              home->id(), config.client_dc, config.costs, config.client));
+        });
   }
 
   void Start() {
     cloud_->Start();
-    edge_->Start();
+    for (auto& e : edges_) e->Start();
     for (auto& c : clients_) c->Start();
   }
 
   Simulation& sim() { return topo_.sim(); }
   SimNetwork& net() { return topo_.net(); }
   EbCloud& cloud() { return *cloud_; }
-  EbEdge& edge() { return *edge_; }
+  EbEdge& edge(size_t i = 0) { return *edges_.at(i); }
+  size_t edge_count() const { return edges_.size(); }
   EbClient& client(size_t i = 0) { return *clients_.at(i); }
   size_t client_count() const { return clients_.size(); }
 
@@ -82,7 +98,7 @@ class EdgeBaselineDeployment {
   DeploymentConfig config_;
   Topology topo_;
   std::unique_ptr<EbCloud> cloud_;
-  std::unique_ptr<EbEdge> edge_;
+  std::vector<std::unique_ptr<EbEdge>> edges_;
   std::vector<std::unique_ptr<EbClient>> clients_;
 };
 

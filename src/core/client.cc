@@ -498,6 +498,21 @@ void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
   }
 }
 
+ClientStats& ClientStats::operator+=(const ClientStats& other) {
+  phase1_commits += other.phase1_commits;
+  phase2_commits += other.phase2_commits;
+  reads_ok += other.reads_ok;
+  gets_ok += other.gets_ok;
+  scans_ok += other.scans_ok;
+  proof_mismatches += other.proof_mismatches;
+  disputes_sent += other.disputes_sent;
+  disputes_upheld += other.disputes_upheld;
+  verification_failures += other.verification_failures;
+  stale_rejected += other.stale_rejected;
+  snapshot_regressions += other.snapshot_regressions;
+  return *this;
+}
+
 void WedgeClient::RaiseDispute(DisputeKind kind, BlockId bid, Bytes evidence) {
   stats_.disputes_sent++;
   Dispute d;

@@ -40,6 +40,11 @@ struct ClientStats {
   /// Responses anchored to an older certified epoch than one already
   /// observed (monotonic_snapshots session check, §V-D alternative).
   uint64_t snapshot_regressions = 0;
+
+  /// Accumulates another client's counters — the aggregation a sharded
+  /// deployment needs, where one logical client is backed by a physical
+  /// client per shard.
+  ClientStats& operator+=(const ClientStats& other);
 };
 
 class WedgeClient : public Endpoint {
@@ -62,6 +67,10 @@ class WedgeClient : public Endpoint {
   void Start() { net_->Attach(id(), location_, this); }
 
   NodeId id() const { return signer_.id(); }
+
+  /// The edge node this client is pinned to — in a sharded deployment,
+  /// the edge hosting this physical client's shard.
+  NodeId edge() const { return edge_; }
 
   /// Appends a batch of raw log entries. Phase I on add-response, Phase II
   /// on block-proof.

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/cloud_node.h"
 #include "core/config.h"
 #include "core/edge_node.h"
+#include "core/partitioner.h"
 #include "core/topology.h"
 #include "core/trust_authority.h"
 #include "simnet/cost_model.h"
@@ -31,12 +33,28 @@ struct DeploymentConfig {
   Dc edge_dc = Dc::kCalifornia;
   Dc cloud_dc = Dc::kVirginia;
   size_t num_clients = 1;
-  /// Edge nodes (= data partitions, §III). Clients are assigned
-  /// round-robin: client i talks to edge i % num_edges.
+  /// Edge nodes (= data partitions, §III). Without sharding, clients are
+  /// assigned round-robin: client i talks to edge i % num_edges. With
+  /// sharding on (sharding.num_shards >= 1), shard s lives on edge s and
+  /// client i talks to edge i % num_shards — the layout the api-layer
+  /// ShardRouter builds its (logical client, shard) -> physical client
+  /// grid on.
   size_t num_edges = 1;
+  /// Key partitioning across edges (core/partitioner.h). num_shards == 0
+  /// keeps the legacy unsharded wiring.
+  ShardingConfig sharding;
   EdgeConfig edge;
   CloudConfig cloud;
   ClientConfig client;
+
+  /// The edge index client `i` is pinned to under this config, given
+  /// `edge_count` constructed edges.
+  size_t HomeEdgeIndex(size_t i, size_t edge_count) const {
+    const size_t span = sharding.enabled()
+                            ? std::min(sharding.num_shards, edge_count)
+                            : edge_count;
+    return span == 0 ? 0 : i % span;
+  }
 };
 
 class Deployment {
@@ -55,14 +73,16 @@ class Deployment {
           cloud_->id(), config.edge_dc, config.edge, config.costs));
     }
 
-    topo_.MakeClients(config.num_clients, [&](Signer s, size_t i) {
-      // Each client belongs to one partition/edge (§III).
-      EdgeNode* home = edges_[i % edges_.size()].get();
-      clients_.push_back(std::make_unique<WedgeClient>(
-          &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
-          home->id(), cloud_->id(), config.client_dc, config.client,
-          config.costs));
-    });
+    topo_.MakeShardedClients(
+        config.num_clients, config.sharding.num_shards,
+        [&](Signer s, size_t i) {
+          // Each client belongs to one partition/edge (§III).
+          EdgeNode* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();
+          clients_.push_back(std::make_unique<WedgeClient>(
+              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              home->id(), cloud_->id(), config.client_dc, config.client,
+              config.costs));
+        });
   }
 
   /// Attaches every node to the network and starts timers/gossip.
@@ -71,8 +91,9 @@ class Deployment {
     for (auto& e : edges_) e->Start();
     for (size_t i = 0; i < clients_.size(); ++i) {
       clients_[i]->Start();
-      cloud_->SubscribeGossip(clients_[i]->id(),
-                              edges_[i % edges_.size()]->id());
+      cloud_->SubscribeGossip(
+          clients_[i]->id(),
+          edges_[config_.HomeEdgeIndex(i, edges_.size())]->id());
     }
   }
 

@@ -1,0 +1,138 @@
+// Partitioner: the key-ownership function of the sharding subsystem.
+//
+// A sharded deployment runs one LSMerkle tree (and log) per edge node;
+// the partitioner decides, deterministically on both the routing layer
+// and the workload generators, which shard owns a key. Two schemes:
+//
+//  - kHash: keys are mixed (splitmix64) and spread uniformly. Balanced
+//    under any key distribution, but a range scan must fan out to every
+//    shard.
+//  - kRange: the key domain [0, range_span) is cut into contiguous
+//    slices, one per shard (keys >= range_span belong to the last
+//    shard). Scans touch only the shards whose slice intersects the
+//    range.
+//
+// The same Partitioner instance is shared by the api-layer ShardRouter
+// (routing + scan stitching), the deployments (client-to-edge pinning),
+// and the workload key generators (partition-aware distributions), so
+// ownership can never disagree across layers.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/types.h"
+#include "lsmerkle/kv.h"
+
+namespace wedge {
+
+enum class ShardScheme : uint8_t {
+  kHash = 0,
+  kRange = 1,
+};
+
+inline const char* ShardSchemeToString(ShardScheme s) {
+  return s == ShardScheme::kRange ? "range" : "hash";
+}
+
+/// Sharding knobs carried by DeploymentConfig / StoreOptions.
+struct ShardingConfig {
+  /// Number of key partitions. 0 = sharding off (legacy behaviour:
+  /// clients round-robin over all edges, no routing layer). 1 = a single
+  /// shard (all keys on edge 0). Must not exceed num_edges.
+  size_t num_shards = 0;
+  ShardScheme scheme = ShardScheme::kHash;
+  /// kRange only: exclusive upper bound of the key domain that is cut
+  /// into slices. Keys >= range_span map to the last shard.
+  uint64_t range_span = 0;
+
+  bool enabled() const { return num_shards >= 1; }
+};
+
+class Partitioner {
+ public:
+  /// A single-shard partitioner (everything maps to shard 0).
+  Partitioner() : Partitioner(ShardScheme::kHash, 1, 0) {}
+
+  Partitioner(ShardScheme scheme, size_t shards, uint64_t range_span = 0)
+      : scheme_(scheme),
+        shards_(shards == 0 ? 1 : shards),
+        span_(range_span) {}
+
+  explicit Partitioner(const ShardingConfig& cfg)
+      : Partitioner(cfg.scheme, cfg.num_shards, cfg.range_span) {}
+
+  static Partitioner Hash(size_t shards) {
+    return Partitioner(ShardScheme::kHash, shards);
+  }
+  static Partitioner Range(size_t shards, uint64_t range_span) {
+    return Partitioner(ShardScheme::kRange, shards, range_span);
+  }
+
+  size_t shards() const { return shards_; }
+  ShardScheme scheme() const { return scheme_; }
+
+  /// The shard that owns `key`. Total: every key has exactly one owner.
+  size_t ShardOf(Key key) const {
+    if (shards_ == 1) return 0;
+    if (scheme_ == ShardScheme::kRange) {
+      if (span_ == 0 || key >= span_) return shards_ - 1;
+      return static_cast<size_t>(
+          (static_cast<unsigned __int128>(key) * shards_) / span_);
+    }
+    // Multiply-shift over the mixed key: uniform over [0, shards).
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(Mix(key)) * shards_) >> 64);
+  }
+
+  /// The contiguous key interval [lo, hi] owned by shard `s` under the
+  /// kRange scheme. For kHash every shard owns an interleaved subset, so
+  /// the full key domain is returned (a scan must consult every shard).
+  std::pair<Key, Key> OwnedRange(size_t s) const {
+    if (scheme_ != ShardScheme::kRange || shards_ == 1 || span_ == 0) {
+      return {kMinKey, kMaxKey};
+    }
+    const Key lo = Boundary(s);
+    const Key hi = (s + 1 >= shards_) ? kMaxKey : Boundary(s + 1) - 1;
+    return {lo, hi};
+  }
+
+  /// True when a scan of [lo, hi] must consult shard `s` — i.e. the
+  /// shard's owned interval intersects the scan range.
+  bool ScanTouches(size_t s, Key lo, Key hi) const {
+    const auto owned = OwnedRange(s);
+    return owned.first <= hi && lo <= owned.second;
+  }
+
+  /// Clamps a scan range to the part shard `s` can own. Only meaningful
+  /// when ScanTouches(s, lo, hi).
+  std::pair<Key, Key> ClampToShard(size_t s, Key lo, Key hi) const {
+    const auto owned = OwnedRange(s);
+    return {std::max(lo, owned.first), std::min(hi, owned.second)};
+  }
+
+ private:
+  /// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// First key of shard `s` under kRange: the smallest k with
+  /// k * shards / span == s, i.e. ceil(s * span / shards).
+  Key Boundary(size_t s) const {
+    const unsigned __int128 num =
+        static_cast<unsigned __int128>(s) * span_ + (shards_ - 1);
+    return static_cast<Key>(num / shards_);
+  }
+
+  ShardScheme scheme_;
+  size_t shards_;
+  uint64_t span_;
+};
+
+}  // namespace wedge

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "common/rng.h"
+#include "core/partitioner.h"
 #include "simnet/simulation.h"
 #include "workload/key_generator.h"
 #include "workload/workload.h"
@@ -33,8 +35,12 @@ class ClosedLoopDriver {
     std::function<void(Key, DoneCb)> read;
   };
 
+  /// `part` (optional) is the store's partitioner; with it and
+  /// spec.hot_shard_fraction > 0, keys are drawn hot-shard-skewed
+  /// (HotShardKeyGen) instead of uniform/zipfian.
   ClosedLoopDriver(Simulation* sim, Adapters adapters, WorkloadSpec spec,
-                   uint64_t seed, RunMetrics* out)
+                   uint64_t seed, RunMetrics* out,
+                   const Partitioner* part = nullptr)
       : sim_(sim),
         adapters_(std::move(adapters)),
         spec_(spec),
@@ -42,7 +48,13 @@ class ClosedLoopDriver {
         keys_(spec.key_space, seed ^ 0xabcd),
         zipf_(spec.key_space, spec.zipf_theta > 0 ? spec.zipf_theta : 0.99,
               seed ^ 0x1234),
-        out_(out) {}
+        out_(out) {
+    if (part != nullptr && part->shards() > 1 &&
+        spec.hot_shard_fraction > 0) {
+      hot_.emplace(*part, spec.hot_shard, spec.hot_shard_fraction,
+                   spec.key_space, seed ^ 0x77aa);
+    }
+  }
 
   /// Starts the loop; operations completing in [measure_start, end) are
   /// recorded. The driver stops issuing at `end`.
@@ -56,6 +68,7 @@ class ClosedLoopDriver {
 
  private:
   Key NextKey() {
+    if (hot_.has_value()) return hot_->Next();
     return spec_.zipf_theta > 0 ? zipf_.Next() : keys_.Next();
   }
 
@@ -106,6 +119,7 @@ class ClosedLoopDriver {
   Rng rng_;
   UniformKeyGen keys_;
   ZipfianKeyGen zipf_;
+  std::optional<HotShardKeyGen> hot_;
   RunMetrics* out_;
   std::vector<std::pair<Key, Bytes>> buffer_;
   SimTime measure_start_ = 0;

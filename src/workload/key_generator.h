@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/partitioner.h"
 #include "lsmerkle/kv.h"
 
 namespace wedge {
@@ -83,6 +84,75 @@ class SequentialKeyGen {
  private:
   uint64_t key_space_;
   uint64_t next_ = 0;
+};
+
+/// Partition-aware keys: uniform over the subset of [0, key_space) owned
+/// by one shard (rejection sampling against the deployment's own
+/// Partitioner, so workload and router can never disagree on ownership).
+/// Used to drive a single shard in isolation.
+class PartitionKeyGen {
+ public:
+  PartitionKeyGen(Partitioner part, size_t shard, uint64_t key_space,
+                  uint64_t seed)
+      : part_(part),
+        shard_(shard >= part.shards() ? part.shards() - 1 : shard),
+        rng_(seed),
+        key_space_(key_space == 0 ? 1 : key_space) {}
+
+  Key Next() {
+    // Expected part_.shards() draws per key; bounded so a shard owning
+    // nothing in [0, key_space) degrades rather than spins.
+    for (int tries = 0; tries < 4096; ++tries) {
+      const Key k = rng_.NextBelow(key_space_);
+      if (part_.ShardOf(k) == shard_) return k;
+    }
+    return part_.OwnedRange(shard_).first;
+  }
+
+ private:
+  Partitioner part_;
+  size_t shard_;
+  Rng rng_;
+  uint64_t key_space_;
+};
+
+/// Hot-shard skew: a tunable fraction of the traffic concentrates on one
+/// shard, the rest spreads uniformly over the others — the load-imbalance
+/// adversary of any sharded deployment (visible in the per-edge columns
+/// of the sharded benches).
+class HotShardKeyGen {
+ public:
+  /// `hot_fraction` in [0, 1]: probability a key targets `hot_shard`.
+  /// 1/shards reproduces the balanced uniform workload.
+  HotShardKeyGen(Partitioner part, size_t hot_shard, double hot_fraction,
+                 uint64_t key_space, uint64_t seed)
+      : part_(part),
+        hot_shard_(hot_shard >= part.shards() ? 0 : hot_shard),
+        hot_fraction_(hot_fraction),
+        rng_(seed),
+        key_space_(key_space == 0 ? 1 : key_space) {}
+
+  Key Next() {
+    const size_t shards = part_.shards();
+    if (shards <= 1) return rng_.NextBelow(key_space_);
+    size_t target = hot_shard_;
+    if (!rng_.NextBool(hot_fraction_)) {
+      target = rng_.NextBelow(shards - 1);
+      if (target >= hot_shard_) target++;  // uniform over the cold shards
+    }
+    for (int tries = 0; tries < 4096; ++tries) {
+      const Key k = rng_.NextBelow(key_space_);
+      if (part_.ShardOf(k) == target) return k;
+    }
+    return part_.OwnedRange(target).first;
+  }
+
+ private:
+  Partitioner part_;
+  size_t hot_shard_;
+  double hot_fraction_;
+  Rng rng_;
+  uint64_t key_space_;
 };
 
 }  // namespace wedge

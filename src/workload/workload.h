@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/types.h"
@@ -22,6 +23,24 @@ struct WorkloadSpec {
   uint64_t key_space = 100000;
   /// Zipfian skew for key selection; 0 = uniform.
   double zipf_theta = 0.0;
+  /// Sharded workloads only: concentrate this fraction of the traffic on
+  /// `hot_shard` (HotShardKeyGen), the rest uniform over the cold shards.
+  /// 0 = balanced (no hot-shard skew). Ignored on unsharded stores.
+  double hot_shard_fraction = 0.0;
+  size_t hot_shard = 0;
+};
+
+/// Per-edge load/latency breakdown, recorded by the harness when the
+/// store is sharded: which edge served each read (by key ownership) and
+/// how much value payload each edge absorbed/produced.
+struct EdgeLoadMetrics {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  /// Value bytes routed to this edge in committed write batches.
+  uint64_t bytes_written = 0;
+  /// Value bytes returned by this edge's reads.
+  uint64_t bytes_read = 0;
+  Histogram read_latency;
 };
 
 struct RunMetrics {
@@ -36,6 +55,9 @@ struct RunMetrics {
   uint64_t write_ops = 0;
   uint64_t read_ops = 0;
   SimTime measured_duration = 0;
+
+  /// One entry per edge when the harness runs sharded (empty otherwise).
+  std::vector<EdgeLoadMetrics> per_edge;
 
   uint64_t total_ops() const { return write_ops + read_ops; }
   /// Operations per second over the measured window.

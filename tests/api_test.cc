@@ -107,6 +107,50 @@ TEST_P(StoreApiTest, InvalidClientIndexIsAnError) {
   EXPECT_TRUE(commit.status().IsInvalidArgument());
 }
 
+// Open validates the whole option surface up front: broken configs are
+// InvalidArgument at Open, never a crash (or hang) downstream.
+TEST_P(StoreApiTest, OpenValidatesOptions) {
+  {
+    StoreOptions o = SmallOptions(GetParam()).WithClients(0);
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
+  {
+    StoreOptions o = SmallOptions(GetParam()).WithEdges(0);
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
+  {
+    // Shard count may not exceed the edge count.
+    StoreOptions o = SmallOptions(GetParam()).WithShards(3);
+    o.deploy.num_edges = 2;
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
+}
+
+// The acceptance sequence again, sharded: WithShards(2) must be
+// invisible to the caller on every backend.
+TEST_P(StoreApiTest, ShardedPutGetScanRoundTrip) {
+  StoreOptions o = SmallOptions(GetParam()).WithShards(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  EXPECT_EQ(store.shard_count(), 2u);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 10; k < 14; ++k) kvs.emplace_back(k, Val(1));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+
+  for (Key k = 10; k < 14; ++k) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->found) << "key " << k;
+    EXPECT_EQ(got->value, Val(1));
+  }
+  auto scan = store.Scan(10, 13);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->pairs.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(scan->pairs[i].key, 10 + i);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, StoreApiTest, ::testing::ValuesIn(kAllBackends),
     [](const ::testing::TestParamInfo<BackendKind>& info) {
