@@ -74,24 +74,11 @@ void AppendJson(const std::string& path, const Point& p) {
   std::fprintf(f,
                "{\"bench\": \"fig8_sharding\", \"panel\": \"%s\", "
                "\"backend\": \"%s\", \"edges\": %zu, \"kops\": %.3f, "
-               "\"read_ms\": %.3f, \"write_ms\": %.3f, \"per_edge\": [",
+               "\"read_ms\": %.3f, \"write_ms\": %.3f, ",
                p.panel.c_str(), p.backend.c_str(), p.edges, p.kops, p.read_ms,
                p.write_ms);
-  for (size_t e = 0; e < p.per_edge.size(); ++e) {
-    const EdgeLoadMetrics& m = p.per_edge[e];
-    std::fprintf(
-        f,
-        "%s{\"edge\": %zu, \"read_ops\": %llu, \"write_ops\": %llu, "
-        "\"p50_us\": %lld, \"p99_us\": %lld, \"mb\": %.2f}",
-        e == 0 ? "" : ", ", e,
-        static_cast<unsigned long long>(m.read_ops),
-        static_cast<unsigned long long>(m.write_ops),
-        static_cast<long long>(m.read_latency.Median()),
-        static_cast<long long>(m.read_latency.P99()),
-        static_cast<double>(m.bytes_written + m.bytes_read) /
-            (1024.0 * 1024.0));
-  }
-  std::fprintf(f, "]}\n");
+  AppendPerEdgeJson(f, p.per_edge);
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 

@@ -23,6 +23,9 @@ StoreOptions MakeStoreOptions(BackendKind kind, const ExperimentConfig& cfg) {
     const uint64_t span = cfg.shard_range_span > 0 ? cfg.shard_range_span
                                                    : cfg.spec.key_space;
     o.WithShards(cfg.num_shards, cfg.shard_scheme, span);
+    if (cfg.shard_capacity > cfg.num_shards) {
+      o.WithShardCapacity(cfg.shard_capacity);
+    }
   }
   o.deploy.edge.ship_full_blocks = cfg.certify_full_blocks;
   return o;
@@ -90,20 +93,32 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
   StoreBackend* backend = &store.backend();
 
   // Sharded runs get the per-edge breakdown: each op is attributed to
-  // the edge owning its key — the same Partitioner the router uses, so
-  // attribution and routing cannot disagree.
+  // the edge owning its key — the router's own OwnershipTable under its
+  // *current* epoch (so a mid-run split re-attributes the migrated range
+  // to its new owner), with the static Partitioner as the unrouted
+  // fallback. Attribution and routing cannot disagree.
   const Partitioner part = backend->partitioner();
+  const OwnershipTable* ownership = backend->ownership();
+  auto shard_of = [ownership, part](Key k) {
+    return ownership != nullptr ? ownership->ShardOf(k) : part.ShardOf(k);
+  };
   const bool per_edge = backend->shard_count() > 1;
   if (per_edge) metrics.per_edge.resize(backend->shard_count());
   auto in_window = [measure_start, end](SimTime t) {
     return t >= measure_start && t < end;
   };
+  // The event mark exists only for experiments that declare one (a
+  // mid-run action, or a control run comparing against one): mark == 0
+  // means none, per the RunMetrics contract.
+  if (cfg.mid_run || cfg.mid_run_at > 0) {
+    metrics.mark = measure_start + cfg.mid_run_at;
+  }
 
   std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
   for (size_t i = 0; i < cfg.num_clients; ++i) {
     ClosedLoopDriver::Adapters ad;
     const bool wait_phase2 = cfg.wait_phase2;
-    ad.write_batch = [backend, i, wait_phase2, per_edge, part, in_window,
+    ad.write_batch = [backend, i, wait_phase2, per_edge, shard_of, in_window,
                       &metrics](const std::vector<std::pair<Key, Bytes>>& kvs,
                                 ClosedLoopDriver::DoneCb commit,
                                 ClosedLoopDriver::DoneCb final_cb) {
@@ -117,7 +132,7 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
             std::vector<std::pair<uint64_t, uint64_t>>>(
             metrics.per_edge.size());
         for (const auto& kv : kvs) {
-          auto& [ops, bytes] = (*routed)[part.ShardOf(kv.first)];
+          auto& [ops, bytes] = (*routed)[shard_of(kv.first)];
           ops++;
           bytes += kv.second.size();
         }
@@ -140,18 +155,26 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
             if (s.ok() && final_cb) final_cb(t);
           });
     };
-    ad.read = [backend, i, per_edge, part, in_window, &metrics](
+    ad.read = [backend, i, per_edge, shard_of, in_window, &metrics](
                   Key k, ClosedLoopDriver::DoneCb done) {
       const SimTime started = backend->sim().now();
       backend->Get(i, k,
-                   [done, k, started, per_edge, part, in_window, &metrics](
-                       const Status& s, GetResult r, SimTime t) {
-                     if (per_edge && s.ok() && in_window(t)) {
-                       EdgeLoadMetrics& e =
-                           metrics.per_edge[part.ShardOf(k)];
-                       e.read_ops++;
-                       e.bytes_read += r.value.size();
-                       e.read_latency.Record(t - started);
+                   [done, k, started, per_edge, shard_of, in_window,
+                    &metrics](const Status& s, GetResult r, SimTime t) {
+                     if (s.ok() && in_window(t)) {
+                       if (metrics.mark != 0) {
+                         if (t < metrics.mark) {
+                           metrics.reads_pre_mark++;
+                         } else {
+                           metrics.reads_post_mark++;
+                         }
+                       }
+                       if (per_edge) {
+                         EdgeLoadMetrics& e = metrics.per_edge[shard_of(k)];
+                         e.read_ops++;
+                         e.bytes_read += r.value.size();
+                         e.read_latency.Record(t - started);
+                       }
                      }
                      if (done) done(t);
                    });
@@ -160,6 +183,13 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
         &store.sim(), std::move(ad), cfg.spec, cfg.seed + 100 + i, &metrics,
         &part));
     drivers.back()->Start(measure_start, end);
+  }
+  if (cfg.mid_run) {
+    // Run to the mark, fire the action with the workload still in
+    // flight (a synchronous Store call pumps the same simulator, so the
+    // closed loops keep progressing underneath it), then finish.
+    store.RunUntil(metrics.mark);
+    cfg.mid_run(store);
   }
   store.RunUntil(end);
   return Collect(std::move(metrics), store.net().stats(), cfg.measure);

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "api/store.h"
@@ -28,6 +29,9 @@ struct ExperimentConfig {
   ShardScheme shard_scheme = ShardScheme::kHash;
   /// kRange only; defaults to spec.key_space when 0.
   uint64_t shard_range_span = 0;
+  /// Physical shard slots (>= num_shards; extra slots start idle and
+  /// receive ranges migrated by SplitShard). 0 = num_shards.
+  size_t shard_capacity = 0;
   Dc client_dc = Dc::kCalifornia;
   Dc edge_dc = Dc::kCalifornia;
   Dc cloud_dc = Dc::kVirginia;
@@ -47,6 +51,15 @@ struct ExperimentConfig {
   /// Ablation: clients block on Phase II instead of Phase I (disables the
   /// "lazy" in lazy certification).
   bool wait_phase2 = false;
+  /// Mid-run action (fig9's live SplitShard): runs once at
+  /// measure_start + mid_run_at, with the workload still in flight.
+  /// Reads completing after that instant are counted separately
+  /// (RunMetrics::reads_post_mark) so an action run and a control run
+  /// compare the same post-event window. Setting mid_run_at > 0 without
+  /// an action records the mark alone (the control run); with both at
+  /// their defaults no mark is recorded (RunMetrics::mark == 0).
+  SimTime mid_run_at = 0;
+  std::function<void(Store&)> mid_run;
 };
 
 struct ExperimentResult {

@@ -85,4 +85,27 @@ inline void PrintPerEdge(const TablePrinter& table,
   }
 }
 
+/// Appends the per-edge breakdown as a JSON array — `"per_edge": [...]`
+/// — to an already-open JSON-lines record. One schema shared by every
+/// sharded bench, so the BENCH_*.json records stay comparable.
+inline void AppendPerEdgeJson(FILE* f,
+                              const std::vector<EdgeLoadMetrics>& per_edge) {
+  std::fprintf(f, "\"per_edge\": [");
+  for (size_t e = 0; e < per_edge.size(); ++e) {
+    const EdgeLoadMetrics& m = per_edge[e];
+    std::fprintf(
+        f,
+        "%s{\"edge\": %zu, \"read_ops\": %llu, \"write_ops\": %llu, "
+        "\"p50_us\": %lld, \"p99_us\": %lld, \"mb\": %.2f}",
+        e == 0 ? "" : ", ", e,
+        static_cast<unsigned long long>(m.read_ops),
+        static_cast<unsigned long long>(m.write_ops),
+        static_cast<long long>(m.read_latency.Median()),
+        static_cast<long long>(m.read_latency.P99()),
+        static_cast<double>(m.bytes_written + m.bytes_read) /
+            (1024.0 * 1024.0));
+  }
+  std::fprintf(f, "]");
+}
+
 }  // namespace wedge

@@ -21,14 +21,33 @@
 
 #include "api/options.h"
 #include "core/partitioner.h"
+#include "core/resharding.h"
 #include "log/block.h"
 #include "lsmerkle/kv.h"
+#include "lsmerkle/verifier_cache.h"
 
 namespace wedge {
 
 class Deployment;
 class EdgeBaselineDeployment;
 class CloudOnlyDeployment;
+class ReshardingCoordinator;
+
+/// Counters of the sharded routing layer (api/shard_router.h), exposed
+/// through StoreBackend::router_stats() / Store::router_stats().
+struct RouterStats {
+  /// Operations whose stale-epoch route differed from the current owner
+  /// and were redirected (the deterministic retry, never an error).
+  uint64_t stale_redirects = 0;
+  /// Logical-client epoch views refreshed to the current epoch.
+  uint64_t epoch_refreshes = 0;
+  /// Write sub-batches parked by a migration fence and flushed at epoch
+  /// install (or on an aborted split, back to the unchanged owner).
+  uint64_t writes_parked = 0;
+  /// Keyed operations routed per shard slot since the last epoch change
+  /// — the heat signal Rebalance picks its victim by.
+  std::vector<uint64_t> ops_per_shard;
+};
 
 /// One committed write phase: the block that carries the write and the
 /// virtual time the phase completed.
@@ -59,6 +78,13 @@ struct ScanResult {
   SimTime at = 0;
 };
 
+/// Outcome of a scatter-gather MultiGet: one GetResult per requested
+/// key, positionally aligned with the key list.
+struct MultiGetResult {
+  std::vector<GetResult> results;
+  SimTime at = 0;
+};
+
 /// Outcome of a log-block read.
 struct BlockRead {
   Block block;
@@ -66,12 +92,22 @@ struct BlockRead {
   SimTime at = 0;
 };
 
+/// Trust-severity status merge for fan-out joins: the first error wins,
+/// except that a security-class status (a detected lie) always displaces
+/// a benign one — a slow or unavailable shard must never mask a
+/// tampering shard.
+void MergeStatusBySeverity(Status* into, const Status& s);
+
 class StoreBackend {
  public:
   using CommitCb = std::function<void(const Status&, BlockId, SimTime)>;
   using GetCb = std::function<void(const Status&, GetResult, SimTime)>;
   using ScanCb = std::function<void(const Status&, ScanResult, SimTime)>;
+  using MultiGetCb =
+      std::function<void(const Status&, MultiGetResult, SimTime)>;
   using ReadBlockCb = std::function<void(const Status&, BlockRead, SimTime)>;
+  using SplitCb =
+      std::function<void(const Status&, const SplitReport&, SimTime)>;
 
   virtual ~StoreBackend() = default;
 
@@ -107,11 +143,52 @@ class StoreBackend {
 
   virtual void Get(size_t client, Key key, GetCb cb) = 0;
 
+  /// Batched point reads: all keys issued concurrently (the sharded
+  /// router scatter-gathers them per owning shard), results positionally
+  /// aligned with `keys`. Any failing key fails the whole batch, with
+  /// security-class failures taking precedence.
+  virtual void MultiGet(size_t client, const std::vector<Key>& keys,
+                        MultiGetCb cb);
+
   virtual void Scan(size_t client, Key lo, Key hi, ScanCb cb) = 0;
 
   /// Reads log block `bid`: proof-verified on the edge systems, trusted
   /// on cloud-only.
   virtual void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) = 0;
+
+  // ---- resharding ----------------------------------------------------
+  // Implemented by the ShardRouter decorator; the base backend has a
+  // single static shard and refuses.
+
+  /// Splits `shard`'s key range via verified live migration (see
+  /// core/resharding.h). FailedPrecondition on an unrouted store.
+  virtual void SplitShard(size_t shard, SplitCb cb);
+
+  /// Splits the busiest live shard (by routed operations since the last
+  /// epoch change) into the first idle slot.
+  virtual void Rebalance(SplitCb cb);
+
+  /// The versioned ownership map a routed store consults; null on an
+  /// unrouted store (ownership is the static single-shard function).
+  virtual const OwnershipTable* ownership() const { return nullptr; }
+  virtual const ReshardingCoordinator* resharding() const { return nullptr; }
+  virtual const RouterStats* router_stats() const { return nullptr; }
+
+  // ---- verifier-cache management ------------------------------------
+  // Per-physical-client hooks the routing layer uses to keep cache
+  // budgets tracking shard ownership. No-ops on backends without
+  // client-side verification (cloud-only).
+
+  virtual void ResizeVerifierCache(size_t client,
+                                   const VerifierCache::Limits& limits) {
+    (void)client;
+    (void)limits;
+  }
+  virtual void InvalidateVerifierRange(size_t client, Key lo, Key hi) {
+    (void)client;
+    (void)lo;
+    (void)hi;
+  }
 
   /// The concrete deployment, for instrumentation (stats, misbehaviour
   /// injection, trust-authority queries). Null unless `kind()` matches.

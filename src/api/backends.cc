@@ -3,6 +3,8 @@
 
 #include "api/backend.h"
 
+#include <algorithm>
+#include <memory>
 #include <string>
 
 #include "api/shard_router.h"
@@ -10,6 +12,65 @@
 #include "core/deployment.h"
 
 namespace wedge {
+
+void MergeStatusBySeverity(Status* into, const Status& s) {
+  if (s.ok()) return;
+  const bool s_security = s.IsSecurityViolation() || s.IsMaliciousBehavior();
+  const bool into_security =
+      into->IsSecurityViolation() || into->IsMaliciousBehavior();
+  if (into->ok() || (s_security && !into_security)) *into = s;
+}
+
+void StoreBackend::MultiGet(size_t client, const std::vector<Key>& keys,
+                            MultiGetCb cb) {
+  // Unrouted default: one shard holds everything, so the batch is N
+  // concurrent point reads on the same client, gathered positionally.
+  if (keys.empty()) {
+    if (cb) cb(Status::OK(), MultiGetResult{{}, sim().now()}, sim().now());
+    return;
+  }
+  struct Join {
+    size_t waiting = 0;
+    Status status;
+    MultiGetResult out;
+  };
+  auto join = std::make_shared<Join>();
+  join->waiting = keys.size();
+  join->out.results.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Get(client, keys[i],
+        [join, i, cb](const Status& st, GetResult r, SimTime t) {
+          MergeStatusBySeverity(&join->status, st);
+          join->out.at = std::max(join->out.at, t);
+          join->out.results[i] = std::move(r);
+          if (--join->waiting > 0) return;
+          if (!cb) return;
+          if (!join->status.ok()) {
+            cb(join->status, MultiGetResult{}, join->out.at);
+          } else {
+            const SimTime at = join->out.at;
+            cb(join->status, std::move(join->out), at);
+          }
+        });
+  }
+}
+
+void StoreBackend::SplitShard(size_t shard, SplitCb cb) {
+  (void)shard;
+  if (cb) {
+    cb(Status::FailedPrecondition(
+           "resharding needs a sharded store (StoreOptions::WithShards)"),
+       SplitReport{}, sim().now());
+  }
+}
+
+void StoreBackend::Rebalance(SplitCb cb) {
+  if (cb) {
+    cb(Status::FailedPrecondition(
+           "resharding needs a sharded store (StoreOptions::WithShards)"),
+       SplitReport{}, sim().now());
+  }
+}
 
 namespace {
 
@@ -104,6 +165,14 @@ class WedgeBackend : public StoreBackend {
         });
   }
 
+  void ResizeVerifierCache(size_t client,
+                           const VerifierCache::Limits& limits) override {
+    d_.client(client).ResizeVerifierCache(limits);
+  }
+  void InvalidateVerifierRange(size_t client, Key lo, Key hi) override {
+    d_.client(client).InvalidateVerifierRange(lo, hi);
+  }
+
  private:
   Deployment d_;
 };
@@ -155,6 +224,14 @@ class EdgeBaselineBackend : public StoreBackend {
         bid, [cb = std::move(cb)](const Status& s, const Block& b, SimTime t) {
           cb(s, FromBlock(b, t), t);
         });
+  }
+
+  void ResizeVerifierCache(size_t client,
+                           const VerifierCache::Limits& limits) override {
+    d_.client(client).ResizeVerifierCache(limits);
+  }
+  void InvalidateVerifierRange(size_t client, Key lo, Key hi) override {
+    d_.client(client).InvalidateVerifierRange(lo, hi);
   }
 
  private:
@@ -259,19 +336,25 @@ std::unique_ptr<StoreBackend> MakeUnroutedBackend(const StoreOptions& options) {
 
 std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
   const ShardingConfig& sharding = options.deploy.sharding;
-  if (sharding.num_shards < 2) {
-    // 0 (off) and 1 (a single shard) are both the unrouted fast path.
+  if (sharding.slots() < 2) {
+    // 0 (off) and 1 (a single shard, no spare capacity) are both the
+    // unrouted fast path.
     return MakeUnroutedBackend(options);
   }
   // The routed form: the deployment is built with one physical client
-  // per (logical client, shard), pinned shard-aware by its sharding
+  // per (logical client, shard slot), pinned shard-aware by its sharding
   // config, and every backend kind gets the identical routing layer.
+  // Slots beyond num_shards start idle; SplitShard migrates ranges onto
+  // them without reshaping the grid.
   StoreOptions inner = options;
-  inner.deploy.num_clients = options.deploy.num_clients * sharding.num_shards;
+  inner.deploy.num_clients = options.deploy.num_clients * sharding.slots();
   std::unique_ptr<StoreBackend> base = MakeUnroutedBackend(inner);
   if (base == nullptr) return nullptr;
-  return std::make_unique<ShardRouter>(std::move(base), Partitioner(sharding),
-                                       options.deploy.num_clients);
+  auto table = std::make_shared<OwnershipTable>(Partitioner(sharding),
+                                                sharding.slots());
+  return std::make_unique<ShardRouter>(
+      std::move(base), std::move(table), options.deploy.num_clients,
+      options.deploy.client.verify_cache_limits, options.resharding);
 }
 
 }  // namespace wedge

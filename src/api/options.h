@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "core/resharding.h"
 
 namespace wedge {
 
@@ -53,6 +54,8 @@ struct StoreOptions {
   /// starts — the window in which durable storage must be attached and
   /// recovered state restored (see storage/edge_storage.h).
   std::function<void(StoreBackend&)> before_start;
+  /// Live-migration knobs for SplitShard / Rebalance.
+  ReshardingConfig resharding;
 
   StoreOptions& WithBackend(BackendKind b) {
     backend = b;
@@ -82,7 +85,25 @@ struct StoreOptions {
     deploy.sharding.num_shards = n;
     deploy.sharding.scheme = scheme;
     deploy.sharding.range_span = range_span;
-    deploy.num_edges = std::max(deploy.num_edges, n);
+    deploy.num_edges =
+        std::max(deploy.num_edges, deploy.sharding.slots());
+    return *this;
+  }
+  /// Provisions `m` physical shard slots (edges, per-shard clients, the
+  /// router's block-id modulus) of which only the WithShards count start
+  /// live. Spare slots own no keys until SplitShard migrates a hot
+  /// shard's range onto one — the grid never changes shape at runtime,
+  /// which is what keeps block ids and client pinning stable across
+  /// ownership epochs. Raises num_edges to at least `m`.
+  StoreOptions& WithShardCapacity(size_t m) {
+    deploy.sharding.capacity = m;
+    deploy.num_edges = std::max(deploy.num_edges, deploy.sharding.slots());
+    return *this;
+  }
+  /// Virtual time a SplitShard waits between fencing the moving range
+  /// and the export scan (see ReshardingConfig::drain_delay).
+  StoreOptions& WithDrainDelay(SimTime delay) {
+    resharding.drain_delay = delay;
     return *this;
   }
   StoreOptions& WithLocations(Dc client, Dc edge, Dc cloud) {
@@ -125,6 +146,12 @@ struct StoreOptions {
   /// off to reproduce the paper's verify-every-response read cost.
   StoreOptions& WithVerifierCache(bool on) {
     deploy.client.verify_cache = on;
+    return *this;
+  }
+  /// Per-shard verifier-cache sizing unit (see
+  /// ClientConfig::verify_cache_limits).
+  StoreOptions& WithVerifierCacheLimits(VerifierCache::Limits limits) {
+    deploy.client.verify_cache_limits = limits;
     return *this;
   }
   StoreOptions& WithOpTimeout(SimTime timeout) {

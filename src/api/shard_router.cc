@@ -2,21 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace wedge {
 
 namespace {
-
-/// Trust-severity status merge: the first error wins, except that a
-/// security-class status (a detected lie) always displaces a benign one —
-/// a slow or unavailable shard must never mask a tampering shard.
-void MergeStatus(Status* into, const Status& s) {
-  if (s.ok()) return;
-  const bool s_security = s.IsSecurityViolation() || s.IsMaliciousBehavior();
-  const bool into_security =
-      into->IsSecurityViolation() || into->IsMaliciousBehavior();
-  if (into->ok() || (s_security && !into_security)) *into = s;
-}
 
 /// Join state for one phase of a multi-shard write: the phase reports
 /// once every involved shard has reported it, at the latest sub-commit
@@ -32,7 +22,7 @@ struct PhaseJoin {
 
 void RecordPhase(PhaseJoin* join, size_t shard, const Status& s, BlockId bid,
                  SimTime t, const StoreBackend::CommitCb& done) {
-  MergeStatus(&join->status, s);
+  MergeStatusBySeverity(&join->status, s);
   if (s.ok() && shard < join->bid_shard) {
     join->bid_shard = shard;
     join->bid = bid;
@@ -41,70 +31,142 @@ void RecordPhase(PhaseJoin* join, size_t shard, const Status& s, BlockId bid,
   if (--join->waiting == 0 && done) done(join->status, join->bid, join->at);
 }
 
+/// Wraps a commit callback so acked block ids come out in global form.
+StoreBackend::CommitCb TranslateBidsCb(StoreBackend::CommitCb cb, size_t shard,
+                                       size_t slots) {
+  if (!cb) return nullptr;
+  return [cb = std::move(cb), shard, slots](const Status& s, BlockId bid,
+                                            SimTime t) {
+    cb(s, ShardRouter::GlobalBlockId(bid, shard, slots), t);
+  };
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
-                         Partitioner partitioner, size_t logical_clients)
+                         std::shared_ptr<OwnershipTable> table,
+                         size_t logical_clients,
+                         VerifierCache::Limits cache_unit,
+                         ReshardingConfig resharding)
     : inner_(std::move(inner)),
-      partitioner_(partitioner),
-      logical_clients_(logical_clients) {}
+      table_(std::move(table)),
+      logical_clients_(logical_clients),
+      cache_unit_(cache_unit),
+      client_epochs_(logical_clients, table_->epoch()) {
+  coordinator_ = std::make_unique<ReshardingCoordinator>(
+      &inner_->sim(), table_, this, resharding);
+  stats_.ops_per_shard.assign(table_->capacity(), 0);
+  ResizeVerifierCaches();
+}
 
-StoreBackend::CommitCb ShardRouter::TranslateBids(CommitCb cb,
-                                                  size_t shard) const {
-  if (!cb) return nullptr;
-  const size_t shards = partitioner_.shards();
-  return [cb = std::move(cb), shard, shards](const Status& s, BlockId bid,
-                                             SimTime t) {
-    cb(s, GlobalBlockId(bid, shard, shards), t);
-  };
+size_t ShardRouter::RouteKey(size_t client, Key key) {
+  const OwnershipEpoch known = client_epochs_[client];
+  const OwnershipEpoch current = table_->epoch();
+  size_t shard = table_->ShardOf(key, known);
+  if (known != current) {
+    // The request carried a stale epoch: re-route deterministically to
+    // the current owner and refresh the client's view. Never an error —
+    // the client simply learns the new map on its next touch.
+    const size_t actual = table_->ShardOf(key, current);
+    if (actual != shard) {
+      stats_.stale_redirects++;
+      shard = actual;
+    }
+    client_epochs_[client] = current;
+    stats_.epoch_refreshes++;
+  }
+  stats_.ops_per_shard[shard]++;
+  return shard;
+}
+
+void ShardRouter::RefreshEpoch(size_t client) {
+  const OwnershipEpoch current = table_->epoch();
+  if (client_epochs_[client] != current) {
+    client_epochs_[client] = current;
+    stats_.epoch_refreshes++;
+  }
 }
 
 void ShardRouter::PutBatch(size_t client,
                            const std::vector<std::pair<Key, Bytes>>& kvs,
                            CommitCb on_phase1, CommitCb on_phase2) {
-  const size_t shards = partitioner_.shards();
-  // Split by owning shard, preserving the caller's per-shard put order
-  // (version order within a shard must match the unsharded sequence).
+  const size_t slots = table_->capacity();
+  // Split by owning shard under the client's (refreshed) epoch,
+  // preserving the caller's per-shard put order (version order within a
+  // shard must match the unsharded sequence). Keys inside an active
+  // migration fence are parked and flushed at epoch install, re-routed
+  // under the then-current owner.
   std::map<size_t, std::vector<std::pair<Key, Bytes>>> by_shard;
+  std::vector<std::pair<Key, Bytes>> parked;
   for (const auto& kv : kvs) {
-    by_shard[partitioner_.ShardOf(kv.first)].push_back(kv);
+    if (fence_active_ && kv.first >= fence_lo_ && kv.first <= fence_hi_) {
+      parked.push_back(kv);
+    } else {
+      by_shard[RouteKey(client, kv.first)].push_back(kv);
+    }
   }
-  if (by_shard.empty()) {
+  if (by_shard.empty() && parked.empty()) {
     // Empty batch: keep the unsharded contract (one call, to the logical
-    // client's home shard) rather than inventing a zero-call commit.
-    by_shard[client % shards] = {};
+    // client's home slot) rather than inventing a zero-call commit.
+    by_shard[client % slots] = {};
   }
 
   auto p1 = std::make_shared<PhaseJoin>();
   auto p2 = std::make_shared<PhaseJoin>();
-  p1->waiting = p2->waiting = by_shard.size();
-  for (auto& [shard, sub] : by_shard) {
-    const size_t s = shard;
+  p1->waiting = p2->waiting = by_shard.size() + (parked.empty() ? 0 : 1);
+
+  auto issue = [this, client, slots, p1, p2, on_phase1, on_phase2](
+                   size_t shard, std::vector<std::pair<Key, Bytes>> sub) {
     inner_->PutBatch(
-        PhysicalClient(client, s), sub,
-        [p1, s, shards, on_phase1](const Status& st, BlockId bid, SimTime t) {
-          RecordPhase(p1.get(), s, st, GlobalBlockId(bid, s, shards), t,
-                      on_phase1);
+        PhysicalClient(client, shard), sub,
+        [p1, shard, slots, on_phase1](const Status& st, BlockId bid,
+                                      SimTime t) {
+          RecordPhase(p1.get(), shard, st, GlobalBlockId(bid, shard, slots),
+                      t, on_phase1);
         },
-        [p2, s, shards, on_phase2](const Status& st, BlockId bid, SimTime t) {
-          RecordPhase(p2.get(), s, st, GlobalBlockId(bid, s, shards), t,
-                      on_phase2);
+        [p2, shard, slots, on_phase2](const Status& st, BlockId bid,
+                                      SimTime t) {
+          RecordPhase(p2.get(), shard, st, GlobalBlockId(bid, shard, slots),
+                      t, on_phase2);
         });
+  };
+
+  for (auto& [shard, sub] : by_shard) issue(shard, std::move(sub));
+
+  if (!parked.empty()) {
+    stats_.writes_parked++;
+    // The parked portion joins as one unit; when the fence lifts it
+    // re-splits under the then-current table (a completed split divides
+    // it between source and destination), widening the joins in place
+    // before any of its sub-calls can resolve.
+    parked_.push_back([this, client, parked = std::move(parked), p1, p2,
+                       issue]() {
+      std::map<size_t, std::vector<std::pair<Key, Bytes>>> by;
+      for (const auto& kv : parked) {
+        by[RouteKey(client, kv.first)].push_back(kv);
+      }
+      p1->waiting += by.size() - 1;
+      p2->waiting += by.size() - 1;
+      for (auto& [shard, sub] : by) issue(shard, std::move(sub));
+    });
   }
 }
 
 void ShardRouter::Append(size_t client, std::vector<Bytes> payloads,
                          CommitCb on_phase1, CommitCb on_phase2) {
   // Raw appends carry no key; the batch stays whole (one append batch =
-  // one block's worth of entries) on the logical client's home shard.
-  const size_t home = client % partitioner_.shards();
+  // one block's worth of entries) on the logical client's home slot,
+  // which never changes across epochs — append streams are not migrated.
+  RefreshEpoch(client);
+  const size_t slots = table_->capacity();
+  const size_t home = client % slots;
   inner_->Append(PhysicalClient(client, home), std::move(payloads),
-                 TranslateBids(std::move(on_phase1), home),
-                 TranslateBids(std::move(on_phase2), home));
+                 TranslateBidsCb(std::move(on_phase1), home, slots),
+                 TranslateBidsCb(std::move(on_phase2), home, slots));
 }
 
 void ShardRouter::Get(size_t client, Key key, GetCb cb) {
-  inner_->Get(PhysicalClient(client, partitioner_.ShardOf(key)), key,
+  inner_->Get(PhysicalClient(client, RouteKey(client, key)), key,
               std::move(cb));
 }
 
@@ -118,31 +180,36 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
     std::vector<KvPair> pairs;
   };
 
-  const size_t shards = partitioner_.shards();
-  std::vector<size_t> targets;
-  for (size_t s = 0; s < shards; ++s) {
-    if (partitioner_.ScanTouches(s, lo, hi)) targets.push_back(s);
-  }
+  RefreshEpoch(client);
+  // Route under the epoch current at issue time, and filter each
+  // sub-scan's contribution by that same epoch: a migration installing
+  // a newer epoch mid-scan must not drop pairs the source legitimately
+  // owned (and still stores) under the epoch this scan was routed by.
+  const OwnershipEpoch at_epoch = table_->epoch();
+  const std::vector<OwnedSlice> slices = table_->SlicesTouching(lo, hi);
 
   auto join = std::make_shared<ScanJoin>();
-  join->waiting = targets.size();
-  for (size_t s : targets) {
-    const auto [slo, shi] = partitioner_.ClampToShard(s, lo, hi);
+  join->waiting = slices.size();
+  for (const OwnedSlice& slice : slices) {
+    stats_.ops_per_shard[slice.shard]++;
     inner_->Scan(
-        PhysicalClient(client, s), slo, shi,
-        [join, s, cb, part = partitioner_](const Status& st, ScanResult r,
-                                           SimTime t) {
-          MergeStatus(&join->status, st);
+        PhysicalClient(client, slice.shard), slice.lo, slice.hi,
+        [join, slice, at_epoch, cb, table = table_](const Status& st,
+                                                    ScanResult r, SimTime t) {
+          MergeStatusBySeverity(&join->status, st);
           join->at = std::max(join->at, t);
           if (st.ok()) {
             join->phase2 = join->phase2 && r.phase2;
             join->verified = join->verified && r.verified;
-            // Proof boundary: shard s contributes only keys it owns. On
-            // the edge backends this is a no-op (each edge's tree holds
-            // only its shard); on cloud-only, where every sub-scan hits
-            // the same trusted server, it deduplicates the fan-out.
+            // Proof boundary: this sub-scan contributes only keys its
+            // shard owns under the scan's epoch. On the edge backends
+            // this is a no-op (each edge's tree holds only its shard);
+            // on cloud-only, where every sub-scan hits the same trusted
+            // server, it deduplicates the fan-out.
             for (auto& p : r.pairs) {
-              if (part.ShardOf(p.key) == s) join->pairs.push_back(std::move(p));
+              if (table->ShardOf(p.key, at_epoch) == slice.shard) {
+                join->pairs.push_back(std::move(p));
+              }
             }
           }
           if (--join->waiting > 0) return;
@@ -165,16 +232,133 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
 }
 
 void ShardRouter::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
-  const size_t shards = partitioner_.shards();
-  const size_t s = ShardOfBlockId(bid, shards);
+  const size_t slots = table_->capacity();
+  const size_t shard = ShardOfBlockId(bid, slots);
   inner_->ReadBlock(
-      PhysicalClient(client, s), InnerBlockId(bid, shards),
-      [cb = std::move(cb), s, shards](const Status& st, BlockRead r,
-                                      SimTime t) {
+      PhysicalClient(client, shard), InnerBlockId(bid, slots),
+      [cb = std::move(cb), shard, slots](const Status& st, BlockRead r,
+                                         SimTime t) {
         // Hand the block back under the id the caller asked by.
-        r.block.id = GlobalBlockId(r.block.id, s, shards);
+        r.block.id = GlobalBlockId(r.block.id, shard, slots);
         cb(st, std::move(r), t);
       });
+}
+
+// -------------------------------------------------------------- resharding
+
+void ShardRouter::SplitShard(size_t shard, SplitCb cb) {
+  coordinator_->SplitShard(shard, std::move(cb));
+}
+
+void ShardRouter::Rebalance(SplitCb cb) {
+  if (!table_->splittable()) {
+    // Delegate for the coordinator's precise refusal.
+    coordinator_->SplitShard(0, std::move(cb));
+    return;
+  }
+  // Heat-driven victim selection: the hottest shard (routed keyed ops
+  // since the last epoch change) that can actually be split — idle
+  // slots and shards whose widest slice is a single key are skipped.
+  size_t victim = SIZE_MAX;
+  uint64_t hottest = 0;
+  for (size_t s = 0; s < table_->capacity(); ++s) {
+    const std::optional<OwnedSlice> slice = table_->WidestSliceOf(s);
+    if (!slice.has_value() || slice->lo >= slice->hi) continue;
+    if (victim == SIZE_MAX || stats_.ops_per_shard[s] > hottest) {
+      victim = s;
+      hottest = stats_.ops_per_shard[s];
+    }
+  }
+  if (victim == SIZE_MAX) {
+    if (cb) {
+      cb(Status::FailedPrecondition("no live shard to rebalance"),
+         SplitReport{}, sim().now());
+    }
+    return;
+  }
+  coordinator_->SplitShard(victim, std::move(cb));
+}
+
+void ShardRouter::ExportRange(size_t shard, Key lo, Key hi, ExportCb cb) {
+  // The export is a completeness-verified scan through the source
+  // shard's own client (logical client 0's sub-client): a truncating or
+  // tampering source fails verification there as SecurityViolation and
+  // the failure aborts the migration upstream.
+  inner_->Scan(PhysicalClient(0, shard), lo, hi,
+               [cb = std::move(cb)](const Status& st, ScanResult r,
+                                    SimTime t) {
+                 cb(st, std::move(r.pairs), t);
+               });
+}
+
+void ShardRouter::ImportPairs(size_t shard, std::vector<KvPair> pairs,
+                              PhaseCb applied, PhaseCb certified) {
+  // The destination ingests through its normal write path, so the
+  // migrated range gets the usual two commit points: Phase I (servable,
+  // the handoff point) now, the cloud's certificate lazily.
+  std::vector<std::pair<Key, Bytes>> kvs;
+  kvs.reserve(pairs.size());
+  for (auto& p : pairs) kvs.emplace_back(p.key, std::move(p.value));
+  inner_->PutBatch(
+      PhysicalClient(0, shard), kvs,
+      [applied = std::move(applied)](const Status& st, BlockId, SimTime t) {
+        if (applied) applied(st, t);
+      },
+      [certified = std::move(certified)](const Status& st, BlockId,
+                                         SimTime t) {
+        if (certified) certified(st, t);
+      });
+}
+
+void ShardRouter::FenceRange(Key lo, Key hi) {
+  fence_active_ = true;
+  fence_lo_ = lo;
+  fence_hi_ = hi;
+}
+
+void ShardRouter::LiftFence() {
+  fence_active_ = false;
+  std::vector<std::function<void()>> parked = std::move(parked_);
+  parked_.clear();
+  for (auto& flush : parked) flush();
+}
+
+void ShardRouter::OnEpochInstalled(const SplitReport& report) {
+  // The source's clients may hold verified proof material for keys that
+  // just moved; drop it so nothing covering the migrated range can be
+  // replayed against the old owner.
+  for (size_t c = 0; c < logical_clients_; ++c) {
+    inner_->InvalidateVerifierRange(PhysicalClient(c, report.source),
+                                    report.moved_lo, report.moved_hi);
+  }
+  ResizeVerifierCaches();
+  // A new epoch opens a new heat window for Rebalance.
+  stats_.ops_per_shard.assign(table_->capacity(), 0);
+}
+
+void ShardRouter::ResizeVerifierCaches() {
+  // Per-shard cache sizing: each physical client's budget follows the
+  // key-span fraction its shard owns (total per logical client =
+  // cache_unit_ × capacity), with a small floor for idle slots. A split
+  // hands the moved range's budget to the destination along with the
+  // range, so the warm hit rate on a hot range survives its own split.
+  // Hash tables interleave ownership evenly and keep the unit as-is.
+  if (!table_->splittable()) return;
+  const std::vector<double> fractions = table_->OwnedFractions();
+  const double slots = static_cast<double>(table_->capacity());
+  for (size_t s = 0; s < table_->capacity(); ++s) {
+    const double scale = fractions[s] * slots;
+    VerifierCache::Limits limits = cache_unit_;
+    limits.max_blocks = std::max<size_t>(
+        8, static_cast<size_t>(static_cast<double>(cache_unit_.max_blocks) *
+                               scale));
+    limits.max_parts = std::max<size_t>(
+        16, static_cast<size_t>(static_cast<double>(cache_unit_.max_parts) *
+                                scale));
+    for (size_t c = 0; c < logical_clients_; ++c) {
+      inner_->ResizeVerifierCache(PhysicalClient(c, s), limits);
+    }
+  }
 }
 
 }  // namespace wedge

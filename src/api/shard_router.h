@@ -1,65 +1,93 @@
-// ShardRouter: the key-partitioned routing layer between the wedge::Store
-// façade and the per-edge clients.
+// ShardRouter: the key-partitioned, epoch-aware routing layer between
+// the wedge::Store façade and the per-edge clients.
 //
-// A sharded store (StoreOptions::WithShards) runs S independent
-// partitions — one LSMerkle tree + log per edge — and backs every logical
-// client with one physical client per shard, laid out as
+// A sharded store (StoreOptions::WithShards / WithShardCapacity) runs up
+// to `capacity` independent partitions — one LSMerkle tree + log per
+// edge — and backs every logical client with one physical client per
+// shard slot, laid out as
 //
-//   physical(c, s) = c * S + s      (pinned to edge s)
+//   physical(c, s) = c * capacity + s      (pinned to edge s)
 //
 // inside the wrapped deployment. The router owns the only map from keys
-// to shards (core/partitioner.h) and applies it uniformly over all three
-// backends — WedgeChain, edge-baseline and cloud-only accept the identical
-// sharded call sequence, because routing happens behind the StoreBackend
-// seam rather than in any deployment:
+// to shards — an epoch-versioned OwnershipTable seeded from
+// core/partitioner.h — and applies it uniformly over all three backends:
+// WedgeChain, edge-baseline and cloud-only accept the identical sharded
+// call sequence, because routing happens behind the StoreBackend seam
+// rather than in any deployment.
 //
-//  - Put/Get route each key to its owning shard; a batch spanning shards
-//    commits on every involved shard before either phase reports.
-//  - Append (no key) routes to the logical client's home shard c % S.
-//  - ReadBlock uses router-scoped block ids: global = inner * S + shard.
-//    Edges allocate ids independently (paper §III: unique per edge, not
-//    across edges), so commit acks are translated on the way out and
-//    decoded on the way back in.
-//  - Scan fans out to every shard the range can touch, each sub-scan
-//    proof-verified independently by that shard's client, and stitches
-//    the verified results by key. Proof-boundary invariant: a pair enters
-//    the stitched result only from the shard that owns its key, so a
-//    shard can neither inject keys it does not own nor mask another
-//    shard's violation — any failing sub-scan fails the whole scan, with
+//  - Put/Get/MultiGet route each key to its owning shard under the
+//    current ownership epoch; a batch spanning shards commits on every
+//    involved shard before either phase reports.
+//  - Epoch-aware routing: every logical client carries the ownership
+//    epoch it last observed. A request under a stale epoch is
+//    deterministically redirected to the current owner and the client's
+//    epoch refreshed — never an error (RouterStats::stale_redirects).
+//  - Append (no key) routes to the logical client's home slot
+//    c % capacity.
+//  - ReadBlock uses router-scoped block ids: global = inner * capacity +
+//    shard. The modulus is the slot *capacity*, fixed for the store's
+//    life, so block ids handed out under epoch N remain decodable under
+//    every later epoch.
+//  - Scan fans out one verified sub-scan per owned slice intersecting
+//    the range and stitches the results by key. Proof-boundary
+//    invariant: a pair enters the stitched result only from the shard
+//    owning its key under the epoch the scan was issued at, so a shard
+//    can neither inject keys it does not own nor mask another shard's
+//    violation — any failing sub-scan fails the whole scan, with
 //    SecurityViolation taking precedence over benign errors.
+//  - SplitShard/Rebalance drive verified live migration (the router is
+//    the ReshardingCoordinator's ShardMigrationHost): writes into the
+//    moving range are parked while the handoff is in flight and flushed
+//    to the new owner at epoch install; per-client verifier caches are
+//    invalidated for the moved range and re-sized to the new ownership.
 
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "api/backend.h"
 #include "core/partitioner.h"
+#include "core/resharding.h"
 
 namespace wedge {
 
-class ShardRouter : public StoreBackend {
+class ShardRouter : public StoreBackend, public ShardMigrationHost {
  public:
   /// Wraps `inner`, which must have been built with
-  /// logical_clients * partitioner.shards() physical clients pinned
+  /// logical_clients * table->capacity() physical clients pinned
   /// shard-aware (DeploymentConfig::sharding). Use MakeBackend rather
   /// than constructing directly.
-  ShardRouter(std::unique_ptr<StoreBackend> inner, Partitioner partitioner,
-              size_t logical_clients);
+  ShardRouter(std::unique_ptr<StoreBackend> inner,
+              std::shared_ptr<OwnershipTable> table, size_t logical_clients,
+              VerifierCache::Limits cache_unit, ReshardingConfig resharding);
 
   BackendKind kind() const override { return inner_->kind(); }
   void Start() override { inner_->Start(); }
   Simulation& sim() override { return inner_->sim(); }
   SimNetwork& net() override { return inner_->net(); }
   size_t client_count() const override { return logical_clients_; }
-  const Partitioner& partitioner() const override { return partitioner_; }
+  const Partitioner& partitioner() const override { return table_->seed(); }
+  size_t shard_count() const override { return table_->capacity(); }
+  const OwnershipTable* ownership() const override { return table_.get(); }
+  const ReshardingCoordinator* resharding() const override {
+    return coordinator_.get();
+  }
+  const RouterStats* router_stats() const override { return &stats_; }
 
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override;
   void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
               CommitCb on_phase2) override;
   void Get(size_t client, Key key, GetCb cb) override;
+  // MultiGet is inherited: the default gather issues the batch through
+  // the virtual Get, which already routes each key (scatter per shard).
   void Scan(size_t client, Key lo, Key hi, ScanCb cb) override;
   void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override;
+
+  void SplitShard(size_t shard, SplitCb cb) override;
+  void Rebalance(SplitCb cb) override;
 
   Deployment* wedge() override { return inner_->wedge(); }
   EdgeBaselineDeployment* edge_baseline() override {
@@ -69,28 +97,66 @@ class ShardRouter : public StoreBackend {
 
   /// The physical client backing (logical `client`, `shard`).
   size_t PhysicalClient(size_t client, size_t shard) const {
-    return client * partitioner_.shards() + shard;
+    return client * table_->capacity() + shard;
+  }
+
+  /// The ownership epoch logical `client` last observed (requests carry
+  /// it; stale views are refreshed by the redirect path).
+  OwnershipEpoch ClientEpoch(size_t client) const {
+    return client_epochs_.at(client);
   }
 
   // Router-scoped block ids. Every block id that crosses the StoreBackend
-  // seam of a sharded store is in global form.
-  static BlockId GlobalBlockId(BlockId inner, size_t shard, size_t shards) {
-    return inner * shards + shard;
+  // seam of a sharded store is in global form; `slots` is the shard slot
+  // capacity, which never changes — ids are epoch-stable.
+  static BlockId GlobalBlockId(BlockId inner, size_t shard, size_t slots) {
+    return inner * slots + shard;
   }
-  static size_t ShardOfBlockId(BlockId global, size_t shards) {
-    return static_cast<size_t>(global % shards);
+  static size_t ShardOfBlockId(BlockId global, size_t slots) {
+    return static_cast<size_t>(global % slots);
   }
-  static BlockId InnerBlockId(BlockId global, size_t shards) {
-    return global / shards;
+  static BlockId InnerBlockId(BlockId global, size_t slots) {
+    return global / slots;
   }
+
+  // ---- ShardMigrationHost (driven by the ReshardingCoordinator) ------
+
+  void ExportRange(size_t shard, Key lo, Key hi, ExportCb cb) override;
+  void ImportPairs(size_t shard, std::vector<KvPair> pairs, PhaseCb applied,
+                   PhaseCb certified) override;
+  void FenceRange(Key lo, Key hi) override;
+  void LiftFence() override;
+  void OnEpochInstalled(const SplitReport& report) override;
 
  private:
-  /// Wraps a commit callback so acked block ids come out in global form.
-  CommitCb TranslateBids(CommitCb cb, size_t shard) const;
+  /// Routes `key` for logical `client` under the client's last-known
+  /// epoch, redirecting (and refreshing the view) when it is stale.
+  size_t RouteKey(size_t client, Key key);
+  /// Refreshes a client's epoch view without a key (scans, appends).
+  void RefreshEpoch(size_t client);
+
+  /// Sizes each physical client's verifier cache by the key-span its
+  /// shard owns under the current epoch (see
+  /// ClientConfig::verify_cache_limits).
+  void ResizeVerifierCaches();
 
   std::unique_ptr<StoreBackend> inner_;
-  Partitioner partitioner_;
+  std::shared_ptr<OwnershipTable> table_;
   size_t logical_clients_;
+  VerifierCache::Limits cache_unit_;
+  std::unique_ptr<ReshardingCoordinator> coordinator_;
+
+  /// Ownership epoch each logical client last observed.
+  std::vector<OwnershipEpoch> client_epochs_;
+
+  /// Migration fence: while active, writes whose keys fall in
+  /// [fence_lo_, fence_hi_] are parked and flushed on LiftFence.
+  bool fence_active_ = false;
+  Key fence_lo_ = 0;
+  Key fence_hi_ = 0;
+  std::vector<std::function<void()>> parked_;
+
+  RouterStats stats_;
 };
 
 }  // namespace wedge

@@ -86,10 +86,10 @@ Status ValidateOptions(const StoreOptions& options) {
     return Status::InvalidArgument("StoreOptions: need at least one edge");
   }
   const ShardingConfig& sh = d.sharding;
-  if (sh.num_shards > d.num_edges) {
+  if (sh.slots() > d.num_edges) {
     return Status::InvalidArgument(
-        "StoreOptions: " + std::to_string(sh.num_shards) +
-        " shards need at least as many edges, got " +
+        "StoreOptions: " + std::to_string(sh.slots()) +
+        " shard slots need at least as many edges, got " +
         std::to_string(d.num_edges));
   }
   if (sh.num_shards >= 2 && sh.scheme == ShardScheme::kRange &&
@@ -97,6 +97,26 @@ Status ValidateOptions(const StoreOptions& options) {
     return Status::InvalidArgument(
         "StoreOptions: range sharding needs range_span >= num_shards "
         "(every shard must own at least one key)");
+  }
+  if (sh.num_shards >= 2 && sh.scheme == ShardScheme::kHash &&
+      sh.slots() > sh.num_shards) {
+    return Status::InvalidArgument(
+        "StoreOptions: spare shard capacity is unusable under hash "
+        "sharding (interleaved ownership cannot be split); use "
+        "ShardScheme::kRange for resharding");
+  }
+  // The drain floor only binds configs where a split can actually run:
+  // spare slots to migrate into, and a splittable (range-expressible)
+  // seed.
+  const bool can_split = sh.slots() > sh.num_shards &&
+                         (sh.scheme == ShardScheme::kRange ||
+                          sh.num_shards == 1);
+  if (can_split &&
+      options.resharding.drain_delay < 2 * d.edge.partial_flush_delay) {
+    return Status::InvalidArgument(
+        "StoreOptions: resharding drain_delay must comfortably exceed "
+        "the edge partial_flush_delay (>= 2x), or writes in flight at "
+        "fence time could miss the migration export");
   }
   return Status::OK();
 }
@@ -213,6 +233,14 @@ Result<GetResult> Store::Get(Key key, size_t client) {
       });
 }
 
+Result<MultiGetResult> Store::MultiGet(const std::vector<Key>& keys,
+                                       size_t client) {
+  return SyncRead<MultiGetResult>(
+      *core_, client, [this, &keys](size_t c, StoreBackend::MultiGetCb cb) {
+        core_->backend->MultiGet(c, keys, std::move(cb));
+      });
+}
+
 Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client) {
   // Normalized across backends: the edge systems reject an inverted
   // range in proof verification; cloud-only would silently return
@@ -229,6 +257,56 @@ Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client) {
       *core_, client, [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
         core_->backend->ReadBlock(c, bid, std::move(cb));
       });
+}
+
+namespace {
+
+/// Issues an asynchronous split via `issue` and pumps until its callback
+/// delivers; shared by SplitShard and Rebalance.
+template <typename IssueFn>
+Result<SplitReport> SyncSplit(StoreCore& core, IssueFn issue) {
+  struct Waiter {
+    bool done = false;
+    Status status;
+    SplitReport report;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  issue([waiter](const Status& s, const SplitReport& r, SimTime) {
+    waiter->status = s;
+    waiter->report = r;
+    waiter->done = true;
+  });
+  WEDGE_RETURN_NOT_OK(core.PumpUntil([w = waiter.get()] { return w->done; }));
+  if (!waiter->status.ok()) return waiter->status;
+  return waiter->report;
+}
+
+}  // namespace
+
+Result<SplitReport> Store::SplitShard(size_t shard) {
+  return SyncSplit(*core_, [this, shard](StoreBackend::SplitCb cb) {
+    core_->backend->SplitShard(shard, std::move(cb));
+  });
+}
+
+Result<SplitReport> Store::Rebalance() {
+  return SyncSplit(*core_, [this](StoreBackend::SplitCb cb) {
+    core_->backend->Rebalance(std::move(cb));
+  });
+}
+
+OwnershipEpoch Store::ownership_epoch() const {
+  const OwnershipTable* t = core_->backend->ownership();
+  return t == nullptr ? 1 : t->epoch();
+}
+const OwnershipTable* Store::ownership() const {
+  return core_->backend->ownership();
+}
+const RouterStats* Store::router_stats() const {
+  return core_->backend->router_stats();
+}
+const ReshardingCoordinator* Store::resharding() const {
+  return core_->backend->resharding();
 }
 
 void Store::RunFor(SimTime duration) { core_->backend->sim().RunFor(duration); }

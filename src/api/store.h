@@ -88,6 +88,14 @@ class Store {
   /// arrives. Proof failures surface as SecurityViolation.
   Result<GetResult> Get(Key key, size_t client = 0);
 
+  /// Batched point reads, scatter-gathered per owning shard on a sharded
+  /// store (all sub-reads in flight concurrently, so the batch pays one
+  /// round trip rather than one per key). Results are positionally
+  /// aligned with `keys`; any failing key fails the batch, with
+  /// security-class failures taking precedence.
+  Result<MultiGetResult> MultiGet(const std::vector<Key>& keys,
+                                  size_t client = 0);
+
   /// Scans [lo, hi] with completeness verification on the edge backends;
   /// a truncated scan fails as SecurityViolation, never as silently
   /// missing keys.
@@ -96,6 +104,31 @@ class Store {
   /// Reads log block `bid`: proof-verified on the edge backends, trusted
   /// on cloud-only.
   Result<BlockRead> ReadBlock(BlockId bid, size_t client = 0);
+
+  // --------------------------------------------------------- resharding
+
+  /// Splits `shard`'s key range at its midpoint via verified live
+  /// migration (core/resharding.h): the moving range is exported as a
+  /// completeness-verified scan (a lying source fails the split as
+  /// SecurityViolation), imported at the first idle shard slot, and the
+  /// new ownership epoch goes live at the destination's Phase I commit —
+  /// the cloud certifies the handoff lazily. Pumps the simulator until
+  /// the epoch is live (or the split fails; ownership is then
+  /// unchanged). Needs spare capacity: open with WithShardCapacity.
+  Result<SplitReport> SplitShard(size_t shard);
+
+  /// Splits the busiest live shard (by keyed operations routed since the
+  /// last epoch change) — the one-step heat-driven rebalance.
+  Result<SplitReport> Rebalance();
+
+  /// Current ownership epoch: 1 until a split installs a newer map.
+  OwnershipEpoch ownership_epoch() const;
+  /// The versioned ownership table (null on an unrouted store).
+  const OwnershipTable* ownership() const;
+  /// Routing-layer counters (null on an unrouted store).
+  const RouterStats* router_stats() const;
+  /// Migration counters and the last applied split (null when unrouted).
+  const ReshardingCoordinator* resharding() const;
 
   // ----------------------------------------------- simulation & access
 

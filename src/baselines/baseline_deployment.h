@@ -26,7 +26,7 @@ class CloudOnlyDeployment {
     // but the physical-client grid is still laid out shard-aware so the
     // routing layer drives every backend identically.
     topo_.MakeShardedClients(
-        config.num_clients, config.sharding.num_shards,
+        config.num_clients, config.sharding.slots(),
         [&](Signer s, size_t) {
           clients_.push_back(std::make_unique<CloudOnlyClient>(
               &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
@@ -71,7 +71,7 @@ class EdgeBaselineDeployment {
           cloud_->id(), config.edge_dc, config.edge, config.costs));
     }
     topo_.MakeShardedClients(
-        config.num_clients, config.sharding.num_shards,
+        config.num_clients, config.sharding.slots(),
         [&](Signer s, size_t i) {
           EbEdge* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();
           clients_.push_back(std::make_unique<EbClient>(

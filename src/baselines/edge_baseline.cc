@@ -317,7 +317,8 @@ EbClient::EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
       edge_(edge),
       location_(location),
       costs_(costs),
-      config_(config) {}
+      config_(config),
+      verifier_cache_(config.verify_cache_limits) {}
 
 void EbClient::SendWrite(MsgType type, std::vector<Entry> entries,
                          WriteCb cb) {

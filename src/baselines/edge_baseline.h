@@ -181,6 +181,15 @@ class EbClient : public Endpoint {
 
   const VerifierCache& verifier_cache() const { return verifier_cache_; }
 
+  /// Cache management for the sharded routing layer (per-shard sizing
+  /// and migrated-range invalidation across resharding epochs).
+  void ResizeVerifierCache(const VerifierCache::Limits& limits) {
+    verifier_cache_.Resize(limits);
+  }
+  void InvalidateVerifierRange(Key lo, Key hi) {
+    verifier_cache_.InvalidateRange(lo, hi);
+  }
+
   void OnMessage(NodeId from, Slice payload, SimTime now) override;
 
  private:

@@ -16,7 +16,8 @@ WedgeClient::WedgeClient(Simulation* sim, SimNetwork* net,
       cloud_(cloud),
       location_(location),
       config_(config),
-      costs_(costs) {}
+      costs_(costs),
+      verifier_cache_(config.verify_cache_limits) {}
 
 void WedgeClient::SendSealed(NodeId to, MsgType type, Bytes body) {
   net_->Send(id(), to, Envelope::Seal(signer_, type, std::move(body)));

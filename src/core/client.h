@@ -106,6 +106,18 @@ class WedgeClient : public Endpoint {
   /// for stats and tests.
   const VerifierCache& verifier_cache() const { return verifier_cache_; }
 
+  /// Re-sizes the verifier cache; the sharded routing layer keeps cache
+  /// budgets proportional to the key-span this client's shard owns.
+  void ResizeVerifierCache(const VerifierCache::Limits& limits) {
+    verifier_cache_.Resize(limits);
+  }
+
+  /// Drops cached proof material covering [lo, hi] — called when a
+  /// resharding epoch migrates the range away from this client's edge.
+  void InvalidateVerifierRange(Key lo, Key hi) {
+    verifier_cache_.InvalidateRange(lo, hi);
+  }
+
   /// The largest log size learned from cloud gossip (omission detection).
   uint64_t gossiped_log_size() const { return gossiped_log_size_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/types.h"
 #include "lsmerkle/lsmerkle_tree.h"
+#include "lsmerkle/verifier_cache.h"
 
 namespace wedge {
 
@@ -97,6 +98,14 @@ struct ClientConfig {
   /// lying edge can only miss — and a large CPU win on read-heavy
   /// workloads. Off reproduces the paper's verify-every-response cost.
   bool verify_cache = true;
+  /// Capacity of the verifier cache. On a sharded store this is the
+  /// per-shard sizing *unit*: the routing layer scales each physical
+  /// client's cache by the key-span its shard owns under the current
+  /// ownership epoch (total budget per logical client = unit ×
+  /// capacity), so idle shard slots hold almost nothing and a split
+  /// hands the moved range's budget to the destination along with the
+  /// range.
+  VerifierCache::Limits verify_cache_limits;
 };
 
 }  // namespace wedge

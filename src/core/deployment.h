@@ -35,10 +35,11 @@ struct DeploymentConfig {
   size_t num_clients = 1;
   /// Edge nodes (= data partitions, §III). Without sharding, clients are
   /// assigned round-robin: client i talks to edge i % num_edges. With
-  /// sharding on (sharding.num_shards >= 1), shard s lives on edge s and
-  /// client i talks to edge i % num_shards — the layout the api-layer
-  /// ShardRouter builds its (logical client, shard) -> physical client
-  /// grid on.
+  /// sharding on (sharding.num_shards >= 1), shard slot s lives on edge
+  /// s and client i talks to edge i % sharding.slots() — the layout the
+  /// api-layer ShardRouter builds its (logical client, shard) ->
+  /// physical client grid on. Slots beyond num_shards start idle and
+  /// become live when a SplitShard migrates a key range onto them.
   size_t num_edges = 1;
   /// Key partitioning across edges (core/partitioner.h). num_shards == 0
   /// keeps the legacy unsharded wiring.
@@ -51,7 +52,7 @@ struct DeploymentConfig {
   /// `edge_count` constructed edges.
   size_t HomeEdgeIndex(size_t i, size_t edge_count) const {
     const size_t span = sharding.enabled()
-                            ? std::min(sharding.num_shards, edge_count)
+                            ? std::min(sharding.slots(), edge_count)
                             : edge_count;
     return span == 0 ? 0 : i % span;
   }
@@ -74,7 +75,7 @@ class Deployment {
     }
 
     topo_.MakeShardedClients(
-        config.num_clients, config.sharding.num_shards,
+        config.num_clients, config.sharding.slots(),
         [&](Signer s, size_t i) {
           // Each client belongs to one partition/edge (§III).
           EdgeNode* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();

@@ -1,0 +1,154 @@
+#include "core/resharding.h"
+
+#include <string>
+#include <utility>
+
+namespace wedge {
+
+ReshardingCoordinator::ReshardingCoordinator(
+    Simulation* sim, std::shared_ptr<OwnershipTable> table,
+    ShardMigrationHost* host, ReshardingConfig config)
+    : sim_(sim), table_(std::move(table)), host_(host), config_(config) {}
+
+void ReshardingCoordinator::Abort(const Status& why, SimTime now,
+                                  const SplitCb& done) {
+  stats_.splits_failed++;
+  in_flight_ = false;
+  host_->LiftFence();  // parked writes flush to the unchanged owners
+  if (done) done(why, SplitReport{}, now);
+}
+
+void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
+  const SimTime now = sim_->now();
+  // Pre-flight rejections: no migration started, so splits_failed (which
+  // counts migrations aborted mid-flight) stays untouched.
+  auto fail = [&](Status s) {
+    if (done) done(std::move(s), SplitReport{}, now);
+  };
+  if (in_flight_) {
+    return fail(Status::FailedPrecondition("a shard migration is in flight"));
+  }
+  if (!table_->splittable()) {
+    return fail(Status::FailedPrecondition(
+        "ownership is hash-interleaved; SplitShard needs range "
+        "partitioning (ShardScheme::kRange or a single seed shard)"));
+  }
+  if (source >= table_->capacity()) {
+    return fail(Status::InvalidArgument("no shard slot " +
+                                        std::to_string(source)));
+  }
+  const std::optional<OwnedSlice> slice = table_->WidestSliceOf(source);
+  if (!slice.has_value() || slice->lo >= slice->hi) {
+    return fail(Status::FailedPrecondition(
+        "shard " + std::to_string(source) + " owns no splittable range"));
+  }
+  const std::optional<size_t> idle = table_->FirstIdleShard();
+  if (!idle.has_value()) {
+    return fail(Status::FailedPrecondition(
+        "no idle shard slot to migrate into; open with "
+        "StoreOptions::WithShardCapacity"));
+  }
+  const size_t dest = *idle;
+
+  // Midpoint of the populated part of the slice. The last range shard
+  // owns a tail running to kMaxKey ("the last page has a max of
+  // infinity"); splitting at the raw midpoint of that tail would move an
+  // empty astronomic range, so the split point is computed over the
+  // configured key domain instead. Without a range_span bounding the
+  // domain (e.g. a single hash shard on spare capacity) there is no
+  // sane split point at all — refuse rather than install a no-op split.
+  Key eff_hi = slice->hi;
+  const uint64_t span = table_->seed().range_span();
+  if (eff_hi == kMaxKey && span > slice->lo + 1) eff_hi = span - 1;
+  if (eff_hi == kMaxKey) {
+    return fail(Status::FailedPrecondition(
+        "shard " + std::to_string(source) +
+        " owns an unbounded slice; open with a range_span (e.g. "
+        "WithShards(n, ShardScheme::kRange, span)) so the split point "
+        "falls inside the populated key domain"));
+  }
+  const Key split_key = slice->lo + (eff_hi - slice->lo) / 2 + 1;
+
+  in_flight_ = true;
+  stats_.splits_started++;
+  const uint64_t seq = ++split_seq_;
+
+  // Step 1: fence the moving range, then let in-flight writes drain into
+  // the source tree before the export snapshot.
+  host_->FenceRange(split_key, slice->hi);
+  sim_->ScheduleAfter(config_.drain_delay, [this, source, dest, split_key,
+                                            hi = slice->hi, seq, done]() {
+    // Step 2: completeness-verified export. A lying source surfaces
+    // here as SecurityViolation and aborts the split.
+    host_->ExportRange(
+        source, split_key, hi,
+        [this, source, dest, split_key, hi, seq, done](
+            const Status& st, std::vector<KvPair> pairs, SimTime t) {
+          if (!st.ok()) return Abort(st, t, done);
+
+          // Step 4: the destination's Phase I commit is the handoff
+          // point — install the new epoch, fix up caches, release the
+          // parked writes to their new owner. `certified_now` covers the
+          // data-free handoff (empty export): with nothing to certify,
+          // the returned report is already final.
+          auto finish = [this, source, dest, split_key, hi, seq, done,
+                         moved = pairs.size()](const Status& st2, SimTime t2,
+                                               bool certified_now) {
+            if (!st2.ok()) return Abort(st2, t2, done);
+            Result<OwnershipEpoch> e =
+                table_->InstallSplit(source, dest, split_key);
+            if (!e.ok()) return Abort(e.status(), t2, done);
+            last_split_ = SplitReport{};
+            last_split_.epoch = *e;
+            last_split_.source = source;
+            last_split_.dest = dest;
+            last_split_.moved_lo = split_key;
+            last_split_.moved_hi = hi;
+            last_split_.pairs_moved = moved;
+            last_split_.applied_at = t2;
+            applied_seq_ = seq;
+            stats_.splits_applied++;
+            stats_.pairs_migrated += moved;
+            if (certified_now) {
+              last_split_.certified = true;
+              last_split_.certified_at = t2;
+              stats_.splits_certified++;
+            }
+            host_->OnEpochInstalled(last_split_);
+            host_->LiftFence();
+            in_flight_ = false;
+            if (done) done(Status::OK(), last_split_, t2);
+          };
+
+          if (pairs.empty()) {
+            finish(Status::OK(), t, /*certified_now=*/true);
+            return;
+          }
+
+          // Step 3/5: import through the destination's normal write
+          // path. Phase I drives the handoff; Phase II is the lazy
+          // handoff certificate.
+          host_->ImportPairs(
+              dest, std::move(pairs),
+              [finish](const Status& st2, SimTime t2) {
+                finish(st2, t2, /*certified_now=*/false);
+              },
+              [this, seq](const Status& st3, SimTime t3) {
+                if (seq != applied_seq_) return;
+                if (!st3.ok()) {
+                  // The epoch is live but the handoff's lazy trust
+                  // chain did not close — surface it, don't let it
+                  // masquerade as "still pending".
+                  last_split_.certify_failed = true;
+                  stats_.certify_failures++;
+                  return;
+                }
+                last_split_.certified = true;
+                last_split_.certified_at = t3;
+                stats_.splits_certified++;
+              });
+        });
+  });
+}
+
+}  // namespace wedge

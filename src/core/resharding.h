@@ -1,0 +1,171 @@
+// ReshardingCoordinator: verified live migration of a key range between
+// shard slots (the dynamic-resharding extension of the sharding
+// subsystem; the paper's lazy-trust principle, §IV, applied to shard
+// handoff the way TransEdge routes verified reads across untrusted
+// edges without blocking on the cloud).
+//
+// SplitShard(source) runs a five-step state machine over virtual time:
+//
+//   1. fence    — new writes into the moving range are parked at the
+//                 routing layer (reads keep flowing to the source).
+//   2. drain    — wait ReshardingConfig::drain_delay so writes already
+//                 in flight reach the source's tree.
+//   3. export   — the source edge serves the moving range as one
+//                 completeness-verified scan. A lying source (truncated
+//                 or tampered export) surfaces here as SecurityViolation
+//                 and aborts the split — never as silently dropped keys.
+//   4. import   — the destination edge applies the exported pairs
+//                 through its normal write path; its Phase I commit is
+//                 the handoff point: the new ownership epoch installs,
+//                 parked writes flush to the new owner, and reads on
+//                 migrated keys serve immediately (Phase-I-style).
+//   5. certify  — the cloud certifies the imported blocks lazily; the
+//                 handoff finalizes when that certificate lands
+//                 (SplitReport::certified), off the critical path.
+//
+// The coordinator is transport-agnostic: it drives a ShardMigrationHost
+// (implemented by the api-layer ShardRouter) and mutates the shared
+// OwnershipTable; it never talks to nodes directly.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "lsmerkle/kv.h"
+#include "simnet/simulation.h"
+
+namespace wedge {
+
+struct ReshardingConfig {
+  /// Virtual time between fencing the moving range and the export scan,
+  /// so writes already routed to the source (in-network, or buffered at
+  /// the edge awaiting a partial flush) land in its tree before the
+  /// export snapshot. Must comfortably exceed client-edge latency plus
+  /// EdgeConfig::partial_flush_delay — Store::Open enforces a floor of
+  /// 2x the partial-flush delay on sharded stores; wide-area
+  /// client-to-edge topologies need correspondingly more.
+  SimTime drain_delay = 500 * kMillisecond;
+};
+
+/// Outcome of one SplitShard: what moved where, and when each trust
+/// level was reached.
+struct SplitReport {
+  /// Ownership epoch the split installed.
+  OwnershipEpoch epoch = 0;
+  size_t source = 0;
+  size_t dest = 0;
+  /// The migrated key range [moved_lo, moved_hi] (now owned by dest).
+  Key moved_lo = 0;
+  Key moved_hi = 0;
+  /// Pairs exported from the source and applied at the destination.
+  size_t pairs_moved = 0;
+  /// When the new epoch went live (destination Phase I commit): reads on
+  /// migrated keys serve from here on.
+  SimTime applied_at = 0;
+  /// When the cloud's lazy handoff certificate landed (destination
+  /// Phase II). 0 / false until then.
+  SimTime certified_at = 0;
+  bool certified = false;
+  /// True when the lazy certification *failed* after the epoch went
+  /// live (a certified=false report is "failed", not "still pending",
+  /// once this is set) — the migrated range's trust chain needs
+  /// attention.
+  bool certify_failed = false;
+};
+
+/// The data-plane and routing hooks the coordinator drives; implemented
+/// by the api-layer ShardRouter. All calls are asynchronous over the
+/// simulation.
+class ShardMigrationHost {
+ public:
+  using ExportCb =
+      std::function<void(const Status&, std::vector<KvPair>, SimTime)>;
+  using PhaseCb = std::function<void(const Status&, SimTime)>;
+
+  virtual ~ShardMigrationHost() = default;
+
+  /// Completeness-verified scan of [lo, hi] against `shard`'s edge. A
+  /// tampering or truncating source must fail as SecurityViolation.
+  virtual void ExportRange(size_t shard, Key lo, Key hi, ExportCb cb) = 0;
+
+  /// Applies `pairs` to `shard`'s tree through its normal write path:
+  /// `applied` at Phase I (the handoff point), `certified` at Phase II
+  /// (the lazy handoff certificate).
+  virtual void ImportPairs(size_t shard, std::vector<KvPair> pairs,
+                           PhaseCb applied, PhaseCb certified) = 0;
+
+  /// Parks new writes whose keys fall in [lo, hi]; reads keep flowing.
+  virtual void FenceRange(Key lo, Key hi) = 0;
+
+  /// Releases the fence and flushes parked writes, re-routed under the
+  /// then-current ownership epoch.
+  virtual void LiftFence() = 0;
+
+  /// Runs right after the new epoch installs, fence still up: the host
+  /// invalidates per-client verifier-cache entries covering the moved
+  /// range and re-sizes per-shard caches to the new ownership.
+  virtual void OnEpochInstalled(const SplitReport& report) = 0;
+};
+
+class ReshardingCoordinator {
+ public:
+  /// (status, report, time). On failure the report is the default object
+  /// and ownership is unchanged.
+  using SplitCb =
+      std::function<void(const Status&, const SplitReport&, SimTime)>;
+
+  struct Stats {
+    /// Migrations that actually started (passed pre-flight checks and
+    /// fenced the moving range): started = applied + failed + in flight.
+    /// Requests rejected up front count nowhere.
+    uint64_t splits_started = 0;
+    /// Splits whose epoch installed (handoff live at Phase I).
+    uint64_t splits_applied = 0;
+    /// Splits whose lazy handoff certificate landed (Phase II).
+    uint64_t splits_certified = 0;
+    /// Applied splits whose lazy certification later FAILED (the epoch
+    /// is live but the handoff's trust chain did not close).
+    uint64_t certify_failures = 0;
+    /// Migrations aborted mid-flight (lying source, failed import).
+    uint64_t splits_failed = 0;
+    uint64_t pairs_migrated = 0;
+  };
+
+  ReshardingCoordinator(Simulation* sim,
+                        std::shared_ptr<OwnershipTable> table,
+                        ShardMigrationHost* host, ReshardingConfig config = {});
+
+  /// Splits `source`'s widest slice at its midpoint, migrating the upper
+  /// half to the first idle shard slot. Exactly one migration runs at a
+  /// time; `done` fires when the new epoch is live (or on the failure
+  /// that aborted the split, with ownership unchanged).
+  void SplitShard(size_t source, SplitCb done);
+
+  bool migration_in_flight() const { return in_flight_; }
+  const Stats& stats() const { return stats_; }
+  /// The most recent applied split (certified flips asynchronously when
+  /// the handoff certificate lands). Default object before the first.
+  const SplitReport& last_split() const { return last_split_; }
+
+ private:
+  void Abort(const Status& why, SimTime now, const SplitCb& done);
+
+  Simulation* sim_;
+  std::shared_ptr<OwnershipTable> table_;
+  ShardMigrationHost* host_;
+  ReshardingConfig config_;
+
+  bool in_flight_ = false;
+  /// Monotonic id per SplitShard attempt, and the id of the attempt that
+  /// produced last_split_ — so a certify callback from an aborted or
+  /// superseded attempt cannot mark the wrong split certified.
+  uint64_t split_seq_ = 0;
+  uint64_t applied_seq_ = 0;
+  SplitReport last_split_;
+  Stats stats_;
+};
+
+}  // namespace wedge

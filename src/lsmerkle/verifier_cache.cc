@@ -178,6 +178,72 @@ VerifierCache::VerifyPresentedL0Block(
   return cache->RecordBlock(edge, block, digest, cert, std::move(newest));
 }
 
+void VerifierCache::Resize(const Limits& limits) {
+  limits_ = limits;
+  while (roots_.size() > limits_.max_roots) roots_.pop_front();
+  while (blocks_.size() > limits_.max_blocks && !block_order_.empty()) {
+    blocks_.erase(block_order_.front());
+    block_order_.pop_front();
+  }
+  while ((parts_.size() > limits_.max_part_roots ||
+          part_count_ > limits_.max_parts) &&
+         !part_root_order_.empty()) {
+    auto evicted = parts_.find(part_root_order_.front());
+    if (evicted != parts_.end()) {
+      part_count_ -= evicted->second.size();
+      parts_.erase(evicted);
+    }
+    part_root_order_.pop_front();
+  }
+}
+
+void VerifierCache::InvalidateRange(Key lo, Key hi) {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    const auto& newest = it->second->newest;
+    bool touches = false;
+    for (const auto& [k, p] : newest) {
+      if (k >= lo && k <= hi) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // One rebuild instead of a linear order-scan per erased block.
+  std::deque<uint64_t> block_order;
+  for (uint64_t key : block_order_) {
+    if (blocks_.count(key) > 0) block_order.push_back(key);
+  }
+  block_order_ = std::move(block_order);
+
+  for (auto it = parts_.begin(); it != parts_.end();) {
+    auto& pages = it->second;
+    for (auto pit = pages.begin(); pit != pages.end();) {
+      if (pit->second.page->min_key <= hi && pit->second.page->max_key >= lo) {
+        pit = pages.erase(pit);
+        part_count_--;
+      } else {
+        ++pit;
+      }
+    }
+    // Drop emptied roots so their FIFO slots don't later evict nothing.
+    if (pages.empty()) {
+      it = parts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::deque<Digest256> part_order;
+  for (const Digest256& root : part_root_order_) {
+    if (parts_.count(root) > 0) part_order.push_back(root);
+  }
+  part_root_order_ = std::move(part_order);
+}
+
 void VerifierCache::Clear() {
   roots_.clear();
   blocks_.clear();

@@ -122,6 +122,21 @@ class VerifierCache {
   void ResetStats() { stats_ = {}; }
   void Clear();
 
+  const Limits& limits() const { return limits_; }
+
+  /// Re-sizes the cache, evicting FIFO until the new caps hold. Used by
+  /// the sharded routing layer to keep per-shard cache budgets tracking
+  /// key ownership across resharding epochs.
+  void Resize(const Limits& limits);
+
+  /// Drops every entry that vouches for keys in [lo, hi]: L0 block
+  /// entries whose key index intersects the range and level parts whose
+  /// page covers any of it. Root certificates bind no keys and stay.
+  /// Called when a resharding epoch migrates [lo, hi] away from the edge
+  /// this client is pinned to, so no proof material for moved keys can
+  /// be replayed against the old owner.
+  void InvalidateRange(Key lo, Key hi);
+
   /// Full validation of a presented root certificate against the level
   /// roots it must bind, shared by get and scan verification: signature,
   /// edge identity, and the global-root recomputation — skipped on a

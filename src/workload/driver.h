@@ -54,6 +54,14 @@ class ClosedLoopDriver {
       hot_.emplace(*part, spec.hot_shard, spec.hot_shard_fraction,
                    spec.key_space, seed ^ 0x77aa);
     }
+    // Sharded writer ergonomics (WorkloadSpec::scale_batch_by_shards):
+    // the router splits each flush per owning shard, so buffer enough
+    // that every shard's sub-batch still fills a block.
+    batch_target_ = spec.ops_per_batch;
+    if (part != nullptr && part->shards() > 1 && spec.scale_batch_by_shards) {
+      batch_target_ *= part->shards();
+    }
+    if (batch_target_ == 0) batch_target_ = 1;
   }
 
   /// Starts the loop; operations completing in [measure_start, end) are
@@ -89,7 +97,7 @@ class ClosedLoopDriver {
     buffer_.emplace_back(NextKey(),
                          Bytes(spec_.value_size, static_cast<uint8_t>(
                                                      batches_issued_ & 0xff)));
-    if (buffer_.size() < spec_.ops_per_batch) {
+    if (buffer_.size() < batch_target_) {
       NextOp();
       return;
     }
@@ -122,6 +130,8 @@ class ClosedLoopDriver {
   std::optional<HotShardKeyGen> hot_;
   RunMetrics* out_;
   std::vector<std::pair<Key, Bytes>> buffer_;
+  /// Ops buffered per flush: ops_per_batch, shard-scaled when sharded.
+  size_t batch_target_ = 0;
   SimTime measure_start_ = 0;
   SimTime end_ = 0;
   uint64_t batches_issued_ = 0;

@@ -28,6 +28,13 @@ struct WorkloadSpec {
   /// 0 = balanced (no hot-shard skew). Ignored on unsharded stores.
   double hot_shard_fraction = 0.0;
   size_t hot_shard = 0;
+  /// Sharded writer ergonomics: the router splits every batch per owning
+  /// shard, so a fixed batch split n ways under-fills every edge's block
+  /// and pays the partial-flush delay in Phase I latency. With this on
+  /// (default), the driver treats ops_per_batch as *per shard* and
+  /// buffers ops_per_batch × shards per flush, so split sub-batches
+  /// still fill blocks. No effect on unsharded stores.
+  bool scale_batch_by_shards = true;
 };
 
 /// Per-edge load/latency breakdown, recorded by the harness when the
@@ -55,6 +62,15 @@ struct RunMetrics {
   uint64_t write_ops = 0;
   uint64_t read_ops = 0;
   SimTime measured_duration = 0;
+
+  /// Optional event mark inside the measure window (absolute virtual
+  /// time; 0 = none): reads completing before/after it are counted
+  /// separately, so an experiment with a mid-run action (fig9's
+  /// SplitShard) can compare the post-event window against a control
+  /// run's same window.
+  SimTime mark = 0;
+  uint64_t reads_pre_mark = 0;
+  uint64_t reads_post_mark = 0;
 
   /// One entry per edge when the harness runs sharded (empty otherwise).
   std::vector<EdgeLoadMetrics> per_edge;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "api/store.h"
 #include "baselines/baseline_deployment.h"
 #include "core/deployment.h"
@@ -124,6 +126,69 @@ TEST_P(StoreApiTest, OpenValidatesOptions) {
     o.deploy.num_edges = 2;
     EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
   }
+}
+
+// Scatter-gather MultiGet: positional results matching individual Gets,
+// on every backend, unsharded and sharded alike.
+TEST_P(StoreApiTest, MultiGetMatchesIndividualGets) {
+  for (const size_t shards : {size_t{0}, size_t{2}}) {
+    StoreOptions o = SmallOptions(GetParam());
+    if (shards > 0) o.WithShards(shards);
+    auto opened = Store::Open(o);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    Store store = std::move(*opened);
+
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (Key k = 20; k < 28; ++k) kvs.emplace_back(k, Val(4));
+    ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+
+    // Hits, a miss in the middle, and an out-of-order key list.
+    const std::vector<Key> keys{25, 20, 999, 27, 23};
+    auto multi = store.MultiGet(keys);
+    ASSERT_TRUE(multi.ok()) << "shards=" << shards << ": " << multi.status();
+    ASSERT_EQ(multi->results.size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto single = store.Get(keys[i]);
+      ASSERT_TRUE(single.ok()) << single.status();
+      EXPECT_EQ(multi->results[i].found, single->found) << "key " << keys[i];
+      EXPECT_EQ(multi->results[i].value, single->value) << "key " << keys[i];
+      EXPECT_EQ(multi->results[i].verified, single->verified);
+    }
+
+    // The empty batch is a successful no-op.
+    auto empty = store.MultiGet({});
+    ASSERT_TRUE(empty.ok()) << empty.status();
+    EXPECT_TRUE(empty->results.empty());
+
+    // Client validation matches Get.
+    EXPECT_TRUE(store.MultiGet({1}, /*client=*/9).status()
+                    .IsInvalidArgument());
+  }
+}
+
+// A tampering shard fails the whole MultiGet as SecurityViolation, even
+// though other keys in the batch verify fine.
+TEST(MultiGetTest, TamperingShardFailsTheBatch) {
+  StoreOptions o = SmallOptions(BackendKind::kWedge).WithShards(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 0; k < 8; ++k) kvs.emplace_back(k, Val(2));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+
+  store.wedge().edge(1).misbehavior().tamper_get_value = true;
+  const Partitioner& part = store.partitioner();
+  std::vector<Key> keys;
+  for (Key k = 0; k < 8; ++k) keys.push_back(k);
+  const bool any_on_liar =
+      std::any_of(keys.begin(), keys.end(),
+                  [&](Key k) { return part.ShardOf(k) == 1; });
+  ASSERT_TRUE(any_on_liar) << "test keys must cover the lying shard";
+
+  auto multi = store.MultiGet(keys);
+  EXPECT_TRUE(multi.status().IsSecurityViolation()) << multi.status();
 }
 
 // The acceptance sequence again, sharded: WithShards(2) must be

@@ -1,0 +1,586 @@
+// Tests for dynamic resharding: the epoch-versioned OwnershipTable,
+// verified shard splits through the wedge::Store façade on all three
+// backends, epoch-aware routing (stale-epoch redirect determinism,
+// block-id stability), live-migration correctness (reads/writes during
+// the split, parked-write flushing), a tampering source failing the
+// migration as SecurityViolation, and verifier-cache invalidation /
+// per-shard sizing across epochs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "api/shard_router.h"
+#include "api/store.h"
+#include "baselines/baseline_deployment.h"
+#include "core/deployment.h"
+#include "core/partitioner.h"
+
+namespace wedge {
+namespace {
+
+Bytes Val(uint8_t tag) { return Bytes(16, tag); }
+
+// ---------------------------------------------------------- OwnershipTable
+
+TEST(OwnershipTableTest, EpochOneMatchesTheSeedPartitioner) {
+  const Partitioner seed = Partitioner::Range(4, 1000);
+  OwnershipTable table(seed, 8);
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_EQ(table.capacity(), 8u);
+  EXPECT_TRUE(table.splittable());
+  for (Key k = 0; k < 1100; ++k) {
+    EXPECT_EQ(table.ShardOf(k), seed.ShardOf(k)) << "key " << k;
+  }
+  // Slices tile [0, kMaxKey] in order.
+  const auto slices = table.Slices(1);
+  ASSERT_EQ(slices.size(), 4u);
+  Key expect_lo = 0;
+  for (const OwnedSlice& sl : slices) {
+    EXPECT_EQ(sl.lo, expect_lo);
+    expect_lo = sl.hi + 1;
+  }
+  EXPECT_EQ(slices.back().hi, kMaxKey);
+}
+
+TEST(OwnershipTableTest, HashMultiShardIsNotSplittable) {
+  OwnershipTable table(Partitioner::Hash(4), 4);
+  EXPECT_FALSE(table.splittable());
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_TRUE(table.InstallSplit(0, 2, 100).status().IsFailedPrecondition());
+  // Hash scans fan out one full-range pseudo-slice per shard.
+  const auto slices = table.SlicesTouching(10, 20);
+  ASSERT_EQ(slices.size(), 4u);
+  for (const OwnedSlice& sl : slices) {
+    EXPECT_EQ(sl.lo, 10u);
+    EXPECT_EQ(sl.hi, 20u);
+  }
+  // Routing still delegates to the hash function.
+  EXPECT_EQ(table.ShardOf(12345), Partitioner::Hash(4).ShardOf(12345));
+}
+
+TEST(OwnershipTableTest, InstallSplitBumpsEpochAndKeepsHistory) {
+  OwnershipTable table(Partitioner::Range(2, 1000), 4);
+  // Shard 0 owns [0, 499]; move [250, 499] to slot 2.
+  ASSERT_EQ(table.FirstIdleShard().value(), 2u);
+  auto e = table.InstallSplit(0, 2, 250);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(*e, 2u);
+  EXPECT_EQ(table.epoch(), 2u);
+
+  // Current epoch: the moved range belongs to the destination.
+  EXPECT_EQ(table.ShardOf(100), 0u);
+  EXPECT_EQ(table.ShardOf(250), 2u);
+  EXPECT_EQ(table.ShardOf(499), 2u);
+  EXPECT_EQ(table.ShardOf(500), 1u);
+  // Historical epoch 1 is unchanged — the stale view a lagging client
+  // routes (and gets redirected) by.
+  EXPECT_EQ(table.ShardOf(250, 1), 0u);
+  EXPECT_EQ(table.ShardOf(499, 1), 0u);
+
+  // The new epoch still tiles the domain.
+  const auto slices = table.Slices(2);
+  ASSERT_EQ(slices.size(), 3u);
+  Key expect_lo = 0;
+  for (const OwnedSlice& sl : slices) {
+    EXPECT_EQ(sl.lo, expect_lo);
+    expect_lo = sl.hi + 1;
+  }
+  EXPECT_EQ(table.LiveShards(), 3u);
+  EXPECT_EQ(table.FirstIdleShard().value(), 3u);
+
+  // Degenerate splits are refused.
+  EXPECT_FALSE(table.InstallSplit(0, 3, 0).ok());     // empty source half
+  EXPECT_FALSE(table.InstallSplit(1, 1, 600).ok());   // source == dest
+  EXPECT_FALSE(table.InstallSplit(3, 0, 600).ok());   // idle source
+}
+
+TEST(OwnershipTableTest, OwnedFractionsFollowSplits) {
+  OwnershipTable table(Partitioner::Range(2, 1000), 4);
+  // Fractions are over the configured span: the last shard's tail to
+  // kMaxKey counts as its in-span slice, not the whole uint64 line.
+  auto f1 = table.OwnedFractions();
+  EXPECT_NEAR(f1[0], 0.5, 1e-9);
+  EXPECT_NEAR(f1[1], 0.5, 1e-9);
+  EXPECT_NEAR(f1[2], 0.0, 1e-9);
+  ASSERT_TRUE(table.InstallSplit(0, 2, 250).ok());
+  auto f2 = table.OwnedFractions();
+  EXPECT_NEAR(f2[0], 0.25, 1e-9);
+  EXPECT_NEAR(f2[2], 0.25, 1e-9);
+  // The old hot range's share is conserved across its own split — which
+  // is what keeps that range's total cache budget intact.
+  EXPECT_NEAR(f2[0] + f2[2], f1[0], 1e-9);
+}
+
+// ------------------------------------------------- façade split round trip
+
+StoreOptions ReshardOptions(BackendKind kind) {
+  StoreOptions o;
+  o.WithBackend(kind)
+      .WithSeed(7)
+      .WithOpsPerBlock(4)
+      .WithLsm({3, 2, 8}, 8)
+      .WithProofTimeout(2 * kSecond)
+      .WithShards(2, ShardScheme::kRange, /*range_span=*/1000)
+      .WithShardCapacity(4)
+      .WithDrainDelay(200 * kMillisecond);
+  o.deploy.net.jitter_frac = 0.0;
+  return o;
+}
+
+/// Client-visible state over a fixed key set: value-by-key plus one
+/// stitched scan. Versions/block ids are intentionally absent (per-edge
+/// numbering legitimately changes across a migration re-apply).
+struct Visible {
+  std::map<Key, std::pair<bool, Bytes>> gets;
+  std::vector<std::pair<Key, Bytes>> scan;
+};
+
+Visible Snapshot(Store& store, const std::vector<Key>& keys, Key lo, Key hi) {
+  Visible v;
+  for (Key k : keys) {
+    auto got = store.Get(k);
+    EXPECT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    if (got.ok()) v.gets[k] = {got->found, got->value};
+  }
+  auto scan = store.Scan(lo, hi);
+  EXPECT_TRUE(scan.ok()) << scan.status();
+  if (scan.ok()) {
+    for (const auto& p : scan->pairs) v.scan.emplace_back(p.key, p.value);
+  }
+  return v;
+}
+
+class ReshardingStoreTest : public ::testing::TestWithParam<BackendKind> {};
+
+// The tentpole acceptance: the identical key set reads identically
+// before, during, and after a verified split, on every backend.
+TEST_P(ReshardingStoreTest, SplitPreservesClientVisibleResults) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  EXPECT_EQ(store.shard_count(), 4u) << "capacity slots";
+  EXPECT_EQ(store.ownership_epoch(), 1u);
+
+  // Keys across both live shards, including the range a split of shard 0
+  // will move ([250, 499] of its [0, 499] slice).
+  std::vector<Key> keys;
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 0; k < 1000; k += 50) {
+    keys.push_back(k);
+    kvs.emplace_back(k, Val(1));
+  }
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+
+  const Visible before = Snapshot(store, keys, 0, 999);
+  ASSERT_EQ(before.scan.size(), keys.size());
+
+  auto report = store.SplitShard(0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epoch, 2u);
+  EXPECT_EQ(report->source, 0u);
+  EXPECT_EQ(report->dest, 2u);
+  EXPECT_EQ(report->moved_lo, 250u);
+  EXPECT_EQ(report->moved_hi, 499u);
+  EXPECT_GT(report->pairs_moved, 0u);
+  EXPECT_EQ(store.ownership_epoch(), 2u);
+
+  // "During": the handoff certificate is still lazy — results must
+  // already be identical at Phase-I trust.
+  const Visible during = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(during.gets, before.gets);
+  EXPECT_EQ(during.scan, before.scan);
+
+  store.RunFor(2 * kSecond);  // let the handoff certificate land
+  ASSERT_NE(store.resharding(), nullptr);
+  EXPECT_TRUE(store.resharding()->last_split().certified)
+      << "lazy handoff certificate never landed";
+
+  const Visible after = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(after.gets, before.gets);
+  EXPECT_EQ(after.scan, before.scan);
+
+  // New writes to the migrated range land on (and read from) the new
+  // owner.
+  ASSERT_TRUE(store.PutBatch({{300, Val(9)}, {310, Val(9)}, {320, Val(9)},
+                              {330, Val(9)}})
+                  .WaitPhase2()
+                  .ok());
+  auto got = store.Get(300);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(9));
+}
+
+// A second split (of the other live shard) composes: three epochs, four
+// live shards, same client-visible state.
+TEST_P(ReshardingStoreTest, RepeatedSplitsCompose) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<Key> keys;
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 5; k < 1000; k += 40) {
+    keys.push_back(k);
+    kvs.emplace_back(k, Val(4));
+  }
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+  const Visible before = Snapshot(store, keys, 0, 999);
+
+  ASSERT_TRUE(store.SplitShard(0).ok());
+  auto second = store.SplitShard(1);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->dest, 3u);
+  EXPECT_EQ(store.ownership_epoch(), 3u);
+  EXPECT_EQ(store.ownership()->LiveShards(), 4u);
+
+  const Visible after = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(after.gets, before.gets);
+  EXPECT_EQ(after.scan, before.scan);
+
+  // Capacity exhausted: a third split has no idle slot.
+  EXPECT_TRUE(store.SplitShard(0).status().IsFailedPrecondition());
+}
+
+// Reads and writes issued while the migration is in flight (fence up,
+// export/import pending) stay correct: reads serve from the source until
+// the epoch installs, fenced writes park and commit to the new owner.
+TEST_P(ReshardingStoreTest, LiveTrafficDuringMigration) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 250; k < 500; k += 25) kvs.emplace_back(k, Val(1));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+
+  // Start the split asynchronously so traffic can interleave with it.
+  bool split_done = false;
+  Status split_status;
+  store.backend().SplitShard(
+      0, [&](const Status& s, const SplitReport&, SimTime) {
+        split_status = s;
+        split_done = true;
+      });
+
+  // A read of a moving key during the fence window serves from the
+  // source (still the owner under the current epoch).
+  auto during_read = store.Get(250);
+  ASSERT_TRUE(during_read.ok()) << during_read.status();
+  EXPECT_EQ(during_read->value, Val(1));
+  ASSERT_FALSE(split_done) << "split should still be draining";
+
+  // A write into the moving range parks behind the fence and commits
+  // once the epoch installs.
+  CommitHandle parked = store.Put(275, Val(7));
+  auto p1 = parked.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  EXPECT_TRUE(split_done) << "parked write must flush at epoch install";
+  ASSERT_TRUE(split_status.ok()) << split_status;
+  ASSERT_NE(store.router_stats(), nullptr);
+  EXPECT_GE(store.router_stats()->writes_parked, 1u);
+
+  // The parked write beat the migrated (older) copy: newest wins.
+  auto got = store.Get(275);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(7));
+  // And an untouched migrated key reads its pre-split value.
+  auto kept = store.Get(425);
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_EQ(kept->value, Val(1));
+}
+
+// Requests carry the client's epoch: a logical client that has not
+// touched the store since before the split is redirected (deterministic,
+// not an error) exactly once, then its view is current.
+TEST_P(ReshardingStoreTest, StaleEpochRedirectIsDeterministic) {
+  StoreOptions o = ReshardOptions(GetParam());
+  o.WithClients(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(store.PutBatch({{260, Val(2)}, {270, Val(2)}, {280, Val(2)},
+                              {290, Val(2)}})
+                  .WaitPhase2()
+                  .ok());
+  store.RunFor(kSecond);
+
+  // Both clients observe epoch 1; only the split itself advances it.
+  ASSERT_TRUE(store.Get(260, /*client=*/1).ok());
+  ASSERT_TRUE(store.SplitShard(0).ok());
+
+  const RouterStats* stats = store.router_stats();
+  ASSERT_NE(stats, nullptr);
+  const uint64_t redirects_before = stats->stale_redirects;
+
+  // Client 1 still holds epoch 1; its get of a migrated key redirects
+  // to the new owner and returns the right value.
+  auto got = store.Get(260, /*client=*/1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(2));
+  EXPECT_EQ(stats->stale_redirects, redirects_before + 1);
+
+  // The retry refreshed the view: the second access does not redirect.
+  ASSERT_TRUE(store.Get(260, /*client=*/1).ok());
+  EXPECT_EQ(stats->stale_redirects, redirects_before + 1);
+}
+
+// Router-scoped block ids are minted with the slot capacity as modulus,
+// so an id handed out under epoch 1 still reads back after a split.
+TEST_P(ReshardingStoreTest, BlockIdsStayStableAcrossEpochs) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(store.PutBatch({{300, Val(3)}, {310, Val(3)}, {320, Val(3)},
+                              {330, Val(3)}})
+                  .WaitPhase2()
+                  .ok());
+  CommitHandle h = store.Append({Bytes{'a'}, Bytes{'b'}, Bytes{'c'},
+                                 Bytes{'d'}});
+  auto p1 = h.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  ASSERT_TRUE(h.WaitPhase2().ok());
+  store.RunFor(kSecond);
+
+  ASSERT_TRUE(store.SplitShard(0).ok());
+
+  auto read = store.ReadBlock(p1->block);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->block.id, p1->block);
+  EXPECT_EQ(read->block.entries.size(), 4u);
+}
+
+// Scatter-gather MultiGet spans the split transparently.
+TEST_P(ReshardingStoreTest, MultiGetSpansTheSplit) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 100; k < 900; k += 100) kvs.emplace_back(k, Val(6));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+  ASSERT_TRUE(store.SplitShard(0).ok());
+
+  // Keys on the shrunken source, the migrated range, shard 1, and a
+  // miss — one batch, positional results.
+  const std::vector<Key> keys{100, 300, 400, 700, 999};
+  auto multi = store.MultiGet(keys);
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  ASSERT_EQ(multi->results.size(), keys.size());
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    EXPECT_TRUE(multi->results[i].found) << "key " << keys[i];
+    EXPECT_EQ(multi->results[i].value, Val(6));
+  }
+  EXPECT_FALSE(multi->results.back().found);
+}
+
+// Open-time validation of the resharding option surface: misconfigured
+// stores are InvalidArgument at Open, never a surprise at the first
+// split.
+TEST(ReshardingStoreTest, OpenRejectsUnusableReshardingConfigs) {
+  {
+    // Spare capacity under hash sharding can never become live.
+    StoreOptions o;
+    o.WithShards(2, ShardScheme::kHash).WithShardCapacity(4);
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
+  {
+    // A drain window shorter than the edge's partial-flush delay would
+    // let in-flight writes miss the migration export.
+    StoreOptions o = ReshardOptions(BackendKind::kWedge);
+    o.WithDrainDelay(10 * kMillisecond);  // < 2x 50ms partial flush
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
+}
+
+// Without a range_span there is no sane split point inside a slice that
+// runs to kMaxKey: the split is refused rather than installed as a
+// useless no-op migrating an empty astronomic range.
+TEST(ReshardingStoreTest, UnboundedSliceRefusesToSplit) {
+  StoreOptions o;
+  o.WithOpsPerBlock(4).WithShards(1).WithShardCapacity(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  ASSERT_TRUE(store.Put(42, Val(1)).WaitPhase2().ok());
+
+  auto r = store.SplitShard(0);
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status();
+  EXPECT_EQ(store.ownership_epoch(), 1u);
+
+  // With a span bounding the domain, the same single-seed-shard layout
+  // splits fine.
+  StoreOptions bounded;
+  bounded.WithOpsPerBlock(4)
+      .WithShards(1, ShardScheme::kRange, /*range_span=*/100)
+      .WithShardCapacity(2)
+      .WithDrainDelay(200 * kMillisecond);
+  Store s2 = *Store::Open(bounded);
+  ASSERT_TRUE(s2.PutBatch({{10, Val(1)}, {60, Val(1)}, {70, Val(1)},
+                           {80, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  auto split = s2.SplitShard(0);
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_EQ(split->moved_lo, 50u);
+  EXPECT_GT(split->pairs_moved, 0u);
+  auto got = s2.Get(60);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(1));
+}
+
+// A split whose moving range stores nothing is a data-free handoff: the
+// returned report is already certified (there is nothing for the cloud
+// to certify lazily), matching the coordinator's own view.
+TEST(ReshardingStoreTest, EmptyRangeSplitReportsCertified) {
+  auto opened = Store::Open(ReshardOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  // Data only below the future split point (250) and on shard 1.
+  ASSERT_TRUE(store.PutBatch({{10, Val(1)}, {20, Val(1)}, {600, Val(1)},
+                              {700, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  store.RunFor(kSecond);
+
+  auto report = store.SplitShard(0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->pairs_moved, 0u);
+  EXPECT_TRUE(report->certified)
+      << "a data-free handoff must come back final";
+  EXPECT_TRUE(store.resharding()->last_split().certified);
+  EXPECT_EQ(store.resharding()->stats().splits_certified, 1u);
+  EXPECT_EQ(store.ownership_epoch(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ReshardingStoreTest, ::testing::ValuesIn(kAllBackends),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      std::string name(BackendKindToString(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------- tampering source shard
+
+// A source that truncates its export scan fails the migration as
+// SecurityViolation — never as silently dropped keys. Ownership stays at
+// epoch 1, the lying edge is punished through the usual dispute path
+// (its identity revoked, §IV-E), honest shards keep serving, and the
+// migration fence is lifted.
+TEST(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
+  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+  o.WithLsm({2, 2, 8}, 4);  // small pages: the export spans page runs
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 250; k < 1000; k += 10) kvs.emplace_back(k, Val(8));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(5 * kSecond);  // merge into paged levels
+
+  store.wedge().edge(0).misbehavior().truncate_scans = true;
+
+  // Start the split asynchronously (the fence goes up immediately), then
+  // write into the moving range so the write parks behind the fence.
+  bool split_done = false;
+  Status split_status;
+  store.backend().SplitShard(
+      0, [&](const Status& s, const SplitReport&, SimTime) {
+        split_status = s;
+        split_done = true;
+      });
+  store.backend().PutBatch(0, {{260, Val(9)}}, nullptr, nullptr);
+  ASSERT_NE(store.router_stats(), nullptr);
+  EXPECT_EQ(store.router_stats()->writes_parked, 1u);
+
+  store.RunFor(5 * kSecond);
+  ASSERT_TRUE(split_done);
+  EXPECT_TRUE(split_status.IsSecurityViolation())
+      << "a lying source must fail the split as SecurityViolation, got "
+      << split_status;
+  EXPECT_EQ(store.ownership_epoch(), 1u) << "ownership must not change";
+  ASSERT_NE(store.resharding(), nullptr);
+  EXPECT_EQ(store.resharding()->stats().splits_failed, 1u);
+
+  // The lie is self-convicting evidence: the export client disputed it
+  // and the cloud revoked the lying edge's identity.
+  Deployment& d = store.wedge();
+  EXPECT_TRUE(d.authority().IsPunished(d.edge(0).id()))
+      << "the tampering source must be punished through the dispute path";
+
+  // Honest shards keep serving through the same store.
+  auto honest = store.Get(700);
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->value, Val(8));
+
+  // The fence was lifted with the abort: new writes into the formerly
+  // moving range are routed (to the unchanged owner), not parked.
+  store.backend().PutBatch(0, {{270, Val(9)}}, nullptr, nullptr);
+  EXPECT_EQ(store.router_stats()->writes_parked, 1u)
+      << "the aborted migration must not leave its fence behind";
+}
+
+// ------------------------------------------ verifier caches across epochs
+
+// On epoch install the source's per-client caches drop every entry
+// covering the migrated range (no stale proof material can be replayed
+// against the old owner), and per-shard cache budgets re-size to the new
+// ownership.
+TEST(ReshardingCacheTest, SplitInvalidatesAndResizesSourceCaches) {
+  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+  o.WithLsm({2, 2, 8}, 4);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 0; k < 500; k += 10) kvs.emplace_back(k, Val(5));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(5 * kSecond);
+
+  // Warm the source client's cache over the range that will move.
+  for (Key k = 250; k < 500; k += 10) ASSERT_TRUE(store.Get(k).ok());
+
+  Deployment& d = store.wedge();
+  const size_t source_phys = 0 * 4 + 0;  // logical 0, shard 0
+  const auto warm_limits =
+      d.client(source_phys).verifier_cache().limits();
+  // Live shards own 1/2 of the domain each on a 4-slot grid: their
+  // budgets run at 2x the per-shard unit while idle slots sit at the
+  // floor.
+  EXPECT_EQ(warm_limits.max_parts, VerifierCache::Limits{}.max_parts * 2);
+
+  ASSERT_TRUE(store.SplitShard(0).ok());
+
+  // The moved range's budget followed the range to the destination:
+  // source and destination now hold the pre-split source budget between
+  // them.
+  const auto src_limits = d.client(source_phys).verifier_cache().limits();
+  const auto dst_limits = d.client(0 * 4 + 2).verifier_cache().limits();
+  EXPECT_EQ(src_limits.max_parts + dst_limits.max_parts,
+            warm_limits.max_parts);
+
+  // No stale proof is accepted post-split: reads of migrated keys run
+  // against the new owner and verify fresh.
+  for (Key k = 250; k < 500; k += 10) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value, Val(5));
+  }
+}
+
+}  // namespace
+}  // namespace wedge

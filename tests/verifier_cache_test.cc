@@ -220,6 +220,60 @@ TEST_F(VerifierCacheTest, ScanWarmCacheAgreesAndTamperDetected) {
   EXPECT_TRUE(v.status().IsSecurityViolation()) << v.status();
 }
 
+TEST_F(VerifierCacheTest, InvalidateRangeDropsOnlyCoveringEntries) {
+  // Warm the cache with an L0 key (17, bid 4's block holds 16..19) and a
+  // merged-level key (2, covered by a level-1 page).
+  for (Key key : {Key(2), Key(17)}) {
+    auto body = AssembleGetResponse(tree_, log_, key);
+    ASSERT_TRUE(
+        VerifyGetResponse(keystore_, edge_.id(), key, body, CacheOpts()).ok());
+  }
+  cache_.ResetStats();
+
+  // Invalidate [16, 19]: the L0 block holding 16..19 and any page
+  // covering the range must be gone; material for key 2 survives.
+  cache_.InvalidateRange(16, 19);
+
+  auto l0 = AssembleGetResponse(tree_, log_, 17);
+  ASSERT_TRUE(
+      VerifyGetResponse(keystore_, edge_.id(), 17, l0, CacheOpts()).ok());
+  EXPECT_GT(cache_.stats().block_misses, 0u)
+      << "the invalidated block must not hit";
+
+  cache_.ResetStats();
+  auto lvl = AssembleGetResponse(tree_, log_, 2);
+  ASSERT_TRUE(
+      VerifyGetResponse(keystore_, edge_.id(), 2, lvl, CacheOpts()).ok());
+  EXPECT_GT(cache_.stats().part_hits, 0u)
+      << "entries outside the range must survive";
+}
+
+TEST_F(VerifierCacheTest, ResizeEvictsDownToTheNewLimits) {
+  for (Key key : {Key(2), Key(6), Key(17), Key(21)}) {
+    auto body = AssembleGetResponse(tree_, log_, key);
+    ASSERT_TRUE(
+        VerifyGetResponse(keystore_, edge_.id(), key, body, CacheOpts()).ok());
+  }
+  VerifierCache::Limits tiny;
+  tiny.max_blocks = 1;
+  tiny.max_parts = 1;
+  tiny.max_part_roots = 1;
+  tiny.max_roots = 1;
+  cache_.Resize(tiny);
+  EXPECT_EQ(cache_.limits().max_blocks, 1u);
+
+  // Still correct after the shrink (entries re-verify on miss), and a
+  // later grow restores capacity.
+  for (Key key : {Key(2), Key(17)}) {
+    auto body = AssembleGetResponse(tree_, log_, key);
+    auto v = VerifyGetResponse(keystore_, edge_.id(), key, body, CacheOpts());
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_TRUE(v->found);
+  }
+  cache_.Resize(VerifierCache::Limits{});
+  EXPECT_EQ(cache_.limits().max_blocks, VerifierCache::Limits{}.max_blocks);
+}
+
 TEST_F(VerifierCacheTest, EvictionKeepsResultsCorrect) {
   VerifierCache::Limits tiny;
   tiny.max_blocks = 1;

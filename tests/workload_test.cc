@@ -110,6 +110,37 @@ TEST(DriverTest, PureWritesBatchCorrectly) {
   EXPECT_NEAR(metrics.write_latency.Mean(), 10000.0, 700.0);
 }
 
+// Sharded writer ergonomics: with a partitioner, the driver scales the
+// flush threshold by shard count so every per-shard sub-batch (the
+// router splits each flush by key ownership) still fills a block.
+TEST(DriverTest, ShardedBatchesScaleByShardCount) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 0;
+  spec.ops_per_batch = 10;
+  const Partitioner part = Partitioner::Hash(4);
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics,
+                          &part);
+  driver.Start(0, kSecond);
+  sim.RunUntil(kSecond);
+
+  EXPECT_EQ(backend.last_batch_size, 40u)
+      << "ops_per_batch is per shard on a sharded store";
+
+  // The opt-out keeps the historical fixed-size batches.
+  Simulation sim2(1);
+  FakeBackend backend2{&sim2};
+  spec.scale_batch_by_shards = false;
+  RunMetrics metrics2;
+  ClosedLoopDriver fixed(&sim2, backend2.MakeAdapters(), spec, 9, &metrics2,
+                         &part);
+  fixed.Start(0, kSecond);
+  sim2.RunUntil(kSecond);
+  EXPECT_EQ(backend2.last_batch_size, 10u);
+}
+
 TEST(DriverTest, MixedWorkloadRespectsReadFraction) {
   Simulation sim(1);
   FakeBackend backend{&sim};
