@@ -26,33 +26,42 @@ StoreOptions MakeStoreOptions(BackendKind kind, const ExperimentConfig& cfg) {
     if (cfg.shard_capacity > cfg.num_shards) {
       o.WithShardCapacity(cfg.shard_capacity);
     }
+    if (cfg.balancer.enabled) o.WithAutoBalance(cfg.balancer);
   }
   o.deploy.edge.ship_full_blocks = cfg.certify_full_blocks;
   return o;
 }
 
-/// Sequentially preloads `cfg.preload_keys` keys through client 0,
-/// chaining batches on their commit; runs the simulation until the load
-/// completes.
+/// Preloads `cfg.preload_keys` keys through client 0, chaining batches
+/// on their commit; runs the simulation until the load completes. The
+/// keys are sequential, or — with cfg.striped_preload — interleave the
+/// low and high halves of the key space: a sequential bulk load is a
+/// 100% hotspot marching across the shards, and no load policy should
+/// be asked to chase it (striping is what a sharded bulk loader does in
+/// production).
 void Preload(Store& store, const ExperimentConfig& cfg) {
   if (cfg.preload_keys == 0) return;
   StoreBackend* backend = &store.backend();
-  auto seq = std::make_shared<SequentialKeyGen>(cfg.preload_keys);
-  auto remaining = std::make_shared<size_t>(cfg.preload_keys);
+  const size_t total = cfg.preload_keys;
+  auto key_at = [total, striped = cfg.striped_preload](size_t i) -> Key {
+    if (!striped) return i;
+    const size_t half = (total + 1) / 2;
+    return i % 2 == 0 ? i / 2 : half + i / 2;
+  };
+  auto issued = std::make_shared<size_t>(0);
   auto loaded = std::make_shared<bool>(false);
   std::shared_ptr<std::function<void()>> next =
       std::make_shared<std::function<void()>>();
   *next = [=]() {
-    if (*remaining == 0) {
+    if (*issued >= total) {
       *loaded = true;
       return;
     }
-    const size_t n = std::min(cfg.spec.ops_per_batch, *remaining);
-    *remaining -= n;
+    const size_t n = std::min(cfg.spec.ops_per_batch, total - *issued);
     std::vector<std::pair<Key, Bytes>> kvs;
     kvs.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      kvs.emplace_back(seq->Next(), Bytes(cfg.spec.value_size, 0x11));
+      kvs.emplace_back(key_at((*issued)++), Bytes(cfg.spec.value_size, 0x11));
     }
     backend->PutBatch(0, kvs,
                       [next](const Status&, BlockId, SimTime) { (*next)(); },
@@ -192,7 +201,10 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
     cfg.mid_run(store);
   }
   store.RunUntil(end);
-  return Collect(std::move(metrics), store.net().stats(), cfg.measure);
+  ExperimentResult result =
+      Collect(std::move(metrics), store.net().stats(), cfg.measure);
+  result.final_stats = store.stats();
+  return result;
 }
 
 ExperimentResult RunSystem(const std::string& name,

@@ -32,6 +32,16 @@ struct ExperimentConfig {
   /// Physical shard slots (>= num_shards; extra slots start idle and
   /// receive ranges migrated by SplitShard). 0 = num_shards.
   size_t shard_capacity = 0;
+  /// Autonomous shard lifecycle (StoreOptions::WithAutoBalance) when
+  /// enabled — fig10's "no operator calls" panels.
+  BalancerPolicy balancer;
+  /// Preload interleaving the low and high halves of the key space
+  /// instead of sequentially — what a sharded bulk loader does, and
+  /// what keeps a load policy from chasing the sequential load's
+  /// marching hotspot. Set it for EVERY panel of an experiment that
+  /// enables the balancer in any panel, so the compared runs start from
+  /// the identical LSM layout.
+  bool striped_preload = false;
   Dc client_dc = Dc::kCalifornia;
   Dc edge_dc = Dc::kCalifornia;
   Dc cloud_dc = Dc::kVirginia;
@@ -65,6 +75,9 @@ struct ExperimentConfig {
 struct ExperimentResult {
   RunMetrics metrics;
   NetworkStats net;
+  /// Sharding/migration/balancer snapshot taken at the end of the run
+  /// (Store::stats(); defaulted for unrouted experiments).
+  StoreStats final_stats;
   /// Convenience: mean commit latency in ms.
   double write_ms = 0;
   double phase2_ms = 0;

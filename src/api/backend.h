@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/options.h"
+#include "core/balancer.h"
 #include "core/partitioner.h"
 #include "core/resharding.h"
 #include "log/block.h"
@@ -32,6 +33,7 @@ class Deployment;
 class EdgeBaselineDeployment;
 class CloudOnlyDeployment;
 class ReshardingCoordinator;
+class AutoBalancer;
 
 /// Counters of the sharded routing layer (api/shard_router.h), exposed
 /// through StoreBackend::router_stats() / Store::router_stats().
@@ -45,8 +47,24 @@ struct RouterStats {
   /// install (or on an aborted split, back to the unchanged owner).
   uint64_t writes_parked = 0;
   /// Keyed operations routed per shard slot since the last epoch change
-  /// — the heat signal Rebalance picks its victim by.
+  /// — the heat signal Rebalance (and the AutoBalancer's watermark
+  /// policy) picks its victims by. Writes parked by a migration fence
+  /// count here when they flush, attributed to the owner they commit
+  /// on.
   std::vector<uint64_t> ops_per_shard;
+};
+
+/// One-call observability snapshot of a store's sharding machinery
+/// (Store::stats()): current ownership epoch plus the routing,
+/// migration, and autonomous-balancing counters. All fields are
+/// value-copies taken at the call; unrouted stores report epoch 1 and
+/// zeroed counters.
+struct StoreStats {
+  OwnershipEpoch epoch = 1;
+  size_t live_shards = 1;
+  RouterStats router;
+  ReshardingCoordinator::Stats resharding;
+  BalancerStats balancer;
 };
 
 /// One committed write phase: the block that carries the write and the
@@ -164,6 +182,11 @@ class StoreBackend {
   /// core/resharding.h). FailedPrecondition on an unrouted store.
   virtual void SplitShard(size_t shard, SplitCb cb);
 
+  /// The inverse migration: folds `shard`'s slice into its adjacent
+  /// neighbour and returns the freed slot to the idle pool.
+  /// FailedPrecondition on an unrouted store.
+  virtual void MergeShards(size_t shard, SplitCb cb);
+
   /// Splits the busiest live shard (by routed operations since the last
   /// epoch change) into the first idle slot.
   virtual void Rebalance(SplitCb cb);
@@ -173,6 +196,9 @@ class StoreBackend {
   virtual const OwnershipTable* ownership() const { return nullptr; }
   virtual const ReshardingCoordinator* resharding() const { return nullptr; }
   virtual const RouterStats* router_stats() const { return nullptr; }
+  /// The autonomous lifecycle policy; null unless the store was opened
+  /// with StoreOptions::WithAutoBalance.
+  virtual const AutoBalancer* balancer() const { return nullptr; }
 
   // ---- verifier-cache management ------------------------------------
   // Per-physical-client hooks the routing layer uses to keep cache

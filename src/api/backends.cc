@@ -64,6 +64,15 @@ void StoreBackend::SplitShard(size_t shard, SplitCb cb) {
   }
 }
 
+void StoreBackend::MergeShards(size_t shard, SplitCb cb) {
+  (void)shard;
+  if (cb) {
+    cb(Status::FailedPrecondition(
+           "resharding needs a sharded store (StoreOptions::WithShards)"),
+       SplitReport{}, sim().now());
+  }
+}
+
 void StoreBackend::Rebalance(SplitCb cb) {
   if (cb) {
     cb(Status::FailedPrecondition(
@@ -354,7 +363,8 @@ std::unique_ptr<StoreBackend> MakeBackend(const StoreOptions& options) {
                                                 sharding.slots());
   return std::make_unique<ShardRouter>(
       std::move(base), std::move(table), options.deploy.num_clients,
-      options.deploy.client.verify_cache_limits, options.resharding);
+      options.deploy.client.verify_cache_limits, options.resharding,
+      options.balancer);
 }
 
 }  // namespace wedge

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/balancer.h"
 #include "core/deployment.h"
 #include "core/resharding.h"
 
@@ -54,8 +55,13 @@ struct StoreOptions {
   /// starts — the window in which durable storage must be attached and
   /// recovered state restored (see storage/edge_storage.h).
   std::function<void(StoreBackend&)> before_start;
-  /// Live-migration knobs for SplitShard / Rebalance.
+  /// Live-migration knobs for SplitShard / MergeShards / Rebalance.
   ReshardingConfig resharding;
+  /// Autonomous shard lifecycle (heat-driven auto-split + merge);
+  /// disabled unless WithAutoBalance is called. Requires a splittable
+  /// sharded store (range partitioning, or a single seed shard with
+  /// spare capacity).
+  BalancerPolicy balancer;
 
   StoreOptions& WithBackend(BackendKind b) {
     backend = b;
@@ -104,6 +110,17 @@ struct StoreOptions {
   /// and the export scan (see ReshardingConfig::drain_delay).
   StoreOptions& WithDrainDelay(SimTime delay) {
     resharding.drain_delay = delay;
+    return *this;
+  }
+  /// Turns on the autonomous shard lifecycle: a background policy tick
+  /// reads the router's per-epoch heat window against the policy's
+  /// high/low watermarks and calls SplitShard / MergeShards on its own
+  /// (with hysteresis and cooldown so oscillating load doesn't thrash
+  /// migrations). Pass a BalancerPolicy to tune the knobs; the default
+  /// policy is used when omitted. Requires a splittable sharded store.
+  StoreOptions& WithAutoBalance(BalancerPolicy policy = {}) {
+    balancer = policy;
+    balancer.enabled = true;
     return *this;
   }
   StoreOptions& WithLocations(Dc client, Dc edge, Dc cloud) {

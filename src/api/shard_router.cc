@@ -47,7 +47,7 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
                          std::shared_ptr<OwnershipTable> table,
                          size_t logical_clients,
                          VerifierCache::Limits cache_unit,
-                         ReshardingConfig resharding)
+                         ReshardingConfig resharding, BalancerPolicy balancer)
     : inner_(std::move(inner)),
       table_(std::move(table)),
       logical_clients_(logical_clients),
@@ -56,6 +56,22 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
   coordinator_ = std::make_unique<ReshardingCoordinator>(
       &inner_->sim(), table_, this, resharding);
   stats_.ops_per_shard.assign(table_->capacity(), 0);
+  if (balancer.enabled) {
+    // The balancer reads this router's own heat window and actuates
+    // through the same coordinator the operator calls use, so manual
+    // and autonomous migrations share the single-in-flight rule.
+    AutoBalancer::Hooks hooks;
+    hooks.heat = [this]() { return stats_.ops_per_shard; };
+    hooks.split = [this](size_t shard, ReshardingCoordinator::SplitCb cb) {
+      coordinator_->SplitShard(shard, std::move(cb));
+    };
+    hooks.merge = [this](size_t shard, ReshardingCoordinator::SplitCb cb) {
+      coordinator_->MergeShards(shard, std::move(cb));
+    };
+    hooks.busy = [this]() { return coordinator_->migration_in_flight(); };
+    balancer_ = std::make_unique<AutoBalancer>(&inner_->sim(), table_,
+                                               balancer, std::move(hooks));
+  }
   ResizeVerifierCaches();
 }
 
@@ -104,6 +120,13 @@ void ShardRouter::PutBatch(size_t client,
     } else {
       by_shard[RouteKey(client, kv.first)].push_back(kv);
     }
+  }
+  if (!parked.empty()) {
+    // The parking path is still an epoch touch: a batch that falls
+    // entirely inside the fence must refresh the client's view like any
+    // routed write would (its keys join the heat window at flush time,
+    // attributed to the owner they commit on — see the flush closure).
+    RefreshEpoch(client);
   }
   if (by_shard.empty() && parked.empty()) {
     // Empty batch: keep the unsharded contract (one call, to the logical
@@ -186,7 +209,25 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
   // a newer epoch mid-scan must not drop pairs the source legitimately
   // owned (and still stores) under the epoch this scan was routed by.
   const OwnershipEpoch at_epoch = table_->epoch();
-  const std::vector<OwnedSlice> slices = table_->SlicesTouching(lo, hi);
+  const std::vector<OwnedSlice> slices =
+      lo > hi ? std::vector<OwnedSlice>{} : table_->SlicesTouching(lo, hi);
+  if (slices.empty()) {
+    // An empty slice set (an inverted lo > hi range — live slices tile
+    // the whole key domain, so nothing else produces one) must still
+    // answer: with zero sub-scans the join below would start at
+    // waiting == 0 and never invoke the callback, hanging any
+    // pump-to-completion caller. An empty range is vacuously complete
+    // and verified.
+    if (cb) {
+      ScanResult empty;
+      empty.phase2 = true;
+      empty.verified = true;
+      empty.at = sim().now();
+      const SimTime at = empty.at;
+      cb(Status::OK(), std::move(empty), at);
+    }
+    return;
+  }
 
   auto join = std::make_shared<ScanJoin>();
   join->waiting = slices.size();
@@ -248,6 +289,10 @@ void ShardRouter::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
 
 void ShardRouter::SplitShard(size_t shard, SplitCb cb) {
   coordinator_->SplitShard(shard, std::move(cb));
+}
+
+void ShardRouter::MergeShards(size_t shard, SplitCb cb) {
+  coordinator_->MergeShards(shard, std::move(cb));
 }
 
 void ShardRouter::Rebalance(SplitCb cb) {
@@ -323,10 +368,13 @@ void ShardRouter::LiftFence() {
   for (auto& flush : parked) flush();
 }
 
-void ShardRouter::OnEpochInstalled(const SplitReport& report) {
+void ShardRouter::OnEpochInstalled(const MigrationReport& report) {
   // The source's clients may hold verified proof material for keys that
   // just moved; drop it so nothing covering the migrated range can be
-  // replayed against the old owner.
+  // replayed against the old owner. On a split the invalidation flows
+  // toward the idle destination; on a merge, toward the surviving
+  // neighbour — either way report.source is the shard whose clients
+  // must forget the range.
   for (size_t c = 0; c < logical_clients_; ++c) {
     inner_->InvalidateVerifierRange(PhysicalClient(c, report.source),
                                     report.moved_lo, report.moved_hi);

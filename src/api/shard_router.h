@@ -35,11 +35,19 @@
 //    can neither inject keys it does not own nor mask another shard's
 //    violation — any failing sub-scan fails the whole scan, with
 //    SecurityViolation taking precedence over benign errors.
-//  - SplitShard/Rebalance drive verified live migration (the router is
-//    the ReshardingCoordinator's ShardMigrationHost): writes into the
-//    moving range are parked while the handoff is in flight and flushed
-//    to the new owner at epoch install; per-client verifier caches are
-//    invalidated for the moved range and re-sized to the new ownership.
+//  - SplitShard/MergeShards/Rebalance drive verified live migration
+//    (the router is the ReshardingCoordinator's ShardMigrationHost):
+//    writes into the moving range are parked while the handoff is in
+//    flight — the parking path still refreshes the client's epoch, and
+//    the parked keys are counted into the heat window when they flush —
+//    and per-client verifier caches are invalidated for the moved range
+//    (toward the destination on a split, toward the survivor on a
+//    merge) and re-sized to the new ownership.
+//  - With StoreOptions::WithAutoBalance the router runs an AutoBalancer
+//    tick over its own heat window (RouterStats::ops_per_shard),
+//    splitting hot shards and merging cooled ones without operator
+//    calls; a merged slot returns to the idle pool, so a shifting
+//    hotspot cycles split → merge → split inside the fixed capacity.
 
 #pragma once
 
@@ -48,6 +56,7 @@
 #include <vector>
 
 #include "api/backend.h"
+#include "core/balancer.h"
 #include "core/partitioner.h"
 #include "core/resharding.h"
 
@@ -61,10 +70,14 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   /// than constructing directly.
   ShardRouter(std::unique_ptr<StoreBackend> inner,
               std::shared_ptr<OwnershipTable> table, size_t logical_clients,
-              VerifierCache::Limits cache_unit, ReshardingConfig resharding);
+              VerifierCache::Limits cache_unit, ReshardingConfig resharding,
+              BalancerPolicy balancer = {});
 
   BackendKind kind() const override { return inner_->kind(); }
-  void Start() override { inner_->Start(); }
+  void Start() override {
+    inner_->Start();
+    if (balancer_) balancer_->Start();
+  }
   Simulation& sim() override { return inner_->sim(); }
   SimNetwork& net() override { return inner_->net(); }
   size_t client_count() const override { return logical_clients_; }
@@ -75,6 +88,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
     return coordinator_.get();
   }
   const RouterStats* router_stats() const override { return &stats_; }
+  const AutoBalancer* balancer() const override { return balancer_.get(); }
 
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override;
@@ -87,6 +101,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override;
 
   void SplitShard(size_t shard, SplitCb cb) override;
+  void MergeShards(size_t shard, SplitCb cb) override;
   void Rebalance(SplitCb cb) override;
 
   Deployment* wedge() override { return inner_->wedge(); }
@@ -126,7 +141,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
                    PhaseCb certified) override;
   void FenceRange(Key lo, Key hi) override;
   void LiftFence() override;
-  void OnEpochInstalled(const SplitReport& report) override;
+  void OnEpochInstalled(const MigrationReport& report) override;
 
  private:
   /// Routes `key` for logical `client` under the client's last-known
@@ -145,6 +160,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   size_t logical_clients_;
   VerifierCache::Limits cache_unit_;
   std::unique_ptr<ReshardingCoordinator> coordinator_;
+  std::unique_ptr<AutoBalancer> balancer_;
 
   /// Ownership epoch each logical client last observed.
   std::vector<OwnershipEpoch> client_epochs_;

@@ -105,18 +105,59 @@ Status ValidateOptions(const StoreOptions& options) {
         "sharding (interleaved ownership cannot be split); use "
         "ShardScheme::kRange for resharding");
   }
-  // The drain floor only binds configs where a split can actually run:
-  // spare slots to migrate into, and a splittable (range-expressible)
-  // seed.
-  const bool can_split = sh.slots() > sh.num_shards &&
-                         (sh.scheme == ShardScheme::kRange ||
-                          sh.num_shards == 1);
-  if (can_split &&
+  // The drain floor binds every migration-capable config: a split needs
+  // a spare slot, but a merge runs between two live neighbours with no
+  // spare at all — either way writes in flight at fence time must reach
+  // the source before the export snapshot.
+  const bool can_migrate = sh.slots() >= 2 && sh.range_expressible();
+  if (can_migrate &&
       options.resharding.drain_delay < 2 * d.edge.partial_flush_delay) {
     return Status::InvalidArgument(
         "StoreOptions: resharding drain_delay must comfortably exceed "
         "the edge partial_flush_delay (>= 2x), or writes in flight at "
         "fence time could miss the migration export");
+  }
+  if (options.balancer.enabled) {
+    // The autonomous lifecycle actuates through SplitShard/MergeShards,
+    // so it needs a routed store with range-expressible ownership: a
+    // policy that could never act is a misconfiguration, not a no-op.
+    if (!can_migrate) {
+      return Status::InvalidArgument(
+          "StoreOptions: WithAutoBalance needs a splittable sharded "
+          "store (WithShards(n, ShardScheme::kRange, span), or a single "
+          "seed shard with WithShardCapacity spare slots)");
+    }
+    if (options.balancer.tick_period <= 0) {
+      return Status::InvalidArgument(
+          "StoreOptions: balancer tick_period must be positive");
+    }
+    if (options.balancer.split_ticks == 0 ||
+        options.balancer.merge_ticks == 0) {
+      return Status::InvalidArgument(
+          "StoreOptions: balancer split_ticks/merge_ticks must be >= 1 "
+          "(a zero streak makes every shard a candidate on every tick)");
+    }
+    if (options.balancer.min_window_ops == 0) {
+      return Status::InvalidArgument(
+          "StoreOptions: balancer min_window_ops must be >= 1, or an "
+          "idle store's zero-op windows read as uniformly cold and it "
+          "merges itself on no signal");
+    }
+    if (options.balancer.split_fraction <= 0 ||
+        options.balancer.split_fraction > 1 ||
+        options.balancer.merge_fraction < 0 ||
+        options.balancer.merge_fraction >= 1) {
+      return Status::InvalidArgument(
+          "StoreOptions: balancer watermarks are fractions of the "
+          "window's ops — split_fraction must be in (0, 1] and "
+          "merge_fraction in [0, 1), or the policy can never act");
+    }
+    if (options.balancer.split_fraction <= options.balancer.merge_fraction) {
+      return Status::InvalidArgument(
+          "StoreOptions: balancer split_fraction must exceed "
+          "merge_fraction (the watermarks must not overlap, or every "
+          "window would both split and merge the same shard)");
+    }
   }
   return Status::OK();
 }
@@ -289,6 +330,12 @@ Result<SplitReport> Store::SplitShard(size_t shard) {
   });
 }
 
+Result<SplitReport> Store::MergeShards(size_t shard) {
+  return SyncSplit(*core_, [this, shard](StoreBackend::SplitCb cb) {
+    core_->backend->MergeShards(shard, std::move(cb));
+  });
+}
+
 Result<SplitReport> Store::Rebalance() {
   return SyncSplit(*core_, [this](StoreBackend::SplitCb cb) {
     core_->backend->Rebalance(std::move(cb));
@@ -307,6 +354,26 @@ const RouterStats* Store::router_stats() const {
 }
 const ReshardingCoordinator* Store::resharding() const {
   return core_->backend->resharding();
+}
+const AutoBalancer* Store::balancer() const {
+  return core_->backend->balancer();
+}
+
+StoreStats Store::stats() const {
+  StoreStats s;
+  const OwnershipTable* table = core_->backend->ownership();
+  if (table != nullptr) {
+    s.epoch = table->epoch();
+    s.live_shards = table->LiveShards();
+  }
+  if (const RouterStats* r = core_->backend->router_stats()) s.router = *r;
+  if (const ReshardingCoordinator* c = core_->backend->resharding()) {
+    s.resharding = c->stats();
+  }
+  if (const AutoBalancer* b = core_->backend->balancer()) {
+    s.balancer = b->stats();
+  }
+  return s;
 }
 
 void Store::RunFor(SimTime duration) { core_->backend->sim().RunFor(duration); }

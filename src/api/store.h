@@ -117,18 +117,34 @@ class Store {
   /// unchanged). Needs spare capacity: open with WithShardCapacity.
   Result<SplitReport> SplitShard(size_t shard);
 
+  /// The inverse migration: folds `shard`'s slice into its adjacent
+  /// surviving neighbour through the same verified live-migration
+  /// machinery (fence → drain → completeness-verified export → import
+  /// at the survivor's Phase I → lazy handoff certificate). When the
+  /// merged slice was the shard's last, the freed slot returns to the
+  /// idle pool — a split→merge cycle never exhausts WithShardCapacity.
+  Result<SplitReport> MergeShards(size_t shard);
+
   /// Splits the busiest live shard (by keyed operations routed since the
-  /// last epoch change) — the one-step heat-driven rebalance.
+  /// last epoch change) — the one-step heat-driven rebalance. For the
+  /// continuous, autonomous version see StoreOptions::WithAutoBalance.
   Result<SplitReport> Rebalance();
 
-  /// Current ownership epoch: 1 until a split installs a newer map.
+  /// Current ownership epoch: 1 until a migration installs a newer map.
   OwnershipEpoch ownership_epoch() const;
   /// The versioned ownership table (null on an unrouted store).
   const OwnershipTable* ownership() const;
   /// Routing-layer counters (null on an unrouted store).
   const RouterStats* router_stats() const;
-  /// Migration counters and the last applied split (null when unrouted).
+  /// Migration counters and the applied-migration reports (null when
+  /// unrouted).
   const ReshardingCoordinator* resharding() const;
+  /// The autonomous lifecycle policy (null unless opened with
+  /// WithAutoBalance).
+  const AutoBalancer* balancer() const;
+  /// One-call snapshot of epoch, live shards, router, migration and
+  /// balancer counters (zeroed/defaulted on an unrouted store).
+  StoreStats stats() const;
 
   // ----------------------------------------------- simulation & access
 

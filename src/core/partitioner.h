@@ -70,6 +70,15 @@ struct ShardingConfig {
   bool enabled() const { return num_shards >= 1; }
   /// Physical shard slots actually provisioned.
   size_t slots() const { return std::max(capacity, num_shards); }
+  /// True when ownership is expressible as contiguous key slices — the
+  /// precondition for every migration (split and merge). Range seeds
+  /// and single-shard seeds qualify; a multi-shard hash seed
+  /// interleaves keys and stays frozen. The one definition shared by
+  /// Open-time validation, the OwnershipTable, and the balancer
+  /// validation, so they can never drift apart.
+  bool range_expressible() const {
+    return scheme == ShardScheme::kRange || num_shards <= 1;
+  }
 };
 
 class Partitioner {
@@ -167,6 +176,15 @@ struct OwnedSlice {
   bool operator==(const OwnedSlice& o) const {
     return lo == o.lo && hi == o.hi && shard == o.shard;
   }
+};
+
+/// A merge the table could install for some shard: the slice that would
+/// move and the adjacent shard that would absorb it. Computed by
+/// OwnershipTable::MergePlanFor so the ReshardingCoordinator and the
+/// AutoBalancer agree on the survivor before the migration starts.
+struct MergePlan {
+  OwnedSlice slice;
+  size_t survivor = 0;
 };
 
 /// Epoch-versioned key ownership across a fixed set of shard slots.
@@ -303,6 +321,77 @@ class OwnershipTable {
           domain;
     }
     return f;
+  }
+
+  /// The merge this table would install for `shard`: its widest slice
+  /// moves to the owner of an adjacent slice (the left neighbour when
+  /// both exist, so repeated merges walk deterministically). nullopt
+  /// when the slot is idle, the table is not splittable, or the shard
+  /// owns the whole domain (no neighbour to absorb it).
+  std::optional<MergePlan> MergePlanFor(size_t shard) const {
+    if (history_.empty()) return std::nullopt;
+    const std::optional<OwnedSlice> slice = WidestSliceOf(shard);
+    if (!slice.has_value()) return std::nullopt;
+    const std::vector<OwnedSlice>& cur = history_.back();
+    for (size_t i = 0; i < cur.size(); ++i) {
+      if (!(cur[i] == *slice)) continue;
+      if (i > 0 && cur[i - 1].shard != shard) {
+        return MergePlan{*slice, cur[i - 1].shard};
+      }
+      if (i + 1 < cur.size() && cur[i + 1].shard != shard) {
+        return MergePlan{*slice, cur[i + 1].shard};
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Installs epoch+1 in which the slice [lo, hi] owned by `source`
+  /// moves whole to `survivor`, which must own an adjacent slice — the
+  /// inverse of InstallSplit. Adjacent same-owner slices are coalesced,
+  /// so a slot whose last slice merges away becomes idle again
+  /// (FirstIdleShard returns it; split→merge cycles never exhaust the
+  /// capacity). Returns the new epoch, or InvalidArgument /
+  /// FailedPrecondition when the merge is not expressible (hash table,
+  /// bad slots, [lo, hi] not exactly a source-owned slice, survivor not
+  /// adjacent).
+  Result<OwnershipEpoch> InstallMerge(size_t source, size_t survivor, Key lo,
+                                      Key hi) {
+    if (history_.empty()) {
+      return Status::FailedPrecondition(
+          "ownership is hash-interleaved; merges need range partitioning");
+    }
+    if (source >= capacity_ || survivor >= capacity_ || source == survivor) {
+      return Status::InvalidArgument("bad merge shard slots");
+    }
+    std::vector<OwnedSlice> next = history_.back();
+    for (size_t i = 0; i < next.size(); ++i) {
+      if (!(next[i] == OwnedSlice{lo, hi, source})) continue;
+      const bool left_adjacent = i > 0 && next[i - 1].shard == survivor;
+      const bool right_adjacent =
+          i + 1 < next.size() && next[i + 1].shard == survivor;
+      if (!left_adjacent && !right_adjacent) {
+        return Status::FailedPrecondition(
+            "survivor owns no slice adjacent to the merged range");
+      }
+      next[i].shard = survivor;
+      // Coalesce adjacent same-owner slices so the map stays normalized
+      // (one slice per maximal owned run; WidestSliceOf and MergePlanFor
+      // rely on this).
+      std::vector<OwnedSlice> coalesced;
+      for (const OwnedSlice& sl : next) {
+        if (!coalesced.empty() && coalesced.back().shard == sl.shard &&
+            coalesced.back().hi + 1 == sl.lo) {
+          coalesced.back().hi = sl.hi;
+        } else {
+          coalesced.push_back(sl);
+        }
+      }
+      history_.push_back(std::move(coalesced));
+      return epoch();
+    }
+    return Status::InvalidArgument(
+        "merge range is not exactly a slice owned by the source shard");
   }
 
   /// Installs epoch+1 in which [split_key, hi] of the source slice

@@ -10,12 +10,134 @@ ReshardingCoordinator::ReshardingCoordinator(
     ShardMigrationHost* host, ReshardingConfig config)
     : sim_(sim), table_(std::move(table)), host_(host), config_(config) {}
 
-void ReshardingCoordinator::Abort(const Status& why, SimTime now,
-                                  const SplitCb& done) {
-  stats_.splits_failed++;
+void ReshardingCoordinator::Abort(MigrationKind kind, const Status& why,
+                                  SimTime now, const SplitCb& done) {
+  if (kind == MigrationKind::kMerge) {
+    stats_.merges_failed++;
+  } else {
+    stats_.splits_failed++;
+  }
   in_flight_ = false;
   host_->LiftFence();  // parked writes flush to the unchanged owners
-  if (done) done(why, SplitReport{}, now);
+  if (done) done(why, MigrationReport{}, now);
+}
+
+void ReshardingCoordinator::RecordCertificate(uint64_t seq,
+                                              const Status& status,
+                                              SimTime at) {
+  // Certification is per migration sequence: a certificate for an
+  // aborted attempt finds no report; one for a superseded-but-applied
+  // migration finalizes that migration's own report, not the latest.
+  auto it = applied_.find(seq);
+  if (it == applied_.end()) return;
+  MigrationReport& report = it->second;
+  if (!status.ok()) {
+    // The epoch is live but the handoff's lazy trust chain did not
+    // close — surface it, don't let it masquerade as "still pending".
+    report.certify_failed = true;
+    stats_.certify_failures++;
+    return;
+  }
+  report.certified = true;
+  report.certified_at = at;
+  if (report.kind == MigrationKind::kMerge) {
+    stats_.merges_certified++;
+  } else {
+    stats_.splits_certified++;
+  }
+}
+
+void ReshardingCoordinator::RunMigration(
+    MigrationKind kind, size_t source, size_t dest, Key lo, Key hi,
+    std::function<Result<OwnershipEpoch>()> install, SplitCb done) {
+  in_flight_ = true;
+  if (kind == MigrationKind::kMerge) {
+    stats_.merges_started++;
+  } else {
+    stats_.splits_started++;
+  }
+  const uint64_t seq = ++split_seq_;
+
+  // Step 1: fence the moving range, then let in-flight writes drain into
+  // the source tree before the export snapshot.
+  host_->FenceRange(lo, hi);
+  sim_->ScheduleAfter(config_.drain_delay, [this, kind, source, dest, lo, hi,
+                                            seq, install = std::move(install),
+                                            done]() {
+    // Step 2: completeness-verified export. A lying source surfaces
+    // here as SecurityViolation and aborts the migration.
+    host_->ExportRange(
+        source, lo, hi,
+        [this, kind, source, dest, lo, hi, seq, install, done](
+            const Status& st, std::vector<KvPair> pairs, SimTime t) {
+          if (!st.ok()) return Abort(kind, st, t, done);
+
+          // Step 4: the destination's Phase I commit is the handoff
+          // point — install the new epoch, fix up caches, release the
+          // parked writes to their new owner. `certified_now` covers the
+          // data-free handoff (empty export): with nothing to certify,
+          // the returned report is already final.
+          auto finish = [this, kind, source, dest, lo, hi, seq, install, done,
+                         moved = pairs.size()](const Status& st2, SimTime t2,
+                                               bool certified_now) {
+            if (!st2.ok()) return Abort(kind, st2, t2, done);
+            Result<OwnershipEpoch> e = install();
+            if (!e.ok()) return Abort(kind, e.status(), t2, done);
+            MigrationReport report;
+            report.kind = kind;
+            report.epoch = *e;
+            report.source = source;
+            report.dest = dest;
+            report.moved_lo = lo;
+            report.moved_hi = hi;
+            report.pairs_moved = moved;
+            report.applied_at = t2;
+            if (kind == MigrationKind::kMerge) {
+              stats_.merges_applied++;
+            } else {
+              stats_.splits_applied++;
+            }
+            stats_.pairs_migrated += moved;
+            MigrationReport& slot = applied_[seq];
+            slot = report;
+            // Keep the history a window: drop the oldest finalized
+            // reports past the cap (pending certificates stay).
+            for (auto it = applied_.begin();
+                 applied_.size() > kMaxAppliedReports &&
+                 it != applied_.end();) {
+              if (it->first != seq &&
+                  (it->second.certified || it->second.certify_failed)) {
+                it = applied_.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            if (certified_now) RecordCertificate(seq, Status::OK(), t2);
+            host_->OnEpochInstalled(slot);
+            host_->LiftFence();
+            in_flight_ = false;
+            if (done) done(Status::OK(), slot, t2);
+          };
+
+          if (pairs.empty()) {
+            finish(Status::OK(), t, /*certified_now=*/true);
+            return;
+          }
+
+          // Step 3/5: import through the destination's normal write
+          // path. Phase I drives the handoff; Phase II is the lazy
+          // handoff certificate, recorded against this migration's own
+          // sequence.
+          host_->ImportPairs(
+              dest, std::move(pairs),
+              [finish](const Status& st2, SimTime t2) {
+                finish(st2, t2, /*certified_now=*/false);
+              },
+              [this, seq](const Status& st3, SimTime t3) {
+                RecordCertificate(seq, st3, t3);
+              });
+        });
+  });
 }
 
 void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
@@ -23,7 +145,7 @@ void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
   // Pre-flight rejections: no migration started, so splits_failed (which
   // counts migrations aborted mid-flight) stays untouched.
   auto fail = [&](Status s) {
-    if (done) done(std::move(s), SplitReport{}, now);
+    if (done) done(std::move(s), MigrationReport{}, now);
   };
   if (in_flight_) {
     return fail(Status::FailedPrecondition("a shard migration is in flight"));
@@ -46,7 +168,8 @@ void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
   if (!idle.has_value()) {
     return fail(Status::FailedPrecondition(
         "no idle shard slot to migrate into; open with "
-        "StoreOptions::WithShardCapacity"));
+        "StoreOptions::WithShardCapacity (or MergeShards a cooled "
+        "shard to reclaim its slot)"));
   }
   const size_t dest = *idle;
 
@@ -69,86 +192,47 @@ void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
   }
   const Key split_key = slice->lo + (eff_hi - slice->lo) / 2 + 1;
 
-  in_flight_ = true;
-  stats_.splits_started++;
-  const uint64_t seq = ++split_seq_;
+  RunMigration(
+      MigrationKind::kSplit, source, dest, split_key, slice->hi,
+      [table = table_, source, dest, split_key]() {
+        return table->InstallSplit(source, dest, split_key);
+      },
+      std::move(done));
+}
 
-  // Step 1: fence the moving range, then let in-flight writes drain into
-  // the source tree before the export snapshot.
-  host_->FenceRange(split_key, slice->hi);
-  sim_->ScheduleAfter(config_.drain_delay, [this, source, dest, split_key,
-                                            hi = slice->hi, seq, done]() {
-    // Step 2: completeness-verified export. A lying source surfaces
-    // here as SecurityViolation and aborts the split.
-    host_->ExportRange(
-        source, split_key, hi,
-        [this, source, dest, split_key, hi, seq, done](
-            const Status& st, std::vector<KvPair> pairs, SimTime t) {
-          if (!st.ok()) return Abort(st, t, done);
+void ReshardingCoordinator::MergeShards(size_t source, SplitCb done) {
+  const SimTime now = sim_->now();
+  auto fail = [&](Status s) {
+    if (done) done(std::move(s), MigrationReport{}, now);
+  };
+  if (in_flight_) {
+    return fail(Status::FailedPrecondition("a shard migration is in flight"));
+  }
+  if (!table_->splittable()) {
+    return fail(Status::FailedPrecondition(
+        "ownership is hash-interleaved; MergeShards needs range "
+        "partitioning (ShardScheme::kRange or a single seed shard)"));
+  }
+  if (source >= table_->capacity()) {
+    return fail(Status::InvalidArgument("no shard slot " +
+                                        std::to_string(source)));
+  }
+  const std::optional<MergePlan> plan = table_->MergePlanFor(source);
+  if (!plan.has_value()) {
+    return fail(Status::FailedPrecondition(
+        "shard " + std::to_string(source) +
+        " owns no mergeable slice (idle slot, or no adjacent neighbour "
+        "to absorb it)"));
+  }
 
-          // Step 4: the destination's Phase I commit is the handoff
-          // point — install the new epoch, fix up caches, release the
-          // parked writes to their new owner. `certified_now` covers the
-          // data-free handoff (empty export): with nothing to certify,
-          // the returned report is already final.
-          auto finish = [this, source, dest, split_key, hi, seq, done,
-                         moved = pairs.size()](const Status& st2, SimTime t2,
-                                               bool certified_now) {
-            if (!st2.ok()) return Abort(st2, t2, done);
-            Result<OwnershipEpoch> e =
-                table_->InstallSplit(source, dest, split_key);
-            if (!e.ok()) return Abort(e.status(), t2, done);
-            last_split_ = SplitReport{};
-            last_split_.epoch = *e;
-            last_split_.source = source;
-            last_split_.dest = dest;
-            last_split_.moved_lo = split_key;
-            last_split_.moved_hi = hi;
-            last_split_.pairs_moved = moved;
-            last_split_.applied_at = t2;
-            applied_seq_ = seq;
-            stats_.splits_applied++;
-            stats_.pairs_migrated += moved;
-            if (certified_now) {
-              last_split_.certified = true;
-              last_split_.certified_at = t2;
-              stats_.splits_certified++;
-            }
-            host_->OnEpochInstalled(last_split_);
-            host_->LiftFence();
-            in_flight_ = false;
-            if (done) done(Status::OK(), last_split_, t2);
-          };
-
-          if (pairs.empty()) {
-            finish(Status::OK(), t, /*certified_now=*/true);
-            return;
-          }
-
-          // Step 3/5: import through the destination's normal write
-          // path. Phase I drives the handoff; Phase II is the lazy
-          // handoff certificate.
-          host_->ImportPairs(
-              dest, std::move(pairs),
-              [finish](const Status& st2, SimTime t2) {
-                finish(st2, t2, /*certified_now=*/false);
-              },
-              [this, seq](const Status& st3, SimTime t3) {
-                if (seq != applied_seq_) return;
-                if (!st3.ok()) {
-                  // The epoch is live but the handoff's lazy trust
-                  // chain did not close — surface it, don't let it
-                  // masquerade as "still pending".
-                  last_split_.certify_failed = true;
-                  stats_.certify_failures++;
-                  return;
-                }
-                last_split_.certified = true;
-                last_split_.certified_at = t3;
-                stats_.splits_certified++;
-              });
-        });
-  });
+  RunMigration(
+      MigrationKind::kMerge, source, plan->survivor, plan->slice.lo,
+      plan->slice.hi,
+      [table = table_, source, plan]() {
+        return table->InstallMerge(source, plan->survivor, plan->slice.lo,
+                                   plan->slice.hi);
+      },
+      std::move(done));
 }
 
 }  // namespace wedge

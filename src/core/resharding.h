@@ -4,7 +4,11 @@
 // handoff the way TransEdge routes verified reads across untrusted
 // edges without blocking on the cloud).
 //
-// SplitShard(source) runs a five-step state machine over virtual time:
+// Both directions of the shard lifecycle run the same five-step state
+// machine over virtual time — SplitShard(source) carves a hot shard's
+// range onto an idle slot, MergeShards(source) folds a cooled shard's
+// slice back into its adjacent neighbour (freeing the slot for the next
+// split):
 //
 //   1. fence    — new writes into the moving range are parked at the
 //                 routing layer (reads keep flowing to the source).
@@ -13,15 +17,21 @@
 //   3. export   — the source edge serves the moving range as one
 //                 completeness-verified scan. A lying source (truncated
 //                 or tampered export) surfaces here as SecurityViolation
-//                 and aborts the split — never as silently dropped keys.
-//   4. import   — the destination edge applies the exported pairs
-//                 through its normal write path; its Phase I commit is
-//                 the handoff point: the new ownership epoch installs,
-//                 parked writes flush to the new owner, and reads on
-//                 migrated keys serve immediately (Phase-I-style).
+//                 and aborts the migration — never as silently dropped
+//                 keys.
+//   4. import   — the destination edge (the idle slot on a split, the
+//                 surviving neighbour on a merge) applies the exported
+//                 pairs through its normal write path; its Phase I
+//                 commit is the handoff point: the new ownership epoch
+//                 installs, parked writes flush to the new owner, and
+//                 reads on migrated keys serve immediately
+//                 (Phase-I-style).
 //   5. certify  — the cloud certifies the imported blocks lazily; the
 //                 handoff finalizes when that certificate lands
-//                 (SplitReport::certified), off the critical path.
+//                 (MigrationReport::certified), off the critical path.
+//                 Certification is tracked per migration sequence, so a
+//                 certificate landing after a later migration has
+//                 already applied still finalizes the *right* report.
 //
 // The coordinator is transport-agnostic: it drives a ShardMigrationHost
 // (implemented by the api-layer ShardRouter) and mutates the shared
@@ -30,6 +40,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -50,10 +61,23 @@ struct ReshardingConfig {
   SimTime drain_delay = 500 * kMillisecond;
 };
 
-/// Outcome of one SplitShard: what moved where, and when each trust
-/// level was reached.
-struct SplitReport {
-  /// Ownership epoch the split installed.
+/// The two directions of the shard lifecycle.
+enum class MigrationKind : uint8_t {
+  kSplit = 0,
+  kMerge = 1,
+};
+
+inline const char* MigrationKindToString(MigrationKind k) {
+  return k == MigrationKind::kMerge ? "merge" : "split";
+}
+
+/// Outcome of one applied migration: what moved where, and when each
+/// trust level was reached. For a split, `source` is the shard that
+/// shrank and `dest` the formerly idle slot; for a merge, `source` is
+/// the absorbed (now idle) slot and `dest` the surviving neighbour.
+struct MigrationReport {
+  MigrationKind kind = MigrationKind::kSplit;
+  /// Ownership epoch the migration installed.
   OwnershipEpoch epoch = 0;
   size_t source = 0;
   size_t dest = 0;
@@ -75,6 +99,9 @@ struct SplitReport {
   /// attention.
   bool certify_failed = false;
 };
+
+/// Historical name: the report type predates the merge path.
+using SplitReport = MigrationReport;
 
 /// The data-plane and routing hooks the coordinator drives; implemented
 /// by the api-layer ShardRouter. All calls are asynchronous over the
@@ -106,8 +133,9 @@ class ShardMigrationHost {
 
   /// Runs right after the new epoch installs, fence still up: the host
   /// invalidates per-client verifier-cache entries covering the moved
-  /// range and re-sizes per-shard caches to the new ownership.
-  virtual void OnEpochInstalled(const SplitReport& report) = 0;
+  /// range (held by the split source's / merge's absorbed shard's
+  /// clients) and re-sizes per-shard caches to the new ownership.
+  virtual void OnEpochInstalled(const MigrationReport& report) = 0;
 };
 
 class ReshardingCoordinator {
@@ -115,22 +143,29 @@ class ReshardingCoordinator {
   /// (status, report, time). On failure the report is the default object
   /// and ownership is unchanged.
   using SplitCb =
-      std::function<void(const Status&, const SplitReport&, SimTime)>;
+      std::function<void(const Status&, const MigrationReport&, SimTime)>;
 
   struct Stats {
     /// Migrations that actually started (passed pre-flight checks and
-    /// fenced the moving range): started = applied + failed + in flight.
-    /// Requests rejected up front count nowhere.
+    /// fenced the moving range): started = applied + failed + in flight,
+    /// per kind. Requests rejected up front count nowhere.
     uint64_t splits_started = 0;
     /// Splits whose epoch installed (handoff live at Phase I).
     uint64_t splits_applied = 0;
-    /// Splits whose lazy handoff certificate landed (Phase II).
+    /// Splits whose lazy handoff certificate landed (Phase II) —
+    /// tracked per migration sequence, so back-to-back migrations each
+    /// certify their own report.
     uint64_t splits_certified = 0;
-    /// Applied splits whose lazy certification later FAILED (the epoch
-    /// is live but the handoff's trust chain did not close).
-    uint64_t certify_failures = 0;
     /// Migrations aborted mid-flight (lying source, failed import).
     uint64_t splits_failed = 0;
+    /// The merge-direction counterparts.
+    uint64_t merges_started = 0;
+    uint64_t merges_applied = 0;
+    uint64_t merges_certified = 0;
+    uint64_t merges_failed = 0;
+    /// Applied migrations whose lazy certification later FAILED (the
+    /// epoch is live but the handoff's trust chain did not close).
+    uint64_t certify_failures = 0;
     uint64_t pairs_migrated = 0;
   };
 
@@ -144,14 +179,46 @@ class ReshardingCoordinator {
   /// that aborted the split, with ownership unchanged).
   void SplitShard(size_t source, SplitCb done);
 
+  /// The inverse migration: folds `source`'s widest slice into the
+  /// adjacent surviving shard (OwnershipTable::MergePlanFor), through
+  /// the same fence → drain → verified export → import → epoch-install
+  /// machinery. When the merged slice was the source's last, the slot
+  /// returns to the idle pool for the next split. Same single-migration
+  /// and failure contract as SplitShard.
+  void MergeShards(size_t source, SplitCb done);
+
   bool migration_in_flight() const { return in_flight_; }
   const Stats& stats() const { return stats_; }
-  /// The most recent applied split (certified flips asynchronously when
-  /// the handoff certificate lands). Default object before the first.
-  const SplitReport& last_split() const { return last_split_; }
+  /// The most recent applied migration (certified flips asynchronously
+  /// when its handoff certificate lands). Default object before the
+  /// first.
+  const MigrationReport& last_split() const {
+    return applied_.empty() ? none_ : applied_.rbegin()->second;
+  }
+  /// Applied migrations by sequence number, each with its own lazy
+  /// certification state — the observable trust chain of the shard
+  /// lifecycle (aborted migrations never appear here). Bounded: once
+  /// more than kMaxAppliedReports accumulate, the oldest *finalized*
+  /// (certified or certify-failed) reports are pruned, so an
+  /// auto-balanced store cycling split→merge forever holds a window,
+  /// not an unbounded log; a still-pending certificate is never pruned
+  /// out from under its callback.
+  const std::map<uint64_t, MigrationReport>& applied_migrations() const {
+    return applied_;
+  }
+  static constexpr size_t kMaxAppliedReports = 64;
 
  private:
-  void Abort(const Status& why, SimTime now, const SplitCb& done);
+  /// Runs the shared fence → drain → export → import → install machinery
+  /// for a migration of [lo, hi] from `source` to `dest`; `install`
+  /// mutates the ownership table at the handoff point.
+  void RunMigration(MigrationKind kind, size_t source, size_t dest, Key lo,
+                    Key hi,
+                    std::function<Result<OwnershipEpoch>()> install,
+                    SplitCb done);
+  void Abort(MigrationKind kind, const Status& why, SimTime now,
+             const SplitCb& done);
+  void RecordCertificate(uint64_t seq, const Status& status, SimTime at);
 
   Simulation* sim_;
   std::shared_ptr<OwnershipTable> table_;
@@ -159,12 +226,13 @@ class ReshardingCoordinator {
   ReshardingConfig config_;
 
   bool in_flight_ = false;
-  /// Monotonic id per SplitShard attempt, and the id of the attempt that
-  /// produced last_split_ — so a certify callback from an aborted or
-  /// superseded attempt cannot mark the wrong split certified.
+  /// Monotonic id per migration attempt; applied migrations keep their
+  /// report in applied_ keyed by it, so a lazy certificate landing after
+  /// later migrations have superseded the attempt still finalizes the
+  /// right report (and the right counter) instead of being dropped.
   uint64_t split_seq_ = 0;
-  uint64_t applied_seq_ = 0;
-  SplitReport last_split_;
+  std::map<uint64_t, MigrationReport> applied_;
+  MigrationReport none_;
   Stats stats_;
 };
 

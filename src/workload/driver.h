@@ -76,6 +76,18 @@ class ClosedLoopDriver {
 
  private:
   Key NextKey() {
+    if (spec_.hot_range != nullptr && spec_.hot_range_fraction > 0) {
+      // The shared range is read per draw, so a mid-run MoveTo shifts
+      // every driver's hotspot from its next key on. Per the
+      // WorkloadSpec contract the range takes precedence over the
+      // hot-shard skew, and the residual is uniform over the whole key
+      // space.
+      const HotRange& r = *spec_.hot_range;
+      if (rng_.NextBool(spec_.hot_range_fraction) && r.lo <= r.hi) {
+        return r.lo + rng_.NextBelow(r.hi - r.lo + 1);
+      }
+      return keys_.Next();
+    }
     if (hot_.has_value()) return hot_->Next();
     return spec_.zipf_theta > 0 ? zipf_.Next() : keys_.Next();
   }

@@ -3,12 +3,29 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "lsmerkle/kv.h"
 
 namespace wedge {
+
+/// A mutable hotspot shared by every driver of a run: `hot_fraction` of
+/// the traffic draws uniformly from [lo, hi], the rest from the whole
+/// key space. The bench (or a mid-run hook) moves the range while the
+/// drivers are live — the shifting-hotspot adversary the autonomous
+/// shard lifecycle exists for (fig10).
+struct HotRange {
+  Key lo = 0;
+  Key hi = 0;
+
+  void MoveTo(Key new_lo, Key new_hi) {
+    lo = new_lo;
+    hi = new_hi;
+  }
+};
 
 struct WorkloadSpec {
   /// Fraction of operations that are interactive reads; writes are
@@ -28,6 +45,14 @@ struct WorkloadSpec {
   /// 0 = balanced (no hot-shard skew). Ignored on unsharded stores.
   double hot_shard_fraction = 0.0;
   size_t hot_shard = 0;
+  /// Key-range hotspot (ownership-agnostic, unlike hot_shard): with a
+  /// range set and hot_range_fraction > 0, that fraction of the traffic
+  /// draws uniformly from [hot_range->lo, hot_range->hi], the rest from
+  /// the whole key space. The range is shared and mutable, so the run
+  /// can shift the hotspot mid-flight. Takes precedence over the
+  /// hot-shard skew when both are set.
+  std::shared_ptr<HotRange> hot_range;
+  double hot_range_fraction = 0.0;
   /// Sharded writer ergonomics: the router splits every batch per owning
   /// shard, so a fixed batch split n ways under-fills every edge's block
   /// and pays the partial-flush delay in Phase I latency. With this on

@@ -114,6 +114,65 @@ TEST(OwnershipTableTest, OwnedFractionsFollowSplits) {
   EXPECT_NEAR(f2[0] + f2[2], f1[0], 1e-9);
 }
 
+// ----------------------------------------------------- merge installation
+
+TEST(OwnershipTableTest, MergePlanPrefersTheLeftNeighbour) {
+  OwnershipTable table(Partitioner::Range(2, 1000), 4);
+  ASSERT_TRUE(table.InstallSplit(0, 2, 250).ok());
+  // Slices: [0,249]@0, [250,499]@2, [500,max]@1.
+  const auto plan2 = table.MergePlanFor(2);
+  ASSERT_TRUE(plan2.has_value());
+  EXPECT_EQ(plan2->survivor, 0u);  // left neighbour wins over right
+  EXPECT_EQ(plan2->slice, (OwnedSlice{250, 499, 2}));
+  // The first slice has no left neighbour: the right one absorbs it.
+  const auto plan0 = table.MergePlanFor(0);
+  ASSERT_TRUE(plan0.has_value());
+  EXPECT_EQ(plan0->survivor, 2u);
+  // Idle slots and hash tables have no plan.
+  EXPECT_FALSE(table.MergePlanFor(3).has_value());
+  OwnershipTable hash(Partitioner::Hash(4), 4);
+  EXPECT_FALSE(hash.MergePlanFor(0).has_value());
+  // A shard owning the whole domain has no neighbour to absorb it.
+  OwnershipTable whole(Partitioner::Range(1, 1000), 2);
+  EXPECT_FALSE(whole.MergePlanFor(0).has_value());
+}
+
+TEST(OwnershipTableTest, InstallMergeCoalescesAndFreesTheSlot) {
+  OwnershipTable table(Partitioner::Range(2, 1000), 4);
+  ASSERT_TRUE(table.InstallSplit(0, 2, 250).ok());
+  ASSERT_EQ(table.LiveShards(), 3u);
+  ASSERT_EQ(table.FirstIdleShard().value(), 3u);
+
+  auto e = table.InstallMerge(2, 0, 250, 499);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(*e, 3u);
+  EXPECT_EQ(table.epoch(), 3u);
+  // The survivor's slice re-coalesced to the pre-split shape and the
+  // absorbed slot is idle again — the next split's destination.
+  const auto slices = table.Slices(3);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], (OwnedSlice{0, 499, 0}));
+  EXPECT_EQ(table.LiveShards(), 2u);
+  EXPECT_EQ(table.FirstIdleShard().value(), 2u);
+  // Every historical epoch stays queryable: epoch 2 still names the
+  // absorbed slot as the owner of the merged range.
+  EXPECT_EQ(table.ShardOf(300, 2), 2u);
+  EXPECT_EQ(table.ShardOf(300, 3), 0u);
+  EXPECT_EQ(table.ShardOf(300), 0u);
+
+  // Degenerate merges are refused with ownership unchanged.
+  EXPECT_FALSE(table.InstallMerge(0, 0, 0, 499).ok());    // source == survivor
+  EXPECT_FALSE(table.InstallMerge(0, 1, 0, 300).ok());    // not a whole slice
+  EXPECT_FALSE(table.InstallMerge(3, 0, 500, 900).ok());  // idle source
+  EXPECT_EQ(table.epoch(), 3u);
+  // Non-adjacent survivor: [0,499]@0 and the tail's owner 1 are
+  // adjacent here, so split first to create a non-adjacent pair.
+  ASSERT_TRUE(table.InstallSplit(1, 2, 750).ok());
+  // Slices: [0,499]@0, [500,749]@1, [750,max]@2. 0 and 2 not adjacent.
+  EXPECT_TRUE(
+      table.InstallMerge(2, 0, 750, kMaxKey).status().IsFailedPrecondition());
+}
+
 // ------------------------------------------------- façade split round trip
 
 StoreOptions ReshardOptions(BackendKind kind) {
@@ -399,6 +458,16 @@ TEST(ReshardingStoreTest, OpenRejectsUnusableReshardingConfigs) {
     o.WithDrainDelay(10 * kMillisecond);  // < 2x 50ms partial flush
     EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
   }
+  {
+    // The drain floor binds merge-capable configs too: two live range
+    // shards with no spare slot can still MergeShards, so a tiny drain
+    // is just as unsafe without any split capacity.
+    StoreOptions o;
+    o.WithOpsPerBlock(4)
+        .WithShards(2, ShardScheme::kRange, 1000)
+        .WithDrainDelay(10 * kMillisecond);
+    EXPECT_TRUE(Store::Open(o).status().IsInvalidArgument());
+  }
 }
 
 // Without a range_span there is no sane split point inside a slice that
@@ -460,6 +529,121 @@ TEST(ReshardingStoreTest, EmptyRangeSplitReportsCertified) {
   EXPECT_TRUE(store.resharding()->last_split().certified);
   EXPECT_EQ(store.resharding()->stats().splits_certified, 1u);
   EXPECT_EQ(store.ownership_epoch(), 2u);
+}
+
+// ------------------------------------------------- façade merge round trip
+
+// The merge mirror of SplitPreservesClientVisibleResults: the identical
+// key set reads identically before, during (handoff certificate still
+// lazy), and after a verified merge, on every backend.
+TEST_P(ReshardingStoreTest, MergePreservesClientVisibleResults) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<Key> keys;
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 0; k < 1000; k += 50) {
+    keys.push_back(k);
+    kvs.emplace_back(k, Val(2));
+  }
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+
+  // Split first so there is a split-born slot to merge away.
+  ASSERT_TRUE(store.SplitShard(0).ok());
+  store.RunFor(2 * kSecond);
+  const Visible before = Snapshot(store, keys, 0, 999);
+  ASSERT_EQ(before.scan.size(), keys.size());
+
+  auto report = store.MergeShards(2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->kind, MigrationKind::kMerge);
+  EXPECT_EQ(report->epoch, 3u);
+  EXPECT_EQ(report->source, 2u);
+  EXPECT_EQ(report->dest, 0u);
+  EXPECT_EQ(report->moved_lo, 250u);
+  EXPECT_EQ(report->moved_hi, 499u);
+  EXPECT_GT(report->pairs_moved, 0u);
+  EXPECT_EQ(store.ownership_epoch(), 3u);
+  EXPECT_EQ(store.ownership()->LiveShards(), 2u);
+  // The absorbed slot went back to the idle pool.
+  EXPECT_EQ(store.ownership()->FirstIdleShard().value(), 2u);
+
+  // "During": the merge's handoff certificate is still lazy — results
+  // must already be identical at Phase-I trust.
+  const Visible during = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(during.gets, before.gets);
+  EXPECT_EQ(during.scan, before.scan);
+
+  store.RunFor(2 * kSecond);  // let the handoff certificate land
+  ASSERT_NE(store.resharding(), nullptr);
+  EXPECT_TRUE(store.resharding()->last_split().certified)
+      << "lazy merge handoff certificate never landed";
+  EXPECT_EQ(store.resharding()->stats().merges_applied, 1u);
+  EXPECT_EQ(store.resharding()->stats().merges_certified, 1u);
+
+  const Visible after = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(after.gets, before.gets);
+  EXPECT_EQ(after.scan, before.scan);
+
+  // New writes to the merged-away range land on (and read from) the
+  // surviving neighbour.
+  ASSERT_TRUE(store.PutBatch({{300, Val(9)}, {310, Val(9)}, {320, Val(9)},
+                              {330, Val(9)}})
+                  .WaitPhase2()
+                  .ok());
+  auto got = store.Get(300);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(9));
+}
+
+// The full lifecycle inside a fixed capacity: split twice to exhaustion,
+// merge a cooled shard, and the freed slot hosts the next split — the
+// slot economy that keeps WithShardCapacity sufficient forever.
+TEST_P(ReshardingStoreTest, SplitMergeSplitCycleReusesTheFreedSlot) {
+  auto opened = Store::Open(ReshardOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<Key> keys;
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 5; k < 1000; k += 40) {
+    keys.push_back(k);
+    kvs.emplace_back(k, Val(3));
+  }
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(kSecond);
+  const Visible before = Snapshot(store, keys, 0, 999);
+
+  ASSERT_TRUE(store.SplitShard(0).ok());  // dest 2
+  ASSERT_TRUE(store.SplitShard(1).ok());  // dest 3
+  // Capacity exhausted: the next split has no slot...
+  ASSERT_TRUE(store.SplitShard(0).status().IsFailedPrecondition());
+  // ...until a merge reclaims one.
+  auto merged = store.MergeShards(2);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(store.ownership()->FirstIdleShard().value(), 2u);
+  auto resplit = store.SplitShard(1);
+  ASSERT_TRUE(resplit.ok()) << resplit.status();
+  EXPECT_EQ(resplit->dest, 2u) << "the freed slot must host the re-split";
+  EXPECT_EQ(store.ownership_epoch(), 5u);
+
+  store.RunFor(2 * kSecond);
+  const Visible after = Snapshot(store, keys, 0, 999);
+  EXPECT_EQ(after.gets, before.gets);
+  EXPECT_EQ(after.scan, before.scan);
+
+  // Every applied migration kept its own certified report.
+  ASSERT_NE(store.resharding(), nullptr);
+  const auto& applied = store.resharding()->applied_migrations();
+  EXPECT_EQ(applied.size(), 4u);
+  for (const auto& [seq, r] : applied) {
+    EXPECT_TRUE(r.certified || r.pairs_moved == 0)
+        << MigrationKindToString(r.kind) << " seq " << seq
+        << " never certified";
+    EXPECT_FALSE(r.certify_failed);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -531,6 +715,205 @@ TEST(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
   store.backend().PutBatch(0, {{270, Val(9)}}, nullptr, nullptr);
   EXPECT_EQ(store.router_stats()->writes_parked, 1u)
       << "the aborted migration must not leave its fence behind";
+}
+
+// A merge source that truncates its export fails the merge the same way
+// a lying split source fails the split: SecurityViolation, ownership
+// unchanged, punishment, fence lifted.
+TEST(ReshardingSecurityTest, TamperingSourceFailsTheMerge) {
+  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+  o.WithLsm({2, 2, 8}, 4);  // small pages: the export spans page runs
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 250; k < 500; k += 5) kvs.emplace_back(k, Val(8));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+  store.RunFor(5 * kSecond);  // merge into paged levels
+
+  // A clean split seeds slot 2 with [250, 499]; then that slot starts
+  // lying when asked to export it back.
+  ASSERT_TRUE(store.SplitShard(0).ok());
+  store.RunFor(2 * kSecond);
+  store.wedge().edge(2).misbehavior().truncate_scans = true;
+
+  auto merged = store.MergeShards(2);
+  EXPECT_TRUE(merged.status().IsSecurityViolation())
+      << "a lying merge source must fail as SecurityViolation, got "
+      << merged.status();
+  EXPECT_EQ(store.ownership_epoch(), 2u) << "ownership must not change";
+  ASSERT_NE(store.resharding(), nullptr);
+  EXPECT_EQ(store.resharding()->stats().merges_failed, 1u);
+  EXPECT_EQ(store.resharding()->stats().merges_applied, 0u);
+
+  // The dispute travels to the cloud asynchronously; give it time.
+  store.RunFor(2 * kSecond);
+  Deployment& d = store.wedge();
+  EXPECT_TRUE(d.authority().IsPunished(d.edge(2).id()))
+      << "the tampering merge source must be punished";
+
+  // Honest shards keep serving (the lying edge still owns [250, 499];
+  // shard 1's range is untouched), and the aborted merge left no fence:
+  // a write into the formerly moving range routes, not parks.
+  auto other = store.Get(700);
+  ASSERT_TRUE(other.ok()) << other.status();
+  const uint64_t parked = store.router_stats()->writes_parked;
+  store.backend().PutBatch(0, {{260, Val(9)}}, nullptr, nullptr);
+  EXPECT_EQ(store.router_stats()->writes_parked, parked)
+      << "the aborted merge must not leave its fence behind";
+}
+
+// -------------------------------------------------- bugfix regressions
+
+// A certificate for a migration that later migrations superseded must
+// still finalize its own report (the seq != applied_seq_ guard used to
+// drop it, permanently under-counting splits_certified). Driven through
+// a fake host so the certificate's arrival order is exact.
+class ManualHost : public ShardMigrationHost {
+ public:
+  void ExportRange(size_t, Key lo, Key hi, ExportCb cb) override {
+    std::vector<KvPair> pairs;
+    pairs.push_back(KvPair{lo, Bytes(4, 0x1), 1});
+    pairs.push_back(KvPair{hi, Bytes(4, 0x1), 1});
+    cb(Status::OK(), std::move(pairs), 0);
+  }
+  void ImportPairs(size_t, std::vector<KvPair>, PhaseCb applied,
+                   PhaseCb certified) override {
+    applied(Status::OK(), 0);
+    held_certs.push_back(std::move(certified));  // land them by hand
+  }
+  void FenceRange(Key, Key) override {}
+  void LiftFence() override {}
+  void OnEpochInstalled(const MigrationReport&) override {}
+
+  std::vector<PhaseCb> held_certs;
+};
+
+TEST(ReshardingCoordinatorTest, LateCertificateLandsOnItsOwnMigration) {
+  Simulation sim;
+  auto table = std::make_shared<OwnershipTable>(Partitioner::Range(2, 1000), 4);
+  ManualHost host;
+  ReshardingCoordinator coord(&sim, table, &host, ReshardingConfig{});
+
+  Status s1, s2;
+  coord.SplitShard(0, [&](const Status& s, const MigrationReport&, SimTime) {
+    s1 = s;
+  });
+  sim.Run();
+  ASSERT_TRUE(s1.ok()) << s1;
+  coord.SplitShard(1, [&](const Status& s, const MigrationReport&, SimTime) {
+    s2 = s;
+  });
+  sim.Run();
+  ASSERT_TRUE(s2.ok()) << s2;
+  ASSERT_EQ(host.held_certs.size(), 2u);
+  EXPECT_EQ(coord.stats().splits_applied, 2u);
+  EXPECT_EQ(coord.stats().splits_certified, 0u);
+
+  // The FIRST migration's certificate lands after the second has long
+  // been applied: it must finalize migration #1, not be dropped.
+  host.held_certs[0](Status::OK(), 10);
+  EXPECT_EQ(coord.stats().splits_certified, 1u);
+  ASSERT_EQ(coord.applied_migrations().size(), 2u);
+  EXPECT_TRUE(coord.applied_migrations().begin()->second.certified)
+      << "the superseded migration's lazy trust chain must still close";
+  EXPECT_FALSE(coord.last_split().certified);
+
+  host.held_certs[1](Status::OK(), 11);
+  EXPECT_EQ(coord.stats().splits_certified, 2u);
+  EXPECT_TRUE(coord.last_split().certified);
+
+  // A failing late certificate surfaces on its own report too.
+  Status s3;
+  coord.MergeShards(2, [&](const Status& s, const MigrationReport&, SimTime) {
+    s3 = s;
+  });
+  sim.Run();
+  ASSERT_TRUE(s3.ok()) << s3;
+  ASSERT_EQ(host.held_certs.size(), 3u);
+  host.held_certs[2](Status::SecurityViolation("bad handoff"), 12);
+  EXPECT_EQ(coord.stats().certify_failures, 1u);
+  EXPECT_TRUE(coord.last_split().certify_failed);
+  EXPECT_EQ(coord.stats().merges_certified, 0u);
+}
+
+// A Scan whose slice set is empty (an inverted range reaching the
+// router directly) must still answer — the fan-out join used to start
+// at waiting == 0 and never invoke the callback, hanging any
+// pump-to-completion caller.
+TEST(RouterRegressionTest, EmptySliceScanStillAnswers) {
+  auto opened = Store::Open(ReshardOptions(BackendKind::kWedge));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  ASSERT_TRUE(store.Put(10, Val(1)).WaitPhase1().ok());
+
+  bool answered = false;
+  store.backend().Scan(0, /*lo=*/500, /*hi=*/100,
+                       [&](const Status& s, ScanResult r, SimTime) {
+                         EXPECT_TRUE(s.ok()) << s;
+                         EXPECT_TRUE(r.pairs.empty());
+                         EXPECT_TRUE(r.verified);
+                         answered = true;
+                       });
+  store.RunFor(kSecond);
+  EXPECT_TRUE(answered)
+      << "an empty slice set must produce an empty verified result, "
+         "not a hang";
+}
+
+// A write batch that falls entirely inside a migration fence used to
+// bypass RouteKey: the client's epoch view was never refreshed on the
+// parking path, and the parked keys joined the heat window only at
+// flush. Parking must refresh the epoch immediately and the flush must
+// attribute the keys to the owner they commit on.
+TEST(RouterRegressionTest, FullyFencedBatchRefreshesTheClientEpoch) {
+  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+  o.WithClients(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(store.PutBatch({{760, Val(1)}, {770, Val(1)}, {780, Val(1)},
+                              {790, Val(1)}})
+                  .WaitPhase2()
+                  .ok());
+  store.RunFor(kSecond);
+  // Client 1 last observed epoch 1; the first split moves it to 2
+  // without client 1 hearing about it.
+  ASSERT_TRUE(store.Get(760, /*client=*/1).ok());
+  ASSERT_TRUE(store.SplitShard(0).ok());
+
+  // Second migration: shard 1's upper half [750, 999] is fenced while
+  // the split drains.
+  bool split_done = false;
+  store.backend().SplitShard(
+      1, [&](const Status& s, const SplitReport&, SimTime) {
+        EXPECT_TRUE(s.ok()) << s;
+        split_done = true;
+      });
+
+  const RouterStats* stats = store.router_stats();
+  ASSERT_NE(stats, nullptr);
+  const uint64_t refreshes = stats->epoch_refreshes;
+  // Client 1's batch falls entirely inside the fence: it parks, and the
+  // parking path itself must refresh the stale epoch view.
+  store.backend().PutBatch(1, {{800, Val(7)}}, nullptr, nullptr);
+  EXPECT_EQ(stats->writes_parked, 1u);
+  EXPECT_GT(stats->epoch_refreshes, refreshes)
+      << "a fully-fenced batch must still refresh the client's epoch";
+
+  store.RunFor(2 * kSecond);
+  ASSERT_TRUE(split_done);
+  // At flush the parked key was routed under the new epoch and counted
+  // into the new owner's heat window (the window reset at install, so
+  // the flushed write is its first entry).
+  const size_t owner = store.ownership()->ShardOf(800);
+  EXPECT_GE(stats->ops_per_shard[owner], 1u)
+      << "parked keys must join the heat window when they flush";
+  auto got = store.Get(800);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(7));
 }
 
 // ------------------------------------------ verifier caches across epochs
