@@ -166,8 +166,10 @@ void AppendJson(const std::string& path, const Point& p) {
     std::fprintf(stderr, "fig10_autobalance: cannot open %s\n", path.c_str());
     return;
   }
+  std::fprintf(f, "{");
+  AppendRuntimeStampJson(f);
   std::fprintf(f,
-               "{\"bench\": \"fig10_autobalance\", \"panel\": \"%s\", "
+               "\"bench\": \"fig10_autobalance\", \"panel\": \"%s\", "
                "\"backend\": \"wedge\", \"kops\": %.3f, \"read_ms\": %.3f, "
                "\"post_shift_read_kops\": %.3f, \"epoch\": %llu, "
                "\"live_shards\": %llu, \"auto_splits\": %llu, "

@@ -1,0 +1,276 @@
+// Figure 11 (extension, not in the paper): the fig8 sharding sweep
+// re-run on ThreadedRuntime — real threads, wall-clock time, real
+// crypto, no cost model.
+//
+// Where every other bench drives closed-loop clients in virtual time
+// through the deterministic simulator, this one opens the Store with
+// WithRuntime(RuntimeKind::kThreaded) and drives it from one OS thread
+// per logical client, calling the synchronous façade ops in a closed
+// loop against edges running on their own worker threads. The numbers
+// are therefore a different physical quantity than fig8's — wall
+// microseconds of real SHA-256/HMAC and scheduling, not modeled
+// virtual microseconds — which is exactly why every JSON record is
+// stamped runtime=threaded / time_unit=wall_us (and fig8's sim
+// records virtual_us): the two sweeps share a shape, never a unit.
+//
+// Usage:
+//   fig11_runtime [--smoke] [--json PATH]
+//     --smoke  4-edge wedge-only point with a small workload (CI).
+//     --json   append one JSON line per (backend, edges) point to PATH.
+
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/store.h"
+#include "bench/harness/table.h"
+
+using namespace wedge;
+
+namespace {
+
+struct BenchConfig {
+  size_t clients = 4;
+  size_t write_batch = 8;  // == ops_per_block: one batch forms one block
+  double read_fraction = 0.9;
+  uint64_t key_space = 20000;
+  size_t preload_keys = 2000;
+  std::chrono::milliseconds warmup{500};
+  std::chrono::milliseconds measure{3000};
+};
+
+/// Latencies one driver thread observed inside the measure window.
+struct DriverMetrics {
+  std::vector<uint64_t> read_us;
+  std::vector<uint64_t> write_us;
+  uint64_t errors = 0;
+};
+
+struct Point {
+  std::string backend;
+  size_t edges = 0;
+  size_t clients = 0;
+  double kops = 0;
+  double read_ms = 0;
+  double read_p99_ms = 0;
+  double write_ms = 0;
+  double measure_ms = 0;
+  uint64_t errors = 0;
+};
+
+uint64_t Percentile(std::vector<uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  const size_t idx = std::min(v.size() - 1,
+                              static_cast<size_t>(p * (v.size() - 1)));
+  std::nth_element(v.begin(), v.begin() + idx, v.end());
+  return v[idx];
+}
+
+double MeanMs(const std::vector<uint64_t>& v) {
+  if (v.empty()) return 0;
+  uint64_t sum = 0;
+  for (uint64_t x : v) sum += x;
+  return static_cast<double>(sum) / static_cast<double>(v.size()) / 1000.0;
+}
+
+/// One logical client's closed loop: reads and batched writes against
+/// its own client node, latencies recorded only while `phase` says the
+/// measure window is open. Runs on its own OS thread — the "driver" —
+/// while the client/edge/cloud nodes it talks to run on the runtime's
+/// workers.
+void DriveClient(Store& store, size_t client, const BenchConfig& cfg,
+                 const std::atomic<int>& phase, DriverMetrics& out) {
+  std::mt19937_64 rng(0x5eed + client);
+  std::uniform_int_distribution<uint64_t> key_of(0, cfg.key_space - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const Bytes value(16, static_cast<uint8_t>(client));
+
+  while (phase.load(std::memory_order_acquire) < 2) {
+    const bool is_read = coin(rng) < cfg.read_fraction;
+    const auto start = std::chrono::steady_clock::now();
+    bool ok;
+    if (is_read) {
+      ok = store.Get(key_of(rng), client).ok();
+    } else {
+      std::vector<std::pair<Key, Bytes>> kvs;
+      kvs.reserve(cfg.write_batch);
+      for (size_t i = 0; i < cfg.write_batch; ++i) {
+        kvs.emplace_back(key_of(rng), value);
+      }
+      // Phase I is the commit the paper's lazy contract acks at (the
+      // baselines collapse both phases into this same wait).
+      ok = store.PutBatch(kvs, client).WaitPhase1().ok();
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (phase.load(std::memory_order_acquire) == 1) {
+      if (!ok) {
+        out.errors++;
+      } else if (is_read) {
+        out.read_us.push_back(static_cast<uint64_t>(us));
+      } else {
+        out.write_us.push_back(static_cast<uint64_t>(us));
+      }
+    }
+  }
+}
+
+Point RunPoint(BackendKind kind, size_t edges, const BenchConfig& cfg) {
+  StoreOptions o;
+  o.WithBackend(kind)
+      .WithRuntime(RuntimeKind::kThreaded)
+      .WithSeed(1)
+      .WithClients(cfg.clients)
+      .WithShards(edges)
+      .WithOpsPerBlock(cfg.write_batch)
+      .WithLsm({10, 10, 100}, 50)
+      .WithProofTimeout(10 * kSecond)
+      .WithOpTimeout(30 * kSecond);
+
+  auto opened = Store::Open(o);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "fig11_runtime: Open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  Store store = std::move(*opened);
+
+  // Preload sequentially through client 0; the last batch waits for
+  // Phase II so measurement starts from a settled, certified store.
+  std::vector<std::pair<Key, Bytes>> batch;
+  for (Key k = 0; k < cfg.preload_keys; ++k) {
+    batch.emplace_back(k, Bytes(16, 0x11));
+    if (batch.size() == cfg.write_batch) {
+      const bool last = k + 1 >= cfg.preload_keys;
+      auto commit = last ? store.PutBatch(batch).WaitPhase2()
+                         : store.PutBatch(batch).WaitPhase1();
+      if (!commit.ok()) {
+        std::fprintf(stderr, "fig11_runtime: preload failed: %s\n",
+                     commit.status().ToString().c_str());
+        std::exit(1);
+      }
+      batch.clear();
+    }
+  }
+
+  // 0 = warmup, 1 = measuring, 2 = stop.
+  std::atomic<int> phase{0};
+  std::vector<DriverMetrics> metrics(cfg.clients);
+  std::vector<std::thread> drivers;
+  drivers.reserve(cfg.clients);
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    drivers.emplace_back([&store, c, &cfg, &phase, &metrics] {
+      DriveClient(store, c, cfg, phase, metrics[c]);
+    });
+  }
+
+  std::this_thread::sleep_for(cfg.warmup);
+  const auto t0 = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(cfg.measure);
+  phase.store(2, std::memory_order_release);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& t : drivers) t.join();
+
+  std::vector<uint64_t> reads, writes;
+  uint64_t errors = 0;
+  for (auto& m : metrics) {
+    reads.insert(reads.end(), m.read_us.begin(), m.read_us.end());
+    writes.insert(writes.end(), m.write_us.begin(), m.write_us.end());
+    errors += m.errors;
+  }
+
+  Point p;
+  p.backend = std::string(BackendKindToString(kind));
+  p.edges = edges;
+  p.clients = cfg.clients;
+  p.measure_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  p.kops = static_cast<double>(reads.size() + writes.size()) /
+           p.measure_ms;  // ops per wall-ms == K ops per wall-second
+  p.read_ms = MeanMs(reads);
+  p.write_ms = MeanMs(writes);
+  p.read_p99_ms = static_cast<double>(Percentile(reads, 0.99)) / 1000.0;
+  p.errors = errors;
+  return p;
+}
+
+void AppendJson(const std::string& path, const Point& p) {
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig11_runtime: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{");
+  AppendRuntimeStampJson(f, RuntimeKind::kThreaded);
+  std::fprintf(f,
+               "\"bench\": \"fig11_runtime\", \"panel\": \"sweep\", "
+               "\"backend\": \"%s\", \"edges\": %zu, \"clients\": %zu, "
+               "\"kops\": %.3f, \"read_ms\": %.3f, \"read_p99_ms\": %.3f, "
+               "\"write_ms\": %.3f, \"measure_ms\": %.1f, \"errors\": %llu}\n",
+               p.backend.c_str(), p.edges, p.clients, p.kops, p.read_ms,
+               p.read_p99_ms, p.write_ms, p.measure_ms,
+               static_cast<unsigned long long>(p.errors));
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json = argv[++i];
+  }
+
+  BenchConfig cfg;
+  if (smoke) {
+    cfg.clients = 2;
+    cfg.preload_keys = 400;
+    cfg.warmup = std::chrono::milliseconds(200);
+    cfg.measure = std::chrono::milliseconds(1000);
+  }
+
+  Banner(smoke ? "Fig 11: threaded runtime, 4 edges (smoke)"
+               : "Fig 11: threaded runtime, 1 -> 8 edges (wall-clock)");
+  TablePrinter t({"system", "edges", "kops", "read_ms", "p99_ms", "write_ms",
+                  "errors"},
+                 11);
+  t.PrintHeader();
+
+  const std::vector<size_t> sweep =
+      smoke ? std::vector<size_t>{4} : std::vector<size_t>{1, 2, 4, 8};
+  uint64_t total_errors = 0;
+  uint64_t total_ops = 0;
+  for (size_t edges : sweep) {
+    for (BackendKind kind : kAllBackends) {
+      if (smoke && kind != BackendKind::kWedge) continue;
+      Point p = RunPoint(kind, edges, cfg);
+      t.PrintRow({p.backend, std::to_string(p.edges), Fmt(p.kops, 2),
+                  Fmt(p.read_ms, 3), Fmt(p.read_p99_ms, 3),
+                  Fmt(p.write_ms, 3), std::to_string(p.errors)});
+      AppendJson(json, p);
+      total_errors += p.errors;
+      total_ops += static_cast<uint64_t>(p.kops * p.measure_ms);
+    }
+  }
+  if (total_ops == 0) {
+    std::fprintf(stderr, "fig11_runtime: no operations completed\n");
+    return 1;
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "fig11_runtime: %llu operations failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  return 0;
+}

@@ -71,8 +71,10 @@ void AppendJson(const std::string& path, const Point& p) {
     std::fprintf(stderr, "fig8_sharding: cannot open %s\n", path.c_str());
     return;
   }
+  std::fprintf(f, "{");
+  AppendRuntimeStampJson(f);
   std::fprintf(f,
-               "{\"bench\": \"fig8_sharding\", \"panel\": \"%s\", "
+               "\"bench\": \"fig8_sharding\", \"panel\": \"%s\", "
                "\"backend\": \"%s\", \"edges\": %zu, \"kops\": %.3f, "
                "\"read_ms\": %.3f, \"write_ms\": %.3f, ",
                p.panel.c_str(), p.backend.c_str(), p.edges, p.kops, p.read_ms,

@@ -114,8 +114,10 @@ void AppendJson(const std::string& path, const Point& p) {
     std::fprintf(stderr, "fig9_resharding: cannot open %s\n", path.c_str());
     return;
   }
+  std::fprintf(f, "{");
+  AppendRuntimeStampJson(f);
   std::fprintf(f,
-               "{\"bench\": \"fig9_resharding\", \"panel\": \"%s\", "
+               "\"bench\": \"fig9_resharding\", \"panel\": \"%s\", "
                "\"backend\": \"wedge\", \"kops\": %.3f, \"read_ms\": %.3f, "
                "\"post_split_read_kops\": %.3f, \"epoch\": %llu, "
                "\"pairs_moved\": %llu, \"writes_parked\": %llu, ",

@@ -9,9 +9,23 @@
 #include <string>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "workload/workload.h"
 
 namespace wedge {
+
+/// Stamps a JSON-lines record with the runtime that produced it and the
+/// meaning of its time unit ("virtual_us" under the simulator, "wall_us"
+/// under threads), so numbers from the two runtimes cannot be silently
+/// compared apples-to-oranges. Call right after the opening brace.
+inline void AppendRuntimeStampJson(FILE* f,
+                                   RuntimeKind kind = RuntimeKind::kSim) {
+  const std::string_view runtime = RuntimeKindToString(kind);
+  const std::string_view unit = RuntimeTimeUnit(kind);
+  std::fprintf(f, "\"runtime\": \"%.*s\", \"time_unit\": \"%.*s\", ",
+               static_cast<int>(runtime.size()), runtime.data(),
+               static_cast<int>(unit.size()), unit.data());
+}
 
 class TablePrinter {
  public:

@@ -2,9 +2,11 @@
 //
 // Each of the paper's three systems adapts its client API onto this
 // asynchronous interface; the Store turns it into synchronous Result<T>
-// calls and CommitHandles by pumping the simulator. The bench harness
-// drives the asynchronous form directly (closed-loop clients must not
-// block each other).
+// calls and CommitHandles by waiting on the deployment's runtime —
+// stepping the simulator under SimRuntime, blocking on a condition
+// variable under ThreadedRuntime. The bench harness drives the
+// asynchronous form directly (closed-loop clients must not block each
+// other).
 //
 // Commit contract: `on_phase1` fires at the commit the paper calls
 // Phase I (temporary, edge-local for WedgeChain); `on_phase2` at the
@@ -26,6 +28,7 @@
 #include "log/block.h"
 #include "lsmerkle/kv.h"
 #include "lsmerkle/verifier_cache.h"
+#include "runtime/runtime.h"
 
 namespace wedge {
 
@@ -134,6 +137,13 @@ class StoreBackend {
   /// Attaches every node to the network and starts timers/gossip.
   virtual void Start() = 0;
 
+  /// The runtime this backend's deployment executes on — the seam every
+  /// synchronous wait and clock read goes through, valid under both
+  /// SimRuntime and ThreadedRuntime.
+  virtual Runtime& runtime() = 0;
+
+  /// Sim-only accessors (deterministic tests, CostModel experiments);
+  /// abort under ThreadedRuntime. Runtime-neutral callers use runtime().
   virtual Simulation& sim() = 0;
   virtual SimNetwork& net() = 0;
   virtual size_t client_count() const = 0;
@@ -196,6 +206,14 @@ class StoreBackend {
   virtual const OwnershipTable* ownership() const { return nullptr; }
   virtual const ReshardingCoordinator* resharding() const { return nullptr; }
   virtual const RouterStats* router_stats() const { return nullptr; }
+  /// Value-copy of the routing counters, safe while worker threads are
+  /// routing concurrently (the ShardRouter override takes its stats
+  /// lock); zeroed on an unrouted store. Prefer this over the
+  /// router_stats() pointer anywhere a ThreadedRuntime may be live.
+  virtual RouterStats router_stats_snapshot() const {
+    const RouterStats* r = router_stats();
+    return r == nullptr ? RouterStats{} : *r;
+  }
   /// The autonomous lifecycle policy; null unless the store was opened
   /// with StoreOptions::WithAutoBalance.
   virtual const AutoBalancer* balancer() const { return nullptr; }

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "api/shard_router.h"
@@ -26,10 +27,15 @@ void StoreBackend::MultiGet(size_t client, const std::vector<Key>& keys,
   // Unrouted default: one shard holds everything, so the batch is N
   // concurrent point reads on the same client, gathered positionally.
   if (keys.empty()) {
-    if (cb) cb(Status::OK(), MultiGetResult{{}, sim().now()}, sim().now());
+    const SimTime now = runtime().Now();
+    if (cb) cb(Status::OK(), MultiGetResult{{}, now}, now);
     return;
   }
+  // Sub-reads of a routed batch complete on different shard executors
+  // under ThreadedRuntime, so the join is lock-protected; the final
+  // callback fires outside the lock.
   struct Join {
+    std::mutex mu;
     size_t waiting = 0;
     Status status;
     MultiGetResult out;
@@ -40,16 +46,23 @@ void StoreBackend::MultiGet(size_t client, const std::vector<Key>& keys,
   for (size_t i = 0; i < keys.size(); ++i) {
     Get(client, keys[i],
         [join, i, cb](const Status& st, GetResult r, SimTime t) {
-          MergeStatusBySeverity(&join->status, st);
-          join->out.at = std::max(join->out.at, t);
-          join->out.results[i] = std::move(r);
-          if (--join->waiting > 0) return;
+          Status status;
+          MultiGetResult out;
+          {
+            std::lock_guard<std::mutex> lock(join->mu);
+            MergeStatusBySeverity(&join->status, st);
+            join->out.at = std::max(join->out.at, t);
+            join->out.results[i] = std::move(r);
+            if (--join->waiting > 0) return;
+            status = join->status;
+            out = std::move(join->out);
+          }
           if (!cb) return;
-          if (!join->status.ok()) {
-            cb(join->status, MultiGetResult{}, join->out.at);
+          if (!status.ok()) {
+            cb(status, MultiGetResult{}, out.at);
           } else {
-            const SimTime at = join->out.at;
-            cb(join->status, std::move(join->out), at);
+            const SimTime at = out.at;
+            cb(status, std::move(out), at);
           }
         });
   }
@@ -60,7 +73,7 @@ void StoreBackend::SplitShard(size_t shard, SplitCb cb) {
   if (cb) {
     cb(Status::FailedPrecondition(
            "resharding needs a sharded store (StoreOptions::WithShards)"),
-       SplitReport{}, sim().now());
+       SplitReport{}, runtime().Now());
   }
 }
 
@@ -69,7 +82,7 @@ void StoreBackend::MergeShards(size_t shard, SplitCb cb) {
   if (cb) {
     cb(Status::FailedPrecondition(
            "resharding needs a sharded store (StoreOptions::WithShards)"),
-       SplitReport{}, sim().now());
+       SplitReport{}, runtime().Now());
   }
 }
 
@@ -77,7 +90,7 @@ void StoreBackend::Rebalance(SplitCb cb) {
   if (cb) {
     cb(Status::FailedPrecondition(
            "resharding needs a sharded store (StoreOptions::WithShards)"),
-       SplitReport{}, sim().now());
+       SplitReport{}, runtime().Now());
   }
 }
 
@@ -130,48 +143,67 @@ class WedgeBackend : public StoreBackend {
 
   BackendKind kind() const override { return BackendKind::kWedge; }
   void Start() override { d_.Start(); }
+  Runtime& runtime() override { return d_.runtime(); }
   Simulation& sim() override { return d_.sim(); }
   SimNetwork& net() override { return d_.net(); }
   size_t client_count() const override { return d_.client_count(); }
   Deployment* wedge() override { return &d_; }
 
+  // Every operation enters through Client::Invoke — the hop that puts
+  // the call on the client's own executor (inline under the simulator,
+  // posted to its worker under threads), so the client's state is only
+  // ever touched from its serialized executor. Captures are by value:
+  // the caller's stack is gone by the time a posted closure runs.
+
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override {
-    d_.client(client).PutBatch(kvs, std::move(on_phase1),
-                               std::move(on_phase2));
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, kvs, p1 = std::move(on_phase1),
+              p2 = std::move(on_phase2)]() mutable {
+      c.PutBatch(kvs, std::move(p1), std::move(p2));
+    });
   }
 
   void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
               CommitCb on_phase2) override {
-    d_.client(client).AddBatch(std::move(payloads), std::move(on_phase1),
-                               std::move(on_phase2));
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, payloads = std::move(payloads), p1 = std::move(on_phase1),
+              p2 = std::move(on_phase2)]() mutable {
+      c.AddBatch(std::move(payloads), std::move(p1), std::move(p2));
+    });
   }
 
   void Get(size_t client, Key key, GetCb cb) override {
-    d_.client(client).Get(
-        key, [cb = std::move(cb)](const Status& s, const VerifiedGet& v,
-                                  SimTime t) { cb(s, FromVerified(v, t), t); });
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, key, cb = std::move(cb)] {
+      c.Get(key, [cb](const Status& s, const VerifiedGet& v, SimTime t) {
+        cb(s, FromVerified(v, t), t);
+      });
+    });
   }
 
   void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
-    d_.client(client).Scan(
-        lo, hi,
-        [cb = std::move(cb)](const Status& s, const VerifiedScan& v,
-                             SimTime t) {
-          cb(s, FromVerifiedScan(v, t), t);
-        });
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, lo, hi, cb = std::move(cb)] {
+      c.Scan(lo, hi,
+             [cb](const Status& s, const VerifiedScan& v, SimTime t) {
+               cb(s, FromVerifiedScan(v, t), t);
+             });
+    });
   }
 
   void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
-    d_.client(client).ReadBlock(
-        bid, [cb = std::move(cb)](const Status& s, const Block& b, bool phase2,
-                                  SimTime t) {
-          BlockRead r;
-          r.block = b;
-          r.phase2 = phase2;
-          r.at = t;
-          cb(s, std::move(r), t);
-        });
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, bid, cb = std::move(cb)] {
+      c.ReadBlock(bid, [cb](const Status& s, const Block& b, bool phase2,
+                            SimTime t) {
+        BlockRead r;
+        r.block = b;
+        r.phase2 = phase2;
+        r.at = t;
+        cb(s, std::move(r), t);
+      });
+    });
   }
 
   void ResizeVerifierCache(size_t client,
@@ -195,6 +227,7 @@ class EdgeBaselineBackend : public StoreBackend {
 
   BackendKind kind() const override { return BackendKind::kEdgeBaseline; }
   void Start() override { d_.Start(); }
+  Runtime& runtime() override { return d_.runtime(); }
   Simulation& sim() override { return d_.sim(); }
   SimNetwork& net() override { return d_.net(); }
   size_t client_count() const override { return d_.client_count(); }
@@ -202,37 +235,50 @@ class EdgeBaselineBackend : public StoreBackend {
 
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override {
-    d_.client(client).WriteBatch(
-        kvs, CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, kvs,
+              cb = CollapsePhases(std::move(on_phase1),
+                                  std::move(on_phase2))]() mutable {
+      c.WriteBatch(kvs, std::move(cb));
+    });
   }
 
   void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
               CommitCb on_phase2) override {
-    d_.client(client).AppendBatch(
-        std::move(payloads),
-        CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, payloads = std::move(payloads),
+              cb = CollapsePhases(std::move(on_phase1),
+                                  std::move(on_phase2))]() mutable {
+      c.AppendBatch(std::move(payloads), std::move(cb));
+    });
   }
 
   void Get(size_t client, Key key, GetCb cb) override {
-    d_.client(client).Get(
-        key, [cb = std::move(cb)](const Status& s, const VerifiedGet& v,
-                                  SimTime t) { cb(s, FromVerified(v, t), t); });
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, key, cb = std::move(cb)] {
+      c.Get(key, [cb](const Status& s, const VerifiedGet& v, SimTime t) {
+        cb(s, FromVerified(v, t), t);
+      });
+    });
   }
 
   void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
-    d_.client(client).Scan(
-        lo, hi,
-        [cb = std::move(cb)](const Status& s, const VerifiedScan& v,
-                             SimTime t) {
-          cb(s, FromVerifiedScan(v, t), t);
-        });
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, lo, hi, cb = std::move(cb)] {
+      c.Scan(lo, hi,
+             [cb](const Status& s, const VerifiedScan& v, SimTime t) {
+               cb(s, FromVerifiedScan(v, t), t);
+             });
+    });
   }
 
   void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
-    d_.client(client).ReadBlock(
-        bid, [cb = std::move(cb)](const Status& s, const Block& b, SimTime t) {
-          cb(s, FromBlock(b, t), t);
-        });
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, bid, cb = std::move(cb)] {
+      c.ReadBlock(bid, [cb](const Status& s, const Block& b, SimTime t) {
+        cb(s, FromBlock(b, t), t);
+      });
+    });
   }
 
   void ResizeVerifierCache(size_t client,
@@ -256,6 +302,7 @@ class CloudOnlyBackend : public StoreBackend {
 
   BackendKind kind() const override { return BackendKind::kCloudOnly; }
   void Start() override { d_.Start(); }
+  Runtime& runtime() override { return d_.runtime(); }
   Simulation& sim() override { return d_.sim(); }
   SimNetwork& net() override { return d_.net(); }
   size_t client_count() const override { return d_.client_count(); }
@@ -263,50 +310,62 @@ class CloudOnlyBackend : public StoreBackend {
 
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
                 CommitCb on_phase1, CommitCb on_phase2) override {
-    d_.client(client).WriteBatch(
-        kvs, CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+    CloudOnlyClient& c = d_.client(client);
+    c.Invoke([&c, kvs,
+              cb = CollapsePhases(std::move(on_phase1),
+                                  std::move(on_phase2))]() mutable {
+      c.WriteBatch(kvs, std::move(cb));
+    });
   }
 
   void Append(size_t client, std::vector<Bytes> payloads, CommitCb on_phase1,
               CommitCb on_phase2) override {
-    d_.client(client).AppendBatch(
-        std::move(payloads),
-        CollapsePhases(std::move(on_phase1), std::move(on_phase2)));
+    CloudOnlyClient& c = d_.client(client);
+    c.Invoke([&c, payloads = std::move(payloads),
+              cb = CollapsePhases(std::move(on_phase1),
+                                  std::move(on_phase2))]() mutable {
+      c.AppendBatch(std::move(payloads), std::move(cb));
+    });
   }
 
   void ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) override {
-    d_.client(client).ReadBlock(
-        bid, [cb = std::move(cb)](const Status& s, const Block& b, SimTime t) {
-          cb(s, FromBlock(b, t), t);
-        });
+    CloudOnlyClient& c = d_.client(client);
+    c.Invoke([&c, bid, cb = std::move(cb)] {
+      c.ReadBlock(bid, [cb](const Status& s, const Block& b, SimTime t) {
+        cb(s, FromBlock(b, t), t);
+      });
+    });
   }
 
   void Get(size_t client, Key key, GetCb cb) override {
-    d_.client(client).Read(
-        key, [cb = std::move(cb)](const Status& s, bool found,
-                                  const Bytes& value, SimTime t) {
-          GetResult r;
-          r.found = found;
-          r.value = value;
-          r.phase2 = true;     // the commit was final
-          r.verified = false;  // ...but taken on trust (no proofs)
-          r.at = t;
-          cb(s, std::move(r), t);
-        });
+    CloudOnlyClient& c = d_.client(client);
+    c.Invoke([&c, key, cb = std::move(cb)] {
+      c.Read(key, [cb](const Status& s, bool found, const Bytes& value,
+                       SimTime t) {
+        GetResult r;
+        r.found = found;
+        r.value = value;
+        r.phase2 = true;     // the commit was final
+        r.verified = false;  // ...but taken on trust (no proofs)
+        r.at = t;
+        cb(s, std::move(r), t);
+      });
+    });
   }
 
   void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
-    d_.client(client).Scan(
-        lo, hi,
-        [cb = std::move(cb)](const Status& s, const std::vector<KvPair>& pairs,
-                             SimTime t) {
-          ScanResult r;
-          r.pairs = pairs;
-          r.phase2 = true;
-          r.verified = false;
-          r.at = t;
-          cb(s, std::move(r), t);
-        });
+    CloudOnlyClient& c = d_.client(client);
+    c.Invoke([&c, lo, hi, cb = std::move(cb)] {
+      c.Scan(lo, hi, [cb](const Status& s, const std::vector<KvPair>& pairs,
+                          SimTime t) {
+        ScanResult r;
+        r.pairs = pairs;
+        r.phase2 = true;
+        r.verified = false;
+        r.at = t;
+        cb(s, std::move(r), t);
+      });
+    });
   }
 
  private:

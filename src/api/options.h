@@ -47,9 +47,11 @@ struct StoreOptions {
   /// The full deployment knob surface (topology, costs, edge/cloud/client
   /// configs). The With* setters below write through to it.
   DeploymentConfig deploy;
-  /// Virtual-time budget a synchronous wait (Get/Scan/ReadBlock,
-  /// CommitHandle::WaitPhaseN) may pump the simulator before giving up
-  /// with Timeout.
+  /// Time budget a synchronous wait (Get/Scan/ReadBlock,
+  /// CommitHandle::WaitPhaseN) may block before giving up with Timeout —
+  /// virtual time under the default SimRuntime (the wait pumps the
+  /// simulator), wall time under ThreadedRuntime (the wait sleeps on the
+  /// completion condition variable).
   SimTime op_timeout = 120 * kSecond;
   /// Wiring hook run after the deployment is constructed but before it
   /// starts — the window in which durable storage must be attached and
@@ -77,6 +79,21 @@ struct StoreOptions {
   }
   StoreOptions& WithEdges(size_t n) {
     deploy.num_edges = n;
+    return *this;
+  }
+  /// Selects the runtime the deployment executes on (src/runtime/):
+  /// RuntimeKind::kSim (default) is the deterministic simulator — virtual
+  /// time, CostModel charging, bit-identical runs; RuntimeKind::kThreaded
+  /// runs every edge and the cloud on its own OS thread with clients
+  /// multiplexed over a driver pool — wall-clock time, real crypto, no
+  /// cost model. Resharding and WithAutoBalance are sim-only.
+  StoreOptions& WithRuntime(RuntimeKind kind) {
+    deploy.runtime.kind = kind;
+    return *this;
+  }
+  /// Full runtime knob surface (driver pool width, inbox capacity).
+  StoreOptions& WithRuntimeConfig(const RuntimeConfig& config) {
+    deploy.runtime = config;
     return *this;
   }
   /// Key-partitions the store across `n` shards (one per edge node),

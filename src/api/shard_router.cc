@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <utility>
 
 namespace wedge {
@@ -11,8 +12,11 @@ namespace {
 /// Join state for one phase of a multi-shard write: the phase reports
 /// once every involved shard has reported it, at the latest sub-commit
 /// time, carrying the (globalized) block id of the lowest involved shard
-/// so the reported id is deterministic.
+/// so the reported id is deterministic. Sub-commits land on different
+/// shard executors under ThreadedRuntime, so the join carries its own
+/// lock; the phase callback fires outside it.
 struct PhaseJoin {
+  std::mutex mu;
   size_t waiting = 0;
   Status status;
   size_t bid_shard = SIZE_MAX;
@@ -22,13 +26,23 @@ struct PhaseJoin {
 
 void RecordPhase(PhaseJoin* join, size_t shard, const Status& s, BlockId bid,
                  SimTime t, const StoreBackend::CommitCb& done) {
-  MergeStatusBySeverity(&join->status, s);
-  if (s.ok() && shard < join->bid_shard) {
-    join->bid_shard = shard;
-    join->bid = bid;
+  Status status;
+  BlockId out_bid = 0;
+  SimTime at = 0;
+  {
+    std::lock_guard<std::mutex> lock(join->mu);
+    MergeStatusBySeverity(&join->status, s);
+    if (s.ok() && shard < join->bid_shard) {
+      join->bid_shard = shard;
+      join->bid = bid;
+    }
+    join->at = std::max(join->at, t);
+    if (--join->waiting > 0) return;
+    status = join->status;
+    out_bid = join->bid;
+    at = join->at;
   }
-  join->at = std::max(join->at, t);
-  if (--join->waiting == 0 && done) done(join->status, join->bid, join->at);
+  if (done) done(status, out_bid, at);
 }
 
 /// Wraps a commit callback so acked block ids come out in global form.
@@ -53,15 +67,22 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
       logical_clients_(logical_clients),
       cache_unit_(cache_unit),
       client_epochs_(logical_clients, table_->epoch()) {
+  // Migration state machines run on the runtime's control executor:
+  // inline simulation events under SimRuntime, the control worker thread
+  // under ThreadedRuntime (where the operator entry points refuse before
+  // reaching the coordinator — see SplitShard below).
   coordinator_ = std::make_unique<ReshardingCoordinator>(
-      &inner_->sim(), table_, this, resharding);
+      inner_->runtime().ControlExecutor(), table_, this, resharding);
   stats_.ops_per_shard.assign(table_->capacity(), 0);
   if (balancer.enabled) {
     // The balancer reads this router's own heat window and actuates
     // through the same coordinator the operator calls use, so manual
     // and autonomous migrations share the single-in-flight rule.
     AutoBalancer::Hooks hooks;
-    hooks.heat = [this]() { return stats_.ops_per_shard; };
+    hooks.heat = [this]() {
+      std::lock_guard<std::mutex> lock(mu_);
+      return stats_.ops_per_shard;
+    };
     hooks.split = [this](size_t shard, ReshardingCoordinator::SplitCb cb) {
       coordinator_->SplitShard(shard, std::move(cb));
     };
@@ -69,13 +90,19 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
       coordinator_->MergeShards(shard, std::move(cb));
     };
     hooks.busy = [this]() { return coordinator_->migration_in_flight(); };
-    balancer_ = std::make_unique<AutoBalancer>(&inner_->sim(), table_,
-                                               balancer, std::move(hooks));
+    balancer_ = std::make_unique<AutoBalancer>(
+        inner_->runtime().ControlExecutor(), table_, balancer,
+        std::move(hooks));
   }
   ResizeVerifierCaches();
 }
 
-size_t ShardRouter::RouteKey(size_t client, Key key) {
+RouterStats ShardRouter::router_stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ShardRouter::RouteKeyLocked(size_t client, Key key) {
   const OwnershipEpoch known = client_epochs_[client];
   const OwnershipEpoch current = table_->epoch();
   size_t shard = table_->ShardOf(key, known);
@@ -95,7 +122,12 @@ size_t ShardRouter::RouteKey(size_t client, Key key) {
   return shard;
 }
 
-void ShardRouter::RefreshEpoch(size_t client) {
+size_t ShardRouter::RouteKey(size_t client, Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RouteKeyLocked(client, key);
+}
+
+void ShardRouter::RefreshEpochLocked(size_t client) {
   const OwnershipEpoch current = table_->epoch();
   if (client_epochs_[client] != current) {
     client_epochs_[client] = current;
@@ -111,22 +143,27 @@ void ShardRouter::PutBatch(size_t client,
   // preserving the caller's per-shard put order (version order within a
   // shard must match the unsharded sequence). Keys inside an active
   // migration fence are parked and flushed at epoch install, re-routed
-  // under the then-current owner.
+  // under the then-current owner. Routing runs under mu_; the inner
+  // sub-calls are issued after it is released.
   std::map<size_t, std::vector<std::pair<Key, Bytes>>> by_shard;
   std::vector<std::pair<Key, Bytes>> parked;
-  for (const auto& kv : kvs) {
-    if (fence_active_ && kv.first >= fence_lo_ && kv.first <= fence_hi_) {
-      parked.push_back(kv);
-    } else {
-      by_shard[RouteKey(client, kv.first)].push_back(kv);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& kv : kvs) {
+      if (fence_active_ && kv.first >= fence_lo_ && kv.first <= fence_hi_) {
+        parked.push_back(kv);
+      } else {
+        by_shard[RouteKeyLocked(client, kv.first)].push_back(kv);
+      }
     }
-  }
-  if (!parked.empty()) {
-    // The parking path is still an epoch touch: a batch that falls
-    // entirely inside the fence must refresh the client's view like any
-    // routed write would (its keys join the heat window at flush time,
-    // attributed to the owner they commit on — see the flush closure).
-    RefreshEpoch(client);
+    if (!parked.empty()) {
+      // The parking path is still an epoch touch: a batch that falls
+      // entirely inside the fence must refresh the client's view like
+      // any routed write would (its keys join the heat window at flush
+      // time, attributed to the owner they commit on — see the flush
+      // closure).
+      RefreshEpochLocked(client);
+    }
   }
   if (by_shard.empty() && parked.empty()) {
     // Empty batch: keep the unsharded contract (one call, to the logical
@@ -157,19 +194,31 @@ void ShardRouter::PutBatch(size_t client,
   for (auto& [shard, sub] : by_shard) issue(shard, std::move(sub));
 
   if (!parked.empty()) {
-    stats_.writes_parked++;
     // The parked portion joins as one unit; when the fence lifts it
     // re-splits under the then-current table (a completed split divides
     // it between source and destination), widening the joins in place
-    // before any of its sub-calls can resolve.
+    // before any of its sub-calls can resolve. Fences only exist while a
+    // migration is in flight, which is sim-only — so the flush closure
+    // runs on the single simulation thread.
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writes_parked++;
     parked_.push_back([this, client, parked = std::move(parked), p1, p2,
                        issue]() {
       std::map<size_t, std::vector<std::pair<Key, Bytes>>> by;
-      for (const auto& kv : parked) {
-        by[RouteKey(client, kv.first)].push_back(kv);
+      {
+        std::lock_guard<std::mutex> route_lock(mu_);
+        for (const auto& kv : parked) {
+          by[RouteKeyLocked(client, kv.first)].push_back(kv);
+        }
       }
-      p1->waiting += by.size() - 1;
-      p2->waiting += by.size() - 1;
+      {
+        std::lock_guard<std::mutex> p1_lock(p1->mu);
+        p1->waiting += by.size() - 1;
+      }
+      {
+        std::lock_guard<std::mutex> p2_lock(p2->mu);
+        p2->waiting += by.size() - 1;
+      }
       for (auto& [shard, sub] : by) issue(shard, std::move(sub));
     });
   }
@@ -180,7 +229,10 @@ void ShardRouter::Append(size_t client, std::vector<Bytes> payloads,
   // Raw appends carry no key; the batch stays whole (one append batch =
   // one block's worth of entries) on the logical client's home slot,
   // which never changes across epochs — append streams are not migrated.
-  RefreshEpoch(client);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshEpochLocked(client);
+  }
   const size_t slots = table_->capacity();
   const size_t home = client % slots;
   inner_->Append(PhysicalClient(client, home), std::move(payloads),
@@ -194,7 +246,11 @@ void ShardRouter::Get(size_t client, Key key, GetCb cb) {
 }
 
 void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
+  // Sub-scans complete on different shard executors under
+  // ThreadedRuntime; the stitch join carries its own lock and the final
+  // callback fires outside it.
   struct ScanJoin {
+    std::mutex mu;
     size_t waiting = 0;
     Status status;
     bool phase2 = true;
@@ -203,26 +259,33 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
     std::vector<KvPair> pairs;
   };
 
-  RefreshEpoch(client);
   // Route under the epoch current at issue time, and filter each
   // sub-scan's contribution by that same epoch: a migration installing
   // a newer epoch mid-scan must not drop pairs the source legitimately
   // owned (and still stores) under the epoch this scan was routed by.
-  const OwnershipEpoch at_epoch = table_->epoch();
   const std::vector<OwnedSlice> slices =
       lo > hi ? std::vector<OwnedSlice>{} : table_->SlicesTouching(lo, hi);
+  OwnershipEpoch at_epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshEpochLocked(client);
+    at_epoch = table_->epoch();
+    for (const OwnedSlice& slice : slices) {
+      stats_.ops_per_shard[slice.shard]++;
+    }
+  }
   if (slices.empty()) {
     // An empty slice set (an inverted lo > hi range — live slices tile
     // the whole key domain, so nothing else produces one) must still
     // answer: with zero sub-scans the join below would start at
     // waiting == 0 and never invoke the callback, hanging any
-    // pump-to-completion caller. An empty range is vacuously complete
+    // wait-for-completion caller. An empty range is vacuously complete
     // and verified.
     if (cb) {
       ScanResult empty;
       empty.phase2 = true;
       empty.verified = true;
-      empty.at = sim().now();
+      empty.at = runtime().Now();
       const SimTime at = empty.at;
       cb(Status::OK(), std::move(empty), at);
     }
@@ -232,42 +295,50 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
   auto join = std::make_shared<ScanJoin>();
   join->waiting = slices.size();
   for (const OwnedSlice& slice : slices) {
-    stats_.ops_per_shard[slice.shard]++;
     inner_->Scan(
         PhysicalClient(client, slice.shard), slice.lo, slice.hi,
         [join, slice, at_epoch, cb, table = table_](const Status& st,
                                                     ScanResult r, SimTime t) {
-          MergeStatusBySeverity(&join->status, st);
-          join->at = std::max(join->at, t);
-          if (st.ok()) {
-            join->phase2 = join->phase2 && r.phase2;
-            join->verified = join->verified && r.verified;
-            // Proof boundary: this sub-scan contributes only keys its
-            // shard owns under the scan's epoch. On the edge backends
-            // this is a no-op (each edge's tree holds only its shard);
-            // on cloud-only, where every sub-scan hits the same trusted
-            // server, it deduplicates the fan-out.
-            for (auto& p : r.pairs) {
-              if (table->ShardOf(p.key, at_epoch) == slice.shard) {
-                join->pairs.push_back(std::move(p));
+          Status status;
+          ScanResult out;
+          {
+            std::lock_guard<std::mutex> lock(join->mu);
+            MergeStatusBySeverity(&join->status, st);
+            join->at = std::max(join->at, t);
+            if (st.ok()) {
+              join->phase2 = join->phase2 && r.phase2;
+              join->verified = join->verified && r.verified;
+              // Proof boundary: this sub-scan contributes only keys its
+              // shard owns under the scan's epoch. On the edge backends
+              // this is a no-op (each edge's tree holds only its shard);
+              // on cloud-only, where every sub-scan hits the same
+              // trusted server, it deduplicates the fan-out.
+              for (auto& p : r.pairs) {
+                if (table->ShardOf(p.key, at_epoch) == slice.shard) {
+                  join->pairs.push_back(std::move(p));
+                }
               }
             }
+            if (--join->waiting > 0) return;
+            status = join->status;
+            if (status.ok()) {
+              std::sort(join->pairs.begin(), join->pairs.end(),
+                        [](const KvPair& a, const KvPair& b) {
+                          return a.key < b.key;
+                        });
+              out.pairs = std::move(join->pairs);
+              out.phase2 = join->phase2;
+              out.verified = join->verified;
+            }
+            out.at = join->at;
           }
-          if (--join->waiting > 0) return;
-          if (!join->status.ok()) {
-            if (cb) cb(join->status, ScanResult{}, join->at);
-            return;
+          if (!cb) return;
+          const SimTime at = out.at;
+          if (!status.ok()) {
+            cb(status, ScanResult{}, at);
+          } else {
+            cb(status, std::move(out), at);
           }
-          std::sort(join->pairs.begin(), join->pairs.end(),
-                    [](const KvPair& a, const KvPair& b) {
-                      return a.key < b.key;
-                    });
-          ScanResult out;
-          out.pairs = std::move(join->pairs);
-          out.phase2 = join->phase2;
-          out.verified = join->verified;
-          out.at = join->at;
-          if (cb) cb(join->status, std::move(out), join->at);
         });
   }
 }
@@ -287,15 +358,34 @@ void ShardRouter::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
 
 // -------------------------------------------------------------- resharding
 
+bool ShardRouter::RefuseIfThreaded(const SplitCb& cb) {
+  if (runtime().kind() != RuntimeKind::kThreaded) return false;
+  // Live migration depends on deterministic drain windows and an
+  // epoch-install point that is atomic with respect to routing — both
+  // properties of the single-threaded simulation. Under real threads the
+  // shard map is fixed at Open.
+  if (cb) {
+    cb(Status::FailedPrecondition(
+           "resharding is sim-only: live migration requires the "
+           "deterministic SimRuntime (ownership is fixed under "
+           "RuntimeKind::kThreaded)"),
+       SplitReport{}, runtime().Now());
+  }
+  return true;
+}
+
 void ShardRouter::SplitShard(size_t shard, SplitCb cb) {
+  if (RefuseIfThreaded(cb)) return;
   coordinator_->SplitShard(shard, std::move(cb));
 }
 
 void ShardRouter::MergeShards(size_t shard, SplitCb cb) {
+  if (RefuseIfThreaded(cb)) return;
   coordinator_->MergeShards(shard, std::move(cb));
 }
 
 void ShardRouter::Rebalance(SplitCb cb) {
+  if (RefuseIfThreaded(cb)) return;
   if (!table_->splittable()) {
     // Delegate for the coordinator's precise refusal.
     coordinator_->SplitShard(0, std::move(cb));
@@ -306,18 +396,21 @@ void ShardRouter::Rebalance(SplitCb cb) {
   // slots and shards whose widest slice is a single key are skipped.
   size_t victim = SIZE_MAX;
   uint64_t hottest = 0;
-  for (size_t s = 0; s < table_->capacity(); ++s) {
-    const std::optional<OwnedSlice> slice = table_->WidestSliceOf(s);
-    if (!slice.has_value() || slice->lo >= slice->hi) continue;
-    if (victim == SIZE_MAX || stats_.ops_per_shard[s] > hottest) {
-      victim = s;
-      hottest = stats_.ops_per_shard[s];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t s = 0; s < table_->capacity(); ++s) {
+      const std::optional<OwnedSlice> slice = table_->WidestSliceOf(s);
+      if (!slice.has_value() || slice->lo >= slice->hi) continue;
+      if (victim == SIZE_MAX || stats_.ops_per_shard[s] > hottest) {
+        victim = s;
+        hottest = stats_.ops_per_shard[s];
+      }
     }
   }
   if (victim == SIZE_MAX) {
     if (cb) {
       cb(Status::FailedPrecondition("no live shard to rebalance"),
-         SplitReport{}, sim().now());
+         SplitReport{}, runtime().Now());
     }
     return;
   }
@@ -356,15 +449,20 @@ void ShardRouter::ImportPairs(size_t shard, std::vector<KvPair> pairs,
 }
 
 void ShardRouter::FenceRange(Key lo, Key hi) {
+  std::lock_guard<std::mutex> lock(mu_);
   fence_active_ = true;
   fence_lo_ = lo;
   fence_hi_ = hi;
 }
 
 void ShardRouter::LiftFence() {
-  fence_active_ = false;
-  std::vector<std::function<void()>> parked = std::move(parked_);
-  parked_.clear();
+  std::vector<std::function<void()>> parked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fence_active_ = false;
+    parked = std::move(parked_);
+    parked_.clear();
+  }
   for (auto& flush : parked) flush();
 }
 
@@ -381,6 +479,7 @@ void ShardRouter::OnEpochInstalled(const MigrationReport& report) {
   }
   ResizeVerifierCaches();
   // A new epoch opens a new heat window for Rebalance.
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.ops_per_shard.assign(table_->capacity(), 0);
 }
 

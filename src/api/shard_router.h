@@ -53,6 +53,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "api/backend.h"
@@ -78,6 +79,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
     inner_->Start();
     if (balancer_) balancer_->Start();
   }
+  Runtime& runtime() override { return inner_->runtime(); }
   Simulation& sim() override { return inner_->sim(); }
   SimNetwork& net() override { return inner_->net(); }
   size_t client_count() const override { return logical_clients_; }
@@ -87,7 +89,10 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   const ReshardingCoordinator* resharding() const override {
     return coordinator_.get();
   }
+  /// Raw pointer into live counters — sim-only reads; concurrent callers
+  /// use router_stats_snapshot().
   const RouterStats* router_stats() const override { return &stats_; }
+  RouterStats router_stats_snapshot() const override;
   const AutoBalancer* balancer() const override { return balancer_.get(); }
 
   void PutBatch(size_t client, const std::vector<std::pair<Key, Bytes>>& kvs,
@@ -118,6 +123,7 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   /// The ownership epoch logical `client` last observed (requests carry
   /// it; stale views are refreshed by the redirect path).
   OwnershipEpoch ClientEpoch(size_t client) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return client_epochs_.at(client);
   }
 
@@ -146,14 +152,22 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
  private:
   /// Routes `key` for logical `client` under the client's last-known
   /// epoch, redirecting (and refreshing the view) when it is stale.
+  /// Callers hold mu_ (routing state and counters live behind it).
+  size_t RouteKeyLocked(size_t client, Key key);
+  /// Locking convenience for single-key paths (Get).
   size_t RouteKey(size_t client, Key key);
   /// Refreshes a client's epoch view without a key (scans, appends).
-  void RefreshEpoch(size_t client);
+  /// Callers hold mu_.
+  void RefreshEpochLocked(size_t client);
 
   /// Sizes each physical client's verifier cache by the key-span its
   /// shard owns under the current epoch (see
   /// ClientConfig::verify_cache_limits).
   void ResizeVerifierCaches();
+
+  /// Fails `cb` with FailedPrecondition and returns true when the store
+  /// runs on ThreadedRuntime — live migration is sim-only.
+  bool RefuseIfThreaded(const SplitCb& cb);
 
   std::unique_ptr<StoreBackend> inner_;
   std::shared_ptr<OwnershipTable> table_;
@@ -161,6 +175,12 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   VerifierCache::Limits cache_unit_;
   std::unique_ptr<ReshardingCoordinator> coordinator_;
   std::unique_ptr<AutoBalancer> balancer_;
+
+  /// Guards the routing state below (client epochs, fence, parked
+  /// writes, counters): under ThreadedRuntime every driver thread routes
+  /// concurrently. Fine-grained — never held across an inner_ call, so
+  /// no lock ordering exists against executor or completion locks.
+  mutable std::mutex mu_;
 
   /// Ownership epoch each logical client last observed.
   std::vector<OwnershipEpoch> client_epochs_;

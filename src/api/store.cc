@@ -15,25 +15,15 @@ struct StoreCore {
   StoreOptions options;
   std::unique_ptr<StoreBackend> backend;
 
-  /// Runs simulation events until `done()` holds. The wait is bounded by
-  /// `options.op_timeout` of virtual time; a drained event queue before
-  /// completion means the operation can never finish (a lost response
-  /// with no timer left to recover it).
+  /// Blocks until `done()` holds, bounded by `options.op_timeout` —
+  /// stepping simulation events under SimRuntime (where a drained event
+  /// queue before completion means the operation can never finish),
+  /// sleeping on the runtime's completion condition variable under
+  /// ThreadedRuntime. `done` must read only state written through
+  /// Runtime::RunOnCompletion, which is what orders it against the
+  /// completing worker thread.
   Status PumpUntil(const std::function<bool()>& done) {
-    Simulation& sim = backend->sim();
-    const SimTime deadline = sim.now() + options.op_timeout;
-    while (!done()) {
-      if (sim.now() > deadline) {
-        return Status::Timeout("operation incomplete after pumping " +
-                               std::to_string(options.op_timeout) +
-                               "us of virtual time");
-      }
-      if (!sim.Step()) {
-        return Status::Unavailable(
-            "simulation drained before the operation completed");
-      }
-    }
-    return Status::OK();
+    return backend->runtime().WaitUntil(options.op_timeout, done);
   }
 };
 
@@ -117,6 +107,16 @@ Status ValidateOptions(const StoreOptions& options) {
         "the edge partial_flush_delay (>= 2x), or writes in flight at "
         "fence time could miss the migration export");
   }
+  if (d.runtime.kind == RuntimeKind::kThreaded &&
+      options.balancer.enabled) {
+    // The balancer actuates through live migration, which is sim-only
+    // (ShardRouter refuses Split/Merge/Rebalance under threads); a
+    // policy that could never act is a misconfiguration.
+    return Status::InvalidArgument(
+        "StoreOptions: WithAutoBalance requires the deterministic "
+        "SimRuntime (resharding is sim-only; drop WithRuntime("
+        "RuntimeKind::kThreaded) or the balancer)");
+  }
   if (options.balancer.enabled) {
     // The autonomous lifecycle actuates through SplitShard/MergeShards,
     // so it needs a routed store with range-expressible ownership: a
@@ -192,19 +192,27 @@ std::shared_ptr<CommitState> IssueWrite(
     const std::function<void(StoreBackend::CommitCb, StoreBackend::CommitCb)>&
         issue) {
   auto state = std::make_shared<CommitState>();
-  auto on_phase1 = [state](const Status& s, BlockId bid, SimTime t) {
-    state->phase1_status = s;
-    state->phase1 = Commit{bid, t};
-    state->phase1_done = true;
+  // Phase recordings go through RunOnCompletion: inline under the
+  // simulator, under the completion lock (with a wake-up) under threads
+  // — the write the façade's WaitPhaseN predicate synchronizes on.
+  Runtime* rt = &core.backend->runtime();
+  auto on_phase1 = [state, rt](const Status& s, BlockId bid, SimTime t) {
+    rt->RunOnCompletion([&] {
+      state->phase1_status = s;
+      state->phase1 = Commit{bid, t};
+      state->phase1_done = true;
+    });
   };
-  auto on_phase2 = [state](const Status& s, BlockId bid, SimTime t) {
-    state->phase2_status = s;
-    state->phase2 = Commit{bid, t};
-    state->phase2_done = true;
+  auto on_phase2 = [state, rt](const Status& s, BlockId bid, SimTime t) {
+    rt->RunOnCompletion([&] {
+      state->phase2_status = s;
+      state->phase2 = Commit{bid, t};
+      state->phase2_done = true;
+    });
   };
   if (client >= core.backend->client_count()) {
     Status bad = Status::InvalidArgument("no client " + std::to_string(client));
-    const SimTime now = core.backend->sim().now();
+    const SimTime now = core.backend->runtime().Now();
     on_phase1(bad, 0, now);
     on_phase2(bad, 0, now);
   } else {
@@ -255,10 +263,13 @@ Result<T> SyncRead(StoreCore& core, size_t client, IssueFn issue) {
     T result;
   };
   auto waiter = std::make_shared<Waiter>();
-  issue(client, [waiter](const Status& s, T r, SimTime) {
-    waiter->status = s;
-    waiter->result = std::move(r);
-    waiter->done = true;
+  Runtime* rt = &core.backend->runtime();
+  issue(client, [waiter, rt](const Status& s, T r, SimTime) {
+    rt->RunOnCompletion([&] {
+      waiter->status = s;
+      waiter->result = std::move(r);
+      waiter->done = true;
+    });
   });
   WEDGE_RETURN_NOT_OK(core.PumpUntil([w = waiter.get()] { return w->done; }));
   if (!waiter->status.ok()) return waiter->status;
@@ -312,10 +323,13 @@ Result<SplitReport> SyncSplit(StoreCore& core, IssueFn issue) {
     SplitReport report;
   };
   auto waiter = std::make_shared<Waiter>();
-  issue([waiter](const Status& s, const SplitReport& r, SimTime) {
-    waiter->status = s;
-    waiter->report = r;
-    waiter->done = true;
+  Runtime* rt = &core.backend->runtime();
+  issue([waiter, rt](const Status& s, const SplitReport& r, SimTime) {
+    rt->RunOnCompletion([&] {
+      waiter->status = s;
+      waiter->report = r;
+      waiter->done = true;
+    });
   });
   WEDGE_RETURN_NOT_OK(core.PumpUntil([w = waiter.get()] { return w->done; }));
   if (!waiter->status.ok()) return waiter->status;
@@ -366,9 +380,9 @@ StoreStats Store::stats() const {
     s.epoch = table->epoch();
     s.live_shards = table->LiveShards();
   }
-  if (const RouterStats* r = core_->backend->router_stats()) s.router = *r;
+  s.router = core_->backend->router_stats_snapshot();
   if (const ReshardingCoordinator* c = core_->backend->resharding()) {
-    s.resharding = c->stats();
+    s.resharding = c->stats_snapshot();
   }
   if (const AutoBalancer* b = core_->backend->balancer()) {
     s.balancer = b->stats();
@@ -376,9 +390,13 @@ StoreStats Store::stats() const {
   return s;
 }
 
-void Store::RunFor(SimTime duration) { core_->backend->sim().RunFor(duration); }
-void Store::RunUntil(SimTime until) { core_->backend->sim().RunUntil(until); }
-SimTime Store::now() { return core_->backend->sim().now(); }
+void Store::RunFor(SimTime duration) {
+  core_->backend->runtime().RunFor(duration);
+}
+void Store::RunUntil(SimTime until) {
+  core_->backend->runtime().RunUntil(until);
+}
+SimTime Store::now() { return core_->backend->runtime().Now(); }
 
 BackendKind Store::kind() const { return core_->backend->kind(); }
 size_t Store::client_count() const { return core_->backend->client_count(); }
@@ -386,6 +404,7 @@ size_t Store::shard_count() const { return core_->backend->shard_count(); }
 const Partitioner& Store::partitioner() const {
   return core_->backend->partitioner();
 }
+Runtime& Store::runtime() { return core_->backend->runtime(); }
 Simulation& Store::sim() { return core_->backend->sim(); }
 SimNetwork& Store::net() { return core_->backend->net(); }
 const StoreOptions& Store::options() const { return core_->options; }

@@ -146,10 +146,12 @@ class Store {
   /// balancer counters (zeroed/defaulted on an unrouted store).
   StoreStats stats() const;
 
-  // ----------------------------------------------- simulation & access
+  // -------------------------------------------------- runtime & access
 
-  /// Runs the simulation for `duration` of virtual time — background
-  /// work (certification, merges, gossip) happens during these windows.
+  /// Runs the deployment for `duration` — virtual time under the default
+  /// SimRuntime (background work such as certification, merges, and
+  /// gossip happens during these windows), wall time (a real sleep,
+  /// workers running throughout) under ThreadedRuntime.
   void RunFor(SimTime duration);
   void RunUntil(SimTime until);
   SimTime now();
@@ -161,6 +163,10 @@ class Store {
   /// out and stitches per-shard verified results transparently.
   size_t shard_count() const;
   const Partitioner& partitioner() const;
+  /// The runtime this store executes on (see StoreOptions::WithRuntime).
+  Runtime& runtime();
+  /// Sim-only; abort under ThreadedRuntime — use runtime() for
+  /// runtime-neutral code.
   Simulation& sim();
   SimNetwork& net();
   const StoreOptions& options() const;

@@ -18,27 +18,37 @@ namespace wedge {
 class CloudOnlyDeployment {
  public:
   explicit CloudOnlyDeployment(const DeploymentConfig& config)
-      : config_(config), topo_(config.seed, config.net) {
+      : config_(config), topo_(config.seed, config.net, config.runtime) {
+    Runtime& rt = topo_.runtime();
+    Signer server_signer = topo_.RegisterCloud();
+    Executor* server_exec =
+        rt.ExecutorFor(server_signer.id(), ExecRole::kDedicated);
     server_ = std::make_unique<CloudOnlyServer>(
-        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
-        config.cloud_dc, config.costs);
+        server_exec, &topo_.transport(), &topo_.keystore(),
+        std::move(server_signer), config.cloud_dc, config.costs);
     // Cloud-only has no edges: all shards land on the one trusted server,
     // but the physical-client grid is still laid out shard-aware so the
     // routing layer drives every backend identically.
     topo_.MakeShardedClients(
         config.num_clients, config.sharding.slots(),
         [&](Signer s, size_t) {
+          Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kPooled);
           clients_.push_back(std::make_unique<CloudOnlyClient>(
-              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              exec, &topo_.transport(), &topo_.keystore(), std::move(s),
               server_->id(), config.client_dc, config.costs));
         });
   }
+
+  /// Stop worker threads before the nodes they reference are destroyed.
+  ~CloudOnlyDeployment() { topo_.runtime().Shutdown(); }
 
   void Start() {
     server_->Start();
     for (auto& c : clients_) c->Start();
   }
 
+  Runtime& runtime() { return topo_.runtime(); }
+  /// Sim-only; aborts under ThreadedRuntime (see Topology).
   Simulation& sim() { return topo_.sim(); }
   SimNetwork& net() { return topo_.net(); }
   CloudOnlyServer& server() { return *server_; }
@@ -60,25 +70,36 @@ class CloudOnlyDeployment {
 class EdgeBaselineDeployment {
  public:
   explicit EdgeBaselineDeployment(const DeploymentConfig& config)
-      : config_(config), topo_(config.seed, config.net) {
+      : config_(config), topo_(config.seed, config.net, config.runtime) {
+    Runtime& rt = topo_.runtime();
+    Signer cloud_signer = topo_.RegisterCloud();
+    Executor* cloud_exec =
+        rt.ExecutorFor(cloud_signer.id(), ExecRole::kDedicated);
     cloud_ = std::make_unique<EbCloud>(
-        &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterCloud(),
-        config.cloud_dc, config.edge.lsm, config.costs);
+        cloud_exec, &topo_.transport(), &topo_.keystore(),
+        std::move(cloud_signer), config.cloud_dc, config.edge.lsm,
+        config.costs);
     const size_t num_edges = config.num_edges == 0 ? 1 : config.num_edges;
     for (size_t e = 0; e < num_edges; ++e) {
+      Signer s = topo_.RegisterEdge(e);
+      Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kDedicated);
       edges_.push_back(std::make_unique<EbEdge>(
-          &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(e),
+          exec, &topo_.transport(), &topo_.keystore(), std::move(s),
           cloud_->id(), config.edge_dc, config.edge, config.costs));
     }
     topo_.MakeShardedClients(
         config.num_clients, config.sharding.slots(),
         [&](Signer s, size_t i) {
           EbEdge* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();
+          Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kPooled);
           clients_.push_back(std::make_unique<EbClient>(
-              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              exec, &topo_.transport(), &topo_.keystore(), std::move(s),
               home->id(), config.client_dc, config.costs, config.client));
         });
   }
+
+  /// Stop worker threads before the nodes they reference are destroyed.
+  ~EdgeBaselineDeployment() { topo_.runtime().Shutdown(); }
 
   void Start() {
     cloud_->Start();
@@ -86,6 +107,8 @@ class EdgeBaselineDeployment {
     for (auto& c : clients_) c->Start();
   }
 
+  Runtime& runtime() { return topo_.runtime(); }
+  /// Sim-only; aborts under ThreadedRuntime (see Topology).
   Simulation& sim() { return topo_.sim(); }
   SimNetwork& net() { return topo_.net(); }
   EbCloud& cloud() { return *cloud_; }

@@ -6,16 +6,16 @@
 
 namespace wedge {
 
-CloudOnlyServer::CloudOnlyServer(Simulation* sim, SimNetwork* net,
+CloudOnlyServer::CloudOnlyServer(Executor* exec, Transport* net,
                                  const KeyStore* keystore, Signer signer,
                                  Dc location, CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
       location_(location),
       costs_(costs),
-      fg_(sim) {}
+      fg_(exec->MakeLane()) {}
 
 void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
   auto env = Envelope::Open(*keystore_, payload);
@@ -25,33 +25,33 @@ void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto req = CloudWriteRequest::Decode(env->body);
       if (!req.ok()) return;
       const SimTime serial = costs_.CloudBatchSerial(req->entries.size());
-      const SimTime done = fg_.Reserve(serial) + costs_.cloud_batch_parallel;
-      sim_->ScheduleAt(done, [this, from, r = std::move(*req)] {
-        HandleWrite(from, r, sim_->now());
-      });
+      fg_->ExecuteAfter(serial, costs_.cloud_batch_parallel,
+                        [this, from, r = std::move(*req)] {
+                          HandleWrite(from, r, exec_->Now());
+                        });
       break;
     }
     case MsgType::kCloudReadRequest: {
       auto req = CloudReadRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
-        HandleRead(from, r, sim_->now());
+      fg_->Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleRead(from, r, exec_->Now());
       });
       break;
     }
     case MsgType::kScanRequest: {
       auto req = ScanRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
-        HandleScan(from, r, sim_->now());
+      fg_->Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleScan(from, r, exec_->Now());
       });
       break;
     }
     case MsgType::kReadRequest: {
       auto req = ReadRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.cloud_read_serial, [this, from, r = *req] {
-        HandleReadBlock(from, r, sim_->now());
+      fg_->Execute(costs_.cloud_read_serial, [this, from, r = *req] {
+        HandleReadBlock(from, r, exec_->Now());
       });
       break;
     }
@@ -133,10 +133,10 @@ void CloudOnlyServer::HandleScan(NodeId from, const ScanRequest& req,
   (void)now;
 }
 
-CloudOnlyClient::CloudOnlyClient(Simulation* sim, SimNetwork* net,
+CloudOnlyClient::CloudOnlyClient(Executor* exec, Transport* net,
                                  const KeyStore* keystore, Signer signer,
                                  NodeId server, Dc location, CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
@@ -152,7 +152,7 @@ void CloudOnlyClient::SendWrite(bool is_kv, std::vector<Entry> entries,
   req.entries = std::move(entries);
   pending_writes_[req.req_id] = std::move(cb);
   Bytes body = req.Encode();
-  net_->After(costs_.client_sign, [this, b = std::move(body)]() mutable {
+  exec_->Charge(costs_.client_sign, [this, b = std::move(body)]() mutable {
     net_->Send(id(), server_,
                Envelope::Seal(signer_, MsgType::kCloudWriteRequest,
                               std::move(b)));

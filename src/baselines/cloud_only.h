@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "core/config.h"
@@ -11,10 +12,8 @@
 #include "log/block_builder.h"
 #include "log/edge_log.h"
 #include "lsmerkle/kv.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
-#include "simnet/cpu.h"
-#include "simnet/network.h"
-#include "simnet/simulation.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
 
@@ -24,7 +23,7 @@ namespace wedge {
 /// serves reads directly.
 class CloudOnlyServer : public Endpoint {
  public:
-  CloudOnlyServer(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  CloudOnlyServer(Executor* exec, Transport* net, const KeyStore* keystore,
                   Signer signer, Dc location, CostModel costs);
 
   void Start() { net_->Attach(id(), location_, this); }
@@ -43,13 +42,13 @@ class CloudOnlyServer : public Endpoint {
   void HandleScan(NodeId from, const ScanRequest& req, SimTime now);
   void HandleReadBlock(NodeId from, const ReadRequest& req, SimTime now);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   Dc location_;
   CostModel costs_;
-  CpuLane fg_;
+  std::unique_ptr<Lane> fg_;
 
   EdgeLog log_;
   BlockId next_bid_ = 0;
@@ -75,11 +74,15 @@ class CloudOnlyClient : public Endpoint {
   using ReadBlockCb =
       std::function<void(const Status&, const Block&, SimTime)>;
 
-  CloudOnlyClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  CloudOnlyClient(Executor* exec, Transport* net, const KeyStore* keystore,
                   Signer signer, NodeId server, Dc location, CostModel costs);
 
   void Start() { net_->Attach(id(), location_, this); }
   NodeId id() const { return signer_.id(); }
+
+  /// Runs `fn` on this client's executor — the entry hop the synchronous
+  /// facade uses (inline under the simulator, posted under threads).
+  void Invoke(std::function<void()> fn) { exec_->Post(std::move(fn)); }
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
 
@@ -99,8 +102,8 @@ class CloudOnlyClient : public Endpoint {
  private:
   void SendWrite(bool is_kv, std::vector<Entry> entries, WriteCb cb);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   NodeId server_;

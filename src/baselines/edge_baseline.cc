@@ -7,17 +7,17 @@ namespace wedge {
 
 // ------------------------------------------------------------------ cloud
 
-EbCloud::EbCloud(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+EbCloud::EbCloud(Executor* exec, Transport* net, const KeyStore* keystore,
                  Signer signer, Dc location, LsmConfig lsm_config,
                  CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
       location_(location),
       lsm_config_(lsm_config),
       costs_(costs),
-      merge_lane_(sim) {}
+      merge_lane_(exec->MakeLane()) {}
 
 void EbCloud::OnMessage(NodeId from, Slice payload, SimTime now) {
   auto env = Envelope::Open(*keystore_, payload);
@@ -27,8 +27,8 @@ void EbCloud::OnMessage(NodeId from, Slice payload, SimTime now) {
   auto msg = EbCertify::Decode(env->body);
   if (!msg.ok()) return;
   const SimTime cost = costs_.CloudMerge(msg->block.ByteSize());
-  merge_lane_.Execute(cost, [this, from, m = std::move(*msg)]() mutable {
-    HandleCertify(from, std::move(m), sim_->now());
+  merge_lane_->Execute(cost, [this, from, m = std::move(*msg)]() mutable {
+    HandleCertify(from, std::move(m), exec_->Now());
   });
   (void)now;
 }
@@ -106,10 +106,10 @@ void EbCloud::HandleCertify(NodeId edge, EbCertify msg, SimTime now) {
 
 // ------------------------------------------------------------------- edge
 
-EbEdge::EbEdge(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+EbEdge::EbEdge(Executor* exec, Transport* net, const KeyStore* keystore,
                Signer signer, NodeId cloud, Dc location, EdgeConfig config,
                CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
@@ -117,7 +117,7 @@ EbEdge::EbEdge(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
       location_(location),
       config_(config),
       costs_(costs),
-      fg_(sim),
+      fg_(exec->MakeLane()),
       lsm_(config.lsm) {}
 
 void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
@@ -129,18 +129,18 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (!req.ok()) return;
       // Writes are admitted immediately: edge-side processing pipelines.
       const SimTime serial = costs_.EdgeBatchSerial(req->entries.size());
-      const SimTime done = fg_.Reserve(serial) + costs_.edge_batch_parallel;
-      sim_->ScheduleAt(done, [this, from, r = std::move(*req)]() mutable {
-        HandleWrite(from, std::move(r), sim_->now());
-      });
+      fg_->ExecuteAfter(serial, costs_.edge_batch_parallel,
+                        [this, from, r = std::move(*req)]() mutable {
+                          HandleWrite(from, std::move(r), exec_->Now());
+                        });
       break;
     }
     case MsgType::kReadRequest: {
       auto req = ReadRequest::Decode(env->body);
       if (!req.ok()) return;
       DeferOrRun([this, from, r = *req] {
-        fg_.Execute(costs_.edge_read_serial, [this, from, r] {
-          HandleReadBlock(from, r, sim_->now());
+        fg_->Execute(costs_.edge_read_serial, [this, from, r] {
+          HandleReadBlock(from, r, exec_->Now());
         });
       });
       break;
@@ -149,8 +149,8 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto req = GetRequest::Decode(env->body);
       if (!req.ok()) return;
       DeferOrRun([this, from, r = *req] {
-        fg_.Execute(costs_.edge_read_serial, [this, from, r] {
-          HandleGet(from, r, sim_->now());
+        fg_->Execute(costs_.edge_read_serial, [this, from, r] {
+          HandleGet(from, r, exec_->Now());
         });
       });
       break;
@@ -159,8 +159,8 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto req = ScanRequest::Decode(env->body);
       if (!req.ok()) return;
       DeferOrRun([this, from, r = *req] {
-        fg_.Execute(costs_.edge_read_serial, [this, from, r] {
-          HandleScan(from, r, sim_->now());
+        fg_->Execute(costs_.edge_read_serial, [this, from, r] {
+          HandleScan(from, r, exec_->Now());
         });
       });
       break;
@@ -171,8 +171,8 @@ void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (!resp.ok()) return;
       // Installing the returned pages costs CPU proportional to bytes.
       const SimTime cost = costs_.EbInstall(resp->ByteSize());
-      fg_.Execute(cost, [this, r = std::move(*resp)]() mutable {
-        HandleCertifyResponse(std::move(r), sim_->now());
+      fg_->Execute(cost, [this, r = std::move(*resp)]() mutable {
+        HandleCertifyResponse(std::move(r), exec_->Now());
       });
       break;
     }
@@ -307,10 +307,10 @@ void EbEdge::HandleReadBlock(NodeId from, const ReadRequest& req,
 
 // ----------------------------------------------------------------- client
 
-EbClient::EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+EbClient::EbClient(Executor* exec, Transport* net, const KeyStore* keystore,
                    Signer signer, NodeId edge, Dc location, CostModel costs,
                    ClientConfig config)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
@@ -327,7 +327,7 @@ void EbClient::SendWrite(MsgType type, std::vector<Entry> entries,
   req.entries = std::move(entries);
   pending_writes_[req.req_id] = std::move(cb);
   Bytes body = req.Encode();
-  net_->After(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
+  exec_->Charge(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
     net_->Send(id(), edge_, Envelope::Seal(signer_, type, std::move(b)));
   });
 }
@@ -418,11 +418,11 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       }
       const SimTime verified_at = now + costs_.client_verify_read;
       Block block = st.ok() ? std::move(resp->block) : Block{};
-      sim_->ScheduleAt(verified_at,
-                       [cb = std::move(cb), st, b = std::move(block),
-                        verified_at] {
-                         if (cb) cb(st, b, verified_at);
-                       });
+      exec_->Charge(costs_.client_verify_read,
+                    [cb = std::move(cb), st, b = std::move(block),
+                     verified_at] {
+                      if (cb) cb(st, b, verified_at);
+                    });
       break;
     }
     case MsgType::kGetResponse: {
@@ -440,12 +440,12 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
           VerifyGetResponse(*keystore_, edge_, key, resp->body, opts);
       if (verified.ok()) {
         VerifiedGet v = *verified;
-        sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+        exec_->Charge(costs_.client_verify_read, [cb, v, verified_at] {
           if (cb) cb(Status::OK(), v, verified_at);
         });
       } else {
         Status st = verified.status();
-        sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+        exec_->Charge(costs_.client_verify_read, [cb, st, verified_at] {
           if (cb) cb(st, VerifiedGet{}, verified_at);
         });
       }
@@ -467,12 +467,12 @@ void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       ScanCb cb = std::move(pending.cb);
       if (verified.ok()) {
         VerifiedScan v = std::move(*verified);
-        sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+        exec_->Charge(costs_.client_verify_read, [cb, v, verified_at] {
           if (cb) cb(Status::OK(), v, verified_at);
         });
       } else {
         Status st = verified.status();
-        sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+        exec_->Charge(costs_.client_verify_read, [cb, st, verified_at] {
           if (cb) cb(st, VerifiedScan{}, verified_at);
         });
       }

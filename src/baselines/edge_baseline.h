@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "core/config.h"
@@ -29,10 +30,8 @@
 #include "log/edge_log.h"
 #include "lsmerkle/lsmerkle_tree.h"
 #include "lsmerkle/verifier_cache.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
-#include "simnet/cpu.h"
-#include "simnet/network.h"
-#include "simnet/simulation.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
 
@@ -41,7 +40,7 @@ namespace wedge {
 /// The cloud side: authoritative mLSM per edge, synchronous certification.
 class EbCloud : public Endpoint {
  public:
-  EbCloud(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  EbCloud(Executor* exec, Transport* net, const KeyStore* keystore,
           Signer signer, Dc location, LsmConfig lsm_config, CostModel costs);
 
   void Start() { net_->Attach(id(), location_, this); }
@@ -61,14 +60,14 @@ class EbCloud : public Endpoint {
 
   void HandleCertify(NodeId edge, EbCertify msg, SimTime now);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   Dc location_;
   LsmConfig lsm_config_;
   CostModel costs_;
-  CpuLane merge_lane_;
+  std::unique_ptr<Lane> merge_lane_;
 
   std::unordered_map<NodeId, EdgeState> edges_;
   uint64_t blocks_certified_ = 0;
@@ -79,7 +78,7 @@ class EbCloud : public Endpoint {
 /// serves proof-carrying reads from the mirrored certified state.
 class EbEdge : public Endpoint {
  public:
-  EbEdge(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  EbEdge(Executor* exec, Transport* net, const KeyStore* keystore,
          Signer signer, NodeId cloud, Dc location, EdgeConfig config,
          CostModel costs);
 
@@ -112,15 +111,15 @@ class EbEdge : public Endpoint {
   void TrySendNextCertify();
   void DrainDeferredReads();
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   NodeId cloud_;
   Dc location_;
   EdgeConfig config_;
   CostModel costs_;
-  CpuLane fg_;
+  std::unique_ptr<Lane> fg_;
 
   EdgeLog log_;
   LsmerkleTree lsm_;
@@ -156,12 +155,16 @@ class EbClient : public Endpoint {
   using ReadBlockCb =
       std::function<void(const Status&, const Block&, SimTime)>;
 
-  EbClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  EbClient(Executor* exec, Transport* net, const KeyStore* keystore,
            Signer signer, NodeId edge, Dc location, CostModel costs,
            ClientConfig config = {});
 
   void Start() { net_->Attach(id(), location_, this); }
   NodeId id() const { return signer_.id(); }
+
+  /// Runs `fn` on this client's executor — the entry hop the synchronous
+  /// facade uses (inline under the simulator, posted under threads).
+  void Invoke(std::function<void()> fn) { exec_->Post(std::move(fn)); }
 
   void WriteBatch(const std::vector<std::pair<Key, Bytes>>& kvs, WriteCb cb);
 
@@ -195,8 +198,8 @@ class EbClient : public Endpoint {
  private:
   void SendWrite(MsgType type, std::vector<Entry> entries, WriteCb cb);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   NodeId edge_;

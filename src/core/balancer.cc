@@ -5,10 +5,10 @@
 
 namespace wedge {
 
-AutoBalancer::AutoBalancer(Simulation* sim,
+AutoBalancer::AutoBalancer(Executor* exec,
                            std::shared_ptr<OwnershipTable> table,
                            BalancerPolicy policy, Hooks hooks)
-    : sim_(sim),
+    : exec_(exec),
       table_(std::move(table)),
       policy_(policy),
       hooks_(std::move(hooks)) {
@@ -23,13 +23,13 @@ AutoBalancer::AutoBalancer(Simulation* sim,
 void AutoBalancer::Start() {
   if (started_) return;
   started_ = true;
-  sim_->ScheduleAfter(policy_.initial_delay, [this]() { ScheduleNextTick(); });
+  exec_->After(policy_.initial_delay, [this]() { ScheduleNextTick(); });
 }
 
 void AutoBalancer::ScheduleNextTick() {
   // The tick self-reschedules for the simulation's life, like the
   // cloud's gossip timer: every window read is one cheap event.
-  sim_->ScheduleAfter(policy_.tick_period, [this]() {
+  exec_->After(policy_.tick_period, [this]() {
     Tick();
     ScheduleNextTick();
   });
@@ -157,7 +157,7 @@ void AutoBalancer::Tick() {
     return;
   }
 
-  const SimTime now = sim_->now();
+  const SimTime now = exec_->Now();
   if (acted_once_ && now - last_action_at_ < policy_.cooldown) {
     stats_.cooldown_suppressed++;
     return;

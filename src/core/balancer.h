@@ -41,7 +41,7 @@
 
 #include "core/partitioner.h"
 #include "core/resharding.h"
-#include "simnet/simulation.h"
+#include "runtime/runtime.h"
 
 namespace wedge {
 
@@ -117,7 +117,7 @@ class AutoBalancer {
     std::function<bool()> busy;
   };
 
-  AutoBalancer(Simulation* sim, std::shared_ptr<OwnershipTable> table,
+  AutoBalancer(Executor* exec, std::shared_ptr<OwnershipTable> table,
                BalancerPolicy policy, Hooks hooks);
 
   /// Starts the recurring tick on the simulation. Idempotent.
@@ -149,7 +149,7 @@ class AutoBalancer {
   std::optional<size_t> MergeCandidate() const;
   bool AnyStreakBuilding() const;
 
-  Simulation* sim_;
+  Executor* exec_;
   std::shared_ptr<OwnershipTable> table_;
   BalancerPolicy policy_;
   Hooks hooks_;

@@ -4,11 +4,11 @@
 
 namespace wedge {
 
-WedgeClient::WedgeClient(Simulation* sim, SimNetwork* net,
+WedgeClient::WedgeClient(Executor* exec, Transport* net,
                          const KeyStore* keystore, Signer signer, NodeId edge,
                          NodeId cloud, Dc location, ClientConfig config,
                          CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
@@ -51,7 +51,7 @@ void WedgeClient::SendWrite(MsgType type, std::vector<Entry> entries,
   AddRequest req;
   req.req_id = next_req_id_++;
   PendingWrite pending;
-  pending.sent_at = sim_->now();
+  pending.sent_at = exec_->Now();
   pending.on_phase1 = std::move(cb1);
   pending.on_phase2 = std::move(cb2);
   for (const auto& e : entries) {
@@ -61,7 +61,7 @@ void WedgeClient::SendWrite(MsgType type, std::vector<Entry> entries,
   pending_writes_.emplace(req.req_id, std::move(pending));
   // Signing cost is charged as send latency.
   Bytes body = req.Encode();
-  net_->After(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
+  exec_->Charge(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
     SendSealed(edge_, type, std::move(b));
   });
 }
@@ -83,7 +83,7 @@ void WedgeClient::ReadBlock(BlockId bid, ReadCb cb) {
   req.req_id = next_req_id_++;
   req.bid = bid;
   PendingRead pending;
-  pending.sent_at = sim_->now();
+  pending.sent_at = exec_->Now();
   pending.bid = bid;
   pending.cb = std::move(cb);
   pending_reads_.emplace(req.req_id, std::move(pending));
@@ -95,7 +95,7 @@ void WedgeClient::Get(Key key, GetCb cb) {
   req.req_id = next_req_id_++;
   req.key = key;
   PendingGet pending;
-  pending.sent_at = sim_->now();
+  pending.sent_at = exec_->Now();
   pending.key = key;
   pending.cb = std::move(cb);
   pending_gets_.emplace(req.req_id, std::move(pending));
@@ -108,7 +108,7 @@ void WedgeClient::Scan(Key lo, Key hi, ScanCb cb) {
   req.lo = lo;
   req.hi = hi;
   PendingScan pending;
-  pending.sent_at = sim_->now();
+  pending.sent_at = exec_->Now();
   pending.lo = lo;
   pending.hi = hi;
   pending.cb = std::move(cb);
@@ -171,10 +171,10 @@ void WedgeClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       req.entries.push_back(std::move(e));
       pending_writes_.emplace(req.req_id, std::move(write));
       Bytes body = req.Encode();
-      net_->After(costs_.client_sign,
-                  [this, b = std::move(body)]() mutable {
-                    SendSealed(edge_, MsgType::kAddRequest, std::move(b));
-                  });
+      exec_->Charge(costs_.client_sign,
+                    [this, b = std::move(body)]() mutable {
+                      SendSealed(edge_, MsgType::kAddRequest, std::move(b));
+                    });
       break;
     }
     case MsgType::kDisputeVerdict: {
@@ -225,18 +225,23 @@ void WedgeClient::HandleAddResponse(NodeId from, const Envelope& env,
   pending.phase1_done = true;
   stats_.phase1_commits++;
 
-  const SimTime done = now + costs_.client_verify_add;
   Phase1Cb cb = pending.on_phase1;
   BlockId bid = pending.first_bid;
   if (cb) {
-    sim_->ScheduleAt(done, [cb, bid, done] { cb(Status::OK(), bid, done); });
+    // Stamp the commit when the callback actually fires: under the
+    // simulator that is exactly now + client_verify_add; under threads
+    // the charge is a pass-through and pre-adding the modeled cost
+    // would stamp Phase I later than a soon-after Phase II.
+    Executor* exec = exec_;
+    exec_->Charge(costs_.client_verify_add,
+                  [cb, bid, exec] { cb(Status::OK(), bid, exec->Now()); });
   }
   ArmProofTimeout(resp->req_id, bid);
 }
 
 void WedgeClient::ArmProofTimeout(SeqNum req_id, BlockId bid) {
   if (config_.proof_timeout <= 0) return;
-  net_->After(config_.proof_timeout, [this, req_id, bid] {
+  exec_->After(config_.proof_timeout, [this, req_id, bid] {
     auto it = pending_writes_.find(req_id);
     if (it == pending_writes_.end()) return;  // Phase II already done
     // Proofs still outstanding: escalate each unproven block to the cloud
@@ -248,7 +253,7 @@ void WedgeClient::ArmProofTimeout(SeqNum req_id, BlockId bid) {
     if (it->second.on_phase2) {
       it->second.on_phase2(
           Status::Timeout("no block-proof before timeout; dispute raised"),
-          bid, sim_->now());
+          bid, exec_->Now());
     }
     pending_writes_.erase(it);
   });
@@ -367,7 +372,7 @@ void WedgeClient::HandleReadResponse(NodeId from, const Envelope& env,
       stats_.reads_ok++;
       ReadCb cb = pending.cb;
       Block block = resp->block;
-      sim_->ScheduleAt(verified_at, [cb, block, verified_at] {
+      exec_->Charge(costs_.client_verify_read, [cb, block, verified_at] {
         if (cb) cb(Status::OK(), block, true, verified_at);
       });
     } else {
@@ -389,7 +394,7 @@ void WedgeClient::HandleReadResponse(NodeId from, const Envelope& env,
   read_by_bid_[pending.bid] = resp->req_id;
   ReadCb cb = pending.cb;
   Block block = resp->block;
-  sim_->ScheduleAt(verified_at, [cb, block, verified_at] {
+  exec_->Charge(costs_.client_verify_read, [cb, block, verified_at] {
     if (cb) cb(Status::OK(), block, false, verified_at);
   });
   // The same callback fires again at Phase II (or on mismatch).
@@ -428,14 +433,14 @@ void WedgeClient::HandleScanResponse(const Envelope& env, SimTime now) {
                             ? resp->body.root_cert->epoch
                             : 0;
     if (Status mono = CheckSnapshotMonotonic(epoch); !mono.ok()) {
-      sim_->ScheduleAt(verified_at, [cb, mono, verified_at] {
+      exec_->Charge(costs_.client_verify_read, [cb, mono, verified_at] {
         if (cb) cb(mono, VerifiedScan{}, verified_at);
       });
       return;
     }
     stats_.scans_ok++;
     VerifiedScan v = std::move(*verified);
-    sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+    exec_->Charge(costs_.client_verify_read, [cb, v, verified_at] {
       if (cb) cb(Status::OK(), v, verified_at);
     });
   } else {
@@ -449,7 +454,7 @@ void WedgeClient::HandleScanResponse(const Envelope& env, SimTime now) {
       RaiseDispute(DisputeKind::kScanTruncation, 0, env.raw);
     }
     Status st = verified.status();
-    sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+    exec_->Charge(costs_.client_verify_read, [cb, st, verified_at] {
       if (cb) cb(st, VerifiedScan{}, verified_at);
     });
   }
@@ -476,14 +481,14 @@ void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
                             ? resp->body.root_cert->epoch
                             : 0;
     if (Status mono = CheckSnapshotMonotonic(epoch); !mono.ok()) {
-      sim_->ScheduleAt(verified_at, [cb, mono, verified_at] {
+      exec_->Charge(costs_.client_verify_read, [cb, mono, verified_at] {
         if (cb) cb(mono, VerifiedGet{}, verified_at);
       });
       return;
     }
     stats_.gets_ok++;
     VerifiedGet v = *verified;
-    sim_->ScheduleAt(verified_at, [cb, v, verified_at] {
+    exec_->Charge(costs_.client_verify_read, [cb, v, verified_at] {
       if (cb) cb(Status::OK(), v, verified_at);
     });
   } else {
@@ -493,7 +498,7 @@ void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
       stats_.verification_failures++;
     }
     Status st = verified.status();
-    sim_->ScheduleAt(verified_at, [cb, st, verified_at] {
+    exec_->Charge(costs_.client_verify_read, [cb, st, verified_at] {
       if (cb) cb(st, VerifiedGet{}, verified_at);
     });
   }

@@ -18,9 +18,8 @@
 #include "lsmerkle/kv.h"
 #include "lsmerkle/read_proof.h"
 #include "lsmerkle/verifier_cache.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
-#include "simnet/network.h"
-#include "simnet/simulation.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
 
@@ -60,13 +59,18 @@ class WedgeClient : public Endpoint {
   using ScanCb =
       std::function<void(const Status&, const VerifiedScan&, SimTime)>;
 
-  WedgeClient(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  WedgeClient(Executor* exec, Transport* net, const KeyStore* keystore,
               Signer signer, NodeId edge, NodeId cloud, Dc location,
               ClientConfig config, CostModel costs);
 
   void Start() { net_->Attach(id(), location_, this); }
 
   NodeId id() const { return signer_.id(); }
+
+  /// Runs `fn` on this client's executor — the entry hop the synchronous
+  /// facade uses so every operation starts on the client's serialized
+  /// executor (inline under the simulator, posted under threads).
+  void Invoke(std::function<void()> fn) { exec_->Post(std::move(fn)); }
 
   /// The edge node this client is pinned to — in a sharded deployment,
   /// the edge hosting this physical client's shard.
@@ -178,8 +182,8 @@ class WedgeClient : public Endpoint {
 
   void SendSealed(NodeId to, MsgType type, Bytes body);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   NodeId edge_;

@@ -6,11 +6,11 @@
 
 namespace wedge {
 
-CloudNode::CloudNode(Simulation* sim, SimNetwork* net,
+CloudNode::CloudNode(Executor* exec, Transport* net,
                      const KeyStore* keystore, TrustAuthority* authority,
                      Signer signer, Dc location, CloudConfig config,
                      CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       authority_(authority),
@@ -18,13 +18,13 @@ CloudNode::CloudNode(Simulation* sim, SimNetwork* net,
       location_(location),
       config_(config),
       costs_(costs),
-      cert_lane_(sim),
-      merge_lane_(sim) {}
+      cert_lane_(exec->MakeLane()),
+      merge_lane_(exec->MakeLane()) {}
 
 void CloudNode::Start() {
   net_->Attach(id(), location_, this);
   if (config_.gossip_period > 0) {
-    net_->After(config_.gossip_period, [this] { GossipTick(); });
+    exec_->After(config_.gossip_period, [this] { GossipTick(); });
   }
 }
 
@@ -106,8 +106,8 @@ void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
             costs_.cloud_merge_per_byte *
             static_cast<double>(msg->full_block->ByteSize()));
       }
-      cert_lane_.Execute(cost, [this, from, m = *msg] {
-        HandleBlockCertify(from, m, sim_->now());
+      cert_lane_->Execute(cost, [this, from, m = *msg] {
+        HandleBlockCertify(from, m, exec_->Now());
       });
       break;
     }
@@ -116,8 +116,8 @@ void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
       if (!msg.ok()) return;
       if (!keystore_->HasRole(from, Role::kEdge)) return;
       const SimTime cost = costs_.CloudMerge(msg->ByteSize());
-      merge_lane_.Execute(cost, [this, from, m = std::move(*msg)] {
-        HandleMergeRequest(from, m, sim_->now());
+      merge_lane_->Execute(cost, [this, from, m = std::move(*msg)] {
+        HandleMergeRequest(from, m, exec_->Now());
       });
       break;
     }
@@ -125,9 +125,9 @@ void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto msg = Dispute::Decode(env->body);
       if (!msg.ok()) return;
       if (!keystore_->HasRole(from, Role::kClient)) return;
-      merge_lane_.Execute(costs_.cloud_cert_fixed,
+      merge_lane_->Execute(costs_.cloud_cert_fixed,
                           [this, from, m = std::move(*msg)] {
-                            HandleDispute(from, m, sim_->now());
+                            HandleDispute(from, m, exec_->Now());
                           });
       break;
     }
@@ -135,8 +135,8 @@ void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
       auto msg = BackupFetch::Decode(env->body);
       if (!msg.ok()) return;
       if (!keystore_->HasRole(from, Role::kEdge)) return;
-      merge_lane_.Execute(costs_.cloud_cert_fixed, [this, from, m = *msg] {
-        HandleBackupFetch(from, m, sim_->now());
+      merge_lane_->Execute(costs_.cloud_cert_fixed, [this, from, m = *msg] {
+        HandleBackupFetch(from, m, exec_->Now());
       });
       break;
     }
@@ -405,7 +405,7 @@ void CloudNode::HandleBackupFetch(NodeId edge, const BackupFetch& msg,
 
 void CloudNode::GossipTick() {
   for (auto& [edge, rec] : edges_) {
-    Gossip g{edge, rec.contiguous, sim_->now()};
+    Gossip g{edge, rec.contiguous, exec_->Now()};
     Bytes body = g.Encode();
     auto range = gossip_subs_.equal_range(edge);
     for (auto it = range.first; it != range.second; ++it) {
@@ -413,7 +413,7 @@ void CloudNode::GossipTick() {
       stats_.gossip_sent++;
     }
   }
-  net_->After(config_.gossip_period, [this] { GossipTick(); });
+  exec_->After(config_.gossip_period, [this] { GossipTick(); });
 }
 
 void CloudNode::FlagMalicious(NodeId edge, const std::string& reason,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -22,10 +23,8 @@
 #include "core/config.h"
 #include "core/trust_authority.h"
 #include "crypto/signature.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
-#include "simnet/cpu.h"
-#include "simnet/network.h"
-#include "simnet/simulation.h"
 #include "storage/cloud_storage.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
@@ -47,7 +46,7 @@ struct CloudStats {
 
 class CloudNode : public Endpoint {
  public:
-  CloudNode(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  CloudNode(Executor* exec, Transport* net, const KeyStore* keystore,
             TrustAuthority* authority, Signer signer, Dc location,
             CloudConfig config, CostModel costs);
 
@@ -110,8 +109,8 @@ class CloudNode : public Endpoint {
 
   void SendSealed(NodeId to, MsgType type, Bytes body);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   TrustAuthority* authority_;
   Signer signer_;
@@ -119,8 +118,8 @@ class CloudNode : public Endpoint {
   CloudConfig config_;
   CostModel costs_;
 
-  CpuLane cert_lane_;   // digest certification (cheap, data-free)
-  CpuLane merge_lane_;  // merges & dispute adjudication (heavier)
+  std::unique_ptr<Lane> cert_lane_;   // digest certification (data-free)
+  std::unique_ptr<Lane> merge_lane_;  // merges & dispute adjudication
 
   std::unordered_map<NodeId, EdgeRecord> edges_;
   std::set<NodeId> flagged_;

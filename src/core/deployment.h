@@ -1,6 +1,10 @@
-// Deployment: wires a complete WedgeChain topology on the simulator —
-// keystore, trust authority, network, one cloud, one edge (the paper
-// reports single-partition results, §VI), and N clients.
+// Deployment: wires a complete WedgeChain topology on a runtime —
+// keystore, trust authority, transport, one cloud, one edge (the paper
+// reports single-partition results, §VI), and N clients. The runtime is
+// the deterministic simulator by default; DeploymentConfig::runtime
+// selects ThreadedRuntime for real-thread execution (edges and the
+// cloud each get a dedicated worker thread, clients share the driver
+// pool).
 //
 // Used by integration tests, benchmarks, and examples — usually through
 // the wedge::Store façade (api/store.h), which owns a Deployment when
@@ -19,15 +23,17 @@
 #include "core/partitioner.h"
 #include "core/topology.h"
 #include "core/trust_authority.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
 #include "simnet/network.h"
-#include "simnet/simulation.h"
 
 namespace wedge {
 
 struct DeploymentConfig {
   uint64_t seed = 1;
   NetworkConfig net;
+  /// Which runtime to wire the deployment onto (sim by default).
+  RuntimeConfig runtime;
   CostModel costs;
   Dc client_dc = Dc::kCalifornia;
   Dc edge_dc = Dc::kCalifornia;
@@ -61,16 +67,22 @@ struct DeploymentConfig {
 class Deployment {
  public:
   explicit Deployment(const DeploymentConfig& config)
-      : config_(config), topo_(config.seed, config.net),
+      : config_(config), topo_(config.seed, config.net, config.runtime),
         authority_(&topo_.keystore()) {
+    Runtime& rt = topo_.runtime();
+    Signer cloud_signer = topo_.RegisterCloud();
+    Executor* cloud_exec =
+        rt.ExecutorFor(cloud_signer.id(), ExecRole::kDedicated);
     cloud_ = std::make_unique<CloudNode>(
-        &topo_.sim(), &topo_.net(), &topo_.keystore(), &authority_,
-        topo_.RegisterCloud(), config.cloud_dc, config.cloud, config.costs);
+        cloud_exec, &topo_.transport(), &topo_.keystore(), &authority_,
+        std::move(cloud_signer), config.cloud_dc, config.cloud, config.costs);
 
     const size_t num_edges = config.num_edges == 0 ? 1 : config.num_edges;
     for (size_t e = 0; e < num_edges; ++e) {
+      Signer s = topo_.RegisterEdge(e);
+      Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kDedicated);
       edges_.push_back(std::make_unique<EdgeNode>(
-          &topo_.sim(), &topo_.net(), &topo_.keystore(), topo_.RegisterEdge(e),
+          exec, &topo_.transport(), &topo_.keystore(), std::move(s),
           cloud_->id(), config.edge_dc, config.edge, config.costs));
     }
 
@@ -79,12 +91,18 @@ class Deployment {
         [&](Signer s, size_t i) {
           // Each client belongs to one partition/edge (§III).
           EdgeNode* home = edges_[config.HomeEdgeIndex(i, edges_.size())].get();
+          Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kPooled);
           clients_.push_back(std::make_unique<WedgeClient>(
-              &topo_.sim(), &topo_.net(), &topo_.keystore(), std::move(s),
+              exec, &topo_.transport(), &topo_.keystore(), std::move(s),
               home->id(), cloud_->id(), config.client_dc, config.client,
               config.costs));
         });
   }
+
+  /// Worker threads must stop before the nodes they reference are
+  /// destroyed (members below are destroyed in reverse declaration
+  /// order, i.e. nodes before topo_).
+  ~Deployment() { topo_.runtime().Shutdown(); }
 
   /// Attaches every node to the network and starts timers/gossip.
   void Start() {
@@ -98,6 +116,9 @@ class Deployment {
     }
   }
 
+  Runtime& runtime() { return topo_.runtime(); }
+  Transport& transport() { return topo_.transport(); }
+  /// Sim-only; aborts under ThreadedRuntime (see Topology).
   Simulation& sim() { return topo_.sim(); }
   SimNetwork& net() { return topo_.net(); }
   KeyStore& keystore() { return topo_.keystore(); }

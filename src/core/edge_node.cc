@@ -7,10 +7,10 @@
 
 namespace wedge {
 
-EdgeNode::EdgeNode(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+EdgeNode::EdgeNode(Executor* exec, Transport* net, const KeyStore* keystore,
                    Signer signer, NodeId cloud, Dc location, EdgeConfig config,
                    CostModel costs)
-    : sim_(sim),
+    : exec_(exec),
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
@@ -18,8 +18,8 @@ EdgeNode::EdgeNode(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
       location_(location),
       config_(config),
       costs_(costs),
-      fg_(sim),
-      bg_(sim),
+      fg_(exec->MakeLane()),
+      bg_(exec->MakeLane()),
       builder_(config.ops_per_block, 0),
       lsm_(config.lsm) {}
 
@@ -57,41 +57,41 @@ void EdgeNode::OnMessage(NodeId from, Slice payload, SimTime now) {
       const bool is_kv = env->type == MsgType::kPutRequest;
       // Foreground lane: serialized batch handling + parallelizable tail.
       const SimTime serial = costs_.EdgeBatchSerial(req->entries.size());
-      const SimTime done = fg_.Reserve(serial) + costs_.edge_batch_parallel;
-      sim_->ScheduleAt(done, [this, from, r = std::move(*req), is_kv] {
-        HandleWrite(from, r, is_kv, sim_->now());
-      });
+      fg_->ExecuteAfter(serial, costs_.edge_batch_parallel,
+                        [this, from, r = std::move(*req), is_kv] {
+                          HandleWrite(from, r, is_kv, exec_->Now());
+                        });
       break;
     }
     case MsgType::kReadRequest: {
       auto req = ReadRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.edge_read_serial, [this, from, r = *req] {
-        HandleRead(from, r, sim_->now());
+      fg_->Execute(costs_.edge_read_serial, [this, from, r = *req] {
+        HandleRead(from, r, exec_->Now());
       });
       break;
     }
     case MsgType::kGetRequest: {
       auto req = GetRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.edge_read_serial, [this, from, r = *req] {
-        HandleGet(from, r, sim_->now());
+      fg_->Execute(costs_.edge_read_serial, [this, from, r = *req] {
+        HandleGet(from, r, exec_->Now());
       });
       break;
     }
     case MsgType::kScanRequest: {
       auto req = ScanRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.edge_read_serial, [this, from, r = *req] {
-        HandleScan(from, r, sim_->now());
+      fg_->Execute(costs_.edge_read_serial, [this, from, r = *req] {
+        HandleScan(from, r, exec_->Now());
       });
       break;
     }
     case MsgType::kReserveRequest: {
       auto req = ReserveRequest::Decode(env->body);
       if (!req.ok()) return;
-      fg_.Execute(costs_.edge_read_serial, [this, from, r = *req] {
-        HandleReserve(from, r, sim_->now());
+      fg_->Execute(costs_.edge_read_serial, [this, from, r = *req] {
+        HandleReserve(from, r, exec_->Now());
       });
       break;
     }
@@ -239,7 +239,7 @@ void EdgeNode::FinishBlock(Block block, bool is_kv, SimTime now) {
     const SimTime cost = costs_.EdgeCert(block.ByteSize());
     std::optional<Block> full;
     if (config_.ship_full_blocks) full = block;
-    bg_.Execute(cost, [this, bid, digest, is_kv, full = std::move(full)] {
+    bg_->Execute(cost, [this, bid, digest, is_kv, full = std::move(full)] {
       BlockCertify msg;
       msg.bid = bid;
       msg.digest = digest;
@@ -497,7 +497,7 @@ void EdgeNode::MaybeStartMerge(SimTime now, bool noop) {
 
   // Preparing and shipping the merge runs on the background lane.
   const SimTime cost = costs_.EdgeCert(req.ByteSize());
-  bg_.Execute(cost, [this, r = std::move(req)] {
+  bg_->Execute(cost, [this, r = std::move(req)] {
     SendSealed(cloud_, MsgType::kMergeRequest, r.Encode());
   });
   (void)now;
@@ -544,11 +544,11 @@ void EdgeNode::HandleMergeResponse(const MergeResponse& resp, SimTime now) {
 void EdgeNode::ScheduleFlushTimer() {
   if (config_.partial_flush_delay <= 0) return;
   const uint64_t gen = flush_generation_;
-  net_->After(config_.partial_flush_delay, [this, gen] {
+  exec_->After(config_.partial_flush_delay, [this, gen] {
     // Only flush if no block has formed since the timer was armed.
     if (flush_generation_ == gen && builder_.pending() > 0) {
-      fg_.Execute(costs_.EdgeBatchSerial(0), [this] {
-        FormBlock(buffer_is_kv_, sim_->now());
+      fg_->Execute(costs_.EdgeBatchSerial(0), [this] {
+        FormBlock(buffer_is_kv_, exec_->Now());
       });
     }
   });
@@ -556,9 +556,9 @@ void EdgeNode::ScheduleFlushTimer() {
 
 void EdgeNode::ScheduleNoopTimer() {
   if (config_.noop_merge_period <= 0) return;
-  net_->After(config_.noop_merge_period, [this] {
-    if (sim_->now() - last_merge_time_ >= config_.noop_merge_period) {
-      MaybeStartMerge(sim_->now(), /*noop=*/true);
+  exec_->After(config_.noop_merge_period, [this] {
+    if (exec_->Now() - last_merge_time_ >= config_.noop_merge_period) {
+      MaybeStartMerge(exec_->Now(), /*noop=*/true);
     }
     ScheduleNoopTimer();
   });

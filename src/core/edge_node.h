@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,10 +25,8 @@
 #include "log/block_builder.h"
 #include "log/edge_log.h"
 #include "lsmerkle/lsmerkle_tree.h"
+#include "runtime/runtime.h"
 #include "simnet/cost_model.h"
-#include "simnet/cpu.h"
-#include "simnet/network.h"
-#include "simnet/simulation.h"
 #include "storage/edge_storage.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
@@ -55,7 +54,7 @@ struct EdgeStats {
 
 class EdgeNode : public Endpoint {
  public:
-  EdgeNode(Simulation* sim, SimNetwork* net, const KeyStore* keystore,
+  EdgeNode(Executor* exec, Transport* net, const KeyStore* keystore,
            Signer signer, NodeId cloud, Dc location, EdgeConfig config,
            CostModel costs);
 
@@ -127,8 +126,8 @@ class EdgeNode : public Endpoint {
 
   void SendSealed(NodeId to, MsgType type, Bytes body);
 
-  Simulation* sim_;
-  SimNetwork* net_;
+  Executor* exec_;
+  Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
   NodeId cloud_;
@@ -137,8 +136,8 @@ class EdgeNode : public Endpoint {
   CostModel costs_;
   EdgeMisbehavior misbehavior_;
 
-  CpuLane fg_;  // request path
-  CpuLane bg_;  // certification pipeline + merge prep
+  std::unique_ptr<Lane> fg_;  // request path
+  std::unique_ptr<Lane> bg_;  // certification pipeline + merge prep
 
   BlockBuilder builder_;
   EdgeLog log_;

@@ -1,21 +1,25 @@
 #include "core/resharding.h"
 
+#include <mutex>
 #include <string>
 #include <utility>
 
 namespace wedge {
 
 ReshardingCoordinator::ReshardingCoordinator(
-    Simulation* sim, std::shared_ptr<OwnershipTable> table,
+    Executor* exec, std::shared_ptr<OwnershipTable> table,
     ShardMigrationHost* host, ReshardingConfig config)
-    : sim_(sim), table_(std::move(table)), host_(host), config_(config) {}
+    : exec_(exec), table_(std::move(table)), host_(host), config_(config) {}
 
 void ReshardingCoordinator::Abort(MigrationKind kind, const Status& why,
                                   SimTime now, const SplitCb& done) {
-  if (kind == MigrationKind::kMerge) {
-    stats_.merges_failed++;
-  } else {
-    stats_.splits_failed++;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (kind == MigrationKind::kMerge) {
+      stats_.merges_failed++;
+    } else {
+      stats_.splits_failed++;
+    }
   }
   in_flight_ = false;
   host_->LiftFence();  // parked writes flush to the unchanged owners
@@ -31,6 +35,7 @@ void ReshardingCoordinator::RecordCertificate(uint64_t seq,
   auto it = applied_.find(seq);
   if (it == applied_.end()) return;
   MigrationReport& report = it->second;
+  std::lock_guard<std::mutex> lock(stats_mu_);
   if (!status.ok()) {
     // The epoch is live but the handoff's lazy trust chain did not
     // close — surface it, don't let it masquerade as "still pending".
@@ -51,17 +56,20 @@ void ReshardingCoordinator::RunMigration(
     MigrationKind kind, size_t source, size_t dest, Key lo, Key hi,
     std::function<Result<OwnershipEpoch>()> install, SplitCb done) {
   in_flight_ = true;
-  if (kind == MigrationKind::kMerge) {
-    stats_.merges_started++;
-  } else {
-    stats_.splits_started++;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (kind == MigrationKind::kMerge) {
+      stats_.merges_started++;
+    } else {
+      stats_.splits_started++;
+    }
   }
   const uint64_t seq = ++split_seq_;
 
   // Step 1: fence the moving range, then let in-flight writes drain into
   // the source tree before the export snapshot.
   host_->FenceRange(lo, hi);
-  sim_->ScheduleAfter(config_.drain_delay, [this, kind, source, dest, lo, hi,
+  exec_->After(config_.drain_delay, [this, kind, source, dest, lo, hi,
                                             seq, install = std::move(install),
                                             done]() {
     // Step 2: completeness-verified export. A lying source surfaces
@@ -92,12 +100,15 @@ void ReshardingCoordinator::RunMigration(
             report.moved_hi = hi;
             report.pairs_moved = moved;
             report.applied_at = t2;
-            if (kind == MigrationKind::kMerge) {
-              stats_.merges_applied++;
-            } else {
-              stats_.splits_applied++;
+            {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              if (kind == MigrationKind::kMerge) {
+                stats_.merges_applied++;
+              } else {
+                stats_.splits_applied++;
+              }
+              stats_.pairs_migrated += moved;
             }
-            stats_.pairs_migrated += moved;
             MigrationReport& slot = applied_[seq];
             slot = report;
             // Keep the history a window: drop the oldest finalized
@@ -141,7 +152,7 @@ void ReshardingCoordinator::RunMigration(
 }
 
 void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
-  const SimTime now = sim_->now();
+  const SimTime now = exec_->Now();
   // Pre-flight rejections: no migration started, so splits_failed (which
   // counts migrations aborted mid-flight) stays untouched.
   auto fail = [&](Status s) {
@@ -201,7 +212,7 @@ void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {
 }
 
 void ReshardingCoordinator::MergeShards(size_t source, SplitCb done) {
-  const SimTime now = sim_->now();
+  const SimTime now = exec_->Now();
   auto fail = [&](Status s) {
     if (done) done(std::move(s), MigrationReport{}, now);
   };

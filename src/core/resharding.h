@@ -42,11 +42,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/partitioner.h"
 #include "lsmerkle/kv.h"
-#include "simnet/simulation.h"
+#include "runtime/runtime.h"
 
 namespace wedge {
 
@@ -169,7 +170,7 @@ class ReshardingCoordinator {
     uint64_t pairs_migrated = 0;
   };
 
-  ReshardingCoordinator(Simulation* sim,
+  ReshardingCoordinator(Executor* exec,
                         std::shared_ptr<OwnershipTable> table,
                         ShardMigrationHost* host, ReshardingConfig config = {});
 
@@ -188,7 +189,15 @@ class ReshardingCoordinator {
   void MergeShards(size_t source, SplitCb done);
 
   bool migration_in_flight() const { return in_flight_; }
+  /// Sim-only live reference; concurrent readers use stats_snapshot().
   const Stats& stats() const { return stats_; }
+  /// Value-copy of the migration counters under the stats lock — safe to
+  /// read (Store::stats()) from any thread while the coordinator runs on
+  /// a ThreadedRuntime control worker.
+  Stats stats_snapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   /// The most recent applied migration (certified flips asynchronously
   /// when its handoff certificate lands). Default object before the
   /// first.
@@ -220,7 +229,7 @@ class ReshardingCoordinator {
              const SplitCb& done);
   void RecordCertificate(uint64_t seq, const Status& status, SimTime at);
 
-  Simulation* sim_;
+  Executor* exec_;
   std::shared_ptr<OwnershipTable> table_;
   ShardMigrationHost* host_;
   ReshardingConfig config_;
@@ -233,6 +242,9 @@ class ReshardingCoordinator {
   uint64_t split_seq_ = 0;
   std::map<uint64_t, MigrationReport> applied_;
   MigrationReport none_;
+  /// Counter mutations happen on the control executor; the lock exists
+  /// for cross-thread snapshot reads (stats_snapshot).
+  mutable std::mutex stats_mu_;
   Stats stats_;
 };
 

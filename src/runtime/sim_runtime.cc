@@ -1,0 +1,100 @@
+#include "runtime/sim_runtime.h"
+
+#include <string>
+#include <utility>
+
+#include "simnet/cpu.h"
+
+namespace wedge {
+
+std::string_view RuntimeKindToString(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kSim:
+      return "sim";
+    case RuntimeKind::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// CpuLane behind the Lane interface: identical scheduling to the
+/// pre-seam node code.
+class SimLane : public Lane {
+ public:
+  SimLane(Simulation* sim) : sim_(sim), lane_(sim) {}
+
+  void Execute(SimTime serial_cost, std::function<void()> fn) override {
+    lane_.Execute(serial_cost, std::move(fn));
+  }
+
+  void ExecuteAfter(SimTime serial_cost, SimTime extra_latency,
+                    std::function<void()> fn) override {
+    sim_->ScheduleAt(lane_.Reserve(serial_cost) + extra_latency,
+                     std::move(fn));
+  }
+
+ private:
+  Simulation* sim_;
+  CpuLane lane_;
+};
+
+}  // namespace
+
+class SimRuntime::SimExecutor : public Executor {
+ public:
+  explicit SimExecutor(Simulation* sim) : sim_(sim) {}
+
+  SimTime Now() const override { return sim_->now(); }
+  void Post(std::function<void()> fn) override { fn(); }
+  void After(SimTime delay, std::function<void()> fn) override {
+    sim_->ScheduleAfter(delay, std::move(fn));
+  }
+  void Charge(SimTime cost, std::function<void()> fn) override {
+    sim_->ScheduleAfter(cost, std::move(fn));
+  }
+  std::unique_ptr<Lane> MakeLane() override {
+    return std::make_unique<SimLane>(sim_);
+  }
+
+ private:
+  Simulation* sim_;
+};
+
+SimRuntime::SimRuntime(uint64_t seed, const NetworkConfig& net_config)
+    : sim_(seed) {
+  net_ = std::make_unique<SimNetwork>(&sim_, net_config);
+  exec_ = std::make_unique<SimExecutor>(&sim_);
+}
+
+SimRuntime::~SimRuntime() = default;
+
+Clock& SimRuntime::clock() { return *exec_; }
+
+Executor* SimRuntime::ExecutorFor(NodeId id, ExecRole role) {
+  (void)id;
+  (void)role;
+  return exec_.get();
+}
+
+Executor* SimRuntime::ControlExecutor() { return exec_.get(); }
+
+Status SimRuntime::WaitUntil(SimTime timeout,
+                             const std::function<bool()>& pred) {
+  const SimTime deadline = sim_.now() + timeout;
+  while (!pred()) {
+    if (sim_.now() > deadline) {
+      return Status::Timeout("operation incomplete after pumping " +
+                             std::to_string(timeout) +
+                             "us of virtual time");
+    }
+    if (!sim_.Step()) {
+      return Status::Unavailable(
+          "simulation drained before the operation completed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wedge

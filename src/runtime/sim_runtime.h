@@ -1,0 +1,58 @@
+// SimRuntime: the runtime seam implemented over the discrete-event
+// machinery in src/simnet/ — the default runtime, kept behavior-identical
+// to the pre-seam wiring so every test, figure reproduction and the
+// calibrated CostModel stay deterministic.
+//
+//  - Executor::Post runs inline (the caller already holds the single
+//    simulation thread), After/Charge are ScheduleAfter, Now is the
+//    virtual clock.
+//  - Lane wraps CpuLane: Execute(cost, fn) reserves the lane and
+//    schedules fn at completion, exactly as nodes called CpuLane before.
+//  - WaitUntil steps the simulator until the predicate holds — the
+//    Store facade's pump loop.
+
+#pragma once
+
+#include <memory>
+
+#include "runtime/runtime.h"
+#include "simnet/network.h"
+#include "simnet/simulation.h"
+
+namespace wedge {
+
+class SimRuntime : public Runtime {
+ public:
+  SimRuntime(uint64_t seed, const NetworkConfig& net_config);
+  ~SimRuntime() override;
+
+  RuntimeKind kind() const override { return RuntimeKind::kSim; }
+  Transport& transport() override { return *net_; }
+  Clock& clock() override;
+  SimTime Now() const override { return sim_.now(); }
+
+  Executor* ExecutorFor(NodeId id, ExecRole role) override;
+  Executor* ControlExecutor() override;
+
+  void RunFor(SimTime duration) override { sim_.RunFor(duration); }
+  void RunUntil(SimTime until) override { sim_.RunUntil(until); }
+
+  Status WaitUntil(SimTime timeout,
+                   const std::function<bool()>& pred) override;
+  void RunOnCompletion(std::function<void()> fn) override { fn(); }
+  void Shutdown() override {}
+
+  /// The underlying simulator / network, for sim-only callers (failure
+  /// injection, network stats, deterministic stepping).
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+
+ private:
+  class SimExecutor;
+
+  Simulation sim_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SimExecutor> exec_;
+};
+
+}  // namespace wedge

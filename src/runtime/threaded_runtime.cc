@@ -1,0 +1,305 @@
+#include "runtime/threaded_runtime.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace wedge {
+namespace internal {
+
+namespace {
+/// The worker whose thread is currently executing, so Post() can detect
+/// self-posts and route them past the bounded inbox (a worker blocking
+/// on its own full inbox would deadlock).
+thread_local Worker* g_current_worker = nullptr;
+}  // namespace
+
+Worker::Worker(size_t inbox_capacity, TimePoint epoch)
+    : epoch_(epoch), inbox_(inbox_capacity) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+Worker::~Worker() {
+  Close();
+  Join();
+}
+
+void Worker::Post(Task fn) {
+  if (g_current_worker == this) {
+    self_.push_back(std::move(fn));
+    return;
+  }
+  inbox_.Push(std::move(fn));  // dropped if closed
+}
+
+void Worker::After(SimTime delay, Task fn) {
+  const TimePoint at =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(delay);
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.emplace(at, std::move(fn));
+  }
+  // The worker may be waiting with a later (or no) deadline.
+  inbox_.Nudge();
+}
+
+SimTime Worker::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Worker::Close() { inbox_.Close(); }
+
+void Worker::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::DrainSelf() {
+  while (!self_.empty()) {
+    Task fn = std::move(self_.front());
+    self_.pop_front();
+    fn();
+  }
+}
+
+void Worker::FireDueTimers() {
+  // Pending timers are dropped at shutdown: only accepted tasks drain.
+  if (inbox_.closed()) return;
+  for (;;) {
+    Task fn;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (timers_.empty()) return;
+      auto it = timers_.begin();
+      if (it->first > std::chrono::steady_clock::now()) return;
+      fn = std::move(it->second);
+      timers_.erase(it);
+    }
+    fn();
+    DrainSelf();
+  }
+}
+
+void Worker::Run() {
+  g_current_worker = this;
+  for (;;) {
+    DrainSelf();
+    FireDueTimers();
+    DrainSelf();
+    if (inbox_.closed() && inbox_.size() == 0 && self_.empty()) break;
+    TimePoint deadline;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      deadline = timers_.empty() ? std::chrono::steady_clock::now() +
+                                       std::chrono::seconds(1)
+                                 : timers_.begin()->first;
+    }
+    if (auto task = inbox_.PopUntil(deadline)) {
+      (*task)();
+    }
+  }
+  g_current_worker = nullptr;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Under threads the "charged" computation (hashing, verification)
+/// already ran inline on the worker, so lane work is just a serialized
+/// deferral to the owning executor — no added delay.
+class ThreadedLane : public Lane {
+ public:
+  explicit ThreadedLane(internal::Worker* worker) : worker_(worker) {}
+
+  void Execute(SimTime serial_cost, std::function<void()> fn) override {
+    (void)serial_cost;
+    worker_->Post(std::move(fn));
+  }
+
+  void ExecuteAfter(SimTime serial_cost, SimTime extra_latency,
+                    std::function<void()> fn) override {
+    (void)serial_cost;
+    (void)extra_latency;
+    worker_->Post(std::move(fn));
+  }
+
+ private:
+  internal::Worker* worker_;
+};
+
+}  // namespace
+
+class ThreadedRuntime::ThreadedExecutor : public Executor {
+ public:
+  explicit ThreadedExecutor(internal::Worker* worker) : worker_(worker) {}
+
+  SimTime Now() const override { return worker_->Now(); }
+  void Post(std::function<void()> fn) override {
+    worker_->Post(std::move(fn));
+  }
+  void After(SimTime delay, std::function<void()> fn) override {
+    worker_->After(delay, std::move(fn));
+  }
+  void Charge(SimTime cost, std::function<void()> fn) override {
+    (void)cost;
+    worker_->Post(std::move(fn));
+  }
+  std::unique_ptr<Lane> MakeLane() override {
+    return std::make_unique<ThreadedLane>(worker_);
+  }
+
+ private:
+  internal::Worker* worker_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadedTransport
+
+void ThreadedTransport::Attach(NodeId id, Dc location, Endpoint* endpoint) {
+  (void)location;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bindings_.find(id);
+  if (it == bindings_.end() || it->second.exec == nullptr) {
+    std::fprintf(stderr,
+                 "ThreadedTransport::Attach(node %u): no executor bound; "
+                 "call Runtime::ExecutorFor before Transport::Attach\n",
+                 id);
+    std::abort();
+  }
+  it->second.endpoint = endpoint;
+}
+
+void ThreadedTransport::Detach(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bindings_.find(id);
+  if (it != bindings_.end()) it->second.endpoint = nullptr;
+}
+
+void ThreadedTransport::Send(NodeId from, NodeId to, Bytes payload) {
+  Binding binding;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bindings_.find(to);
+    if (it == bindings_.end() || it->second.endpoint == nullptr) {
+      return;  // unknown or detached receiver: dropped, like SimNetwork
+    }
+    binding = it->second;
+  }
+  Endpoint* endpoint = binding.endpoint;
+  ThreadedRuntime* rt = rt_;
+  binding.exec->Post([endpoint, from, rt, payload = std::move(payload)] {
+    endpoint->OnMessage(from, Slice(payload), rt->Now());
+  });
+}
+
+SimTime ThreadedTransport::Now() const { return rt_->Now(); }
+
+void ThreadedTransport::After(SimTime delay, std::function<void()> fn) {
+  rt_->ControlExecutor()->After(delay, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedRuntime
+
+ThreadedRuntime::ThreadedRuntime(const RuntimeConfig& config)
+    : epoch_(std::chrono::steady_clock::now()),
+      config_(config),
+      transport_(this) {
+  const size_t pool_size =
+      config_.driver_pool_threads > 0 ? config_.driver_pool_threads : 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < pool_size; ++i) {
+    workers_.push_back(
+        std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
+    pool_.push_back(workers_.back().get());
+  }
+  workers_.push_back(
+      std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
+  control_ = std::make_unique<ThreadedExecutor>(workers_.back().get());
+}
+
+ThreadedRuntime::~ThreadedRuntime() { Shutdown(); }
+
+Clock& ThreadedRuntime::clock() { return *control_; }
+
+SimTime ThreadedRuntime::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+internal::Worker* ThreadedRuntime::PoolWorker() {
+  internal::Worker* w = pool_[next_pool_ % pool_.size()];
+  ++next_pool_;
+  return w;
+}
+
+Executor* ThreadedRuntime::ExecutorFor(NodeId id, ExecRole role) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = executors_.find(id);
+  if (it != executors_.end()) return it->second.get();
+
+  internal::Worker* worker = nullptr;
+  if (role == ExecRole::kDedicated) {
+    workers_.push_back(
+        std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
+    worker = workers_.back().get();
+  } else {
+    worker = PoolWorker();
+  }
+  auto exec = std::make_unique<ThreadedExecutor>(worker);
+  Executor* raw = exec.get();
+  executors_.emplace(id, std::move(exec));
+  {
+    std::lock_guard<std::mutex> tlock(transport_.mu_);
+    transport_.bindings_[id].exec = raw;
+  }
+  return raw;
+}
+
+Executor* ThreadedRuntime::ControlExecutor() { return control_.get(); }
+
+void ThreadedRuntime::RunFor(SimTime duration) {
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+}
+
+Status ThreadedRuntime::WaitUntil(SimTime timeout,
+                                  const std::function<bool()>& pred) {
+  std::unique_lock<std::mutex> lock(completion_mu_);
+  const bool done =
+      completion_cv_.wait_for(lock, std::chrono::microseconds(timeout), pred);
+  if (done) return Status::OK();
+  return Status::Timeout("operation incomplete after " +
+                         std::to_string(timeout) + "us of wall time");
+}
+
+void ThreadedRuntime::RunOnCompletion(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    fn();
+  }
+  completion_cv_.notify_all();
+}
+
+void ThreadedRuntime::Shutdown() {
+  std::vector<internal::Worker*> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    workers.reserve(workers_.size());
+    for (auto& w : workers_) workers.push_back(w.get());
+  }
+  // Close every inbox first (releases producers blocked on a full
+  // inbox), then join: a worker blocked pushing into a peer's inbox is
+  // unblocked by that peer's Close.
+  for (auto* w : workers) w->Close();
+  for (auto* w : workers) w->Join();
+}
+
+}  // namespace wedge

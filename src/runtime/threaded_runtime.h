@@ -1,0 +1,165 @@
+// ThreadedRuntime: the runtime seam on real threads and wall-clock time.
+//
+// Thread model:
+//  - every kDedicated executor (edge nodes, the cloud, the control plane)
+//    gets its own worker thread;
+//  - kPooled executors (clients) are multiplexed round-robin onto a
+//    shared driver pool of `RuntimeConfig::driver_pool_threads` workers.
+//
+// Each worker owns a bounded MPSC inbox (runtime/mpsc_queue.h). A node's
+// state stays single-threaded without locks because everything it runs —
+// delivered messages, timers, posted entry calls — goes through its one
+// worker. Cross-node Send() is a Post onto the receiver's inbox, giving
+// per-sender FIFO delivery and backpressure when a node falls behind.
+//
+// Time is wall-clock microseconds since runtime construction. CostModel
+// charges (Executor::Charge, Lane costs) are no-delay pass-throughs: the
+// real SHA-256/HMAC work already ran inline on the worker. Protocol
+// timers (Executor::After — proof timeouts, flush delays) are honored as
+// wall time via each worker's timer heap. See DESIGN.md §Runtime.
+//
+// Unlike SimNetwork there is no modeled WAN latency or failure
+// injection: ThreadedRuntime measures real compute and multi-core
+// scaling, not geo-distribution effects.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/mpsc_queue.h"
+#include "runtime/runtime.h"
+
+namespace wedge {
+
+class ThreadedRuntime;
+
+namespace internal {
+
+/// One worker thread: bounded inbox, unbounded self-post deque (posts
+/// from the worker's own thread must never block on its own full inbox),
+/// and a wall-clock timer heap.
+class Worker {
+ public:
+  using Task = std::function<void()>;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  Worker(size_t inbox_capacity, TimePoint epoch);
+  ~Worker();
+
+  /// Enqueues `fn`; blocks on a full inbox (backpressure) unless called
+  /// from this worker's own thread, where it goes to the self deque.
+  /// Silently dropped after Close().
+  void Post(Task fn);
+
+  /// Arms a timer `delay` wall-microseconds from now.
+  void After(SimTime delay, Task fn);
+
+  /// Wall-clock microseconds since the runtime epoch.
+  SimTime Now() const;
+
+  /// Refuses new work; the thread drains accepted tasks, drops pending
+  /// timers, and exits.
+  void Close();
+  void Join();
+
+ private:
+  void Run();
+  void DrainSelf();
+  void FireDueTimers();
+
+  const TimePoint epoch_;
+  BoundedMpscQueue<Task> inbox_;
+  std::deque<Task> self_;  // worker-thread-only; no lock
+
+  std::mutex timer_mu_;
+  std::multimap<TimePoint, Task> timers_;
+
+  std::thread thread_;
+};
+
+}  // namespace internal
+
+/// Message channels over worker inboxes. Attach() requires the node's
+/// executor to exist already (ThreadedRuntime::ExecutorFor binds it);
+/// `Dc` placement is ignored — there is no modeled geography.
+class ThreadedTransport : public Transport {
+ public:
+  explicit ThreadedTransport(ThreadedRuntime* rt) : rt_(rt) {}
+
+  void Attach(NodeId id, Dc location, Endpoint* endpoint) override;
+  void Detach(NodeId id) override;
+  void Send(NodeId from, NodeId to, Bytes payload) override;
+  SimTime Now() const override;
+  void After(SimTime delay, std::function<void()> fn) override;
+
+ private:
+  friend class ThreadedRuntime;
+
+  struct Binding {
+    Executor* exec = nullptr;
+    Endpoint* endpoint = nullptr;
+  };
+
+  ThreadedRuntime* rt_;
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, Binding> bindings_;
+};
+
+class ThreadedRuntime : public Runtime {
+ public:
+  explicit ThreadedRuntime(const RuntimeConfig& config);
+  ~ThreadedRuntime() override;
+
+  RuntimeKind kind() const override { return RuntimeKind::kThreaded; }
+  Transport& transport() override { return transport_; }
+  Clock& clock() override;
+  SimTime Now() const override;
+
+  Executor* ExecutorFor(NodeId id, ExecRole role) override;
+  Executor* ControlExecutor() override;
+
+  /// Sleeps the calling thread for `duration` wall-microseconds while
+  /// worker threads make progress.
+  void RunFor(SimTime duration) override;
+
+  Status WaitUntil(SimTime timeout,
+                   const std::function<bool()>& pred) override;
+  void RunOnCompletion(std::function<void()> fn) override;
+
+  /// Closes every inbox, drains accepted work, joins all threads.
+  /// Idempotent. Must run before nodes are destroyed; Deployment
+  /// destructors call it.
+  void Shutdown() override;
+
+ private:
+  friend class ThreadedTransport;
+  class ThreadedExecutor;
+
+  internal::Worker* PoolWorker();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  const RuntimeConfig config_;
+  ThreadedTransport transport_;
+
+  std::mutex mu_;  // guards workers_/pool_/executors_/next_pool_/shut_down_
+  std::vector<std::unique_ptr<internal::Worker>> workers_;
+  std::vector<internal::Worker*> pool_;
+  size_t next_pool_ = 0;
+  std::unordered_map<NodeId, std::unique_ptr<ThreadedExecutor>> executors_;
+  std::unique_ptr<ThreadedExecutor> control_;
+  bool shut_down_ = false;
+
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+};
+
+}  // namespace wedge

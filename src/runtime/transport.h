@@ -1,0 +1,63 @@
+// Transport abstraction binding protocol state machines to a network.
+//
+// EdgeNode / CloudNode / WedgeClient (and the baseline nodes) are written
+// against this interface only. Two implementations exist:
+//
+//  - SimNetwork (simnet/network.h): discrete-event delivery over the
+//    deterministic simulator — latency matrix, egress serialization,
+//    failure injection. The default for tests and figure reproduction.
+//  - ThreadedTransport (runtime/threaded_runtime.h): real threads with
+//    bounded MPSC inboxes per node; delivery runs on the receiving
+//    node's executor thread.
+//
+// `SimTime` doubles as the time unit for both: virtual microseconds
+// under the simulator, wall-clock microseconds since runtime start under
+// threads.
+
+#pragma once
+
+#include <functional>
+
+#include "common/slice.h"
+#include "common/types.h"
+#include "simnet/datacenter.h"
+
+namespace wedge {
+
+/// Receives messages delivered by a Transport.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Called when a message addressed to this endpoint arrives.
+  /// `now` is the delivery time.
+  virtual void OnMessage(NodeId from, Slice payload, SimTime now) = 0;
+};
+
+/// One-way, asynchronous, unordered message delivery plus timers.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers `endpoint` as the receiver for messages addressed to `id`,
+  /// placing it in datacenter `location` (implementations that model no
+  /// geography may ignore it).
+  virtual void Attach(NodeId id, Dc location, Endpoint* endpoint) = 0;
+
+  /// Unregisters a node; in-flight messages to it are dropped on arrival.
+  virtual void Detach(NodeId id) = 0;
+
+  /// Sends `payload` from `from` to `to`. Fire-and-forget; delivery time
+  /// is the implementation's business. Messages to unknown nodes are
+  /// dropped.
+  virtual void Send(NodeId from, NodeId to, Bytes payload) = 0;
+
+  /// Current time.
+  virtual SimTime Now() const = 0;
+
+  /// Runs `fn` after `delay`. Prefer Executor::After for node-owned
+  /// timers — it keeps the callback on the node's serialized lane.
+  virtual void After(SimTime delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace wedge

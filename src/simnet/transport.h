@@ -1,44 +1,8 @@
-// Transport abstraction binding protocol state machines to a network.
-//
-// EdgeNode / CloudNode / WedgeClient are written against this interface
-// only; SimNetwork (simnet/network.h) is the discrete-event implementation
-// used by tests and benchmarks. A socket transport could implement the
-// same interface unchanged.
+// Forwarding header: the Transport/Endpoint seam moved to
+// runtime/transport.h when the runtime subsystem was introduced (it is
+// implemented by both SimNetwork and the threaded runtime). Kept so
+// existing includes keep compiling.
 
 #pragma once
 
-#include <functional>
-
-#include "common/slice.h"
-#include "common/types.h"
-
-namespace wedge {
-
-/// Receives messages delivered by a Transport.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  /// Called when a message addressed to this endpoint arrives.
-  /// `now` is the delivery time.
-  virtual void OnMessage(NodeId from, Slice payload, SimTime now) = 0;
-};
-
-/// One-way, asynchronous, unordered message delivery plus timers.
-class Transport {
- public:
-  virtual ~Transport() = default;
-
-  /// Sends `payload` from `from` to `to`. Fire-and-forget; delivery time
-  /// is the implementation's business. Messages to unknown nodes are
-  /// dropped.
-  virtual void Send(NodeId from, NodeId to, Bytes payload) = 0;
-
-  /// Current time.
-  virtual SimTime Now() const = 0;
-
-  /// Runs `fn` after `delay`.
-  virtual void After(SimTime delay, std::function<void()> fn) = 0;
-};
-
-}  // namespace wedge
+#include "runtime/transport.h"

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "api/store.h"
+#include "runtime/sim_runtime.h"
 #include "core/balancer.h"
 #include "core/partitioner.h"
 
@@ -37,18 +38,19 @@ struct PolicyHarness {
       merges.push_back(s);
     };
     hooks.busy = [this]() { return busy; };
-    balancer.emplace(&sim, table, policy, std::move(hooks));
+    balancer.emplace(rt.ControlExecutor(), table, policy,
+                 std::move(hooks));
   }
 
   /// Adds one window of per-shard ops, advances time by `dt`, ticks.
   void Window(const std::vector<uint64_t>& ops, SimTime dt = 100) {
     for (size_t s = 0; s < ops.size(); ++s) heat[s] += ops[s];
-    sim.ScheduleAfter(dt, [] {});
-    sim.Run();
+    rt.sim().ScheduleAfter(dt, [] {});
+    rt.sim().Run();
     balancer->Tick();
   }
 
-  Simulation sim;
+  SimRuntime rt{1, NetworkConfig{}};
   std::shared_ptr<OwnershipTable> table;
   std::vector<uint64_t> heat;
   bool busy = false;

@@ -17,6 +17,7 @@
 #include "baselines/baseline_deployment.h"
 #include "core/deployment.h"
 #include "core/partitioner.h"
+#include "runtime/sim_runtime.h"
 
 namespace wedge {
 namespace {
@@ -791,10 +792,12 @@ class ManualHost : public ShardMigrationHost {
 };
 
 TEST(ReshardingCoordinatorTest, LateCertificateLandsOnItsOwnMigration) {
-  Simulation sim;
+  SimRuntime rt{1, NetworkConfig{}};
+  Simulation& sim = rt.sim();
   auto table = std::make_shared<OwnershipTable>(Partitioner::Range(2, 1000), 4);
   ManualHost host;
-  ReshardingCoordinator coord(&sim, table, &host, ReshardingConfig{});
+  ReshardingCoordinator coord(rt.ControlExecutor(), table, &host,
+                              ReshardingConfig{});
 
   Status s1, s2;
   coord.SplitShard(0, [&](const Status& s, const MigrationReport&, SimTime) {

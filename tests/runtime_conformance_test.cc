@@ -1,0 +1,283 @@
+// Runtime conformance: the api_test call sequence must behave
+// identically on SimRuntime and ThreadedRuntime, for every backend.
+// Same round trips, same phase ordering, same verification outcomes,
+// same security violations from a lying edge — only the meaning of time
+// (virtual vs wall microseconds) differs. Plus the threaded-only
+// contract: resharding is refused at the router and WithAutoBalance is
+// rejected at Open.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/store.h"
+#include "baselines/baseline_deployment.h"
+#include "core/deployment.h"
+#include "runtime/runtime.h"
+
+namespace wedge {
+namespace {
+
+struct ConformanceCase {
+  BackendKind backend;
+  RuntimeKind runtime;
+};
+
+StoreOptions SmallOptions(const ConformanceCase& c) {
+  StoreOptions o;
+  o.WithBackend(c.backend)
+      .WithRuntime(c.runtime)
+      .WithSeed(7)
+      .WithOpsPerBlock(4)
+      .WithLsm({3, 2, 8}, 8)
+      .WithProofTimeout(2 * kSecond);
+  o.deploy.net.jitter_frac = 0.0;
+  return o;
+}
+
+Bytes Val(uint8_t tag) { return Bytes(16, tag); }
+
+/// Runs `fn` on the wedge edge's own executor and waits for it — the
+/// runtime-neutral way to flip misbehavior knobs: edge state is only
+/// safe to touch from the edge's worker thread under ThreadedRuntime
+/// (under SimRuntime the Post runs inline and this is equivalent to a
+/// direct call).
+void OnWedgeEdge(Store& store, size_t edge_index,
+                 const std::function<void()>& fn) {
+  Executor* exec = store.runtime().ExecutorFor(
+      store.wedge().edge(edge_index).id(), ExecRole::kDedicated);
+  std::promise<void> done;
+  exec->Post([&] {
+    fn();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+class RuntimeConformanceTest
+    : public ::testing::TestWithParam<ConformanceCase> {};
+
+// The acceptance sequence from api_test, verbatim semantics on both
+// runtimes: batch put through both phases, point reads, a proof of
+// absence, a verified scan, and overwrite visibility.
+TEST_P(RuntimeConformanceTest, PutGetScanRoundTrip) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  EXPECT_EQ(store.runtime().kind(), GetParam().runtime);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 10; k < 14; ++k) kvs.emplace_back(k, Val(1));
+  CommitHandle write = store.PutBatch(kvs);
+
+  auto p1 = write.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  auto p2 = write.WaitPhase2();
+  ASSERT_TRUE(p2.ok()) << p2.status();
+  EXPECT_GE(p2->at, p1->at);
+
+  for (Key k = 10; k < 14; ++k) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->found) << "key " << k;
+    EXPECT_EQ(got->value, Val(1));
+    EXPECT_EQ(got->verified, GetParam().backend != BackendKind::kCloudOnly);
+  }
+
+  auto miss = store.Get(999);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  EXPECT_FALSE(miss->found);
+
+  auto scan = store.Scan(10, 13);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->pairs.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(scan->pairs[i].key, 10 + i);
+    EXPECT_EQ(scan->pairs[i].value, Val(1));
+  }
+
+  std::vector<std::pair<Key, Bytes>> overwrite;
+  for (Key k = 10; k < 14; ++k) overwrite.emplace_back(k, Val(2));
+  ASSERT_TRUE(store.PutBatch(overwrite).WaitPhase2().ok());
+  auto got = store.Get(12);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(2));
+}
+
+// Phase semantics survive the thread boundary: WedgeChain's Phase II
+// lands at or after Phase I on the same block; the baselines collapse
+// both phases into one synchronous commit.
+TEST_P(RuntimeConformanceTest, PhaseOrderingMatchesBackendContract) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  CommitHandle h =
+      store.PutBatch({{1, Val(1)}, {2, Val(1)}, {3, Val(1)}, {4, Val(1)}});
+  auto p1 = h.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  auto p2 = h.WaitPhase2();
+  ASSERT_TRUE(p2.ok()) << p2.status();
+  EXPECT_EQ(p1->block, p2->block);
+  if (GetParam().backend == BackendKind::kWedge) {
+    EXPECT_GE(p2->at, p1->at);
+  } else {
+    EXPECT_EQ(p1->at, p2->at) << "baselines certify synchronously";
+  }
+
+  // Waits are idempotent once complete — on both runtimes.
+  EXPECT_TRUE(h.WaitPhase1().ok());
+  EXPECT_TRUE(h.WaitPhase2().ok());
+}
+
+TEST_P(RuntimeConformanceTest, MultiGetMatchesIndividualGets) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(
+      store.PutBatch({{1, Val(4)}, {2, Val(5)}, {3, Val(6)}, {4, Val(7)}})
+          .WaitPhase2()
+          .ok());
+
+  std::vector<Key> keys = {1, 3, 999, 2};
+  auto multi = store.MultiGet(keys);
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  ASSERT_EQ(multi->results.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto single = store.Get(keys[i]);
+    ASSERT_TRUE(single.ok()) << single.status();
+    EXPECT_EQ(multi->results[i].found, single->found) << "key " << keys[i];
+    EXPECT_EQ(multi->results[i].value, single->value) << "key " << keys[i];
+  }
+}
+
+TEST_P(RuntimeConformanceTest, AppendAndReadBlockRoundTrip) {
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  CommitHandle h =
+      store.Append({Bytes{'a'}, Bytes{'b'}, Bytes{'c'}, Bytes{'d'}});
+  auto p1 = h.WaitPhase1();
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  ASSERT_TRUE(h.WaitPhase2().ok());
+
+  auto read = store.ReadBlock(p1->block);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->block.id, p1->block);
+  EXPECT_EQ(read->block.entries.size(), 4u);
+  EXPECT_TRUE(read->phase2);
+
+  auto missing = store.ReadBlock(999);
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+}
+
+// WithShards(2) must stay invisible to the caller on both runtimes:
+// the router scatter-gathers across two edge worker threads.
+TEST_P(RuntimeConformanceTest, ShardedPutGetScanRoundTrip) {
+  StoreOptions o = SmallOptions(GetParam()).WithShards(2);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  EXPECT_EQ(store.shard_count(), 2u);
+
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 10; k < 14; ++k) kvs.emplace_back(k, Val(1));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+
+  for (Key k = 10; k < 14; ++k) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->found) << "key " << k;
+  }
+  auto scan = store.Scan(10, 13);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->pairs.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(scan->pairs[i].key, 10 + i);
+}
+
+// A lying edge surfaces as SecurityViolation on both runtimes — real
+// crypto under threads, simulated crypto under the simulator, same
+// detection contract.
+TEST_P(RuntimeConformanceTest, TamperedGetSurfacesAsSecurityViolation) {
+  if (GetParam().backend != BackendKind::kWedge) {
+    GTEST_SKIP() << "misbehavior injection is a wedge deployment knob";
+  }
+  auto opened = Store::Open(SmallOptions(GetParam()));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  ASSERT_TRUE(
+      store.PutBatch({{7, Val(1)}, {8, Val(1)}, {9, Val(1)}, {10, Val(1)}})
+          .WaitPhase2()
+          .ok());
+
+  OnWedgeEdge(store, 0, [&store] {
+    store.wedge().edge().misbehavior().tamper_get_value = true;
+  });
+  auto got = store.Get(7);
+  EXPECT_TRUE(got.status().IsSecurityViolation()) << got.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsTimesRuntimes, RuntimeConformanceTest,
+    ::testing::Values(
+        ConformanceCase{BackendKind::kWedge, RuntimeKind::kSim},
+        ConformanceCase{BackendKind::kWedge, RuntimeKind::kThreaded},
+        ConformanceCase{BackendKind::kEdgeBaseline, RuntimeKind::kSim},
+        ConformanceCase{BackendKind::kEdgeBaseline, RuntimeKind::kThreaded},
+        ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kSim},
+        ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kThreaded}),
+    [](const ::testing::TestParamInfo<ConformanceCase>& info) {
+      std::string name(BackendKindToString(info.param.backend));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += info.param.runtime == RuntimeKind::kSim ? "_sim" : "_threaded";
+      return name;
+    });
+
+// ------------------------------------------- threaded-only contracts
+
+// Resharding needs the deterministic simulator (live migration drives
+// virtual-time drains); under threads the router refuses up front with
+// FailedPrecondition and ownership stays unchanged.
+TEST(ThreadedRuntimeContractTest, ReshardingRefusedUnderThreads) {
+  StoreOptions o =
+      SmallOptions({BackendKind::kWedge, RuntimeKind::kThreaded})
+          .WithShards(2, ShardScheme::kRange, 1 << 16)
+          .WithShardCapacity(4);
+  auto opened = Store::Open(o);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+
+  const OwnershipEpoch before = store.ownership_epoch();
+  auto split = store.SplitShard(0);
+  EXPECT_TRUE(split.status().IsFailedPrecondition()) << split.status();
+  auto merge = store.MergeShards(0);
+  EXPECT_TRUE(merge.status().IsFailedPrecondition()) << merge.status();
+  auto rebalance = store.Rebalance();
+  EXPECT_TRUE(rebalance.status().IsFailedPrecondition())
+      << rebalance.status();
+  EXPECT_EQ(store.ownership_epoch(), before) << "ownership must not move";
+}
+
+// The autonomous balancer would call SplitShard from its policy tick, so
+// the combination is rejected while validating options — at Open, never
+// as a surprise downstream.
+TEST(ThreadedRuntimeContractTest, AutoBalanceRejectedAtOpen) {
+  StoreOptions o =
+      SmallOptions({BackendKind::kWedge, RuntimeKind::kThreaded})
+          .WithShards(2, ShardScheme::kRange, 1 << 16)
+          .WithShardCapacity(4)
+          .WithAutoBalance();
+  auto opened = Store::Open(o);
+  EXPECT_TRUE(opened.status().IsInvalidArgument()) << opened.status();
+}
+
+}  // namespace
+}  // namespace wedge
