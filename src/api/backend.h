@@ -49,6 +49,14 @@ struct RouterStats {
   /// Write sub-batches parked by a migration fence and flushed at epoch
   /// install (or on an aborted split, back to the unchanged owner).
   uint64_t writes_parked = 0;
+  /// Reads served from the cloud's backup because the owning edge was
+  /// crashed or partitioned away (failure-aware degrade: slower, still
+  /// verified against the cloud's certificate).
+  uint64_t failovers = 0;
+  /// Writes and scans refused with Unavailable because the owning edge
+  /// was unreachable (they cannot be cloud-served; failing fast beats
+  /// hanging until the op deadline).
+  uint64_t unreachable_rejects = 0;
   /// Keyed operations routed per shard slot since the last epoch change
   /// — the heat signal Rebalance (and the AutoBalancer's watermark
   /// policy) picks its victims by. Writes parked by a migration fence
@@ -68,6 +76,11 @@ struct StoreStats {
   RouterStats router;
   ReshardingCoordinator::Stats resharding;
   BalancerStats balancer;
+  /// Transport-level message counters of the underlying runtime (same
+  /// shape on both runtimes; `dropped` includes fault-plane drops).
+  TransportStats transport;
+  /// Injected-fault counters (Runtime::faults().stats()).
+  FaultStats faults;
 };
 
 /// One committed write phase: the block that carries the write and the
@@ -170,6 +183,27 @@ class StoreBackend {
                       CommitCb on_phase1, CommitCb on_phase2) = 0;
 
   virtual void Get(size_t client, Key key, GetCb cb) = 0;
+
+  // ---- failure awareness ----------------------------------------------
+
+  /// True when `client`'s home edge is reachable from it under the
+  /// runtime's fault plane (neither crashed nor partitioned away). The
+  /// routing layer keys its read failover on this; backends without a
+  /// notion of per-client edges report always-reachable.
+  virtual bool EdgeReachable(size_t client) {
+    (void)client;
+    return true;
+  }
+
+  /// Degraded read: serves `key` from the cloud's backup of `client`'s
+  /// edge instead of the edge itself — slower (wide-area round trip) but
+  /// still verified against the cloud's certificate on backends that
+  /// support it (WedgeChain with CloudConfig::backup_blocks). A miss is
+  /// NOT proof of absence: the backup may lag the edge. The default
+  /// falls back to the normal read path.
+  virtual void CloudGet(size_t client, Key key, GetCb cb) {
+    Get(client, key, std::move(cb));
+  }
 
   /// Batched point reads: all keys issued concurrently (the sharded
   /// router scatter-gathers them per owning shard), results positionally

@@ -182,6 +182,27 @@ class WedgeBackend : public StoreBackend {
     });
   }
 
+  bool EdgeReachable(size_t client) override {
+    WedgeClient& c = d_.client(client);
+    FaultPlane& f = d_.runtime().faults();
+    return !f.IsCrashed(c.edge()) && !f.IsUnreachable(c.id(), c.edge());
+  }
+
+  void CloudGet(size_t client, Key key, GetCb cb) override {
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, key, cb = std::move(cb)] {
+      c.GetFromCloud(key,
+                     [cb](const Status& s, const VerifiedGet& v, SimTime t) {
+                       GetResult r = FromVerified(v, t);
+                       // A backup miss is not proof of absence — the
+                       // backup may lag the edge — so only a hit reports
+                       // as verified.
+                       r.verified = v.found;
+                       cb(s, std::move(r), t);
+                     });
+    });
+  }
+
   void Scan(size_t client, Key lo, Key hi, ScanCb cb) override {
     WedgeClient& c = d_.client(client);
     c.Invoke([&c, lo, hi, cb = std::move(cb)] {

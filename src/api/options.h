@@ -48,10 +48,11 @@ struct StoreOptions {
   /// configs). The With* setters below write through to it.
   DeploymentConfig deploy;
   /// Time budget a synchronous wait (Get/Scan/ReadBlock,
-  /// CommitHandle::WaitPhaseN) may block before giving up with Timeout —
-  /// virtual time under the default SimRuntime (the wait pumps the
-  /// simulator), wall time under ThreadedRuntime (the wait sleeps on the
-  /// completion condition variable).
+  /// CommitHandle::WaitPhaseN) may block before giving up with
+  /// DeadlineExceeded — virtual time under the default SimRuntime (the
+  /// wait pumps the simulator), wall time under ThreadedRuntime (the
+  /// wait sleeps on the completion condition variable). Every waiting
+  /// call also takes a per-operation deadline override.
   SimTime op_timeout = 120 * kSecond;
   /// Wiring hook run after the deployment is constructed but before it
   /// starts — the window in which durable storage must be attached and
@@ -59,6 +60,16 @@ struct StoreOptions {
   std::function<void(StoreBackend&)> before_start;
   /// Live-migration knobs for SplitShard / MergeShards / Rebalance.
   ReshardingConfig resharding;
+  /// Façade-level retry of failed synchronous reads (Get / MultiGet /
+  /// Scan / ReadBlock): Unavailable and DeadlineExceeded results are
+  /// retried with bounded exponential backoff — each backoff runs the
+  /// deployment, so background recovery (healed partitions, edge certify
+  /// retries) makes progress between attempts. Security-class failures
+  /// (a detected lie) are never retried. Disabled by default; WithRetry
+  /// enables it, and Store::Open requires max_attempts >= 1 when
+  /// enabled (an unbounded façade retry against a dead deployment would
+  /// never return).
+  RetryPolicy retry{/*enabled=*/false};
   /// Autonomous shard lifecycle (heat-driven auto-split + merge);
   /// disabled unless WithAutoBalance is called. Requires a splittable
   /// sharded store (range partitioning, or a single seed shard with
@@ -190,6 +201,29 @@ struct StoreOptions {
   }
   StoreOptions& WithOpTimeout(SimTime timeout) {
     op_timeout = timeout;
+    return *this;
+  }
+  /// Turns on façade-level read retry (see `retry`). The policy must
+  /// bound its attempts: Store::Open rejects max_attempts == 0.
+  StoreOptions& WithRetry(RetryPolicy policy) {
+    retry = policy;
+    retry.enabled = true;
+    return *this;
+  }
+  /// Edge-side certify retry knobs (EdgeConfig::certify_retry): how a
+  /// WedgeChain edge re-sends uncertified block digests with exponential
+  /// backoff through a cloud outage. Enabled by default; pass a policy
+  /// with enabled = false to reproduce fire-and-forget certification.
+  StoreOptions& WithCertifyRetry(RetryPolicy policy) {
+    deploy.edge.certify_retry = policy;
+    return *this;
+  }
+  /// Ceiling on one live-migration attempt, fence to epoch-install (see
+  /// ReshardingConfig::migration_timeout): a source or destination that
+  /// crashes mid-migration aborts the attempt cleanly instead of
+  /// wedging the fence forever. 0 disables the watchdog.
+  StoreOptions& WithMigrationTimeout(SimTime timeout) {
+    resharding.migration_timeout = timeout;
     return *this;
   }
   StoreOptions& WithBeforeStart(std::function<void(StoreBackend&)> hook) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace wedge {
@@ -177,8 +178,25 @@ void ShardRouter::PutBatch(size_t client,
 
   auto issue = [this, client, slots, p1, p2, on_phase1, on_phase2](
                    size_t shard, std::vector<std::pair<Key, Bytes>> sub) {
+    const size_t phys = PhysicalClient(client, shard);
+    if (!inner_->EdgeReachable(phys)) {
+      // Writes cannot be cloud-served (only the owning edge holds the
+      // shard's tree); fail the sub-batch fast instead of letting the
+      // whole batch hang to the op deadline.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.unreachable_rejects++;
+      }
+      const Status down = Status::Unavailable(
+          "shard " + std::to_string(shard) +
+          "'s edge is crashed or partitioned away");
+      const SimTime now = runtime().Now();
+      RecordPhase(p1.get(), shard, down, 0, now, on_phase1);
+      RecordPhase(p2.get(), shard, down, 0, now, on_phase2);
+      return;
+    }
     inner_->PutBatch(
-        PhysicalClient(client, shard), sub,
+        phys, sub,
         [p1, shard, slots, on_phase1](const Status& st, BlockId bid,
                                       SimTime t) {
           RecordPhase(p1.get(), shard, st, GlobalBlockId(bid, shard, slots),
@@ -241,8 +259,20 @@ void ShardRouter::Append(size_t client, std::vector<Bytes> payloads,
 }
 
 void ShardRouter::Get(size_t client, Key key, GetCb cb) {
-  inner_->Get(PhysicalClient(client, RouteKey(client, key)), key,
-              std::move(cb));
+  const size_t phys = PhysicalClient(client, RouteKey(client, key));
+  if (!inner_->EdgeReachable(phys)) {
+    // Failure-aware degrade: the owning edge is crashed or partitioned
+    // away, so serve the read from the cloud's backup instead — slower
+    // (wide-area round trip) but still certificate-verified. The store
+    // stays available through the fault window rather than timing out.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.failovers++;
+    }
+    inner_->CloudGet(phys, key, std::move(cb));
+    return;
+  }
+  inner_->Get(phys, key, std::move(cb));
 }
 
 void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
@@ -295,8 +325,7 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
   auto join = std::make_shared<ScanJoin>();
   join->waiting = slices.size();
   for (const OwnedSlice& slice : slices) {
-    inner_->Scan(
-        PhysicalClient(client, slice.shard), slice.lo, slice.hi,
+    auto sub_cb =
         [join, slice, at_epoch, cb, table = table_](const Status& st,
                                                     ScanResult r, SimTime t) {
           Status status;
@@ -339,7 +368,22 @@ void ShardRouter::Scan(size_t client, Key lo, Key hi, ScanCb cb) {
           } else {
             cb(status, std::move(out), at);
           }
-        });
+        };
+    const size_t phys = PhysicalClient(client, slice.shard);
+    if (!inner_->EdgeReachable(phys)) {
+      // A sub-scan against an unreachable edge cannot be cloud-served
+      // with completeness proofs; fail it fast (which fails the stitched
+      // scan) rather than hanging the whole fan-out to the op deadline.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.unreachable_rejects++;
+      }
+      sub_cb(Status::Unavailable("shard " + std::to_string(slice.shard) +
+                                 "'s edge is crashed or partitioned away"),
+             ScanResult{}, runtime().Now());
+      continue;
+    }
+    inner_->Scan(phys, slice.lo, slice.hi, std::move(sub_cb));
   }
 }
 

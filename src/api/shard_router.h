@@ -22,6 +22,11 @@
 //    epoch it last observed. A request under a stale epoch is
 //    deterministically redirected to the current owner and the client's
 //    epoch refreshed — never an error (RouterStats::stale_redirects).
+//  - Failure awareness: a Get routed to a crashed or partitioned edge
+//    degrades to a cloud-served, certificate-verified read
+//    (RouterStats::failovers) instead of timing out; writes and scans
+//    to an unreachable shard fail fast with Unavailable
+//    (RouterStats::unreachable_rejects) — they cannot be cloud-served.
 //  - Append (no key) routes to the logical client's home slot
 //    c % capacity.
 //  - ReadBlock uses router-scoped block ids: global = inner * capacity +

@@ -1,5 +1,6 @@
 #include "api/store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,15 +16,17 @@ struct StoreCore {
   StoreOptions options;
   std::unique_ptr<StoreBackend> backend;
 
-  /// Blocks until `done()` holds, bounded by `options.op_timeout` —
-  /// stepping simulation events under SimRuntime (where a drained event
-  /// queue before completion means the operation can never finish),
-  /// sleeping on the runtime's completion condition variable under
+  /// Blocks until `done()` holds, bounded by the per-op `deadline` when
+  /// one was given (> 0) and `options.op_timeout` otherwise — stepping
+  /// simulation events under SimRuntime (where a drained event queue
+  /// before completion means the operation can never finish), sleeping
+  /// on the runtime's completion condition variable under
   /// ThreadedRuntime. `done` must read only state written through
   /// Runtime::RunOnCompletion, which is what orders it against the
   /// completing worker thread.
-  Status PumpUntil(const std::function<bool()>& done) {
-    return backend->runtime().WaitUntil(options.op_timeout, done);
+  Status PumpUntil(const std::function<bool()>& done, SimTime deadline = 0) {
+    return backend->runtime().WaitUntil(
+        deadline > 0 ? deadline : options.op_timeout, done);
   }
 };
 
@@ -46,16 +49,18 @@ using api_internal::StoreCore;
 bool CommitHandle::phase1_done() const { return state_->phase1_done; }
 bool CommitHandle::phase2_done() const { return state_->phase2_done; }
 
-Result<Commit> CommitHandle::WaitPhase1() {
+Result<Commit> CommitHandle::WaitPhase1(SimTime deadline) {
   auto* st = state_.get();
-  WEDGE_RETURN_NOT_OK(core_->PumpUntil([st] { return st->phase1_done; }));
+  WEDGE_RETURN_NOT_OK(
+      core_->PumpUntil([st] { return st->phase1_done; }, deadline));
   if (!st->phase1_status.ok()) return st->phase1_status;
   return st->phase1;
 }
 
-Result<Commit> CommitHandle::WaitPhase2() {
+Result<Commit> CommitHandle::WaitPhase2(SimTime deadline) {
   auto* st = state_.get();
-  WEDGE_RETURN_NOT_OK(core_->PumpUntil([st] { return st->phase2_done; }));
+  WEDGE_RETURN_NOT_OK(
+      core_->PumpUntil([st] { return st->phase2_done; }, deadline));
   if (!st->phase2_status.ok()) return st->phase2_status;
   return st->phase2;
 }
@@ -106,6 +111,12 @@ Status ValidateOptions(const StoreOptions& options) {
         "StoreOptions: resharding drain_delay must comfortably exceed "
         "the edge partial_flush_delay (>= 2x), or writes in flight at "
         "fence time could miss the migration export");
+  }
+  if (options.retry.enabled && options.retry.max_attempts == 0) {
+    return Status::InvalidArgument(
+        "StoreOptions: facade retry must bound its attempts "
+        "(WithRetry with max_attempts >= 1) — an unbounded retry "
+        "against a dead deployment would never return");
   }
   if (d.runtime.kind == RuntimeKind::kThreaded &&
       options.balancer.enabled) {
@@ -251,62 +262,88 @@ CommitHandle Store::Append(std::vector<Bytes> payloads, size_t client) {
 namespace {
 
 /// Issues an asynchronous read via `issue` and pumps until its callback
-/// delivers; shared by Get/Scan/ReadBlock.
+/// delivers; shared by Get/Scan/ReadBlock. With StoreOptions::retry
+/// enabled, transient failures (Unavailable, DeadlineExceeded) are
+/// re-issued after an exponential backoff that runs the deployment —
+/// background recovery (healed partitions, edge certify retries) makes
+/// progress between attempts. Security-class failures never retry: a
+/// detected lie must surface, not be papered over by a second ask.
 template <typename T, typename IssueFn>
-Result<T> SyncRead(StoreCore& core, size_t client, IssueFn issue) {
+Result<T> SyncRead(StoreCore& core, size_t client, SimTime deadline,
+                   IssueFn issue) {
   if (client >= core.backend->client_count()) {
     return Status::InvalidArgument("no client " + std::to_string(client));
   }
-  struct Waiter {
-    bool done = false;
-    Status status;
-    T result;
-  };
-  auto waiter = std::make_shared<Waiter>();
-  Runtime* rt = &core.backend->runtime();
-  issue(client, [waiter, rt](const Status& s, T r, SimTime) {
-    rt->RunOnCompletion([&] {
-      waiter->status = s;
-      waiter->result = std::move(r);
-      waiter->done = true;
+  const RetryPolicy& retry = core.options.retry;
+  SimTime backoff = retry.initial_backoff;
+  for (uint32_t attempt = 1;; ++attempt) {
+    struct Waiter {
+      bool done = false;
+      Status status;
+      T result;
+    };
+    auto waiter = std::make_shared<Waiter>();
+    Runtime* rt = &core.backend->runtime();
+    issue(client, [waiter, rt](const Status& s, T r, SimTime) {
+      rt->RunOnCompletion([&] {
+        waiter->status = s;
+        waiter->result = std::move(r);
+        waiter->done = true;
+      });
     });
-  });
-  WEDGE_RETURN_NOT_OK(core.PumpUntil([w = waiter.get()] { return w->done; }));
-  if (!waiter->status.ok()) return waiter->status;
-  return std::move(waiter->result);
+    Status s = core.PumpUntil([w = waiter.get()] { return w->done; }, deadline);
+    if (s.ok()) s = waiter->status;
+    if (s.ok()) return std::move(waiter->result);
+    const bool transient = s.IsUnavailable() || s.IsDeadlineExceeded();
+    if (!retry.enabled || !transient || attempt >= retry.max_attempts) {
+      return s;
+    }
+    // A timed-out attempt's waiter stays alive inside its own callback
+    // capture; if the stale response lands later it resolves a waiter
+    // nobody reads. The retry issues a fresh request.
+    core.backend->runtime().RunFor(backoff);
+    backoff = std::min<SimTime>(
+        retry.max_backoff,
+        static_cast<SimTime>(static_cast<double>(backoff) * retry.multiplier));
+  }
 }
 
 }  // namespace
 
-Result<GetResult> Store::Get(Key key, size_t client) {
+Result<GetResult> Store::Get(Key key, size_t client, SimTime deadline) {
   return SyncRead<GetResult>(
-      *core_, client, [this, key](size_t c, StoreBackend::GetCb cb) {
+      *core_, client, deadline, [this, key](size_t c, StoreBackend::GetCb cb) {
         core_->backend->Get(c, key, std::move(cb));
       });
 }
 
 Result<MultiGetResult> Store::MultiGet(const std::vector<Key>& keys,
-                                       size_t client) {
+                                       size_t client, SimTime deadline) {
   return SyncRead<MultiGetResult>(
-      *core_, client, [this, &keys](size_t c, StoreBackend::MultiGetCb cb) {
+      *core_, client, deadline,
+      [this, &keys](size_t c, StoreBackend::MultiGetCb cb) {
         core_->backend->MultiGet(c, keys, std::move(cb));
       });
 }
 
-Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client) {
+Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client,
+                               SimTime deadline) {
   // Normalized across backends: the edge systems reject an inverted
   // range in proof verification; cloud-only would silently return
   // nothing.
   if (lo > hi) return Status::InvalidArgument("scan range is empty");
   return SyncRead<ScanResult>(
-      *core_, client, [this, lo, hi](size_t c, StoreBackend::ScanCb cb) {
+      *core_, client, deadline,
+      [this, lo, hi](size_t c, StoreBackend::ScanCb cb) {
         core_->backend->Scan(c, lo, hi, std::move(cb));
       });
 }
 
-Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client) {
+Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client,
+                                   SimTime deadline) {
   return SyncRead<BlockRead>(
-      *core_, client, [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
+      *core_, client, deadline,
+      [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
         core_->backend->ReadBlock(c, bid, std::move(cb));
       });
 }
@@ -387,6 +424,9 @@ StoreStats Store::stats() const {
   if (const AutoBalancer* b = core_->backend->balancer()) {
     s.balancer = b->stats();
   }
+  Runtime& rt = core_->backend->runtime();
+  s.transport = rt.transport().stats_snapshot();
+  s.faults = rt.faults().stats();
   return s;
 }
 

@@ -40,13 +40,16 @@ class CommitHandle {
  public:
   /// Pumps the simulator until Phase I commits (temporary, edge-local
   /// for WedgeChain). Returns the commit, or the failure that ended the
-  /// phase (Timeout if the op_timeout budget elapsed first).
-  Result<Commit> WaitPhase1();
+  /// phase (DeadlineExceeded if the time budget elapsed first).
+  /// `deadline` overrides StoreOptions::op_timeout for this wait;
+  /// 0 keeps the store-wide budget.
+  Result<Commit> WaitPhase1(SimTime deadline = 0);
 
   /// Pumps the simulator until Phase II commits (cloud-certified). For
   /// the baselines this is the same commit point as Phase I. A lying
   /// edge surfaces here as SecurityViolation / MaliciousBehavior.
-  Result<Commit> WaitPhase2();
+  /// `deadline` overrides StoreOptions::op_timeout; 0 keeps it.
+  Result<Commit> WaitPhase2(SimTime deadline = 0);
 
   bool phase1_done() const;
   bool phase2_done() const;
@@ -85,8 +88,12 @@ class Store {
   // -------------------------------------------------------------- reads
 
   /// Gets `key`, pumping the simulator until the (verified) response
-  /// arrives. Proof failures surface as SecurityViolation.
-  Result<GetResult> Get(Key key, size_t client = 0);
+  /// arrives. Proof failures surface as SecurityViolation. `deadline`
+  /// overrides StoreOptions::op_timeout for this call (0 keeps it);
+  /// with StoreOptions::WithRetry, Unavailable / DeadlineExceeded
+  /// outcomes are retried with bounded exponential backoff — the same
+  /// per-op deadline applies to each attempt.
+  Result<GetResult> Get(Key key, size_t client = 0, SimTime deadline = 0);
 
   /// Batched point reads, scatter-gathered per owning shard on a sharded
   /// store (all sub-reads in flight concurrently, so the batch pays one
@@ -94,16 +101,18 @@ class Store {
   /// aligned with `keys`; any failing key fails the batch, with
   /// security-class failures taking precedence.
   Result<MultiGetResult> MultiGet(const std::vector<Key>& keys,
-                                  size_t client = 0);
+                                  size_t client = 0, SimTime deadline = 0);
 
   /// Scans [lo, hi] with completeness verification on the edge backends;
   /// a truncated scan fails as SecurityViolation, never as silently
   /// missing keys.
-  Result<ScanResult> Scan(Key lo, Key hi, size_t client = 0);
+  Result<ScanResult> Scan(Key lo, Key hi, size_t client = 0,
+                          SimTime deadline = 0);
 
   /// Reads log block `bid`: proof-verified on the edge backends, trusted
   /// on cloud-only.
-  Result<BlockRead> ReadBlock(BlockId bid, size_t client = 0);
+  Result<BlockRead> ReadBlock(BlockId bid, size_t client = 0,
+                              SimTime deadline = 0);
 
   // --------------------------------------------------------- resharding
 
@@ -143,7 +152,8 @@ class Store {
   /// WithAutoBalance).
   const AutoBalancer* balancer() const;
   /// One-call snapshot of epoch, live shards, router, migration and
-  /// balancer counters (zeroed/defaulted on an unrouted store).
+  /// balancer counters (zeroed/defaulted on an unrouted store), plus
+  /// the runtime's transport message counters and injected-fault stats.
   StoreStats stats() const;
 
   // -------------------------------------------------- runtime & access

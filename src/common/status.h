@@ -33,6 +33,11 @@ enum class StatusCode : uint8_t {
   kResourceExhausted = 11,
   kNotImplemented = 12,
   kInternal = 13,
+  /// A caller-supplied deadline elapsed before the operation finished.
+  /// Distinct from kTimeout (a protocol-level give-up, e.g. a proof that
+  /// never arrived) and from kUnavailable (the runtime shut down or the
+  /// simulation drained — the operation can never finish).
+  kDeadlineExceeded = 14,
 };
 
 /// Returns the canonical spelling of a code, e.g. "SecurityViolation".
@@ -88,6 +93,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -118,6 +126,9 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

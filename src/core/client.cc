@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include "common/logging.h"
+#include "lsmerkle/merge.h"
 
 namespace wedge {
 
@@ -102,6 +103,20 @@ void WedgeClient::Get(Key key, GetCb cb) {
   SendSealed(edge_, MsgType::kGetRequest, req.Encode());
 }
 
+void WedgeClient::GetFromCloud(Key key, GetCb cb) {
+  CloudGetRequest req;
+  req.req_id = next_req_id_++;
+  req.edge = edge_;
+  req.key = key;
+  PendingCloudGet pending;
+  pending.sent_at = exec_->Now();
+  pending.key = key;
+  pending.edge = edge_;
+  pending.cb = std::move(cb);
+  pending_cloud_gets_.emplace(req.req_id, std::move(pending));
+  SendSealed(cloud_, MsgType::kCloudGetRequest, req.Encode());
+}
+
 void WedgeClient::Scan(Key lo, Key hi, ScanCb cb) {
   ScanRequest req;
   req.req_id = next_req_id_++;
@@ -136,6 +151,10 @@ void WedgeClient::OnMessage(NodeId from, Slice payload, SimTime now) {
       break;
     case MsgType::kGetResponse:
       HandleGetResponse(*env, now);
+      break;
+    case MsgType::kCloudGetResponse:
+      if (from != cloud_) break;
+      HandleCloudGetResponse(*env, now);
       break;
     case MsgType::kScanResponse:
       HandleScanResponse(*env, now);
@@ -502,6 +521,58 @@ void WedgeClient::HandleGetResponse(const Envelope& env, SimTime now) {
       if (cb) cb(st, VerifiedGet{}, verified_at);
     });
   }
+}
+
+void WedgeClient::HandleCloudGetResponse(const Envelope& env, SimTime now) {
+  auto resp = CloudGetResponse::Decode(env.body);
+  if (!resp.ok()) return;
+  auto it = pending_cloud_gets_.find(resp->req_id);
+  if (it == pending_cloud_gets_.end()) return;
+  PendingCloudGet pending = std::move(it->second);
+  pending_cloud_gets_.erase(it);
+
+  const SimTime verified_at = now + costs_.client_verify_read;
+  GetCb cb = pending.cb;
+  auto finish = [this, cb, verified_at](const Status& st, VerifiedGet v) {
+    exec_->Charge(costs_.client_verify_read, [cb, st, v, verified_at] {
+      if (cb) cb(st, v, verified_at);
+    });
+  };
+
+  if (!resp->found) {
+    // Honest miss as far as the cloud knows — but carries no proof of
+    // absence (the backup may lag the edge), so it stays unverified.
+    finish(Status::OK(), VerifiedGet{});
+    return;
+  }
+
+  // Trust but verify: the certificate must be the cloud's, must name the
+  // edge we asked about, and must pin exactly this block body.
+  if (!resp->cert.Validate(*keystore_).ok() ||
+      resp->cert.edge != pending.edge || resp->cert.bid != resp->block.id ||
+      resp->cert.digest != resp->block.Digest()) {
+    stats_.verification_failures++;
+    finish(Status::SecurityViolation(
+               "cloud get response certificate does not pin the block"),
+           VerifiedGet{});
+    return;
+  }
+
+  // The verified block in hand, extract the newest put of the key
+  // ourselves — the cloud's claim that the block answers the get is
+  // never trusted bare.
+  VerifiedGet v;
+  for (const KvPair& p : ExtractKvPairs(resp->block)) {
+    if (p.key == pending.key && (!v.found || p.version >= v.version)) {
+      v.found = true;
+      v.value = p.value;
+      v.version = p.version;
+    }
+  }
+  // The body is cloud-certified, so a hit counts as Phase II.
+  v.phase2 = v.found;
+  if (v.found) stats_.gets_ok++;
+  finish(Status::OK(), v);
 }
 
 ClientStats& ClientStats::operator+=(const ClientStats& other) {

@@ -99,6 +99,17 @@ class WedgeClient : public Endpoint {
   /// Gets `key` with proof verification.
   void Get(Key key, GetCb cb);
 
+  /// Failure-aware fallback: gets `key` from the cloud's backup of this
+  /// client's edge instead of the edge itself (used when the edge is
+  /// crashed or partitioned away). The response carries the newest
+  /// backed-up block containing the key plus a cloud certificate; the
+  /// value is verified against the certified digest before delivery, so
+  /// a hit is as trustworthy as an edge-served Phase II read. A miss is
+  /// NOT a proof of absence — the backup may lag the edge. Requires the
+  /// cloud to run with backup_blocks (and full bodies to reach it:
+  /// edge ship_full_blocks or merge traffic).
+  void GetFromCloud(Key key, GetCb cb);
+
   /// Scans [lo, hi] with completeness-proof verification: the verified
   /// result is rebuilt from evidence, so a truncated or tampered scan
   /// surfaces as a SecurityViolation, never as silently missing keys.
@@ -157,6 +168,14 @@ class WedgeClient : public Endpoint {
     Key key = 0;
     GetCb cb;
   };
+  struct PendingCloudGet {
+    SimTime sent_at = 0;
+    Key key = 0;
+    /// The edge whose backup we asked about; the returned certificate
+    /// must name it.
+    NodeId edge = kInvalidNodeId;
+    GetCb cb;
+  };
   struct PendingScan {
     SimTime sent_at = 0;
     Key lo = 0;
@@ -176,6 +195,7 @@ class WedgeClient : public Endpoint {
   void HandleBlockProof(const BlockProof& proof, SimTime now);
   void HandleReadResponse(NodeId from, const Envelope& env, SimTime now);
   void HandleGetResponse(const Envelope& env, SimTime now);
+  void HandleCloudGetResponse(const Envelope& env, SimTime now);
   void HandleScanResponse(const Envelope& env, SimTime now);
   void ArmProofTimeout(SeqNum req_id, BlockId bid);
   void RaiseDispute(DisputeKind kind, BlockId bid, Bytes evidence);
@@ -200,6 +220,7 @@ class WedgeClient : public Endpoint {
   std::unordered_map<SeqNum, PendingRead> pending_reads_;     // by req_id
   std::unordered_map<BlockId, SeqNum> read_by_bid_;           // Phase I reads
   std::unordered_map<SeqNum, PendingGet> pending_gets_;
+  std::unordered_map<SeqNum, PendingCloudGet> pending_cloud_gets_;
   std::unordered_map<SeqNum, PendingScan> pending_scans_;
   std::unordered_map<SeqNum, PendingReserve> pending_reserves_;
 

@@ -140,6 +140,15 @@ void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
       });
       break;
     }
+    case MsgType::kCloudGetRequest: {
+      auto msg = CloudGetRequest::Decode(env->body);
+      if (!msg.ok()) return;
+      if (!keystore_->HasRole(from, Role::kClient)) return;
+      merge_lane_->Execute(costs_.cloud_cert_fixed, [this, from, m = *msg] {
+        HandleCloudGet(from, m, exec_->Now());
+      });
+      break;
+    }
     default:
       WLOG_DEBUG << "cloud: unexpected message type "
                  << MsgTypeToString(env->type);
@@ -401,6 +410,38 @@ void CloudNode::HandleBackupFetch(NodeId edge, const BackupFetch& msg,
     }
   }
   SendSealed(edge, MsgType::kBackupBlocks, resp.Encode());
+}
+
+void CloudNode::HandleCloudGet(NodeId client, const CloudGetRequest& msg,
+                               SimTime now) {
+  stats_.failover_gets_served++;
+  CloudGetResponse resp;
+  resp.req_id = msg.req_id;
+  auto eit = edges_.find(msg.edge);
+  if (eit != edges_.end()) {
+    // Newest wins: scan the backup from the highest block id down and
+    // return the first kv block containing the key. The client verifies
+    // the certificate and extracts the newest version itself.
+    for (auto it = eit->second.backup.rbegin();
+         it != eit->second.backup.rend(); ++it) {
+      const auto& [block, is_kv] = it->second;
+      if (!is_kv) continue;
+      bool has_key = false;
+      for (const KvPair& p : ExtractKvPairs(block)) {
+        if (p.key == msg.key) {
+          has_key = true;
+          break;
+        }
+      }
+      if (!has_key) continue;
+      resp.found = true;
+      resp.block = block;
+      resp.cert = BlockCertificate::Make(signer_, msg.edge, it->first,
+                                         block.Digest(), now);
+      break;
+    }
+  }
+  SendSealed(client, MsgType::kCloudGetResponse, resp.Encode());
 }
 
 void CloudNode::GossipTick() {

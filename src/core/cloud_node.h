@@ -41,6 +41,7 @@ struct CloudStats {
   uint64_t gossip_sent = 0;
   uint64_t backup_blocks_stored = 0;
   uint64_t backup_fetches_served = 0;
+  uint64_t failover_gets_served = 0;
   uint64_t storage_errors = 0;
 };
 
@@ -103,6 +104,7 @@ class CloudNode : public Endpoint {
   void HandleMergeRequest(NodeId edge, const MergeRequest& msg, SimTime now);
   void HandleDispute(NodeId client, const Dispute& msg, SimTime now);
   void HandleBackupFetch(NodeId edge, const BackupFetch& msg, SimTime now);
+  void HandleCloudGet(NodeId client, const CloudGetRequest& msg, SimTime now);
   void GossipTick();
 
   void FlagMalicious(NodeId edge, const std::string& reason, SimTime now);

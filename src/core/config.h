@@ -8,6 +8,18 @@
 
 namespace wedge {
 
+/// Bounded exponential backoff for retried protocol messages. The first
+/// retry fires `initial_backoff` after the original send; each further
+/// retry multiplies the wait, capped at `max_backoff`.
+struct RetryPolicy {
+  bool enabled = true;
+  SimTime initial_backoff = 200 * kMillisecond;
+  double multiplier = 2.0;
+  SimTime max_backoff = 5 * kSecond;
+  /// Give up after this many retries (0 = keep trying forever).
+  uint32_t max_attempts = 0;
+};
+
 struct EdgeConfig {
   /// Buffer-full threshold: entries per block (the paper's batch size).
   size_t ops_per_block = 100;
@@ -31,6 +43,13 @@ struct EdgeConfig {
   /// or crash-lost block triggers a backup fetch instead of a negative
   /// response. Requires the cloud to run with backup_blocks.
   bool backup_fetch = false;
+  /// Re-send block-certify messages whose proof has not arrived, with
+  /// bounded exponential backoff. This is what drains the Phase II
+  /// backlog after a cloud outage heals: the cloud treats a re-certify
+  /// of an already-known digest as an idempotent duplicate and resends
+  /// the proof. The retry timer is armed only while uncertified blocks
+  /// exist, so an idle edge schedules nothing.
+  RetryPolicy certify_retry;
 };
 
 /// Fault-injection switches for edge misbehaviour (paper §IV-E). All off

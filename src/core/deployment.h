@@ -116,6 +116,34 @@ class Deployment {
     }
   }
 
+  /// Fail-stop crash of edge `i`: the fault plane cuts it off from the
+  /// network (both directions) and its volatile state — log, LSMerkle
+  /// tree, buffers, replay watermarks — is wiped on the node's own
+  /// executor, like a power loss. The node object stays constructed;
+  /// RecoverEdge brings it back.
+  void CrashEdge(size_t i) {
+    EdgeNode* e = edges_.at(i).get();
+    topo_.runtime().faults().CrashNode(e->id());
+    topo_.runtime().ExecutorFor(e->id(), ExecRole::kDedicated)->Post([e] {
+      e->DropVolatileState();
+    });
+  }
+
+  /// Reconnects a crashed edge and starts verified re-hydration: the
+  /// edge replays the cloud's backup log (RequestBackupSync), checking
+  /// every restored block against the cloud's certificate. Complete
+  /// replay needs the cloud to hold full bodies (cloud.backup_blocks
+  /// plus edge.ship_full_blocks, or blocks seen through merges); the
+  /// replay rebuilds L0 only, so an edge with completed merges must
+  /// restore its levels from durable storage instead.
+  void RecoverEdge(size_t i) {
+    EdgeNode* e = edges_.at(i).get();
+    topo_.runtime().faults().RestartNode(e->id());
+    topo_.runtime().ExecutorFor(e->id(), ExecRole::kDedicated)->Post([e] {
+      e->RequestBackupSync();
+    });
+  }
+
   Runtime& runtime() { return topo_.runtime(); }
   Transport& transport() { return topo_.transport(); }
   /// Sim-only; aborts under ThreadedRuntime (see Topology).

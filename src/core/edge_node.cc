@@ -1,5 +1,6 @@
 #include "core/edge_node.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
@@ -239,6 +240,7 @@ void EdgeNode::FinishBlock(Block block, bool is_kv, SimTime now) {
     const SimTime cost = costs_.EdgeCert(block.ByteSize());
     std::optional<Block> full;
     if (config_.ship_full_blocks) full = block;
+    pending_certify_[bid] = PendingCertify{digest, is_kv};
     bg_->Execute(cost, [this, bid, digest, is_kv, full = std::move(full)] {
       BlockCertify msg;
       msg.bid = bid;
@@ -248,6 +250,7 @@ void EdgeNode::FinishBlock(Block block, bool is_kv, SimTime now) {
       SendSealed(cloud_, MsgType::kBlockCertify, msg.Encode());
       stats_.certifies_sent++;
     });
+    ScheduleCertifyRetry();
   }
 
   MaybeStartMerge(now, /*noop=*/false);
@@ -341,6 +344,12 @@ GetResponseBody EdgeNode::AssembleGetResponse(Key key) const {
 
 void EdgeNode::HandleBlockProof(const BlockProof& proof, SimTime now) {
   if (proof.cert.Validate(*keystore_).ok() && proof.cert.edge == id()) {
+    // Proof arrival is progress: stop retrying this block and reset the
+    // backoff (the cloud is reachable again).
+    if (pending_certify_.erase(proof.cert.bid) != 0) {
+      retry_backoff_ = config_.certify_retry.initial_backoff;
+      retry_attempts_ = 0;
+    }
     if (log_.SetCertificate(proof.cert).ok()) {
       stats_.proofs_received++;
       if (storage_ != nullptr) {
@@ -552,6 +561,69 @@ void EdgeNode::ScheduleFlushTimer() {
       });
     }
   });
+}
+
+void EdgeNode::ScheduleCertifyRetry() {
+  const RetryPolicy& policy = config_.certify_retry;
+  if (!policy.enabled || retry_timer_armed_ || pending_certify_.empty()) {
+    return;
+  }
+  if (policy.max_attempts > 0 && retry_attempts_ >= policy.max_attempts) {
+    return;
+  }
+  if (retry_backoff_ <= 0) retry_backoff_ = policy.initial_backoff;
+  retry_timer_armed_ = true;
+  const uint64_t gen = restart_generation_;
+  exec_->After(retry_backoff_, [this, gen] {
+    if (gen != restart_generation_) return;  // crashed since arming
+    retry_timer_armed_ = false;
+    if (pending_certify_.empty()) return;  // proofs arrived in time
+    retry_attempts_++;
+    ResendPendingCertifies();
+    retry_backoff_ = std::min<SimTime>(
+        config_.certify_retry.max_backoff,
+        static_cast<SimTime>(static_cast<double>(retry_backoff_) *
+                             config_.certify_retry.multiplier));
+    ScheduleCertifyRetry();
+  });
+}
+
+void EdgeNode::ResendPendingCertifies() {
+  for (const auto& [bid, pending] : pending_certify_) {
+    BlockCertify msg;
+    msg.bid = bid;
+    msg.digest = pending.digest;
+    msg.is_kv = pending.is_kv;
+    if (config_.ship_full_blocks && log_.HasBlock(bid)) {
+      msg.full_block = *log_.GetBlock(bid);
+    }
+    SendSealed(cloud_, MsgType::kBlockCertify, msg.Encode());
+    stats_.certify_retries++;
+  }
+}
+
+void EdgeNode::DropVolatileState() {
+  log_ = EdgeLog();
+  log_.SetRetention(config_.log_retention_blocks);
+  lsm_ = LsmerkleTree(config_.lsm);
+  builder_ = BlockBuilder(config_.ops_per_block, 0);
+  buffer_contribs_.clear();
+  block_contribs_.clear();
+  read_waiters_.clear();
+  repair_waiters_.clear();
+  rollback_state_.reset();
+  last_seq_.clear();
+  pending_certify_.clear();
+  buffer_is_kv_ = false;
+  flush_generation_++;
+  restart_generation_++;
+  retry_backoff_ = 0;
+  retry_attempts_ = 0;
+  retry_timer_armed_ = false;
+  l0_blocks_consumed_ = 0;
+  l0_blocks_seen_ = 0;
+  last_merge_time_ = 0;
+  stats_.state_drops++;
 }
 
 void EdgeNode::ScheduleNoopTimer() {

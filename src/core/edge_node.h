@@ -50,6 +50,8 @@ struct EdgeStats {
   uint64_t backup_fetches_sent = 0;
   uint64_t backup_blocks_restored = 0;
   uint64_t repaired_reads = 0;
+  uint64_t certify_retries = 0;
+  uint64_t state_drops = 0;
 };
 
 class EdgeNode : public Endpoint {
@@ -84,6 +86,17 @@ class EdgeNode : public Endpoint {
   /// — indistinguishable from equivocation, and punished as such.
   /// Repaired kv blocks past the consumed prefix are re-applied to L0.
   void RequestBackupSync();
+
+  /// Simulates the memory loss of a fail-stop crash: wipes the log, the
+  /// LSMerkle tree, buffered entries, per-client bookkeeping and replay
+  /// watermarks, leaving the node object constructed and attached. Any
+  /// armed timers from before the drop are neutralized (generation
+  /// guard). Recovery afterwards is either RestoreState (durable
+  /// storage) or RequestBackupSync (full replay of the cloud's backup
+  /// log — rebuilds L0 only, so an edge with completed merges must
+  /// restore its levels from durable storage first). Must run on the
+  /// node's executor.
+  void DropVolatileState();
 
   /// Saves a copy of the current tree+log; with
   /// misbehavior().rollback_snapshot set, gets and scans are then served
@@ -121,6 +134,8 @@ class EdgeNode : public Endpoint {
   void MaybeStartMerge(SimTime now, bool noop);
   void ScheduleFlushTimer();
   void ScheduleNoopTimer();
+  void ScheduleCertifyRetry();
+  void ResendPendingCertifies();
 
   GetResponseBody AssembleGetResponse(Key key) const;
 
@@ -162,6 +177,20 @@ class EdgeNode : public Endpoint {
 
   uint64_t flush_generation_ = 0;
   SimTime last_merge_time_ = 0;
+
+  /// Blocks certified but not yet proven: digest+kind per block id, so a
+  /// retry can reconstruct the exact BlockCertify it first sent (the
+  /// cloud punishes a changed digest as equivocation).
+  struct PendingCertify {
+    Digest256 digest;
+    bool is_kv = false;
+  };
+  std::map<BlockId, PendingCertify> pending_certify_;
+  SimTime retry_backoff_ = 0;
+  uint32_t retry_attempts_ = 0;
+  bool retry_timer_armed_ = false;
+  /// Bumped by DropVolatileState so timers armed pre-crash no-op.
+  uint64_t restart_generation_ = 0;
 
   /// Optional durability (null = in-memory only, the paper's setting).
   EdgeStorage* storage_ = nullptr;

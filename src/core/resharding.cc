@@ -66,18 +66,39 @@ void ReshardingCoordinator::RunMigration(
   }
   const uint64_t seq = ++split_seq_;
 
+  // Crash-mid-migration watchdog: a source or destination that fails
+  // mid-flight leaves the export scan or the import write hanging
+  // forever. The deadline aborts exactly this attempt (`seq`-scoped, so
+  // it can never fire into a later migration) and lifts the fence with
+  // ownership unchanged. The stale completion callbacks it outraces are
+  // neutralized by the same seq guard below.
+  if (config_.migration_timeout > 0) {
+    exec_->After(config_.migration_timeout, [this, kind, seq, done]() {
+      if (!in_flight_ || split_seq_ != seq) return;
+      Abort(kind,
+            Status::Unavailable(
+                "shard migration timed out after " +
+                std::to_string(config_.migration_timeout) +
+                "us (source or destination edge unresponsive); ownership "
+                "unchanged"),
+            exec_->Now(), done);
+    });
+  }
+
   // Step 1: fence the moving range, then let in-flight writes drain into
   // the source tree before the export snapshot.
   host_->FenceRange(lo, hi);
   exec_->After(config_.drain_delay, [this, kind, source, dest, lo, hi,
                                             seq, install = std::move(install),
                                             done]() {
+    if (!in_flight_ || split_seq_ != seq) return;  // watchdog-aborted
     // Step 2: completeness-verified export. A lying source surfaces
     // here as SecurityViolation and aborts the migration.
     host_->ExportRange(
         source, lo, hi,
         [this, kind, source, dest, lo, hi, seq, install, done](
             const Status& st, std::vector<KvPair> pairs, SimTime t) {
+          if (!in_flight_ || split_seq_ != seq) return;  // watchdog-aborted
           if (!st.ok()) return Abort(kind, st, t, done);
 
           // Step 4: the destination's Phase I commit is the handoff
@@ -88,6 +109,7 @@ void ReshardingCoordinator::RunMigration(
           auto finish = [this, kind, source, dest, lo, hi, seq, install, done,
                          moved = pairs.size()](const Status& st2, SimTime t2,
                                                bool certified_now) {
+            if (!in_flight_ || split_seq_ != seq) return;  // watchdog-aborted
             if (!st2.ok()) return Abort(kind, st2, t2, done);
             Result<OwnershipEpoch> e = install();
             if (!e.ok()) return Abort(kind, e.status(), t2, done);

@@ -60,6 +60,15 @@ struct ReshardingConfig {
   /// 2x the partial-flush delay on sharded stores; wide-area
   /// client-to-edge topologies need correspondingly more.
   SimTime drain_delay = 500 * kMillisecond;
+  /// Virtual-time ceiling on one migration attempt, measured from the
+  /// fence. A source or destination edge that crashes mid-migration
+  /// leaves the export scan or the import write hanging forever; when
+  /// the new epoch has not installed by this deadline the attempt aborts
+  /// cleanly — the fence lifts, parked writes flush to the unchanged
+  /// owners, and ownership stays exactly as it was (migration is
+  /// copy-based: the source keeps its data until the epoch installs, so
+  /// an abort never loses keys). 0 disables the watchdog.
+  SimTime migration_timeout = 30 * kSecond;
 };
 
 /// The two directions of the shard lifecycle.

@@ -1,0 +1,106 @@
+// FaultPlane: the unified chaos-injection seam of the runtime layer.
+//
+// Both runtimes implement the same fault surface, so a chaos test or the
+// availability bench can crash nodes, partition node sets, and shape
+// links identically under the deterministic simulator and under real
+// threads:
+//
+//  - SimRuntime drives simnet's existing link-cut plumbing
+//    (SetNodeIsolated / SetLinkDown) plus per-link shaping routed
+//    through the simulator's seeded RNG — fault schedules stay
+//    bit-reproducible by seed.
+//  - ThreadedRuntime consults the plane in ThreadedTransport::Send:
+//    messages to or from a crashed node (and across a partition) are
+//    dropped and counted; shaped links add wall-clock delay via the
+//    receiver's timer wheel and drop deterministically by a per-plane
+//    counter sequence.
+//
+// A "crash" here is fail-stop as seen from the network: the node's
+// executor stays constructed (its thread keeps running under
+// ThreadedRuntime) but no message reaches or leaves it. Losing the
+// node's volatile state is the deployment's business — see
+// Deployment::CrashEdge, which pairs CrashNode with
+// EdgeNode::DropVolatileState, and RecoverEdge, which restarts the node
+// and replays the cloud's backup log into it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wedge {
+
+/// Per-link traffic shaping: applied to messages a -> b (directional)
+/// on top of the transport's own delivery model.
+struct LinkShape {
+  /// Extra one-way delay added to every message on the link.
+  SimTime extra_delay = 0;
+  /// Uniform jitter as a fraction of extra_delay (0 = none).
+  double jitter_frac = 0.0;
+  /// Probability a message on the link is silently dropped.
+  double drop_prob = 0.0;
+};
+
+/// Counters of injected faults and their observable effects. Messages
+/// dropped by the fault plane also count into the owning transport's
+/// dropped counter (TransportStats::dropped) — these break the total
+/// down by cause.
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t partitions = 0;
+  uint64_t heals = 0;
+  /// Messages dropped because an end was crashed or the link partitioned.
+  uint64_t cut_drops = 0;
+  /// Messages dropped by a shaped link's drop_prob.
+  uint64_t shape_drops = 0;
+  /// Messages delayed by a shaped link's extra_delay.
+  uint64_t shape_delays = 0;
+};
+
+/// The chaos-injection surface, reachable as Runtime::faults(). All
+/// methods are idempotent and safe to call from the driving thread while
+/// workers run (ThreadedRuntime guards its state; SimRuntime is
+/// single-threaded by construction).
+class FaultPlane {
+ public:
+  virtual ~FaultPlane() = default;
+
+  /// Fail-stop `node` as seen from the network: every message to or
+  /// from it is dropped until RestartNode.
+  virtual void CrashNode(NodeId node) = 0;
+
+  /// Reconnects a crashed node. State recovery is the caller's business
+  /// (see Deployment::RecoverEdge).
+  virtual void RestartNode(NodeId node) = 0;
+
+  virtual bool IsCrashed(NodeId node) const = 0;
+
+  /// Cuts every link between a node in `side_a` and a node in `side_b`
+  /// (both directions). Cumulative with earlier partitions until
+  /// HealPartition.
+  virtual void Partition(const std::vector<NodeId>& side_a,
+                         const std::vector<NodeId>& side_b) = 0;
+
+  /// Heals every partition cut (crashed nodes stay crashed).
+  virtual void HealPartition() = 0;
+
+  /// Applies `shape` to messages from `a` to `b`. Call with both
+  /// orders for a symmetric link. Replaces any earlier shape on (a, b).
+  virtual void ShapeLink(NodeId a, NodeId b, LinkShape shape) = 0;
+
+  /// Removes all link shaping.
+  virtual void ClearShaping() = 0;
+
+  /// True when a message from `from` to `to` would be dropped by a
+  /// crash or partition cut (shaping drop_prob is probabilistic and not
+  /// reflected here). The availability signal failure-aware routing
+  /// keys on.
+  virtual bool IsUnreachable(NodeId from, NodeId to) const = 0;
+
+  virtual FaultStats stats() const = 0;
+};
+
+}  // namespace wedge

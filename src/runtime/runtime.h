@@ -32,6 +32,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "runtime/fault_plane.h"
 #include "runtime/transport.h"
 
 namespace wedge {
@@ -137,6 +138,10 @@ class Runtime {
   virtual Clock& clock() = 0;
   virtual SimTime Now() const = 0;
 
+  /// The chaos-injection surface (crash/partition/link shaping) — the
+  /// same seam on both runtimes; see runtime/fault_plane.h.
+  virtual FaultPlane& faults() = 0;
+
   /// Returns (creating on first call) the executor for node `id`. The
   /// role is fixed at creation; later calls may pass any role and get
   /// the same executor back.
@@ -156,10 +161,12 @@ class Runtime {
 
   /// Blocks the calling thread until `pred()` holds, up to `timeout`.
   /// The synchronous-facade primitive: SimRuntime steps the event loop
-  /// (Timeout after `timeout` virtual time, Unavailable if the event
-  /// queue drains first); ThreadedRuntime waits on the completion
-  /// condition, woken by RunOnCompletion. `pred` must read only state
-  /// written through RunOnCompletion (or otherwise made visible).
+  /// (DeadlineExceeded after `timeout` virtual time, Unavailable if the
+  /// event queue drains first — the operation can never finish);
+  /// ThreadedRuntime waits on the completion condition, woken by
+  /// RunOnCompletion (DeadlineExceeded on expiry, Unavailable once the
+  /// runtime has shut down). `pred` must read only state written
+  /// through RunOnCompletion (or otherwise made visible).
   virtual Status WaitUntil(SimTime timeout,
                            const std::function<bool()>& pred) = 0;
 

@@ -30,6 +30,7 @@ class SimRuntime : public Runtime {
   Transport& transport() override { return *net_; }
   Clock& clock() override;
   SimTime Now() const override { return sim_.now(); }
+  FaultPlane& faults() override;
 
   Executor* ExecutorFor(NodeId id, ExecRole role) override;
   Executor* ControlExecutor() override;
@@ -49,10 +50,12 @@ class SimRuntime : public Runtime {
 
  private:
   class SimExecutor;
+  class SimFaultPlane;
 
   Simulation sim_;
   std::unique_ptr<SimNetwork> net_;
   std::unique_ptr<SimExecutor> exec_;
+  std::unique_ptr<SimFaultPlane> faults_;
 };
 
 }  // namespace wedge

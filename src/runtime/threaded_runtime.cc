@@ -105,6 +105,109 @@ void Worker::Run() {
 
 }  // namespace internal
 
+// ---------------------------------------------------------------------------
+// ThreadedFaultPlane
+
+ThreadedFaultPlane::SendPlan ThreadedFaultPlane::PlanSend(NodeId from,
+                                                          NodeId to) {
+  SendPlan plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_.count(from) != 0 || crashed_.count(to) != 0 ||
+      cut_pairs_.count({from, to}) != 0) {
+    stats_.cut_drops++;
+    plan.drop = true;
+    return plan;
+  }
+  if (shaped_.empty()) return plan;
+  auto it = shaped_.find({from, to});
+  if (it == shaped_.end()) return plan;
+  const LinkShape& shape = it->second;
+  if (shape.drop_prob > 0 && NextDouble() < shape.drop_prob) {
+    stats_.shape_drops++;
+    plan.drop = true;
+    return plan;
+  }
+  if (shape.extra_delay > 0) {
+    SimTime extra = shape.extra_delay;
+    if (shape.jitter_frac > 0) {
+      double j = (NextDouble() * 2.0 - 1.0) * shape.jitter_frac;
+      extra += static_cast<SimTime>(static_cast<double>(extra) * j);
+    }
+    plan.delay = extra;
+    stats_.shape_delays++;
+  }
+  return plan;
+}
+
+void ThreadedFaultPlane::CrashNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crashed_.insert(node).second) return;
+  stats_.crashes++;
+}
+
+void ThreadedFaultPlane::RestartNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_.erase(node) == 0) return;
+  stats_.restarts++;
+}
+
+bool ThreadedFaultPlane::IsCrashed(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_.count(node) != 0;
+}
+
+void ThreadedFaultPlane::Partition(const std::vector<NodeId>& side_a,
+                                   const std::vector<NodeId>& side_b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NodeId a : side_a) {
+    for (NodeId b : side_b) {
+      if (a == b) continue;
+      cut_pairs_.insert({a, b});
+      cut_pairs_.insert({b, a});
+    }
+  }
+  stats_.partitions++;
+}
+
+void ThreadedFaultPlane::HealPartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_pairs_.empty()) return;
+  cut_pairs_.clear();
+  stats_.heals++;
+}
+
+void ThreadedFaultPlane::ShapeLink(NodeId a, NodeId b, LinkShape shape) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(a, b);
+  if (shape.extra_delay == 0 && shape.drop_prob <= 0) {
+    shaped_.erase(key);
+  } else {
+    shaped_[key] = shape;
+  }
+}
+
+void ThreadedFaultPlane::ClearShaping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shaped_.clear();
+}
+
+bool ThreadedFaultPlane::IsUnreachable(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_.count(from) != 0 || crashed_.count(to) != 0 ||
+         cut_pairs_.count({from, to}) != 0;
+}
+
+FaultStats ThreadedFaultPlane::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double ThreadedFaultPlane::NextDouble() {
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<double>(rng_state_ >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
 namespace {
 
 /// Under threads the "charged" computation (hashing, verification)
@@ -179,20 +282,47 @@ void ThreadedTransport::Detach(NodeId id) {
 }
 
 void ThreadedTransport::Send(NodeId from, NodeId to, Bytes payload) {
+  // Fault-plane verdict first: a cut or shape-dropped message consumes
+  // nothing downstream. The plane keeps the cause breakdown; we keep the
+  // aggregate dropped counter (mirroring NetworkStats::dropped).
+  const ThreadedFaultPlane::SendPlan plan = rt_->faults_.PlanSend(from, to);
+  if (plan.drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Binding binding;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = bindings_.find(to);
     if (it == bindings_.end() || it->second.endpoint == nullptr) {
-      return;  // unknown or detached receiver: dropped, like SimNetwork
+      // unknown or detached receiver: dropped, like SimNetwork
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
     binding = it->second;
   }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
   Endpoint* endpoint = binding.endpoint;
   ThreadedRuntime* rt = rt_;
-  binding.exec->Post([endpoint, from, rt, payload = std::move(payload)] {
+  auto deliver = [endpoint, from, rt, payload = std::move(payload)] {
     endpoint->OnMessage(from, Slice(payload), rt->Now());
-  });
+  };
+  if (plan.delay > 0) {
+    // Shaped extra latency rides the receiver's timer wheel so delivery
+    // still lands on the owning worker.
+    binding.exec->After(plan.delay, std::move(deliver));
+  } else {
+    binding.exec->Post(std::move(deliver));
+  }
+}
+
+TransportStats ThreadedTransport::stats_snapshot() const {
+  TransportStats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
 }
 
 SimTime ThreadedTransport::Now() const { return rt_->Now(); }
@@ -270,12 +400,22 @@ void ThreadedRuntime::RunFor(SimTime duration) {
 
 Status ThreadedRuntime::WaitUntil(SimTime timeout,
                                   const std::function<bool()>& pred) {
-  std::unique_lock<std::mutex> lock(completion_mu_);
-  const bool done =
-      completion_cv_.wait_for(lock, std::chrono::microseconds(timeout), pred);
-  if (done) return Status::OK();
-  return Status::Timeout("operation incomplete after " +
-                         std::to_string(timeout) + "us of wall time");
+  {
+    std::unique_lock<std::mutex> lock(completion_mu_);
+    const bool done = completion_cv_.wait_for(
+        lock, std::chrono::microseconds(timeout), pred);
+    if (done) return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return Status::Unavailable(
+          "runtime shut down before the operation completed");
+    }
+  }
+  return Status::DeadlineExceeded("operation incomplete after " +
+                                  std::to_string(timeout) +
+                                  "us of wall time");
 }
 
 void ThreadedRuntime::RunOnCompletion(std::function<void()> fn) {

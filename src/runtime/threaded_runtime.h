@@ -18,9 +18,12 @@
 // timers (Executor::After — proof timeouts, flush delays) are honored as
 // wall time via each worker's timer heap. See DESIGN.md §Runtime.
 //
-// Unlike SimNetwork there is no modeled WAN latency or failure
-// injection: ThreadedRuntime measures real compute and multi-core
-// scaling, not geo-distribution effects.
+// Failure injection runs through the same FaultPlane seam as the
+// simulator (Runtime::faults()): ThreadedTransport::Send consults the
+// plane per message, dropping across crashes/partitions (counted in
+// TransportStats::dropped) and adding shaped per-link delay via the
+// receiver's timer wheel. There is still no modeled WAN latency by
+// default — shaping is opt-in chaos, not geography.
 
 #pragma once
 
@@ -31,8 +34,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/mpsc_queue.h"
@@ -88,6 +93,42 @@ class Worker {
 
 }  // namespace internal
 
+/// The fault plane on real threads: crash/partition/shape state behind
+/// one mutex, consulted by ThreadedTransport::Send per message. Shaping
+/// randomness comes from a plane-local LCG, so drop sequences are
+/// reproducible per plane (though thread interleaving is not).
+class ThreadedFaultPlane : public FaultPlane {
+ public:
+  /// Verdict for one message: drop it (already counted) or deliver it
+  /// after `delay` extra wall-microseconds.
+  struct SendPlan {
+    bool drop = false;
+    SimTime delay = 0;
+  };
+  SendPlan PlanSend(NodeId from, NodeId to);
+
+  void CrashNode(NodeId node) override;
+  void RestartNode(NodeId node) override;
+  bool IsCrashed(NodeId node) const override;
+  void Partition(const std::vector<NodeId>& side_a,
+                 const std::vector<NodeId>& side_b) override;
+  void HealPartition() override;
+  void ShapeLink(NodeId a, NodeId b, LinkShape shape) override;
+  void ClearShaping() override;
+  bool IsUnreachable(NodeId from, NodeId to) const override;
+  FaultStats stats() const override;
+
+ private:
+  double NextDouble();  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::set<NodeId> crashed_;
+  std::set<std::pair<NodeId, NodeId>> cut_pairs_;
+  std::map<std::pair<NodeId, NodeId>, LinkShape> shaped_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  FaultStats stats_;
+};
+
 /// Message channels over worker inboxes. Attach() requires the node's
 /// executor to exist already (ThreadedRuntime::ExecutorFor binds it);
 /// `Dc` placement is ignored — there is no modeled geography.
@@ -100,6 +141,7 @@ class ThreadedTransport : public Transport {
   void Send(NodeId from, NodeId to, Bytes payload) override;
   SimTime Now() const override;
   void After(SimTime delay, std::function<void()> fn) override;
+  TransportStats stats_snapshot() const override;
 
  private:
   friend class ThreadedRuntime;
@@ -112,6 +154,12 @@ class ThreadedTransport : public Transport {
   ThreadedRuntime* rt_;
   mutable std::mutex mu_;
   std::unordered_map<NodeId, Binding> bindings_;
+
+  /// Delivery counters, atomic so Send (any worker) and stats_snapshot
+  /// (the driving thread) never contend on mu_ for bookkeeping.
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 class ThreadedRuntime : public Runtime {
@@ -123,6 +171,7 @@ class ThreadedRuntime : public Runtime {
   Transport& transport() override { return transport_; }
   Clock& clock() override;
   SimTime Now() const override;
+  FaultPlane& faults() override { return faults_; }
 
   Executor* ExecutorFor(NodeId id, ExecRole role) override;
   Executor* ControlExecutor() override;
@@ -149,6 +198,7 @@ class ThreadedRuntime : public Runtime {
   const std::chrono::steady_clock::time_point epoch_;
   const RuntimeConfig config_;
   ThreadedTransport transport_;
+  ThreadedFaultPlane faults_;
 
   std::mutex mu_;  // guards workers_/pool_/executors_/next_pool_/shut_down_
   std::vector<std::unique_ptr<internal::Worker>> workers_;

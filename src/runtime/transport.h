@@ -24,6 +24,17 @@
 
 namespace wedge {
 
+/// Delivery counters every Transport keeps, exposed uniformly so the
+/// façade can report them regardless of runtime (Store::stats()).
+/// `dropped` counts messages that never reached an endpoint — sent to an
+/// unknown or detached node, cut by a down link / isolation / fault
+/// injection, or lost to a shaped link's drop probability.
+struct TransportStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t dropped = 0;
+};
+
 /// Receives messages delivered by a Transport.
 class Endpoint {
  public:
@@ -58,6 +69,10 @@ class Transport {
   /// Runs `fn` after `delay`. Prefer Executor::After for node-owned
   /// timers — it keeps the callback on the node's serialized lane.
   virtual void After(SimTime delay, std::function<void()> fn) = 0;
+
+  /// Value-copy of the delivery counters, safe while workers are
+  /// sending concurrently.
+  virtual TransportStats stats_snapshot() const { return {}; }
 };
 
 }  // namespace wedge

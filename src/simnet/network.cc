@@ -40,6 +40,15 @@ void SimNetwork::SetNodeIsolated(NodeId id, bool isolated) {
   }
 }
 
+void SimNetwork::SetLinkShape(NodeId a, NodeId b, LinkShape shape) {
+  const auto key = std::make_pair(a, b);
+  if (shape.extra_delay == 0 && shape.drop_prob <= 0) {
+    shaped_.erase(key);
+  } else {
+    shaped_[key] = shape;
+  }
+}
+
 void SimNetwork::Send(NodeId from, NodeId to, Bytes payload) {
   auto from_it = nodes_.find(from);
   auto to_it = nodes_.find(to);
@@ -51,6 +60,23 @@ void SimNetwork::Send(NodeId from, NodeId to, Bytes payload) {
   if (down_links_.count({from, to}) != 0 || isolated_.count(from) != 0 ||
       isolated_.count(to) != 0) {
     stats_.dropped++;
+    stats_.cut_drops++;
+    return;
+  }
+
+  // Per-link shaping: drop first (a dropped message consumes no egress),
+  // extra delay joins propagation below. Randomness comes from the
+  // simulation's seeded RNG, and only shaped links draw from it, so
+  // unshaped runs are bit-identical to pre-shaping ones.
+  const LinkShape* shape = nullptr;
+  if (!shaped_.empty()) {
+    auto sh = shaped_.find({from, to});
+    if (sh != shaped_.end()) shape = &sh->second;
+  }
+  if (shape != nullptr && shape->drop_prob > 0 &&
+      sim_->rng().NextDouble() < shape->drop_prob) {
+    stats_.dropped++;
+    stats_.shape_drops++;
     return;
   }
 
@@ -76,6 +102,15 @@ void SimNetwork::Send(NodeId from, NodeId to, Bytes payload) {
   if (config_.jitter_frac > 0) {
     double j = (sim_->rng().NextDouble() * 2.0 - 1.0) * config_.jitter_frac;
     propagation += static_cast<SimTime>(static_cast<double>(propagation) * j);
+  }
+  if (shape != nullptr && shape->extra_delay > 0) {
+    SimTime extra = shape->extra_delay;
+    if (shape->jitter_frac > 0) {
+      double j = (sim_->rng().NextDouble() * 2.0 - 1.0) * shape->jitter_frac;
+      extra += static_cast<SimTime>(static_cast<double>(extra) * j);
+    }
+    propagation += extra;
+    stats_.shape_delays++;
   }
 
   // The sender's egress link serializes transmissions; propagation then

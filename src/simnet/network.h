@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/result.h"
 #include "common/types.h"
+#include "runtime/fault_plane.h"
 #include "simnet/cpu.h"
 #include "simnet/datacenter.h"
 #include "simnet/simulation.h"
@@ -47,6 +50,13 @@ struct NetworkStats {
   uint64_t wan_messages = 0;
   uint64_t wan_bytes = 0;
   uint64_t dropped = 0;
+  /// Breakdown of `dropped` by cause (the remainder was sent to an
+  /// unattached node): cut by a down link / isolation, or lost to a
+  /// shaped link's drop probability.
+  uint64_t cut_drops = 0;
+  uint64_t shape_drops = 0;
+  /// Messages delayed by a shaped link's extra_delay.
+  uint64_t shape_delays = 0;
 };
 
 class SimNetwork : public Transport {
@@ -69,11 +79,22 @@ class SimNetwork : public Transport {
   /// Drops all traffic from/to `id` (node isolation).
   void SetNodeIsolated(NodeId id, bool isolated);
 
+  /// Shapes messages from `a` to `b` (directional; call with both orders
+  /// for a symmetric link): extra propagation delay with its own jitter,
+  /// plus a drop probability. Randomness comes from the simulation's
+  /// seeded RNG, so shaped runs stay deterministic. A default-constructed
+  /// shape clears the link's shaping.
+  void SetLinkShape(NodeId a, NodeId b, LinkShape shape);
+  void ClearLinkShapes() { shaped_.clear(); }
+
   // Transport:
   void Send(NodeId from, NodeId to, Bytes payload) override;
   SimTime Now() const override { return sim_->now(); }
   void After(SimTime delay, std::function<void()> fn) override {
     sim_->ScheduleAfter(delay, std::move(fn));
+  }
+  TransportStats stats_snapshot() const override {
+    return TransportStats{stats_.messages, stats_.bytes, stats_.dropped};
   }
 
   const NetworkStats& stats() const { return stats_; }
@@ -93,6 +114,7 @@ class SimNetwork : public Transport {
   std::unordered_map<NodeId, NodeState> nodes_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
   std::set<NodeId> isolated_;
+  std::map<std::pair<NodeId, NodeId>, LinkShape> shaped_;
   NetworkStats stats_;
 };
 

@@ -64,6 +64,10 @@ std::string_view MsgTypeToString(MsgType type) {
       return "ScanResponse";
     case MsgType::kCloudScanResponse:
       return "CloudScanResponse";
+    case MsgType::kCloudGetRequest:
+      return "CloudGetRequest";
+    case MsgType::kCloudGetResponse:
+      return "CloudGetResponse";
   }
   return "Unknown";
 }

@@ -60,9 +60,13 @@ enum class MsgType : uint8_t {
   kScanResponse = 29,  // edge -> client, proof-carrying
   kCloudScanResponse = 30,  // cloud-only: trusted scan result, no proofs
 
+  // -------- failure-aware routing (fault plane) --------
+  kCloudGetRequest = 31,   // client -> cloud: get served from the backup
+  kCloudGetResponse = 32,  // cloud -> client: newest backed-up block + cert
+
   // Keep in sync when adding values: Parse() rejects type bytes above
   // this bound.
-  kMaxMsgType = kCloudScanResponse,
+  kMaxMsgType = kCloudGetResponse,
 };
 
 std::string_view MsgTypeToString(MsgType type);

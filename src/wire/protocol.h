@@ -771,6 +771,60 @@ struct BackupBlocks {
   }
 };
 
+/// Client -> cloud: serve a get for `key` from the cloud's backup of
+/// `edge`'s blocks. Failure-aware routing sends this when the home edge
+/// is crashed or partitioned away: slower (WAN round trip) but still
+/// verified, since the response carries a certificate over the block.
+struct CloudGetRequest {
+  SeqNum req_id = 0;
+  NodeId edge = kInvalidNodeId;
+  Key key = 0;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(req_id);
+    enc->PutU32(edge);
+    enc->PutU64(key);
+  }
+  static Result<CloudGetRequest> DecodeFrom(Decoder* dec) {
+    CloudGetRequest m;
+    WEDGE_ASSIGN_OR_RETURN(m.req_id, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(m.edge, dec->GetU32());
+    WEDGE_ASSIGN_OR_RETURN(m.key, dec->GetU64());
+    return m;
+  }
+  WEDGE_MSG_HELPERS(CloudGetRequest)
+};
+
+/// Cloud -> client: the newest backed-up kv block containing the key,
+/// plus a fresh certificate pinning its digest — the client verifies the
+/// body and extracts the newest put itself (the cloud's answer is never
+/// trusted bare). found=false is NOT a proof of absence: the backup may
+/// lag the edge, and carries no Merkle structure to prove a miss.
+struct CloudGetResponse {
+  SeqNum req_id = 0;
+  bool found = false;
+  Block block;
+  BlockCertificate cert;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(req_id);
+    enc->PutBool(found);
+    block.EncodeTo(enc);
+    cert.EncodeTo(enc);
+  }
+  static Result<CloudGetResponse> DecodeFrom(Decoder* dec) {
+    CloudGetResponse m;
+    WEDGE_ASSIGN_OR_RETURN(m.req_id, dec->GetU64());
+    WEDGE_ASSIGN_OR_RETURN(m.found, dec->GetBool());
+    auto b = Block::DecodeFrom(dec);
+    if (!b.ok()) return b.status();
+    m.block = std::move(*b);
+    WEDGE_ASSIGN_OR_RETURN(m.cert, BlockCertificate::DecodeFrom(dec));
+    return m;
+  }
+  WEDGE_MSG_HELPERS(CloudGetResponse)
+};
+
 // ------------------------------------------------ verifiable range scan
 
 /// Client -> edge: scan [lo, hi].

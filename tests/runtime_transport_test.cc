@@ -272,9 +272,16 @@ TEST(ThreadedRuntimeTest, WaitUntilTimesOutInWallTime) {
   ThreadedRuntime rt{RuntimeConfig{RuntimeKind::kThreaded}};
   const auto start = steady_clock::now();
   Status s = rt.WaitUntil(30 * kMillisecond, [] { return false; });
-  EXPECT_TRUE(s.IsTimeout()) << s;
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s;
   EXPECT_GE(steady_clock::now() - start, milliseconds(25));
   rt.Shutdown();
+}
+
+TEST(ThreadedRuntimeTest, WaitUntilReportsShutdownAsUnavailable) {
+  ThreadedRuntime rt{RuntimeConfig{RuntimeKind::kThreaded}};
+  rt.Shutdown();
+  Status s = rt.WaitUntil(kSecond, [] { return false; });
+  EXPECT_TRUE(s.IsUnavailable()) << s;
 }
 
 }  // namespace
