@@ -9,22 +9,35 @@
 #include <string>
 #include <vector>
 
+#include "crypto/sha256.h"
 #include "runtime/runtime.h"
 #include "workload/workload.h"
 
 namespace wedge {
 
-/// Stamps a JSON-lines record with the runtime that produced it and the
+/// Stamps a JSON-lines record with the runtime that produced it, the
 /// meaning of its time unit ("virtual_us" under the simulator, "wall_us"
-/// under threads), so numbers from the two runtimes cannot be silently
-/// compared apples-to-oranges. Call right after the opening brace.
+/// under threads), and the SHA-256 backend the run dispatched to — a
+/// record hashed with SHA-NI is not comparable to a scalar one, and the
+/// forced flag distinguishes CI's pinned-scalar legs from detection.
+/// Call right after the opening brace.
 inline void AppendRuntimeStampJson(FILE* f,
                                    RuntimeKind kind = RuntimeKind::kSim) {
   const std::string_view runtime = RuntimeKindToString(kind);
   const std::string_view unit = RuntimeTimeUnit(kind);
-  std::fprintf(f, "\"runtime\": \"%.*s\", \"time_unit\": \"%.*s\", ",
+  const std::string_view backend = Sha256BackendName(Sha256::Backend());
+  const std::string_view detected =
+      Sha256BackendName(Sha256::DetectedBackend());
+  std::fprintf(f,
+               "\"runtime\": \"%.*s\", \"time_unit\": \"%.*s\", "
+               "\"crypto_backend\": \"%.*s\", "
+               "\"crypto_backend_detected\": \"%.*s\", "
+               "\"crypto_backend_forced\": %s, ",
                static_cast<int>(runtime.size()), runtime.data(),
-               static_cast<int>(unit.size()), unit.data());
+               static_cast<int>(unit.size()), unit.data(),
+               static_cast<int>(backend.size()), backend.data(),
+               static_cast<int>(detected.size()), detected.data(),
+               Sha256::BackendForced() ? "true" : "false");
 }
 
 class TablePrinter {

@@ -13,12 +13,14 @@ CloudOnlyServer::CloudOnlyServer(Executor* exec, Transport* net,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       location_(location),
       costs_(costs),
       fg_(exec->MakeLane()) {}
 
 void CloudOnlyServer::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) return;
   switch (env->type) {
     case MsgType::kCloudWriteRequest: {
@@ -79,9 +81,7 @@ void CloudOnlyServer::HandleWrite(NodeId from, const CloudWriteRequest& req,
   (void)log_.Append(block);
   blocks_committed_++;
   CloudWriteResponse resp{req.req_id, block.id};
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kCloudWriteResponse,
-                            resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kCloudWriteResponse, resp.Encode()));
 }
 
 void CloudOnlyServer::HandleRead(NodeId from, const CloudReadRequest& req,
@@ -94,9 +94,7 @@ void CloudOnlyServer::HandleRead(NodeId from, const CloudReadRequest& req,
     resp.found = true;
     resp.value = it->second;
   }
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kCloudReadResponse,
-                            resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kCloudReadResponse, resp.Encode()));
   (void)now;
 }
 
@@ -112,8 +110,7 @@ void CloudOnlyServer::HandleReadBlock(NodeId from, const ReadRequest& req,
     resp.block = std::move(*block);
     // Trusted server: no certificate needed (and none exists).
   }
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kReadResponse, resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kReadResponse, resp.Encode()));
   (void)now;
 }
 
@@ -127,9 +124,7 @@ void CloudOnlyServer::HandleScan(NodeId from, const ScanRequest& req,
   }
   std::sort(resp.pairs.begin(), resp.pairs.end(),
             [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kCloudScanResponse,
-                            resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kCloudScanResponse, resp.Encode()));
   (void)now;
 }
 
@@ -140,6 +135,8 @@ CloudOnlyClient::CloudOnlyClient(Executor* exec, Transport* net,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       server_(server),
       location_(location),
       costs_(costs) {}
@@ -153,9 +150,7 @@ void CloudOnlyClient::SendWrite(bool is_kv, std::vector<Entry> entries,
   pending_writes_[req.req_id] = std::move(cb);
   Bytes body = req.Encode();
   exec_->Charge(costs_.client_sign, [this, b = std::move(body)]() mutable {
-    net_->Send(id(), server_,
-               Envelope::Seal(signer_, MsgType::kCloudWriteRequest,
-                              std::move(b)));
+    net_->Send(id(), server_, sealer_.Seal(server_, MsgType::kCloudWriteRequest, b));
   });
 }
 
@@ -184,28 +179,24 @@ void CloudOnlyClient::ReadBlock(BlockId bid, ReadBlockCb cb) {
   req.req_id = next_req_++;
   req.bid = bid;
   pending_block_reads_[req.req_id] = std::move(cb);
-  net_->Send(id(), server_,
-             Envelope::Seal(signer_, MsgType::kReadRequest, req.Encode()));
+  net_->Send(id(), server_, sealer_.Seal(server_, MsgType::kReadRequest, req.Encode()));
 }
 
 void CloudOnlyClient::Read(Key key, ReadCb cb) {
   CloudReadRequest req{next_req_++, key};
   pending_reads_[req.req_id] = std::move(cb);
-  net_->Send(id(), server_,
-             Envelope::Seal(signer_, MsgType::kCloudReadRequest,
-                            req.Encode()));
+  net_->Send(id(), server_, sealer_.Seal(server_, MsgType::kCloudReadRequest, req.Encode()));
 }
 
 void CloudOnlyClient::Scan(Key lo, Key hi, ScanCb cb) {
   ScanRequest req{next_req_++, lo, hi};
   pending_scans_[req.req_id] = std::move(cb);
-  net_->Send(id(), server_,
-             Envelope::Seal(signer_, MsgType::kScanRequest, req.Encode()));
+  net_->Send(id(), server_, sealer_.Seal(server_, MsgType::kScanRequest, req.Encode()));
 }
 
 void CloudOnlyClient::OnMessage(NodeId from, Slice payload, SimTime now) {
   if (from != server_) return;
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) return;
   switch (env->type) {
     case MsgType::kCloudWriteResponse: {

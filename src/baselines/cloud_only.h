@@ -16,6 +16,7 @@
 #include "simnet/cost_model.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 
@@ -46,6 +47,8 @@ class CloudOnlyServer : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  SessionSealer sealer_;
+  SessionOpener opener_;
   Dc location_;
   CostModel costs_;
   std::unique_ptr<Lane> fg_;
@@ -106,6 +109,8 @@ class CloudOnlyClient : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  SessionSealer sealer_;
+  SessionOpener opener_;
   NodeId server_;
   Dc location_;
   CostModel costs_;

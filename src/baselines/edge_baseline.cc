@@ -14,13 +14,15 @@ EbCloud::EbCloud(Executor* exec, Transport* net, const KeyStore* keystore,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       location_(location),
       lsm_config_(lsm_config),
       costs_(costs),
       merge_lane_(exec->MakeLane()) {}
 
 void EbCloud::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) return;
   if (env->type != MsgType::kEbCertify) return;
   if (!keystore_->HasRole(from, Role::kEdge)) return;
@@ -99,9 +101,7 @@ void EbCloud::HandleCertify(NodeId edge, EbCertify msg, SimTime now) {
       ComputeGlobalRoot(state.epoch, state.tree.LevelRoots()), now);
   (void)merge_bytes;  // transfer cost is paid on the wire (response size)
 
-  net_->Send(id(), edge,
-             Envelope::Seal(signer_, MsgType::kEbCertifyResponse,
-                            resp.Encode()));
+  net_->Send(id(), edge, sealer_.Seal(edge, MsgType::kEbCertifyResponse, resp.Encode()));
 }
 
 // ------------------------------------------------------------------- edge
@@ -113,6 +113,8 @@ EbEdge::EbEdge(Executor* exec, Transport* net, const KeyStore* keystore,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       cloud_(cloud),
       location_(location),
       config_(config),
@@ -121,7 +123,7 @@ EbEdge::EbEdge(Executor* exec, Transport* net, const KeyStore* keystore,
       lsm_(config.lsm) {}
 
 void EbEdge::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) return;
   switch (env->type) {
     case MsgType::kEbWriteRequest: {
@@ -209,8 +211,7 @@ void EbEdge::TrySendNextCertify() {
   certify_queue_.pop_front();
   EbCertify msg;
   msg.block = in_flight_->block;
-  net_->Send(id(), cloud_,
-             Envelope::Seal(signer_, MsgType::kEbCertify, msg.Encode()));
+  net_->Send(id(), cloud_, sealer_.Seal(cloud_, MsgType::kEbCertify, msg.Encode()));
 }
 
 void EbEdge::HandleCertifyResponse(EbCertifyResponse resp, SimTime now) {
@@ -250,8 +251,7 @@ void EbEdge::HandleCertifyResponse(EbCertifyResponse resp, SimTime now) {
   AddResponse ack;
   ack.req_id = pending.req_id;
   ack.bid = pending.block.id;
-  net_->Send(id(), pending.client,
-             Envelope::Seal(signer_, MsgType::kEbWriteResponse, ack.Encode()));
+  net_->Send(id(), pending.client, sealer_.Seal(pending.client, MsgType::kEbWriteResponse, ack.Encode()));
 
   certify_in_flight_ = false;
   // Deferred reads run against the freshly installed state; the next
@@ -272,8 +272,7 @@ void EbEdge::HandleGet(NodeId from, const GetRequest& req, SimTime now) {
   GetResponse resp;
   resp.req_id = req.req_id;
   resp.body = AssembleGetResponse(lsm_, log_, req.key);
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kGetResponse, resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kGetResponse, resp.Encode()));
   (void)now;
 }
 
@@ -282,8 +281,7 @@ void EbEdge::HandleScan(NodeId from, const ScanRequest& req, SimTime now) {
   ScanResponse resp;
   resp.req_id = req.req_id;
   resp.body = AssembleScanResponse(lsm_, log_, req.lo, req.hi);
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kScanResponse, resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kScanResponse, resp.Encode()));
   (void)now;
 }
 
@@ -300,8 +298,7 @@ void EbEdge::HandleReadBlock(NodeId from, const ReadRequest& req,
     // Synchronous certification: every logged block has its certificate.
     resp.proof = log_.GetCertificate(req.bid);
   }
-  net_->Send(id(), from,
-             Envelope::Seal(signer_, MsgType::kReadResponse, resp.Encode()));
+  net_->Send(id(), from, sealer_.Seal(from, MsgType::kReadResponse, resp.Encode()));
   (void)now;
 }
 
@@ -314,6 +311,8 @@ EbClient::EbClient(Executor* exec, Transport* net, const KeyStore* keystore,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       edge_(edge),
       location_(location),
       costs_(costs),
@@ -328,7 +327,7 @@ void EbClient::SendWrite(MsgType type, std::vector<Entry> entries,
   pending_writes_[req.req_id] = std::move(cb);
   Bytes body = req.Encode();
   exec_->Charge(costs_.client_sign, [this, type, b = std::move(body)]() mutable {
-    net_->Send(id(), edge_, Envelope::Seal(signer_, type, std::move(b)));
+    net_->Send(id(), edge_, sealer_.Seal(edge_, type, b));
   });
 }
 
@@ -359,27 +358,24 @@ void EbClient::ReadBlock(BlockId bid, ReadBlockCb cb) {
   req.req_id = next_req_++;
   req.bid = bid;
   pending_block_reads_[req.req_id] = {bid, std::move(cb)};
-  net_->Send(id(), edge_,
-             Envelope::Seal(signer_, MsgType::kReadRequest, req.Encode()));
+  net_->Send(id(), edge_, sealer_.Seal(edge_, MsgType::kReadRequest, req.Encode()));
 }
 
 void EbClient::Get(Key key, GetCb cb) {
   GetRequest req{next_req_++, key};
   pending_gets_[req.req_id] = {key, std::move(cb)};
-  net_->Send(id(), edge_,
-             Envelope::Seal(signer_, MsgType::kGetRequest, req.Encode()));
+  net_->Send(id(), edge_, sealer_.Seal(edge_, MsgType::kGetRequest, req.Encode()));
 }
 
 void EbClient::Scan(Key lo, Key hi, ScanCb cb) {
   ScanRequest req{next_req_++, lo, hi};
   pending_scans_[req.req_id] = {lo, hi, std::move(cb)};
-  net_->Send(id(), edge_,
-             Envelope::Seal(signer_, MsgType::kScanRequest, req.Encode()));
+  net_->Send(id(), edge_, sealer_.Seal(edge_, MsgType::kScanRequest, req.Encode()));
 }
 
 void EbClient::OnMessage(NodeId from, Slice payload, SimTime now) {
   if (from != edge_) return;
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) return;
   switch (env->type) {
     case MsgType::kEbWriteResponse: {

@@ -34,6 +34,7 @@
 #include "simnet/cost_model.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 
@@ -64,6 +65,8 @@ class EbCloud : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  SessionSealer sealer_;
+  SessionOpener opener_;
   Dc location_;
   LsmConfig lsm_config_;
   CostModel costs_;
@@ -115,6 +118,8 @@ class EbEdge : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  SessionSealer sealer_;
+  SessionOpener opener_;
   NodeId cloud_;
   Dc location_;
   EdgeConfig config_;
@@ -202,6 +207,8 @@ class EbClient : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  SessionSealer sealer_;
+  SessionOpener opener_;
   NodeId edge_;
   Dc location_;
   CostModel costs_;

@@ -13,6 +13,8 @@ WedgeClient::WedgeClient(Executor* exec, Transport* net,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       edge_(edge),
       cloud_(cloud),
       location_(location),
@@ -21,7 +23,7 @@ WedgeClient::WedgeClient(Executor* exec, Transport* net,
       verifier_cache_(config.verify_cache_limits) {}
 
 void WedgeClient::SendSealed(NodeId to, MsgType type, Bytes body) {
-  net_->Send(id(), to, Envelope::Seal(signer_, type, std::move(body)));
+  net_->Send(id(), to, sealer_.Seal(to, type, body));
 }
 
 void WedgeClient::AddBatch(std::vector<Bytes> payloads, Phase1Cb on_phase1,
@@ -132,7 +134,7 @@ void WedgeClient::Scan(Key lo, Key hi, ScanCb cb) {
 }
 
 void WedgeClient::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) {
     WLOG_DEBUG << "client " << id() << ": dropping message: " << env.status();
     return;

@@ -22,6 +22,7 @@
 #include "simnet/cost_model.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 
@@ -206,6 +207,10 @@ class WedgeClient : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  // Session channels (v2 envelopes). Initialized from signer_/keystore_;
+  // counters are durable identity state, not volatile protocol state.
+  SessionSealer sealer_;
+  SessionOpener opener_;
   NodeId edge_;
   NodeId cloud_;
   Dc location_;

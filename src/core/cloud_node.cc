@@ -15,6 +15,8 @@ CloudNode::CloudNode(Executor* exec, Transport* net,
       keystore_(keystore),
       authority_(authority),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       location_(location),
       config_(config),
       costs_(costs),
@@ -50,7 +52,7 @@ void CloudNode::RestoreState(CloudStorage::RecoveredState state) {
 }
 
 void CloudNode::SendSealed(NodeId to, MsgType type, Bytes body) {
-  net_->Send(id(), to, Envelope::Seal(signer_, type, std::move(body)));
+  net_->Send(id(), to, sealer_.Seal(to, type, body));
 }
 
 CloudNode::EdgeRecord& CloudNode::RecordFor(NodeId edge) {
@@ -83,7 +85,7 @@ void CloudNode::AdvanceContiguous(EdgeRecord* rec) {
 }
 
 void CloudNode::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) {
     WLOG_DEBUG << "cloud: rejecting message: " << env.status();
     return;
@@ -217,11 +219,14 @@ void CloudNode::HandleMergeRequest(NodeId edge, const MergeRequest& msg,
   // --- Verify the inputs are the state this cloud previously certified.
   std::vector<KvPair> newer;
   if (msg.from_level == 0) {
-    for (const Block& blk : msg.l0_blocks) {
+    // Digest the whole L0 run in one multi-buffer batch.
+    const std::vector<Digest256> l0_digests = Block::DigestMany(msg.l0_blocks);
+    for (size_t bi = 0; bi < msg.l0_blocks.size(); ++bi) {
+      const Block& blk = msg.l0_blocks[bi];
       auto cert = rec.certified.find(blk.id);
-      Digest256 digest = blk.Digest();
+      const Digest256& digest = l0_digests[bi];
       if (cert != rec.certified.end()) {
-        if (cert->second != digest) {
+        if (!cert->second.CryptoEquals(digest)) {
           fail("L0 block " + std::to_string(blk.id) +
                " does not match certified digest");
           return;
@@ -249,14 +254,18 @@ void CloudNode::HandleMergeRequest(NodeId edge, const MergeRequest& msg,
       for (auto& p : ExtractKvPairs(blk)) newer.push_back(std::move(p));
     }
   } else {
-    // Verify the source level pages against the recorded root.
+    // Verify the source level pages against the recorded root. The
+    // page digests run as one multi-buffer batch (SealAll), and the
+    // root comparison is constant-time: this is a verification of
+    // attacker-controllable input.
+    Page::SealAll(msg.from_pages);
     std::vector<Digest256> leaves;
     for (const Page& p : msg.from_pages) leaves.push_back(p.Digest());
     Digest256 root = MerkleTree::ComputeRoot(std::move(leaves));
     Digest256 expected = msg.from_level <= nlevels
                              ? rec.level_roots[msg.from_level - 1]
                              : Digest256();
-    if (root != expected) {
+    if (!root.CryptoEquals(expected)) {
       fail("source level pages do not match certified root");
       return;
     }
@@ -265,13 +274,14 @@ void CloudNode::HandleMergeRequest(NodeId edge, const MergeRequest& msg,
     }
   }
   {
+    Page::SealAll(msg.to_pages);
     std::vector<Digest256> leaves;
     for (const Page& p : msg.to_pages) leaves.push_back(p.Digest());
     Digest256 root = MerkleTree::ComputeRoot(std::move(leaves));
     Digest256 expected = msg.from_level + 1 <= nlevels
                              ? rec.level_roots[msg.from_level]
                              : Digest256();
-    if (root != expected) {
+    if (!root.CryptoEquals(expected)) {
       fail("target level pages do not match certified root");
       return;
     }
@@ -286,6 +296,7 @@ void CloudNode::HandleMergeRequest(NodeId edge, const MergeRequest& msg,
   }
 
   {
+    Page::SealAll(*merged);
     std::vector<Digest256> leaves;
     for (const Page& p : *merged) leaves.push_back(p.Digest());
     rec.level_roots[msg.from_level] = MerkleTree::ComputeRoot(leaves);

@@ -28,6 +28,7 @@
 #include "storage/cloud_storage.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 
@@ -116,6 +117,10 @@ class CloudNode : public Endpoint {
   const KeyStore* keystore_;
   TrustAuthority* authority_;
   Signer signer_;
+  // Session channels (v2 envelopes). Initialized from signer_/keystore_;
+  // counters are durable identity state, not volatile protocol state.
+  SessionSealer sealer_;
+  SessionOpener opener_;
   Dc location_;
   CloudConfig config_;
   CostModel costs_;

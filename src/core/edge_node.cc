@@ -15,6 +15,8 @@ EdgeNode::EdgeNode(Executor* exec, Transport* net, const KeyStore* keystore,
       net_(net),
       keystore_(keystore),
       signer_(std::move(signer)),
+      sealer_(signer_),
+      opener_(keystore, signer_.id()),
       cloud_(cloud),
       location_(location),
       config_(config),
@@ -41,11 +43,11 @@ void EdgeNode::RestoreState(EdgeStorage::RecoveredState state) {
 }
 
 void EdgeNode::SendSealed(NodeId to, MsgType type, Bytes body) {
-  net_->Send(id(), to, Envelope::Seal(signer_, type, std::move(body)));
+  net_->Send(id(), to, sealer_.Seal(to, type, body));
 }
 
 void EdgeNode::OnMessage(NodeId from, Slice payload, SimTime now) {
-  auto env = Envelope::Open(*keystore_, payload);
+  auto env = opener_.Open(payload);
   if (!env.ok()) {
     WLOG_DEBUG << "edge " << id() << ": dropping message: " << env.status();
     return;

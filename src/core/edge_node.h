@@ -30,6 +30,7 @@
 #include "storage/edge_storage.h"
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 
@@ -145,6 +146,10 @@ class EdgeNode : public Endpoint {
   Transport* net_;
   const KeyStore* keystore_;
   Signer signer_;
+  // Session channels (v2 envelopes). Initialized from signer_/keystore_;
+  // counters are durable identity state, not volatile protocol state.
+  SessionSealer sealer_;
+  SessionOpener opener_;
   NodeId cloud_;
   Dc location_;
   EdgeConfig config_;

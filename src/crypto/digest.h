@@ -7,6 +7,7 @@
 #include <array>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "common/codec.h"
@@ -32,6 +33,30 @@ class Digest256 {
     return Digest256(Sha256::Hash2(a.AsSlice(), b.AsSlice()));
   }
 
+  /// Batched combiner for a whole Merkle level:
+  /// out[i] = Combine(nodes[2i], nodes[2i+1]) for i in [0, out.size()).
+  /// `nodes` must be a contiguous array (each pair is hashed as one
+  /// 64-byte message) with nodes.size() >= 2 * out.size(). Routed
+  /// through the multi-buffer SHA-256 so independent pairs share lanes.
+  static void CombineMany(std::span<const Digest256> nodes,
+                          std::span<Digest256> out) {
+    static_assert(sizeof(Digest256) == 32,
+                  "pairs must be contiguous 64-byte messages");
+    constexpr size_t kChunk = 32;
+    Slice msgs[kChunk];
+    Sha256Digest digests[kChunk];
+    const size_t pairs = out.size();
+    for (size_t i = 0; i < pairs;) {
+      const size_t take = pairs - i < kChunk ? pairs - i : kChunk;
+      for (size_t j = 0; j < take; ++j) {
+        msgs[j] = Slice(nodes[2 * (i + j)].data(), 64);
+      }
+      Sha256::HashMany(msgs, digests, take);
+      for (size_t j = 0; j < take; ++j) out[i + j] = Digest256(digests[j]);
+      i += take;
+    }
+  }
+
   const uint8_t* data() const { return bytes_.data(); }
   static constexpr size_t size() { return 32; }
   Slice AsSlice() const { return Slice(bytes_.data(), bytes_.size()); }
@@ -54,6 +79,13 @@ class Digest256 {
     Digest256 d;
     std::memcpy(d.bytes_.data(), raw->data(), 32);
     return d;
+  }
+
+  /// Constant-time equality for *verification* sites (comparing a
+  /// recomputed digest against a presented one). operator== stays
+  /// early-exit for non-adversarial lookups and container use.
+  bool CryptoEquals(const Digest256& other) const {
+    return CryptoEqual(AsSlice(), other.AsSlice());
   }
 
   bool operator==(const Digest256& other) const {

@@ -4,14 +4,16 @@
 
 namespace wedge {
 
-Sha256Digest HmacSha256(Slice key, Slice message) {
+HmacKey::HmacKey() : HmacKey(Slice()) {}
+
+HmacKey::HmacKey(Slice key) {
   constexpr size_t kBlockSize = 64;
   uint8_t key_block[kBlockSize] = {0};
 
   if (key.size() > kBlockSize) {
     Sha256Digest kd = Sha256::Hash(key);
     std::memcpy(key_block, kd.data(), kd.size());
-  } else {
+  } else if (key.size() > 0) {
     std::memcpy(key_block, key.data(), key.size());
   }
 
@@ -22,15 +24,33 @@ Sha256Digest HmacSha256(Slice key, Slice message) {
     opad[i] = key_block[i] ^ 0x5c;
   }
 
-  Sha256 inner;
-  inner.Update(Slice(ipad, kBlockSize));
+  inner_.Update(Slice(ipad, kBlockSize));
+  outer_.Update(Slice(opad, kBlockSize));
+}
+
+Sha256Digest HmacKey::Mac(Slice message) const {
+  Sha256 inner = inner_;  // copy the midstate; ipad block already absorbed
   inner.Update(message);
   Sha256Digest inner_digest = inner.Finalize();
 
-  Sha256 outer;
-  outer.Update(Slice(opad, kBlockSize));
+  Sha256 outer = outer_;
   outer.Update(Slice(inner_digest.data(), inner_digest.size()));
   return outer.Finalize();
+}
+
+Sha256Digest HmacKey::Mac2(Slice a, Slice b) const {
+  Sha256 inner = inner_;
+  inner.Update(a);
+  inner.Update(b);
+  Sha256Digest inner_digest = inner.Finalize();
+
+  Sha256 outer = outer_;
+  outer.Update(Slice(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+Sha256Digest HmacSha256(Slice key, Slice message) {
+  return HmacKey(key).Mac(message);
 }
 
 }  // namespace wedge

@@ -1,4 +1,11 @@
 // HMAC-SHA256 (RFC 2104), built on the from-scratch SHA-256.
+//
+// Two entry points: the one-shot HmacSha256() and HmacKey, which
+// precomputes the ipad/opad midstates once per key. HMAC costs two
+// extra compressions (the padded-key blocks) on every call; a reused
+// HmacKey pays them once, which matters on the envelope path where the
+// same pairwise/session key authenticates every message on a
+// connection.
 
 #pragma once
 
@@ -6,6 +13,29 @@
 #include "crypto/sha256.h"
 
 namespace wedge {
+
+/// A prepared HMAC-SHA256 key: the inner (key ^ ipad) and outer
+/// (key ^ opad) compression states are absorbed at construction, so each
+/// Mac() call only hashes the message itself plus one fixed-size outer
+/// block. Bit-identical to HmacSha256() with the same key.
+class HmacKey {
+ public:
+  /// A null key (HMAC with the empty key). Usable but meaningless;
+  /// exists so HmacKey can sit in value types.
+  HmacKey();
+
+  explicit HmacKey(Slice key);
+
+  /// HMAC(key, message).
+  Sha256Digest Mac(Slice message) const;
+
+  /// HMAC(key, a || b) without materializing the concatenation.
+  Sha256Digest Mac2(Slice a, Slice b) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
 
 /// Computes HMAC-SHA256(key, message).
 Sha256Digest HmacSha256(Slice key, Slice message);

@@ -1,6 +1,10 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/sha256_backends.h"
 
 namespace wedge {
 
@@ -39,58 +43,249 @@ inline uint32_t SmallSigma1(uint32_t x) {
   return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
 }
 
-}  // namespace
+constexpr uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
-void Sha256::Reset() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
-  bit_count_ = 0;
-  buffer_len_ = 0;
+bool BackendSupported(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kScalar:
+      return true;
+    case Sha256Backend::kShaNi:
+      return internal::Sha256ShaNiSupported();
+    case Sha256Backend::kArmCe:
+      return internal::Sha256ArmCeSupported();
+  }
+  return false;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[64]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<uint32_t>(block[i * 4]) << 24 |
-           static_cast<uint32_t>(block[i * 4 + 1]) << 16 |
-           static_cast<uint32_t>(block[i * 4 + 2]) << 8 |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    w[i] = SmallSigma1(w[i - 2]) + w[i - 7] + SmallSigma0(w[i - 15]) +
-           w[i - 16];
-  }
+Sha256Backend Detect() {
+  if (internal::Sha256ShaNiSupported()) return Sha256Backend::kShaNi;
+  if (internal::Sha256ArmCeSupported()) return Sha256Backend::kArmCe;
+  return Sha256Backend::kScalar;
+}
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+// Dispatch state: detection runs once; WEDGE_SHA256_BACKEND is consulted
+// once at startup; ForceBackend can re-point `active` at any time (tests
+// and benches only — concurrent hashers just pick up the new compressor
+// at their next block, which is semantically identical).
+struct BackendState {
+  Sha256Backend detected;
+  std::atomic<uint8_t> active;
+  std::atomic<bool> forced;
 
-  for (int i = 0; i < 64; ++i) {
-    uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[i] + w[i];
-    uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+  BackendState() : detected(Detect()), active(0), forced(false) {
+    Sha256Backend chosen = detected;
+    if (const char* env = std::getenv("WEDGE_SHA256_BACKEND")) {
+      Sha256Backend want = detected;
+      bool recognized = true;
+      if (!std::strcmp(env, "scalar")) {
+        want = Sha256Backend::kScalar;
+      } else if (!std::strcmp(env, "sha_ni") || !std::strcmp(env, "shani")) {
+        want = Sha256Backend::kShaNi;
+      } else if (!std::strcmp(env, "arm_ce") || !std::strcmp(env, "armce")) {
+        want = Sha256Backend::kArmCe;
+      } else if (std::strcmp(env, "auto") && std::strcmp(env, "")) {
+        recognized = false;
+      }
+      // Unsupported/unknown requests fall back to detection rather than
+      // aborting: a CI matrix can export one value across mixed runners.
+      if (recognized && want != detected && BackendSupported(want)) {
+        chosen = want;
+        forced.store(true, std::memory_order_relaxed);
+      }
+    }
+    active.store(static_cast<uint8_t>(chosen), std::memory_order_relaxed);
   }
+};
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+BackendState& State() {
+  static BackendState s;
+  return s;
+}
+
+void Compress(uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  if (nblocks == 0) return;
+  switch (static_cast<Sha256Backend>(
+      State().active.load(std::memory_order_relaxed))) {
+    case Sha256Backend::kShaNi:
+      internal::Sha256CompressShaNi(state, data, nblocks);
+      return;
+    case Sha256Backend::kArmCe:
+      internal::Sha256CompressArmCe(state, data, nblocks);
+      return;
+    case Sha256Backend::kScalar:
+      break;
+  }
+  internal::Sha256CompressScalar(state, data, nblocks);
+}
+
+using PairFn = void (*)(uint32_t[8], const uint8_t*, uint32_t[8],
+                        const uint8_t*, size_t);
+
+// The active backend's interleaved two-lane compressor, or null when the
+// backend has no profitable pair form (scalar: the lanes would just
+// compete for the same ALU ports).
+PairFn ActivePairFn() {
+  switch (static_cast<Sha256Backend>(
+      State().active.load(std::memory_order_relaxed))) {
+    case Sha256Backend::kShaNi:
+      return &internal::Sha256CompressPairShaNi;
+    case Sha256Backend::kArmCe:
+      return &internal::Sha256CompressPairArmCe;
+    case Sha256Backend::kScalar:
+      break;
+  }
+  return nullptr;
+}
+
+void StoreDigest(const uint32_t state[8], Sha256Digest& out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+// Writes the final padded block(s) of `msg` (everything after its last
+// full 64-byte boundary: residue + 0x80 + zeros + 64-bit bit length)
+// into `tail[128]` and returns the block count (1 or 2).
+size_t BuildTail(Slice msg, uint8_t tail[128]) {
+  const size_t rem = msg.size() % 64;
+  std::memset(tail, 0, 128);
+  if (rem > 0) std::memcpy(tail, msg.data() + (msg.size() - rem), rem);
+  tail[rem] = 0x80;
+  const size_t blocks = rem < 56 ? 1 : 2;
+  const uint64_t bits = static_cast<uint64_t>(msg.size()) * 8;
+  uint8_t* len = tail + blocks * 64 - 8;
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  return blocks;
+}
+
+// Hashes two independent messages through the interleaved two-lane
+// compressor: shared-length body blocks run paired, leftover body blocks
+// run single-lane, and the padded tails pair up again whenever both
+// messages need the same number of tail blocks (always true for
+// equal-size inputs, the common case at batch call sites).
+void HashPair(Slice m0, Slice m1, Sha256Digest& out0, Sha256Digest& out1,
+              PairFn pair) {
+  uint32_t s0[8];
+  uint32_t s1[8];
+  std::memcpy(s0, kIv, sizeof(kIv));
+  std::memcpy(s1, kIv, sizeof(kIv));
+
+  const size_t body0 = m0.size() / 64;
+  const size_t body1 = m1.size() / 64;
+  const size_t common = body0 < body1 ? body0 : body1;
+  pair(s0, m0.data(), s1, m1.data(), common);
+  Compress(s0, m0.data() + common * 64, body0 - common);
+  Compress(s1, m1.data() + common * 64, body1 - common);
+
+  uint8_t t0[128];
+  uint8_t t1[128];
+  const size_t tb0 = BuildTail(m0, t0);
+  const size_t tb1 = BuildTail(m1, t1);
+  if (tb0 == tb1) {
+    pair(s0, t0, s1, t1, tb0);
+  } else {
+    Compress(s0, t0, tb0);
+    Compress(s1, t1, tb1);
+  }
+  StoreDigest(s0, out0);
+  StoreDigest(s1, out1);
+}
+
+}  // namespace
+
+namespace internal {
+
+void Sha256CompressScalar(uint32_t state[8], const uint8_t* data,
+                          size_t nblocks) {
+  for (; nblocks > 0; --nblocks, data += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<uint32_t>(data[i * 4]) << 24 |
+             static_cast<uint32_t>(data[i * 4 + 1]) << 16 |
+             static_cast<uint32_t>(data[i * 4 + 2]) << 8 |
+             static_cast<uint32_t>(data[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      w[i] = SmallSigma1(w[i - 2]) + w[i - 7] + SmallSigma0(w[i - 15]) +
+             w[i - 16];
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[i] + w[i];
+      uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+}  // namespace internal
+
+std::string_view Sha256BackendName(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return "scalar";
+    case Sha256Backend::kShaNi:
+      return "sha_ni";
+    case Sha256Backend::kArmCe:
+      return "arm_ce";
+  }
+  return "unknown";
+}
+
+Sha256Backend Sha256::Backend() {
+  return static_cast<Sha256Backend>(
+      State().active.load(std::memory_order_relaxed));
+}
+
+Sha256Backend Sha256::DetectedBackend() { return State().detected; }
+
+bool Sha256::BackendForced() {
+  return State().forced.load(std::memory_order_relaxed);
+}
+
+bool Sha256::ForceBackend(Sha256Backend backend) {
+  if (!BackendSupported(backend)) return false;
+  BackendState& s = State();
+  s.active.store(static_cast<uint8_t>(backend), std::memory_order_relaxed);
+  s.forced.store(backend != s.detected, std::memory_order_relaxed);
+  return true;
+}
+
+void Sha256::ResetBackendOverride() {
+  BackendState& s = State();
+  s.active.store(static_cast<uint8_t>(s.detected), std::memory_order_relaxed);
+  s.forced.store(false, std::memory_order_relaxed);
+}
+
+void Sha256::Reset() {
+  std::memcpy(state_, kIv, sizeof(kIv));
+  bit_count_ = 0;
+  buffer_len_ = 0;
 }
 
 void Sha256::Update(Slice data) {
@@ -105,14 +300,15 @@ void Sha256::Update(Slice data) {
     p += take;
     n -= take;
     if (buffer_len_ == sizeof(buffer_)) {
-      ProcessBlock(buffer_);
+      Compress(state_, buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= 64) {
-    ProcessBlock(p);
-    p += 64;
-    n -= 64;
+  if (n >= 64) {
+    const size_t nblocks = n / 64;
+    Compress(state_, p, nblocks);
+    p += nblocks * 64;
+    n -= nblocks * 64;
   }
   if (n > 0) {
     std::memcpy(buffer_, p, n);
@@ -140,12 +336,7 @@ Sha256Digest Sha256::Finalize() {
   Update(Slice(len_bytes, 8));
 
   Sha256Digest out;
-  for (int i = 0; i < 8; ++i) {
-    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
-    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
-    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
-    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
-  }
+  StoreDigest(state_, out);
   return out;
 }
 
@@ -160,6 +351,16 @@ Sha256Digest Sha256::Hash2(Slice a, Slice b) {
   h.Update(a);
   h.Update(b);
   return h.Finalize();
+}
+
+void Sha256::HashMany(const Slice* msgs, Sha256Digest* out, size_t n) {
+  size_t i = 0;
+  if (PairFn pair = ActivePairFn()) {
+    for (; i + 1 < n; i += 2) {
+      HashPair(msgs[i], msgs[i + 1], out[i], out[i + 1], pair);
+    }
+  }
+  for (; i < n; ++i) out[i] = Hash(msgs[i]);
 }
 
 }  // namespace wedge

@@ -1,13 +1,28 @@
-// SHA-256 (FIPS 180-4), implemented from scratch.
+// SHA-256 (FIPS 180-4) behind a runtime-dispatched backend facade.
 //
 // This is the one-way hash function behind WedgeChain's data-free
 // certification: agreement on digest(block) implies agreement on the block
 // (paper §IV-B). Incremental interface plus one-shot helpers.
+//
+// Three compression backends share the same streaming front end:
+//   - kScalar: the from-scratch FIPS 180-4 compressor (always available,
+//     the reference the others are differentially tested against);
+//   - kShaNi:  x86 SHA extensions (sha256rnds2/msg1/msg2), selected when
+//     CPUID reports SHA + SSSE3 + SSE4.1;
+//   - kArmCe:  ARMv8 crypto extensions (vsha256h/h2/su0/su1), selected
+//     when the auxval HWCAP reports SHA2.
+// Detection runs once; `WEDGE_SHA256_BACKEND` (scalar|sha_ni|arm_ce|auto)
+// overrides it for tests and CI, as does ForceBackend(). The multi-buffer
+// entry point HashMany() digests independent messages through the best
+// backend, interleaving two instruction streams per call on ISAs where
+// that hides compression latency (SHA-NI) and looping otherwise.
 
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "common/slice.h"
 
@@ -15,6 +30,16 @@ namespace wedge {
 
 /// A 256-bit digest value.
 using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Compression backends. kScalar always works; the others depend on the
+/// host ISA.
+enum class Sha256Backend : uint8_t {
+  kScalar = 0,
+  kShaNi = 1,
+  kArmCe = 2,
+};
+
+std::string_view Sha256BackendName(Sha256Backend backend);
 
 /// Incremental SHA-256 hasher.
 ///
@@ -44,13 +69,61 @@ class Sha256 {
   /// nodes: H(left || right)).
   static Sha256Digest Hash2(Slice a, Slice b);
 
- private:
-  void ProcessBlock(const uint8_t block[64]);
+  /// Multi-buffer hashing: out[i] = SHA-256(msgs[i]) for n independent
+  /// messages. On backends with an interleaved two-lane compressor
+  /// (SHA-NI) messages are paired to hide instruction latency; otherwise
+  /// this loops the best single-buffer backend. Always bit-identical to
+  /// calling Hash() per message.
+  static void HashMany(const Slice* msgs, Sha256Digest* out, size_t n);
 
+  /// The backend compression currently dispatches to (after any
+  /// WEDGE_SHA256_BACKEND / ForceBackend override).
+  static Sha256Backend Backend();
+
+  /// What CPU feature detection picked, ignoring overrides.
+  static Sha256Backend DetectedBackend();
+
+  /// True when the active backend was forced (env var or ForceBackend)
+  /// rather than detected.
+  static bool BackendForced();
+
+  /// Overrides dispatch for tests/benches. Returns false (and leaves the
+  /// active backend unchanged) when the host cannot run `backend`.
+  static bool ForceBackend(Sha256Backend backend);
+
+  /// Drops any override and returns to the detected backend.
+  static void ResetBackendOverride();
+
+ private:
   uint32_t state_[8];
   uint64_t bit_count_;
   uint8_t buffer_[64];
   size_t buffer_len_;
 };
+
+/// Span front end for the multi-buffer API (the form call sites use).
+struct Sha256Batch {
+  static void HashMany(std::span<const Slice> msgs,
+                       std::span<Sha256Digest> out) {
+    Sha256::HashMany(msgs.data(), out.data(),
+                     msgs.size() < out.size() ? msgs.size() : out.size());
+  }
+};
+
+/// Constant-time byte comparison for MAC/signature/digest *verification*
+/// sites: runs in time dependent only on the lengths, never on content,
+/// so a mismatch position cannot leak through timing. Early-exit
+/// comparisons (operator== on arrays) stay fine for non-adversarial
+/// lookups.
+inline bool CryptoEqual(Slice a, Slice b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+inline bool CryptoEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  return CryptoEqual(Slice(a.data(), a.size()), Slice(b.data(), b.size()));
+}
 
 }  // namespace wedge

@@ -1,0 +1,36 @@
+// Internal seam between the Sha256 front end and its compression
+// backends. Each backend advances a raw FIPS 180-4 state through
+// `nblocks` consecutive 64-byte blocks; the pair form advances two
+// independent states through the same number of blocks each, which lets
+// ISA backends interleave the instruction streams to hide latency.
+// Not part of the public crypto API — include sha256.h instead.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wedge::internal {
+
+/// Portable reference compressor. Always available.
+void Sha256CompressScalar(uint32_t state[8], const uint8_t* data,
+                          size_t nblocks);
+
+/// x86 SHA-NI. Only callable when Sha256ShaNiSupported() is true.
+bool Sha256ShaNiSupported();
+void Sha256CompressShaNi(uint32_t state[8], const uint8_t* data,
+                         size_t nblocks);
+void Sha256CompressPairShaNi(uint32_t state_a[8], const uint8_t* data_a,
+                             uint32_t state_b[8], const uint8_t* data_b,
+                             size_t nblocks);
+
+/// ARMv8 crypto extensions. Only callable when Sha256ArmCeSupported()
+/// is true.
+bool Sha256ArmCeSupported();
+void Sha256CompressArmCe(uint32_t state[8], const uint8_t* data,
+                         size_t nblocks);
+void Sha256CompressPairArmCe(uint32_t state_a[8], const uint8_t* data_a,
+                             uint32_t state_b[8], const uint8_t* data_b,
+                             size_t nblocks);
+
+}  // namespace wedge::internal

@@ -1,0 +1,220 @@
+// x86 SHA-NI backend: the FIPS 180-4 compression function expressed with
+// the SHA extensions (sha256rnds2 does two rounds per instruction;
+// sha256msg1/msg2 run the message schedule). Round structure follows the
+// well-known Intel/Walton reference sequence. Everything is gated behind
+// function-level target attributes plus runtime CPUID, so this file
+// compiles into every x86 build and is only *executed* when the host
+// reports SHA + SSSE3 + SSE4.1.
+//
+// The pair entry point advances two independent states per loop
+// iteration. sha256rnds2 has multi-cycle latency and each lane's rounds
+// form one long dependency chain, so two interleaved chains keep the
+// SHA unit busy where one would stall — the compiler schedules the two
+// inlined single-block bodies together.
+
+#include "crypto/sha256_backends.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cpuid.h>
+
+namespace wedge::internal {
+
+namespace {
+
+bool DetectShaNi() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool ssse3 = ecx & (1u << 9);
+  const bool sse41 = ecx & (1u << 19);
+  if (!ssse3 || !sse41) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return ebx & (1u << 29);  // SHA extensions
+}
+
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+#define WEDGE_SHANI __attribute__((target("sha,ssse3,sse4.1")))
+
+// Loads state[8] (a..h order) into the ABEF/CDGH register layout
+// sha256rnds2 expects.
+WEDGE_SHANI inline void LoadState(const uint32_t state[8], __m128i& abef,
+                                  __m128i& cdgh) {
+  __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  lo = _mm_shuffle_epi32(lo, 0xB1);  // CDAB
+  hi = _mm_shuffle_epi32(hi, 0x1B);  // EFGH
+  abef = _mm_alignr_epi8(lo, hi, 8);
+  cdgh = _mm_blend_epi16(hi, lo, 0xF0);
+}
+
+WEDGE_SHANI inline void StoreState(uint32_t state[8], __m128i abef,
+                                   __m128i cdgh) {
+  __m128i lo = _mm_shuffle_epi32(abef, 0x1B);  // FEBA
+  __m128i hi = _mm_shuffle_epi32(cdgh, 0xB1);  // DCHG
+  __m128i abcd = _mm_blend_epi16(lo, hi, 0xF0);
+  __m128i efgh = _mm_alignr_epi8(hi, lo, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), abcd);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), efgh);
+}
+
+WEDGE_SHANI inline __m128i Kv(int group) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[group * 4]));
+}
+
+// One 64-byte block: 64 rounds in 16 groups of 4. always_inline so the
+// pair loop below fuses two independent copies into one schedulable
+// straight-line body.
+WEDGE_SHANI __attribute__((always_inline)) inline void CompressBlock(
+    __m128i& abef, __m128i& cdgh, const uint8_t* p) {
+  const __m128i kShuf =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  const __m128i save_abef = abef;
+  const __m128i save_cdgh = cdgh;
+
+  __m128i m0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 0)), kShuf);
+  __m128i m1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)), kShuf);
+  __m128i m2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)), kShuf);
+  __m128i m3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)), kShuf);
+
+  __m128i msg;
+  __m128i tmp;
+
+  // Rounds 0-3.
+  msg = _mm_add_epi32(m0, Kv(0));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+
+  // Rounds 4-7.
+  msg = _mm_add_epi32(m1, Kv(1));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+  m0 = _mm_sha256msg1_epu32(m0, m1);
+
+  // Rounds 8-11.
+  msg = _mm_add_epi32(m2, Kv(2));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+  m1 = _mm_sha256msg1_epu32(m1, m2);
+
+  // Rounds 12-51: uniform schedule-update pattern over the rotating
+  // message registers (m3->m0, m0->m1, m1->m2, m2->m3 each group).
+#define WEDGE_SHANI_QROUND(group, mw, mx, my, mz)     \
+  msg = _mm_add_epi32(mw, Kv(group));                 \
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);      \
+  tmp = _mm_alignr_epi8(mw, mz, 4);                   \
+  mx = _mm_add_epi32(mx, tmp);                        \
+  mx = _mm_sha256msg2_epu32(mx, mw);                  \
+  msg = _mm_shuffle_epi32(msg, 0x0E);                 \
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);      \
+  mz = _mm_sha256msg1_epu32(mz, mw)
+
+  WEDGE_SHANI_QROUND(3, m3, m0, m1, m2);
+  WEDGE_SHANI_QROUND(4, m0, m1, m2, m3);
+  WEDGE_SHANI_QROUND(5, m1, m2, m3, m0);
+  WEDGE_SHANI_QROUND(6, m2, m3, m0, m1);
+  WEDGE_SHANI_QROUND(7, m3, m0, m1, m2);
+  WEDGE_SHANI_QROUND(8, m0, m1, m2, m3);
+  WEDGE_SHANI_QROUND(9, m1, m2, m3, m0);
+  WEDGE_SHANI_QROUND(10, m2, m3, m0, m1);
+  WEDGE_SHANI_QROUND(11, m3, m0, m1, m2);
+  WEDGE_SHANI_QROUND(12, m0, m1, m2, m3);
+#undef WEDGE_SHANI_QROUND
+
+  // Rounds 52-55: last msg2 feeding m2; no further msg1.
+  msg = _mm_add_epi32(m1, Kv(13));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  tmp = _mm_alignr_epi8(m1, m0, 4);
+  m2 = _mm_add_epi32(m2, tmp);
+  m2 = _mm_sha256msg2_epu32(m2, m1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+
+  // Rounds 56-59.
+  msg = _mm_add_epi32(m2, Kv(14));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  tmp = _mm_alignr_epi8(m2, m1, 4);
+  m3 = _mm_add_epi32(m3, tmp);
+  m3 = _mm_sha256msg2_epu32(m3, m2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+
+  // Rounds 60-63.
+  msg = _mm_add_epi32(m3, Kv(15));
+  cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+
+  abef = _mm_add_epi32(abef, save_abef);
+  cdgh = _mm_add_epi32(cdgh, save_cdgh);
+}
+
+}  // namespace
+
+bool Sha256ShaNiSupported() {
+  static const bool supported = DetectShaNi();
+  return supported;
+}
+
+WEDGE_SHANI void Sha256CompressShaNi(uint32_t state[8], const uint8_t* data,
+                                     size_t nblocks) {
+  __m128i abef, cdgh;
+  LoadState(state, abef, cdgh);
+  for (; nblocks > 0; --nblocks, data += 64) {
+    CompressBlock(abef, cdgh, data);
+  }
+  StoreState(state, abef, cdgh);
+}
+
+WEDGE_SHANI void Sha256CompressPairShaNi(uint32_t state_a[8],
+                                         const uint8_t* data_a,
+                                         uint32_t state_b[8],
+                                         const uint8_t* data_b,
+                                         size_t nblocks) {
+  __m128i a_abef, a_cdgh, b_abef, b_cdgh;
+  LoadState(state_a, a_abef, a_cdgh);
+  LoadState(state_b, b_abef, b_cdgh);
+  for (; nblocks > 0; --nblocks, data_a += 64, data_b += 64) {
+    CompressBlock(a_abef, a_cdgh, data_a);
+    CompressBlock(b_abef, b_cdgh, data_b);
+  }
+  StoreState(state_a, a_abef, a_cdgh);
+  StoreState(state_b, b_abef, b_cdgh);
+}
+
+#undef WEDGE_SHANI
+
+}  // namespace wedge::internal
+
+#else  // non-x86 hosts: stubs keep dispatch code backend-agnostic.
+
+namespace wedge::internal {
+
+bool Sha256ShaNiSupported() { return false; }
+void Sha256CompressShaNi(uint32_t*, const uint8_t*, size_t) {}
+void Sha256CompressPairShaNi(uint32_t*, const uint8_t*, uint32_t*,
+                             const uint8_t*, size_t) {}
+
+}  // namespace wedge::internal
+
+#endif

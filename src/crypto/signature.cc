@@ -14,6 +14,17 @@ std::string_view RoleToString(Role role) {
   return "unknown";
 }
 
+Sha256Digest DeriveSessionKey(Slice sender_secret, NodeId sender,
+                              NodeId receiver) {
+  uint8_t info[24] = {'w', 'e', 'd', 'g', 'e', '-', 's', 'e',
+                      's', 's', 'i', 'o', 'n', '-', 'v', '1'};
+  for (int i = 0; i < 4; ++i) {
+    info[16 + i] = static_cast<uint8_t>(sender >> (24 - 8 * i));
+    info[20 + i] = static_cast<uint8_t>(receiver >> (24 - 8 * i));
+  }
+  return HmacSha256(sender_secret, Slice(info, sizeof(info)));
+}
+
 Signer KeyStore::Register(Role role, const std::string& name) {
   NodeId id = next_id_++;
   IdentityRecord rec;
@@ -25,6 +36,7 @@ Signer KeyStore::Register(Role role, const std::string& name) {
       rec.secret[i + j] = static_cast<uint8_t>(r >> (8 * j));
     }
   }
+  rec.mac_key = HmacKey(Slice(rec.secret.data(), rec.secret.size()));
   Signer signer(id, rec.secret);
   identities_.emplace(id, std::move(rec));
   return signer;
@@ -67,18 +79,25 @@ Status KeyStore::VerifyHistorical(const Signature& sig, Slice message) const {
     return Status::NotFound("signature from unknown identity " +
                             std::to_string(sig.signer));
   }
-  Sha256Digest expected = HmacSha256(
-      Slice(it->second.secret.data(), it->second.secret.size()), message);
-  // Constant-time comparison; the habit matters even in a simulation.
-  uint8_t diff = 0;
-  for (size_t i = 0; i < expected.size(); ++i) {
-    diff |= expected[i] ^ sig.tag[i];
-  }
-  if (diff != 0) {
+  Sha256Digest expected = it->second.mac_key.Mac(message);
+  if (!CryptoEqual(Slice(expected.data(), expected.size()),
+                   Slice(sig.tag.data(), sig.tag.size()))) {
     return Status::SecurityViolation("signature verification failed for " +
                                      std::to_string(sig.signer));
   }
   return Status::OK();
+}
+
+Result<Sha256Digest> KeyStore::SessionKeyFor(NodeId sender,
+                                             NodeId receiver) const {
+  auto it = identities_.find(sender);
+  if (it == identities_.end()) {
+    return Status::NotFound("session key for unknown identity " +
+                            std::to_string(sender));
+  }
+  return DeriveSessionKey(
+      Slice(it->second.secret.data(), it->second.secret.size()), sender,
+      receiver);
 }
 
 Status KeyStore::Revoke(NodeId id) {

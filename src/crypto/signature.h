@@ -71,26 +71,45 @@ struct Signature {
   }
 };
 
+/// Derives the directed per-(sender, receiver) session key from the
+/// sender's identity secret: HMAC(secret, label || sender || receiver).
+/// HKDF-expand shape with the connection endpoints as the info string —
+/// each ordered pair gets an independent key, and compromise of one
+/// session key reveals nothing about the identity secret or other
+/// sessions.
+Sha256Digest DeriveSessionKey(Slice sender_secret, NodeId sender,
+                              NodeId receiver);
+
 /// Signing handle held by one identity. Cheap to copy.
 class Signer {
  public:
   Signer() = default;
   Signer(NodeId id, std::array<uint8_t, 32> secret)
-      : id_(id), secret_(secret) {}
+      : id_(id),
+        secret_(secret),
+        mac_key_(Slice(secret.data(), secret.size())) {}
 
   NodeId id() const { return id_; }
 
   /// Signs `message`; the returned Signature verifies through the KeyStore.
+  /// The ipad/opad midstates are precomputed once per Signer.
   Signature Sign(Slice message) const {
     Signature sig;
     sig.signer = id_;
-    sig.tag = HmacSha256(Slice(secret_.data(), secret_.size()), message);
+    sig.tag = mac_key_.Mac(message);
     return sig;
+  }
+
+  /// Session key for messages this identity sends to `receiver`.
+  Sha256Digest SessionKeyTo(NodeId receiver) const {
+    return DeriveSessionKey(Slice(secret_.data(), secret_.size()), id_,
+                            receiver);
   }
 
  private:
   NodeId id_ = kInvalidNodeId;
   std::array<uint8_t, 32> secret_{};
+  HmacKey mac_key_;
 };
 
 /// Trusted identity directory: registers identities, hands out signing
@@ -122,6 +141,14 @@ class KeyStore {
   /// revocation must still be checkable.
   Status VerifyHistorical(const Signature& sig, Slice message) const;
 
+  /// The session key `sender` uses toward `receiver`. The KeyStore is the
+  /// trusted directory (the PKI stand-in), so a receiver obtains the key
+  /// of an inbound session here — it never learns the sender's identity
+  /// secret, and session-MAC'd evidence still convicts the sender in a
+  /// dispute because only the sender and the directory can derive the
+  /// key. NotFound for unknown senders.
+  Result<Sha256Digest> SessionKeyFor(NodeId sender, NodeId receiver) const;
+
   /// Revokes an identity (punishment). Further Verify calls fail and the
   /// identity cannot be re-registered.
   Status Revoke(NodeId id);
@@ -135,6 +162,9 @@ class KeyStore {
     Role role;
     std::string name;
     std::array<uint8_t, 32> secret;
+    // ipad/opad midstates for the identity secret, built once at
+    // Register so Verify doesn't pay the two key-block compressions.
+    HmacKey mac_key;
     bool revoked = false;
   };
 

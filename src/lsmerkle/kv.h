@@ -76,4 +76,21 @@ inline Result<PutOp> DecodePutPayload(Slice payload) {
   return op;
 }
 
+/// Key of an encoded put, without materializing the value. Accepts
+/// exactly the payloads DecodePutPayload accepts (the value framing is
+/// still validated — the put/append classification must not depend on
+/// which decoder looked), so key-membership scans can reject mismatches
+/// before paying the value copy.
+inline Result<Key> DecodePutKey(Slice payload) {
+  Decoder dec(payload);
+  Key key = 0;
+  WEDGE_ASSIGN_OR_RETURN(key, dec.GetU64());
+  uint32_t len = 0;
+  WEDGE_ASSIGN_OR_RETURN(len, dec.GetU32());
+  if (dec.remaining() != len) {
+    return Status::Corruption("put value framing mismatch");
+  }
+  return key;
+}
+
 }  // namespace wedge

@@ -8,11 +8,13 @@ Status LevelState::SetPages(std::vector<Page> pages) {
   WEDGE_RETURN_NOT_OK(CheckLevelRangeInvariant(pages));
   auto shared = std::make_shared<std::vector<Page>>(std::move(pages));
 
-  // Seal each page exactly once: all later Digest() calls — Merkle
-  // leaves here, response assembly, scan proofs — reuse the memo.
+  // Seal every page exactly once, in one multi-buffer batch: all later
+  // Digest() calls — Merkle leaves here, response assembly, scan
+  // proofs — reuse the memo.
+  Page::SealAll(*shared);
   std::vector<Digest256> leaves;
   leaves.reserve(shared->size());
-  for (const Page& p : *shared) leaves.push_back(p.SealDigest());
+  for (const Page& p : *shared) leaves.push_back(p.Digest());
   tree_ = MerkleTree(std::move(leaves));
 
   proofs_.clear();

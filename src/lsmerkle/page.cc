@@ -51,6 +51,41 @@ Result<Page> Page::DecodeFrom(Decoder* dec) {
   return pg;
 }
 
+void Page::SealAllPtrs(const std::vector<const Page*>& pages) {
+  std::vector<const Page*> unsealed;
+  std::vector<Bytes> encoded;
+  for (const Page* p : pages) {
+    if (p != nullptr && !p->cached_digest_.has_value()) {
+      unsealed.push_back(p);
+      encoded.push_back(p->Encode());
+    }
+  }
+  if (unsealed.empty()) return;
+
+  std::vector<Slice> msgs;
+  msgs.reserve(encoded.size());
+  for (const Bytes& b : encoded) msgs.emplace_back(b.data(), b.size());
+  std::vector<Sha256Digest> digests(msgs.size());
+  Sha256::HashMany(msgs.data(), digests.data(), msgs.size());
+  for (size_t j = 0; j < unsealed.size(); ++j) {
+    unsealed[j]->cached_digest_ = Digest256(digests[j]);
+  }
+}
+
+void Page::SealAll(const std::vector<Page>& pages) {
+  std::vector<const Page*> ptrs;
+  ptrs.reserve(pages.size());
+  for (const Page& p : pages) ptrs.push_back(&p);
+  SealAllPtrs(ptrs);
+}
+
+void Page::SealAll(const std::vector<std::shared_ptr<const Page>>& pages) {
+  std::vector<const Page*> ptrs;
+  ptrs.reserve(pages.size());
+  for (const auto& p : pages) ptrs.push_back(p.get());
+  SealAllPtrs(ptrs);
+}
+
 Status CheckLevelRangeInvariant(const std::vector<Page>& pages) {
   if (pages.empty()) return Status::OK();
   if (pages.front().min_key != kMinKey) {

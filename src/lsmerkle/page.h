@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -85,6 +86,16 @@ struct Page {
     return *cached_digest_;
   }
 
+  /// Batch form of SealDigest over a whole level: encodes every not-yet-
+  /// sealed page and digests them through the multi-buffer hasher, so N
+  /// pages cost ~N/lanes sequential hashes. Digest() afterwards is a
+  /// memo lookup for every page in `pages`.
+  static void SealAll(const std::vector<Page>& pages);
+
+  /// Same, over shared pages (the verifier's decoded form). Null entries
+  /// are skipped.
+  static void SealAll(const std::vector<std::shared_ptr<const Page>>& pages);
+
   size_t ByteSize() const {
     size_t sz = 8 + 8 + 8 + 4;
     for (const auto& p : pairs) sz += p.ByteSize();
@@ -97,6 +108,8 @@ struct Page {
   }
 
  private:
+  static void SealAllPtrs(const std::vector<const Page*>& pages);
+
   mutable std::optional<Digest256> cached_digest_;
 };
 

@@ -147,19 +147,18 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
     return Violation("l0 certificate vector size mismatch");
   }
   bool all_l0_certified = true;
-  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries;
-  l0_entries.reserve(resp.l0_blocks.size());
   for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
-    const Block& blk = *resp.l0_blocks[i];
-    if (i > 0 && blk.id != resp.l0_blocks[i - 1]->id + 1) {
+    if (i > 0 && resp.l0_blocks[i]->id != resp.l0_blocks[i - 1]->id + 1) {
       return Violation("L0 block ids are not contiguous");
     }
-    auto entry = VerifierCache::VerifyPresentedL0Block(
-        keystore, edge, resp.l0_blocks[i], resp.l0_certs[i], opts.cache);
-    if (!entry.ok()) return entry.status();
-    l0_entries.push_back(*entry);
     if (!resp.l0_certs[i].has_value()) all_l0_certified = false;
   }
+  // Cache-missed blocks are digested together in one multi-buffer batch.
+  auto l0_verified = VerifierCache::VerifyPresentedL0Blocks(
+      keystore, edge, resp.l0_blocks, resp.l0_certs, opts.cache);
+  if (!l0_verified.ok()) return l0_verified.status();
+  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries =
+      std::move(*l0_verified);
 
   // --- Newest version in L0, from the blocks themselves. ---
   bool l0_found = false;
@@ -180,16 +179,18 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
       // Lazy early-exit copy of the content-defined rule (canonical
       // form: ExtractKvPairs): raw append entries are skipped. The
       // certified digest pins the bytes, so the edge cannot reclassify
-      // a put as an append without breaking the digest.
+      // a put as an append without breaking the digest. The key peek
+      // keeps the hundreds of non-matching entries from paying the
+      // value copy.
+      auto k = DecodePutKey(blk.entries[idx].payload);
+      if (!k.ok() || *k != key) continue;
       auto op = DecodePutPayload(blk.entries[idx].payload);
       if (!op.ok()) continue;
-      if (op->key == key) {
-        l0_found = true;
-        l0_hit.key = key;
-        l0_hit.value = std::move(op->value);
-        l0_hit.version = MakeVersion(blk.id, idx);
-        break;
-      }
+      l0_found = true;
+      l0_hit.key = key;
+      l0_hit.value = std::move(op->value);
+      l0_hit.version = MakeVersion(blk.id, idx);
+      break;
     }
   }
 
@@ -200,6 +201,7 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
   bool part_found = false;
   KvPair part_hit;
   uint32_t part_hit_level = 0;
+  std::vector<const GetLevelPart*> fresh_parts;  // cache misses, to verify
   for (const auto& part : resp.parts) {
     if (part.level == 0 || part.level > nlevels) {
       return Violation("part level out of range");
@@ -212,19 +214,35 @@ Result<VerifiedGet> VerifyGetResponse(const KeyStore& keystore, NodeId edge,
     if (!page.Covers(key)) {
       return Violation("part page range does not cover the key");
     }
+    // Either cache can vouch: parts (recorded by gets) or runs
+    // (recorded by scans over the same level root).
     if (opts.cache == nullptr ||
-        !opts.cache->IsPartVerified(root, page, part.proof)) {
-      WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
-      WEDGE_RETURN_NOT_OK(MerkleTree::Verify(root, page.Digest(), part.proof));
-      if (opts.cache != nullptr) {
-        opts.cache->RecordPart(root, part.page, part.proof);
-      }
+        (!opts.cache->IsPartVerified(root, page, part.proof) &&
+         !opts.cache->IsRunVerified(root, page, part.proof))) {
+      fresh_parts.push_back(&part);
     }
     auto hit = page.Find(key);
     if (hit.has_value() && (!part_found || part.level < part_hit_level)) {
       part_found = true;
       part_hit = *hit;
       part_hit_level = part.level;
+    }
+  }
+  // Missed pages are hashed in one multi-buffer batch; the per-part
+  // proof walk then reuses each memoized digest.
+  if (!fresh_parts.empty()) {
+    std::vector<std::shared_ptr<const Page>> to_seal;
+    to_seal.reserve(fresh_parts.size());
+    for (const GetLevelPart* part : fresh_parts) to_seal.push_back(part->page);
+    Page::SealAll(to_seal);
+    for (const GetLevelPart* part : fresh_parts) {
+      const Digest256& root = resp.level_roots[part->level - 1];
+      WEDGE_RETURN_NOT_OK(part->page->CheckWellFormed());
+      WEDGE_RETURN_NOT_OK(
+          MerkleTree::Verify(root, part->page->Digest(), part->proof));
+      if (opts.cache != nullptr) {
+        opts.cache->RecordPart(root, part->page, part->proof);
+      }
     }
   }
 

@@ -171,19 +171,18 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
     return Violation("l0 certificate vector size mismatch");
   }
   bool all_l0_certified = true;
-  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries;
-  l0_entries.reserve(resp.l0_blocks.size());
   for (size_t i = 0; i < resp.l0_blocks.size(); ++i) {
-    const Block& blk = *resp.l0_blocks[i];
-    if (i > 0 && blk.id != resp.l0_blocks[i - 1]->id + 1) {
+    if (i > 0 && resp.l0_blocks[i]->id != resp.l0_blocks[i - 1]->id + 1) {
       return Violation("L0 block ids are not contiguous");
     }
-    auto entry = VerifierCache::VerifyPresentedL0Block(
-        keystore, edge, resp.l0_blocks[i], resp.l0_certs[i], opts.cache);
-    if (!entry.ok()) return entry.status();
-    l0_entries.push_back(*entry);
     if (!resp.l0_certs[i].has_value()) all_l0_certified = false;
   }
+  // Cache-missed blocks are digested together in one multi-buffer batch.
+  auto l0_verified = VerifierCache::VerifyPresentedL0Blocks(
+      keystore, edge, resp.l0_blocks, resp.l0_certs, opts.cache);
+  if (!l0_verified.ok()) return l0_verified.status();
+  std::vector<std::shared_ptr<VerifierCache::BlockEntry>> l0_entries =
+      std::move(*l0_verified);
 
   // --- Rebuild the result from evidence: newest version per key. ---
   std::map<Key, KvPair> newest;  // key -> newest pair seen so far
@@ -241,6 +240,10 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
     if (!run.pages.front()->Covers(lo) || !run.pages.back()->Covers(hi)) {
       return Violation("run does not cover the scanned range");
     }
+    // First pass: adjacency, and which pages the run cache cannot vouch
+    // for. An adjacent earlier scan that verified an overlapping run
+    // makes the overlap a run hit — only the new tail pages get hashed.
+    std::vector<size_t> fresh;
     for (size_t i = 0; i < run.pages.size(); ++i) {
       const Page& page = *run.pages[i];
       // ...and interior pages must be adjacent: a withheld middle page
@@ -249,15 +252,28 @@ Result<VerifiedScan> VerifyScanResponse(const KeyStore& keystore, NodeId edge,
         return Violation("run pages are not adjacent");
       }
       if (opts.cache == nullptr ||
-          !opts.cache->IsPartVerified(root, page, run.proofs[i])) {
-        WEDGE_RETURN_NOT_OK(page.CheckWellFormed());
-        WEDGE_RETURN_NOT_OK(
-            MerkleTree::Verify(root, page.Digest(), run.proofs[i]));
-        if (opts.cache != nullptr) {
-          opts.cache->RecordPart(root, run.pages[i], run.proofs[i]);
-        }
+          !opts.cache->IsRunVerified(root, page, run.proofs[i])) {
+        fresh.push_back(i);
       }
-      for (const KvPair& kv : page.pairs) {
+    }
+    // Missed pages are hashed in one multi-buffer batch, then each walks
+    // its proof against the memoized digest.
+    if (!fresh.empty()) {
+      std::vector<std::shared_ptr<const Page>> to_seal;
+      to_seal.reserve(fresh.size());
+      for (size_t i : fresh) to_seal.push_back(run.pages[i]);
+      Page::SealAll(to_seal);
+      for (size_t i : fresh) {
+        WEDGE_RETURN_NOT_OK(run.pages[i]->CheckWellFormed());
+        WEDGE_RETURN_NOT_OK(
+            MerkleTree::Verify(root, run.pages[i]->Digest(), run.proofs[i]));
+      }
+    }
+    if (opts.cache != nullptr) {
+      opts.cache->RecordRun(root, run.pages, run.proofs);
+    }
+    for (size_t i = 0; i < run.pages.size(); ++i) {
+      for (const KvPair& kv : run.pages[i]->pairs) {
         if (kv.key < lo || kv.key > hi) continue;
         // Lower levels are newer: only fill keys not seen yet. L0 keys
         // always shadow level keys.

@@ -106,6 +106,88 @@ void VerifierCache::RecordPart(const Digest256& level_root,
   }
 }
 
+bool VerifierCache::IsRunVerified(const Digest256& level_root,
+                                  const Page& page,
+                                  const MerkleProof& proof) {
+  auto rit = runs_.find(level_root);
+  if (rit != runs_.end()) {
+    // Floor search: the run starting at or before page.min_key.
+    auto it = rit->second.upper_bound(page.min_key);
+    if (it != rit->second.begin()) {
+      --it;
+      if (it->second.hi >= page.min_key) {
+        auto pit = it->second.pages.find(page.min_key);
+        if (pit != it->second.pages.end() && *pit->second.page == page &&
+            pit->second.proof == proof) {
+          stats_.run_hits++;
+          return true;
+        }
+      }
+    }
+  }
+  stats_.run_misses++;
+  return false;
+}
+
+void VerifierCache::RecordRun(
+    const Digest256& level_root,
+    const std::vector<std::shared_ptr<const Page>>& pages,
+    const std::vector<MerkleProof>& proofs) {
+  if (pages.empty() || proofs.size() != pages.size()) return;
+  auto [rit, fresh_root] = runs_.try_emplace(level_root);
+  if (fresh_root) run_root_order_.push_back(level_root);
+  auto& root_runs = rit->second;
+
+  Key lo = pages.front()->min_key;
+  RunEntry merged;
+  merged.hi = pages.back()->max_key;
+
+  // Absorb every existing run that overlaps or touches [lo, hi]: adjacent
+  // scans then grow one maximal run instead of fragmenting. (Same level
+  // root ⇒ same tree, so a page present in both copies is identical; the
+  // union by min_key cannot mix content.)
+  auto it = root_runs.lower_bound(lo);
+  if (it != root_runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.hi >= lo || (lo > 0 && prev->second.hi == lo - 1)) {
+      it = prev;
+    }
+  }
+  while (it != root_runs.end() &&
+         (it->first <= merged.hi ||
+          (merged.hi < kMaxKey && it->first == merged.hi + 1))) {
+    lo = std::min(lo, it->first);
+    merged.hi = std::max(merged.hi, it->second.hi);
+    run_page_count_ -= it->second.pages.size();
+    for (auto& [k, pe] : it->second.pages) {
+      merged.pages.emplace(k, std::move(pe));
+    }
+    it = root_runs.erase(it);
+  }
+  for (size_t i = 0; i < pages.size(); ++i) {
+    merged.pages.insert_or_assign(pages[i]->min_key,
+                                  PartEntry{pages[i], proofs[i]});
+  }
+  run_page_count_ += merged.pages.size();
+  root_runs.insert_or_assign(lo, std::move(merged));
+  EvictRunsToLimits();
+}
+
+void VerifierCache::EvictRunsToLimits() {
+  while ((runs_.size() > limits_.max_run_roots ||
+          run_page_count_ > limits_.max_run_pages) &&
+         !run_root_order_.empty()) {
+    auto evicted = runs_.find(run_root_order_.front());
+    if (evicted != runs_.end()) {
+      for (const auto& [lo, run] : evicted->second) {
+        run_page_count_ -= run.pages.size();
+      }
+      runs_.erase(evicted);
+    }
+    run_root_order_.pop_front();
+  }
+}
+
 Status VerifierCache::VerifyPresentedRoot(
     const KeyStore& keystore, NodeId edge, const RootCertificate& cert,
     const std::vector<Digest256>& level_roots, VerifierCache* cache) {
@@ -117,7 +199,8 @@ Status VerifierCache::VerifyPresentedRoot(
     return Status::SecurityViolation(
         "root certificate is for a different edge");
   }
-  if (ComputeGlobalRoot(cert.epoch, level_roots) != cert.global_root) {
+  if (!ComputeGlobalRoot(cert.epoch, level_roots)
+           .CryptoEquals(cert.global_root)) {
     return Status::SecurityViolation(
         "level roots do not hash to certified global root");
   }
@@ -130,52 +213,101 @@ VerifierCache::VerifyPresentedL0Block(
     const KeyStore& keystore, NodeId edge,
     const std::shared_ptr<const Block>& block,
     const std::optional<BlockCertificate>& cert, VerifierCache* cache) {
+  auto entries = VerifyPresentedL0Blocks(keystore, edge, {block}, {cert},
+                                         cache);
+  if (!entries.ok()) return entries.status();
+  return std::move((*entries)[0]);
+}
+
+Result<std::vector<std::shared_ptr<VerifierCache::BlockEntry>>>
+VerifierCache::VerifyPresentedL0Blocks(
+    const KeyStore& keystore, NodeId edge,
+    const std::vector<std::shared_ptr<const Block>>& blocks,
+    const std::vector<std::optional<BlockCertificate>>& certs,
+    VerifierCache* cache) {
   auto violation = [](const std::string& what) {
     return Status::SecurityViolation("l0 block: " + what);
   };
-  const Block& blk = *block;
+  if (certs.size() != blocks.size()) {
+    return violation("certificate vector size mismatch");
+  }
+  std::vector<std::shared_ptr<BlockEntry>> out(blocks.size());
 
-  if (cache != nullptr) {
-    std::shared_ptr<BlockEntry> e = cache->FindBlock(edge, blk.id);
-    if (e != nullptr && *e->block == blk) {
-      // Content bound by equality with the verified copy. Only a
-      // certificate this entry has not seen yet needs work — and its
-      // digest check is against the cached digest, no re-hash.
-      if (cert.has_value() && !(e->cert.has_value() && *e->cert == *cert)) {
-        WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
-        if (cert->edge != edge) return violation("cert for wrong edge");
-        if (cert->bid != blk.id) return violation("cert for wrong bid");
-        if (cert->digest != e->digest) {
-          return violation("digest does not match certificate");
+  // Pass 1: serve content-equal cache hits; collect the misses.
+  std::vector<size_t> fresh;
+  fresh.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const Block& blk = *blocks[i];
+    if (cache != nullptr) {
+      std::shared_ptr<BlockEntry> e = cache->FindBlock(edge, blk.id);
+      if (e != nullptr && *e->block == blk) {
+        // Content bound by equality with the verified copy. Only a
+        // certificate this entry has not seen yet needs work — and its
+        // digest check is against the cached digest, no re-hash.
+        const std::optional<BlockCertificate>& cert = certs[i];
+        if (cert.has_value() && !(e->cert.has_value() && *e->cert == *cert)) {
+          WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+          if (cert->edge != edge) return violation("cert for wrong edge");
+          if (cert->bid != blk.id) return violation("cert for wrong bid");
+          if (!cert->digest.CryptoEquals(e->digest)) {
+            return violation("digest does not match certificate");
+          }
+          e->cert = *cert;
         }
-        e->cert = *cert;
+        out[i] = std::move(e);
+        continue;
       }
-      return e;
     }
+    fresh.push_back(i);
   }
 
-  WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
-  Digest256 digest;
-  if (cert.has_value() || cache != nullptr) digest = blk.Digest();
-  if (cert.has_value()) {
-    WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
-    if (cert->edge != edge) return violation("cert for wrong edge");
-    if (cert->bid != blk.id) return violation("cert for wrong bid");
-    if (cert->digest != digest) {
-      return violation("digest does not match certificate");
+  // Pass 2: every missed block that needs a digest (a certificate to
+  // check against, or a cache entry to build) is hashed in one
+  // multi-buffer batch instead of block-at-a-time.
+  std::vector<size_t> hashed;
+  std::vector<Bytes> encoded;
+  hashed.reserve(fresh.size());
+  encoded.reserve(fresh.size());
+  for (size_t idx : fresh) {
+    if (cache != nullptr || certs[idx].has_value()) {
+      hashed.push_back(idx);
+      encoded.push_back(blocks[idx]->Encode());
     }
   }
-  if (cache == nullptr) return std::shared_ptr<BlockEntry>();
+  const std::vector<Digest256> digests = Block::DigestManyEncoded(encoded);
 
-  // Build the per-key index once (the shared content-defined rule);
-  // later requests probe instead of decoding every payload again.
-  std::unordered_map<Key, KvPair> newest;
-  auto pairs = ExtractKvPairs(blk);
-  newest.reserve(pairs.size());
-  for (auto& p : pairs) {
-    newest[p.key] = std::move(p);  // versions rise with entry idx: newest
+  // Pass 3: the classic per-block checks against the batch digests.
+  size_t hashed_at = 0;
+  for (size_t idx : fresh) {
+    const Block& blk = *blocks[idx];
+    const std::optional<BlockCertificate>& cert = certs[idx];
+    WEDGE_RETURN_NOT_OK(blk.ValidateReservations());
+    Digest256 digest;
+    if (hashed_at < hashed.size() && hashed[hashed_at] == idx) {
+      digest = digests[hashed_at++];
+    }
+    if (cert.has_value()) {
+      WEDGE_RETURN_NOT_OK(cert->Validate(keystore));
+      if (cert->edge != edge) return violation("cert for wrong edge");
+      if (cert->bid != blk.id) return violation("cert for wrong bid");
+      if (!cert->digest.CryptoEquals(digest)) {
+        return violation("digest does not match certificate");
+      }
+    }
+    if (cache == nullptr) continue;
+
+    // Build the per-key index once (the shared content-defined rule);
+    // later requests probe instead of decoding every payload again.
+    std::unordered_map<Key, KvPair> newest;
+    auto pairs = ExtractKvPairs(blk);
+    newest.reserve(pairs.size());
+    for (auto& p : pairs) {
+      newest[p.key] = std::move(p);  // versions rise with entry idx: newest
+    }
+    out[idx] =
+        cache->RecordBlock(edge, blocks[idx], digest, cert, std::move(newest));
   }
-  return cache->RecordBlock(edge, block, digest, cert, std::move(newest));
+  return out;
 }
 
 void VerifierCache::Resize(const Limits& limits) {
@@ -195,6 +327,7 @@ void VerifierCache::Resize(const Limits& limits) {
     }
     part_root_order_.pop_front();
   }
+  EvictRunsToLimits();
 }
 
 void VerifierCache::InvalidateRange(Key lo, Key hi) {
@@ -242,6 +375,31 @@ void VerifierCache::InvalidateRange(Key lo, Key hi) {
     if (parts_.count(root) > 0) part_order.push_back(root);
   }
   part_root_order_ = std::move(part_order);
+
+  // Runs: dropping a whole overlapping run is sound (strictly more
+  // conservative than trimming) and resharding is rare enough that the
+  // lost reuse does not matter.
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    auto& root_runs = it->second;
+    for (auto run = root_runs.begin(); run != root_runs.end();) {
+      if (run->first <= hi && run->second.hi >= lo) {
+        run_page_count_ -= run->second.pages.size();
+        run = root_runs.erase(run);
+      } else {
+        ++run;
+      }
+    }
+    if (root_runs.empty()) {
+      it = runs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::deque<Digest256> run_order;
+  for (const Digest256& root : run_root_order_) {
+    if (runs_.count(root) > 0) run_order.push_back(root);
+  }
+  run_root_order_ = std::move(run_order);
 }
 
 void VerifierCache::Clear() {
@@ -251,6 +409,9 @@ void VerifierCache::Clear() {
   parts_.clear();
   part_root_order_.clear();
   part_count_ = 0;
+  runs_.clear();
+  run_root_order_.clear();
+  run_page_count_ = 0;
 }
 
 }  // namespace wedge

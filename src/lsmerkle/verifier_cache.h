@@ -52,6 +52,11 @@ class VerifierCache {
     /// dominate the cache's memory (~page_bytes each), so this also
     /// bounds the footprint: 2048 pages of ~12 KB is ~24 MB worst case.
     size_t max_parts = 2048;
+    /// Distinct level roots with cached scan runs.
+    size_t max_run_roots = 16;
+    /// Total pages held inside run entries across all roots (same
+    /// footprint arithmetic as max_parts).
+    size_t max_run_pages = 2048;
   };
 
   struct Stats {
@@ -61,6 +66,8 @@ class VerifierCache {
     uint64_t block_misses = 0;
     uint64_t part_hits = 0;
     uint64_t part_misses = 0;
+    uint64_t run_hits = 0;
+    uint64_t run_misses = 0;
   };
 
   VerifierCache() = default;
@@ -118,6 +125,26 @@ class VerifierCache {
   void RecordPart(const Digest256& level_root,
                   std::shared_ptr<const Page> page, const MerkleProof& proof);
 
+  // ---- scan runs ----------------------------------------------------
+
+  /// True iff (level_root, page, proof) lies inside an already verified
+  /// contiguous run of pages: page membership is then established without
+  /// re-hashing or walking the proof. Same content binding as parts —
+  /// a hit requires the presented page and proof to equal the verified
+  /// copies byte for byte.
+  bool IsRunVerified(const Digest256& level_root, const Page& page,
+                     const MerkleProof& proof);
+
+  /// Records a fully verified run of adjacent pages under `level_root`.
+  /// Runs that overlap or touch an existing run merge into one entry, so
+  /// a sequence of adjacent scans grows a single covering run instead of
+  /// fragmenting — the next scan's overlap hits regardless of which scan
+  /// verified it. `pages` and `proofs` must be parallel and the pages
+  /// adjacent (VerifyScanResponse has already checked both).
+  void RecordRun(const Digest256& level_root,
+                 const std::vector<std::shared_ptr<const Page>>& pages,
+                 const std::vector<MerkleProof>& proofs);
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
   void Clear();
@@ -161,6 +188,17 @@ class VerifierCache {
       const std::shared_ptr<const Block>& block,
       const std::optional<BlockCertificate>& cert, VerifierCache* cache);
 
+  /// Batch form over a whole response's L0 run: cache-missed blocks are
+  /// digested together through the multi-buffer hasher instead of one at
+  /// a time, then validated individually. Returns one entry per block
+  /// (entries are nullptr when `cache == nullptr`), in input order.
+  /// `certs` must be parallel to `blocks`.
+  static Result<std::vector<std::shared_ptr<BlockEntry>>>
+  VerifyPresentedL0Blocks(const KeyStore& keystore, NodeId edge,
+                          const std::vector<std::shared_ptr<const Block>>& blocks,
+                          const std::vector<std::optional<BlockCertificate>>& certs,
+                          VerifierCache* cache);
+
  private:
   struct RootEntry {
     NodeId edge = kInvalidNodeId;
@@ -170,6 +208,13 @@ class VerifierCache {
   struct PartEntry {
     std::shared_ptr<const Page> page;
     MerkleProof proof;
+  };
+  /// A verified contiguous run: pages tile [lo, hi] with no gaps, keyed
+  /// inside by page min_key. One entry per maximal run per root — merges
+  /// on record keep runs maximal, so lookup is one floor-search.
+  struct RunEntry {
+    Key hi = 0;  // run covers [its map key, hi]
+    std::map<Key, PartEntry> pages;
   };
 
   Limits limits_;
@@ -186,6 +231,13 @@ class VerifierCache {
   std::unordered_map<Digest256, std::map<Key, PartEntry>> parts_;
   std::deque<Digest256> part_root_order_;  // FIFO eviction of whole roots
   size_t part_count_ = 0;
+
+  /// level_root -> (run lo -> run). Disjoint, maximal runs per root.
+  std::unordered_map<Digest256, std::map<Key, RunEntry>> runs_;
+  std::deque<Digest256> run_root_order_;  // FIFO eviction of whole roots
+  size_t run_page_count_ = 0;
+
+  void EvictRunsToLimits();
 };
 
 }  // namespace wedge

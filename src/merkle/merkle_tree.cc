@@ -4,14 +4,14 @@ namespace wedge {
 
 namespace {
 /// One reduction step: pairs are combined, an unpaired tail node is
-/// promoted unchanged.
+/// promoted unchanged. The whole level goes through the batched
+/// combiner, so independent pairs share multi-buffer hash lanes.
 std::vector<Digest256> NextLevel(const std::vector<Digest256>& level) {
-  std::vector<Digest256> next;
-  next.reserve((level.size() + 1) / 2);
-  for (size_t i = 0; i + 1 < level.size(); i += 2) {
-    next.push_back(Digest256::Combine(level[i], level[i + 1]));
-  }
-  if (level.size() % 2 == 1) next.push_back(level.back());
+  const size_t pairs = level.size() / 2;
+  std::vector<Digest256> next(pairs + (level.size() % 2));
+  Digest256::CombineMany(std::span(level.data(), pairs * 2),
+                         std::span(next.data(), pairs));
+  if (level.size() % 2 == 1) next.back() = level.back();
   return next;
 }
 }  // namespace
@@ -59,7 +59,7 @@ Status MerkleTree::Verify(const Digest256& root, const Digest256& leaf,
     acc = step.sibling_is_left ? Digest256::Combine(step.sibling, acc)
                                : Digest256::Combine(acc, step.sibling);
   }
-  if (acc != root) {
+  if (!acc.CryptoEquals(root)) {
     return Status::SecurityViolation(
         "merkle proof does not reconstruct the root");
   }

@@ -85,17 +85,44 @@ Bytes Envelope::Seal(const Signer& signer, MsgType type, Bytes body) {
 }
 
 namespace {
-Result<Envelope> Parse(Slice wire) {
-  Decoder dec(wire);
-  Envelope env;
-  uint8_t type_byte = 0;
-  WEDGE_ASSIGN_OR_RETURN(type_byte, dec.GetU8());
+
+Result<MsgType> CheckType(uint8_t type_byte) {
   if (type_byte < 1 ||
       type_byte > static_cast<uint8_t>(MsgType::kMaxMsgType)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(type_byte));
   }
-  env.type = static_cast<MsgType>(type_byte);
+  return static_cast<MsgType>(type_byte);
+}
+
+// v2: [magic][type u8][sender u32][receiver u32][counter u64][body][mac32]
+Result<Envelope> ParseSession(Slice wire) {
+  Decoder dec(wire);
+  Envelope env;
+  env.sessioned = true;
+  WEDGE_RETURN_NOT_OK(dec.GetU8().status());  // magic, checked by caller
+  uint8_t type_byte = 0;
+  WEDGE_ASSIGN_OR_RETURN(type_byte, dec.GetU8());
+  WEDGE_ASSIGN_OR_RETURN(env.type, CheckType(type_byte));
+  WEDGE_ASSIGN_OR_RETURN(env.sender, dec.GetU32());
+  WEDGE_ASSIGN_OR_RETURN(env.receiver, dec.GetU32());
+  WEDGE_ASSIGN_OR_RETURN(env.counter, dec.GetU64());
+  WEDGE_ASSIGN_OR_RETURN(env.body, dec.GetBytes());
+  WEDGE_RETURN_NOT_OK(dec.GetRaw(32).status());  // mac
+  WEDGE_RETURN_NOT_OK(dec.ExpectDone());
+  env.raw = wire.ToBytes();
+  return env;
+}
+
+Result<Envelope> Parse(Slice wire) {
+  if (!wire.empty() && wire[0] == kSessionEnvelopeMagic) {
+    return ParseSession(wire);
+  }
+  Decoder dec(wire);
+  Envelope env;
+  uint8_t type_byte = 0;
+  WEDGE_ASSIGN_OR_RETURN(type_byte, dec.GetU8());
+  WEDGE_ASSIGN_OR_RETURN(env.type, CheckType(type_byte));
   WEDGE_ASSIGN_OR_RETURN(env.body, dec.GetBytes());
   Signature sig;
   WEDGE_ASSIGN_OR_RETURN(sig, Signature::DecodeFrom(&dec));
@@ -118,11 +145,39 @@ Result<Signature> ExtractSignature(Slice wire) {
   Decoder dec(Slice(wire.data() + wire.size() - 36, 36));
   return Signature::DecodeFrom(&dec);
 }
+
+// Checks the v2 MAC (everything before the trailing 32 bytes) against
+// the session key the directory derives for (sender, receiver).
+// `historical` skips the revocation check for dispute adjudication.
+Status VerifySessionTag(const KeyStore& keystore, const Envelope& env,
+                        Slice wire, bool historical) {
+  if (!historical && keystore.IsRevoked(env.sender)) {
+    return Status::FailedPrecondition("sender " + std::to_string(env.sender) +
+                                      " has been revoked");
+  }
+  Sha256Digest key;
+  WEDGE_ASSIGN_OR_RETURN(key,
+                         keystore.SessionKeyFor(env.sender, env.receiver));
+  HmacKey session(Slice(key.data(), key.size()));
+  Sha256Digest expect = session.Mac(Slice(wire.data(), wire.size() - 32));
+  if (!CryptoEqual(Slice(expect.data(), expect.size()),
+                   Slice(wire.data() + wire.size() - 32, 32))) {
+    return Status::SecurityViolation("session MAC verification failed for " +
+                                     std::to_string(env.sender));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Envelope> Envelope::Open(const KeyStore& keystore, Slice wire) {
   auto env = Parse(wire);
   if (!env.ok()) return env.status();
+  if (env->sessioned) {
+    WEDGE_RETURN_NOT_OK(
+        VerifySessionTag(keystore, *env, wire, /*historical=*/false));
+    return env;
+  }
   auto sig = ExtractSignature(wire);
   if (!sig.ok()) return sig.status();
   WEDGE_RETURN_NOT_OK(keystore.Verify(*sig, SignedPart(*env)));
@@ -135,6 +190,11 @@ Result<Envelope> Envelope::OpenHistorical(const KeyStore& keystore,
                                           Slice wire) {
   auto env = Parse(wire);
   if (!env.ok()) return env.status();
+  if (env->sessioned) {
+    WEDGE_RETURN_NOT_OK(
+        VerifySessionTag(keystore, *env, wire, /*historical=*/true));
+    return env;
+  }
   auto sig = ExtractSignature(wire);
   if (!sig.ok()) return sig.status();
   WEDGE_RETURN_NOT_OK(keystore.VerifyHistorical(*sig, SignedPart(*env)));

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "common/hex.h"
 #include "crypto/digest.h"
@@ -102,6 +105,150 @@ TEST(Sha256Test, ExactBlockBoundaryLengths) {
   }
 }
 
+TEST(Sha256Test, NistCavpShortMessages) {
+  // NIST CAVP SHA256ShortMsg.rsp samples (byte-oriented).
+  struct Vector {
+    const char* msg_hex;
+    const char* digest_hex;
+  };
+  const Vector kVectors[] = {
+      {"d3",
+       "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+      {"11af",
+       "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+      {"b4190e",
+       "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2"},
+      {"74ba2521",
+       "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"},
+  };
+  for (const Vector& v : kVectors) {
+    Bytes msg = *HexDecode(v.msg_hex);
+    EXPECT_EQ(DigestHex(Sha256::Hash(msg)), v.digest_hex) << v.msg_hex;
+  }
+}
+
+// ----------------------------------------------- Backends / multi-buffer
+
+// Every backend the host can actually run (scalar always; SHA-NI / ARM-CE
+// when the CPU has them). Leaves dispatch back on the detected backend.
+std::vector<Sha256Backend> RunnableBackends() {
+  std::vector<Sha256Backend> v{Sha256Backend::kScalar};
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kArmCe}) {
+    if (Sha256::ForceBackend(b)) v.push_back(b);
+  }
+  Sha256::ResetBackendOverride();
+  return v;
+}
+
+TEST(Sha256BackendTest, ForceAndResetOverride) {
+  ASSERT_TRUE(Sha256::ForceBackend(Sha256Backend::kScalar));
+  EXPECT_EQ(Sha256::Backend(), Sha256Backend::kScalar);
+  // Forcing what detection already picked is not an override.
+  EXPECT_EQ(Sha256::BackendForced(),
+            Sha256::DetectedBackend() != Sha256Backend::kScalar);
+  Sha256::ResetBackendOverride();
+  EXPECT_EQ(Sha256::Backend(), Sha256::DetectedBackend());
+  EXPECT_FALSE(Sha256::BackendForced());
+}
+
+TEST(Sha256BackendTest, BackendNames) {
+  EXPECT_EQ(Sha256BackendName(Sha256Backend::kScalar), "scalar");
+  EXPECT_EQ(Sha256BackendName(Sha256Backend::kShaNi), "sha_ni");
+  EXPECT_EQ(Sha256BackendName(Sha256Backend::kArmCe), "arm_ce");
+}
+
+TEST(Sha256BackendTest, DifferentialAcrossBackends) {
+  // Every runnable backend must agree with scalar on random messages over
+  // the whole padding-relevant length range.
+  std::mt19937_64 rng(0x5eed'cafe);
+  const std::vector<Sha256Backend> backends = RunnableBackends();
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t len = rng() % 5001;  // 0..5000 bytes
+    Bytes msg(len);
+    for (uint8_t& b : msg) b = static_cast<uint8_t>(rng());
+    ASSERT_TRUE(Sha256::ForceBackend(Sha256Backend::kScalar));
+    const Sha256Digest ref = Sha256::Hash(msg);
+    for (Sha256Backend b : backends) {
+      ASSERT_TRUE(Sha256::ForceBackend(b));
+      EXPECT_EQ(Sha256::Hash(msg), ref)
+          << Sha256BackendName(b) << " len " << len;
+    }
+  }
+  Sha256::ResetBackendOverride();
+}
+
+TEST(Sha256BackendTest, DifferentialIncremental) {
+  // Streaming through odd-sized updates must agree across backends too
+  // (the buffered path feeds the compressor differently).
+  std::mt19937_64 rng(0xfeed);
+  Bytes msg(3000);
+  for (uint8_t& b : msg) b = static_cast<uint8_t>(rng());
+  ASSERT_TRUE(Sha256::ForceBackend(Sha256Backend::kScalar));
+  const Sha256Digest ref = Sha256::Hash(msg);
+  for (Sha256Backend b : RunnableBackends()) {
+    ASSERT_TRUE(Sha256::ForceBackend(b));
+    Sha256 h;
+    size_t off = 0;
+    for (size_t step : {1u, 63u, 64u, 65u, 200u, 511u, 1024u, 5000u}) {
+      const size_t take = std::min(step, msg.size() - off);
+      h.Update(Slice(msg.data() + off, take));
+      off += take;
+    }
+    ASSERT_EQ(off, msg.size());
+    EXPECT_EQ(h.Finalize(), ref) << Sha256BackendName(b);
+  }
+  Sha256::ResetBackendOverride();
+}
+
+TEST(Sha256BackendTest, HashManyMatchesHashPerMessage) {
+  std::mt19937_64 rng(0xabc);
+  for (Sha256Backend b : RunnableBackends()) {
+    ASSERT_TRUE(Sha256::ForceBackend(b));
+    for (size_t n : {0u, 1u, 2u, 3u, 7u, 16u, 33u}) {
+      std::vector<Bytes> bufs(n);
+      std::vector<Slice> msgs;
+      msgs.reserve(n);
+      for (Bytes& buf : bufs) {
+        buf.resize(rng() % 1500);
+        for (uint8_t& c : buf) c = static_cast<uint8_t>(rng());
+        msgs.emplace_back(buf.data(), buf.size());
+      }
+      std::vector<Sha256Digest> out(n);
+      Sha256Batch::HashMany(msgs, out);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], Sha256::Hash(msgs[i]))
+            << Sha256BackendName(b) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+  Sha256::ResetBackendOverride();
+}
+
+// ---------------------------------------------------------- CryptoEqual
+
+TEST(CryptoEqualTest, EqualAndUnequal) {
+  Bytes a = {1, 2, 3, 4};
+  Bytes b = {1, 2, 3, 4};
+  Bytes c = {1, 2, 3, 5};
+  EXPECT_TRUE(CryptoEqual(Slice(a), Slice(b)));
+  EXPECT_FALSE(CryptoEqual(Slice(a), Slice(c)));
+}
+
+TEST(CryptoEqualTest, LengthMismatchIsFalse) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3, 0};
+  EXPECT_FALSE(CryptoEqual(Slice(a), Slice(b)));
+  EXPECT_TRUE(CryptoEqual(Slice(), Slice()));
+}
+
+TEST(CryptoEqualTest, DigestOverload) {
+  Sha256Digest a = Sha256::Hash(Slice("x"));
+  Sha256Digest b = Sha256::Hash(Slice("x"));
+  Sha256Digest c = Sha256::Hash(Slice("y"));
+  EXPECT_TRUE(CryptoEqual(a, b));
+  EXPECT_FALSE(CryptoEqual(a, c));
+}
+
 // ---------------------------------------------------------------- HMAC
 
 TEST(HmacTest, Rfc4231Case1) {
@@ -132,9 +279,46 @@ TEST(HmacTest, LongKeyIsHashedFirst) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(HmacTest, Rfc4231Case4) {
+  Bytes key = *HexDecode("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  Bytes data(50, 0xcd);
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
 TEST(HmacTest, DifferentKeysDifferentTags) {
   EXPECT_NE(HmacSha256(Slice("k1"), Slice("m")),
             HmacSha256(Slice("k2"), Slice("m")));
+}
+
+TEST(HmacTest, HmacKeyMatchesOneShot) {
+  // The midstate-precomputing keyed form is the same function as the
+  // one-shot, over short and block-crossing keys alike.
+  for (const std::string key :
+       {std::string("k"), std::string(64, 'a'), std::string(131, 'b')}) {
+    HmacKey hk((Slice(key)));
+    EXPECT_EQ(hk.Mac(Slice("message")), HmacSha256(Slice(key), Slice("message")));
+    EXPECT_EQ(hk.Mac(Slice("")), HmacSha256(Slice(key), Slice("")));
+  }
+}
+
+TEST(HmacTest, Mac2IsConcatenation) {
+  HmacKey hk(Slice("secret"));
+  EXPECT_EQ(hk.Mac2(Slice("foo"), Slice("bar")), hk.Mac(Slice("foobar")));
+}
+
+TEST(HmacTest, HmacKeyAcrossBackends) {
+  HmacKey hk(Slice("stable-key"));
+  ASSERT_TRUE(Sha256::ForceBackend(Sha256Backend::kScalar));
+  const Sha256Digest ref = hk.Mac(Slice("msg"));
+  for (Sha256Backend b : RunnableBackends()) {
+    ASSERT_TRUE(Sha256::ForceBackend(b));
+    // Midstates were absorbed under another backend; tags must agree.
+    HmacKey hk2(Slice("stable-key"));
+    EXPECT_EQ(hk2.Mac(Slice("msg")), ref) << Sha256BackendName(b);
+    EXPECT_EQ(hk.Mac(Slice("msg")), ref) << Sha256BackendName(b);
+  }
+  Sha256::ResetBackendOverride();
 }
 
 // ---------------------------------------------------------------- Digest256
@@ -175,6 +359,27 @@ TEST(Digest256Test, HexRoundTrip) {
   Digest256 d = Digest256::Of(Slice("hexme"));
   EXPECT_EQ(d.ToHex().size(), 64u);
   EXPECT_EQ(d.ShortHex(), d.ToHex().substr(0, 8));
+}
+
+TEST(Digest256Test, CombineManyMatchesCombine) {
+  for (size_t pairs : {0u, 1u, 2u, 16u, 31u, 32u, 33u, 65u}) {
+    std::vector<Digest256> nodes(pairs * 2);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i] = Digest256::Of(Slice(std::to_string(i)));
+    }
+    std::vector<Digest256> out(pairs);
+    Digest256::CombineMany(nodes, out);
+    for (size_t i = 0; i < pairs; ++i) {
+      EXPECT_EQ(out[i], Digest256::Combine(nodes[2 * i], nodes[2 * i + 1]))
+          << "pairs=" << pairs << " i=" << i;
+    }
+  }
+}
+
+TEST(Digest256Test, CryptoEqualsMatchesEquality) {
+  Digest256 a = Digest256::Of(Slice("a"));
+  EXPECT_TRUE(a.CryptoEquals(Digest256::Of(Slice("a"))));
+  EXPECT_FALSE(a.CryptoEquals(Digest256::Of(Slice("b"))));
 }
 
 // ------------------------------------------------------------ Signatures
@@ -277,6 +482,38 @@ TEST(RoleTest, Names) {
   EXPECT_EQ(RoleToString(Role::kClient), "client");
   EXPECT_EQ(RoleToString(Role::kEdge), "edge");
   EXPECT_EQ(RoleToString(Role::kCloud), "cloud");
+}
+
+// ------------------------------------------------------------ Session keys
+
+TEST_F(SignatureTest, SessionKeysAgreeBetweenSignerAndKeyStore) {
+  Signer alice = keystore_.Register(Role::kClient, "alice");
+  Signer edge = keystore_.Register(Role::kEdge, "edge");
+  auto from_store = keystore_.SessionKeyFor(alice.id(), edge.id());
+  ASSERT_TRUE(from_store.ok());
+  EXPECT_EQ(*from_store, alice.SessionKeyTo(edge.id()));
+}
+
+TEST_F(SignatureTest, SessionKeysAreDirectional) {
+  Signer a = keystore_.Register(Role::kClient, "a");
+  Signer b = keystore_.Register(Role::kEdge, "b");
+  auto ab = keystore_.SessionKeyFor(a.id(), b.id());
+  auto ba = keystore_.SessionKeyFor(b.id(), a.id());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NE(*ab, *ba);
+}
+
+TEST_F(SignatureTest, SessionKeyForUnknownSenderIsNotFound) {
+  Signer a = keystore_.Register(Role::kClient, "a");
+  EXPECT_TRUE(keystore_.SessionKeyFor(9999, a.id()).status().IsNotFound());
+}
+
+TEST_F(SignatureTest, SessionKeysDifferPerReceiver) {
+  Signer a = keystore_.Register(Role::kClient, "a");
+  Signer b = keystore_.Register(Role::kEdge, "b");
+  Signer c = keystore_.Register(Role::kEdge, "c");
+  EXPECT_NE(a.SessionKeyTo(b.id()), a.SessionKeyTo(c.id()));
 }
 
 }  // namespace

@@ -204,7 +204,7 @@ TEST_F(VerifierCacheTest, ScanWarmCacheAgreesAndTamperDetected) {
   auto warm = VerifyScanResponse(keystore_, edge_.id(), 0, 23, body,
                                  CacheOpts());
   ASSERT_TRUE(warm.ok()) << warm.status();
-  EXPECT_GT(cache_.stats().part_hits, 0u);
+  EXPECT_GT(cache_.stats().run_hits, 0u);
   ASSERT_EQ(warm->pairs.size(), cold->pairs.size());
   for (size_t i = 0; i < warm->pairs.size(); ++i) {
     EXPECT_TRUE(warm->pairs[i] == cold->pairs[i]) << "pair " << i;
@@ -218,6 +218,60 @@ TEST_F(VerifierCacheTest, ScanWarmCacheAgreesAndTamperDetected) {
   auto v =
       VerifyScanResponse(keystore_, edge_.id(), 0, 23, body, CacheOpts());
   EXPECT_TRUE(v.status().IsSecurityViolation()) << v.status();
+}
+
+TEST_F(VerifierCacheTest, AdjacentScansReuseOverlappingRuns) {
+  // Level 1 tiles 0..15 into four 4-key pages. The first scan verifies
+  // pages [0,3][4,7][8,11]; the adjacent second scan overlaps on [4,7]
+  // and [8,11], which must come out of the run cache — only [12,15] is
+  // hashed fresh.
+  auto first = AssembleScanResponse(tree_, log_, 0, 11);
+  ASSERT_TRUE(VerifyScanResponse(keystore_, edge_.id(), 0, 11, first,
+                                 CacheOpts())
+                  .ok());
+  cache_.ResetStats();
+
+  auto second = AssembleScanResponse(tree_, log_, 4, 15);
+  auto cold = VerifyScanResponse(keystore_, edge_.id(), 4, 15, second);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm = VerifyScanResponse(keystore_, edge_.id(), 4, 15, second,
+                                 CacheOpts());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(cache_.stats().run_hits, 2u);
+  EXPECT_EQ(cache_.stats().run_misses, 1u);
+  ASSERT_EQ(warm->pairs.size(), cold->pairs.size());
+  for (size_t i = 0; i < warm->pairs.size(); ++i) {
+    EXPECT_TRUE(warm->pairs[i] == cold->pairs[i]) << "pair " << i;
+  }
+
+  // The merged run now covers [0,15]: a third scan anywhere inside is
+  // all hits, regardless of which scan verified which page.
+  cache_.ResetStats();
+  auto third = AssembleScanResponse(tree_, log_, 2, 13);
+  ASSERT_TRUE(VerifyScanResponse(keystore_, edge_.id(), 2, 13, third,
+                                 CacheOpts())
+                  .ok());
+  EXPECT_EQ(cache_.stats().run_misses, 0u);
+  EXPECT_GT(cache_.stats().run_hits, 0u);
+}
+
+TEST_F(VerifierCacheTest, InvalidateRangeDropsScanRuns) {
+  auto body = AssembleScanResponse(tree_, log_, 0, 15);
+  ASSERT_TRUE(VerifyScanResponse(keystore_, edge_.id(), 0, 15, body,
+                                 CacheOpts())
+                  .ok());
+
+  // The run covers [0,15]; invalidating any slice drops the whole run
+  // (conservative — runs vouch for contiguity, so partial trims are not
+  // attempted). The re-scan must re-verify from scratch and still agree.
+  cache_.InvalidateRange(4, 7);
+  cache_.ResetStats();
+  auto v =
+      VerifyScanResponse(keystore_, edge_.id(), 0, 15, body, CacheOpts());
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(cache_.stats().run_hits, 0u)
+      << "invalidated run material must not hit";
+  EXPECT_GT(cache_.stats().run_misses, 0u);
 }
 
 TEST_F(VerifierCacheTest, InvalidateRangeDropsOnlyCoveringEntries) {

@@ -5,6 +5,7 @@
 
 #include "wire/message.h"
 #include "wire/protocol.h"
+#include "wire/session.h"
 
 namespace wedge {
 namespace {
@@ -101,6 +102,147 @@ TEST_F(WireTest, MsgTypeNamesComplete) {
     EXPECT_NE(MsgTypeToString(static_cast<MsgType>(t)), "Unknown")
         << "type " << static_cast<int>(t);
   }
+}
+
+// ---------------------------------------------------- Session envelopes
+
+TEST_F(WireTest, SessionSealOpenRoundTrip) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  ReadRequest req{1, 2};
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest, req.Encode());
+  EXPECT_EQ(wire[0], kSessionEnvelopeMagic);
+
+  auto env = opener.Open(wire);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env->type, MsgType::kReadRequest);
+  EXPECT_EQ(env->sender, client_.id());
+  EXPECT_EQ(env->receiver, edge_.id());
+  EXPECT_TRUE(env->sessioned);
+  EXPECT_EQ(env->counter, 1u);
+  auto body = ReadRequest::Decode(env->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->bid, 2u);
+}
+
+TEST_F(WireTest, SessionCountersAdvancePerReceiver) {
+  SessionSealer sealer(client_);
+  SessionOpener edge_opener(&keystore_, edge_.id());
+  SessionOpener cloud_opener(&keystore_, cloud_.id());
+  Bytes b = ReadRequest{1, 2}.Encode();
+  // Counters are per channel: each receiver sees 1, 2, ... from this peer.
+  EXPECT_EQ(edge_opener.Open(sealer.Seal(edge_.id(), MsgType::kReadRequest, b))
+                ->counter,
+            1u);
+  EXPECT_EQ(
+      cloud_opener.Open(sealer.Seal(cloud_.id(), MsgType::kReadRequest, b))
+          ->counter,
+      1u);
+  EXPECT_EQ(edge_opener.Open(sealer.Seal(edge_.id(), MsgType::kReadRequest, b))
+                ->counter,
+            2u);
+}
+
+TEST_F(WireTest, SessionTamperedMacRejected) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest,
+                           ReadRequest{1, 2}.Encode());
+  wire.back() ^= 0x01;  // flip a MAC bit
+  EXPECT_TRUE(opener.Open(wire).status().IsSecurityViolation());
+}
+
+TEST_F(WireTest, SessionTamperedBodyRejected) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest,
+                           ReadRequest{1, 2}.Encode());
+  wire[wire.size() - 40] ^= 0xff;  // inside the body, MAC untouched
+  EXPECT_FALSE(opener.Open(wire).ok());
+}
+
+TEST_F(WireTest, SessionReplayRejected) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest,
+                           ReadRequest{1, 2}.Encode());
+  ASSERT_TRUE(opener.Open(wire).ok());
+  EXPECT_TRUE(opener.Open(wire).status().IsSecurityViolation());
+}
+
+TEST_F(WireTest, SessionCounterRollbackRejected) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes b = ReadRequest{1, 2}.Encode();
+  Bytes first = sealer.Seal(edge_.id(), MsgType::kReadRequest, b);
+  Bytes second = sealer.Seal(edge_.id(), MsgType::kReadRequest, b);
+  ASSERT_TRUE(opener.Open(second).ok());
+  // An older (lower-counter) message after a newer one is a replay.
+  EXPECT_TRUE(opener.Open(first).status().IsSecurityViolation());
+}
+
+TEST_F(WireTest, SessionForwardGapAllowed) {
+  // The fault plane drops messages; the opener must accept counter gaps.
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes b = ReadRequest{1, 2}.Encode();
+  Bytes first = sealer.Seal(edge_.id(), MsgType::kReadRequest, b);
+  (void)sealer.Seal(edge_.id(), MsgType::kReadRequest, b);  // lost
+  Bytes third = sealer.Seal(edge_.id(), MsgType::kReadRequest, b);
+  ASSERT_TRUE(opener.Open(first).ok());
+  auto env = opener.Open(third);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->counter, 3u);
+}
+
+TEST_F(WireTest, SessionWrongReceiverRejected) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, cloud_.id());  // not the addressee
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest,
+                           ReadRequest{1, 2}.Encode());
+  EXPECT_TRUE(opener.Open(wire).status().IsSecurityViolation());
+}
+
+TEST_F(WireTest, SessionOpenerAcceptsV1Envelopes) {
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes wire = Envelope::Seal(client_, MsgType::kReadRequest,
+                              ReadRequest{1, 2}.Encode());
+  auto env = opener.Open(wire);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->sessioned);
+  EXPECT_EQ(env->sender, client_.id());
+}
+
+TEST_F(WireTest, SessionRevokedSenderRejected) {
+  SessionSealer sealer(edge_);
+  SessionOpener opener(&keystore_, cloud_.id());
+  Bytes wire = sealer.Seal(cloud_.id(), MsgType::kGossip,
+                           Gossip{edge_.id(), 1, 2}.Encode());
+  ASSERT_TRUE(keystore_.Revoke(edge_.id()).ok());
+  EXPECT_TRUE(opener.Open(wire).status().IsFailedPrecondition());
+}
+
+TEST_F(WireTest, SessionEnvelopeOpenHistorical) {
+  // Dispute evidence sealed under a session key stays verifiable after
+  // revocation: the trusted directory re-derives the key statelessly.
+  SessionSealer sealer(edge_);
+  Bytes wire = sealer.Seal(cloud_.id(), MsgType::kGossip,
+                           Gossip{edge_.id(), 1, 2}.Encode());
+  ASSERT_TRUE(keystore_.Revoke(edge_.id()).ok());
+  EXPECT_TRUE(Envelope::Open(keystore_, wire).status().IsFailedPrecondition());
+  auto env = Envelope::OpenHistorical(keystore_, wire);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env->sender, edge_.id());
+  EXPECT_TRUE(env->sessioned);
+}
+
+TEST_F(WireTest, SessionTruncatedIsCorruption) {
+  SessionSealer sealer(client_);
+  SessionOpener opener(&keystore_, edge_.id());
+  Bytes wire = sealer.Seal(edge_.id(), MsgType::kReadRequest,
+                           ReadRequest{1, 2}.Encode());
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(opener.Open(wire).ok());
 }
 
 // ------------------------------------------------------- Message bodies
