@@ -19,7 +19,6 @@
 //     --json   append one JSON line per (backend, edges) point to PATH.
 
 #include <atomic>
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +29,7 @@
 
 #include "api/store.h"
 #include "bench/harness/table.h"
+#include "common/histogram.h"
 
 using namespace wedge;
 
@@ -46,9 +46,12 @@ struct BenchConfig {
 };
 
 /// Latencies one driver thread observed inside the measure window.
+/// Log-bucketed histograms, not per-op vectors: memory stays constant at
+/// any op count and the merged result still answers mean/p50/p99 within
+/// Histogram::RelativeResolution().
 struct DriverMetrics {
-  std::vector<uint64_t> read_us;
-  std::vector<uint64_t> write_us;
+  Histogram read;
+  Histogram write;
   uint64_t errors = 0;
 };
 
@@ -62,22 +65,9 @@ struct Point {
   double write_ms = 0;
   double measure_ms = 0;
   uint64_t errors = 0;
+  Histogram reads;
+  Histogram writes;
 };
-
-uint64_t Percentile(std::vector<uint64_t>& v, double p) {
-  if (v.empty()) return 0;
-  const size_t idx = std::min(v.size() - 1,
-                              static_cast<size_t>(p * (v.size() - 1)));
-  std::nth_element(v.begin(), v.begin() + idx, v.end());
-  return v[idx];
-}
-
-double MeanMs(const std::vector<uint64_t>& v) {
-  if (v.empty()) return 0;
-  uint64_t sum = 0;
-  for (uint64_t x : v) sum += x;
-  return static_cast<double>(sum) / static_cast<double>(v.size()) / 1000.0;
-}
 
 /// One logical client's closed loop: reads and batched writes against
 /// its own client node, latencies recorded only while `phase` says the
@@ -114,9 +104,9 @@ void DriveClient(Store& store, size_t client, const BenchConfig& cfg,
       if (!ok) {
         out.errors++;
       } else if (is_read) {
-        out.read_us.push_back(static_cast<uint64_t>(us));
+        out.read.Record(us);
       } else {
-        out.write_us.push_back(static_cast<uint64_t>(us));
+        out.write.Record(us);
       }
     }
   }
@@ -179,26 +169,22 @@ Point RunPoint(BackendKind kind, size_t edges, const BenchConfig& cfg) {
   const auto t1 = std::chrono::steady_clock::now();
   for (auto& t : drivers) t.join();
 
-  std::vector<uint64_t> reads, writes;
-  uint64_t errors = 0;
-  for (auto& m : metrics) {
-    reads.insert(reads.end(), m.read_us.begin(), m.read_us.end());
-    writes.insert(writes.end(), m.write_us.begin(), m.write_us.end());
-    errors += m.errors;
-  }
-
   Point p;
+  for (auto& m : metrics) {
+    p.reads.Merge(m.read);
+    p.writes.Merge(m.write);
+    p.errors += m.errors;
+  }
   p.backend = std::string(BackendKindToString(kind));
   p.edges = edges;
   p.clients = cfg.clients;
   p.measure_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
-  p.kops = static_cast<double>(reads.size() + writes.size()) /
+  p.kops = static_cast<double>(p.reads.count() + p.writes.count()) /
            p.measure_ms;  // ops per wall-ms == K ops per wall-second
-  p.read_ms = MeanMs(reads);
-  p.write_ms = MeanMs(writes);
-  p.read_p99_ms = static_cast<double>(Percentile(reads, 0.99)) / 1000.0;
-  p.errors = errors;
+  p.read_ms = p.reads.Mean() / 1000.0;
+  p.write_ms = p.writes.Mean() / 1000.0;
+  p.read_p99_ms = static_cast<double>(p.reads.P99()) / 1000.0;
   return p;
 }
 
@@ -211,6 +197,8 @@ void AppendJson(const std::string& path, const Point& p) {
   }
   std::fprintf(f, "{");
   AppendRuntimeStampJson(f, RuntimeKind::kThreaded);
+  AppendLatencyHistogramJson(f, "read_latency", p.reads);
+  AppendLatencyHistogramJson(f, "write_latency", p.writes);
   std::fprintf(f,
                "\"bench\": \"fig11_runtime\", \"panel\": \"sweep\", "
                "\"backend\": \"%s\", \"edges\": %zu, \"clients\": %zu, "

@@ -10,9 +10,12 @@
 
 #include <cstdio>
 
+#include "api/store.h"
+#include "bench/harness/profiles.h"
 #include "bench/harness/runner.h"
 #include "bench/harness/table.h"
 #include "simnet/cost_model.h"
+#include "workload/open_loop.h"
 
 using namespace wedge;
 
@@ -88,6 +91,47 @@ void RunBestCaseRead() {
       "Cloud-only 0.5 ms.\n");
 }
 
+// Extension beyond the paper: the same 50/50 mix offered open-loop
+// through the async surface. The closed loops above report achieved ==
+// offered by construction; here a fixed 200 ops/s is offered to every
+// backend and the table shows what each one actually sustains — and at
+// what omission-free latency. Cloud-only can match the offered *rate*
+// (async overlap hides its RTT) but not the edge systems' latency,
+// which is the paper's trade-off restated open-loop.
+void RunEnginePanel() {
+  Banner("(e) Open-loop 50/50 mix at 200 ops/s offered (async surface)");
+  TablePrinter t({"system", "offered", "achieved", "read_p50_ms", "p1_p50_ms",
+                  "shed"});
+  t.PrintHeader();
+  for (BackendKind kind : kAllBackends) {
+    StoreOptions o;
+    o.WithBackend(kind)
+        .WithSeed(7)
+        .WithClients(8)
+        .WithOpsPerBlock(8)
+        .WithLsm({3, 2, 8}, 8)
+        .WithProofTimeout(5 * kSecond);
+    auto opened = Store::Open(o);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fig5: Open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    Store store = std::move(*opened);
+    OpenLoopSpec spec = MulticlientMixed(200.0, 10000);
+    spec.workload.key_space = 10000;
+    spec.lanes = 64;
+    OpenLoopEngine engine(&store, spec, 19);
+    const OpenLoopMetrics m = engine.Run(kSecond, 4 * kSecond, 2 * kSecond);
+    t.PrintRow(
+        {std::string(BackendKindToString(kind)), Fmt(m.offered_rate, 1),
+         Fmt(m.achieved_rate, 1),
+         Fmt(static_cast<double>(m.read_latency.Median()) / 1000.0, 2),
+         Fmt(static_cast<double>(m.phase1_latency.Median()) / 1000.0, 2),
+         std::to_string(m.shed)});
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -95,5 +139,6 @@ int main() {
   RunPanel("(b) 50% reads / 50% writes, throughput (K ops/s)", 0.5, 10000);
   RunPanel("(c) All-read workload, throughput (K ops/s)", 1.0, 10000);
   RunBestCaseRead();
+  RunEnginePanel();
   return 0;
 }

@@ -1,0 +1,65 @@
+// Named open-loop scenario profiles: the mixed workloads the fig13
+// sweeps and the fig5 engine panel run. Each returns an OpenLoopSpec at
+// a given offered rate and logical-client population; benches override
+// lanes/backlog/tick per experiment.
+
+#pragma once
+
+#include "workload/open_loop.h"
+
+namespace wedge {
+
+/// IoT telemetry: overwhelmingly writes, arriving in synchronized
+/// bursts (sensors reporting on a shared period) — the workload the
+/// paper's edge deployment targets.
+inline OpenLoopSpec IoTTelemetryBurst(double rate, size_t logical_clients) {
+  OpenLoopSpec spec;
+  spec.arrival.kind = ArrivalKind::kBurst;
+  spec.arrival.rate = rate;
+  spec.arrival.burst_factor = 8.0;
+  spec.arrival.burst_period = kSecond;
+  spec.arrival.burst_duty = 0.1;
+  spec.workload.read_fraction = 0.1;
+  spec.workload.value_size = 100;
+  spec.logical_clients = logical_clients;
+  return spec;
+}
+
+/// Read-heavy analytics: Poisson arrivals, 95% point reads over a
+/// zipfian key popularity — the interactive dashboard against the edge.
+inline OpenLoopSpec ReadHeavyAnalytics(double rate, size_t logical_clients) {
+  OpenLoopSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate = rate;
+  spec.workload.read_fraction = 0.95;
+  spec.workload.zipf_theta = 0.99;
+  spec.logical_clients = logical_clients;
+  return spec;
+}
+
+/// Audit scans: mostly reads with a steady fraction of verified range
+/// scans (completeness-checked on the edge backends) — the auditor
+/// sweeping recent history.
+inline OpenLoopSpec AuditScan(double rate, size_t logical_clients) {
+  OpenLoopSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate = rate;
+  spec.workload.read_fraction = 0.7;
+  spec.scan_fraction = 0.05;
+  spec.scan_span = 64;
+  spec.logical_clients = logical_clients;
+  return spec;
+}
+
+/// Balanced read/write mix at Poisson arrivals — the open-loop analogue
+/// of the fig5 multi-client closed-loop workload.
+inline OpenLoopSpec MulticlientMixed(double rate, size_t logical_clients) {
+  OpenLoopSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate = rate;
+  spec.workload.read_fraction = 0.5;
+  spec.logical_clients = logical_clients;
+  return spec;
+}
+
+}  // namespace wedge

@@ -201,6 +201,11 @@ ExperimentResult RunSystem(BackendKind kind, const ExperimentConfig& cfg) {
     cfg.mid_run(store);
   }
   store.RunUntil(end);
+  // Drain past the window edge: the driver records by *intended start*
+  // time, so an op issued (or due) inside the window but completing
+  // after it still belongs in the histograms. Without the drain those
+  // stragglers — exactly the slow tail — would be silently dropped.
+  store.RunFor(2 * kSecond);
   ExperimentResult result =
       Collect(std::move(metrics), store.net().stats(), cfg.measure);
   result.final_stats = store.stats();

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "crypto/sha256.h"
 #include "runtime/runtime.h"
 #include "workload/workload.h"
@@ -76,6 +77,24 @@ inline std::string Fmt(double v, int precision = 1) {
 
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Appends one latency distribution as a named JSON object —
+/// `"<name>": {"n", "mean_us", "p50_us", "p99_us", "max_us",
+/// "resolution"}` — to an already-open JSON-lines record. The
+/// `resolution` field is the histogram's worst-case relative error, so
+/// percentile precision travels with the numbers instead of living in a
+/// README. Emits the trailing ", " so callers can chain fields after it.
+inline void AppendLatencyHistogramJson(FILE* f, const char* name,
+                                       const Histogram& h) {
+  std::fprintf(f,
+               "\"%s\": {\"n\": %llu, \"mean_us\": %.1f, \"p50_us\": %lld, "
+               "\"p99_us\": %lld, \"max_us\": %lld, \"resolution\": %.4f}, ",
+               name, static_cast<unsigned long long>(h.count()), h.Mean(),
+               static_cast<long long>(h.Median()),
+               static_cast<long long>(h.P99()),
+               static_cast<long long>(h.max()),
+               Histogram::RelativeResolution());
 }
 
 /// Column headers matching PrintEdgeRow, to append after a bench's own

@@ -63,6 +63,11 @@ struct RouterStats {
   /// count here when they flush, attributed to the owner they commit
   /// on.
   std::vector<uint64_t> ops_per_shard;
+  /// Richer per-shard load: read-latency histograms and byte counters,
+  /// cumulative since Open (NOT reset on epoch installs, unlike
+  /// ops_per_shard). Fed to the AutoBalancer via Hooks::signals so
+  /// future watermarks can act on p99/bytes; empty on unrouted stores.
+  ShardSignals load;
 };
 
 /// One-call observability snapshot of a store's sharding machinery
@@ -81,6 +86,9 @@ struct StoreStats {
   TransportStats transport;
   /// Injected-fault counters (Runtime::faults().stats()).
   FaultStats faults;
+  /// Async-surface admission and lifecycle counters (always populated;
+  /// zeros when nothing used the async surface).
+  AsyncStats async;
 };
 
 /// One committed write phase: the block that carries the write and the

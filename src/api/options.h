@@ -37,6 +37,29 @@ enum class BackendKind {
 
 std::string_view BackendKindToString(BackendKind kind);
 
+/// Counters of the async surface's admission gate and op lifecycle
+/// (Store::stats().async). All counts are cumulative since Open except
+/// `inflight`, a point-in-time reading.
+struct AsyncStats {
+  /// Operations admitted past the in-flight gate and issued to the
+  /// backend (sync reads route through the async surface and count too).
+  uint64_t issued = 0;
+  /// Admitted operations whose backend completion arrived (whatever its
+  /// status, and even if a deadline or cancel settled the handle first).
+  uint64_t completed = 0;
+  /// Operations refused up front with ResourceExhausted because
+  /// `async_inflight_limit` admitted ops were already in flight.
+  uint64_t rejected = 0;
+  /// Handles settled by AsyncOp/AsyncCommit::Cancel before completion.
+  uint64_t cancelled = 0;
+  /// Handles settled by their per-op deadline before completion.
+  uint64_t deadline_expired = 0;
+  /// Admitted operations currently between issue and backend completion.
+  uint64_t inflight = 0;
+  /// High-water mark of `inflight` since Open.
+  uint64_t inflight_peak = 0;
+};
+
 /// All BackendKind values, in presentation order — handy for "run the
 /// same scenario on every system" loops.
 inline constexpr BackendKind kAllBackends[] = {
@@ -75,6 +98,13 @@ struct StoreOptions {
   /// sharded store (range partitioning, or a single seed shard with
   /// spare capacity).
   BalancerPolicy balancer;
+  /// Bounded in-flight admission for the async surface (AsyncPut /
+  /// AsyncGet / ...): at most this many admitted operations between
+  /// issue and backend completion; excess issues settle immediately
+  /// with ResourceExhausted instead of queueing unbounded callback
+  /// state behind a slow shard. 0 (default) = unlimited. Sync reads
+  /// route through the same gate.
+  size_t async_inflight_limit = 0;
 
   StoreOptions& WithBackend(BackendKind b) {
     backend = b;
@@ -224,6 +254,13 @@ struct StoreOptions {
   /// wedging the fence forever. 0 disables the watchdog.
   StoreOptions& WithMigrationTimeout(SimTime timeout) {
     resharding.migration_timeout = timeout;
+    return *this;
+  }
+  /// Caps admitted-but-uncompleted async operations (see
+  /// `async_inflight_limit`); a slow shard then backpressures the
+  /// issuer with ResourceExhausted instead of ballooning memory.
+  StoreOptions& WithAsyncInflightLimit(size_t limit) {
+    async_inflight_limit = limit;
     return *this;
   }
   StoreOptions& WithBeforeStart(std::function<void(StoreBackend&)> hook) {

@@ -75,6 +75,8 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
   coordinator_ = std::make_unique<ReshardingCoordinator>(
       inner_->runtime().ControlExecutor(), table_, this, resharding);
   stats_.ops_per_shard.assign(table_->capacity(), 0);
+  load_ = std::make_shared<ShardLoadStats>();
+  load_->signals.Resize(table_->capacity());
   if (balancer.enabled) {
     // The balancer reads this router's own heat window and actuates
     // through the same coordinator the operator calls use, so manual
@@ -91,6 +93,10 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
       coordinator_->MergeShards(shard, std::move(cb));
     };
     hooks.busy = [this]() { return coordinator_->migration_in_flight(); };
+    hooks.signals = [load = load_]() {
+      std::lock_guard<std::mutex> lock(load->mu);
+      return load->signals;
+    };
     balancer_ = std::make_unique<AutoBalancer>(
         inner_->runtime().ControlExecutor(), table_, balancer,
         std::move(hooks));
@@ -99,8 +105,14 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
 }
 
 RouterStats ShardRouter::router_stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RouterStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> lock(load_->mu);
+  out.load = load_->signals;
+  return out;
 }
 
 size_t ShardRouter::RouteKeyLocked(size_t client, Key key) {
@@ -195,6 +207,15 @@ void ShardRouter::PutBatch(size_t client,
       RecordPhase(p2.get(), shard, down, 0, now, on_phase2);
       return;
     }
+    {
+      // Write-byte attribution at issue time, to the owner the
+      // sub-batch commits on (parked writes land here at flush, already
+      // re-routed).
+      uint64_t bytes = 0;
+      for (const auto& kv : sub) bytes += kv.second.size();
+      std::lock_guard<std::mutex> lock(load_->mu);
+      load_->signals.bytes_written[shard] += bytes;
+    }
     inner_->PutBatch(
         phys, sub,
         [p1, shard, slots, on_phase1](const Status& st, BlockId bid,
@@ -259,7 +280,22 @@ void ShardRouter::Append(size_t client, std::vector<Bytes> payloads,
 }
 
 void ShardRouter::Get(size_t client, Key key, GetCb cb) {
-  const size_t phys = PhysicalClient(client, RouteKey(client, key));
+  const size_t shard = RouteKey(client, key);
+  const size_t phys = PhysicalClient(client, shard);
+  // Per-shard read-latency/bytes signal for the balancer. The wrapper
+  // captures the load stats by shared_ptr, never `this` — a completion
+  // landing during router teardown records into still-live state.
+  const SimTime started = runtime().Now();
+  cb = [cb = std::move(cb), load = load_, shard, started](const Status& st,
+                                                          GetResult r,
+                                                          SimTime t) {
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lock(load->mu);
+      load->signals.read_latency[shard].Record(t - started);
+      load->signals.bytes_read[shard] += r.value.size();
+    }
+    if (cb) cb(st, std::move(r), t);
+  };
   if (!inner_->EdgeReachable(phys)) {
     // Failure-aware degrade: the owning edge is crashed or partitioned
     // away, so serve the read from the cloud's backup instead — slower

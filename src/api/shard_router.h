@@ -68,6 +68,15 @@
 
 namespace wedge {
 
+/// Live per-shard load signals (read-latency histograms, byte counters)
+/// behind their own lock. Shared into completion callbacks by
+/// shared_ptr value — a read completing while the router tears down
+/// records into still-live state instead of a dangling `this`.
+struct ShardLoadStats {
+  std::mutex mu;
+  ShardSignals signals;
+};
+
 class ShardRouter : public StoreBackend, public ShardMigrationHost {
  public:
   /// Wraps `inner`, which must have been built with
@@ -198,6 +207,11 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   std::vector<std::function<void()>> parked_;
 
   RouterStats stats_;
+
+  /// Richer per-shard load (RouterStats::load in snapshots; fed to the
+  /// AutoBalancer via Hooks::signals). Cumulative since Open — epoch
+  /// installs reset ops_per_shard but not latency/byte history.
+  std::shared_ptr<ShardLoadStats> load_;
 };
 
 }  // namespace wedge

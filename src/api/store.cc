@@ -14,6 +14,10 @@ namespace api_internal {
 
 struct StoreCore {
   StoreOptions options;
+  /// Declared before `backend` deliberately: the backend's destructor
+  /// joins worker threads whose completion wrappers release admission
+  /// slots, so the gate must outlive it.
+  AsyncGate gate;
   std::unique_ptr<StoreBackend> backend;
 
   /// Blocks until `done()` holds, bounded by the per-op `deadline` when
@@ -30,29 +34,36 @@ struct StoreCore {
   }
 };
 
-struct CommitState {
-  bool phase1_done = false;
-  bool phase2_done = false;
-  Status phase1_status;
-  Status phase2_status;
-  Commit phase1;
-  Commit phase2;
-};
+Status PumpCore(StoreCore& core, const std::function<bool()>& done,
+                SimTime deadline) {
+  return core.PumpUntil(done, deadline);
+}
 
 }  // namespace api_internal
 
-using api_internal::CommitState;
+using api_internal::AsyncCommitState;
+using api_internal::AsyncGate;
+using api_internal::AsyncOpState;
+using api_internal::SettleCommit;
+using api_internal::SettleOp;
 using api_internal::StoreCore;
 
 // ----------------------------------------------------------- CommitHandle
 
-bool CommitHandle::phase1_done() const { return state_->phase1_done; }
-bool CommitHandle::phase2_done() const { return state_->phase2_done; }
+bool CommitHandle::phase1_done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->p1_settled;
+}
+bool CommitHandle::phase2_done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->p2_settled;
+}
 
 Result<Commit> CommitHandle::WaitPhase1(SimTime deadline) {
   auto* st = state_.get();
   WEDGE_RETURN_NOT_OK(
       core_->PumpUntil([st] { return st->phase1_done; }, deadline));
+  std::lock_guard<std::mutex> lock(state_->mu);
   if (!st->phase1_status.ok()) return st->phase1_status;
   return st->phase1;
 }
@@ -61,6 +72,7 @@ Result<Commit> CommitHandle::WaitPhase2(SimTime deadline) {
   auto* st = state_.get();
   WEDGE_RETURN_NOT_OK(
       core_->PumpUntil([st] { return st->phase2_done; }, deadline));
+  std::lock_guard<std::mutex> lock(state_->mu);
   if (!st->phase2_status.ok()) return st->phase2_status;
   return st->phase2;
 }
@@ -179,6 +191,7 @@ Result<Store> Store::Open(StoreOptions options) {
   WEDGE_RETURN_NOT_OK(ValidateOptions(options));
   auto core = std::make_shared<StoreCore>();
   core->options = std::move(options);
+  core->gate.set_limit(core->options.async_inflight_limit);
   core->backend = MakeBackend(core->options);
   if (core->backend == nullptr) {
     return Status::InvalidArgument("StoreOptions: unknown backend");
@@ -195,39 +208,52 @@ Result<Store> Store::Open(StoreOptions options) {
 
 namespace {
 
-/// Builds the shared state of a write handle and issues the write with
-/// its two phase-recording callbacks — or fails both phases up front
-/// when the client index is out of range.
-std::shared_ptr<CommitState> IssueWrite(
-    StoreCore& core, size_t client,
+/// Builds the shared state of a write handle and issues the write
+/// through the admission gate with its two phase-settling callbacks —
+/// or settles both phases up front when the client index is out of
+/// range (InvalidArgument) or the gate is full (ResourceExhausted).
+/// Phase settles go through SettleCommit, whose RunOnCompletion write
+/// is what the façade's WaitPhaseN predicates synchronize on.
+std::shared_ptr<AsyncCommitState> IssueWrite(
+    StoreCore& core, size_t client, const AsyncOptions& opts,
     const std::function<void(StoreBackend::CommitCb, StoreBackend::CommitCb)>&
         issue) {
-  auto state = std::make_shared<CommitState>();
-  // Phase recordings go through RunOnCompletion: inline under the
-  // simulator, under the completion lock (with a wake-up) under threads
-  // — the write the façade's WaitPhaseN predicate synchronizes on.
+  auto state = std::make_shared<AsyncCommitState>();
   Runtime* rt = &core.backend->runtime();
-  auto on_phase1 = [state, rt](const Status& s, BlockId bid, SimTime t) {
-    rt->RunOnCompletion([&] {
-      state->phase1_status = s;
-      state->phase1 = Commit{bid, t};
-      state->phase1_done = true;
-    });
-  };
-  auto on_phase2 = [state, rt](const Status& s, BlockId bid, SimTime t) {
-    rt->RunOnCompletion([&] {
-      state->phase2_status = s;
-      state->phase2 = Commit{bid, t};
-      state->phase2_done = true;
-    });
-  };
+  state->rt = rt;
+  state->gate = &core.gate;
   if (client >= core.backend->client_count()) {
-    Status bad = Status::InvalidArgument("no client " + std::to_string(client));
-    const SimTime now = core.backend->runtime().Now();
-    on_phase1(bad, 0, now);
-    on_phase2(bad, 0, now);
-  } else {
-    issue(std::move(on_phase1), std::move(on_phase2));
+    const Status bad =
+        Status::InvalidArgument("no client " + std::to_string(client));
+    SettleCommit(state, /*phase2=*/true, bad, Commit{0, rt->Now()});
+    return state;
+  }
+  if (!core.gate.TryAdmit()) {
+    const Status full = Status::ResourceExhausted(
+        "async in-flight limit reached (StoreOptions::async_inflight_limit)");
+    SettleCommit(state, /*phase2=*/true, full, Commit{0, rt->Now()});
+    return state;
+  }
+  AsyncGate* gate = &core.gate;
+  issue(
+      [state](const Status& s, BlockId bid, SimTime t) {
+        SettleCommit(state, /*phase2=*/false, s, Commit{bid, t});
+      },
+      [state, gate](const Status& s, BlockId bid, SimTime t) {
+        // Phase II is the backend's final word on this write: the
+        // admission slot is released here and only here, even when a
+        // deadline or cancel settled the handle earlier.
+        gate->Release();
+        SettleCommit(state, /*phase2=*/true, s, Commit{bid, t});
+      });
+  if (opts.deadline > 0) {
+    rt->ControlExecutor()->After(opts.deadline, [state, gate] {
+      if (SettleCommit(state, /*phase2=*/true,
+                       Status::DeadlineExceeded("async op deadline"),
+                       Commit{})) {
+        gate->CountDeadlineExpired();
+      }
+    });
   }
   return state;
 }
@@ -241,7 +267,7 @@ CommitHandle Store::Put(Key key, Bytes value, size_t client) {
 CommitHandle Store::PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
                              size_t client) {
   return CommitHandle(
-      core_, IssueWrite(*core_, client,
+      core_, IssueWrite(*core_, client, AsyncOptions{},
                         [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
                                                            p2) {
                           core_->backend->PutBatch(client, kvs, std::move(p1),
@@ -251,7 +277,34 @@ CommitHandle Store::PutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
 
 CommitHandle Store::Append(std::vector<Bytes> payloads, size_t client) {
   return CommitHandle(
-      core_, IssueWrite(*core_, client,
+      core_, IssueWrite(*core_, client, AsyncOptions{},
+                        [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
+                                                           p2) {
+                          core_->backend->Append(client, std::move(payloads),
+                                                 std::move(p1), std::move(p2));
+                        }));
+}
+
+AsyncCommit Store::AsyncPut(Key key, Bytes value, size_t client,
+                            const AsyncOptions& opts) {
+  return AsyncPutBatch({{key, std::move(value)}}, client, opts);
+}
+
+AsyncCommit Store::AsyncPutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                                 size_t client, const AsyncOptions& opts) {
+  return AsyncCommit(
+      core_, IssueWrite(*core_, client, opts,
+                        [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
+                                                           p2) {
+                          core_->backend->PutBatch(client, kvs, std::move(p1),
+                                                   std::move(p2));
+                        }));
+}
+
+AsyncCommit Store::AsyncAppend(std::vector<Bytes> payloads, size_t client,
+                               const AsyncOptions& opts) {
+  return AsyncCommit(
+      core_, IssueWrite(*core_, client, opts,
                         [&](StoreBackend::CommitCb p1, StoreBackend::CommitCb
                                                            p2) {
                           core_->backend->Append(client, std::move(payloads),
@@ -261,45 +314,73 @@ CommitHandle Store::Append(std::vector<Bytes> payloads, size_t client) {
 
 namespace {
 
-/// Issues an asynchronous read via `issue` and pumps until its callback
-/// delivers; shared by Get/Scan/ReadBlock. With StoreOptions::retry
-/// enabled, transient failures (Unavailable, DeadlineExceeded) are
-/// re-issued after an exponential backoff that runs the deployment —
-/// background recovery (healed partitions, edge certify retries) makes
-/// progress between attempts. Security-class failures never retry: a
-/// detected lie must surface, not be papered over by a second ask.
+/// Builds the shared state of a single-completion async op and issues
+/// it through the admission gate; shared by the four Async* reads. Bad
+/// client indexes settle InvalidArgument and a full gate settles
+/// ResourceExhausted, both without touching the backend.
 template <typename T, typename IssueFn>
-Result<T> SyncRead(StoreCore& core, size_t client, SimTime deadline,
-                   IssueFn issue) {
-  if (client >= core.backend->client_count()) {
-    return Status::InvalidArgument("no client " + std::to_string(client));
+AsyncOp<T> IssueAsyncRead(const std::shared_ptr<StoreCore>& core,
+                          size_t client, const AsyncOptions& opts,
+                          IssueFn issue) {
+  auto state = std::make_shared<AsyncOpState<T>>();
+  Runtime* rt = &core->backend->runtime();
+  state->rt = rt;
+  state->gate = &core->gate;
+  if (client >= core->backend->client_count()) {
+    SettleOp<T>(state,
+                Status::InvalidArgument("no client " + std::to_string(client)),
+                T{});
+    return AsyncOp<T>(core, state);
   }
+  if (!core->gate.TryAdmit()) {
+    SettleOp<T>(state,
+                Status::ResourceExhausted(
+                    "async in-flight limit reached "
+                    "(StoreOptions::async_inflight_limit)"),
+                T{});
+    return AsyncOp<T>(core, state);
+  }
+  AsyncGate* gate = &core->gate;
+  issue(client, [state, gate](const Status& s, T r, SimTime) {
+    // The backend's single completion: release the admission slot
+    // unconditionally (a deadline/cancel may have settled the handle
+    // already — the slot tracks the backend work, not the observation).
+    gate->Release();
+    SettleOp<T>(state, s, std::move(r));
+  });
+  if (opts.deadline > 0) {
+    rt->ControlExecutor()->After(opts.deadline, [state, gate] {
+      if (SettleOp<T>(state, Status::DeadlineExceeded("async op deadline"),
+                      T{})) {
+        gate->CountDeadlineExpired();
+      }
+    });
+  }
+  return AsyncOp<T>(core, state);
+}
+
+/// The synchronous read façade as a thin wrapper over the async
+/// surface: issue + Wait. With StoreOptions::retry enabled, transient
+/// failures (Unavailable, DeadlineExceeded) are re-issued after an
+/// exponential backoff that runs the deployment — background recovery
+/// (healed partitions, edge certify retries) makes progress between
+/// attempts. Security-class failures never retry: a detected lie must
+/// surface, not be papered over by a second ask.
+template <typename T, typename ReissueFn>
+Result<T> SyncRead(StoreCore& core, SimTime deadline, ReissueFn reissue) {
   const RetryPolicy& retry = core.options.retry;
   SimTime backoff = retry.initial_backoff;
   for (uint32_t attempt = 1;; ++attempt) {
-    struct Waiter {
-      bool done = false;
-      Status status;
-      T result;
-    };
-    auto waiter = std::make_shared<Waiter>();
-    Runtime* rt = &core.backend->runtime();
-    issue(client, [waiter, rt](const Status& s, T r, SimTime) {
-      rt->RunOnCompletion([&] {
-        waiter->status = s;
-        waiter->result = std::move(r);
-        waiter->done = true;
-      });
-    });
-    Status s = core.PumpUntil([w = waiter.get()] { return w->done; }, deadline);
-    if (s.ok()) s = waiter->status;
-    if (s.ok()) return std::move(waiter->result);
+    AsyncOp<T> op = reissue();
+    Result<T> r = op.Wait(deadline);
+    if (r.ok()) return r;
+    const Status& s = r.status();
     const bool transient = s.IsUnavailable() || s.IsDeadlineExceeded();
     if (!retry.enabled || !transient || attempt >= retry.max_attempts) {
-      return s;
+      return r;
     }
-    // A timed-out attempt's waiter stays alive inside its own callback
-    // capture; if the stale response lands later it resolves a waiter
+    // A timed-out attempt's handle stays alive inside its own callback
+    // capture; if the stale response lands later it settles a handle
     // nobody reads. The retry issues a fresh request.
     core.backend->runtime().RunFor(backoff);
     backoff = std::min<SimTime>(
@@ -310,42 +391,78 @@ Result<T> SyncRead(StoreCore& core, size_t client, SimTime deadline,
 
 }  // namespace
 
-Result<GetResult> Store::Get(Key key, size_t client, SimTime deadline) {
-  return SyncRead<GetResult>(
-      *core_, client, deadline, [this, key](size_t c, StoreBackend::GetCb cb) {
+AsyncOp<GetResult> Store::AsyncGet(Key key, size_t client,
+                                   const AsyncOptions& opts) {
+  return IssueAsyncRead<GetResult>(
+      core_, client, opts, [this, key](size_t c, StoreBackend::GetCb cb) {
         core_->backend->Get(c, key, std::move(cb));
       });
 }
 
-Result<MultiGetResult> Store::MultiGet(const std::vector<Key>& keys,
-                                       size_t client, SimTime deadline) {
-  return SyncRead<MultiGetResult>(
-      *core_, client, deadline,
+AsyncOp<MultiGetResult> Store::AsyncMultiGet(const std::vector<Key>& keys,
+                                             size_t client,
+                                             const AsyncOptions& opts) {
+  return IssueAsyncRead<MultiGetResult>(
+      core_, client, opts,
       [this, &keys](size_t c, StoreBackend::MultiGetCb cb) {
         core_->backend->MultiGet(c, keys, std::move(cb));
       });
 }
 
-Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client,
-                               SimTime deadline) {
-  // Normalized across backends: the edge systems reject an inverted
-  // range in proof verification; cloud-only would silently return
-  // nothing.
-  if (lo > hi) return Status::InvalidArgument("scan range is empty");
-  return SyncRead<ScanResult>(
-      *core_, client, deadline,
-      [this, lo, hi](size_t c, StoreBackend::ScanCb cb) {
+AsyncOp<ScanResult> Store::AsyncScan(Key lo, Key hi, size_t client,
+                                     const AsyncOptions& opts) {
+  if (lo > hi) {
+    // Normalized across backends: the edge systems reject an inverted
+    // range in proof verification; cloud-only would silently return
+    // nothing.
+    auto state = std::make_shared<AsyncOpState<ScanResult>>();
+    state->rt = &core_->backend->runtime();
+    state->gate = &core_->gate;
+    SettleOp<ScanResult>(
+        state, Status::InvalidArgument("scan range is empty"), ScanResult{});
+    return AsyncOp<ScanResult>(core_, state);
+  }
+  return IssueAsyncRead<ScanResult>(
+      core_, client, opts, [this, lo, hi](size_t c, StoreBackend::ScanCb cb) {
         core_->backend->Scan(c, lo, hi, std::move(cb));
       });
 }
 
-Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client,
-                                   SimTime deadline) {
-  return SyncRead<BlockRead>(
-      *core_, client, deadline,
-      [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
+AsyncOp<BlockRead> Store::AsyncReadBlock(BlockId bid, size_t client,
+                                         const AsyncOptions& opts) {
+  return IssueAsyncRead<BlockRead>(
+      core_, client, opts, [this, bid](size_t c, StoreBackend::ReadBlockCb cb) {
         core_->backend->ReadBlock(c, bid, std::move(cb));
       });
+}
+
+AsyncStats Store::async_stats() const { return core_->gate.Snapshot(); }
+
+Result<GetResult> Store::Get(Key key, size_t client, SimTime deadline) {
+  return SyncRead<GetResult>(*core_, deadline, [&] {
+    return AsyncGet(key, client);
+  });
+}
+
+Result<MultiGetResult> Store::MultiGet(const std::vector<Key>& keys,
+                                       size_t client, SimTime deadline) {
+  return SyncRead<MultiGetResult>(*core_, deadline, [&] {
+    return AsyncMultiGet(keys, client);
+  });
+}
+
+Result<ScanResult> Store::Scan(Key lo, Key hi, size_t client,
+                               SimTime deadline) {
+  return SyncRead<ScanResult>(*core_, deadline, [&] {
+    return AsyncScan(lo, hi, client);
+  });
+}
+
+Result<BlockRead> Store::ReadBlock(BlockId bid, size_t client,
+                                   SimTime deadline) {
+  return SyncRead<BlockRead>(*core_, deadline, [&] {
+    return AsyncReadBlock(bid, client);
+  });
 }
 
 namespace {
@@ -427,6 +544,7 @@ StoreStats Store::stats() const {
   Runtime& rt = core_->backend->runtime();
   s.transport = rt.transport().stats_snapshot();
   s.faults = rt.faults().stats();
+  s.async = core_->gate.Snapshot();
   return s;
 }
 

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/async.h"
 #include "api/backend.h"
 #include "api/options.h"
 #include "common/result.h"
@@ -31,11 +32,13 @@ namespace wedge {
 
 namespace api_internal {
 struct StoreCore;
-struct CommitState;
 }  // namespace api_internal
 
 /// Tracks one write through its two commit points. Handles share state
-/// with the issuing Store and stay valid after it is moved.
+/// with the issuing Store and stay valid after it is moved. A
+/// CommitHandle is the synchronous view over the same state an
+/// AsyncCommit wraps — `Put(...)` and `AsyncPut(...).WaitPhaseN()` are
+/// the same machinery.
 class CommitHandle {
  public:
   /// Pumps the simulator until Phase I commits (temporary, edge-local
@@ -54,14 +57,18 @@ class CommitHandle {
   bool phase1_done() const;
   bool phase2_done() const;
 
+  /// The asynchronous view of the same write (shared state): register
+  /// OnPhase1/OnPhase2 callbacks or Cancel without blocking.
+  AsyncCommit async() const { return AsyncCommit(core_, state_); }
+
  private:
   friend class Store;
   CommitHandle(std::shared_ptr<api_internal::StoreCore> core,
-               std::shared_ptr<api_internal::CommitState> state)
+               std::shared_ptr<api_internal::AsyncCommitState> state)
       : core_(std::move(core)), state_(std::move(state)) {}
 
   std::shared_ptr<api_internal::StoreCore> core_;
-  std::shared_ptr<api_internal::CommitState> state_;
+  std::shared_ptr<api_internal::AsyncCommitState> state_;
 };
 
 class Store {
@@ -84,6 +91,35 @@ class Store {
   /// Appends raw log entries. All three backends support log workloads:
   /// the baselines certify synchronously, so both phases commit together.
   CommitHandle Append(std::vector<Bytes> payloads, size_t client = 0);
+
+  // ------------------------------------------------------ async surface
+  //
+  // Non-blocking issue: the returned handle's completions fire on the
+  // runtime's executors (no pump-to-completion). Per-op deadlines and
+  // Cancel settle the handle early; StoreOptions::async_inflight_limit
+  // bounds admitted ops so a slow shard backpressures the issuer with
+  // ResourceExhausted instead of ballooning memory. The sync methods
+  // above are thin wrappers over these (issue + Wait).
+
+  AsyncCommit AsyncPut(Key key, Bytes value, size_t client = 0,
+                       const AsyncOptions& opts = {});
+  AsyncCommit AsyncPutBatch(const std::vector<std::pair<Key, Bytes>>& kvs,
+                            size_t client = 0, const AsyncOptions& opts = {});
+  AsyncCommit AsyncAppend(std::vector<Bytes> payloads, size_t client = 0,
+                          const AsyncOptions& opts = {});
+  AsyncOp<GetResult> AsyncGet(Key key, size_t client = 0,
+                              const AsyncOptions& opts = {});
+  AsyncOp<MultiGetResult> AsyncMultiGet(const std::vector<Key>& keys,
+                                        size_t client = 0,
+                                        const AsyncOptions& opts = {});
+  AsyncOp<ScanResult> AsyncScan(Key lo, Key hi, size_t client = 0,
+                                const AsyncOptions& opts = {});
+  AsyncOp<BlockRead> AsyncReadBlock(BlockId bid, size_t client = 0,
+                                    const AsyncOptions& opts = {});
+
+  /// Admission/lifecycle counters of the async surface (also included
+  /// in stats().async).
+  AsyncStats async_stats() const;
 
   // -------------------------------------------------------------- reads
 

@@ -16,6 +16,10 @@ constexpr size_t kBucketCount = 64 * kMinorCount;
 
 Histogram::Histogram() : buckets_(kBucketCount, 0) {}
 
+double Histogram::RelativeResolution() {
+  return 1.0 / static_cast<double>(kMinorCount);
+}
+
 size_t Histogram::BucketFor(int64_t value) {
   if (value < 0) value = 0;
   uint64_t v = static_cast<uint64_t>(value);

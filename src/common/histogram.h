@@ -24,6 +24,12 @@ class Histogram {
   /// Merges another histogram's samples into this one.
   void Merge(const Histogram& other);
 
+  /// Worst-case relative error of a recorded value (half the widest
+  /// bucket's relative span): 1/16 with the current 16-minor-bucket
+  /// layout. Benchmarks stamp it into their JSON schema so percentile
+  /// precision travels with the numbers.
+  static double RelativeResolution();
+
   uint64_t count() const { return count_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }

@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -38,6 +38,10 @@ enum class StatusCode : uint8_t {
   /// never arrived) and from kUnavailable (the runtime shut down or the
   /// simulation drained — the operation can never finish).
   kDeadlineExceeded = 14,
+  /// The caller cancelled the operation (AsyncOp::Cancel) before it
+  /// completed. The underlying request may still run to completion in
+  /// the deployment; only the handle's observation is abandoned.
+  kCancelled = 15,
 };
 
 /// Returns the canonical spelling of a code, e.g. "SecurityViolation".
@@ -96,6 +100,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -129,6 +136,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

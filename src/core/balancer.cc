@@ -140,6 +140,7 @@ bool AutoBalancer::AnyStreakBuilding() const {
 
 void AutoBalancer::Tick() {
   stats_.ticks++;
+  if (hooks_.signals) last_signals_ = hooks_.signals();
   const std::optional<Window> window = ReadWindow();
   if (!window.has_value()) return;  // fresh epoch: re-baseline only
   if (window->total < policy_.min_window_ops) return;  // no signal

@@ -1,5 +1,7 @@
 #include "core/client.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "lsmerkle/merge.h"
 
@@ -239,7 +241,7 @@ void WedgeClient::HandleAddResponse(NodeId from, const Envelope& env,
   if (pending.block_digests.empty()) pending.first_bid = resp->bid;
   pending.block_digests[resp->bid] = resp->block.Digest();
   pending.evidence[resp->bid] = env.raw;
-  write_by_bid_[resp->bid] = resp->req_id;
+  write_by_bid_[resp->bid].push_back(resp->req_id);
 
   if (!pending.remaining_entries.empty()) return;  // more blocks to come
 
@@ -269,7 +271,14 @@ void WedgeClient::ArmProofTimeout(SeqNum req_id, BlockId bid) {
     // with our signed evidence.
     for (const auto& [b, ev] : it->second.evidence) {
       RaiseDispute(DisputeKind::kAddMismatch, b, ev);
-      write_by_bid_.erase(b);
+      // Deregister only this write's interest: concurrent writes sharing
+      // the block keep waiting for its proof.
+      auto bit = write_by_bid_.find(b);
+      if (bit != write_by_bid_.end()) {
+        auto& reqs = bit->second;
+        reqs.erase(std::remove(reqs.begin(), reqs.end(), req_id), reqs.end());
+        if (reqs.empty()) write_by_bid_.erase(bit);
+      }
     }
     if (it->second.on_phase2) {
       it->second.on_phase2(
@@ -284,41 +293,44 @@ void WedgeClient::HandleBlockProof(const BlockProof& proof, SimTime now) {
   if (!proof.cert.Validate(*keystore_).ok() || proof.cert.edge != edge_) {
     return;
   }
-  // Writes waiting on this block.
+  // Writes waiting on this block — all of them: concurrent writes from
+  // this client share blocks, and one certification proof commits every
+  // write whose entries it covers.
   auto wit = write_by_bid_.find(proof.cert.bid);
   if (wit != write_by_bid_.end()) {
-    auto pit = pending_writes_.find(wit->second);
-    if (pit != pending_writes_.end()) {
+    const std::vector<SeqNum> reqs = std::move(wit->second);
+    write_by_bid_.erase(wit);
+    for (SeqNum req : reqs) {
+      auto pit = pending_writes_.find(req);
+      if (pit == pending_writes_.end()) continue;
       PendingWrite& pending = pit->second;
       auto dit = pending.block_digests.find(proof.cert.bid);
-      if (dit != pending.block_digests.end()) {
-        if (proof.cert.digest == dit->second) {
-          pending.block_digests.erase(dit);
-          pending.evidence.erase(proof.cert.bid);
-          if (pending.phase1_done && pending.block_digests.empty()) {
-            // Every involved block certified: Phase II commit.
-            stats_.phase2_commits++;
-            if (pending.on_phase2) {
-              pending.on_phase2(Status::OK(), proof.cert.bid, now);
-            }
-            pending_writes_.erase(pit);
-          }
-        } else {
-          // The cloud certified a different block for this bid: the edge
-          // lied to us at Phase I. Our signed evidence convicts it.
-          stats_.proof_mismatches++;
-          RaiseDispute(DisputeKind::kAddMismatch, proof.cert.bid,
-                       pending.evidence[proof.cert.bid]);
+      if (dit == pending.block_digests.end()) continue;
+      if (proof.cert.digest == dit->second) {
+        pending.block_digests.erase(dit);
+        pending.evidence.erase(proof.cert.bid);
+        if (pending.phase1_done && pending.block_digests.empty()) {
+          // Every involved block certified: Phase II commit.
+          stats_.phase2_commits++;
           if (pending.on_phase2) {
-            pending.on_phase2(
-                Status::MaliciousBehavior("certified digest mismatch"),
-                proof.cert.bid, now);
+            pending.on_phase2(Status::OK(), proof.cert.bid, now);
           }
           pending_writes_.erase(pit);
         }
+      } else {
+        // The cloud certified a different block for this bid: the edge
+        // lied to us at Phase I. Our signed evidence convicts it.
+        stats_.proof_mismatches++;
+        RaiseDispute(DisputeKind::kAddMismatch, proof.cert.bid,
+                     pending.evidence[proof.cert.bid]);
+        if (pending.on_phase2) {
+          pending.on_phase2(
+              Status::MaliciousBehavior("certified digest mismatch"),
+              proof.cert.bid, now);
+        }
+        pending_writes_.erase(pit);
       }
     }
-    write_by_bid_.erase(wit);
   }
   // Phase I reads waiting on this block.
   auto rit = read_by_bid_.find(proof.cert.bid);

@@ -221,7 +221,11 @@ class WedgeClient : public Endpoint {
   SeqNum next_entry_seq_ = 1;
 
   std::unordered_map<SeqNum, PendingWrite> pending_writes_;   // by req_id
-  std::unordered_map<BlockId, SeqNum> write_by_bid_;          // after Phase I
+  /// Writes awaiting a block's certification proof, by block id. A
+  /// vector, not a single req: concurrent writes from this client
+  /// (async surface) routinely share a block, and every one of them
+  /// Phase-II-commits on that block's proof.
+  std::unordered_map<BlockId, std::vector<SeqNum>> write_by_bid_;
   std::unordered_map<SeqNum, PendingRead> pending_reads_;     // by req_id
   std::unordered_map<BlockId, SeqNum> read_by_bid_;           // Phase I reads
   std::unordered_map<SeqNum, PendingGet> pending_gets_;

@@ -1,0 +1,120 @@
+// Open-loop arrival processes: when operations *want* to start,
+// independent of when the system manages to serve them.
+//
+// A closed loop issues the next op when the previous completes, so a
+// slow system quietly slows its own load generator — the measured
+// latencies stay flat while real clients would be queueing
+// (coordinated omission). An ArrivalSchedule fixes the intended start
+// times up front from an offered rate; the engine (workload/open_loop.h)
+// issues as close to those times as its lanes allow and measures every
+// op from its *intended* start.
+
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wedge {
+
+enum class ArrivalKind {
+  /// Evenly spaced: one arrival every 1/rate seconds.
+  kUniform,
+  /// Memoryless: exponential gaps with mean 1/rate — the standard
+  /// open-loop model (independent clients).
+  kPoisson,
+  /// Linearly interpolated rate from `rate` at the start to `rate_end`
+  /// at the horizon (Poisson gaps at the instantaneous rate).
+  kRamp,
+  /// Duty-cycled: `burst_factor` × rate during the first
+  /// `burst_duty` fraction of every `burst_period`, base rate
+  /// otherwise (Poisson gaps). IoT telemetry: quiet sensors that all
+  /// report at once.
+  kBurst,
+};
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Offered load, operations per second.
+  double rate = 1000.0;
+  /// kRamp only: the rate at the end of the horizon (0 = flat).
+  double rate_end = 0.0;
+  /// kBurst only: rate multiplier inside the duty window.
+  double burst_factor = 8.0;
+  SimTime burst_period = kSecond;
+  double burst_duty = 0.1;
+};
+
+/// Deterministic (by seed) stream of monotone non-decreasing absolute
+/// arrival times starting at `start`. `horizon` scales the kRamp
+/// interpolation; generation itself is unbounded — the caller stops
+/// drawing when Next() passes its window.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(ArrivalSpec spec, SimTime start, SimTime horizon,
+                  uint64_t seed)
+      : spec_(spec), start_(start), horizon_(horizon), rng_(seed),
+        next_(start) {}
+
+  /// Returns the next arrival's absolute time and advances.
+  SimTime Next() {
+    const SimTime at = next_;
+    const double rate = RateAt(at);
+    double gap_us;
+    if (spec_.kind == ArrivalKind::kUniform) {
+      gap_us = static_cast<double>(kSecond) / rate;
+    } else {
+      // Exponential gap at the instantaneous rate (for kRamp/kBurst
+      // this approximates the non-homogeneous Poisson process, exact
+      // while the rate is locally flat).
+      double u = rng_.NextDouble();
+      if (u >= 1.0) u = 0.9999999999;
+      gap_us = -std::log(1.0 - u) * static_cast<double>(kSecond) / rate;
+    }
+    SimTime gap = static_cast<SimTime>(gap_us);
+    if (gap < 1) gap = 1;  // strictly advancing, 1 us floor
+    next_ = at + gap;
+    return at;
+  }
+
+  /// Instantaneous offered rate at absolute time `t` (ops/sec, >= a
+  /// small positive floor so gaps stay finite).
+  double RateAt(SimTime t) const {
+    double r = spec_.rate;
+    switch (spec_.kind) {
+      case ArrivalKind::kUniform:
+      case ArrivalKind::kPoisson:
+        break;
+      case ArrivalKind::kRamp: {
+        if (spec_.rate_end > 0 && horizon_ > 0) {
+          double frac =
+              static_cast<double>(t - start_) / static_cast<double>(horizon_);
+          if (frac < 0) frac = 0;
+          if (frac > 1) frac = 1;
+          r = spec_.rate + (spec_.rate_end - spec_.rate) * frac;
+        }
+        break;
+      }
+      case ArrivalKind::kBurst: {
+        const SimTime period = spec_.burst_period > 0 ? spec_.burst_period : 1;
+        const SimTime phase = (t - start_) % period;
+        if (static_cast<double>(phase) <
+            spec_.burst_duty * static_cast<double>(period)) {
+          r = spec_.rate * spec_.burst_factor;
+        }
+        break;
+      }
+    }
+    return r > 1e-3 ? r : 1e-3;
+  }
+
+ private:
+  ArrivalSpec spec_;
+  SimTime start_;
+  SimTime horizon_;
+  Rng rng_;
+  SimTime next_;
+};
+
+}  // namespace wedge

@@ -64,11 +64,16 @@ class ClosedLoopDriver {
     if (batch_target_ == 0) batch_target_ = 1;
   }
 
-  /// Starts the loop; operations completing in [measure_start, end) are
-  /// recorded. The driver stops issuing at `end`.
+  /// Starts the loop; operations *started* (intended start when paced —
+  /// see WorkloadSpec::op_interval) in [measure_start, end) are
+  /// recorded, however late their completions land — recording by
+  /// completion time under-counted exactly the slow tail under
+  /// saturation (coordinated omission). The driver stops issuing at
+  /// `end`; the harness drains past it so stragglers still record.
   void Start(SimTime measure_start, SimTime end) {
     measure_start_ = measure_start;
     end_ = end;
+    next_intended_ = sim_->now();
     NextOp();
   }
 
@@ -92,12 +97,35 @@ class ClosedLoopDriver {
     return spec_.zipf_theta > 0 ? zipf_.Next() : keys_.Next();
   }
 
+  /// True when the op whose (intended) start is `started` belongs to
+  /// the measure window. Start-time based: a slow op started inside the
+  /// window records however late it completes — filtering on completion
+  /// time silently dropped exactly the saturated tail.
+  bool InWindow(SimTime started) const {
+    return started >= measure_start_ && started < end_;
+  }
+
   void NextOp() {
     if (sim_->now() >= end_) return;
+    if (spec_.op_interval > 0) {
+      if (sim_->now() < next_intended_) {
+        // Ahead of schedule: wait for the next intended start instead
+        // of issuing back-to-back.
+        sim_->ScheduleAfter(next_intended_ - sim_->now(),
+                            [this] { NextOp(); });
+        return;
+      }
+      // At or behind schedule: issue now, but stamp from the intended
+      // start — the queueing delay a real client would have seen is
+      // part of its latency (coordinated-omission-free recording).
+    }
+    const SimTime intended =
+        spec_.op_interval > 0 ? next_intended_ : sim_->now();
+    if (spec_.op_interval > 0) next_intended_ += spec_.op_interval;
     if (spec_.read_fraction > 0 && rng_.NextBool(spec_.read_fraction)) {
-      const SimTime started = sim_->now();
+      const SimTime started = intended;
       adapters_.read(NextKey(), [this, started](SimTime t) {
-        if (t >= measure_start_ && t < end_) {
+        if (InWindow(started)) {
           out_->read_latency.Record(t - started);
           out_->read_ops++;
         }
@@ -113,20 +141,22 @@ class ClosedLoopDriver {
       NextOp();
       return;
     }
-    const SimTime started = sim_->now();
+    // The flush's start is the intended start of the op that filled the
+    // batch (== now for the unpaced closed loop).
+    const SimTime started = intended;
     const size_t ops = buffer_.size();
     batches_issued_++;
     adapters_.write_batch(
         buffer_,
         [this, started, ops](SimTime t) {
-          if (t >= measure_start_ && t < end_) {
+          if (InWindow(started)) {
             out_->write_latency.Record(t - started);
             out_->write_ops += ops;
           }
           NextOp();
         },
         [this, started](SimTime t) {
-          if (t >= measure_start_ && t < end_) {
+          if (InWindow(started)) {
             out_->phase2_latency.Record(t - started);
           }
         });
@@ -146,6 +176,9 @@ class ClosedLoopDriver {
   size_t batch_target_ = 0;
   SimTime measure_start_ = 0;
   SimTime end_ = 0;
+  /// Intended start of the next op under pacing (WorkloadSpec::
+  /// op_interval > 0); unused in the pure closed loop.
+  SimTime next_intended_ = 0;
   uint64_t batches_issued_ = 0;
 };
 

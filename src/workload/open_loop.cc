@@ -1,0 +1,275 @@
+#include "workload/open_loop.h"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "workload/key_generator.h"
+
+namespace wedge {
+
+// Shared between the control-executor tick loop, the completion
+// callbacks (node executors under ThreadedRuntime), and the harvesting
+// caller. Held by shared_ptr everywhere so a straggling completion
+// after a drain timeout lands in live state.
+struct OpenLoopEngine::Shared {
+  Shared(Store* s, const OpenLoopSpec& sp, uint64_t seed)
+      : store(s),
+        rt(&s->runtime()),
+        spec(sp),
+        schedule(sp.arrival, rt->Now(), /*horizon=*/0, seed ^ 0x0a11),
+        rng(seed ^ 0x5eed),
+        keys(sp.workload.key_space, seed ^ 0xabcd),
+        zipf(sp.workload.key_space,
+             sp.workload.zipf_theta > 0 ? sp.workload.zipf_theta : 0.99,
+             seed ^ 0x1234) {}
+
+  Store* store;
+  Runtime* rt;
+  OpenLoopSpec spec;
+
+  // --- control-executor-only state (ticks are serialized there) ------
+  ArrivalSchedule schedule;
+  SimTime next_arrival = 0;
+  Rng rng;
+  UniformKeyGen keys;
+  ZipfianKeyGen zipf;
+  uint64_t next_logical = 0;  // round-robin logical client cursor
+  SimTime measure_start = 0;
+  SimTime end_issue = 0;
+  SimTime drain_deadline = 0;
+
+  // --- shared state, guarded by mu -----------------------------------
+  // Lock order: runtime completion lock -> mu (RunOnCompletion bodies
+  // and WaitUntil predicates both lock mu while the runtime holds its
+  // completion lock). Never issue a store op or call RunOnCompletion
+  // while holding mu.
+  std::mutex mu;
+  std::deque<SimTime> backlog;  // intended starts awaiting a free lane
+  uint64_t arrivals_win = 0;
+  uint64_t issued = 0;
+  uint64_t completed_win = 0;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+  uint64_t backlog_peak = 0;
+  uint64_t inflight_peak = 0;
+  size_t inflight = 0;         // issue -> client-visible completion
+  size_t p2_outstanding = 0;   // writes awaiting Phase II
+  bool ticks_done = false;
+  Histogram read_lat;
+  Histogram scan_lat;
+  Histogram p1_lat;
+  Histogram p2_lat;
+
+  Key NextKey() {
+    return spec.workload.zipf_theta > 0 ? zipf.Next() : keys.Next();
+  }
+};
+
+namespace {
+
+using Shared = OpenLoopEngine::Shared;
+
+/// Issues one async op for the arrival intended at `intended`. Runs on
+/// the control executor with mu NOT held; the lane (inflight slot) was
+/// already reserved by the tick loop.
+void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
+  const bool in_window =
+      intended >= sh->measure_start && intended < sh->end_issue;
+  // Logical population over physical slots: the engine models
+  // logical_clients distinct clients, each backed by one of the store's
+  // bounded physical client slots.
+  const size_t logical = sh->next_logical++ % sh->spec.logical_clients;
+  const size_t client = logical % sh->store->client_count();
+  AsyncOptions aopts;
+  aopts.deadline = sh->spec.op_deadline;
+
+  const double draw = sh->rng.NextDouble();
+  if (draw < sh->spec.scan_fraction) {
+    const Key lo = sh->NextKey();
+    const Key hi = lo + sh->spec.scan_span;
+    AsyncOp<ScanResult> op = sh->store->AsyncScan(lo, hi, client, aopts);
+    op.OnDone([sh, intended, in_window](const Status& s, const ScanResult& r) {
+      const SimTime at = s.ok() ? r.at : sh->rt->Now();
+      // RunOnCompletion runs the body synchronously (inline under sim,
+      // under the completion lock + wakeup under threads), so
+      // by-reference captures of these locals are safe.
+      sh->rt->RunOnCompletion([&] {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        sh->inflight--;
+        if (!s.ok()) {
+          sh->errors++;
+        } else if (in_window) {
+          sh->scan_lat.Record(at - intended);
+          sh->completed_win++;
+        }
+      });
+    });
+    return;
+  }
+  const bool is_read =
+      draw < sh->spec.scan_fraction + sh->spec.workload.read_fraction;
+  if (is_read) {
+    AsyncOp<GetResult> op = sh->store->AsyncGet(sh->NextKey(), client, aopts);
+    op.OnDone([sh, intended, in_window](const Status& s, const GetResult& r) {
+      const SimTime at = s.ok() ? r.at : sh->rt->Now();
+      sh->rt->RunOnCompletion([&] {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        sh->inflight--;
+        if (!s.ok()) {
+          sh->errors++;
+        } else if (in_window) {
+          sh->read_lat.Record(at - intended);
+          sh->completed_win++;
+        }
+      });
+    });
+    return;
+  }
+  // Write. Reserve the Phase II slot before issuing: the baselines
+  // settle both phases inline, so the decrement may run before AsyncPut
+  // returns.
+  {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->p2_outstanding++;
+  }
+  Bytes value(sh->spec.workload.value_size,
+              static_cast<uint8_t>(intended & 0xff));
+  AsyncCommit c =
+      sh->store->AsyncPut(sh->NextKey(), std::move(value), client, aopts);
+  c.OnPhase1([sh, intended, in_window](const Status& s, const Commit& cm) {
+    const SimTime at = s.ok() ? cm.at : sh->rt->Now();
+    sh->rt->RunOnCompletion([&] {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      sh->inflight--;  // lane released at the client-visible commit
+      if (!s.ok()) {
+        sh->errors++;
+      } else if (in_window) {
+        sh->p1_lat.Record(at - intended);
+        sh->completed_win++;
+      }
+    });
+  });
+  c.OnPhase2([sh, intended, in_window](const Status& s, const Commit& cm) {
+    const SimTime at = s.ok() ? cm.at : sh->rt->Now();
+    sh->rt->RunOnCompletion([&] {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      sh->p2_outstanding--;
+      if (s.ok() && in_window) sh->p2_lat.Record(at - intended);
+    });
+  });
+}
+
+/// One scheduler tick on the control executor: admit arrivals due since
+/// the last tick (shedding beyond max_backlog), issue while lanes are
+/// free, re-arm — or, once the window closed and the backlog emptied
+/// (or the drain deadline passed), publish ticks_done.
+void EngineTick(const std::shared_ptr<Shared>& sh) {
+  const SimTime now = sh->rt->Now();
+  std::vector<SimTime> due;
+  while (sh->next_arrival <= now && sh->next_arrival < sh->end_issue) {
+    due.push_back(sh->next_arrival);
+    sh->next_arrival = sh->schedule.Next();
+  }
+  std::vector<SimTime> issue_now;
+  {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (SimTime t : due) {
+      // Offered load counts every in-window arrival, shed or not.
+      if (t >= sh->measure_start && t < sh->end_issue) sh->arrivals_win++;
+      if (sh->backlog.size() >= sh->spec.max_backlog) {
+        sh->shed++;
+        continue;
+      }
+      sh->backlog.push_back(t);
+    }
+    if (sh->backlog.size() > sh->backlog_peak) {
+      sh->backlog_peak = sh->backlog.size();
+    }
+    while (!sh->backlog.empty() && sh->inflight < sh->spec.lanes) {
+      issue_now.push_back(sh->backlog.front());
+      sh->backlog.pop_front();
+      sh->inflight++;
+      if (sh->inflight > sh->inflight_peak) sh->inflight_peak = sh->inflight;
+      sh->issued++;
+    }
+  }
+  for (SimTime t : issue_now) IssueOne(sh, t);
+
+  bool more;
+  {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    more = now < sh->end_issue || !sh->backlog.empty();
+    if (more && now >= sh->drain_deadline) {
+      // Out of drain budget with a backlog left: count it as shed so
+      // offered vs achieved still reconcile, and stop.
+      sh->shed += sh->backlog.size();
+      sh->backlog.clear();
+      more = false;
+    }
+  }
+  if (more) {
+    sh->rt->ControlExecutor()->After(sh->spec.tick,
+                                     [sh] { EngineTick(sh); });
+  } else {
+    sh->rt->RunOnCompletion([&] {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      sh->ticks_done = true;
+    });
+  }
+}
+
+}  // namespace
+
+OpenLoopEngine::OpenLoopEngine(Store* store, OpenLoopSpec spec, uint64_t seed)
+    : store_(store), spec_(spec), seed_(seed) {}
+
+OpenLoopMetrics OpenLoopEngine::Run(SimTime warmup, SimTime measure,
+                                    SimTime drain) {
+  auto sh = std::make_shared<Shared>(store_, spec_, seed_);
+  const SimTime start = sh->rt->Now();
+  sh->measure_start = start + warmup;
+  sh->end_issue = sh->measure_start + measure;
+  sh->drain_deadline = sh->end_issue + drain;
+  sh->schedule =
+      ArrivalSchedule(spec_.arrival, start, warmup + measure, seed_ ^ 0x0a11);
+  sh->next_arrival = sh->schedule.Next();
+
+  sh->rt->ControlExecutor()->Post([sh] { EngineTick(sh); });
+
+  Shared* raw = sh.get();
+  const Status drained = sh->rt->WaitUntil(
+      warmup + measure + drain + 2 * kSecond, [raw] {
+        std::lock_guard<std::mutex> lock(raw->mu);
+        return raw->ticks_done && raw->inflight == 0 &&
+               raw->p2_outstanding == 0;
+      });
+
+  OpenLoopMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    m.read_latency = sh->read_lat;
+    m.scan_latency = sh->scan_lat;
+    m.phase1_latency = sh->p1_lat;
+    m.phase2_latency = sh->p2_lat;
+    m.arrivals = sh->arrivals_win;
+    m.issued = sh->issued;
+    m.completed = sh->completed_win;
+    m.errors = sh->errors;
+    m.shed = sh->shed;
+    m.backlog_peak = sh->backlog_peak;
+    m.inflight_peak = sh->inflight_peak;
+  }
+  m.drained = drained.ok();
+  m.measured_duration = measure;
+  const double sec = static_cast<double>(measure) / kSecond;
+  if (sec > 0) {
+    m.offered_rate = static_cast<double>(m.arrivals) / sec;
+    m.achieved_rate = static_cast<double>(m.completed) / sec;
+  }
+  return m;
+}
+
+}  // namespace wedge

@@ -1,0 +1,115 @@
+// OpenLoopEngine: the open-loop load generator over the async Store
+// surface.
+//
+// Arrival times come from an ArrivalSchedule (workload/arrival.h) and
+// are decoupled from completions: an op's latency is measured from its
+// *intended* start, so queueing delay caused by a saturated store shows
+// up in the histograms instead of silently slowing the generator
+// (coordinated omission). This is how the offered-vs-achieved curves of
+// fig13 find the throughput knee honestly.
+//
+// Scale model: `logical_clients` may be six figures — logical client i
+// maps onto physical slot (i % logical_clients) % store->client_count(),
+// so a 100k-client population multiplexes over the store's bounded
+// physical client slots. Physical concurrency is bounded by `lanes`
+// (ops admitted into the store at once) and memory by `max_backlog`
+// (intended arrivals queued for a free lane; excess is shed and
+// counted, never silently dropped).
+//
+// Attribution: writes record Phase I (edge ack, the client-visible
+// commit) and Phase II (cloud-certified) separately, both from the
+// intended start; reads and scans record their single completion. The
+// lane is released at the client-visible completion (Phase I for
+// writes); outstanding Phase II certifications are tracked separately
+// and drained before Run returns.
+//
+// Runs unchanged on SimRuntime (virtual time, deterministic by seed)
+// and ThreadedRuntime (wall time, real threads).
+
+#pragma once
+
+#include <cstdint>
+
+#include "api/store.h"
+#include "common/histogram.h"
+#include "workload/arrival.h"
+#include "workload/workload.h"
+
+namespace wedge {
+
+struct OpenLoopSpec {
+  ArrivalSpec arrival;
+  /// Key/value shape: read_fraction, value_size, key_space and
+  /// zipf_theta are honored. Batching fields are not — the engine
+  /// issues one async op per arrival; the store's own block building
+  /// aggregates underneath.
+  WorkloadSpec workload;
+  /// Fraction of all arrivals that are range scans ([k, k + scan_span]).
+  double scan_fraction = 0.0;
+  Key scan_span = 64;
+  /// Logical client population; multiplexed round-robin over the
+  /// store's physical client slots.
+  size_t logical_clients = 100000;
+  /// Physical concurrency bound: ops in flight (issue → client-visible
+  /// completion) at once.
+  size_t lanes = 64;
+  /// Intended arrivals queued for a free lane before the engine sheds
+  /// (bounded memory under overload; shed ops are counted).
+  size_t max_backlog = 1 << 16;
+  /// Scheduler granularity: arrivals due since the last tick are
+  /// admitted each tick.
+  SimTime tick = 5 * kMillisecond;
+  /// Per-op deadline handed to the async surface (0 = none).
+  SimTime op_deadline = 0;
+};
+
+struct OpenLoopMetrics {
+  /// All latencies are measured from the op's intended start
+  /// (omission-free). Microseconds (virtual or wall per the runtime).
+  Histogram read_latency;
+  Histogram scan_latency;
+  Histogram phase1_latency;  ///< writes: edge ack (client-visible commit)
+  Histogram phase2_latency;  ///< writes: cloud-certified
+
+  /// Arrivals whose intended start fell in the measure window
+  /// (including shed ones — this is the offered load).
+  uint64_t arrivals = 0;
+  uint64_t issued = 0;     ///< ops actually admitted into the store (all windows)
+  uint64_t completed = 0;  ///< in-window ops that reached their client-visible commit OK
+  uint64_t errors = 0;     ///< ops settling with a non-OK status (all windows)
+  uint64_t shed = 0;       ///< arrivals dropped at max_backlog or never issued
+  uint64_t backlog_peak = 0;
+  uint64_t inflight_peak = 0;
+
+  double offered_rate = 0;   ///< arrivals / measure window (ops/sec)
+  double achieved_rate = 0;  ///< completed / measure window (ops/sec)
+  SimTime measured_duration = 0;
+  /// False when Run's drain wait timed out with work still in flight
+  /// (counters above are still a consistent snapshot).
+  bool drained = true;
+};
+
+class OpenLoopEngine {
+ public:
+  /// The store must outlive the engine run (and any stragglers if Run
+  /// reports drained == false).
+  OpenLoopEngine(Store* store, OpenLoopSpec spec, uint64_t seed);
+
+  /// Generates arrivals for `warmup + measure`, records ops whose
+  /// intended start falls in [warmup, warmup + measure), then waits up
+  /// to `drain` past the window for in-flight ops (Phase II included)
+  /// to land. Blocks the caller; completions run on the store's
+  /// executors throughout.
+  OpenLoopMetrics Run(SimTime warmup, SimTime measure, SimTime drain);
+
+  /// Internal — the state shared between the tick loop, completion
+  /// callbacks, and the harvesting caller (defined in open_loop.cc).
+  struct Shared;
+
+ private:
+  Store* store_;
+  OpenLoopSpec spec_;
+  uint64_t seed_;
+};
+
+}  // namespace wedge

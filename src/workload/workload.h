@@ -60,6 +60,14 @@ struct WorkloadSpec {
   /// buffers ops_per_batch × shards per flush, so split sub-batches
   /// still fill blocks. No effect on unsharded stores.
   bool scale_batch_by_shards = true;
+  /// Per-driver pacing: with a positive interval each logical operation
+  /// has an *intended* start time (one every op_interval), the driver
+  /// waits when ahead of schedule, and — the coordinated-omission fix —
+  /// when the loop falls behind (a slow op backlogs the lane) the next
+  /// ops issue immediately but their latencies are measured from the
+  /// intended start, not the actual send. 0 (default) keeps the pure
+  /// closed loop: back-to-back issue, latency from actual send.
+  SimTime op_interval = 0;
 };
 
 /// Per-edge load/latency breakdown, recorded by the harness when the

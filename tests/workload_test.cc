@@ -204,6 +204,55 @@ TEST(DriverTest, StopsIssuingAtEnd) {
   EXPECT_NEAR(backend.writes, 10, 1);
 }
 
+// Coordinated-omission regression: against a stalled backend, a paced
+// driver must measure from the *intended* send time. The backend here
+// serves one 500 ms read at a time while the driver offers one read
+// every 10 ms, so op n queues behind n earlier ops: measured from the
+// intended send its latency grows by ~490 ms per op. Completion-time
+// stamping (the old bug) would report a flat 500 ms for every op —
+// hiding exactly the backlog the pacing exposes.
+TEST(DriverTest, PacedDriverMeasuresFromIntendedSend) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  backend.read_latency = 500 * kMillisecond;  // a stalled shard
+  WorkloadSpec spec;
+  spec.read_fraction = 1.0;
+  spec.op_interval = 10 * kMillisecond;
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, 5 * kSecond);
+  sim.Run();  // drain past the window so stragglers still record
+
+  // Issues at 0, 500 ms, 1000 ms, ... — 10 ops start inside the 5 s
+  // window, all intended in [0, 90 ms], all recorded (the last one
+  // completes at the window edge; start-time filtering keeps it).
+  EXPECT_EQ(metrics.read_ops, 10u);
+  // The first op saw the bare service time...
+  EXPECT_NEAR(static_cast<double>(metrics.read_latency.min()), 500.0 * 1000,
+              40000.0);
+  // ...but the backlogged tail accumulated queueing delay far beyond it.
+  EXPECT_GT(metrics.read_latency.max(), 2 * 500 * 1000);
+  EXPECT_GT(metrics.read_latency.max(), 4 * kSecond);
+}
+
+// Pacing when the system keeps up: ops issue on their intended grid and
+// latency stays at the service time (no queueing inflation).
+TEST(DriverTest, PacedDriverIdlesWhenAheadOfSchedule) {
+  Simulation sim(1);
+  FakeBackend backend{&sim};
+  WorkloadSpec spec;
+  spec.read_fraction = 1.0;
+  spec.op_interval = 10 * kMillisecond;  // service is 1 ms — never behind
+  RunMetrics metrics;
+  ClosedLoopDriver driver(&sim, backend.MakeAdapters(), spec, 9, &metrics);
+  driver.Start(0, kSecond);
+  sim.Run();
+
+  // One op per 10 ms, not one per 1 ms: the pacer held the loop back.
+  EXPECT_NEAR(static_cast<double>(metrics.read_ops), 100.0, 2.0);
+  EXPECT_NEAR(metrics.read_latency.Mean(), 1000.0, 100.0);
+}
+
 TEST(DriverTest, ThroughputComputation) {
   RunMetrics m;
   m.write_ops = 5000;
