@@ -26,6 +26,12 @@
 // split's post-split read throughput — without anyone calling
 // SplitShard.
 //
+// A fourth panel (auto-threaded) replays the autonomous cycle on the
+// threaded runtime: real OS threads and the wall clock, the same
+// shifting hotspot, zero operator calls — the structural acceptance
+// (split -> merge -> re-split, epoch >= 4) is enforced on both
+// runtimes.
+//
 // Usage:
 //   fig10_autobalance [--smoke] [--json PATH]
 //     --smoke  short measure window, faster policy clocks (CI).
@@ -34,10 +40,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness/runner.h"
 #include "bench/harness/table.h"
+#include "common/rng.h"
 
 using namespace wedge;
 
@@ -159,7 +167,135 @@ Point RunPanel(Panel panel, bool smoke) {
   return p;
 }
 
-void AppendJson(const std::string& path, const Point& p) {
+// ------------------- the same cycle on the threaded runtime ----------
+
+/// The auto panel again, on real OS threads and the wall clock: same
+/// shape (2 live shards on 3 slots, a hot range that jumps shards
+/// mid-run), zero operator calls. The sim-coupled harness cannot drive
+/// this one, so a closed loop pumps the facade directly and progress is
+/// read from Store::stats() snapshots (the thread-safe path). Returns
+/// the panel point; the structural acceptance in main() checks it like
+/// the sim auto panel.
+Point RunThreadedAutoPanel(bool smoke, RuntimeKind* rt_out) {
+  *rt_out = RuntimeKind::kThreaded;
+  const uint64_t span = smoke ? 8000 : 20000;
+  BalancerPolicy pol = Policy(/*smoke=*/true);  // the faster clocks: these
+  pol.tick_period = 250 * kMillisecond;         // are wall milliseconds now
+  pol.cooldown = kSecond;
+  pol.initial_delay = 500 * kMillisecond;
+
+  StoreOptions o;
+  o.WithBackend(BackendKind::kWedge)
+      .WithRuntime(RuntimeKind::kThreaded)
+      .WithSeed(1)
+      .WithClients(8)
+      .WithEdges(3)
+      .WithOpsPerBlock(40)
+      .WithLsm({10, 10, 100}, 50)
+      .WithProofTimeout(30 * kSecond)
+      .WithShards(2, ShardScheme::kRange, span)
+      .WithShardCapacity(3)
+      .WithAutoBalance(pol);
+  auto opened = Store::Open(o);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "fig10_autobalance: threaded Open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  Store store = std::move(*opened);
+
+  // Striped preload through the facade: balanced over both live shards,
+  // so it carries no split signal (same rationale as striped_preload).
+  {
+    const uint64_t step = 8;  // every 8th key; misses still route + heat
+    const size_t half = (span / step + 1) / 2;
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (uint64_t i = 0; i * step < span; ++i) {
+      const Key k = (i % 2 == 0 ? i / 2 : half + i / 2) * step;
+      kvs.emplace_back(k, Bytes(16, 0x11));
+      if (kvs.size() == 40) {
+        store.PutBatch(kvs).WaitPhase1();
+        kvs.clear();
+      }
+    }
+    if (!kvs.empty()) store.PutBatch(kvs).WaitPhase1();
+  }
+
+  Rng rng(7);
+  HotRange hot = HotAt(span, /*second=*/false);
+  uint64_t reads_total = 0;
+  uint64_t reads_post_shift = 0;
+  const SimTime t0 = store.now();
+
+  // Closed-loop burst + stats poll until `pred` holds or the wall
+  // budget runs out: 80% of reads on the hot range, a thin write stream
+  // so migrations always have fresh pairs to carry.
+  auto drive_until = [&](const std::function<bool(const StoreStats&)>& pred,
+                         SimTime budget, uint64_t* reads) -> bool {
+    const SimTime deadline = store.now() + budget;
+    while (store.now() < deadline) {
+      for (int i = 0; i < 30; ++i) {
+        const Key k = rng.NextBool(0.8)
+                          ? hot.lo + rng.NextBelow(hot.hi - hot.lo + 1)
+                          : rng.NextBelow(span);
+        const auto got = store.Get(k, static_cast<size_t>(i) % 8);
+        if ((got.ok() || got.status().IsNotFound()) && reads != nullptr) {
+          (*reads)++;
+        }
+      }
+      std::vector<std::pair<Key, Bytes>> kvs;
+      for (int i = 0; i < 8; ++i) {
+        const Key k = rng.NextBool(0.8)
+                          ? hot.lo + rng.NextBelow(hot.hi - hot.lo + 1)
+                          : rng.NextBelow(span);
+        kvs.emplace_back(k, Bytes(16, 0x22));
+      }
+      store.PutBatch(kvs).WaitPhase1();
+      if (pred(store.stats())) return true;
+    }
+    return pred(store.stats());
+  };
+
+  // Phase 1: the hotspot sits in shard 0's slice until the balancer
+  // splits it.
+  const bool split1 = drive_until(
+      [](const StoreStats& s) { return s.balancer.auto_splits >= 1; },
+      20 * kSecond, &reads_total);
+  if (!split1) {
+    std::fprintf(stderr,
+                 "fig10_autobalance: threaded auto split did not trigger\n");
+  }
+
+  // The shift: the hot range jumps to the middle of shard 1's slice.
+  // The cooled halves must merge (reclaiming the third slot) before the
+  // newly hot shard can split onto it.
+  hot = HotAt(span, /*second=*/true);
+  drive_until(
+      [](const StoreStats& s) {
+        return s.balancer.auto_splits >= 2 && s.balancer.auto_merges >= 1 &&
+               s.epoch >= 4;
+      },
+      40 * kSecond, &reads_post_shift);
+  reads_total += reads_post_shift;
+
+  const double elapsed_s = static_cast<double>(store.now() - t0) / kSecond;
+  const StoreStats fin = store.stats();
+  Point p;
+  p.panel = "auto-threaded";
+  p.kops = elapsed_s > 0 ? static_cast<double>(reads_total) / elapsed_s / 1000.0
+                         : 0;
+  p.post_shift_read_kops = p.kops;  // no common window; closed-loop rate
+  p.epoch = fin.epoch;
+  p.live_shards = fin.live_shards;
+  p.auto_splits = fin.balancer.auto_splits;
+  p.auto_merges = fin.balancer.auto_merges;
+  p.pairs_migrated = fin.resharding.pairs_migrated;
+  p.writes_parked = fin.router.writes_parked;
+  return p;
+}
+
+void AppendJson(const std::string& path, const Point& p,
+                RuntimeKind rt = RuntimeKind::kSim) {
   if (path.empty()) return;
   FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
@@ -167,7 +303,7 @@ void AppendJson(const std::string& path, const Point& p) {
     return;
   }
   std::fprintf(f, "{");
-  AppendRuntimeStampJson(f);
+  AppendRuntimeStampJson(f, rt);
   std::fprintf(f,
                "\"bench\": \"fig10_autobalance\", \"panel\": \"%s\", "
                "\"backend\": \"wedge\", \"kops\": %.3f, \"read_ms\": %.3f, "
@@ -231,6 +367,11 @@ int main(int argc, char** argv) {
   PrintPoint(t, aut);
   AppendJson(json, aut);
 
+  RuntimeKind threaded_rt;
+  const Point thr = RunThreadedAutoPanel(smoke, &threaded_rt);
+  PrintPoint(t, thr);
+  AppendJson(json, thr, threaded_rt);
+
   if (manual.post_shift_read_kops > 0) {
     std::printf(
         "Post-shift-window aggregate read throughput: static %.2f, "
@@ -243,15 +384,21 @@ int main(int argc, char** argv) {
   // The structural acceptance: the autonomous lifecycle must have run a
   // full split -> merge -> re-split cycle inside the 3-slot capacity
   // (the second split is only possible because the merge reclaimed a
-  // slot) with no operator calls.
-  if (aut.auto_splits < 2 || aut.auto_merges < 1 || aut.epoch < 4) {
-    std::fprintf(stderr,
-                 "fig10_autobalance: the autonomous lifecycle did not "
-                 "complete (splits %llu, merges %llu, epoch %llu)\n",
-                 static_cast<unsigned long long>(aut.auto_splits),
-                 static_cast<unsigned long long>(aut.auto_merges),
-                 static_cast<unsigned long long>(aut.epoch));
-    return 1;
+  // slot) with no operator calls — on BOTH runtimes.
+  for (const auto& [name, point] :
+       {std::pair<const char*, const Point*>{"sim", &aut},
+        std::pair<const char*, const Point*>{"threaded", &thr}}) {
+    if (point->auto_splits < 2 || point->auto_merges < 1 ||
+        point->epoch < 4) {
+      std::fprintf(stderr,
+                   "fig10_autobalance: the autonomous lifecycle did not "
+                   "complete on the %s runtime (splits %llu, merges %llu, "
+                   "epoch %llu)\n",
+                   name, static_cast<unsigned long long>(point->auto_splits),
+                   static_cast<unsigned long long>(point->auto_merges),
+                   static_cast<unsigned long long>(point->epoch));
+      return 1;
+    }
   }
   return 0;
 }

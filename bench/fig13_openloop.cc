@@ -8,10 +8,13 @@
 // completions on the store's executors, latency measured from the
 // *intended* start — and reports three things the closed loops cannot:
 //
-//  (a) knee: the offered-load sweep on both runtimes. Below the knee
-//      achieved tracks offered; past it the gap opens and queueing
-//      delay floods the (omission-free) histograms. The knee is the
-//      store's honest capacity.
+//  (a) knee: a single ramp-to-failure pass on both runtimes. The
+//      arrival rate ramps linearly from below capacity to past it
+//      (ArrivalKind::kRamp); the engine samples offered vs achieved per
+//      interval, and the knee is read off the ramp — the highest
+//      sampled offered rate still achieved within 10% — in one run
+//      instead of a fixed-rate sweep. Past the knee the gap opens and
+//      queueing delay floods the (omission-free) histograms.
 //  (b) async_vs_sync: at equal offered load, the async surface (many
 //      lanes in flight) vs a synchronous pump-to-completion caller
 //      (one op in flight, the pre-async facade). Same schedule, same
@@ -85,8 +88,8 @@ OpenLoopMetrics RunEnginePoint(RuntimeKind rt, const OpenLoopSpec& spec,
   return engine.Run(cfg.warmup, MeasureFor(cfg, rt), cfg.drain);
 }
 
-void AppendKneeJson(const BenchConfig& cfg, RuntimeKind rt, double rate,
-                    const OpenLoopMetrics& m) {
+void AppendRampJson(const BenchConfig& cfg, RuntimeKind rt, double rate_lo,
+                    double rate_hi, const OpenLoopMetrics& m, double knee) {
   if (cfg.json.empty()) return;
   FILE* f = std::fopen(cfg.json.c_str(), "a");
   if (f == nullptr) return;
@@ -96,48 +99,64 @@ void AppendKneeJson(const BenchConfig& cfg, RuntimeKind rt, double rate,
   AppendLatencyHistogramJson(f, "phase1_latency", m.phase1_latency);
   AppendLatencyHistogramJson(f, "phase2_latency", m.phase2_latency);
   std::fprintf(f,
-               "\"bench\": \"fig13_openloop\", \"panel\": \"knee\", "
-               "\"rate\": %.1f, \"offered\": %.1f, \"achieved\": %.1f, "
-               "\"shed\": %llu, \"errors\": %llu, \"backlog_peak\": %llu, "
-               "\"inflight_peak\": %llu, \"drained\": %s}\n",
-               rate, m.offered_rate, m.achieved_rate,
+               "\"bench\": \"fig13_openloop\", \"panel\": \"knee_ramp\", "
+               "\"rate_start\": %.1f, \"rate_end\": %.1f, \"knee\": %.1f, "
+               "\"offered\": %.1f, \"achieved\": %.1f, \"shed\": %llu, "
+               "\"errors\": %llu, \"backlog_peak\": %llu, "
+               "\"inflight_peak\": %llu, \"drained\": %s, \"samples\": [",
+               rate_lo, rate_hi, knee, m.offered_rate, m.achieved_rate,
                static_cast<unsigned long long>(m.shed),
                static_cast<unsigned long long>(m.errors),
                static_cast<unsigned long long>(m.backlog_peak),
                static_cast<unsigned long long>(m.inflight_peak),
                m.drained ? "true" : "false");
+  for (size_t i = 0; i < m.samples.size(); i++) {
+    const RampSample& rs = m.samples[i];
+    std::fprintf(f, "%s{\"t_ms\": %.1f, \"offered\": %.1f, \"achieved\": %.1f}",
+                 i == 0 ? "" : ", ",
+                 static_cast<double>(rs.t_start) / kMillisecond, rs.offered,
+                 rs.achieved);
+  }
+  std::fprintf(f, "]}\n");
   std::fclose(f);
 }
 
-/// Sweeps offered load on one runtime; returns the knee — the highest
-/// offered rate still achieved within 10%.
-double RunKneePanel(RuntimeKind rt, const std::vector<double>& rates,
-                    const BenchConfig& cfg, uint64_t* total_ops) {
-  Banner(std::string("(a) Offered-load sweep, ") +
-         std::string(RuntimeKindToString(rt)) + " runtime");
-  TablePrinter t({"rate", "offered", "achieved", "shed", "p50_read_ms",
-                  "p99_read_ms", "p50_p1_ms", "drained"});
+/// One ramp-to-failure pass on one runtime: the arrival rate climbs
+/// linearly from `rate_lo` (comfortably below capacity) to `rate_hi`
+/// (past it) while the engine samples offered vs achieved per interval.
+/// Returns the knee — the highest sampled offered rate still achieved
+/// within 10% — from this single run.
+double RunRampKneePanel(RuntimeKind rt, double rate_lo, double rate_hi,
+                        const BenchConfig& cfg, uint64_t* total_ops) {
+  Banner(std::string("(a) Ramp-to-failure knee, ") +
+         std::string(RuntimeKindToString(rt)) + " runtime (one pass, " +
+         Fmt(rate_lo, 0) + " -> " + Fmt(rate_hi, 0) + " ops/s)");
+  OpenLoopSpec spec = MulticlientMixed(rate_lo, cfg.knee_logical_clients);
+  spec.workload.key_space = 1000;
+  spec.lanes = 64;
+  spec.arrival.kind = ArrivalKind::kRamp;
+  spec.arrival.rate = rate_lo;
+  spec.arrival.rate_end = rate_hi;
+  const SimTime measure = MeasureFor(cfg, rt);
+  spec.sample_interval = measure / 10;
+
+  const OpenLoopMetrics m = RunEnginePoint(rt, spec, cfg, 11);
+
+  TablePrinter t({"t_ms", "offered", "achieved", "ratio"});
   t.PrintHeader();
-  double knee = 0;
-  for (double rate : rates) {
-    OpenLoopSpec spec = MulticlientMixed(rate, cfg.knee_logical_clients);
-    spec.workload.key_space = 1000;
-    spec.lanes = 64;
-    const OpenLoopMetrics m = RunEnginePoint(rt, spec, cfg, 11);
-    t.PrintRow({Fmt(rate, 0), Fmt(m.offered_rate, 1), Fmt(m.achieved_rate, 1),
-                std::to_string(m.shed),
-                Fmt(static_cast<double>(m.read_latency.Median()) / 1000.0, 2),
-                Fmt(static_cast<double>(m.read_latency.P99()) / 1000.0, 2),
-                Fmt(static_cast<double>(m.phase1_latency.Median()) / 1000.0,
-                    2),
-                m.drained ? "yes" : "no"});
-    AppendKneeJson(cfg, rt, rate, m);
-    *total_ops += m.completed;
-    if (m.achieved_rate >= 0.9 * m.offered_rate && m.offered_rate > 0) {
-      knee = rate;
-    }
+  for (const RampSample& rs : m.samples) {
+    const double ratio = rs.offered > 0 ? rs.achieved / rs.offered : 1.0;
+    t.PrintRow({Fmt(static_cast<double>(rs.t_start) / kMillisecond, 0),
+                Fmt(rs.offered, 1), Fmt(rs.achieved, 1), Fmt(ratio, 2)});
   }
-  std::printf("knee (last rate achieved within 10%%): ~%.0f ops/s\n", knee);
+  const double knee = FindKneeRate(m.samples, 0.9);
+  std::printf(
+      "knee (highest sampled offered rate achieved within 10%%): "
+      "~%.0f ops/s; p50 read %.2f ms, p99 read %.2f ms\n",
+      knee, static_cast<double>(m.read_latency.Median()) / 1000.0,
+      static_cast<double>(m.read_latency.P99()) / 1000.0);
+  AppendRampJson(cfg, rt, rate_lo, rate_hi, m, knee);
+  *total_ops += m.completed;
   return knee;
 }
 
@@ -346,14 +365,13 @@ int main(int argc, char** argv) {
                    : "Fig 13: open-loop offered-load sweeps");
 
   uint64_t total_ops = 0;
-  const std::vector<double> sim_rates =
-      cfg.smoke ? std::vector<double>{100, 250}
-                : std::vector<double>{100, 200, 300, 400, 500, 700};
-  const std::vector<double> threaded_rates =
-      cfg.smoke ? std::vector<double>{300}
-                : std::vector<double>{200, 500, 1000, 2000};
-  RunKneePanel(RuntimeKind::kSim, sim_rates, cfg, &total_ops);
-  RunKneePanel(RuntimeKind::kThreaded, threaded_rates, cfg, &total_ops);
+  // One ramp pass per runtime replaces the old fixed-rate sweep: the
+  // ramp must start below capacity and end past it for the knee to be
+  // inside the sampled range.
+  RunRampKneePanel(RuntimeKind::kSim, 100, cfg.smoke ? 400 : 800, cfg,
+                   &total_ops);
+  RunRampKneePanel(RuntimeKind::kThreaded, 200, cfg.smoke ? 800 : 2500, cfg,
+                   &total_ops);
 
   RunAsyncVsSync(RuntimeKind::kSim, cfg.smoke ? 200.0 : 300.0, cfg,
                  &total_ops);

@@ -227,12 +227,18 @@ class WedgeBackend : public StoreBackend {
     });
   }
 
+  // The verifier cache is client-owned, single-threaded state: these
+  // maintenance hops ride the same Invoke marshaling as the data ops,
+  // so an epoch install running on the control worker never races a
+  // verification in flight on the client's executor.
   void ResizeVerifierCache(size_t client,
                            const VerifierCache::Limits& limits) override {
-    d_.client(client).ResizeVerifierCache(limits);
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, limits] { c.ResizeVerifierCache(limits); });
   }
   void InvalidateVerifierRange(size_t client, Key lo, Key hi) override {
-    d_.client(client).InvalidateVerifierRange(lo, hi);
+    WedgeClient& c = d_.client(client);
+    c.Invoke([&c, lo, hi] { c.InvalidateVerifierRange(lo, hi); });
   }
 
  private:
@@ -302,12 +308,16 @@ class EdgeBaselineBackend : public StoreBackend {
     });
   }
 
+  // Same marshaling rationale as WedgeBackend: the cache lives on the
+  // client's serialized executor.
   void ResizeVerifierCache(size_t client,
                            const VerifierCache::Limits& limits) override {
-    d_.client(client).ResizeVerifierCache(limits);
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, limits] { c.ResizeVerifierCache(limits); });
   }
   void InvalidateVerifierRange(size_t client, Key lo, Key hi) override {
-    d_.client(client).InvalidateVerifierRange(lo, hi);
+    EbClient& c = d_.client(client);
+    c.Invoke([&c, lo, hi] { c.InvalidateVerifierRange(lo, hi); });
   }
 
  private:

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -127,7 +128,8 @@ struct StoreOptions {
   /// time, CostModel charging, bit-identical runs; RuntimeKind::kThreaded
   /// runs every edge and the cloud on its own OS thread with clients
   /// multiplexed over a driver pool — wall-clock time, real crypto, no
-  /// cost model. Resharding and WithAutoBalance are sim-only.
+  /// cost model. Resharding and WithAutoBalance run on both: live
+  /// migration gates on explicit write quiescence, not virtual time.
   StoreOptions& WithRuntime(RuntimeKind kind) {
     deploy.runtime.kind = kind;
     return *this;
@@ -135,6 +137,37 @@ struct StoreOptions {
   /// Full runtime knob surface (driver pool width, inbox capacity).
   StoreOptions& WithRuntimeConfig(const RuntimeConfig& config) {
     deploy.runtime = config;
+    return *this;
+  }
+  /// WAN shaping under RuntimeKind::kThreaded: every cross-Dc message
+  /// (and socket frame) is delayed by the matrix's one-way latency for
+  /// the (sender Dc, receiver Dc) link, plus up to `jitter_frac` of it.
+  /// LatencyMatrix::Paper() reproduces the paper's five-region geography
+  /// on real threads. Implies WithRuntime(kThreaded) takes effect — the
+  /// simulator has its own SimNetwork latency model and ignores this.
+  StoreOptions& WithWan(const LatencyMatrix& matrix,
+                        double jitter_frac = 0.0) {
+    deploy.runtime.wan.enabled = true;
+    deploy.runtime.wan.matrix = matrix;
+    deploy.runtime.wan.jitter_frac = jitter_frac;
+    return *this;
+  }
+  /// Routes every message through SocketTransport's real TCP framing
+  /// (see src/runtime/socket_transport.h). With no arguments the
+  /// process self-connects over loopback — same in-process topology,
+  /// every frame on a real socket. A hub process (the cloud) sets
+  /// `listen_port`; a spoke dials `connect_host:connect_port`. All
+  /// processes of one deployment must share `secret_seed` — it derives
+  /// the link MAC key. Requires RuntimeKind::kThreaded.
+  StoreOptions& WithSocketTransport(uint16_t listen_port = 0,
+                                    std::string connect_host = {},
+                                    uint16_t connect_port = 0,
+                                    uint64_t secret_seed = 0) {
+    deploy.runtime.socket.enabled = true;
+    deploy.runtime.socket.listen_port = listen_port;
+    deploy.runtime.socket.connect_host = std::move(connect_host);
+    deploy.runtime.socket.connect_port = connect_port;
+    deploy.runtime.socket.secret_seed = secret_seed;
     return *this;
   }
   /// Key-partitions the store across `n` shards (one per edge node),

@@ -70,11 +70,14 @@ ShardRouter::ShardRouter(std::unique_ptr<StoreBackend> inner,
       client_epochs_(logical_clients, table_->epoch()) {
   // Migration state machines run on the runtime's control executor:
   // inline simulation events under SimRuntime, the control worker thread
-  // under ThreadedRuntime (where the operator entry points refuse before
-  // reaching the coordinator — see SplitShard below).
+  // under ThreadedRuntime (the operator entry points below post their
+  // bodies there, so coordinator state stays control-confined on every
+  // runtime).
   coordinator_ = std::make_unique<ReshardingCoordinator>(
       inner_->runtime().ControlExecutor(), table_, this, resharding);
   stats_.ops_per_shard.assign(table_->capacity(), 0);
+  write_gauges_.resize(table_->capacity());
+  for (auto& g : write_gauges_) g = std::make_shared<WriteGauge>();
   load_ = std::make_shared<ShardLoadStats>();
   load_->signals.Resize(table_->capacity());
   if (balancer.enabled) {
@@ -159,6 +162,7 @@ void ShardRouter::PutBatch(size_t client,
   // under the then-current owner. Routing runs under mu_; the inner
   // sub-calls are issued after it is released.
   std::map<size_t, std::vector<std::pair<Key, Bytes>>> by_shard;
+  std::map<size_t, std::shared_ptr<WriteGauge>> gauges;
   std::vector<std::pair<Key, Bytes>> parked;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -177,11 +181,24 @@ void ShardRouter::PutBatch(size_t client,
       // closure).
       RefreshEpochLocked(client);
     }
+    // Gauge each involved shard in the same critical section that routed
+    // the batch: a fence swapping the gauge either happens before this
+    // routing (the write counts on the fresh gauge) or sees the count it
+    // must wait out. The sub-batch holds its gauge until Phase I.
+    for (const auto& [shard, sub] : by_shard) {
+      (void)sub;
+      write_gauges_[shard]->Add();
+      gauges[shard] = write_gauges_[shard];
+    }
   }
   if (by_shard.empty() && parked.empty()) {
     // Empty batch: keep the unsharded contract (one call, to the logical
     // client's home slot) rather than inventing a zero-call commit.
-    by_shard[client % slots] = {};
+    const size_t home = client % slots;
+    by_shard[home] = {};
+    std::lock_guard<std::mutex> lock(mu_);
+    write_gauges_[home]->Add();
+    gauges[home] = write_gauges_[home];
   }
 
   auto p1 = std::make_shared<PhaseJoin>();
@@ -189,7 +206,8 @@ void ShardRouter::PutBatch(size_t client,
   p1->waiting = p2->waiting = by_shard.size() + (parked.empty() ? 0 : 1);
 
   auto issue = [this, client, slots, p1, p2, on_phase1, on_phase2](
-                   size_t shard, std::vector<std::pair<Key, Bytes>> sub) {
+                   size_t shard, std::vector<std::pair<Key, Bytes>> sub,
+                   std::shared_ptr<WriteGauge> gauge) {
     const size_t phys = PhysicalClient(client, shard);
     if (!inner_->EdgeReachable(phys)) {
       // Writes cannot be cloud-served (only the owning edge holds the
@@ -205,6 +223,7 @@ void ShardRouter::PutBatch(size_t client,
       const SimTime now = runtime().Now();
       RecordPhase(p1.get(), shard, down, 0, now, on_phase1);
       RecordPhase(p2.get(), shard, down, 0, now, on_phase2);
+      gauge->Done();  // failed fast — resolved for quiescence purposes
       return;
     }
     {
@@ -218,10 +237,12 @@ void ShardRouter::PutBatch(size_t client,
     }
     inner_->PutBatch(
         phys, sub,
-        [p1, shard, slots, on_phase1](const Status& st, BlockId bid,
-                                      SimTime t) {
+        [p1, shard, slots, on_phase1, gauge = std::move(gauge)](
+            const Status& st, BlockId bid, SimTime t) {
           RecordPhase(p1.get(), shard, st, GlobalBlockId(bid, shard, slots),
                       t, on_phase1);
+          gauge->Done();  // Phase I reached: this write no longer blocks
+                          // a fence's quiescence gate
         },
         [p2, shard, slots, on_phase2](const Status& st, BlockId bid,
                                       SimTime t) {
@@ -230,24 +251,34 @@ void ShardRouter::PutBatch(size_t client,
         });
   };
 
-  for (auto& [shard, sub] : by_shard) issue(shard, std::move(sub));
+  for (auto& [shard, sub] : by_shard) {
+    issue(shard, std::move(sub), std::move(gauges[shard]));
+  }
 
   if (!parked.empty()) {
     // The parked portion joins as one unit; when the fence lifts it
     // re-splits under the then-current table (a completed split divides
     // it between source and destination), widening the joins in place
-    // before any of its sub-calls can resolve. Fences only exist while a
-    // migration is in flight, which is sim-only — so the flush closure
-    // runs on the single simulation thread.
+    // before any of its sub-calls can resolve. LiftFence runs on the
+    // coordinator's control executor, so the flush closure routes under
+    // mu_ like any live batch and gauges its sub-batches at flush time
+    // (on the post-swap gauges — these writes are post-fence by
+    // definition).
     std::lock_guard<std::mutex> lock(mu_);
     stats_.writes_parked++;
     parked_.push_back([this, client, parked = std::move(parked), p1, p2,
                        issue]() {
       std::map<size_t, std::vector<std::pair<Key, Bytes>>> by;
+      std::map<size_t, std::shared_ptr<WriteGauge>> flush_gauges;
       {
         std::lock_guard<std::mutex> route_lock(mu_);
         for (const auto& kv : parked) {
           by[RouteKeyLocked(client, kv.first)].push_back(kv);
+        }
+        for (const auto& [shard, sub] : by) {
+          (void)sub;
+          write_gauges_[shard]->Add();
+          flush_gauges[shard] = write_gauges_[shard];
         }
       }
       {
@@ -258,7 +289,9 @@ void ShardRouter::PutBatch(size_t client,
         std::lock_guard<std::mutex> p2_lock(p2->mu);
         p2->waiting += by.size() - 1;
       }
-      for (auto& [shard, sub] : by) issue(shard, std::move(sub));
+      for (auto& [shard, sub] : by) {
+        issue(shard, std::move(sub), std::move(flush_gauges[shard]));
+      }
     });
   }
 }
@@ -437,35 +470,32 @@ void ShardRouter::ReadBlock(size_t client, BlockId bid, ReadBlockCb cb) {
 }
 
 // -------------------------------------------------------------- resharding
-
-bool ShardRouter::RefuseIfThreaded(const SplitCb& cb) {
-  if (runtime().kind() != RuntimeKind::kThreaded) return false;
-  // Live migration depends on deterministic drain windows and an
-  // epoch-install point that is atomic with respect to routing — both
-  // properties of the single-threaded simulation. Under real threads the
-  // shard map is fixed at Open.
-  if (cb) {
-    cb(Status::FailedPrecondition(
-           "resharding is sim-only: live migration requires the "
-           "deterministic SimRuntime (ownership is fixed under "
-           "RuntimeKind::kThreaded)"),
-       SplitReport{}, runtime().Now());
-  }
-  return true;
-}
+//
+// The operator entry points post their bodies onto the runtime's control
+// executor — inline under the simulator (identical schedules), the
+// control worker under ThreadedRuntime — so the coordinator's state
+// machine runs control-confined on every runtime. The balancer's hooks
+// already run there, so manual and autonomous migrations serialize
+// naturally against the single-in-flight rule.
 
 void ShardRouter::SplitShard(size_t shard, SplitCb cb) {
-  if (RefuseIfThreaded(cb)) return;
-  coordinator_->SplitShard(shard, std::move(cb));
+  runtime().ControlExecutor()->Post([this, shard, cb = std::move(cb)]() {
+    coordinator_->SplitShard(shard, std::move(cb));
+  });
 }
 
 void ShardRouter::MergeShards(size_t shard, SplitCb cb) {
-  if (RefuseIfThreaded(cb)) return;
-  coordinator_->MergeShards(shard, std::move(cb));
+  runtime().ControlExecutor()->Post([this, shard, cb = std::move(cb)]() {
+    coordinator_->MergeShards(shard, std::move(cb));
+  });
 }
 
 void ShardRouter::Rebalance(SplitCb cb) {
-  if (RefuseIfThreaded(cb)) return;
+  runtime().ControlExecutor()->Post(
+      [this, cb = std::move(cb)]() { RebalanceOnControl(std::move(cb)); });
+}
+
+void ShardRouter::RebalanceOnControl(SplitCb cb) {
   if (!table_->splittable()) {
     // Delegate for the coordinator's precise refusal.
     coordinator_->SplitShard(0, std::move(cb));
@@ -528,11 +558,24 @@ void ShardRouter::ImportPairs(size_t shard, std::vector<KvPair> pairs,
       });
 }
 
-void ShardRouter::FenceRange(Key lo, Key hi) {
-  std::lock_guard<std::mutex> lock(mu_);
-  fence_active_ = true;
-  fence_lo_ = lo;
-  fence_hi_ = hi;
+void ShardRouter::FenceRange(size_t source, Key lo, Key hi,
+                             std::function<void()> quiesced) {
+  // Raise the fence and swap the source's gauge in one routing critical
+  // section: every write routed before the swap counts on `old` (the
+  // set quiescence waits out); every later one either parks on the
+  // fence or counts on the fresh gauge. Arm fires `quiesced` when the
+  // last pre-fence write reaches Phase I — immediately, outside mu_,
+  // when none are in flight.
+  std::shared_ptr<WriteGauge> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fence_active_ = true;
+    fence_lo_ = lo;
+    fence_hi_ = hi;
+    old = std::move(write_gauges_[source]);
+    write_gauges_[source] = std::make_shared<WriteGauge>();
+  }
+  old->Arm(std::move(quiesced));
 }
 
 void ShardRouter::LiftFence() {

@@ -77,6 +77,61 @@ struct ShardLoadStats {
   ShardSignals signals;
 };
 
+/// Counts the writes in flight against one shard between routing and
+/// their Phase-I commit (or fast failure), so a migration fence can wait
+/// for *explicit* quiescence instead of guessing with a drain timer.
+/// FenceRange swaps a fresh gauge into the routing table and Arms the
+/// old one: post-fence writes count on the new gauge, and the armed
+/// callback fires exactly when the last pre-fence write resolves — on
+/// whatever thread that completion lands (the coordinator re-posts).
+/// Writes hold the gauge by shared_ptr, so a completion landing after
+/// the fence (or after router teardown) still balances the right count.
+class WriteGauge {
+ public:
+  /// One write routed to the shard. Called under the router's routing
+  /// lock, in the same critical section that picked the shard — a
+  /// concurrent fence either sees the increment or swaps first (and the
+  /// write counts on the replacement gauge it routed under).
+  void Add() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+  /// The write reached Phase I (or failed fast). Fires the armed
+  /// callback when this was the last one.
+  void Done() {
+    std::function<void()> fire;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--count_ == 0 && armed_) {
+        fire = std::move(cb_);
+        armed_ = false;
+      }
+    }
+    if (fire) fire();
+  }
+
+  /// Registers the quiescence callback; invoked immediately when nothing
+  /// is in flight. At most one Arm per gauge (a gauge is fenced once).
+  void Arm(std::function<void()> cb) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (count_ > 0) {
+        cb_ = std::move(cb);
+        armed_ = true;
+        return;
+      }
+    }
+    cb();
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t count_ = 0;
+  bool armed_ = false;
+  std::function<void()> cb_;
+};
+
 class ShardRouter : public StoreBackend, public ShardMigrationHost {
  public:
   /// Wraps `inner`, which must have been built with
@@ -159,7 +214,8 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   void ExportRange(size_t shard, Key lo, Key hi, ExportCb cb) override;
   void ImportPairs(size_t shard, std::vector<KvPair> pairs, PhaseCb applied,
                    PhaseCb certified) override;
-  void FenceRange(Key lo, Key hi) override;
+  void FenceRange(size_t source, Key lo, Key hi,
+                  std::function<void()> quiesced) override;
   void LiftFence() override;
   void OnEpochInstalled(const MigrationReport& report) override;
 
@@ -179,9 +235,9 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   /// ClientConfig::verify_cache_limits).
   void ResizeVerifierCaches();
 
-  /// Fails `cb` with FailedPrecondition and returns true when the store
-  /// runs on ThreadedRuntime — live migration is sim-only.
-  bool RefuseIfThreaded(const SplitCb& cb);
+  /// Rebalance's body (heat-driven victim selection + split), already
+  /// posted onto the runtime's control executor.
+  void RebalanceOnControl(SplitCb cb);
 
   std::unique_ptr<StoreBackend> inner_;
   std::shared_ptr<OwnershipTable> table_;
@@ -205,6 +261,10 @@ class ShardRouter : public StoreBackend, public ShardMigrationHost {
   Key fence_lo_ = 0;
   Key fence_hi_ = 0;
   std::vector<std::function<void()>> parked_;
+
+  /// Per-shard in-flight write gauges (indexed by slot). Swapped at
+  /// fence time; writes capture their gauge at routing, under mu_.
+  std::vector<std::shared_ptr<WriteGauge>> write_gauges_;
 
   RouterStats stats_;
 

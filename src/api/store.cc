@@ -130,15 +130,12 @@ Status ValidateOptions(const StoreOptions& options) {
         "(WithRetry with max_attempts >= 1) — an unbounded retry "
         "against a dead deployment would never return");
   }
-  if (d.runtime.kind == RuntimeKind::kThreaded &&
-      options.balancer.enabled) {
-    // The balancer actuates through live migration, which is sim-only
-    // (ShardRouter refuses Split/Merge/Rebalance under threads); a
-    // policy that could never act is a misconfiguration.
+  if (d.runtime.socket.enabled && d.runtime.kind != RuntimeKind::kThreaded) {
+    // SocketTransport is built by ThreadedRuntime; under the simulator
+    // the config would be silently ignored.
     return Status::InvalidArgument(
-        "StoreOptions: WithAutoBalance requires the deterministic "
-        "SimRuntime (resharding is sim-only; drop WithRuntime("
-        "RuntimeKind::kThreaded) or the balancer)");
+        "StoreOptions: WithSocketTransport requires WithRuntime("
+        "RuntimeKind::kThreaded) — the simulator has no real sockets");
   }
   if (options.balancer.enabled) {
     // The autonomous lifecycle actuates through SplitShard/MergeShards,
@@ -539,7 +536,7 @@ StoreStats Store::stats() const {
     s.resharding = c->stats_snapshot();
   }
   if (const AutoBalancer* b = core_->backend->balancer()) {
-    s.balancer = b->stats();
+    s.balancer = b->stats_snapshot();
   }
   Runtime& rt = core_->backend->runtime();
   s.transport = rt.transport().stats_snapshot();

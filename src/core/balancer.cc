@@ -139,7 +139,10 @@ bool AutoBalancer::AnyStreakBuilding() const {
 }
 
 void AutoBalancer::Tick() {
-  stats_.ticks++;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.ticks++;
+  }
   if (hooks_.signals) last_signals_ = hooks_.signals();
   const std::optional<Window> window = ReadWindow();
   if (!window.has_value()) return;  // fresh epoch: re-baseline only
@@ -154,12 +157,16 @@ void AutoBalancer::Tick() {
   const bool split_ready = split_cand.has_value();
   const bool merge_ready = merge_cand.has_value();
   if (!split_ready && !merge_ready) {
-    if (AnyStreakBuilding()) stats_.hysteresis_suppressed++;
+    if (AnyStreakBuilding()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.hysteresis_suppressed++;
+    }
     return;
   }
 
   const SimTime now = exec_->Now();
   if (acted_once_ && now - last_action_at_ < policy_.cooldown) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.cooldown_suppressed++;
     return;
   }
@@ -169,17 +176,26 @@ void AutoBalancer::Tick() {
   // merge goes first and reclaims the slot the split needs.
   const bool have_idle = table_->FirstIdleShard().has_value();
   auto on_done = [this](const Status& s, const MigrationReport&, SimTime) {
-    if (!s.ok()) stats_.failed_actions++;
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.failed_actions++;
+    }
   };
   if (split_ready && have_idle) {
-    stats_.auto_splits++;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.auto_splits++;
+    }
     acted_once_ = true;
     last_action_at_ = now;
     hooks_.split(*split_cand, on_done);
     return;
   }
   if (merge_ready) {
-    stats_.auto_merges++;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.auto_merges++;
+    }
     acted_once_ = true;
     last_action_at_ = now;
     hooks_.merge(*merge_cand, on_done);
@@ -188,6 +204,7 @@ void AutoBalancer::Tick() {
   if (split_ready && !have_idle) {
     // Hot shard, no slot, nothing cold enough to merge yet: record the
     // blockage; the low watermark will eventually free a slot.
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.split_blocked_no_slot++;
   }
 }

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -156,7 +157,14 @@ class AutoBalancer {
   void Tick();
 
   const BalancerPolicy& policy() const { return policy_; }
+  /// Live reference; safe under SimRuntime only (ticks run on the
+  /// balancer's executor). Cross-thread readers use stats_snapshot().
   const BalancerStats& stats() const { return stats_; }
+  /// Locked copy, safe from any thread while ticks run.
+  BalancerStats stats_snapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   /// The most recent Hooks::signals snapshot (empty until the first
   /// tick, or when the hook is unbound).
   const ShardSignals& last_signals() const { return last_signals_; }
@@ -202,6 +210,10 @@ class AutoBalancer {
   SimTime last_action_at_ = 0;
   bool acted_once_ = false;
 
+  /// Guards stats_ alone: counters are bumped on the tick executor (and
+  /// failed_actions on whichever executor completes a migration) while
+  /// Store::stats() snapshots from the caller's thread.
+  mutable std::mutex stats_mu_;
   BalancerStats stats_;
   ShardSignals last_signals_;
 };

@@ -27,7 +27,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -205,6 +207,11 @@ struct MergePlan {
 /// `capacity` is the number of physical shard slots — fixed for the
 /// table's life, which is what keeps router-scoped block ids (global =
 /// inner * capacity + shard) stable across epochs.
+///
+/// Thread-safe: readers (router hot path, any worker thread under
+/// ThreadedRuntime) take a shared lock; Install* (control thread)
+/// takes it exclusively. Under the simulator everything is one thread
+/// and the locks are uncontended.
 class OwnershipTable {
  public:
   OwnershipTable(Partitioner seed, size_t capacity)
@@ -225,18 +232,25 @@ class OwnershipTable {
   size_t capacity() const { return capacity_; }
   const Partitioner& seed() const { return seed_; }
   OwnershipEpoch epoch() const {
-    return history_.empty() ? 1 : history_.size();
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return EpochLocked();
   }
-  bool splittable() const { return !history_.empty(); }
+  bool splittable() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return !history_.empty();
+  }
 
   /// The shard owning `key` under the current epoch.
-  size_t ShardOf(Key key) const { return ShardOf(key, epoch()); }
+  size_t ShardOf(Key key) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return ShardOfLocked(key, EpochLocked());
+  }
 
   /// The shard owning `key` under historical epoch `e` (clamped to
   /// [1, epoch()]) — the view a client that last synced at `e` routes by.
   size_t ShardOf(Key key, OwnershipEpoch e) const {
-    if (history_.empty()) return seed_.ShardOf(key);
-    return SliceContaining(At(e), key).shard;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return ShardOfLocked(key, e);
   }
 
   /// The slices of the current epoch intersecting [lo, hi], clamped to
@@ -244,6 +258,7 @@ class OwnershipTable {
   /// non-splittable (hash) table every shard owns an interleaved subset,
   /// so each shard contributes one full-range pseudo-slice.
   std::vector<OwnedSlice> SlicesTouching(Key lo, Key hi) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<OwnedSlice> out;
     if (history_.empty()) {
       for (size_t s = 0; s < seed_.shards(); ++s) out.push_back({lo, hi, s});
@@ -260,6 +275,7 @@ class OwnershipTable {
   /// All slices of epoch `e` (clamped), sorted by lo. Empty for
   /// non-splittable tables.
   std::vector<OwnedSlice> Slices(OwnershipEpoch e) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) return {};
     return At(e);
   }
@@ -267,19 +283,15 @@ class OwnershipTable {
   /// The widest slice currently owned by `shard`; nullopt when the slot
   /// is idle (or the table is not splittable).
   std::optional<OwnedSlice> WidestSliceOf(size_t shard) const {
-    std::optional<OwnedSlice> best;
-    if (history_.empty()) return best;
-    for (const OwnedSlice& sl : history_.back()) {
-      if (sl.shard != shard) continue;
-      if (!best.has_value() || sl.hi - sl.lo > best->hi - best->lo) best = sl;
-    }
-    return best;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return WidestSliceLocked(shard);
   }
 
   /// The lowest shard slot owning nothing under the current epoch — the
   /// natural destination of the next split. nullopt when every slot is
   /// live (open with a larger ShardingConfig::capacity to keep spares).
   std::optional<size_t> FirstIdleShard() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) return std::nullopt;
     std::vector<bool> live(capacity_, false);
     for (const OwnedSlice& sl : history_.back()) live[sl.shard] = true;
@@ -291,6 +303,7 @@ class OwnershipTable {
 
   /// Shard slots owning at least one slice under the current epoch.
   size_t LiveShards() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) return seed_.shards();
     std::vector<bool> live(capacity_, false);
     for (const OwnedSlice& sl : history_.back()) live[sl.shard] = true;
@@ -303,6 +316,7 @@ class OwnershipTable {
   /// span, not the whole uint64 line. Hash tables split ownership evenly
   /// over the seed shards. Used to size per-shard verifier caches.
   std::vector<double> OwnedFractions() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<double> f(capacity_, 0.0);
     if (history_.empty()) {
       for (size_t s = 0; s < seed_.shards(); ++s) {
@@ -329,8 +343,9 @@ class OwnershipTable {
   /// when the slot is idle, the table is not splittable, or the shard
   /// owns the whole domain (no neighbour to absorb it).
   std::optional<MergePlan> MergePlanFor(size_t shard) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) return std::nullopt;
-    const std::optional<OwnedSlice> slice = WidestSliceOf(shard);
+    const std::optional<OwnedSlice> slice = WidestSliceLocked(shard);
     if (!slice.has_value()) return std::nullopt;
     const std::vector<OwnedSlice>& cur = history_.back();
     for (size_t i = 0; i < cur.size(); ++i) {
@@ -357,6 +372,7 @@ class OwnershipTable {
   /// adjacent).
   Result<OwnershipEpoch> InstallMerge(size_t source, size_t survivor, Key lo,
                                       Key hi) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) {
       return Status::FailedPrecondition(
           "ownership is hash-interleaved; merges need range partitioning");
@@ -388,7 +404,7 @@ class OwnershipTable {
         }
       }
       history_.push_back(std::move(coalesced));
-      return epoch();
+      return EpochLocked();
     }
     return Status::InvalidArgument(
         "merge range is not exactly a slice owned by the source shard");
@@ -401,6 +417,7 @@ class OwnershipTable {
   /// bad slots, split_key outside a source-owned slice, empty half).
   Result<OwnershipEpoch> InstallSplit(size_t source, size_t dest,
                                       Key split_key) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (history_.empty()) {
       return Status::FailedPrecondition(
           "ownership is hash-interleaved; splits need range partitioning");
@@ -422,13 +439,32 @@ class OwnershipTable {
       next.insert(next.begin() + static_cast<ptrdiff_t>(i) + 1,
                   {split_key, sl.hi, dest});
       history_.push_back(std::move(next));
-      return epoch();
+      return EpochLocked();
     }
     return Status::InvalidArgument(
         "split_key is not inside a slice owned by the source shard");
   }
 
  private:
+  OwnershipEpoch EpochLocked() const {
+    return history_.empty() ? 1 : history_.size();
+  }
+
+  size_t ShardOfLocked(Key key, OwnershipEpoch e) const {
+    if (history_.empty()) return seed_.ShardOf(key);
+    return SliceContaining(At(e), key).shard;
+  }
+
+  std::optional<OwnedSlice> WidestSliceLocked(size_t shard) const {
+    std::optional<OwnedSlice> best;
+    if (history_.empty()) return best;
+    for (const OwnedSlice& sl : history_.back()) {
+      if (sl.shard != shard) continue;
+      if (!best.has_value() || sl.hi - sl.lo > best->hi - best->lo) best = sl;
+    }
+    return best;
+  }
+
   const std::vector<OwnedSlice>& At(OwnershipEpoch e) const {
     const size_t idx = e == 0 ? 0 : static_cast<size_t>(e - 1);
     return history_[std::min(idx, history_.size() - 1)];
@@ -452,8 +488,10 @@ class OwnershipTable {
 
   Partitioner seed_;
   size_t capacity_;
+  mutable std::shared_mutex mu_;
   /// history_[e-1] = the slice map of epoch e, sorted by lo, tiling
   /// [0, kMaxKey]. Empty for non-splittable (multi-shard hash) tables.
+  /// Guarded by mu_.
   std::vector<std::vector<OwnedSlice>> history_;
 };
 

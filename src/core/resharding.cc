@@ -85,19 +85,22 @@ void ReshardingCoordinator::RunMigration(
     });
   }
 
-  // Step 1: fence the moving range, then let in-flight writes drain into
-  // the source tree before the export snapshot.
-  host_->FenceRange(lo, hi);
-  exec_->After(config_.drain_delay, [this, kind, source, dest, lo, hi,
-                                            seq, install = std::move(install),
-                                            done]() {
+  // Step 2 onward, entered only once the quiesce-AND-drain gate opens.
+  // Host callbacks may land on any worker thread under a real runtime,
+  // so every continuation is re-posted onto the coordinator's executor:
+  // coordinator state stays control-confined (the Posts are inline under
+  // the simulator, preserving its exact schedule).
+  auto do_export = [this, kind, source, dest, lo, hi, seq,
+                    install = std::move(install), done]() {
     if (!in_flight_ || split_seq_ != seq) return;  // watchdog-aborted
-    // Step 2: completeness-verified export. A lying source surfaces
-    // here as SecurityViolation and aborts the migration.
+    // Completeness-verified export. A lying source surfaces here as
+    // SecurityViolation and aborts the migration.
     host_->ExportRange(
         source, lo, hi,
         [this, kind, source, dest, lo, hi, seq, install, done](
-            const Status& st, std::vector<KvPair> pairs, SimTime t) {
+            const Status& st, std::vector<KvPair> pairs, SimTime t) mutable {
+          exec_->Post([this, kind, source, dest, lo, hi, seq, install, done,
+                       st, pairs = std::move(pairs), t]() mutable {
           if (!in_flight_ || split_seq_ != seq) return;  // watchdog-aborted
           if (!st.ok()) return Abort(kind, st, t, done);
 
@@ -163,14 +166,34 @@ void ReshardingCoordinator::RunMigration(
           // sequence.
           host_->ImportPairs(
               dest, std::move(pairs),
-              [finish](const Status& st2, SimTime t2) {
-                finish(st2, t2, /*certified_now=*/false);
+              [this, finish](const Status& st2, SimTime t2) {
+                exec_->Post([finish, st2, t2]() {
+                  finish(st2, t2, /*certified_now=*/false);
+                });
               },
               [this, seq](const Status& st3, SimTime t3) {
-                RecordCertificate(seq, st3, t3);
+                exec_->Post(
+                    [this, seq, st3, t3]() { RecordCertificate(seq, st3, t3); });
               });
+          });
         });
-  });
+  };
+
+  // Step 1: fence the moving range. The export starts only once BOTH
+  // gates open: the routing layer reports source quiescence (every
+  // pre-fence write Phase-I-committed) and the drain settle window has
+  // elapsed (covers writes buffered below the routing layer). Both arms
+  // run on the coordinator's executor, so the countdown needs no lock,
+  // and the seq guard in do_export neutralizes a watchdog abort that
+  // fires in between.
+  auto gate = std::make_shared<int>(2);
+  auto proceed = [gate, do_export = std::move(do_export)]() {
+    if (--*gate > 0) return;
+    do_export();
+  };
+  host_->FenceRange(source, lo, hi,
+                    [this, proceed]() { exec_->Post(proceed); });
+  exec_->After(config_.drain_delay, proceed);
 }
 
 void ReshardingCoordinator::SplitShard(size_t source, SplitCb done) {

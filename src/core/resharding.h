@@ -5,15 +5,22 @@
 // edges without blocking on the cloud).
 //
 // Both directions of the shard lifecycle run the same five-step state
-// machine over virtual time — SplitShard(source) carves a hot shard's
-// range onto an idle slot, MergeShards(source) folds a cooled shard's
-// slice back into its adjacent neighbour (freeing the slot for the next
-// split):
+// machine — runtime-agnostic, so the split→merge→re-split cycle behaves
+// identically on the simulator, real threads, and socket deployments —
+// SplitShard(source) carves a hot shard's range onto an idle slot,
+// MergeShards(source) folds a cooled shard's slice back into its
+// adjacent neighbour (freeing the slot for the next split):
 //
 //   1. fence    — new writes into the moving range are parked at the
 //                 routing layer (reads keep flowing to the source).
-//   2. drain    — wait ReshardingConfig::drain_delay so writes already
-//                 in flight reach the source's tree.
+//   2. drain    — wait for explicit quiescence: every write routed to
+//                 the source before the fence has reached its Phase-I
+//                 commit (per-shard in-flight gauges at the routing
+//                 layer, acked through FenceRange's callback), AND the
+//                 ReshardingConfig::drain_delay settle window has
+//                 elapsed. The gauge makes the gate exact on any
+//                 runtime; the timer keeps a floor for writes buffered
+//                 below the routing layer (partial-flush queues).
 //   3. export   — the source edge serves the moving range as one
 //                 completeness-verified scan. A lying source (truncated
 //                 or tampered export) surfaces here as SecurityViolation
@@ -52,15 +59,16 @@
 namespace wedge {
 
 struct ReshardingConfig {
-  /// Virtual time between fencing the moving range and the export scan,
-  /// so writes already routed to the source (in-network, or buffered at
-  /// the edge awaiting a partial flush) land in its tree before the
-  /// export snapshot. Must comfortably exceed client-edge latency plus
-  /// EdgeConfig::partial_flush_delay — Store::Open enforces a floor of
-  /// 2x the partial-flush delay on sharded stores; wide-area
-  /// client-to-edge topologies need correspondingly more.
+  /// Minimum settle window between fencing the moving range and the
+  /// export scan. The export additionally waits for explicit source
+  /// quiescence (FenceRange's callback: every pre-fence write reached
+  /// its Phase-I commit), so this timer exists for writes buffered
+  /// *below* the routing layer (at the edge awaiting a partial flush).
+  /// Must comfortably exceed EdgeConfig::partial_flush_delay —
+  /// Store::Open enforces a floor of 2x the partial-flush delay on
+  /// sharded stores.
   SimTime drain_delay = 500 * kMillisecond;
-  /// Virtual-time ceiling on one migration attempt, measured from the
+  /// Ceiling on one migration attempt, measured from the
   /// fence. A source or destination edge that crashes mid-migration
   /// leaves the export scan or the import write hanging forever; when
   /// the new epoch has not installed by this deadline the attempt aborts
@@ -135,7 +143,12 @@ class ShardMigrationHost {
                            PhaseCb applied, PhaseCb certified) = 0;
 
   /// Parks new writes whose keys fall in [lo, hi]; reads keep flowing.
-  virtual void FenceRange(Key lo, Key hi) = 0;
+  /// `quiesced` fires once every write already routed to shard `source`
+  /// at fence time has reached its Phase-I commit (or failed fast) —
+  /// immediately, when none are in flight. May fire on any thread; the
+  /// coordinator re-posts onto its own executor.
+  virtual void FenceRange(size_t source, Key lo, Key hi,
+                          std::function<void()> quiesced) = 0;
 
   /// Releases the fence and flushes parked writes, re-routed under the
   /// then-current ownership epoch.

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,23 +30,33 @@ class TrustAuthority {
 
   /// Punishes `node`: records the offence and revokes the identity.
   /// Idempotent — repeated punishment of the same node records once.
+  /// Punishments land on the cloud's executor while tests and chaos
+  /// probes read from other threads, so the record book is locked.
   void Punish(NodeId node, const std::string& reason, SimTime at) {
-    if (IsPunished(node)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& r : records_) {
+      if (r.node == node) return;
+    }
     records_.push_back({node, reason, at});
     (void)keystore_->Revoke(node);
   }
 
   bool IsPunished(NodeId node) const {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& r : records_) {
       if (r.node == node) return true;
     }
     return false;
   }
 
-  const std::vector<PunishmentRecord>& records() const { return records_; }
+  std::vector<PunishmentRecord> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
 
  private:
   KeyStore* keystore_;
+  mutable std::mutex mu_;
   std::vector<PunishmentRecord> records_;
 };
 

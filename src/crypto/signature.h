@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -165,7 +166,18 @@ class KeyStore {
     // ipad/opad midstates for the identity secret, built once at
     // Register so Verify doesn't pay the two key-block compressions.
     HmacKey mac_key;
-    bool revoked = false;
+    // Revocation is the one post-registration mutation: it lands on the
+    // cloud's thread while every other node keeps calling Verify, so the
+    // flag is atomic (the map itself is frozen after deployment setup).
+    std::atomic<bool> revoked{false};
+
+    IdentityRecord() = default;
+    IdentityRecord(IdentityRecord&& o) noexcept
+        : role(o.role),
+          name(std::move(o.name)),
+          secret(o.secret),
+          mac_key(o.mac_key),
+          revoked(o.revoked.load(std::memory_order_relaxed)) {}
   };
 
   Rng rng_;

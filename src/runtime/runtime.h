@@ -28,12 +28,14 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "common/types.h"
 #include "runtime/fault_plane.h"
 #include "runtime/transport.h"
+#include "simnet/datacenter.h"
 
 namespace wedge {
 
@@ -53,6 +55,44 @@ inline std::string_view RuntimeTimeUnit(RuntimeKind kind) {
   return kind == RuntimeKind::kSim ? "virtual_us" : "wall_us";
 }
 
+/// Wide-area latency shaping for the real runtimes. The simulator
+/// already models geography through SimNetwork, so SimRuntime ignores
+/// this; ThreadedRuntime and SocketTransport add `matrix.OneWay(from,
+/// to)` (plus uniform jitter up to `jitter_frac` of the base) to every
+/// cross-node delivery, keyed by the Dc each node was attached with.
+struct WanConfig {
+  bool enabled = false;
+  LatencyMatrix matrix;
+  /// Uniform jitter as a fraction of the base one-way delay (0 = none).
+  double jitter_frac = 0.0;
+};
+
+/// Socket deployment knobs for ThreadedRuntime. When `enabled`, the
+/// runtime routes inter-node frames through a SocketTransport (real
+/// TCP) instead of the in-process queues:
+///  - hub (the process hosting the cloud): set `listen_port`, or set
+///    `hub` with listen_port 0 to bind an ephemeral port (readable
+///    back via listen_port()).
+///  - spoke (an edge/client process): set `connect_host:connect_port`
+///    to the hub.
+///  - single process with none of the above set: loopback mode — the
+///    process connects to itself and every frame still traverses a
+///    real TCP socket (the conformance matrix's third leg).
+/// All processes of one deployment must share `secret_seed`; it derives
+/// the frame-MAC link key (the per-node v2 session envelopes ride on
+/// top, untouched).
+struct SocketConfig {
+  bool enabled = false;
+  /// Force hub mode (accept + route for spokes) even when listen_port
+  /// is 0; without it, listen_port 0 and no connect host means
+  /// loopback.
+  bool hub = false;
+  uint16_t listen_port = 0;
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  uint64_t secret_seed = 0;
+};
+
 struct RuntimeConfig {
   RuntimeKind kind = RuntimeKind::kSim;
   /// ThreadedRuntime: threads in the shared pool that multiplexes
@@ -62,6 +102,10 @@ struct RuntimeConfig {
   /// ThreadedRuntime: bounded inbox capacity per worker thread. A full
   /// inbox blocks producers (backpressure) rather than dropping.
   size_t inbox_capacity = 8192;
+  /// WAN latency matrix applied by the real transports (sim ignores).
+  WanConfig wan;
+  /// TCP socket transport (ThreadedRuntime only).
+  SocketConfig socket;
 };
 
 /// A time source. Virtual microseconds under the simulator, wall-clock

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "runtime/socket_transport.h"
+
 namespace wedge {
 namespace internal {
 
@@ -262,7 +264,6 @@ class ThreadedRuntime::ThreadedExecutor : public Executor {
 // ThreadedTransport
 
 void ThreadedTransport::Attach(NodeId id, Dc location, Endpoint* endpoint) {
-  (void)location;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = bindings_.find(id);
   if (it == bindings_.end() || it->second.exec == nullptr) {
@@ -273,6 +274,22 @@ void ThreadedTransport::Attach(NodeId id, Dc location, Endpoint* endpoint) {
     std::abort();
   }
   it->second.endpoint = endpoint;
+  it->second.dc = location;
+}
+
+SimTime ThreadedTransport::WanDelayLocked(Dc from, Dc to) {
+  const WanConfig& wan = rt_->config_.wan;
+  if (!wan.enabled) return 0;
+  SimTime base = wan.matrix.OneWay(from, to);
+  if (base <= 0) return 0;
+  if (wan.jitter_frac > 0) {
+    wan_rng_ = wan_rng_ * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(wan_rng_ >> 11) /
+                     static_cast<double>(1ull << 53);
+    base += static_cast<SimTime>(static_cast<double>(base) *
+                                 (wan.jitter_frac * u));
+  }
+  return base;
 }
 
 void ThreadedTransport::Detach(NodeId id) {
@@ -291,6 +308,7 @@ void ThreadedTransport::Send(NodeId from, NodeId to, Bytes payload) {
     return;
   }
   Binding binding;
+  SimTime wan_delay = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = bindings_.find(to);
@@ -300,6 +318,10 @@ void ThreadedTransport::Send(NodeId from, NodeId to, Bytes payload) {
       return;
     }
     binding = it->second;
+    auto from_it = bindings_.find(from);
+    if (from_it != bindings_.end()) {
+      wan_delay = WanDelayLocked(from_it->second.dc, binding.dc);
+    }
   }
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -308,10 +330,11 @@ void ThreadedTransport::Send(NodeId from, NodeId to, Bytes payload) {
   auto deliver = [endpoint, from, rt, payload = std::move(payload)] {
     endpoint->OnMessage(from, Slice(payload), rt->Now());
   };
-  if (plan.delay > 0) {
-    // Shaped extra latency rides the receiver's timer wheel so delivery
+  const SimTime delay = plan.delay + wan_delay;
+  if (delay > 0) {
+    // Shaped / WAN latency rides the receiver's timer wheel so delivery
     // still lands on the owning worker.
-    binding.exec->After(plan.delay, std::move(deliver));
+    binding.exec->After(delay, std::move(deliver));
   } else {
     binding.exec->Post(std::move(deliver));
   }
@@ -340,18 +363,28 @@ ThreadedRuntime::ThreadedRuntime(const RuntimeConfig& config)
       transport_(this) {
   const size_t pool_size =
       config_.driver_pool_threads > 0 ? config_.driver_pool_threads : 1;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = 0; i < pool_size; ++i) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pool_size; ++i) {
+      workers_.push_back(
+          std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
+      pool_.push_back(workers_.back().get());
+    }
     workers_.push_back(
         std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
-    pool_.push_back(workers_.back().get());
+    control_ = std::make_unique<ThreadedExecutor>(workers_.back().get());
   }
-  workers_.push_back(
-      std::make_unique<internal::Worker>(config_.inbox_capacity, epoch_));
-  control_ = std::make_unique<ThreadedExecutor>(workers_.back().get());
+  if (config_.socket.enabled) {
+    socket_ = std::make_unique<SocketTransport>(this);
+  }
 }
 
 ThreadedRuntime::~ThreadedRuntime() { Shutdown(); }
+
+Transport& ThreadedRuntime::transport() {
+  if (socket_) return *socket_;
+  return transport_;
+}
 
 Clock& ThreadedRuntime::clock() { return *control_; }
 
@@ -383,7 +416,9 @@ Executor* ThreadedRuntime::ExecutorFor(NodeId id, ExecRole role) {
   auto exec = std::make_unique<ThreadedExecutor>(worker);
   Executor* raw = exec.get();
   executors_.emplace(id, std::move(exec));
-  {
+  if (socket_) {
+    socket_->BindExecutor(id, raw);
+  } else {
     std::lock_guard<std::mutex> tlock(transport_.mu_);
     transport_.bindings_[id].exec = raw;
   }
@@ -435,6 +470,9 @@ void ThreadedRuntime::Shutdown() {
     workers.reserve(workers_.size());
     for (auto& w : workers_) workers.push_back(w.get());
   }
+  // Stop socket IO first: no new frames land on closing inboxes, and no
+  // producer blocks on a socket that will never drain.
+  if (socket_) socket_->Stop();
   // Close every inbox first (releases producers blocked on a full
   // inbox), then join: a worker blocked pushing into a peer's inbox is
   // unblocked by that peer's Close.

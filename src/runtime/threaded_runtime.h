@@ -22,8 +22,15 @@
 // simulator (Runtime::faults()): ThreadedTransport::Send consults the
 // plane per message, dropping across crashes/partitions (counted in
 // TransportStats::dropped) and adding shaped per-link delay via the
-// receiver's timer wheel. There is still no modeled WAN latency by
-// default — shaping is opt-in chaos, not geography.
+// receiver's timer wheel. Geography is opt-in: RuntimeConfig::wan
+// supplies a per-Dc-pair latency matrix (plus jitter) that Send adds to
+// every cross-node delivery, keyed by the Dc each node attached with —
+// so the paper's geo scenarios run on real threads too.
+//
+// With RuntimeConfig::socket.enabled the runtime swaps the in-process
+// transport for a SocketTransport (runtime/socket_transport.h): frames
+// traverse real TCP connections (possibly to other processes), with the
+// same fault-plane and WAN semantics applied at the socket boundary.
 
 #pragma once
 
@@ -130,8 +137,9 @@ class ThreadedFaultPlane : public FaultPlane {
 };
 
 /// Message channels over worker inboxes. Attach() requires the node's
-/// executor to exist already (ThreadedRuntime::ExecutorFor binds it);
-/// `Dc` placement is ignored — there is no modeled geography.
+/// executor to exist already (ThreadedRuntime::ExecutorFor binds it).
+/// The `Dc` each node attaches with keys the optional WAN latency
+/// matrix (RuntimeConfig::wan).
 class ThreadedTransport : public Transport {
  public:
   explicit ThreadedTransport(ThreadedRuntime* rt) : rt_(rt) {}
@@ -149,11 +157,17 @@ class ThreadedTransport : public Transport {
   struct Binding {
     Executor* exec = nullptr;
     Endpoint* endpoint = nullptr;
+    Dc dc = Dc::kCalifornia;
   };
+
+  /// WAN one-way delay from->to plus uniform jitter; 0 when the matrix
+  /// is disabled. Caller holds mu_.
+  SimTime WanDelayLocked(Dc from, Dc to);
 
   ThreadedRuntime* rt_;
   mutable std::mutex mu_;
   std::unordered_map<NodeId, Binding> bindings_;
+  uint64_t wan_rng_ = 0x51d6a4f35b9ec2d7ull;  // guarded by mu_
 
   /// Delivery counters, atomic so Send (any worker) and stats_snapshot
   /// (the driving thread) never contend on mu_ for bookkeeping.
@@ -162,13 +176,15 @@ class ThreadedTransport : public Transport {
   std::atomic<uint64_t> dropped_{0};
 };
 
+class SocketTransport;
+
 class ThreadedRuntime : public Runtime {
  public:
   explicit ThreadedRuntime(const RuntimeConfig& config);
   ~ThreadedRuntime() override;
 
   RuntimeKind kind() const override { return RuntimeKind::kThreaded; }
-  Transport& transport() override { return transport_; }
+  Transport& transport() override;
   Clock& clock() override;
   SimTime Now() const override;
   FaultPlane& faults() override { return faults_; }
@@ -189,8 +205,14 @@ class ThreadedRuntime : public Runtime {
   /// destructors call it.
   void Shutdown() override;
 
+  /// The socket transport, when RuntimeConfig::socket.enabled; null on
+  /// in-process deployments. Exposes listen_port() for ephemeral-port
+  /// bootstraps.
+  SocketTransport* socket_transport() { return socket_.get(); }
+
  private:
   friend class ThreadedTransport;
+  friend class SocketTransport;
   class ThreadedExecutor;
 
   internal::Worker* PoolWorker();
@@ -198,6 +220,7 @@ class ThreadedRuntime : public Runtime {
   const std::chrono::steady_clock::time_point epoch_;
   const RuntimeConfig config_;
   ThreadedTransport transport_;
+  std::unique_ptr<SocketTransport> socket_;
   ThreadedFaultPlane faults_;
 
   std::mutex mu_;  // guards workers_/pool_/executors_/next_pool_/shut_down_

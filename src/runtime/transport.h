@@ -33,6 +33,16 @@ struct TransportStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
   uint64_t dropped = 0;
+  /// Socket-transport counters (zero on in-process transports): framed
+  /// traffic actually put on / taken off TCP connections, reconnect
+  /// attempts after a peer drop, and inbound frames rejected for a bad
+  /// link MAC or replayed counter.
+  uint64_t frames_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t reconnects = 0;
+  uint64_t mac_rejects = 0;
 };
 
 /// Receives messages delivered by a Transport.

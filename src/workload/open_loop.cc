@@ -1,5 +1,6 @@
 #include "workload/open_loop.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -62,9 +63,32 @@ struct OpenLoopEngine::Shared {
   Histogram scan_lat;
   Histogram p1_lat;
   Histogram p2_lat;
+  // Per-interval offered/achieved counters (sample_interval > 0); an op
+  // lands in the interval of its intended start, so queueing past the
+  // knee degrades the interval that caused it.
+  std::vector<uint64_t> samp_arrivals;
+  std::vector<uint64_t> samp_completed;
 
   Key NextKey() {
     return spec.workload.zipf_theta > 0 ? zipf.Next() : keys.Next();
+  }
+
+  /// Sampling interval of an intended start, or -1 when sampling is off
+  /// or the op is outside the measure window. measure_start/end_issue
+  /// are set before the first tick is posted, so reads here are safe
+  /// from any executor.
+  int64_t SampleIdx(SimTime intended) const {
+    if (spec.sample_interval <= 0) return -1;
+    if (intended < measure_start || intended >= end_issue) return -1;
+    return static_cast<int64_t>((intended - measure_start) /
+                                spec.sample_interval);
+  }
+
+  /// Requires mu.
+  static void Bump(std::vector<uint64_t>* v, int64_t idx) {
+    if (idx < 0) return;
+    if (v->size() <= static_cast<size_t>(idx)) v->resize(idx + 1, 0);
+    (*v)[idx]++;
   }
 };
 
@@ -78,6 +102,7 @@ using Shared = OpenLoopEngine::Shared;
 void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
   const bool in_window =
       intended >= sh->measure_start && intended < sh->end_issue;
+  const int64_t sidx = sh->SampleIdx(intended);
   // Logical population over physical slots: the engine models
   // logical_clients distinct clients, each backed by one of the store's
   // bounded physical client slots.
@@ -91,7 +116,8 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
     const Key lo = sh->NextKey();
     const Key hi = lo + sh->spec.scan_span;
     AsyncOp<ScanResult> op = sh->store->AsyncScan(lo, hi, client, aopts);
-    op.OnDone([sh, intended, in_window](const Status& s, const ScanResult& r) {
+    op.OnDone([sh, intended, in_window,
+               sidx](const Status& s, const ScanResult& r) {
       const SimTime at = s.ok() ? r.at : sh->rt->Now();
       // RunOnCompletion runs the body synchronously (inline under sim,
       // under the completion lock + wakeup under threads), so
@@ -104,6 +130,7 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
         } else if (in_window) {
           sh->scan_lat.Record(at - intended);
           sh->completed_win++;
+          Shared::Bump(&sh->samp_completed, sidx);
         }
       });
     });
@@ -113,7 +140,8 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
       draw < sh->spec.scan_fraction + sh->spec.workload.read_fraction;
   if (is_read) {
     AsyncOp<GetResult> op = sh->store->AsyncGet(sh->NextKey(), client, aopts);
-    op.OnDone([sh, intended, in_window](const Status& s, const GetResult& r) {
+    op.OnDone([sh, intended, in_window,
+               sidx](const Status& s, const GetResult& r) {
       const SimTime at = s.ok() ? r.at : sh->rt->Now();
       sh->rt->RunOnCompletion([&] {
         std::lock_guard<std::mutex> lock(sh->mu);
@@ -123,6 +151,7 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
         } else if (in_window) {
           sh->read_lat.Record(at - intended);
           sh->completed_win++;
+          Shared::Bump(&sh->samp_completed, sidx);
         }
       });
     });
@@ -139,7 +168,8 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
               static_cast<uint8_t>(intended & 0xff));
   AsyncCommit c =
       sh->store->AsyncPut(sh->NextKey(), std::move(value), client, aopts);
-  c.OnPhase1([sh, intended, in_window](const Status& s, const Commit& cm) {
+  c.OnPhase1([sh, intended, in_window,
+              sidx](const Status& s, const Commit& cm) {
     const SimTime at = s.ok() ? cm.at : sh->rt->Now();
     sh->rt->RunOnCompletion([&] {
       std::lock_guard<std::mutex> lock(sh->mu);
@@ -149,6 +179,7 @@ void IssueOne(const std::shared_ptr<Shared>& sh, SimTime intended) {
       } else if (in_window) {
         sh->p1_lat.Record(at - intended);
         sh->completed_win++;
+        Shared::Bump(&sh->samp_completed, sidx);
       }
     });
   });
@@ -178,7 +209,10 @@ void EngineTick(const std::shared_ptr<Shared>& sh) {
     std::lock_guard<std::mutex> lock(sh->mu);
     for (SimTime t : due) {
       // Offered load counts every in-window arrival, shed or not.
-      if (t >= sh->measure_start && t < sh->end_issue) sh->arrivals_win++;
+      if (t >= sh->measure_start && t < sh->end_issue) {
+        sh->arrivals_win++;
+        Shared::Bump(&sh->samp_arrivals, sh->SampleIdx(t));
+      }
       if (sh->backlog.size() >= sh->spec.max_backlog) {
         sh->shed++;
         continue;
@@ -223,6 +257,18 @@ void EngineTick(const std::shared_ptr<Shared>& sh) {
 
 }  // namespace
 
+double FindKneeRate(const std::vector<RampSample>& samples,
+                    double tolerance) {
+  double knee = 0;
+  for (const RampSample& rs : samples) {
+    if (rs.arrivals == 0) continue;
+    if (rs.achieved >= tolerance * rs.offered && rs.offered > knee) {
+      knee = rs.offered;
+    }
+  }
+  return knee;
+}
+
 OpenLoopEngine::OpenLoopEngine(Store* store, OpenLoopSpec spec, uint64_t seed)
     : store_(store), spec_(spec), seed_(seed) {}
 
@@ -261,6 +307,25 @@ OpenLoopMetrics OpenLoopEngine::Run(SimTime warmup, SimTime measure,
     m.shed = sh->shed;
     m.backlog_peak = sh->backlog_peak;
     m.inflight_peak = sh->inflight_peak;
+    if (spec_.sample_interval > 0) {
+      const size_t n = std::max(sh->samp_arrivals.size(),
+                                sh->samp_completed.size());
+      const double isec =
+          static_cast<double>(spec_.sample_interval) / kSecond;
+      m.samples.resize(n);
+      for (size_t i = 0; i < n; i++) {
+        RampSample& rs = m.samples[i];
+        rs.t_start = static_cast<SimTime>(i) * spec_.sample_interval;
+        rs.arrivals =
+            i < sh->samp_arrivals.size() ? sh->samp_arrivals[i] : 0;
+        rs.completed =
+            i < sh->samp_completed.size() ? sh->samp_completed[i] : 0;
+        if (isec > 0) {
+          rs.offered = static_cast<double>(rs.arrivals) / isec;
+          rs.achieved = static_cast<double>(rs.completed) / isec;
+        }
+      }
+    }
   }
   m.drained = drained.ok();
   m.measured_duration = measure;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "api/store.h"
 #include "common/histogram.h"
@@ -61,7 +62,30 @@ struct OpenLoopSpec {
   SimTime tick = 5 * kMillisecond;
   /// Per-op deadline handed to the async surface (0 = none).
   SimTime op_deadline = 0;
+  /// When > 0, the measure window is cut into intervals of this length
+  /// and per-interval offered/achieved samples are recorded
+  /// (OpenLoopMetrics::samples). Pair with ArrivalKind::kRamp to find
+  /// the throughput knee in a single ramp-to-failure pass instead of a
+  /// fixed-rate sweep. Ops attribute to the interval of their *intended*
+  /// start, so queueing past the knee degrades the right sample.
+  SimTime sample_interval = 0;
 };
+
+/// One sampling interval of a ramped (or flat) run: what was offered in
+/// it and how much of that reached its client-visible completion.
+struct RampSample {
+  SimTime t_start = 0;  ///< interval start, relative to the measure window
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  double offered = 0;   ///< arrivals / interval (ops/sec)
+  double achieved = 0;  ///< completed / interval (ops/sec)
+};
+
+/// The knee of a ramp-to-failure pass: the highest offered rate among
+/// samples still achieved within `tolerance` (e.g. 0.9 = within 10%).
+/// Returns 0 when no sample passes.
+double FindKneeRate(const std::vector<RampSample>& samples,
+                    double tolerance = 0.9);
 
 struct OpenLoopMetrics {
   /// All latencies are measured from the op's intended start
@@ -84,6 +108,9 @@ struct OpenLoopMetrics {
   double offered_rate = 0;   ///< arrivals / measure window (ops/sec)
   double achieved_rate = 0;  ///< completed / measure window (ops/sec)
   SimTime measured_duration = 0;
+  /// Per-interval offered/achieved series; empty unless
+  /// OpenLoopSpec::sample_interval > 0.
+  std::vector<RampSample> samples;
   /// False when Run's drain wait timed out with work still in flight
   /// (counters above are still a consistent snapshot).
   bool drained = true;

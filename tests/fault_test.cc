@@ -12,6 +12,10 @@
 //    a SplitShard aborts cleanly via the watchdog, ownership unchanged;
 //  - façade-level read retry riding out a fault window.
 //
+// The façade suites run three legs: simulator, real threads, and real
+// threads over the loopback socket transport — fault injection must
+// behave identically at the socket boundary.
+//
 // Threaded-runtime variants assert only through client-visible signals
 // (Store results, locked stats snapshots) — node internals are owned by
 // their worker threads.
@@ -58,6 +62,21 @@ StoreOptions ChaosOptions(RuntimeKind runtime) {
   return o;
 }
 
+/// One leg of the chaos matrix: which runtime executes, and whether the
+/// threaded runtime routes messages through the loopback socket
+/// transport (fault-plane drop/shape semantics must survive the socket
+/// boundary unchanged).
+struct FaultCase {
+  RuntimeKind runtime = RuntimeKind::kSim;
+  bool socket = false;
+};
+
+StoreOptions ChaosOptions(const FaultCase& c) {
+  StoreOptions o = ChaosOptions(c.runtime);
+  if (c.socket) o.WithSocketTransport();
+  return o;
+}
+
 /// Runs `fn` on the wedge edge's own executor and waits for it — the
 /// runtime-neutral way to flip misbehavior knobs (edge state is only
 /// safe to touch from its worker thread under ThreadedRuntime).
@@ -85,7 +104,7 @@ bool RunUntilTrue(Store& store, const std::function<bool()>& probe,
   return probe();
 }
 
-class FaultFacadeTest : public ::testing::TestWithParam<RuntimeKind> {};
+class FaultFacadeTest : public ::testing::TestWithParam<FaultCase> {};
 
 // ------------------------------------------------------- cloud outage
 // The resilience_test outage scenarios, ported to the façade and both
@@ -313,13 +332,16 @@ TEST_P(FaultFacadeTest, ShapedLinkDropsThenClears) {
   EXPECT_TRUE(ok->found);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothRuntimes, FaultFacadeTest,
-                         ::testing::Values(RuntimeKind::kSim,
-                                           RuntimeKind::kThreaded),
-                         [](const ::testing::TestParamInfo<RuntimeKind>& i) {
-                           return i.param == RuntimeKind::kSim ? "sim"
-                                                               : "threaded";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, FaultFacadeTest,
+    ::testing::Values(FaultCase{RuntimeKind::kSim, false},
+                      FaultCase{RuntimeKind::kThreaded, false},
+                      FaultCase{RuntimeKind::kThreaded, true}),
+    [](const ::testing::TestParamInfo<FaultCase>& i) {
+      if (i.param.socket) return std::string("socket");
+      return i.param.runtime == RuntimeKind::kSim ? std::string("sim")
+                                                  : std::string("threaded");
+    });
 
 // ---------------------------------------------------- sim-only internals
 // Deterministic white-box checks of the recovery machinery (node
@@ -454,15 +476,22 @@ TEST(FaultRecoveryTest, ShapedDelayAddsLatencyDeterministically) {
 // the migration cleanly: the watchdog fires, the fence lifts, ownership
 // stays exactly as it was, and the store keeps serving.
 
-StoreOptions MigrationChaosOptions() {
-  return ChaosOptions(RuntimeKind::kSim)
+StoreOptions MigrationChaosOptions(const FaultCase& c) {
+  // The watchdog window is wall time under threads: keep it long enough
+  // for a clean migration (drain + export + import) and short enough
+  // that the abort tests don't stall the suite.
+  const SimTime timeout =
+      c.runtime == RuntimeKind::kSim ? 5 * kSecond : 2 * kSecond;
+  return ChaosOptions(c)
       .WithShards(2, ShardScheme::kRange, 1000)
       .WithShardCapacity(3)
-      .WithMigrationTimeout(5 * kSecond);
+      .WithMigrationTimeout(timeout);
 }
 
-TEST(CrashMidMigrationTest, CrashedSourceAbortsSplitCleanly) {
-  auto opened = Store::Open(MigrationChaosOptions());
+class CrashMidMigrationTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(CrashMidMigrationTest, CrashedSourceAbortsSplitCleanly) {
+  auto opened = Store::Open(MigrationChaosOptions(GetParam()));
   ASSERT_TRUE(opened.ok()) << opened.status();
   Store store = std::move(*opened);
 
@@ -488,8 +517,9 @@ TEST(CrashMidMigrationTest, CrashedSourceAbortsSplitCleanly) {
   EXPECT_TRUE(store.PutBatch(high).WaitPhase2().ok());
 }
 
-TEST(CrashMidMigrationTest, CrashedDestinationAbortsThenSplitSucceedsAfterRecovery) {
-  auto opened = Store::Open(MigrationChaosOptions());
+TEST_P(CrashMidMigrationTest,
+       CrashedDestinationAbortsThenSplitSucceedsAfterRecovery) {
+  auto opened = Store::Open(MigrationChaosOptions(GetParam()));
   ASSERT_TRUE(opened.ok()) << opened.status();
   Store store = std::move(*opened);
 
@@ -517,7 +547,8 @@ TEST(CrashMidMigrationTest, CrashedDestinationAbortsThenSplitSucceedsAfterRecove
   // Recover the destination and retry: the same split now applies and
   // the moved keys serve from their new owner.
   store.wedge().RecoverEdge(2);
-  store.RunFor(2 * kSecond);
+  store.RunFor(GetParam().runtime == RuntimeKind::kSim ? 2 * kSecond
+                                                       : 500 * kMillisecond);
   auto retry = store.SplitShard(0);
   ASSERT_TRUE(retry.ok()) << retry.status();
   EXPECT_GT(store.ownership_epoch(), before);
@@ -527,6 +558,17 @@ TEST(CrashMidMigrationTest, CrashedDestinationAbortsThenSplitSucceedsAfterRecove
   EXPECT_TRUE(after->found);
   EXPECT_EQ(after->value, Val(1));
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, CrashMidMigrationTest,
+    ::testing::Values(FaultCase{RuntimeKind::kSim, false},
+                      FaultCase{RuntimeKind::kThreaded, false},
+                      FaultCase{RuntimeKind::kThreaded, true}),
+    [](const ::testing::TestParamInfo<FaultCase>& i) {
+      if (i.param.socket) return std::string("socket");
+      return i.param.runtime == RuntimeKind::kSim ? std::string("sim")
+                                                  : std::string("threaded");
+    });
 
 // ----------------------------------------------------- façade retry
 TEST(FacadeRetryTest, ReadRetriesRideOutACrashWindow) {

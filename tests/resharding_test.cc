@@ -5,11 +5,23 @@
 // the split, parked-write flushing), a tampering source failing the
 // migration as SecurityViolation, and verifier-cache invalidation /
 // per-shard sizing across epochs.
+//
+// The store-level suites run on a backend × runtime matrix: all three
+// backends under the simulator, plus the wedge backend on real threads
+// (with and without the socket transport) now that live migration gates
+// on explicit write quiescence instead of virtual-time drains. Threaded
+// variants assert only through client-visible results and locked stats
+// snapshots; exact mid-migration timing (fence-up observations, precise
+// parked counts) stays simulator-only where noted.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <future>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "api/shard_router.h"
@@ -17,6 +29,7 @@
 #include "baselines/baseline_deployment.h"
 #include "core/deployment.h"
 #include "core/partitioner.h"
+#include "runtime/runtime.h"
 #include "runtime/sim_runtime.h"
 
 namespace wedge {
@@ -176,9 +189,18 @@ TEST(OwnershipTableTest, InstallMergeCoalescesAndFreesTheSlot) {
 
 // ------------------------------------------------- façade split round trip
 
-StoreOptions ReshardOptions(BackendKind kind) {
+/// One cell of the resharding matrix: which backend serves and which
+/// runtime executes (optionally over the socket transport).
+struct ReshardCase {
+  BackendKind backend = BackendKind::kWedge;
+  RuntimeKind runtime = RuntimeKind::kSim;
+  bool socket = false;
+};
+
+StoreOptions ReshardOptions(const ReshardCase& c) {
   StoreOptions o;
-  o.WithBackend(kind)
+  o.WithBackend(c.backend)
+      .WithRuntime(c.runtime)
       .WithSeed(7)
       .WithOpsPerBlock(4)
       .WithLsm({3, 2, 8}, 8)
@@ -186,8 +208,40 @@ StoreOptions ReshardOptions(BackendKind kind) {
       .WithShards(2, ShardScheme::kRange, /*range_span=*/1000)
       .WithShardCapacity(4)
       .WithDrainDelay(200 * kMillisecond);
+  if (c.socket) o.WithSocketTransport();
   o.deploy.net.jitter_frac = 0.0;
   return o;
+}
+
+StoreOptions ReshardOptions(BackendKind kind) {
+  return ReshardOptions(ReshardCase{kind, RuntimeKind::kSim, false});
+}
+
+/// Runs `fn` on the wedge edge's own executor and waits for it — the
+/// runtime-neutral way to flip misbehavior knobs (edge state is only
+/// safe to touch from its worker thread under ThreadedRuntime).
+void OnWedgeEdge(Store& store, size_t edge_index,
+                 const std::function<void()>& fn) {
+  Executor* exec = store.runtime().ExecutorFor(
+      store.wedge().edge(edge_index).id(), ExecRole::kDedicated);
+  std::promise<void> done;
+  exec->Post([&] {
+    fn();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+/// Polls `probe` across migration windows: runs the deployment in short
+/// slices (virtual time under sim, wall time under threads) until the
+/// probe holds or the budget is spent.
+bool RunUntilTrue(Store& store, const std::function<bool()>& probe,
+                  SimTime slice = 200 * kMillisecond, int max_slices = 50) {
+  for (int i = 0; i < max_slices; ++i) {
+    if (probe()) return true;
+    store.RunFor(slice);
+  }
+  return probe();
 }
 
 /// Client-visible state over a fixed key set: value-by-key plus one
@@ -213,7 +267,13 @@ Visible Snapshot(Store& store, const std::vector<Key>& keys, Key lo, Key hi) {
   return v;
 }
 
-class ReshardingStoreTest : public ::testing::TestWithParam<BackendKind> {};
+class ReshardingStoreTest : public ::testing::TestWithParam<ReshardCase> {
+ protected:
+  bool Sim() const { return GetParam().runtime == RuntimeKind::kSim; }
+  /// Virtual settle time under sim; a tenth of it in wall time under
+  /// threads, where background work proceeds at real network speed.
+  void Settle(Store& store, SimTime t) { store.RunFor(Sim() ? t : t / 10); }
+};
 
 // The tentpole acceptance: the identical key set reads identically
 // before, during, and after a verified split, on every backend.
@@ -233,7 +293,7 @@ TEST_P(ReshardingStoreTest, SplitPreservesClientVisibleResults) {
     kvs.emplace_back(k, Val(1));
   }
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
 
   const Visible before = Snapshot(store, keys, 0, 999);
   ASSERT_EQ(before.scan.size(), keys.size());
@@ -254,10 +314,9 @@ TEST_P(ReshardingStoreTest, SplitPreservesClientVisibleResults) {
   EXPECT_EQ(during.gets, before.gets);
   EXPECT_EQ(during.scan, before.scan);
 
-  store.RunFor(2 * kSecond);  // let the handoff certificate land
-  ASSERT_NE(store.resharding(), nullptr);
-  EXPECT_TRUE(store.resharding()->last_split().certified)
-      << "lazy handoff certificate never landed";
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return store.stats().resharding.splits_certified >= 1;
+  })) << "lazy handoff certificate never landed";
 
   const Visible after = Snapshot(store, keys, 0, 999);
   EXPECT_EQ(after.gets, before.gets);
@@ -288,7 +347,7 @@ TEST_P(ReshardingStoreTest, RepeatedSplitsCompose) {
     kvs.emplace_back(k, Val(4));
   }
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
   const Visible before = Snapshot(store, keys, 0, 999);
 
   ASSERT_TRUE(store.SplitShard(0).ok());
@@ -317,15 +376,15 @@ TEST_P(ReshardingStoreTest, LiveTrafficDuringMigration) {
   std::vector<std::pair<Key, Bytes>> kvs;
   for (Key k = 250; k < 500; k += 25) kvs.emplace_back(k, Val(1));
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
 
   // Start the split asynchronously so traffic can interleave with it.
-  bool split_done = false;
+  std::atomic<bool> split_done{false};
   Status split_status;
   store.backend().SplitShard(
       0, [&](const Status& s, const SplitReport&, SimTime) {
         split_status = s;
-        split_done = true;
+        split_done.store(true, std::memory_order_release);
       });
 
   // A read of a moving key during the fence window serves from the
@@ -333,17 +392,29 @@ TEST_P(ReshardingStoreTest, LiveTrafficDuringMigration) {
   auto during_read = store.Get(250);
   ASSERT_TRUE(during_read.ok()) << during_read.status();
   EXPECT_EQ(during_read->value, Val(1));
-  ASSERT_FALSE(split_done) << "split should still be draining";
+  if (Sim()) {
+    // Exact interleaving is deterministic only under the simulator; on
+    // threads the drain may already have elapsed in wall time.
+    ASSERT_FALSE(split_done.load()) << "split should still be draining";
+  }
 
-  // A write into the moving range parks behind the fence and commits
-  // once the epoch installs.
+  // A write into the moving range parks behind the fence (or, under
+  // threads, lands on the source before the fence and is exported) and
+  // commits to the post-split owner either way.
   CommitHandle parked = store.Put(275, Val(7));
   auto p1 = parked.WaitPhase1();
   ASSERT_TRUE(p1.ok()) << p1.status();
-  EXPECT_TRUE(split_done) << "parked write must flush at epoch install";
+  if (Sim()) {
+    EXPECT_TRUE(split_done.load()) << "parked write must flush at epoch install";
+  }
+  ASSERT_TRUE(RunUntilTrue(store, [&] {
+    return split_done.load(std::memory_order_acquire);
+  })) << "split never completed";
   ASSERT_TRUE(split_status.ok()) << split_status;
-  ASSERT_NE(store.router_stats(), nullptr);
-  EXPECT_GE(store.router_stats()->writes_parked, 1u);
+  if (Sim()) {
+    ASSERT_NE(store.router_stats(), nullptr);
+    EXPECT_GE(store.router_stats()->writes_parked, 1u);
+  }
 
   // The parked write beat the migrated (older) copy: newest wins.
   auto got = store.Get(275);
@@ -369,26 +440,26 @@ TEST_P(ReshardingStoreTest, StaleEpochRedirectIsDeterministic) {
                               {290, Val(2)}})
                   .WaitPhase2()
                   .ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
 
   // Both clients observe epoch 1; only the split itself advances it.
   ASSERT_TRUE(store.Get(260, /*client=*/1).ok());
   ASSERT_TRUE(store.SplitShard(0).ok());
 
-  const RouterStats* stats = store.router_stats();
-  ASSERT_NE(stats, nullptr);
-  const uint64_t redirects_before = stats->stale_redirects;
+  // Stats via the locked snapshot: ops are sequential, so the counters
+  // are exact on both runtimes.
+  const uint64_t redirects_before = store.stats().router.stale_redirects;
 
   // Client 1 still holds epoch 1; its get of a migrated key redirects
   // to the new owner and returns the right value.
   auto got = store.Get(260, /*client=*/1);
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(got->value, Val(2));
-  EXPECT_EQ(stats->stale_redirects, redirects_before + 1);
+  EXPECT_EQ(store.stats().router.stale_redirects, redirects_before + 1);
 
   // The retry refreshed the view: the second access does not redirect.
   ASSERT_TRUE(store.Get(260, /*client=*/1).ok());
-  EXPECT_EQ(stats->stale_redirects, redirects_before + 1);
+  EXPECT_EQ(store.stats().router.stale_redirects, redirects_before + 1);
 }
 
 // Router-scoped block ids are minted with the slot capacity as modulus,
@@ -407,7 +478,7 @@ TEST_P(ReshardingStoreTest, BlockIdsStayStableAcrossEpochs) {
   auto p1 = h.WaitPhase1();
   ASSERT_TRUE(p1.ok()) << p1.status();
   ASSERT_TRUE(h.WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
 
   ASSERT_TRUE(store.SplitShard(0).ok());
 
@@ -426,7 +497,7 @@ TEST_P(ReshardingStoreTest, MultiGetSpansTheSplit) {
   std::vector<std::pair<Key, Bytes>> kvs;
   for (Key k = 100; k < 900; k += 100) kvs.emplace_back(k, Val(6));
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
   ASSERT_TRUE(store.SplitShard(0).ok());
 
   // Keys on the shrunken source, the migrated range, shard 1, and a
@@ -549,11 +620,14 @@ TEST_P(ReshardingStoreTest, MergePreservesClientVisibleResults) {
     kvs.emplace_back(k, Val(2));
   }
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
 
-  // Split first so there is a split-born slot to merge away.
+  // Split first so there is a split-born slot to merge away, and let its
+  // handoff certificate land before merging the slot back.
   ASSERT_TRUE(store.SplitShard(0).ok());
-  store.RunFor(2 * kSecond);
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return store.stats().resharding.splits_certified >= 1;
+  }));
   const Visible before = Snapshot(store, keys, 0, 999);
   ASSERT_EQ(before.scan.size(), keys.size());
 
@@ -577,12 +651,11 @@ TEST_P(ReshardingStoreTest, MergePreservesClientVisibleResults) {
   EXPECT_EQ(during.gets, before.gets);
   EXPECT_EQ(during.scan, before.scan);
 
-  store.RunFor(2 * kSecond);  // let the handoff certificate land
-  ASSERT_NE(store.resharding(), nullptr);
-  EXPECT_TRUE(store.resharding()->last_split().certified)
-      << "lazy merge handoff certificate never landed";
-  EXPECT_EQ(store.resharding()->stats().merges_applied, 1u);
-  EXPECT_EQ(store.resharding()->stats().merges_certified, 1u);
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return store.stats().resharding.merges_certified >= 1;
+  })) << "lazy merge handoff certificate never landed";
+  EXPECT_EQ(store.stats().resharding.merges_applied, 1u);
+  EXPECT_EQ(store.stats().resharding.merges_certified, 1u);
 
   const Visible after = Snapshot(store, keys, 0, 999);
   EXPECT_EQ(after.gets, before.gets);
@@ -614,7 +687,7 @@ TEST_P(ReshardingStoreTest, SplitMergeSplitCycleReusesTheFreedSlot) {
     kvs.emplace_back(k, Val(3));
   }
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(kSecond);
+  Settle(store, kSecond);
   const Visible before = Snapshot(store, keys, 0, 999);
 
   ASSERT_TRUE(store.SplitShard(0).ok());  // dest 2
@@ -630,42 +703,65 @@ TEST_P(ReshardingStoreTest, SplitMergeSplitCycleReusesTheFreedSlot) {
   EXPECT_EQ(resplit->dest, 2u) << "the freed slot must host the re-split";
   EXPECT_EQ(store.ownership_epoch(), 5u);
 
-  store.RunFor(2 * kSecond);
+  Settle(store, 2 * kSecond);
   const Visible after = Snapshot(store, keys, 0, 999);
   EXPECT_EQ(after.gets, before.gets);
   EXPECT_EQ(after.scan, before.scan);
 
   // Every applied migration kept its own certified report.
-  ASSERT_NE(store.resharding(), nullptr);
-  const auto& applied = store.resharding()->applied_migrations();
-  EXPECT_EQ(applied.size(), 4u);
-  for (const auto& [seq, r] : applied) {
-    EXPECT_TRUE(r.certified || r.pairs_moved == 0)
-        << MigrationKindToString(r.kind) << " seq " << seq
-        << " never certified";
-    EXPECT_FALSE(r.certify_failed);
+  const ReshardingCoordinator::Stats rs = store.stats().resharding;
+  EXPECT_EQ(rs.splits_applied, 3u);
+  EXPECT_EQ(rs.merges_applied, 1u);
+  EXPECT_EQ(rs.certify_failures, 0u);
+  if (Sim()) {
+    ASSERT_NE(store.resharding(), nullptr);
+    const auto& applied = store.resharding()->applied_migrations();
+    EXPECT_EQ(applied.size(), 4u);
+    for (const auto& [seq, r] : applied) {
+      EXPECT_TRUE(r.certified || r.pairs_moved == 0)
+          << MigrationKindToString(r.kind) << " seq " << seq
+          << " never certified";
+      EXPECT_FALSE(r.certify_failed);
+    }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllBackends, ReshardingStoreTest, ::testing::ValuesIn(kAllBackends),
-    [](const ::testing::TestParamInfo<BackendKind>& info) {
-      std::string name(BackendKindToString(info.param));
+    BackendsAndRuntimes, ReshardingStoreTest,
+    ::testing::Values(
+        ReshardCase{BackendKind::kCloudOnly, RuntimeKind::kSim, false},
+        ReshardCase{BackendKind::kEdgeBaseline, RuntimeKind::kSim, false},
+        ReshardCase{BackendKind::kWedge, RuntimeKind::kSim, false},
+        ReshardCase{BackendKind::kWedge, RuntimeKind::kThreaded, false},
+        ReshardCase{BackendKind::kWedge, RuntimeKind::kThreaded, true}),
+    [](const ::testing::TestParamInfo<ReshardCase>& info) {
+      std::string name(BackendKindToString(info.param.backend));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
+      if (info.param.socket) return name + "_socket";
+      name += info.param.runtime == RuntimeKind::kSim ? "_sim" : "_threaded";
       return name;
     });
 
 // ------------------------------------------------- tampering source shard
 
+class ReshardingSecurityTest : public ::testing::TestWithParam<RuntimeKind> {
+ protected:
+  bool Sim() const { return GetParam() == RuntimeKind::kSim; }
+  void Settle(Store& store, SimTime t) { store.RunFor(Sim() ? t : t / 10); }
+};
+
 // A source that truncates its export scan fails the migration as
 // SecurityViolation — never as silently dropped keys. Ownership stays at
 // epoch 1, the lying edge is punished through the usual dispute path
 // (its identity revoked, §IV-E), honest shards keep serving, and the
-// migration fence is lifted.
-TEST(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
-  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+// migration fence is lifted. Runs on both runtimes: under threads the
+// misbehavior flip marshals onto the edge's worker and the assertions
+// read locked snapshots.
+TEST_P(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
+  StoreOptions o = ReshardOptions(ReshardCase{BackendKind::kWedge,
+                                              GetParam(), false});
   o.WithLsm({2, 2, 8}, 4);  // small pages: the export spans page runs
   auto opened = Store::Open(o);
   ASSERT_TRUE(opened.ok()) << opened.status();
@@ -674,37 +770,43 @@ TEST(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
   std::vector<std::pair<Key, Bytes>> kvs;
   for (Key k = 250; k < 1000; k += 10) kvs.emplace_back(k, Val(8));
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(5 * kSecond);  // merge into paged levels
+  Settle(store, 5 * kSecond);  // merge into paged levels
 
-  store.wedge().edge(0).misbehavior().truncate_scans = true;
+  OnWedgeEdge(store, 0, [&store] {
+    store.wedge().edge(0).misbehavior().truncate_scans = true;
+  });
 
   // Start the split asynchronously (the fence goes up immediately), then
   // write into the moving range so the write parks behind the fence.
-  bool split_done = false;
+  std::atomic<bool> split_done{false};
   Status split_status;
   store.backend().SplitShard(
       0, [&](const Status& s, const SplitReport&, SimTime) {
         split_status = s;
-        split_done = true;
+        split_done.store(true, std::memory_order_release);
       });
   store.backend().PutBatch(0, {{260, Val(9)}}, nullptr, nullptr);
-  ASSERT_NE(store.router_stats(), nullptr);
-  EXPECT_EQ(store.router_stats()->writes_parked, 1u);
+  if (Sim()) {
+    ASSERT_NE(store.router_stats(), nullptr);
+    EXPECT_EQ(store.router_stats()->writes_parked, 1u);
+  }
 
-  store.RunFor(5 * kSecond);
-  ASSERT_TRUE(split_done);
+  ASSERT_TRUE(RunUntilTrue(store, [&] {
+    return split_done.load(std::memory_order_acquire);
+  })) << "split never resolved";
   EXPECT_TRUE(split_status.IsSecurityViolation())
       << "a lying source must fail the split as SecurityViolation, got "
       << split_status;
   EXPECT_EQ(store.ownership_epoch(), 1u) << "ownership must not change";
-  ASSERT_NE(store.resharding(), nullptr);
-  EXPECT_EQ(store.resharding()->stats().splits_failed, 1u);
+  EXPECT_EQ(store.stats().resharding.splits_failed, 1u);
 
   // The lie is self-convicting evidence: the export client disputed it
-  // and the cloud revoked the lying edge's identity.
+  // and the cloud revoked the lying edge's identity (the dispute travels
+  // asynchronously; poll for it).
   Deployment& d = store.wedge();
-  EXPECT_TRUE(d.authority().IsPunished(d.edge(0).id()))
-      << "the tampering source must be punished through the dispute path";
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return d.authority().IsPunished(d.edge(0).id());
+  })) << "the tampering source must be punished through the dispute path";
 
   // Honest shards keep serving through the same store.
   auto honest = store.Get(700);
@@ -713,16 +815,19 @@ TEST(ReshardingSecurityTest, TamperingSourceFailsTheMigration) {
 
   // The fence was lifted with the abort: new writes into the formerly
   // moving range are routed (to the unchanged owner), not parked.
+  const uint64_t parked = store.stats().router.writes_parked;
   store.backend().PutBatch(0, {{270, Val(9)}}, nullptr, nullptr);
-  EXPECT_EQ(store.router_stats()->writes_parked, 1u)
+  if (!Sim()) Settle(store, kSecond);
+  EXPECT_EQ(store.stats().router.writes_parked, parked)
       << "the aborted migration must not leave its fence behind";
 }
 
 // A merge source that truncates its export fails the merge the same way
 // a lying split source fails the split: SecurityViolation, ownership
 // unchanged, punishment, fence lifted.
-TEST(ReshardingSecurityTest, TamperingSourceFailsTheMerge) {
-  StoreOptions o = ReshardOptions(BackendKind::kWedge);
+TEST_P(ReshardingSecurityTest, TamperingSourceFailsTheMerge) {
+  StoreOptions o = ReshardOptions(ReshardCase{BackendKind::kWedge,
+                                              GetParam(), false});
   o.WithLsm({2, 2, 8}, 4);  // small pages: the export spans page runs
   auto opened = Store::Open(o);
   ASSERT_TRUE(opened.ok()) << opened.status();
@@ -731,39 +836,51 @@ TEST(ReshardingSecurityTest, TamperingSourceFailsTheMerge) {
   std::vector<std::pair<Key, Bytes>> kvs;
   for (Key k = 250; k < 500; k += 5) kvs.emplace_back(k, Val(8));
   ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
-  store.RunFor(5 * kSecond);  // merge into paged levels
+  Settle(store, 5 * kSecond);  // merge into paged levels
 
   // A clean split seeds slot 2 with [250, 499]; then that slot starts
   // lying when asked to export it back.
   ASSERT_TRUE(store.SplitShard(0).ok());
-  store.RunFor(2 * kSecond);
-  store.wedge().edge(2).misbehavior().truncate_scans = true;
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return store.stats().resharding.splits_certified >= 1;
+  }));
+  OnWedgeEdge(store, 2, [&store] {
+    store.wedge().edge(2).misbehavior().truncate_scans = true;
+  });
 
   auto merged = store.MergeShards(2);
   EXPECT_TRUE(merged.status().IsSecurityViolation())
       << "a lying merge source must fail as SecurityViolation, got "
       << merged.status();
   EXPECT_EQ(store.ownership_epoch(), 2u) << "ownership must not change";
-  ASSERT_NE(store.resharding(), nullptr);
-  EXPECT_EQ(store.resharding()->stats().merges_failed, 1u);
-  EXPECT_EQ(store.resharding()->stats().merges_applied, 0u);
+  EXPECT_EQ(store.stats().resharding.merges_failed, 1u);
+  EXPECT_EQ(store.stats().resharding.merges_applied, 0u);
 
-  // The dispute travels to the cloud asynchronously; give it time.
-  store.RunFor(2 * kSecond);
+  // The dispute travels to the cloud asynchronously; poll for it.
   Deployment& d = store.wedge();
-  EXPECT_TRUE(d.authority().IsPunished(d.edge(2).id()))
-      << "the tampering merge source must be punished";
+  EXPECT_TRUE(RunUntilTrue(store, [&] {
+    return d.authority().IsPunished(d.edge(2).id());
+  })) << "the tampering merge source must be punished";
 
   // Honest shards keep serving (the lying edge still owns [250, 499];
   // shard 1's range is untouched), and the aborted merge left no fence:
   // a write into the formerly moving range routes, not parks.
   auto other = store.Get(700);
   ASSERT_TRUE(other.ok()) << other.status();
-  const uint64_t parked = store.router_stats()->writes_parked;
+  const uint64_t parked = store.stats().router.writes_parked;
   store.backend().PutBatch(0, {{260, Val(9)}}, nullptr, nullptr);
-  EXPECT_EQ(store.router_stats()->writes_parked, parked)
+  if (!Sim()) Settle(store, kSecond);
+  EXPECT_EQ(store.stats().router.writes_parked, parked)
       << "the aborted merge must not leave its fence behind";
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    BothRuntimes, ReshardingSecurityTest,
+    ::testing::Values(RuntimeKind::kSim, RuntimeKind::kThreaded),
+    [](const ::testing::TestParamInfo<RuntimeKind>& i) {
+      return i.param == RuntimeKind::kSim ? std::string("sim")
+                                          : std::string("threaded");
+    });
 
 // -------------------------------------------------- bugfix regressions
 
@@ -784,7 +901,9 @@ class ManualHost : public ShardMigrationHost {
     applied(Status::OK(), 0);
     held_certs.push_back(std::move(certified));  // land them by hand
   }
-  void FenceRange(Key, Key) override {}
+  void FenceRange(size_t, Key, Key, std::function<void()> quiesced) override {
+    quiesced();  // nothing in flight: the fake host quiesces instantly
+  }
   void LiftFence() override {}
   void OnEpochInstalled(const MigrationReport&) override {}
 

@@ -1,10 +1,11 @@
 // Runtime conformance: the api_test call sequence must behave
-// identically on SimRuntime and ThreadedRuntime, for every backend.
-// Same round trips, same phase ordering, same verification outcomes,
-// same security violations from a lying edge — only the meaning of time
-// (virtual vs wall microseconds) differs. Plus the threaded-only
-// contract: resharding is refused at the router and WithAutoBalance is
-// rejected at Open.
+// identically on SimRuntime, ThreadedRuntime, and ThreadedRuntime with
+// the loopback SocketTransport (every message over a real TCP socket),
+// for every backend. Same round trips, same phase ordering, same
+// verification outcomes, same security violations from a lying edge —
+// only the meaning of time (virtual vs wall microseconds) differs.
+// Plus the threaded contracts: live migration and WithAutoBalance now
+// run under threads (quiescence-gated, not virtual-time-drained).
 
 #include <gtest/gtest.h>
 
@@ -24,6 +25,9 @@ namespace {
 struct ConformanceCase {
   BackendKind backend;
   RuntimeKind runtime;
+  /// Route every message through the loopback SocketTransport (implies
+  /// kThreaded): the conformance matrix's third leg.
+  bool socket = false;
 };
 
 StoreOptions SmallOptions(const ConformanceCase& c) {
@@ -34,6 +38,7 @@ StoreOptions SmallOptions(const ConformanceCase& c) {
       .WithOpsPerBlock(4)
       .WithLsm({3, 2, 8}, 8)
       .WithProofTimeout(2 * kSecond);
+  if (c.socket) o.WithSocketTransport();
   o.deploy.net.jitter_frac = 0.0;
   return o;
 }
@@ -228,55 +233,100 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         ConformanceCase{BackendKind::kWedge, RuntimeKind::kSim},
         ConformanceCase{BackendKind::kWedge, RuntimeKind::kThreaded},
+        ConformanceCase{BackendKind::kWedge, RuntimeKind::kThreaded,
+                        /*socket=*/true},
         ConformanceCase{BackendKind::kEdgeBaseline, RuntimeKind::kSim},
         ConformanceCase{BackendKind::kEdgeBaseline, RuntimeKind::kThreaded},
+        ConformanceCase{BackendKind::kEdgeBaseline, RuntimeKind::kThreaded,
+                        /*socket=*/true},
         ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kSim},
-        ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kThreaded}),
+        ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kThreaded},
+        ConformanceCase{BackendKind::kCloudOnly, RuntimeKind::kThreaded,
+                        /*socket=*/true}),
     [](const ::testing::TestParamInfo<ConformanceCase>& info) {
       std::string name(BackendKindToString(info.param.backend));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      name += info.param.runtime == RuntimeKind::kSim ? "_sim" : "_threaded";
+      if (info.param.socket) {
+        name += "_socket";
+      } else {
+        name +=
+            info.param.runtime == RuntimeKind::kSim ? "_sim" : "_threaded";
+      }
       return name;
     });
 
-// ------------------------------------------- threaded-only contracts
+// ---------------------------------------------- threaded contracts
 
-// Resharding needs the deterministic simulator (live migration drives
-// virtual-time drains); under threads the router refuses up front with
-// FailedPrecondition and ownership stays unchanged.
-TEST(ThreadedRuntimeContractTest, ReshardingRefusedUnderThreads) {
+// Live migration runs under real threads: the fence gates on explicit
+// write quiescence (per-shard in-flight gauges) instead of virtual-time
+// drains, so the same split → merge → re-split cycle that the simulator
+// runs completes on wall clock with the identical observable contract.
+TEST(ThreadedRuntimeContractTest, LiveMigrationRunsUnderThreads) {
   StoreOptions o =
       SmallOptions({BackendKind::kWedge, RuntimeKind::kThreaded})
-          .WithShards(2, ShardScheme::kRange, 1 << 16)
-          .WithShardCapacity(4);
+          .WithShards(2, ShardScheme::kRange, 1000)
+          .WithShardCapacity(4)
+          .WithDrainDelay(200 * kMillisecond);
   auto opened = Store::Open(o);
   ASSERT_TRUE(opened.ok()) << opened.status();
   Store store = std::move(*opened);
 
-  const OwnershipEpoch before = store.ownership_epoch();
+  std::vector<std::pair<Key, Bytes>> kvs;
+  for (Key k = 0; k < 1000; k += 50) kvs.emplace_back(k, Val(1));
+  ASSERT_TRUE(store.PutBatch(kvs).WaitPhase2().ok());
+
+  // Split shard 0's [0, 499] at 250 onto the first idle slot.
   auto split = store.SplitShard(0);
-  EXPECT_TRUE(split.status().IsFailedPrecondition()) << split.status();
-  auto merge = store.MergeShards(0);
-  EXPECT_TRUE(merge.status().IsFailedPrecondition()) << merge.status();
-  auto rebalance = store.Rebalance();
-  EXPECT_TRUE(rebalance.status().IsFailedPrecondition())
-      << rebalance.status();
-  EXPECT_EQ(store.ownership_epoch(), before) << "ownership must not move";
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_EQ(split->source, 0u);
+  EXPECT_EQ(split->dest, 2u);
+  EXPECT_GT(split->pairs_moved, 0u);
+  EXPECT_EQ(store.ownership_epoch(), 2u);
+
+  // Migrated keys read back identically from the new owner.
+  for (Key k = 250; k < 500; k += 50) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(got->value, Val(1));
+  }
+
+  // Merge folds the slice back and frees the slot; the re-split reuses
+  // it — the full lifecycle on wall clock.
+  auto merged = store.MergeShards(2);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(store.ownership_epoch(), 3u);
+  auto resplit = store.SplitShard(1);
+  ASSERT_TRUE(resplit.ok()) << resplit.status();
+  EXPECT_EQ(resplit->dest, 2u) << "the freed slot must host the re-split";
+  EXPECT_EQ(store.ownership_epoch(), 4u);
+
+  for (Key k = 0; k < 1000; k += 50) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(got->value, Val(1));
+  }
 }
 
-// The autonomous balancer would call SplitShard from its policy tick, so
-// the combination is rejected while validating options — at Open, never
-// as a surprise downstream.
-TEST(ThreadedRuntimeContractTest, AutoBalanceRejectedAtOpen) {
+// WithAutoBalance opens (and runs) under threads now that the balancer's
+// actuation path — live migration — is runtime-agnostic.
+TEST(ThreadedRuntimeContractTest, AutoBalanceOpensUnderThreads) {
   StoreOptions o =
       SmallOptions({BackendKind::kWedge, RuntimeKind::kThreaded})
           .WithShards(2, ShardScheme::kRange, 1 << 16)
           .WithShardCapacity(4)
           .WithAutoBalance();
   auto opened = Store::Open(o);
-  EXPECT_TRUE(opened.status().IsInvalidArgument()) << opened.status();
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store store = std::move(*opened);
+  ASSERT_NE(store.balancer(), nullptr);
+  // The store works normally with the balancer ticking in the
+  // background (the full autonomous cycle is fig10's threaded panel).
+  ASSERT_TRUE(store.Put(42, Val(1)).WaitPhase1().ok());
+  auto got = store.Get(42);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, Val(1));
 }
 
 }  // namespace

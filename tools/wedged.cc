@@ -1,0 +1,396 @@
+// wedged: a WedgeChain node process. Runs one role of a deployment on
+// the threaded runtime with the TCP SocketTransport, so the cloud and
+// an edge (plus its clients) can live in separate OS processes and talk
+// over real sockets — the deployment shape the paper's architecture
+// (§III) implies but the in-process runtimes only emulate.
+//
+// Identity bootstrap: every process of one deployment is launched with
+// the same --seed and registers the FULL canonical identity set (cloud,
+// edge-0, client-0..N-1) in the same order, so NodeIds and session
+// secrets are bit-identical everywhere without any key exchange; each
+// process then constructs node objects only for its own role. Peer
+// discovery is the SocketTransport HELLO handshake: a spoke announces
+// its attachments to the hub, the hub replays known attachments to late
+// joiners and forwards spoke-to-spoke frames.
+//
+// Roles:
+//   --role cloud   The hub. Listens (--listen PORT; 0 picks an
+//                  ephemeral port, written to --port-file for
+//                  orchestration), hosts the trust authority and the
+//                  cloud node, runs for --run-for-ms (SIGTERM/SIGINT
+//                  exit early, cleanly).
+//   --role edge    A spoke. Connects (--connect HOST:PORT), hosts
+//                  edge-0 and the clients, then drives a scripted
+//                  verified workload: --ops put-batches Phase I AND
+//                  Phase II committed (Phase II proves the full
+//                  cloud round trip over the socket), every value
+//                  read back through a proof-verified Get, and a
+//                  completeness-proof-verified Scan over the whole
+//                  range. Exit 0 only if all of it verified.
+//
+// Two-process smoke (what CI runs):
+//   wedged --role cloud --listen 0 --port-file /tmp/p &
+//   wedged --role edge --connect 127.0.0.1:$(cat /tmp/p)
+//
+// Add --wan to both to shape links with the paper's Table I RTT matrix
+// (keyed by --cloud-dc / --edge-dc short names C,O,V,I,M).
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/client.h"
+#include "core/cloud_node.h"
+#include "core/config.h"
+#include "core/edge_node.h"
+#include "core/topology.h"
+#include "core/trust_authority.h"
+#include "runtime/runtime.h"
+#include "runtime/socket_transport.h"
+#include "runtime/threaded_runtime.h"
+#include "simnet/cost_model.h"
+
+using namespace wedge;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void OnSignal(int) { g_stop.store(true); }
+
+struct Args {
+  std::string role;
+  uint16_t listen_port = 0;
+  bool listen_set = false;
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  std::string port_file;
+  uint64_t seed = 7;
+  size_t clients = 2;
+  size_t ops = 3;  ///< put-batches the edge role drives
+  uint64_t run_for_ms = 30000;
+  bool wan = false;
+  Dc edge_dc = Dc::kCalifornia;
+  Dc cloud_dc = Dc::kVirginia;
+};
+
+Dc ParseDc(const char* s) {
+  switch (s[0]) {
+    case 'C': return Dc::kCalifornia;
+    case 'O': return Dc::kOregon;
+    case 'V': return Dc::kVirginia;
+    case 'I': return Dc::kIreland;
+    case 'M': return Dc::kMumbai;
+    default:
+      std::fprintf(stderr, "wedged: unknown datacenter '%s' (C,O,V,I,M)\n", s);
+      std::exit(2);
+  }
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wedged --role cloud --listen PORT [--port-file PATH]\n"
+      "              [--run-for-ms MS] [--seed S] [--clients N] [--wan]\n"
+      "       wedged --role edge --connect HOST:PORT [--ops N]\n"
+      "              [--seed S] [--clients N] [--wan]\n"
+      "       common: [--edge-dc C|O|V|I|M] [--cloud-dc C|O|V|I|M]\n");
+  std::exit(2);
+}
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--role") == 0) {
+      a.role = next();
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      a.listen_port = static_cast<uint16_t>(std::atoi(next()));
+      a.listen_set = true;
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      const std::string hp = next();
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) Usage();
+      a.connect_host = hp.substr(0, colon);
+      a.connect_port = static_cast<uint16_t>(std::atoi(hp.c_str() + colon + 1));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      a.port_file = next();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      a.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      a.clients = static_cast<size_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      a.ops = static_cast<size_t>(std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--run-for-ms") == 0) {
+      a.run_for_ms = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--wan") == 0) {
+      a.wan = true;
+    } else if (std::strcmp(argv[i], "--edge-dc") == 0) {
+      a.edge_dc = ParseDc(next());
+    } else if (std::strcmp(argv[i], "--cloud-dc") == 0) {
+      a.cloud_dc = ParseDc(next());
+    } else {
+      Usage();
+    }
+  }
+  if (a.role != "cloud" && a.role != "edge") Usage();
+  if (a.role == "cloud" && !a.listen_set) Usage();
+  if (a.role == "edge" && a.connect_host.empty()) Usage();
+  if (a.clients == 0) a.clients = 1;
+  return a;
+}
+
+RuntimeConfig MakeRuntimeConfig(const Args& a) {
+  RuntimeConfig rt;
+  rt.kind = RuntimeKind::kThreaded;
+  rt.socket.enabled = true;
+  rt.socket.secret_seed = a.seed;
+  if (a.role == "cloud") {
+    rt.socket.hub = true;  // --listen 0 still means hub on an ephemeral port
+    rt.socket.listen_port = a.listen_port;
+  } else {
+    rt.socket.connect_host = a.connect_host;
+    rt.socket.connect_port = a.connect_port;
+  }
+  if (a.wan) {
+    rt.wan.enabled = true;
+    rt.wan.matrix = LatencyMatrix::Paper();
+  }
+  return rt;
+}
+
+/// The canonical identity set, in the exact order Deployment registers
+/// it. Every process calls this with the same seed-derived keystore, so
+/// ids and secrets agree across processes; each keeps only the signers
+/// its role constructs nodes from.
+struct Identities {
+  Signer cloud;
+  Signer edge;
+  std::vector<Signer> clients;
+};
+
+Identities RegisterAll(Topology& topo, size_t num_clients) {
+  Identities ids{topo.RegisterCloud(), topo.RegisterEdge(0), {}};
+  ids.clients.reserve(num_clients);
+  for (size_t i = 0; i < num_clients; ++i) {
+    ids.clients.push_back(topo.RegisterClient(i));
+  }
+  return ids;
+}
+
+// ----------------------------------------------------------- cloud role
+
+int RunCloud(const Args& a) {
+  Topology topo(a.seed, NetworkConfig{}, MakeRuntimeConfig(a));
+  Runtime& rt = topo.runtime();
+  TrustAuthority authority(&topo.keystore());
+  Identities ids = RegisterAll(topo, a.clients);
+  const NodeId edge_id = ids.edge.id();
+  std::vector<NodeId> client_ids;
+  for (const Signer& s : ids.clients) client_ids.push_back(s.id());
+
+  CloudNode cloud(rt.ExecutorFor(ids.cloud.id(), ExecRole::kDedicated),
+                  &topo.transport(), &topo.keystore(), &authority,
+                  std::move(ids.cloud), a.cloud_dc, CloudConfig{},
+                  CostModel{});
+  cloud.Start();
+  for (NodeId c : client_ids) cloud.SubscribeGossip(c, edge_id);
+
+  auto* socket = static_cast<ThreadedRuntime&>(rt).socket_transport();
+  const uint16_t port = socket != nullptr ? socket->listen_port() : 0;
+  std::printf("wedged: cloud %llu listening on port %u (seed %llu)\n",
+              static_cast<unsigned long long>(cloud.id()), port,
+              static_cast<unsigned long long>(a.seed));
+  std::fflush(stdout);
+  if (!a.port_file.empty()) {
+    FILE* f = std::fopen(a.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "wedged: cannot write --port-file %s\n",
+                   a.port_file.c_str());
+      rt.Shutdown();
+      return 1;
+    }
+    std::fprintf(f, "%u\n", port);
+    std::fclose(f);
+  }
+
+  // Serve until the deadline or a clean signal; 100ms slices keep the
+  // signal latency low without busy-waiting.
+  const SimTime deadline = rt.Now() + a.run_for_ms * kMillisecond;
+  while (!g_stop.load() && rt.Now() < deadline) {
+    rt.RunFor(100 * kMillisecond);
+  }
+  const TransportStats ts =
+      socket != nullptr ? socket->stats_snapshot() : TransportStats{};
+  rt.Shutdown();  // joins workers; safe to read node state below
+  std::printf(
+      "wedged: cloud exiting (certified_blocks=%llu frames_in=%llu "
+      "frames_out=%llu dropped=%llu mac_rejects=%llu)\n",
+      static_cast<unsigned long long>(cloud.stats().certified_blocks),
+      static_cast<unsigned long long>(ts.frames_in),
+      static_cast<unsigned long long>(ts.frames_out),
+      static_cast<unsigned long long>(ts.dropped),
+      static_cast<unsigned long long>(ts.mac_rejects));
+  return 0;
+}
+
+// ------------------------------------------------------------ edge role
+
+int RunEdge(const Args& a) {
+  Topology topo(a.seed, NetworkConfig{}, MakeRuntimeConfig(a));
+  Runtime& rt = topo.runtime();
+  Identities ids = RegisterAll(topo, a.clients);
+  const NodeId cloud_id = ids.cloud.id();
+
+  EdgeConfig edge_cfg;
+  edge_cfg.ops_per_block = 4;  // seal fast so Phase II lands promptly
+  ClientConfig client_cfg;
+  client_cfg.proof_timeout = 10 * kSecond;  // wall clock: absorb CI jitter
+
+  EdgeNode edge(rt.ExecutorFor(ids.edge.id(), ExecRole::kDedicated),
+                &topo.transport(), &topo.keystore(), std::move(ids.edge),
+                cloud_id, a.edge_dc, edge_cfg, CostModel{});
+  std::vector<std::unique_ptr<WedgeClient>> clients;
+  for (Signer& s : ids.clients) {
+    Executor* exec = rt.ExecutorFor(s.id(), ExecRole::kPooled);
+    clients.push_back(std::make_unique<WedgeClient>(
+        exec, &topo.transport(), &topo.keystore(), std::move(s), edge.id(),
+        cloud_id, a.edge_dc, client_cfg, CostModel{}));
+  }
+  edge.Start();
+  for (auto& c : clients) c->Start();
+  std::printf("wedged: edge %llu + %zu clients connected to %s:%u\n",
+              static_cast<unsigned long long>(edge.id()), clients.size(),
+              a.connect_host.c_str(), a.connect_port);
+  std::fflush(stdout);
+
+  const SimTime kOpDeadline = 20 * kSecond;
+  int rc = 0;
+
+  // Scripted verified workload. Each batch must Phase-I- AND
+  // Phase-II-commit: Phase II only lands after the cloud certified the
+  // block and the proof came back through the socket, so one committed
+  // batch certifies the whole transport path.
+  const size_t batch = 4;
+  for (size_t op = 0; op < a.ops && rc == 0; ++op) {
+    WedgeClient& c = *clients[op % clients.size()];
+    std::vector<std::pair<Key, Bytes>> kvs;
+    for (size_t j = 0; j < batch; ++j) {
+      const Key k = op * batch + j;
+      kvs.emplace_back(k, Bytes(32, static_cast<uint8_t>(0xA0 + k)));
+    }
+    bool p1 = false, p2 = false;
+    Status s1, s2;
+    c.Invoke([&]() {
+      c.PutBatch(
+          kvs,
+          [&](const Status& s, BlockId, SimTime) {
+            rt.RunOnCompletion([&, s]() { s1 = s; p1 = true; });
+          },
+          [&](const Status& s, BlockId, SimTime) {
+            rt.RunOnCompletion([&, s]() { s2 = s; p2 = true; });
+          });
+    });
+    Status w = rt.WaitUntil(kOpDeadline, [&]() { return p1 && p2; });
+    if (!w.ok() || !s1.ok() || !s2.ok()) {
+      std::fprintf(stderr,
+                   "wedged: batch %zu failed (wait=%s p1=%s p2=%s)\n", op,
+                   w.ToString().c_str(), s1.ToString().c_str(),
+                   s2.ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("wedged: %zu batches Phase I+II committed over the socket\n",
+                a.ops);
+  }
+
+  // Read every key back through the proof-verified path and check the
+  // value round-tripped.
+  for (Key k = 0; rc == 0 && k < static_cast<Key>(a.ops * batch); ++k) {
+    WedgeClient& c = *clients[k % clients.size()];
+    bool done = false;
+    Status gs;
+    VerifiedGet got;
+    c.Invoke([&]() {
+      c.Get(k, [&](const Status& s, const VerifiedGet& g, SimTime) {
+        rt.RunOnCompletion([&, s, g]() {
+          gs = s;
+          got = g;
+          done = true;
+        });
+      });
+    });
+    Status w = rt.WaitUntil(kOpDeadline, [&]() { return done; });
+    const Bytes expect(32, static_cast<uint8_t>(0xA0 + k));
+    if (!w.ok() || !gs.ok() || !got.found || got.value != expect) {
+      std::fprintf(stderr, "wedged: verified get of key %llu failed (%s)\n",
+                   static_cast<unsigned long long>(k),
+                   (!w.ok() ? w : gs).ToString().c_str());
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("wedged: %zu verified gets OK\n", a.ops * batch);
+  }
+
+  // One completeness-proof-verified scan over the whole written range:
+  // a dropped key would surface as a SecurityViolation or a short result.
+  if (rc == 0) {
+    WedgeClient& c = *clients[0];
+    bool done = false;
+    Status ss;
+    size_t pairs = 0;
+    c.Invoke([&]() {
+      c.Scan(0, a.ops * batch - 1,
+             [&](const Status& s, const VerifiedScan& v, SimTime) {
+               rt.RunOnCompletion([&, s, v]() {
+                 ss = s;
+                 pairs = v.pairs.size();
+                 done = true;
+               });
+             });
+    });
+    Status w = rt.WaitUntil(kOpDeadline, [&]() { return done; });
+    if (!w.ok() || !ss.ok() || pairs != a.ops * batch) {
+      std::fprintf(stderr, "wedged: verified scan failed (%s, %zu/%zu keys)\n",
+                   (!w.ok() ? w : ss).ToString().c_str(), pairs,
+                   a.ops * batch);
+      rc = 1;
+    } else {
+      std::printf("wedged: verified scan returned all %zu keys\n", pairs);
+    }
+  }
+
+  auto* socket = static_cast<ThreadedRuntime&>(rt).socket_transport();
+  const TransportStats ts =
+      socket != nullptr ? socket->stats_snapshot() : TransportStats{};
+  rt.Shutdown();  // before the nodes the workers reference are destroyed
+  std::printf(
+      "wedged: edge transport frames_in=%llu frames_out=%llu dropped=%llu "
+      "mac_rejects=%llu reconnects=%llu\n",
+      static_cast<unsigned long long>(ts.frames_in),
+      static_cast<unsigned long long>(ts.frames_out),
+      static_cast<unsigned long long>(ts.dropped),
+      static_cast<unsigned long long>(ts.mac_rejects),
+      static_cast<unsigned long long>(ts.reconnects));
+  if (rc == 0) std::printf("wedged: edge run PASSED\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const Args a = Parse(argc, argv);
+  return a.role == "cloud" ? RunCloud(a) : RunEdge(a);
+}
